@@ -1,0 +1,90 @@
+// Shared helpers for the paper-reproduction benchmark harnesses: flavored
+// app runners, repeat-and-average timing (the paper's 4 runs + 1 warmup
+// protocol) and table output with the paper's reference values alongside.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "apps/jacobi.hpp"
+#include "apps/tealeaf.hpp"
+#include "capi/session.hpp"
+#include "common/format.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+
+namespace bench {
+
+/// The paper's benchmark protocol: one uncounted warmup run, then the
+/// average wall-clock seconds over `runs` measured runs.
+inline double timed_average(const std::function<void()>& body, int runs = 4) {
+  body();  // warmup
+  double total = 0.0;
+  for (int i = 0; i < runs; ++i) {
+    common::WallTimer timer;
+    body();
+    total += timer.elapsed_seconds();
+  }
+  return total / runs;
+}
+
+/// Device profile used by all benchmarks: a realistic kernel submission
+/// latency; context reservation is only enabled by the memory benchmark.
+inline cusim::DeviceProfile bench_device_profile(std::size_t context_reserve_bytes = 0) {
+  cusim::DeviceProfile profile;
+  profile.launch_overhead_ns = 4000;  // ~4 us driver submission latency
+  profile.context_reserve_bytes = context_reserve_bytes;
+  return profile;
+}
+
+struct FlavoredRun {
+  std::vector<capi::RankResult> results;
+  double seconds{};
+};
+
+/// Run `rank_main` under `flavor` with the bench device profile.
+inline FlavoredRun run_app(capi::Flavor flavor, int ranks, const capi::RankMain& rank_main,
+                           std::size_t context_reserve_bytes = 0) {
+  capi::SessionConfig config;
+  config.ranks = ranks;
+  config.tools = capi::make_tool_config(flavor);
+  config.device_profile = bench_device_profile(context_reserve_bytes);
+  FlavoredRun run;
+  common::WallTimer timer;
+  run.results = capi::run_session(config, rank_main);
+  run.seconds = timer.elapsed_seconds();
+  return run;
+}
+
+/// Benchmark-standard app configurations (scaled for the CPU substrate; the
+/// relative overheads, not absolute times, are the reproduction target).
+inline apps::JacobiConfig bench_jacobi_config() {
+  // Large domain: CuSan's whole-range tracking dominates (paper: 36x).
+  apps::JacobiConfig config;
+  config.rows = 1024;
+  config.cols = 512;
+  config.iterations = 60;
+  return config;
+}
+
+inline apps::TeaLeafConfig bench_tealeaf_config() {
+  // Small domain, many small kernels: fixed costs dominate and the tracked
+  // working set per call (~tens of KB) matches the paper's Table I profile.
+  apps::TeaLeafConfig config;
+  config.rows = 64;
+  config.cols = 32;
+  config.timesteps = 24;
+  config.max_cg_iters = 16;
+  return config;
+}
+
+inline void print_header(const char* title, const char* paper_ref) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title);
+  std::printf("reproduces: %s\n", paper_ref);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace bench

@@ -1,0 +1,74 @@
+// Fig. 10 reproduction: relative runtime overhead of TSan / MUST / CuSan /
+// MUST & CuSan w.r.t. vanilla, for the Jacobi and TeaLeaf mini-apps
+// (2 ranks, 4 measured runs after a warmup run, averaged).
+//
+// Paper values (V100 + real TSan): Jacobi 2.27 / 4.63 / 36.06 / 37.89,
+// TeaLeaf 1.01 / 4.2 / 3.77 / 6.97. The substrate here is a CPU simulator,
+// so the reproduction target is the *shape*: vanilla fastest, CuSan flavors
+// dominated by memory tracking, Jacobi's overhead far above TeaLeaf's
+// because its tracked domain is orders of magnitude larger.
+#include "bench_common.hpp"
+
+namespace {
+
+struct PaperRow {
+  const char* app;
+  double values[4];  // TSan, MUST, CuSan, MUST&CuSan
+};
+
+constexpr PaperRow kPaper[] = {
+    {"Jacobi", {2.27, 4.63, 36.06, 37.89}},
+    {"TeaLeaf", {1.01, 4.20, 3.77, 6.97}},
+};
+
+}  // namespace
+
+int main() {
+  bench::print_header("Runtime overhead of the correctness tools (relative to vanilla)",
+                      "paper Fig. 10 (SC-W 2024, CuSan)");
+
+  const auto jacobi_config = bench::bench_jacobi_config();
+  const auto tealeaf_config = bench::bench_tealeaf_config();
+
+  const auto run_jacobi = [&](capi::Flavor flavor) {
+    return bench::timed_average([&] {
+      (void)bench::run_app(flavor, 2, [&](capi::RankEnv& env) {
+        (void)apps::run_jacobi_rank(env, jacobi_config);
+      });
+    });
+  };
+  const auto run_tealeaf = [&](capi::Flavor flavor) {
+    return bench::timed_average([&] {
+      (void)bench::run_app(flavor, 2, [&](capi::RankEnv& env) {
+        (void)apps::run_tealeaf_rank(env, tealeaf_config);
+      });
+    });
+  };
+
+  std::printf("Jacobi %zux%zu (%zu iters), TeaLeaf %zux%zu (%zu steps); 2 ranks, avg of 4 runs\n\n",
+              jacobi_config.rows, jacobi_config.cols, jacobi_config.iterations,
+              tealeaf_config.rows, tealeaf_config.cols, tealeaf_config.timesteps);
+
+  common::TextTable table(
+      {"app", "flavor", "runtime [s]", "rel. to vanilla", "paper Fig.10"});
+
+  for (int app = 0; app < 2; ++app) {
+    const std::function<double(capi::Flavor)> runner =
+        app == 0 ? std::function<double(capi::Flavor)>(run_jacobi)
+                 : std::function<double(capi::Flavor)>(run_tealeaf);
+    const double vanilla = runner(capi::Flavor::kVanilla);
+    table.add_row({kPaper[app].app, "vanilla", common::fixed(vanilla, 3), "1.00", "1.0"});
+    const capi::Flavor flavors[] = {capi::Flavor::kTsan, capi::Flavor::kMust,
+                                    capi::Flavor::kCusan, capi::Flavor::kMustCusan};
+    for (int f = 0; f < 4; ++f) {
+      const double seconds = runner(flavors[f]);
+      table.add_row({kPaper[app].app, capi::to_string(flavors[f]), common::fixed(seconds, 3),
+                     common::fixed(seconds / vanilla, 2),
+                     common::fixed(kPaper[app].values[f], 2)});
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("expected shape: rel(vanilla) < rel(TSan) <= rel(MUST) < rel(CuSan flavors);\n");
+  std::printf("Jacobi CuSan overhead >> TeaLeaf CuSan overhead (tracked bytes dominate).\n");
+  return 0;
+}

@@ -1,0 +1,205 @@
+// Race gallery: a guided tour of the CUDA-aware MPI concurrency bug classes
+// CuSan + MUST detect (paper §III/§IV), each shown as a small program with
+// the resulting report — and its corrected counterpart staying silent.
+#include <cstdio>
+#include <functional>
+#include <memory>
+
+#include "capi/cuda.hpp"
+#include "capi/memaccess.hpp"
+#include "capi/mpi.hpp"
+#include "capi/session.hpp"
+#include "kir/registry.hpp"
+#include "rsan/report.hpp"
+
+namespace {
+
+struct GalleryKernels {
+  kir::Module module;
+  const kir::KernelInfo* writer{};
+  const kir::KernelInfo* reader{};
+  std::unique_ptr<kir::KernelRegistry> registry;
+  GalleryKernels() {
+    kir::Function* w = module.create_function("produce", {true, false});
+    w->store(w->gep(w->param(0), w->constant()), w->constant());
+    w->ret();
+    kir::Function* r = module.create_function("consume", {true, false});
+    (void)r->load(r->gep(r->param(0), r->constant()));
+    r->ret();
+    registry = std::make_unique<kir::KernelRegistry>(module);
+    writer = registry->lookup(w);
+    reader = registry->lookup(r);
+  }
+};
+
+const GalleryKernels& kernels() {
+  static const GalleryKernels k;
+  return k;
+}
+
+constexpr std::size_t kN = 2048;
+
+void show(const char* title, const char* fix, bool racy_variant,
+          const std::function<void(capi::RankEnv&, bool)>& body) {
+  std::printf("--- %s ---\n", title);
+  const auto racy = capi::run_flavored(capi::Flavor::kMustCusan, 2,
+                                       [&](capi::RankEnv& env) { body(env, true); });
+  bool printed = false;
+  for (const auto& result : racy) {
+    for (const auto& race : result.races) {
+      std::printf("[rank %d]\n%s\n", result.rank, rsan::format_report(race).c_str());
+      printed = true;
+    }
+  }
+  if (!printed) {
+    std::printf("(no race reported — unexpected for this gallery entry!)\n");
+  }
+  const auto fixed = capi::run_flavored(capi::Flavor::kMustCusan, 2,
+                                        [&](capi::RankEnv& env) { body(env, false); });
+  std::printf("fix: %s  ->  %zu report(s) after the fix\n\n", fix, capi::total_races(fixed));
+  (void)racy_variant;
+}
+
+}  // namespace
+
+int main() {
+  namespace cuda = capi::cuda;
+  namespace mpi = capi::mpi;
+  const auto type = mpisim::Datatype::float64();
+
+  std::printf("CuSan race gallery: the CUDA-aware MPI bug classes of the paper\n\n");
+
+  show("1. kernel -> MPI_Send without synchronization (Fig. 4 case i)",
+       "cudaDeviceSynchronize() between the kernel and the send", true,
+       [&](capi::RankEnv& env, bool racy) {
+         double* d = nullptr;
+         (void)cuda::malloc_device(&d, kN);
+         if (env.rank() == 0) {
+           (void)cuda::launch(*kernels().writer, {1, 1}, nullptr, {d, nullptr},
+                              [](const cusim::KernelContext&) {});
+           if (!racy) {
+             (void)cuda::device_synchronize();
+           }
+           (void)mpi::send(env.comm, d, kN / 2, type, 1, 0);
+         } else {
+           (void)mpi::recv(env.comm, d, kN / 2, type, 0, 0);
+         }
+         (void)cuda::device_synchronize();
+         (void)cuda::free(d);
+       });
+
+  show("2. MPI_Irecv -> kernel before MPI_Wait (Fig. 4 case ii)",
+       "MPI_Wait before the dependent kernel launch", true,
+       [&](capi::RankEnv& env, bool racy) {
+         double* d = nullptr;
+         (void)cuda::malloc_device(&d, kN);
+         (void)cuda::device_synchronize();
+         if (env.rank() == 0) {
+           (void)mpi::send(env.comm, d, kN / 2, type, 1, 0);
+         } else {
+           mpisim::Request* req = nullptr;
+           (void)mpi::irecv(env.comm, d, kN / 2, type, 0, 0, &req);
+           if (!racy) {
+             (void)mpi::wait(env.comm, &req);
+           }
+           (void)cuda::launch(*kernels().reader, {1, 1}, nullptr, {d, nullptr},
+                              [](const cusim::KernelContext&) {});
+           if (racy) {
+             (void)mpi::wait(env.comm, &req);
+           }
+         }
+         (void)cuda::device_synchronize();
+         (void)cuda::free(d);
+       });
+
+  show("3. synchronizing the wrong stream",
+       "synchronize the stream the kernel actually runs on", true,
+       [&](capi::RankEnv& env, bool racy) {
+         double* d = nullptr;
+         (void)cuda::malloc_device(&d, kN);
+         if (env.rank() == 0) {
+           cusim::Stream* s1 = nullptr;
+           cusim::Stream* s2 = nullptr;
+           (void)cuda::stream_create(&s1, cusim::StreamFlags::kNonBlocking);
+           (void)cuda::stream_create(&s2, cusim::StreamFlags::kNonBlocking);
+           (void)cuda::launch(*kernels().writer, {1, 1}, s1, {d, nullptr},
+                              [](const cusim::KernelContext&) {});
+           (void)cuda::stream_synchronize(racy ? s2 : s1);
+           (void)mpi::send(env.comm, d, kN / 2, type, 1, 0);
+           (void)cuda::stream_destroy(s1);
+           (void)cuda::stream_destroy(s2);
+         } else {
+           (void)mpi::recv(env.comm, d, kN / 2, type, 0, 0);
+         }
+         (void)cuda::device_synchronize();
+         (void)cuda::free(d);
+       });
+
+  show("4. event recorded before the kernel it should cover",
+       "record the event after the kernel launch", true,
+       [&](capi::RankEnv& env, bool racy) {
+         double* d = nullptr;
+         (void)cuda::malloc_device(&d, kN);
+         if (env.rank() == 0) {
+           cusim::Stream* s = nullptr;
+           cusim::Event* e = nullptr;
+           (void)cuda::stream_create(&s, cusim::StreamFlags::kNonBlocking);
+           (void)cuda::event_create(&e);
+           if (racy) {
+             (void)cuda::event_record(e, s);
+           }
+           (void)cuda::launch(*kernels().writer, {1, 1}, s, {d, nullptr},
+                              [](const cusim::KernelContext&) {});
+           if (!racy) {
+             (void)cuda::event_record(e, s);
+           }
+           (void)cuda::event_synchronize(e);
+           (void)mpi::send(env.comm, d, kN / 2, type, 1, 0);
+           (void)cuda::event_destroy(e);
+           (void)cuda::stream_destroy(s);
+         } else {
+           (void)mpi::recv(env.comm, d, kN / 2, type, 0, 0);
+         }
+         (void)cuda::device_synchronize();
+         (void)cuda::free(d);
+       });
+
+  show("5. host computing on managed memory during kernel execution (§IV-A-f)",
+       "cudaDeviceSynchronize() before the host access", true,
+       [&](capi::RankEnv& env, bool racy) {
+         if (env.rank() == 0) {
+           double* m = nullptr;
+           (void)cuda::malloc_managed(&m, kN);
+           (void)cuda::launch(*kernels().writer, {1, 1}, nullptr, {m, nullptr},
+                              [](const cusim::KernelContext&) {});
+           if (!racy) {
+             (void)cuda::device_synchronize();
+           }
+           capi::checked_store(&m[0], 1.0);
+           (void)cuda::device_synchronize();
+           (void)cuda::free(m);
+         }
+         (void)mpi::barrier(env.comm);
+       });
+
+  show("6. cudaMemset is asynchronous: memset -> MPI_Send (§III-B2)",
+       "cudaDeviceSynchronize() after the memset", true,
+       [&](capi::RankEnv& env, bool racy) {
+         double* d = nullptr;
+         (void)cuda::malloc_device(&d, kN);
+         if (env.rank() == 0) {
+           (void)cuda::memset(d, 0, kN * sizeof(double));
+           if (!racy) {
+             (void)cuda::device_synchronize();
+           }
+           (void)mpi::send(env.comm, d, kN / 2, type, 1, 0);
+         } else {
+           (void)mpi::recv(env.comm, d, kN / 2, type, 0, 0);
+         }
+         (void)cuda::device_synchronize();
+         (void)cuda::free(d);
+       });
+
+  std::printf("gallery complete\n");
+  return 0;
+}

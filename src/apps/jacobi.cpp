@@ -1,0 +1,237 @@
+#include "apps/jacobi.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "capi/cuda.hpp"
+#include "capi/memaccess.hpp"
+#include "capi/mpi.hpp"
+#include "common/assert.hpp"
+
+namespace apps {
+namespace {
+
+/// Kernel IR for the Jacobi solver, built once. The jacobi kernel forwards
+/// its pointers through a nested stencil helper, exercising the
+/// interprocedural analysis on a real app (paper Fig. 8).
+struct JacobiKernels {
+  kir::Module module;
+  const kir::KernelInfo* jacobi{};
+  const kir::KernelInfo* norm{};
+  const kir::KernelInfo* init{};
+  std::unique_ptr<kir::KernelRegistry> registry;
+
+  JacobiKernels() {
+    // stencil_point(next*, prev*, idx): next[idx] = f(prev[idx +/- ...])
+    kir::Function* stencil = module.create_function("jacobi_stencil_point", {true, true, false});
+    {
+      const auto next = stencil->param(0);
+      const auto prev = stencil->param(1);
+      const auto idx = stencil->param(2);
+      const auto up = stencil->load(stencil->gep(prev, idx));
+      const auto down = stencil->load(stencil->gep(prev, idx));
+      const auto sum = stencil->arith(up, down);
+      stencil->store(stencil->gep(next, idx), sum);
+      stencil->ret();
+    }
+    // jacobi_kernel(next*, prev*, rows, cols): calls the stencil helper.
+    kir::Function* jacobi_fn = module.create_function("jacobi_kernel", {true, true, false, false});
+    {
+      const auto next = jacobi_fn->param(0);
+      const auto prev = jacobi_fn->param(1);
+      const auto tid = jacobi_fn->constant();
+      (void)jacobi_fn->call(stencil, {next, prev, tid});
+      jacobi_fn->ret();
+    }
+    // norm_kernel(partial*, next*, prev*): partial[b] = sum (next-prev)^2
+    kir::Function* norm_fn = module.create_function("jacobi_norm_kernel", {true, true, true});
+    {
+      const auto partial = norm_fn->param(0);
+      const auto next = norm_fn->param(1);
+      const auto prev = norm_fn->param(2);
+      const auto a = norm_fn->load(norm_fn->gep(next, norm_fn->constant()));
+      const auto b = norm_fn->load(norm_fn->gep(prev, norm_fn->constant()));
+      norm_fn->store(norm_fn->gep(partial, norm_fn->constant()), norm_fn->arith(a, b));
+      norm_fn->ret();
+    }
+    // init_kernel(grid*, rows, cols): boundary/initial conditions.
+    kir::Function* init_fn = module.create_function("jacobi_init_kernel", {true, false, false});
+    {
+      init_fn->store(init_fn->gep(init_fn->param(0), init_fn->constant()), init_fn->constant());
+      init_fn->ret();
+    }
+    registry = std::make_unique<kir::KernelRegistry>(module);
+    jacobi = registry->lookup(jacobi_fn);
+    norm = registry->lookup(norm_fn);
+    init = registry->lookup(init_fn);
+    CUSAN_ASSERT(jacobi != nullptr && norm != nullptr && init != nullptr);
+    // The analysis must classify: next=write (via helper), prev=read.
+    CUSAN_ASSERT(jacobi->param_modes[0] == kir::AccessMode::kWrite);
+    CUSAN_ASSERT(jacobi->param_modes[1] == kir::AccessMode::kRead);
+  }
+};
+
+const JacobiKernels& kernels() {
+  static const JacobiKernels k;
+  return k;
+}
+
+}  // namespace
+
+JacobiResult run_jacobi_rank(capi::RankEnv& env, const JacobiConfig& config) {
+  namespace cuda = capi::cuda;
+  namespace mpi = capi::mpi;
+  const int rank = env.rank();
+  const int size = env.size();
+  const std::size_t cols = config.cols;
+  CUSAN_ASSERT_MSG(config.rows % static_cast<std::size_t>(size) == 0,
+                   "rows must divide evenly across ranks");
+  const std::size_t local_rows = config.rows / static_cast<std::size_t>(size);
+  const std::size_t padded_rows = local_rows + 2;  // +2 halo rows
+  const std::size_t n = padded_rows * cols;
+
+  double* d_a = nullptr;
+  double* d_b = nullptr;
+  double* d_norm = nullptr;
+  CUSAN_ASSERT(cuda::malloc_device(&d_a, n) == cusim::Error::kSuccess);
+  CUSAN_ASSERT(cuda::malloc_device(&d_b, n) == cusim::Error::kSuccess);
+  CUSAN_ASSERT(cuda::malloc_device(&d_norm, padded_rows) == cusim::Error::kSuccess);
+
+  cusim::Stream* s_compute = nullptr;
+  cusim::Stream* s_norm = nullptr;
+  cusim::Event* compute_done = nullptr;
+  CUSAN_ASSERT(cuda::stream_create(&s_compute) == cusim::Error::kSuccess);
+  CUSAN_ASSERT(cuda::stream_create(&s_norm) == cusim::Error::kSuccess);
+  CUSAN_ASSERT(cuda::event_create(&compute_done) == cusim::Error::kSuccess);
+
+  // Initial condition: zero interior, hot left/right boundary columns.
+  (void)cuda::memset(d_a, 0, n * sizeof(double));
+  (void)cuda::memset(d_b, 0, n * sizeof(double));
+  const auto launch_init = [&](double* grid) {
+    (void)cuda::launch(
+        *kernels().init, cusim::LaunchDims{static_cast<unsigned>(padded_rows), 1}, s_compute,
+        {grid, nullptr, nullptr}, [grid, padded_rows, cols](const cusim::KernelContext&) {
+          for (std::size_t r = 0; r < padded_rows; ++r) {
+            grid[r * cols] = 1.0;
+            grid[r * cols + cols - 1] = 1.0;
+          }
+        });
+  };
+  launch_init(d_a);
+  launch_init(d_b);
+  (void)cuda::device_synchronize();
+
+  // Host-side norm staging buffer participates in MPI_Allreduce.
+  std::vector<double> h_partial(padded_rows, 0.0);
+  cuda::register_host_buffer(h_partial.data(), h_partial.size());
+  double residual = 0.0;
+
+  double* d_old = d_a;
+  double* d_new = d_b;
+  const auto type = mpisim::Datatype::float64();
+
+  for (std::size_t iter = 0; iter < config.iterations; ++iter) {
+    // Jacobi sweep over the interior (rows 1..local_rows). In the seeded-race
+    // variant the body skips the boundary rows the exchange touches: CuSan's
+    // detection works on the statically derived whole-range annotation, so
+    // the race is still reported while the binary stays free of a physical
+    // (UB) race — see DESIGN.md.
+    double* next = d_new;
+    const double* prev = d_old;
+    const std::size_t row_begin = config.skip_pre_mpi_sync ? 2 : 1;
+    const std::size_t row_end = config.skip_pre_mpi_sync ? local_rows - 1 : local_rows;
+    (void)cuda::launch(*kernels().jacobi,
+                       cusim::LaunchDims{static_cast<unsigned>(local_rows),
+                                         static_cast<unsigned>(cols)},
+                       s_compute, {next, prev, nullptr, nullptr},
+                       [next, prev, row_begin, row_end, cols](const cusim::KernelContext&) {
+                         for (std::size_t r = row_begin; r <= row_end; ++r) {
+                           for (std::size_t c = 1; c + 1 < cols; ++c) {
+                             const std::size_t i = r * cols + c;
+                             next[i] = 0.25 * (prev[i - 1] + prev[i + 1] + prev[i - cols] +
+                                               prev[i + cols]);
+                           }
+                         }
+                       });
+    (void)cuda::event_record(compute_done, s_compute);
+
+    // The seeded-race variant skips the norm pipeline: the demonstrated race
+    // is the sweep-vs-exchange conflict, and without the host sync the norm
+    // stream could physically overlap later sweeps.
+    const bool compute_norm = !config.skip_pre_mpi_sync && (iter % config.norm_interval) == 0;
+    if (compute_norm) {
+      // Norm kernel waits for the sweep via the event, on its own stream.
+      (void)cuda::stream_wait_event(s_norm, compute_done);
+      double* partial = d_norm;
+      (void)cuda::launch(*kernels().norm,
+                         cusim::LaunchDims{static_cast<unsigned>(padded_rows), 1}, s_norm,
+                         {partial, next, prev},
+                         [partial, next, prev, local_rows, cols](const cusim::KernelContext&) {
+                           for (std::size_t r = 1; r <= local_rows; ++r) {
+                             double acc = 0.0;
+                             for (std::size_t c = 1; c + 1 < cols; ++c) {
+                               const double d = next[r * cols + c] - prev[r * cols + c];
+                               acc += d * d;
+                             }
+                             partial[r] = acc;
+                           }
+                         });
+    }
+
+    // Synchronize the device before the dependent MPI exchange (paper
+    // Fig. 4 line 4). Syncing s_norm transitively covers the sweep through
+    // the recorded event; the racy variant skips this, leaving the kernels
+    // concurrent with the halo communication.
+    if (!config.skip_pre_mpi_sync) {
+      (void)cuda::stream_synchronize(compute_norm ? s_norm : s_compute);
+    }
+
+    // Blocking halo exchange of device pointers (CUDA-aware MPI).
+    const int up = rank - 1;
+    const int down = rank + 1;
+    if (up >= 0) {
+      (void)mpi::sendrecv(env.comm, d_new + cols, cols, type, up, 0, d_new, cols, type, up, 1);
+    }
+    if (down < size) {
+      (void)mpi::sendrecv(env.comm, d_new + local_rows * cols, cols, type, down, 1,
+                          d_new + (local_rows + 1) * cols, cols, type, down, 0);
+    }
+
+    if (compute_norm) {
+      // D2H copy of the block sums (synchronous w.r.t. host), host reduce,
+      // then the global reduction.
+      (void)cuda::memcpy(h_partial.data(), d_norm, padded_rows * sizeof(double),
+                         cusim::MemcpyDir::kDeviceToHost);
+      // Only rows 1..local_rows carry block sums (the halo slots of d_norm
+      // are never written by the kernel).
+      double local = 0.0;
+      for (std::size_t r = 1; r <= local_rows; ++r) {
+        local += capi::checked_load(&h_partial[r]);
+      }
+      double global = 0.0;
+      capi::annotate_host_reads(&local, sizeof(double), "jacobi norm contribution");
+      (void)mpi::allreduce(env.comm, &local, &global, 1, type, mpisim::ReduceOp::kSum);
+      residual = std::sqrt(global);
+    }
+
+    std::swap(d_old, d_new);
+  }
+
+  (void)cuda::device_synchronize();
+  cuda::unregister_host_buffer(h_partial.data());
+  (void)cuda::event_destroy(compute_done);
+  (void)cuda::stream_destroy(s_compute);
+  (void)cuda::stream_destroy(s_norm);
+  (void)cuda::free(d_a);
+  (void)cuda::free(d_b);
+  (void)cuda::free(d_norm);
+
+  JacobiResult result;
+  result.final_residual = residual;
+  result.iterations_run = config.iterations;
+  result.domain_bytes_per_rank = 2 * n * sizeof(double);
+  return result;
+}
+
+}  // namespace apps

@@ -1,0 +1,38 @@
+// CUDA-aware MPI Jacobi solver (paper §V, modelled on the NVIDIA
+// cuda-aware-mpi-example): 2D Laplace relaxation, row-decomposed across
+// ranks, halo rows exchanged with *blocking* sendrecv of device pointers.
+// Uses two user streams plus an event dependency, so the CuSan legacy/event
+// paths are exercised; the norm is reduced via device kernel + D2H memcpy +
+// MPI_Allreduce.
+#pragma once
+
+#include <cstddef>
+
+#include "capi/session.hpp"
+
+namespace apps {
+
+struct JacobiConfig {
+  /// Global domain (rows x cols); rows are split across ranks.
+  std::size_t rows = 512;
+  std::size_t cols = 256;
+  std::size_t iterations = 100;
+  /// Inject the paper's CUDA-to-MPI race: skip the stream synchronization
+  /// between the compute kernel and the dependent MPI halo exchange
+  /// (paper Fig. 4 without line 4).
+  bool skip_pre_mpi_sync = false;
+  /// How often the residual norm is computed/reduced (1 = every iteration).
+  std::size_t norm_interval = 1;
+};
+
+struct JacobiResult {
+  double final_residual{};
+  std::size_t iterations_run{};
+  /// Device bytes of the two working arrays per rank (tracked-memory proxy).
+  std::size_t domain_bytes_per_rank{};
+};
+
+/// Run the solver body for one rank (use with capi::run_session).
+JacobiResult run_jacobi_rank(capi::RankEnv& env, const JacobiConfig& config);
+
+}  // namespace apps

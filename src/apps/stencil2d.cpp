@@ -1,0 +1,232 @@
+#include "apps/stencil2d.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "capi/cuda.hpp"
+#include "capi/memaccess.hpp"
+#include "capi/mpi.hpp"
+#include "common/assert.hpp"
+
+namespace apps {
+namespace {
+
+/// Kernel IR for the smoother. The row loop is modelled with a phi-based
+/// induction pointer (exercising the analysis' back-edge handling) feeding a
+/// nested per-row helper.
+struct StencilKernels {
+  kir::Module module;
+  const kir::KernelInfo* smooth{};
+  const kir::KernelInfo* sum{};
+  std::unique_ptr<kir::KernelRegistry> registry;
+
+  StencilKernels() {
+    // row_update(next*, prev*, i): next[i] = avg(prev neighbors)
+    kir::Function* row = module.create_function("st_row_update", {true, true, false});
+    {
+      const auto next = row->param(0);
+      const auto prev = row->param(1);
+      const auto i = row->param(2);
+      const auto v = row->load(row->gep(prev, i));
+      row->store(row->gep(next, i), v);
+      row->ret();
+    }
+    // smooth(next*, prev*, n): loop over rows via phi induction.
+    kir::Function* smooth_fn = module.create_function("st_smooth", {true, true, false});
+    {
+      const auto next = smooth_fn->param(0);
+      const auto prev = smooth_fn->param(1);
+      const auto row_next = smooth_fn->phi({next});
+      const auto row_prev = smooth_fn->phi({prev});
+      (void)smooth_fn->call(row, {row_next, row_prev, smooth_fn->constant()});
+      const auto adv_next = smooth_fn->gep(row_next, smooth_fn->constant());
+      const auto adv_prev = smooth_fn->gep(row_prev, smooth_fn->constant());
+      smooth_fn->add_phi_incoming(row_next, adv_next);  // loop back-edges
+      smooth_fn->add_phi_incoming(row_prev, adv_prev);
+      smooth_fn->ret();
+    }
+    // sum(partial*, field*): partial[b] = sum(field row b)
+    kir::Function* sum_fn = module.create_function("st_sum", {true, true});
+    {
+      const auto partial = sum_fn->param(0);
+      const auto field = sum_fn->param(1);
+      sum_fn->store(sum_fn->gep(partial, sum_fn->constant()),
+                    sum_fn->load(sum_fn->gep(field, sum_fn->constant())));
+      sum_fn->ret();
+    }
+    registry = std::make_unique<kir::KernelRegistry>(module);
+    smooth = registry->lookup(smooth_fn);
+    sum = registry->lookup(sum_fn);
+    CUSAN_ASSERT(smooth != nullptr && sum != nullptr);
+    CUSAN_ASSERT(smooth->param_modes[0] == kir::AccessMode::kWrite);
+    CUSAN_ASSERT(smooth->param_modes[1] == kir::AccessMode::kRead);
+  }
+};
+
+const StencilKernels& kernels() {
+  static const StencilKernels k;
+  return k;
+}
+
+}  // namespace
+
+Stencil2DResult run_stencil2d_rank(capi::RankEnv& env, const Stencil2DConfig& config) {
+  namespace cuda = capi::cuda;
+  namespace mpi = capi::mpi;
+  CUSAN_ASSERT_MSG(config.px * config.py == env.size(), "rank grid must match world size");
+  CUSAN_ASSERT(config.cols % static_cast<std::size_t>(config.px) == 0);
+  CUSAN_ASSERT(config.rows % static_cast<std::size_t>(config.py) == 0);
+
+  const int gx = env.rank() % config.px;  // rank-grid coordinates
+  const int gy = env.rank() / config.px;
+  const std::size_t local_rows = config.rows / static_cast<std::size_t>(config.py);
+  const std::size_t local_cols = config.cols / static_cast<std::size_t>(config.px);
+  const std::size_t pr = local_rows + 2;  // padded
+  const std::size_t pc = local_cols + 2;
+  const std::size_t n = pr * pc;
+
+  const int west = gx > 0 ? env.rank() - 1 : -1;
+  const int east = gx + 1 < config.px ? env.rank() + 1 : -1;
+  const int north = gy > 0 ? env.rank() - config.px : -1;
+  const int south = gy + 1 < config.py ? env.rank() + config.px : -1;
+
+  double* d_a = nullptr;
+  double* d_b = nullptr;
+  double* d_sum = nullptr;
+  CUSAN_ASSERT(cuda::malloc_device(&d_a, n) == cusim::Error::kSuccess);
+  CUSAN_ASSERT(cuda::malloc_device(&d_b, n) == cusim::Error::kSuccess);
+  CUSAN_ASSERT(cuda::malloc_device(&d_sum, pr) == cusim::Error::kSuccess);
+  (void)cuda::memset(d_a, 0, n * sizeof(double));
+  (void)cuda::memset(d_b, 0, n * sizeof(double));
+
+  // Initial condition: a hot plate in the global center, written via a
+  // host staging buffer.
+  {
+    std::vector<double> h(n, 0.0);
+    for (std::size_t r = 1; r <= local_rows; ++r) {
+      const std::size_t global_row = static_cast<std::size_t>(gy) * local_rows + r - 1;
+      for (std::size_t c = 1; c <= local_cols; ++c) {
+        const std::size_t global_col = static_cast<std::size_t>(gx) * local_cols + c - 1;
+        const bool hot = global_row >= config.rows / 4 && global_row < 3 * config.rows / 4 &&
+                         global_col >= config.cols / 4 && global_col < 3 * config.cols / 4;
+        h[r * pc + c] = hot ? 4.0 : 0.0;
+      }
+    }
+    (void)cuda::memcpy(d_a, h.data(), n * sizeof(double), cusim::MemcpyDir::kHostToDevice);
+  }
+
+  // Column halo type: one element per interior row, strided by the padded
+  // row length (a genuinely non-contiguous transfer).
+  const auto dbl = mpisim::Datatype::float64();
+  const auto column = mpisim::Datatype::vector(dbl, local_rows, 1, pc);
+
+  // Checksum reductions travel on their own communicator (MPI_Comm_dup).
+  mpisim::Comm reduce_comm;
+  CUSAN_ASSERT(mpi::comm_dup(env.comm, &reduce_comm) == mpisim::MpiError::kSuccess);
+
+  std::vector<double> h_partial(pr, 0.0);
+  cuda::register_host_buffer(h_partial.data(), h_partial.size());
+
+  double* d_prev = d_a;
+  double* d_next = d_b;
+  const bool racy = config.skip_pre_exchange_sync;
+
+  for (std::size_t iter = 0; iter < config.iterations; ++iter) {
+    // 1. Non-blocking 4-neighbor halo exchange on d_prev. In the correct
+    // version the previous iteration's kernel (which produced d_prev) was
+    // synchronized before the loop came around; the racy variant omits that
+    // sync, so these sends read a buffer a kernel may still be writing.
+    mpisim::Request* reqs[8] = {};
+    std::size_t nreq = 0;
+    if (north >= 0) {
+      (void)mpi::irecv(env.comm, d_prev + 1, local_cols, dbl, north, 0, &reqs[nreq++]);
+      (void)mpi::isend(env.comm, d_prev + pc + 1, local_cols, dbl, north, 1, &reqs[nreq++]);
+    }
+    if (south >= 0) {
+      (void)mpi::irecv(env.comm, d_prev + (local_rows + 1) * pc + 1, local_cols, dbl, south, 1,
+                       &reqs[nreq++]);
+      (void)mpi::isend(env.comm, d_prev + local_rows * pc + 1, local_cols, dbl, south, 0,
+                       &reqs[nreq++]);
+    }
+    if (west >= 0) {
+      (void)mpi::irecv(env.comm, d_prev + pc, 1, column, west, 2, &reqs[nreq++]);
+      (void)mpi::isend(env.comm, d_prev + pc + 1, 1, column, west, 3, &reqs[nreq++]);
+    }
+    if (east >= 0) {
+      (void)mpi::irecv(env.comm, d_prev + pc + local_cols + 1, 1, column, east, 3, &reqs[nreq++]);
+      (void)mpi::isend(env.comm, d_prev + pc + local_cols, 1, column, east, 2, &reqs[nreq++]);
+    }
+    (void)mpi::waitall(env.comm, std::span(reqs, nreq));
+
+    // 2. Smoother over the interior. The racy variant's body skips the
+    // outermost interior ring so the seeded race stays free of physical
+    // conflicts (detection uses the declared whole-range modes, DESIGN.md).
+    double* next = d_next;
+    const double* prev = d_prev;
+    const std::size_t lo = racy ? 2 : 1;
+    const std::size_t row_hi = racy ? local_rows - 1 : local_rows;
+    const std::size_t col_hi = racy ? local_cols - 1 : local_cols;
+    (void)cuda::launch(
+        *kernels().smooth,
+        cusim::LaunchDims{static_cast<unsigned>(local_rows), static_cast<unsigned>(local_cols)},
+        nullptr, {next, prev, nullptr}, [=](const cusim::KernelContext&) {
+          for (std::size_t r = lo; r <= row_hi; ++r) {
+            for (std::size_t c = lo; c <= col_hi; ++c) {
+              const std::size_t i = r * pc + c;
+              next[i] = 0.2 * (prev[i] + prev[i - 1] + prev[i + 1] + prev[i - pc] + prev[i + pc]);
+            }
+          }
+        });
+
+    // 3. The kernel output becomes the next iteration's exchange source.
+    if (!racy) {
+      (void)cuda::device_synchronize();
+    }
+    std::swap(d_prev, d_next);
+  }
+  (void)cuda::device_synchronize();
+
+  // Global checksum on the dup'ed communicator.
+  {
+    double* partial = d_sum;
+    const double* field = d_prev;
+    (void)cuda::launch(*kernels().sum, cusim::LaunchDims{static_cast<unsigned>(local_rows), 1},
+                       nullptr, {partial, field},
+                       [=](const cusim::KernelContext&) {
+                         for (std::size_t r = 1; r <= local_rows; ++r) {
+                           double acc = 0.0;
+                           for (std::size_t c = 1; c <= local_cols; ++c) {
+                             acc += field[r * pc + c];
+                           }
+                           partial[r] = acc;
+                         }
+                       });
+    (void)cuda::device_synchronize();
+    (void)cuda::memcpy(h_partial.data(), d_sum, pr * sizeof(double),
+                       cusim::MemcpyDir::kDeviceToHost);
+  }
+  double local = 0.0;
+  for (std::size_t r = 1; r <= local_rows; ++r) {
+    local += capi::checked_load(&h_partial[r]);
+  }
+  double checksum = 0.0;
+  (void)mpi::allreduce(reduce_comm, &local, &checksum, 1, dbl, mpisim::ReduceOp::kSum);
+
+  double corner = 0.0;
+  (void)cuda::memcpy(&corner, d_prev + pc + 1, sizeof(double), cusim::MemcpyDir::kDeviceToHost);
+
+  cuda::unregister_host_buffer(h_partial.data());
+  (void)cuda::free(d_a);
+  (void)cuda::free(d_b);
+  (void)cuda::free(d_sum);
+
+  Stencil2DResult result;
+  result.checksum = checksum;
+  result.corner_value = corner;
+  result.iterations_run = config.iterations;
+  return result;
+}
+
+}  // namespace apps

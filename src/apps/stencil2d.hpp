@@ -1,0 +1,35 @@
+// 2D-decomposed stencil mini-app: a 5-point Laplace smoother on a PX x PY
+// rank grid. Row halos are contiguous; COLUMN halos are exchanged with a
+// derived MPI vector datatype (stride = padded row length), so MUST's
+// non-contiguous buffer annotation and the type machinery run inside a real
+// application. Halo exchange is fully non-blocking (up to 8 requests per
+// iteration, completed with Waitall); the checksum reduction runs on a
+// dup'ed communicator.
+#pragma once
+
+#include <cstddef>
+
+#include "capi/session.hpp"
+
+namespace apps {
+
+struct Stencil2DConfig {
+  std::size_t rows = 64;   ///< global rows (divisible by py)
+  std::size_t cols = 64;   ///< global cols (divisible by px)
+  int px = 2;              ///< rank-grid width  (px * py == world size)
+  int py = 1;              ///< rank-grid height
+  std::size_t iterations = 20;
+  /// Inject the CUDA-to-MPI race: skip the device synchronization between
+  /// the stencil kernel and the halo Isends (paper Fig. 4 case i).
+  bool skip_pre_exchange_sync = false;
+};
+
+struct Stencil2DResult {
+  double checksum{};       ///< global sum of the field (conserved interior mass proxy)
+  double corner_value{};   ///< rank 0's first interior cell (regression probe)
+  std::size_t iterations_run{};
+};
+
+Stencil2DResult run_stencil2d_rank(capi::RankEnv& env, const Stencil2DConfig& config);
+
+}  // namespace apps

@@ -1,0 +1,40 @@
+// TeaLeaf-style heat conduction mini-app (paper §V): implicit 2D heat
+// equation solved per timestep with a matrix-free conjugate-gradient solver.
+// Row-decomposed across ranks; the CG direction vector's halo rows are
+// exchanged with *non-blocking* CUDA-aware MPI (Irecv/Isend + Waitall), all
+// device work on the legacy default stream, work arrays cleared with
+// cudaMemset each timestep — matching the paper's Table I profile shape
+// (1 stream, memsets, non-blocking requests).
+#pragma once
+
+#include <cstddef>
+
+#include "capi/session.hpp"
+
+namespace apps {
+
+struct TeaLeafConfig {
+  /// Global domain (rows x cols); rows are split across ranks.
+  std::size_t rows = 128;
+  std::size_t cols = 64;
+  std::size_t timesteps = 12;
+  std::size_t max_cg_iters = 16;
+  double dt = 0.25;          ///< implicit timestep scale (conduction number)
+  double cg_tolerance = 1e-12;
+  /// Inject the paper's MPI-to-CUDA race: launch the kernel that consumes
+  /// the halo rows *before* MPI_Waitall on the Irecv requests (paper Fig. 4
+  /// case ii violated).
+  bool skip_wait_before_kernel = false;
+};
+
+struct TeaLeafResult {
+  double final_residual{};       ///< last CG residual norm
+  double temperature_sum{};      ///< global energy (conservation check)
+  std::size_t total_cg_iters{};
+  std::size_t domain_bytes_per_rank{};
+};
+
+/// Run the solver body for one rank (use with capi::run_session).
+TeaLeafResult run_tealeaf_rank(capi::RankEnv& env, const TeaLeafConfig& config);
+
+}  // namespace apps

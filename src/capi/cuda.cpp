@@ -1,0 +1,372 @@
+#include "capi/cuda.hpp"
+
+#include <vector>
+
+namespace capi::cuda {
+
+using detail::ctx;
+
+// -- Memory -----------------------------------------------------------------------
+
+cusim::Error malloc_device_typed(void** out, typeart::TypeId type, std::size_t count) {
+  auto& c = ctx();
+  const std::size_t elem = c.types() != nullptr ? c.types()->type_db().size_of(type) : 0;
+  CUSAN_ASSERT_MSG(elem != 0 || c.types() == nullptr, "unknown type id");
+  const cusim::Error err = c.device().malloc_device(out, (elem != 0 ? elem : 1) * count);
+  if (err == cusim::Error::kSuccess) {
+    detail::on_alloc(*out, type, count, typeart::AllocKind::kDevice);
+  }
+  return err;
+}
+
+cusim::Error malloc_managed_typed(void** out, typeart::TypeId type, std::size_t count) {
+  auto& c = ctx();
+  const std::size_t elem = c.types() != nullptr ? c.types()->type_db().size_of(type) : 0;
+  const cusim::Error err = c.device().malloc_managed(out, (elem != 0 ? elem : 1) * count);
+  if (err == cusim::Error::kSuccess) {
+    detail::on_alloc(*out, type, count, typeart::AllocKind::kManaged);
+  }
+  return err;
+}
+
+cusim::Error free(void* ptr) {
+  auto& c = ctx();
+  if (auto* cs = c.cusan_rt()) {
+    cs->on_free(ptr);
+  }
+  if (auto* types = c.types(); types != nullptr && ptr != nullptr) {
+    (void)types->on_free(ptr);
+  }
+  return c.device().free(ptr);
+}
+
+cusim::Error free_async(void* ptr, cusim::Stream* stream) {
+  auto& c = ctx();
+  if (stream == nullptr) {
+    stream = c.device().default_stream();
+  }
+  // All annotations for this allocation were issued at interception time, so
+  // resetting the tool state at the call is safe even though the physical
+  // free is stream-ordered.
+  if (auto* cs = c.cusan_rt()) {
+    cs->on_free(ptr);
+  }
+  if (auto* types = c.types(); types != nullptr && ptr != nullptr) {
+    (void)types->on_free(ptr);
+  }
+  return c.device().free_async(ptr, stream);
+}
+
+cusim::Error free_host(void* ptr) {
+  auto& c = ctx();
+  if (auto* cs = c.cusan_rt()) {
+    cs->on_free(ptr);
+  }
+  if (auto* types = c.types(); types != nullptr && ptr != nullptr) {
+    (void)types->on_free(ptr);
+  }
+  return c.device().free_host(ptr);
+}
+
+void unregister_host_buffer(void* ptr) {
+  auto& c = ctx();
+  if (auto* tsan = c.tsan()) {
+    // Forget shadow state so reused stack/heap addresses cannot alias.
+    if (auto* types = c.types()) {
+      if (const auto info = types->find(ptr); info.has_value()) {
+        tsan->reset_shadow_range(reinterpret_cast<void*>(info->base), info->extent);
+      }
+    }
+  }
+  if (auto* types = c.types(); types != nullptr && ptr != nullptr) {
+    (void)types->on_free(ptr);
+  }
+}
+
+// -- Data movement -------------------------------------------------------------------
+
+cusim::Error memcpy(void* dst, const void* src, std::size_t bytes, cusim::MemcpyDir dir) {
+  auto& c = ctx();
+  cusim::MemcpyDir resolved = dir;
+  if (const cusim::Error err = c.device().resolve_memcpy_dir(dst, src, resolved);
+      err != cusim::Error::kSuccess) {
+    return err;
+  }
+  if (auto* cs = c.cusan_rt()) {
+    cs->on_memcpy(dst, src, bytes, resolved);
+  }
+  return c.device().memcpy(dst, src, bytes, resolved);
+}
+
+cusim::Error memcpy_async(void* dst, const void* src, std::size_t bytes, cusim::MemcpyDir dir,
+                          cusim::Stream* stream) {
+  auto& c = ctx();
+  if (stream == nullptr) {
+    stream = c.device().default_stream();
+  }
+  cusim::MemcpyDir resolved = dir;
+  if (const cusim::Error err = c.device().resolve_memcpy_dir(dst, src, resolved);
+      err != cusim::Error::kSuccess) {
+    return err;
+  }
+  if (auto* cs = c.cusan_rt()) {
+    cs->on_memcpy_async(dst, src, bytes, resolved, stream);
+  }
+  return c.device().memcpy_async(dst, src, bytes, resolved, stream);
+}
+
+cusim::Error memset(void* dst, int value, std::size_t bytes) {
+  auto& c = ctx();
+  if (auto* cs = c.cusan_rt()) {
+    cs->on_memset(dst, bytes);
+  }
+  return c.device().memset(dst, value, bytes);
+}
+
+cusim::Error memset_async(void* dst, int value, std::size_t bytes, cusim::Stream* stream) {
+  auto& c = ctx();
+  if (stream == nullptr) {
+    stream = c.device().default_stream();
+  }
+  if (auto* cs = c.cusan_rt()) {
+    cs->on_memset_async(dst, bytes, stream);
+  }
+  return c.device().memset_async(dst, value, bytes, stream);
+}
+
+cusim::Error host_unregister(void* ptr) {
+  auto& c = ctx();
+  if (auto* types = c.types(); types != nullptr && ptr != nullptr) {
+    if (auto* tsan = c.tsan()) {
+      if (const auto info = types->find(ptr); info.has_value()) {
+        tsan->reset_shadow_range(reinterpret_cast<void*>(info->base), info->extent);
+      }
+    }
+    (void)types->on_free(ptr);
+  }
+  return c.device().host_unregister(ptr);
+}
+
+cusim::Error memcpy_2d(void* dst, std::size_t dpitch, const void* src, std::size_t spitch,
+                       std::size_t width, std::size_t height, cusim::MemcpyDir dir) {
+  auto& c = ctx();
+  cusim::MemcpyDir resolved = dir;
+  if (const cusim::Error err = c.device().resolve_memcpy_dir(dst, src, resolved);
+      err != cusim::Error::kSuccess) {
+    return err;
+  }
+  if (auto* cs = c.cusan_rt()) {
+    cs->on_memcpy_2d(dst, dpitch, src, spitch, width, height, resolved, nullptr, /*async=*/false);
+  }
+  return c.device().memcpy_2d(dst, dpitch, src, spitch, width, height, resolved);
+}
+
+cusim::Error memcpy_2d_async(void* dst, std::size_t dpitch, const void* src, std::size_t spitch,
+                             std::size_t width, std::size_t height, cusim::MemcpyDir dir,
+                             cusim::Stream* stream) {
+  auto& c = ctx();
+  if (stream == nullptr) {
+    stream = c.device().default_stream();
+  }
+  cusim::MemcpyDir resolved = dir;
+  if (const cusim::Error err = c.device().resolve_memcpy_dir(dst, src, resolved);
+      err != cusim::Error::kSuccess) {
+    return err;
+  }
+  if (auto* cs = c.cusan_rt()) {
+    cs->on_memcpy_2d(dst, dpitch, src, spitch, width, height, resolved, stream, /*async=*/true);
+  }
+  return c.device().memcpy_2d_async(dst, dpitch, src, spitch, width, height, resolved, stream);
+}
+
+cusim::Error mem_prefetch_async(const void* ptr, std::size_t bytes, cusim::Stream* stream) {
+  auto& c = ctx();
+  if (stream == nullptr) {
+    stream = c.device().default_stream();
+  }
+  const cusim::Error err = c.device().mem_prefetch_async(ptr, bytes, stream);
+  if (err == cusim::Error::kSuccess) {
+    if (auto* cs = c.cusan_rt()) {
+      cs->on_mem_prefetch(stream);
+    }
+  }
+  return err;
+}
+
+cusim::Error launch_host_func(cusim::Stream* stream, std::function<void()> fn) {
+  auto& c = ctx();
+  if (stream == nullptr) {
+    stream = c.device().default_stream();
+  }
+  if (auto* cs = c.cusan_rt()) {
+    cs->on_host_func(stream);
+  }
+  return c.device().launch_host_func(stream, std::move(fn));
+}
+
+// -- Streams / events / synchronization ---------------------------------------------------
+
+cusim::Error stream_create(cusim::Stream** out, cusim::StreamFlags flags) {
+  auto& c = ctx();
+  const cusim::Error err = c.device().stream_create(out, flags);
+  if (err == cusim::Error::kSuccess) {
+    if (auto* cs = c.cusan_rt()) {
+      cs->on_stream_create(*out);
+    }
+  }
+  return err;
+}
+
+cusim::Error stream_destroy(cusim::Stream* stream) {
+  auto& c = ctx();
+  if (auto* cs = c.cusan_rt()) {
+    cs->on_stream_destroy(stream);
+  }
+  return c.device().stream_destroy(stream);
+}
+
+cusim::Error stream_synchronize(cusim::Stream* stream) {
+  auto& c = ctx();
+  if (stream == nullptr) {
+    stream = c.device().default_stream();
+  }
+  const cusim::Error err = c.device().stream_synchronize(stream);
+  if (err == cusim::Error::kSuccess) {
+    if (auto* cs = c.cusan_rt()) {
+      cs->on_stream_synchronize(stream);
+    }
+  }
+  return err;
+}
+
+cusim::Error stream_query(cusim::Stream* stream) {
+  auto& c = ctx();
+  if (stream == nullptr) {
+    stream = c.device().default_stream();
+  }
+  const cusim::Error err = c.device().stream_query(stream);
+  if (err == cusim::Error::kSuccess) {
+    if (auto* cs = c.cusan_rt()) {
+      cs->on_stream_query_success(stream);
+    }
+  }
+  return err;
+}
+
+cusim::Error device_synchronize() {
+  auto& c = ctx();
+  const cusim::Error err = c.device().device_synchronize();
+  if (err == cusim::Error::kSuccess) {
+    if (auto* cs = c.cusan_rt()) {
+      // cudaDeviceSynchronize covers only the *current* device.
+      cs->on_device_synchronize(&c.device());
+    }
+  }
+  return err;
+}
+
+cusim::Error event_create(cusim::Event** out) {
+  auto& c = ctx();
+  const cusim::Error err = c.device().event_create(out);
+  if (err == cusim::Error::kSuccess) {
+    if (auto* cs = c.cusan_rt()) {
+      cs->on_event_create(*out);
+    }
+  }
+  return err;
+}
+
+cusim::Error event_destroy(cusim::Event* event) {
+  auto& c = ctx();
+  if (auto* cs = c.cusan_rt()) {
+    cs->on_event_destroy(event);
+  }
+  return c.device().event_destroy(event);
+}
+
+cusim::Error event_record(cusim::Event* event, cusim::Stream* stream) {
+  auto& c = ctx();
+  if (stream == nullptr) {
+    stream = c.device().default_stream();
+  }
+  const cusim::Error err = c.device().event_record(event, stream);
+  if (err == cusim::Error::kSuccess) {
+    if (auto* cs = c.cusan_rt()) {
+      cs->on_event_record(event, stream);
+    }
+  }
+  return err;
+}
+
+cusim::Error event_synchronize(cusim::Event* event) {
+  auto& c = ctx();
+  const cusim::Error err = c.device().event_synchronize(event);
+  if (err == cusim::Error::kSuccess) {
+    if (auto* cs = c.cusan_rt()) {
+      cs->on_event_synchronize(event);
+    }
+  }
+  return err;
+}
+
+cusim::Error event_query(cusim::Event* event) {
+  auto& c = ctx();
+  const cusim::Error err = c.device().event_query(event);
+  if (err == cusim::Error::kSuccess) {
+    if (auto* cs = c.cusan_rt()) {
+      cs->on_event_query_success(event);
+    }
+  }
+  return err;
+}
+
+cusim::Error stream_wait_event(cusim::Stream* stream, cusim::Event* event) {
+  auto& c = ctx();
+  if (stream == nullptr) {
+    stream = c.device().default_stream();
+  }
+  const cusim::Error err = c.device().stream_wait_event(stream, event);
+  if (err == cusim::Error::kSuccess) {
+    if (auto* cs = c.cusan_rt()) {
+      cs->on_stream_wait_event(stream, event);
+    }
+  }
+  return err;
+}
+
+cusim::Stream* default_stream() { return ctx().device().default_stream(); }
+
+cusim::Error set_device(int ordinal) {
+  return ctx().set_device(ordinal) ? cusim::Error::kSuccess : cusim::Error::kInvalidValue;
+}
+
+int get_device() { return ctx().current_device(); }
+
+int get_device_count() { return ctx().device_count(); }
+
+// -- Kernel launch ---------------------------------------------------------------------------
+
+cusim::Error launch(const kir::KernelInfo& info, cusim::LaunchDims dims, cusim::Stream* stream,
+                    std::initializer_list<const void*> ptr_args, cusim::KernelBody body) {
+  auto& c = ctx();
+  CUSAN_ASSERT_MSG(info.fn != nullptr, "kernel not registered");
+  CUSAN_ASSERT_MSG(ptr_args.size() == info.param_modes.size(),
+                   "kernel argument count mismatch with IR");
+  if (stream == nullptr) {
+    stream = c.device().default_stream();
+  }
+  // The instrumented callback runs before the actual launch (paper Fig. 9).
+  if (auto* cs = c.cusan_rt()) {
+    std::vector<cusan::KernelArgAccess> args;
+    args.reserve(ptr_args.size());
+    std::size_t i = 0;
+    for (const void* ptr : ptr_args) {
+      args.push_back(cusan::KernelArgAccess{ptr, info.param_modes[i]});
+      ++i;
+    }
+    cs->on_kernel_launch(stream, info.fn->name().c_str(), args);
+  }
+  return c.device().launch_kernel(stream, dims, std::move(body), info.fn->name());
+}
+
+}  // namespace capi::cuda

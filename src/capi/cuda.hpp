@@ -1,0 +1,175 @@
+// The checked CUDA API: what application CUDA calls compile to after the
+// CuSan + TypeART passes ran (paper Fig. 7/9). Every wrapper forwards to the
+// simulated device and, when the flavor enables them, issues the exact
+// callbacks the compiler-inserted instrumentation would issue:
+//   * TypeART alloc/free callbacks with compiler-derived element types,
+//   * CuSan callbacks before kernel launches / memory ops and around
+//     synchronization calls.
+// With all tools disabled the wrappers are plain pass-throughs (vanilla).
+#pragma once
+
+#include <initializer_list>
+
+#include "capi/context.hpp"
+#include "kir/registry.hpp"
+
+namespace capi::cuda {
+
+namespace detail {
+
+[[nodiscard]] inline ToolContext& ctx() {
+  ToolContext* current = ToolContext::current();
+  CUSAN_ASSERT_MSG(current != nullptr, "capi used outside a bound rank context");
+  return *current;
+}
+
+inline void on_alloc(void* ptr, typeart::TypeId type, std::size_t count,
+                     typeart::AllocKind kind) {
+  if (auto* types = ctx().types(); types != nullptr && ptr != nullptr) {
+    (void)types->on_alloc(ptr, type, count, kind);
+  }
+}
+
+}  // namespace detail
+
+// -- Memory ---------------------------------------------------------------------
+
+/// cudaMalloc with compiler-derived element type (TypeART extension §IV-C).
+template <typename T>
+cusim::Error malloc_device(T** out, std::size_t count) {
+  auto& c = detail::ctx();
+  const cusim::Error err =
+      c.device().malloc_device(reinterpret_cast<void**>(out), count * sizeof(T));
+  if (err == cusim::Error::kSuccess) {
+    detail::on_alloc(*out, typeart::builtin_type_id<T>(), count, typeart::AllocKind::kDevice);
+  }
+  return err;
+}
+
+/// cudaMallocManaged.
+template <typename T>
+cusim::Error malloc_managed(T** out, std::size_t count) {
+  auto& c = detail::ctx();
+  const cusim::Error err =
+      c.device().malloc_managed(reinterpret_cast<void**>(out), count * sizeof(T));
+  if (err == cusim::Error::kSuccess) {
+    detail::on_alloc(*out, typeart::builtin_type_id<T>(), count, typeart::AllocKind::kManaged);
+  }
+  return err;
+}
+
+/// cudaMallocHost / cudaHostAlloc (pinned).
+template <typename T>
+cusim::Error malloc_host(T** out, std::size_t count) {
+  auto& c = detail::ctx();
+  const cusim::Error err = c.device().malloc_host(reinterpret_cast<void**>(out), count * sizeof(T));
+  if (err == cusim::Error::kSuccess) {
+    detail::on_alloc(*out, typeart::builtin_type_id<T>(), count, typeart::AllocKind::kPinnedHost);
+  }
+  return err;
+}
+
+/// cudaMallocAsync: stream-ordered allocation.
+template <typename T>
+cusim::Error malloc_async(T** out, std::size_t count, cusim::Stream* stream) {
+  auto& c = detail::ctx();
+  if (stream == nullptr) {
+    stream = c.device().default_stream();
+  }
+  const cusim::Error err =
+      c.device().malloc_async(reinterpret_cast<void**>(out), count * sizeof(T), stream);
+  if (err == cusim::Error::kSuccess) {
+    detail::on_alloc(*out, typeart::builtin_type_id<T>(), count, typeart::AllocKind::kDevice);
+  }
+  return err;
+}
+
+/// cudaFreeAsync: frees once prior work on `stream` completed.
+cusim::Error free_async(void* ptr, cusim::Stream* stream);
+
+/// Struct-typed variants for user-registered layouts.
+cusim::Error malloc_device_typed(void** out, typeart::TypeId type, std::size_t count);
+cusim::Error malloc_managed_typed(void** out, typeart::TypeId type, std::size_t count);
+
+/// cudaFree (device or managed memory).
+cusim::Error free(void* ptr);
+/// cudaFreeHost.
+cusim::Error free_host(void* ptr);
+
+/// Register a plain (pageable) host allocation with TypeART, modelling the
+/// heap/stack instrumentation the TypeART pass inserts for host code.
+template <typename T>
+void register_host_buffer(T* ptr, std::size_t count) {
+  detail::on_alloc(ptr, typeart::builtin_type_id<T>(), count, typeart::AllocKind::kHostHeap);
+}
+
+void unregister_host_buffer(void* ptr);
+
+/// cudaHostRegister: pin an existing host region (UVA reports pinned host
+/// afterwards, changing implicit synchronization behaviour) and register it
+/// with TypeART.
+template <typename T>
+cusim::Error host_register(T* ptr, std::size_t count) {
+  auto& c = detail::ctx();
+  const cusim::Error err = c.device().host_register(ptr, count * sizeof(T));
+  if (err == cusim::Error::kSuccess) {
+    detail::on_alloc(ptr, typeart::builtin_type_id<T>(), count, typeart::AllocKind::kPinnedHost);
+  }
+  return err;
+}
+
+/// cudaHostUnregister.
+cusim::Error host_unregister(void* ptr);
+
+// -- Data movement ----------------------------------------------------------------
+
+cusim::Error memcpy(void* dst, const void* src, std::size_t bytes,
+                    cusim::MemcpyDir dir = cusim::MemcpyDir::kDefault);
+cusim::Error memcpy_async(void* dst, const void* src, std::size_t bytes, cusim::MemcpyDir dir,
+                          cusim::Stream* stream);
+cusim::Error memset(void* dst, int value, std::size_t bytes);
+cusim::Error memset_async(void* dst, int value, std::size_t bytes, cusim::Stream* stream);
+cusim::Error memcpy_2d(void* dst, std::size_t dpitch, const void* src, std::size_t spitch,
+                       std::size_t width, std::size_t height,
+                       cusim::MemcpyDir dir = cusim::MemcpyDir::kDefault);
+cusim::Error memcpy_2d_async(void* dst, std::size_t dpitch, const void* src, std::size_t spitch,
+                             std::size_t width, std::size_t height, cusim::MemcpyDir dir,
+                             cusim::Stream* stream);
+/// cudaMemPrefetchAsync (managed memory only).
+cusim::Error mem_prefetch_async(const void* ptr, std::size_t bytes, cusim::Stream* stream);
+/// cudaLaunchHostFunc.
+cusim::Error launch_host_func(cusim::Stream* stream, std::function<void()> fn);
+
+// -- Streams / events / synchronization ------------------------------------------------
+
+cusim::Error stream_create(cusim::Stream** out,
+                           cusim::StreamFlags flags = cusim::StreamFlags::kDefault);
+cusim::Error stream_destroy(cusim::Stream* stream);
+cusim::Error stream_synchronize(cusim::Stream* stream);
+cusim::Error stream_query(cusim::Stream* stream);
+cusim::Error device_synchronize();
+cusim::Error event_create(cusim::Event** out);
+cusim::Error event_destroy(cusim::Event* event);
+cusim::Error event_record(cusim::Event* event, cusim::Stream* stream);
+cusim::Error event_synchronize(cusim::Event* event);
+cusim::Error event_query(cusim::Event* event);
+cusim::Error stream_wait_event(cusim::Stream* stream, cusim::Event* event);
+
+/// The rank's legacy default stream (of the current device).
+[[nodiscard]] cusim::Stream* default_stream();
+
+/// cudaSetDevice / cudaGetDevice / cudaGetDeviceCount.
+cusim::Error set_device(int ordinal);
+[[nodiscard]] int get_device();
+[[nodiscard]] int get_device_count();
+
+// -- Kernel launch -----------------------------------------------------------------------
+
+/// Launch a kernel described by its kir registry entry (which carries the
+/// statically derived per-argument access modes). `ptr_args[i]` must
+/// correspond to the kernel IR's parameter i (pass nullptr for non-pointer
+/// parameters). `body` performs the actual computation.
+cusim::Error launch(const kir::KernelInfo& info, cusim::LaunchDims dims, cusim::Stream* stream,
+                    std::initializer_list<const void*> ptr_args, cusim::KernelBody body);
+
+}  // namespace capi::cuda

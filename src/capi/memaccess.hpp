@@ -1,0 +1,53 @@
+// Host memory-access instrumentation — what the TSan compiler pass emits for
+// plain loads/stores in user code. Applications use these accessors on
+// host-visible shared buffers (MPI buffers, managed memory); with TSan
+// disabled they compile down to the raw access.
+#pragma once
+
+#include "capi/context.hpp"
+
+namespace capi {
+
+namespace detail {
+
+[[nodiscard]] inline rsan::Runtime* tsan() {
+  ToolContext* ctx = ToolContext::current();
+  return ctx != nullptr ? ctx->tsan() : nullptr;
+}
+
+}  // namespace detail
+
+/// Instrumented scalar load.
+template <typename T>
+[[nodiscard]] inline T checked_load(const T* ptr) {
+  if (auto* rt = detail::tsan()) {
+    rt->plain_read(ptr, sizeof(T));
+  }
+  return *ptr;
+}
+
+/// Instrumented scalar store.
+template <typename T>
+inline void checked_store(T* ptr, T value) {
+  if (auto* rt = detail::tsan()) {
+    rt->plain_write(ptr, sizeof(T));
+  }
+  *ptr = value;
+}
+
+/// Bulk access annotations for host loops over shared buffers. The compiler
+/// pass instruments each access individually; annotating the loop's range
+/// once is the standard hand-optimization with identical detection power.
+inline void annotate_host_reads(const void* ptr, std::size_t bytes, const char* label = nullptr) {
+  if (auto* rt = detail::tsan()) {
+    rt->read_range(ptr, bytes, label);
+  }
+}
+
+inline void annotate_host_writes(void* ptr, std::size_t bytes, const char* label = nullptr) {
+  if (auto* rt = detail::tsan()) {
+    rt->write_range(ptr, bytes, label);
+  }
+}
+
+}  // namespace capi

@@ -1,0 +1,36 @@
+#include "capi/session.hpp"
+
+namespace capi {
+
+std::vector<RankResult> run_session(const SessionConfig& config, const RankMain& rank_main) {
+  mpisim::World world(config.ranks);
+  std::vector<RankResult> results(static_cast<std::size_t>(config.ranks));
+  world.run([&](mpisim::Comm comm) {
+    ToolContext ctx(comm.rank(), config.tools, config.device_profile, config.typedb,
+                    config.devices_per_rank);
+    ToolContext::Binder binder(ctx);
+    RankEnv env{comm, ctx};
+    rank_main(env);
+    // Collect results while the context is still alive; the barrier below is
+    // not needed since each rank only writes its own slot.
+    results[static_cast<std::size_t>(comm.rank())] = ctx.finalize();
+  });
+  return results;
+}
+
+std::vector<RankResult> run_flavored(Flavor flavor, int ranks, const RankMain& rank_main) {
+  SessionConfig config;
+  config.ranks = ranks;
+  config.tools = make_tool_config(flavor);
+  return run_session(config, rank_main);
+}
+
+std::size_t total_races(const std::vector<RankResult>& results) {
+  std::size_t total = 0;
+  for (const auto& result : results) {
+    total += result.tsan_counters.races_detected;
+  }
+  return total;
+}
+
+}  // namespace capi

@@ -1,0 +1,75 @@
+// Tool flavor selection. The paper builds separate binaries per flavor
+// (vanilla / TSan / MUST / CuSan / MUST & CuSan); here one binary selects the
+// flavor at runtime — the wrappers in capi compile to plain pass-through
+// calls when a tool is disabled.
+#pragma once
+
+#include "cusan/runtime.hpp"
+#include "must/runtime.hpp"
+#include "rsan/runtime.hpp"
+
+namespace capi {
+
+/// Which tools are active for a run. Invariants (enforced by ToolContext):
+/// must/cusan require tsan; cusan requires typeart.
+struct ToolConfig {
+  bool tsan = false;
+  bool must = false;
+  bool cusan = false;
+  bool typeart = false;
+
+  rsan::RuntimeConfig rsan_config{};
+  cusan::Config cusan_config{};
+  must::Config must_config{};
+};
+
+/// The paper's five evaluation flavors.
+enum class Flavor { kVanilla, kTsan, kMust, kCusan, kMustCusan };
+
+[[nodiscard]] constexpr const char* to_string(Flavor f) {
+  switch (f) {
+    case Flavor::kVanilla:
+      return "vanilla";
+    case Flavor::kTsan:
+      return "TSan";
+    case Flavor::kMust:
+      return "MUST";
+    case Flavor::kCusan:
+      return "CuSan";
+    case Flavor::kMustCusan:
+      return "MUST & CuSan";
+  }
+  return "?";
+}
+
+[[nodiscard]] inline ToolConfig make_tool_config(Flavor flavor) {
+  ToolConfig config;
+  switch (flavor) {
+    case Flavor::kVanilla:
+      break;
+    case Flavor::kTsan:
+      config.tsan = true;
+      break;
+    case Flavor::kMust:
+      config.tsan = true;
+      config.must = true;
+      break;
+    case Flavor::kCusan:
+      config.tsan = true;
+      config.cusan = true;
+      config.typeart = true;
+      break;
+    case Flavor::kMustCusan:
+      config.tsan = true;
+      config.must = true;
+      config.cusan = true;
+      config.typeart = true;
+      break;
+  }
+  return config;
+}
+
+inline constexpr Flavor kAllFlavors[] = {Flavor::kVanilla, Flavor::kTsan, Flavor::kMust,
+                                         Flavor::kCusan, Flavor::kMustCusan};
+
+}  // namespace capi

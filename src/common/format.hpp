@@ -1,0 +1,83 @@
+// Minimal "{}"-placeholder string formatting, standing in for std::format
+// (not available in GCC 12's libstdc++). Supports sequential `{}`
+// placeholders only; numeric presentation (precision, hex) goes through the
+// explicit helpers below. Not used on hot paths.
+#pragma once
+
+#include <charconv>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+namespace common {
+
+namespace detail {
+
+inline void append_value(std::string& out, std::string_view v) { out += v; }
+inline void append_value(std::string& out, const std::string& v) { out += v; }
+inline void append_value(std::string& out, const char* v) { out += (v != nullptr ? v : "<null>"); }
+inline void append_value(std::string& out, bool v) { out += v ? "true" : "false"; }
+inline void append_value(std::string& out, char v) { out += v; }
+
+template <typename T>
+  requires std::is_integral_v<T>
+void append_value(std::string& out, T v) {
+  char buf[24];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  out.append(buf, ptr);
+}
+
+inline void append_value(std::string& out, double v) {
+  char buf[64];
+  const int n = std::snprintf(buf, sizeof buf, "%g", v);
+  out.append(buf, buf + (n > 0 ? n : 0));
+}
+
+inline void append_value(std::string& out, float v) { append_value(out, static_cast<double>(v)); }
+
+inline void append_value(std::string& out, const void* v) {
+  char buf[24];
+  const int n = std::snprintf(buf, sizeof buf, "%p", v);
+  out.append(buf, buf + (n > 0 ? n : 0));
+}
+
+}  // namespace detail
+
+/// Replace successive "{}" placeholders in `fmt` with the rendered args.
+/// Extra placeholders are kept literally; extra args are ignored.
+template <typename... Args>
+[[nodiscard]] std::string format(std::string_view fmt, const Args&... args) {
+  std::string rendered[sizeof...(Args) > 0 ? sizeof...(Args) : 1];
+  std::size_t count = 0;
+  ((detail::append_value(rendered[count++], args)), ...);
+
+  std::string out;
+  out.reserve(fmt.size() + 16 * count);
+  std::size_t arg = 0;
+  for (std::size_t i = 0; i < fmt.size(); ++i) {
+    if (fmt[i] == '{' && i + 1 < fmt.size() && fmt[i + 1] == '}' && arg < count) {
+      out += rendered[arg++];
+      ++i;
+    } else {
+      out += fmt[i];
+    }
+  }
+  return out;
+}
+
+/// Render a pointer-sized value as 0x-prefixed hex.
+[[nodiscard]] inline std::string hex(std::uintptr_t value) {
+  char buf[24];
+  const int n = std::snprintf(buf, sizeof buf, "0x%zx", static_cast<std::size_t>(value));
+  return std::string(buf, buf + (n > 0 ? n : 0));
+}
+
+/// Fixed-precision double rendering ("%.{precision}f").
+[[nodiscard]] inline std::string fixed(double value, int precision = 2) {
+  char buf[64];
+  const int n = std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  return std::string(buf, buf + (n > 0 ? n : 0));
+}
+
+}  // namespace common

@@ -1,0 +1,118 @@
+// An interval map over address ranges. Used by typeart's allocation table
+// and rsan's internal bookkeeping: maps [base, base+extent) -> payload and
+// answers "which allocation contains this pointer?" queries.
+//
+// Intervals never overlap; inserting an overlapping interval is an error the
+// caller must handle (it indicates a double-registration bug).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "common/assert.hpp"
+
+namespace common {
+
+template <typename Payload>
+class IntervalMap {
+ public:
+  struct Entry {
+    std::uintptr_t base{};
+    std::size_t extent{};
+    Payload payload{};
+  };
+
+  /// Insert [base, base+extent). Returns false (and leaves the map unchanged)
+  /// if the new interval overlaps an existing one or extent is zero.
+  bool insert(std::uintptr_t base, std::size_t extent, Payload payload) {
+    if (extent == 0) {
+      return false;
+    }
+    auto next = map_.lower_bound(base);
+    if (next != map_.end() && next->first < base + extent) {
+      return false;  // overlaps the following interval
+    }
+    if (next != map_.begin()) {
+      auto prev = std::prev(next);
+      if (prev->first + prev->second.extent > base) {
+        return false;  // overlaps the preceding interval
+      }
+    }
+    map_.emplace_hint(next, base, Node{extent, std::move(payload)});
+    return true;
+  }
+
+  /// Remove the interval starting exactly at `base`. Returns the payload if
+  /// such an interval existed.
+  std::optional<Payload> erase(std::uintptr_t base) {
+    auto it = map_.find(base);
+    if (it == map_.end()) {
+      return std::nullopt;
+    }
+    Payload payload = std::move(it->second.payload);
+    map_.erase(it);
+    return payload;
+  }
+
+  /// Find the interval containing `addr` (base <= addr < base+extent).
+  [[nodiscard]] std::optional<Entry> find(std::uintptr_t addr) const {
+    auto it = map_.upper_bound(addr);
+    if (it == map_.begin()) {
+      return std::nullopt;
+    }
+    --it;
+    if (addr >= it->first + it->second.extent) {
+      return std::nullopt;
+    }
+    return Entry{it->first, it->second.extent, it->second.payload};
+  }
+
+  /// Find the interval whose base is exactly `base`.
+  [[nodiscard]] std::optional<Entry> find_exact(std::uintptr_t base) const {
+    auto it = map_.find(base);
+    if (it == map_.end()) {
+      return std::nullopt;
+    }
+    return Entry{it->first, it->second.extent, it->second.payload};
+  }
+
+  /// True if [base, base+extent) overlaps any stored interval.
+  [[nodiscard]] bool overlaps(std::uintptr_t base, std::size_t extent) const {
+    if (extent == 0) {
+      return false;
+    }
+    auto next = map_.lower_bound(base);
+    if (next != map_.end() && next->first < base + extent) {
+      return true;
+    }
+    if (next != map_.begin()) {
+      auto prev = std::prev(next);
+      if (prev->first + prev->second.extent > base) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::size_t size() const { return map_.size(); }
+  [[nodiscard]] bool empty() const { return map_.empty(); }
+  void clear() { map_.clear(); }
+
+  /// Visit all entries in address order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& [base, node] : map_) {
+      fn(Entry{base, node.extent, node.payload});
+    }
+  }
+
+ private:
+  struct Node {
+    std::size_t extent{};
+    Payload payload{};
+  };
+  std::map<std::uintptr_t, Node> map_;
+};
+
+}  // namespace common

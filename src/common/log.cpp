@@ -1,0 +1,47 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+
+namespace common {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+
+constexpr const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF  ";
+  }
+  return "?????";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level), std::memory_order_relaxed); }
+
+LogLevel log_level() { return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed)); }
+
+void log_line(LogLevel level, std::string_view message) {
+  std::string line;
+  line.reserve(message.size() + 16);
+  line += "[";
+  line += level_tag(level);
+  line += "] ";
+  line += message;
+  line += "\n";
+  std::fwrite(line.data(), 1, line.size(), stderr);
+}
+
+}  // namespace common

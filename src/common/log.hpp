@@ -1,0 +1,33 @@
+// Minimal leveled logger. Thread-safe; every line is written with a single
+// fwrite so concurrent ranks do not interleave mid-line.
+#pragma once
+
+#include <string_view>
+
+#include "common/format.hpp"
+
+namespace common {
+
+enum class LogLevel : int { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+/// Global log threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+/// Emit one formatted line (level tag + message + newline) to stderr.
+void log_line(LogLevel level, std::string_view message);
+
+template <typename... Args>
+void logf(LogLevel level, std::string_view fmt, const Args&... args) {
+  if (level < log_level()) {
+    return;
+  }
+  log_line(level, format(fmt, args...));
+}
+
+}  // namespace common
+
+#define CUSAN_LOG_DEBUG(...) ::common::logf(::common::LogLevel::kDebug, __VA_ARGS__)
+#define CUSAN_LOG_INFO(...) ::common::logf(::common::LogLevel::kInfo, __VA_ARGS__)
+#define CUSAN_LOG_WARN(...) ::common::logf(::common::LogLevel::kWarn, __VA_ARGS__)
+#define CUSAN_LOG_ERROR(...) ::common::logf(::common::LogLevel::kError, __VA_ARGS__)

@@ -1,0 +1,27 @@
+#include "common/memstats.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+namespace common {
+
+MemStats read_memstats() {
+  MemStats stats{};
+  std::FILE* file = std::fopen("/proc/self/status", "r");
+  if (file == nullptr) {
+    return stats;
+  }
+  char line[256];
+  while (std::fgets(line, sizeof line, file) != nullptr) {
+    unsigned long long kb = 0;
+    if (std::sscanf(line, "VmRSS: %llu kB", &kb) == 1) {
+      stats.rss_bytes = static_cast<std::size_t>(kb) * 1024;
+    } else if (std::sscanf(line, "VmHWM: %llu kB", &kb) == 1) {
+      stats.rss_peak_bytes = static_cast<std::size_t>(kb) * 1024;
+    }
+  }
+  std::fclose(file);
+  return stats;
+}
+
+}  // namespace common

@@ -1,0 +1,19 @@
+// Process memory statistics (resident set size), used by the Fig. 11
+// memory-overhead benchmark exactly as the paper queries RSS at
+// MPI_Finalize time.
+#pragma once
+
+#include <cstddef>
+
+namespace common {
+
+struct MemStats {
+  std::size_t rss_bytes{};       ///< current resident set size (VmRSS)
+  std::size_t rss_peak_bytes{};  ///< peak resident set size (VmHWM)
+};
+
+/// Read the current process memory stats from /proc/self/status.
+/// Returns zeros if the file is unavailable (non-Linux platforms).
+[[nodiscard]] MemStats read_memstats();
+
+}  // namespace common

@@ -1,0 +1,71 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/format.hpp"
+
+namespace common {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  CUSAN_ASSERT_MSG(row.size() == header_.size(), "row width must match header");
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::render(int indent) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    widths[i] = header_[i].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  std::string out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    out += pad;
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      out += row[i];
+      if (i + 1 < row.size()) {
+        out.append(widths[i] - row[i].size() + 2, ' ');
+      }
+    }
+    out += '\n';
+  };
+  emit_row(header_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) {
+    total += w + 2;
+  }
+  out += pad;
+  out.append(total > 2 ? total - 2 : total, '-');
+  out += '\n';
+  for (const auto& row : rows_) {
+    emit_row(row);
+  }
+  return out;
+}
+
+std::string format_double(double value, int precision) { return fixed(value, precision); }
+
+std::string format_bytes(std::size_t bytes) {
+  constexpr std::size_t kKiB = 1024;
+  constexpr std::size_t kMiB = kKiB * 1024;
+  constexpr std::size_t kGiB = kMiB * 1024;
+  if (bytes >= kGiB) {
+    return fixed(static_cast<double>(bytes) / static_cast<double>(kGiB)) + " GiB";
+  }
+  if (bytes >= kMiB) {
+    return fixed(static_cast<double>(bytes) / static_cast<double>(kMiB)) + " MiB";
+  }
+  if (bytes >= kKiB) {
+    return fixed(static_cast<double>(bytes) / static_cast<double>(kKiB)) + " KiB";
+  }
+  return format("{} B", bytes);
+}
+
+}  // namespace common

@@ -1,0 +1,30 @@
+// Plain-text table printer used by the benchmark harnesses to emit the
+// paper's tables/figure series in aligned, grep-friendly form.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace common {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Append one row; must have the same number of cells as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Render with column alignment, a header underline, and `indent` leading
+  /// spaces on every line.
+  [[nodiscard]] std::string render(int indent = 0) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format helpers for benchmark output.
+[[nodiscard]] std::string format_double(double value, int precision = 2);
+[[nodiscard]] std::string format_bytes(std::size_t bytes);
+
+}  // namespace common

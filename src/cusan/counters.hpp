@@ -1,0 +1,24 @@
+// CUDA-level event counters reported by CuSan (the "CUDA" block of the
+// paper's Table I). The "TSan" block comes from rsan::Counters.
+#pragma once
+
+#include <cstdint>
+
+namespace cusan {
+
+struct Counters {
+  std::uint64_t streams_created{};   ///< user streams + default stream on first use
+  std::uint64_t events_created{};
+  std::uint64_t event_records{};
+  std::uint64_t memsets{};           ///< memset + memsetAsync
+  std::uint64_t memcpys{};           ///< memcpy + memcpyAsync
+  std::uint64_t sync_calls{};        ///< device/stream/event synchronize + successful queries + streamWaitEvent
+  std::uint64_t kernel_launches{};
+  std::uint64_t prefetches{};        ///< cudaMemPrefetchAsync hints
+  std::uint64_t host_funcs{};        ///< cudaLaunchHostFunc callbacks
+  std::uint64_t hb_before{};         ///< semantic happens-before arcs started by CuSan
+  std::uint64_t hb_after{};          ///< semantic happens-before arcs terminated by CuSan
+  std::uint64_t unknown_kernel_args{}; ///< pointer args with no TypeART allocation info
+};
+
+}  // namespace cusan

@@ -1,0 +1,429 @@
+#include "cusan/runtime.hpp"
+
+#include "common/assert.hpp"
+#include "common/format.hpp"
+
+namespace cusan {
+
+Runtime::Runtime(rsan::Runtime* tsan, typeart::Runtime* types, Config config)
+    : tsan_(tsan), types_(types), config_(config) {
+  CUSAN_ASSERT(tsan != nullptr && types != nullptr);
+}
+
+// -- Stream / event lifecycle ------------------------------------------------------
+
+Runtime::StreamState& Runtime::stream_state(const cusim::Stream* stream) {
+  CUSAN_ASSERT(stream != nullptr);
+  const auto it = streams_.find(stream);
+  if (it != streams_.end()) {
+    return it->second;
+  }
+  StreamState state;
+  state.device = stream->device();
+  state.is_default = stream->is_default();
+  state.non_blocking = stream->is_non_blocking();
+  const std::string name = state.is_default
+                               ? std::string("default stream")
+                               : common::format("stream {}", stream->id());
+  state.fiber = tsan_->create_fiber(rsan::CtxKind::kStreamFiber, name);
+  ++counters_.streams_created;
+  auto [pos, inserted] = streams_.emplace(stream, state);
+  CUSAN_ASSERT(inserted);
+  if (state.is_default) {
+    default_states_[state.device] = &pos->second;
+  }
+  return pos->second;
+}
+
+Runtime::EventState& Runtime::event_state(const cusim::Event* event) {
+  CUSAN_ASSERT(event != nullptr);
+  return events_[event];
+}
+
+void Runtime::on_stream_create(const cusim::Stream* stream) {
+  trace_record(TraceKind::kStreamCreate, stream);
+  (void)stream_state(stream);
+}
+
+void Runtime::on_stream_destroy(const cusim::Stream* stream) {
+  trace_record(TraceKind::kStreamDestroy, stream);
+  const auto it = streams_.find(stream);
+  if (it == streams_.end()) {
+    return;
+  }
+  // cudaStreamDestroy waits for the stream's work: terminate its arc.
+  tsan_->happens_after(&it->second.complete_key);
+  ++counters_.hb_after;
+  tsan_->release_sync_object(&it->second.complete_key);
+  tsan_->release_sync_object(&it->second.submit_key);
+  tsan_->destroy_fiber(it->second.fiber);
+  if (default_states_[it->second.device] == &it->second) {
+    default_states_.erase(it->second.device);
+  }
+  streams_.erase(it);
+}
+
+void Runtime::on_event_create(const cusim::Event* event) {
+  trace_record(TraceKind::kEventCreate, nullptr, event);
+  (void)event_state(event);
+  ++counters_.events_created;
+}
+
+void Runtime::on_event_destroy(const cusim::Event* event) {
+  trace_record(TraceKind::kEventDestroy, nullptr, event);
+  const auto it = events_.find(event);
+  if (it == events_.end()) {
+    return;
+  }
+  tsan_->release_sync_object(&it->second.key);
+  events_.erase(it);
+}
+
+// -- Op issue protocol ---------------------------------------------------------------
+
+void Runtime::begin_op(StreamState& ss) {
+  // Order host -> stream fiber at op submission (FIFO launch order). This is
+  // internal plumbing, deliberately not counted in the Table I HB counters.
+  tsan_->happens_before(&ss.submit_key);
+  tsan_->switch_to_fiber(ss.fiber);
+  tsan_->happens_after(&ss.submit_key);
+
+  // Legacy default-stream barrier, acquire side (paper Fig. 3): an op on the
+  // default stream starts only after all prior work on blocking streams; an
+  // op on a blocking stream starts only after all prior default-stream work.
+  // A per-thread-mode default stream (created non-blocking, §VI-B) carries
+  // no barriers in either direction.
+  StreamState* default_state = nullptr;
+  if (const auto it = default_states_.find(ss.device); it != default_states_.end()) {
+    default_state = it->second;
+  }
+  if (ss.is_default && !ss.non_blocking) {
+    for (auto& [stream, other] : streams_) {
+      if (&other == &ss || other.non_blocking || other.device != ss.device) {
+        continue;
+      }
+      if (other.ops_issued > other.acquired_by_default) {
+        tsan_->happens_after(&other.complete_key);
+        other.acquired_by_default = other.ops_issued;
+        ++counters_.hb_after;
+      }
+    }
+  } else if (!ss.non_blocking && default_state != nullptr && !default_state->non_blocking &&
+             default_state->ops_issued > ss.default_ops_acquired) {
+    tsan_->happens_after(&default_state->complete_key);
+    ss.default_ops_acquired = default_state->ops_issued;
+    ++counters_.hb_after;
+  }
+}
+
+void Runtime::finish_op(StreamState& ss) {
+  tsan_->happens_before(&ss.complete_key);
+  ++counters_.hb_before;
+  ++ss.ops_issued;
+  if (ss.is_default && !ss.non_blocking) {
+    // Fan the arc out to every blocking stream of the same device (paper
+    // §V-A1): a later synchronization on such a stream must also cover this
+    // default-stream op, because legacy semantics block the stream behind it.
+    for (auto& [stream, other] : streams_) {
+      if (&other == &ss || other.non_blocking || other.device != ss.device) {
+        continue;
+      }
+      tsan_->happens_before(&other.complete_key);
+      ++counters_.hb_before;
+    }
+  }
+  tsan_->switch_to_fiber(tsan_->host_ctx());
+}
+
+// -- Kernel launches ---------------------------------------------------------------------
+
+const char* Runtime::kernel_arg_label(const char* kernel_name, std::size_t arg_index,
+                                      kir::AccessMode mode) {
+  const std::uint64_t key = reinterpret_cast<std::uintptr_t>(kernel_name) * 31 +
+                            arg_index * 4 + static_cast<std::uint64_t>(mode);
+  const auto it = label_cache_.find(key);
+  if (it != label_cache_.end()) {
+    return it->second;
+  }
+  const char* label = tsan_->intern(
+      common::format("kernel '{}' arg {} [{}]", kernel_name, arg_index, to_string(mode)));
+  label_cache_.emplace(key, label);
+  return label;
+}
+
+void Runtime::annotate_access(const void* ptr, std::size_t fallback_size, bool read, bool write,
+                              const char* label) {
+  // Paper §V-B: kernel argument accesses cover the *whole* allocation the
+  // pointer belongs to, since the static analysis cannot bound the touched
+  // sub-range. TypeART resolves the allocation extent.
+  const void* base = ptr;
+  std::size_t size = fallback_size;
+  if (const auto info = types_->find(ptr); info.has_value()) {
+    base = reinterpret_cast<const void*>(info->base);
+    size = info->extent;
+  } else if (fallback_size == 0) {
+    ++counters_.unknown_kernel_args;
+    return;
+  }
+  if (read) {
+    tsan_->read_range(base, size, label);
+  }
+  if (write) {
+    tsan_->write_range(base, size, label);
+  }
+}
+
+void Runtime::on_kernel_launch(const cusim::Stream* stream, const char* kernel_name,
+                               std::span<const KernelArgAccess> args) {
+  ++counters_.kernel_launches;
+  trace_record(TraceKind::kKernelLaunch, stream, nullptr, 0, kernel_name);
+  StreamState& ss = stream_state(stream);
+  begin_op(ss);
+  if (config_.track_memory_accesses) {
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      const KernelArgAccess& arg = args[i];
+      if (arg.ptr == nullptr || arg.mode == kir::AccessMode::kNone) {
+        continue;
+      }
+      annotate_access(arg.ptr, 0, kir::reads(arg.mode), kir::writes(arg.mode),
+                      kernel_arg_label(kernel_name, i, arg.mode));
+    }
+  }
+  finish_op(ss);
+}
+
+// -- Explicit synchronization ---------------------------------------------------------------
+
+void Runtime::on_stream_synchronize(const cusim::Stream* stream) {
+  ++counters_.sync_calls;
+  trace_record(TraceKind::kStreamSync, stream);
+  StreamState& ss = stream_state(stream);
+  tsan_->happens_after(&ss.complete_key);
+  ++counters_.hb_after;
+  if (ss.is_default && !ss.non_blocking) {
+    // Host sync on the legacy default stream also covers all blocking
+    // streams of its device (paper §IV-A-e).
+    for (auto& [s, other] : streams_) {
+      if (&other == &ss || other.non_blocking || other.device != ss.device) {
+        continue;
+      }
+      tsan_->happens_after(&other.complete_key);
+      ++counters_.hb_after;
+    }
+  }
+}
+
+void Runtime::on_device_synchronize() {
+  ++counters_.sync_calls;
+  trace_record(TraceKind::kDeviceSync);
+  // Terminate the arc of every stream, including non-blocking ones.
+  for (auto& [stream, state] : streams_) {
+    tsan_->happens_after(&state.complete_key);
+    ++counters_.hb_after;
+  }
+}
+
+void Runtime::on_device_synchronize(const cusim::Device* device) {
+  ++counters_.sync_calls;
+  trace_record(TraceKind::kDeviceSync);
+  // Only the given device's streams are covered (multi-GPU ranks).
+  for (auto& [stream, state] : streams_) {
+    if (state.device != device) {
+      continue;
+    }
+    tsan_->happens_after(&state.complete_key);
+    ++counters_.hb_after;
+  }
+}
+
+void Runtime::on_event_record(const cusim::Event* event, const cusim::Stream* stream) {
+  ++counters_.event_records;
+  trace_record(TraceKind::kEventRecord, stream, event);
+  StreamState& ss = stream_state(stream);
+  EventState& es = event_state(event);
+  es.stream = stream;
+  // The event captures the stream's progress: release the stream fiber's
+  // clock on the event's sync object.
+  tsan_->switch_to_fiber(ss.fiber);
+  tsan_->happens_before(&es.key);
+  ++counters_.hb_before;
+  tsan_->switch_to_fiber(tsan_->host_ctx());
+}
+
+void Runtime::on_event_synchronize(const cusim::Event* event) {
+  ++counters_.sync_calls;
+  trace_record(TraceKind::kEventSync, nullptr, event);
+  EventState& es = event_state(event);
+  if (es.stream == nullptr) {
+    return;  // never recorded
+  }
+  tsan_->happens_after(&es.key);
+  ++counters_.hb_after;
+}
+
+void Runtime::on_stream_wait_event(const cusim::Stream* stream, const cusim::Event* event) {
+  ++counters_.sync_calls;
+  trace_record(TraceKind::kStreamWaitEvent, stream, event);
+  EventState& es = event_state(event);
+  if (es.stream == nullptr) {
+    return;
+  }
+  StreamState& ss = stream_state(stream);
+  // The waiting stream's future work is ordered after the event.
+  tsan_->switch_to_fiber(ss.fiber);
+  tsan_->happens_after(&es.key);
+  ++counters_.hb_after;
+  tsan_->switch_to_fiber(tsan_->host_ctx());
+}
+
+void Runtime::on_stream_query_success(const cusim::Stream* stream) {
+  // A successful query can be used as a busy-wait: treat it as
+  // synchronization (paper §III-B1).
+  ++counters_.sync_calls;
+  trace_record(TraceKind::kQuerySuccess, stream);
+  StreamState& ss = stream_state(stream);
+  tsan_->happens_after(&ss.complete_key);
+  ++counters_.hb_after;
+}
+
+void Runtime::on_event_query_success(const cusim::Event* event) {
+  ++counters_.sync_calls;
+  trace_record(TraceKind::kQuerySuccess, nullptr, event);
+  EventState& es = event_state(event);
+  if (es.stream == nullptr) {
+    return;
+  }
+  tsan_->happens_after(&es.key);
+  ++counters_.hb_after;
+}
+
+// -- Memory operations --------------------------------------------------------------------------
+
+cusim::MemKind Runtime::kind_of(const void* ptr) const {
+  CUSAN_ASSERT_MSG(!devices_.empty(), "cusan::Runtime used before bind_device()");
+  // UVA: any device can classify the pointer; scan registries until one
+  // claims it (unclaimed pointers are pageable host memory).
+  for (const cusim::Device* device : devices_) {
+    const cusim::PointerAttributes attrs = device->pointer_attributes(ptr);
+    if (attrs.base != nullptr) {
+      return attrs.kind;
+    }
+  }
+  return cusim::MemKind::kPageableHost;
+}
+
+void Runtime::on_memcpy(void* dst, const void* src, std::size_t bytes, cusim::MemcpyDir dir) {
+  ++counters_.memcpys;
+  trace_record(TraceKind::kMemcpy, nullptr, dst, bytes, "cudaMemcpy");
+  CUSAN_ASSERT(!devices_.empty());
+  StreamState& ss = stream_state(devices_.front()->default_stream());
+  begin_op(ss);
+  if (config_.track_memory_accesses) {
+    tsan_->read_range(src, bytes, "cudaMemcpy (source)");
+    tsan_->write_range(dst, bytes, "cudaMemcpy (destination)");
+  }
+  finish_op(ss);
+  if (model_host_sync(cusim::MemOpClass::kMemcpy, dir, kind_of(src), kind_of(dst))) {
+    tsan_->happens_after(&ss.complete_key);
+    ++counters_.hb_after;
+  }
+}
+
+void Runtime::on_memcpy_async(void* dst, const void* src, std::size_t bytes, cusim::MemcpyDir dir,
+                              const cusim::Stream* stream) {
+  ++counters_.memcpys;
+  trace_record(TraceKind::kMemcpy, stream, dst, bytes, "cudaMemcpyAsync");
+  StreamState& ss = stream_state(stream);
+  begin_op(ss);
+  if (config_.track_memory_accesses) {
+    tsan_->read_range(src, bytes, "cudaMemcpyAsync (source)");
+    tsan_->write_range(dst, bytes, "cudaMemcpyAsync (destination)");
+  }
+  finish_op(ss);
+  if (model_host_sync(cusim::MemOpClass::kMemcpyAsync, dir, kind_of(src), kind_of(dst))) {
+    tsan_->happens_after(&ss.complete_key);
+    ++counters_.hb_after;
+  }
+}
+
+void Runtime::on_memset(void* dst, std::size_t bytes) {
+  ++counters_.memsets;
+  trace_record(TraceKind::kMemset, nullptr, dst, bytes, "cudaMemset");
+  CUSAN_ASSERT(!devices_.empty());
+  StreamState& ss = stream_state(devices_.front()->default_stream());
+  begin_op(ss);
+  if (config_.track_memory_accesses) {
+    tsan_->write_range(dst, bytes, "cudaMemset");
+  }
+  finish_op(ss);
+  if (model_host_sync(cusim::MemOpClass::kMemset, cusim::MemcpyDir::kHostToDevice,
+                      cusim::MemKind::kPageableHost, kind_of(dst))) {
+    tsan_->happens_after(&ss.complete_key);
+    ++counters_.hb_after;
+  }
+}
+
+void Runtime::on_memset_async(void* dst, std::size_t bytes, const cusim::Stream* stream) {
+  ++counters_.memsets;
+  trace_record(TraceKind::kMemset, stream, dst, bytes, "cudaMemsetAsync");
+  StreamState& ss = stream_state(stream);
+  begin_op(ss);
+  if (config_.track_memory_accesses) {
+    tsan_->write_range(dst, bytes, "cudaMemsetAsync");
+  }
+  finish_op(ss);
+}
+
+void Runtime::on_memcpy_2d(void* dst, std::size_t dpitch, const void* src, std::size_t spitch,
+                           std::size_t width, std::size_t height, cusim::MemcpyDir dir,
+                           const cusim::Stream* stream, bool async) {
+  ++counters_.memcpys;
+  trace_record(TraceKind::kMemcpy, stream, dst, width * height, "cudaMemcpy2D");
+  CUSAN_ASSERT(!devices_.empty());
+  StreamState& ss =
+      stream_state(stream != nullptr ? stream : devices_.front()->default_stream());
+  begin_op(ss);
+  if (config_.track_memory_accesses) {
+    // Only the `width` bytes of each row are accessed; the pitch gaps are not
+    // touched, so they must not be annotated (no false races on the holes).
+    const auto* s = static_cast<const std::byte*>(src);
+    auto* d = static_cast<std::byte*>(dst);
+    for (std::size_t row = 0; row < height; ++row) {
+      tsan_->read_range(s + row * spitch, width, "cudaMemcpy2D (source row)");
+      tsan_->write_range(d + row * dpitch, width, "cudaMemcpy2D (destination row)");
+    }
+  }
+  finish_op(ss);
+  const auto op_class = async ? cusim::MemOpClass::kMemcpyAsync : cusim::MemOpClass::kMemcpy;
+  if (model_host_sync(op_class, dir, kind_of(src), kind_of(dst))) {
+    tsan_->happens_after(&ss.complete_key);
+    ++counters_.hb_after;
+  }
+}
+
+void Runtime::on_mem_prefetch(const cusim::Stream* stream) {
+  ++counters_.prefetches;
+  trace_record(TraceKind::kPrefetch, stream);
+  StreamState& ss = stream_state(stream);
+  begin_op(ss);
+  finish_op(ss);
+}
+
+void Runtime::on_host_func(const cusim::Stream* stream) {
+  ++counters_.host_funcs;
+  trace_record(TraceKind::kHostFunc, stream);
+  StreamState& ss = stream_state(stream);
+  begin_op(ss);
+  finish_op(ss);
+}
+
+// -- Allocation lifecycle --------------------------------------------------------------------------
+
+void Runtime::on_free(const void* ptr) {
+  trace_record(TraceKind::kFree, nullptr, ptr);
+  if (const auto info = types_->find(ptr); info.has_value()) {
+    tsan_->reset_shadow_range(reinterpret_cast<const void*>(info->base), info->extent);
+  }
+}
+
+}  // namespace cusan

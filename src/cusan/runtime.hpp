@@ -1,0 +1,178 @@
+// The CuSan runtime (paper §IV-A): receives callbacks from the instrumented
+// CUDA API (emitted by capi, standing in for the LLVM pass of §IV-B2) and
+// maps CUDA's concurrency/synchronization semantics onto the rsan (TSan)
+// fiber and annotation API.
+//
+//  * every CUDA stream is a distinct fiber;
+//  * a kernel launch switches to the stream fiber, annotates each pointer
+//    argument's whole allocation range per its statically derived access
+//    mode (sizes resolved via TypeART), and starts a happens-before arc;
+//  * explicit and implicit synchronization terminates arcs;
+//  * legacy default-stream semantics are modelled by fanning arcs out to /
+//    in from blocking streams (paper Fig. 3 / §IV-A-e).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "cusan/counters.hpp"
+#include "cusan/sync_model.hpp"
+#include "cusan/trace.hpp"
+#include "cusim/device.hpp"
+#include "kir/access_analysis.hpp"
+#include "rsan/runtime.hpp"
+#include "typeart/runtime.hpp"
+
+namespace cusan {
+
+struct Config {
+  /// Ablation knob (paper §V-B): when false, kernel/memcpy/memset memory
+  /// ranges are not annotated, but fibers and synchronization modelling stay
+  /// active. The paper reports near-vanilla overhead in this mode.
+  bool track_memory_accesses = true;
+  /// Record every intercepted CUDA call into an in-memory trace
+  /// (Runtime::trace()), exportable as JSONL for diagnosis.
+  bool enable_trace = false;
+};
+
+/// One pointer argument of a kernel launch, paired with the access mode the
+/// kir dataflow analysis derived for the corresponding parameter.
+struct KernelArgAccess {
+  const void* ptr{nullptr};
+  kir::AccessMode mode{kir::AccessMode::kNone};
+};
+
+class Runtime {
+ public:
+  /// `tsan` and `types` must outlive the Runtime. One Runtime per rank.
+  Runtime(rsan::Runtime* tsan, typeart::Runtime* types, Config config = {});
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  // -- Stream / event lifecycle callbacks --------------------------------------
+
+  void on_stream_create(const cusim::Stream* stream);
+  void on_stream_destroy(const cusim::Stream* stream);
+  void on_event_create(const cusim::Event* event);
+  void on_event_destroy(const cusim::Event* event);
+
+  // -- Kernel launches -----------------------------------------------------------
+
+  /// `kernel_name` must have static storage duration (it labels reports).
+  void on_kernel_launch(const cusim::Stream* stream, const char* kernel_name,
+                        std::span<const KernelArgAccess> args);
+
+  // -- Explicit synchronization -----------------------------------------------------
+
+  void on_stream_synchronize(const cusim::Stream* stream);
+  /// Terminate the arcs of every stream of every bound device.
+  void on_device_synchronize();
+  /// cudaDeviceSynchronize with an explicit device (multi-GPU ranks): only
+  /// that device's streams are synchronized.
+  void on_device_synchronize(const cusim::Device* device);
+  void on_event_record(const cusim::Event* event, const cusim::Stream* stream);
+  void on_event_synchronize(const cusim::Event* event);
+  void on_stream_wait_event(const cusim::Stream* stream, const cusim::Event* event);
+  /// Successful cudaStreamQuery — a busy-wait synchronization point (§III-B1).
+  void on_stream_query_success(const cusim::Stream* stream);
+  void on_event_query_success(const cusim::Event* event);
+
+  // -- Memory operations (implicit synchronization, §III-B2) -----------------------
+
+  void on_memcpy(void* dst, const void* src, std::size_t bytes, cusim::MemcpyDir dir);
+  void on_memcpy_async(void* dst, const void* src, std::size_t bytes, cusim::MemcpyDir dir,
+                       const cusim::Stream* stream);
+  void on_memset(void* dst, std::size_t bytes);
+  void on_memset_async(void* dst, std::size_t bytes, const cusim::Stream* stream);
+
+  /// cudaMemcpy2D(Async): per-row access annotations, memcpy synchrony.
+  void on_memcpy_2d(void* dst, std::size_t dpitch, const void* src, std::size_t spitch,
+                    std::size_t width, std::size_t height, cusim::MemcpyDir dir,
+                    const cusim::Stream* stream, bool async);
+  /// cudaMemPrefetchAsync: an ordering-only stream op — prefetching does not
+  /// constitute a data access, so no ranges are annotated.
+  void on_mem_prefetch(const cusim::Stream* stream);
+  /// cudaLaunchHostFunc: a stream op whose body's accesses are opaque to the
+  /// analysis (documented limitation); ordering semantics are modelled.
+  void on_host_func(const cusim::Stream* stream);
+
+  // -- Allocation lifecycle ----------------------------------------------------------
+
+  /// Clears shadow state for freed device memory so address reuse cannot
+  /// produce stale-epoch false races.
+  void on_free(const void* ptr);
+
+  [[nodiscard]] const Counters& counters() const { return counters_; }
+  [[nodiscard]] const Trace& trace() const { return trace_; }
+  [[nodiscard]] rsan::Runtime& tsan() { return *tsan_; }
+  [[nodiscard]] typeart::Runtime& typeart_rt() { return *types_; }
+  /// Register a device with this runtime ("context per CUDA device",
+  /// paper §IV-A-a). May be called multiple times for multi-GPU ranks; the
+  /// first bound device is the primary one (its legacy stream backs the
+  /// no-stream memory-op overloads).
+  void bind_device(const cusim::Device* device) { devices_.push_back(device); }
+  [[nodiscard]] std::size_t device_count() const { return devices_.size(); }
+
+ private:
+  struct StreamState {
+    rsan::CtxId fiber{rsan::kInvalidCtx};
+    const cusim::Device* device{nullptr};
+    bool is_default{false};
+    bool non_blocking{false};
+    std::uint64_t ops_issued{0};
+    // Legacy-barrier dirty tracking: last observed op counts of the "other
+    // side" when this stream last acquired it.
+    std::uint64_t default_ops_acquired{0};
+    char complete_key{};  ///< &complete_key is the stream's HB sync object
+    char submit_key{};    ///< &submit_key orders host -> fiber at op issue
+    std::uint64_t acquired_by_default{0};  ///< this stream's ops_issued when default last acquired it
+  };
+
+  struct EventState {
+    const cusim::Stream* stream{nullptr};
+    char key{};  ///< &key is the event's HB sync object
+  };
+
+  StreamState& stream_state(const cusim::Stream* stream);
+  EventState& event_state(const cusim::Event* event);
+
+  /// Common op-issue protocol: submit-order sync, fiber switch, legacy
+  /// barrier acquires. Leaves the current fiber ON the stream fiber; caller
+  /// must call finish_op afterwards.
+  void begin_op(StreamState& ss);
+  /// Start the completion arc (+ legacy fan-out) and return to the host.
+  void finish_op(StreamState& ss);
+
+  /// Annotate an access against the *whole allocation* containing `ptr`
+  /// (paper §V-B); falls back to [ptr, ptr+fallback_size) for untracked
+  /// memory.
+  void annotate_access(const void* ptr, std::size_t fallback_size, bool read, bool write,
+                       const char* label);
+
+  [[nodiscard]] const char* kernel_arg_label(const char* kernel_name, std::size_t arg_index,
+                                             kir::AccessMode mode);
+  [[nodiscard]] cusim::MemKind kind_of(const void* ptr) const;
+
+  void trace_record(TraceKind kind, const void* stream = nullptr, const void* object = nullptr,
+                    std::uint64_t bytes = 0, const char* detail = nullptr) {
+    if (config_.enable_trace) {
+      trace_.record(kind, stream, object, bytes, detail);
+    }
+  }
+
+  rsan::Runtime* tsan_;
+  typeart::Runtime* types_;
+  std::vector<const cusim::Device*> devices_;
+  Config config_;
+  Counters counters_;
+  Trace trace_;
+  std::unordered_map<const cusim::Stream*, StreamState> streams_;
+  std::unordered_map<const cusim::Event*, EventState> events_;
+  std::unordered_map<const cusim::Device*, StreamState*> default_states_;
+  std::unordered_map<std::uint64_t, const char*> label_cache_;
+};
+
+}  // namespace cusan

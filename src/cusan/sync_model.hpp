@@ -1,0 +1,44 @@
+// CuSan's model of CUDA's implicit host-synchrony (paper §III-B2, §III-C).
+// This is the *tool's interpretation* used for race detection; wherever the
+// CUDA documentation says an operation "may be synchronous", the model is
+// pessimistic and assumes NO synchronization, so that races cannot be masked
+// by luck-of-the-driver behaviour. It therefore deliberately differs from
+// the simulator's ground-truth table (cusim/sync_behavior.hpp) in exactly
+// those "may be" cases.
+#pragma once
+
+#include "cusim/sync_behavior.hpp"
+#include "cusim/types.hpp"
+
+namespace cusan {
+
+/// Does the tool credit this memory operation with device->host
+/// synchronization (terminating happens-before arcs on its stream)?
+[[nodiscard]] constexpr bool model_host_sync(cusim::MemOpClass op, cusim::MemcpyDir dir,
+                                             cusim::MemKind src_kind, cusim::MemKind dst_kind) {
+  using cusim::MemcpyDir;
+  using cusim::MemKind;
+  using cusim::MemOpClass;
+  const bool pageable_involved =
+      src_kind == MemKind::kPageableHost || dst_kind == MemKind::kPageableHost;
+  switch (op) {
+    case MemOpClass::kMemcpy:
+      // Documented synchronous for transfers touching host memory; D2D is
+      // documented asynchronous.
+      return dir != MemcpyDir::kDeviceToDevice;
+    case MemOpClass::kMemcpyAsync:
+      // Ground truth: staged pageable transfers behave synchronously. The
+      // documentation says "may be synchronous" — pessimistically assume no
+      // synchronization so a race hidden by staging is still reported.
+      (void)pageable_involved;
+      return false;
+    case MemOpClass::kMemset:
+      // Documented: asynchronous w.r.t. host, except pinned-host targets.
+      return dst_kind == MemKind::kPinnedHost;
+    case MemOpClass::kMemsetAsync:
+      return false;
+  }
+  return false;  // unreachable; pessimistic
+}
+
+}  // namespace cusan

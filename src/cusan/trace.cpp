@@ -1,0 +1,31 @@
+#include "cusan/trace.hpp"
+
+#include "common/format.hpp"
+
+namespace cusan {
+
+std::string Trace::to_jsonl() const {
+  std::string out;
+  out.reserve(events_.size() * 96);
+  for (const TraceEvent& event : events_) {
+    out += common::format(R"({"seq":{},"kind":"{}")", event.seq, to_string(event.kind));
+    if (event.stream != nullptr) {
+      out += common::format(R"(,"stream":"{}")", common::hex(reinterpret_cast<std::uintptr_t>(
+                                                     event.stream)));
+    }
+    if (event.object != nullptr) {
+      out += common::format(R"(,"object":"{}")", common::hex(reinterpret_cast<std::uintptr_t>(
+                                                     event.object)));
+    }
+    if (event.bytes != 0) {
+      out += common::format(R"(,"bytes":{})", event.bytes);
+    }
+    if (event.detail != nullptr) {
+      out += common::format(R"(,"detail":"{}")", event.detail);
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+}  // namespace cusan

@@ -1,0 +1,97 @@
+// Optional interception trace: records every CUDA event CuSan observes, in
+// order, for diagnosing race reports ("what did the tool see before the
+// conflict?"). Exportable as JSON lines for external tooling.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cusan {
+
+enum class TraceKind : std::uint8_t {
+  kStreamCreate,
+  kStreamDestroy,
+  kKernelLaunch,
+  kStreamSync,
+  kDeviceSync,
+  kEventCreate,
+  kEventDestroy,
+  kEventRecord,
+  kEventSync,
+  kStreamWaitEvent,
+  kQuerySuccess,
+  kMemcpy,
+  kMemset,
+  kPrefetch,
+  kHostFunc,
+  kFree,
+};
+
+[[nodiscard]] constexpr const char* to_string(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kStreamCreate:
+      return "stream_create";
+    case TraceKind::kStreamDestroy:
+      return "stream_destroy";
+    case TraceKind::kKernelLaunch:
+      return "kernel_launch";
+    case TraceKind::kStreamSync:
+      return "stream_synchronize";
+    case TraceKind::kDeviceSync:
+      return "device_synchronize";
+    case TraceKind::kEventCreate:
+      return "event_create";
+    case TraceKind::kEventDestroy:
+      return "event_destroy";
+    case TraceKind::kEventRecord:
+      return "event_record";
+    case TraceKind::kEventSync:
+      return "event_synchronize";
+    case TraceKind::kStreamWaitEvent:
+      return "stream_wait_event";
+    case TraceKind::kQuerySuccess:
+      return "query_success";
+    case TraceKind::kMemcpy:
+      return "memcpy";
+    case TraceKind::kMemset:
+      return "memset";
+    case TraceKind::kPrefetch:
+      return "mem_prefetch";
+    case TraceKind::kHostFunc:
+      return "host_func";
+    case TraceKind::kFree:
+      return "free";
+  }
+  return "?";
+}
+
+struct TraceEvent {
+  std::uint64_t seq{};          ///< per-runtime monotonically increasing
+  TraceKind kind{};
+  const void* stream{nullptr};  ///< involved stream handle (if any)
+  const void* object{nullptr};  ///< event handle / buffer pointer (if any)
+  std::uint64_t bytes{};        ///< transfer/annotation size (if any)
+  const char* detail{nullptr};  ///< e.g. the kernel name (static storage)
+};
+
+class Trace {
+ public:
+  void record(TraceKind kind, const void* stream = nullptr, const void* object = nullptr,
+              std::uint64_t bytes = 0, const char* detail = nullptr) {
+    events_.push_back(TraceEvent{next_seq_++, kind, stream, object, bytes, detail});
+  }
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const { return events_; }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  void clear() { events_.clear(); }
+
+  /// One JSON object per line (JSONL), stable field order.
+  [[nodiscard]] std::string to_jsonl() const;
+
+ private:
+  std::vector<TraceEvent> events_;
+  std::uint64_t next_seq_{0};
+};
+
+}  // namespace cusan

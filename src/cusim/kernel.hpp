@@ -1,0 +1,37 @@
+// Kernel representation. A cusim kernel is a host callable executed
+// asynchronously on the device's executor thread; it receives the launch
+// geometry and iterates its logical CUDA threads itself. This preserves the
+// functional semantics of a kernel launch (asynchrony w.r.t. host, FIFO
+// order within a stream) without a GPU.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "cusim/types.hpp"
+
+namespace cusim {
+
+class KernelContext {
+ public:
+  explicit KernelContext(LaunchDims dims) : dims_(dims) {}
+
+  [[nodiscard]] LaunchDims dims() const { return dims_; }
+  [[nodiscard]] std::size_t thread_count() const { return dims_.total_threads(); }
+
+  /// Invoke `fn(global_thread_index)` for every logical CUDA thread.
+  template <typename Fn>
+  void for_each_thread(Fn&& fn) const {
+    const std::size_t n = dims_.total_threads();
+    for (std::size_t t = 0; t < n; ++t) {
+      fn(t);
+    }
+  }
+
+ private:
+  LaunchDims dims_;
+};
+
+using KernelBody = std::function<void(const KernelContext&)>;
+
+}  // namespace cusim

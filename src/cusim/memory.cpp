@@ -1,0 +1,107 @@
+#include "cusim/memory.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
+#include "common/assert.hpp"
+
+namespace cusim {
+
+MemoryManager::MemoryManager(int device_ordinal, std::size_t context_reserve_bytes)
+    : device_ordinal_(device_ordinal) {
+  if (context_reserve_bytes > 0) {
+    context_arena_.resize(context_reserve_bytes);
+    // Touch every page so the reservation is resident, as a CUDA context's
+    // pinned staging areas would be.
+    std::memset(context_arena_.data(), 0xA5, context_arena_.size());
+  }
+}
+
+MemoryManager::~MemoryManager() {
+  std::lock_guard lock(mutex_);
+  registry_.for_each([](const auto& entry) {
+    if (entry.payload.owned) {
+      ::operator delete(reinterpret_cast<void*>(entry.base), std::align_val_t{64});
+    }
+  });
+  registry_.clear();
+}
+
+void* MemoryManager::allocate(std::size_t size, MemKind kind) {
+  CUSAN_ASSERT_MSG(kind != MemKind::kPageableHost, "pageable host memory comes from malloc");
+  if (size == 0) {
+    return nullptr;
+  }
+  void* ptr = ::operator new(size, std::align_val_t{64}, std::nothrow);
+  if (ptr == nullptr) {
+    return nullptr;
+  }
+  std::lock_guard lock(mutex_);
+  const bool inserted = registry_.insert(reinterpret_cast<std::uintptr_t>(ptr), size,
+                                         Registration{kind, size, /*owned=*/true});
+  CUSAN_ASSERT_MSG(inserted, "allocator returned an overlapping region");
+  live_bytes_ += size;
+  return ptr;
+}
+
+bool MemoryManager::deallocate(void* ptr) {
+  if (ptr == nullptr) {
+    return true;  // cudaFree(nullptr) is a no-op success
+  }
+  std::lock_guard lock(mutex_);
+  const auto entry = registry_.find_exact(reinterpret_cast<std::uintptr_t>(ptr));
+  if (!entry.has_value() || !entry->payload.owned) {
+    return false;  // not a base pointer, or cudaHostRegister'd memory
+  }
+  (void)registry_.erase(reinterpret_cast<std::uintptr_t>(ptr));
+  live_bytes_ -= entry->payload.size;
+  ::operator delete(ptr, std::align_val_t{64});
+  return true;
+}
+
+bool MemoryManager::register_external(void* ptr, std::size_t size) {
+  if (ptr == nullptr || size == 0) {
+    return false;
+  }
+  std::lock_guard lock(mutex_);
+  return registry_.insert(reinterpret_cast<std::uintptr_t>(ptr), size,
+                          Registration{MemKind::kPinnedHost, size, /*owned=*/false});
+}
+
+bool MemoryManager::unregister_external(void* ptr) {
+  std::lock_guard lock(mutex_);
+  const auto entry = registry_.find_exact(reinterpret_cast<std::uintptr_t>(ptr));
+  if (!entry.has_value() || entry->payload.owned) {
+    return false;
+  }
+  (void)registry_.erase(reinterpret_cast<std::uintptr_t>(ptr));
+  return true;
+}
+
+PointerAttributes MemoryManager::query(const void* ptr) const {
+  std::lock_guard lock(mutex_);
+  const auto entry = registry_.find(reinterpret_cast<std::uintptr_t>(ptr));
+  if (!entry.has_value()) {
+    return PointerAttributes{};  // pageable host / unknown
+  }
+  PointerAttributes attrs;
+  attrs.kind = entry->payload.kind;
+  attrs.base = reinterpret_cast<void*>(entry->base);
+  attrs.extent = entry->extent;
+  attrs.device =
+      (attrs.kind == MemKind::kDevice || attrs.kind == MemKind::kManaged) ? device_ordinal_ : -1;
+  return attrs;
+}
+
+std::size_t MemoryManager::live_allocations() const {
+  std::lock_guard lock(mutex_);
+  return registry_.size();
+}
+
+std::size_t MemoryManager::live_bytes() const {
+  std::lock_guard lock(mutex_);
+  return live_bytes_;
+}
+
+}  // namespace cusim

@@ -1,0 +1,63 @@
+// The simulator's memory manager: allocates "device", pinned-host and
+// managed memory from the host heap, tags every allocation with its kind,
+// and answers UVA-style pointer-attribute queries (the mechanism CUDA-aware
+// MPI libraries use to accept device pointers, paper §III-D).
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+#include "common/interval_map.hpp"
+#include "cusim/types.hpp"
+
+namespace cusim {
+
+class MemoryManager {
+ public:
+  /// `device_ordinal` is reported in pointer attributes for device/managed
+  /// allocations. `context_reserve_bytes` commits a touched arena modelling
+  /// CUDA context residency.
+  MemoryManager(int device_ordinal, std::size_t context_reserve_bytes);
+  ~MemoryManager();
+
+  MemoryManager(const MemoryManager&) = delete;
+  MemoryManager& operator=(const MemoryManager&) = delete;
+
+  /// Allocate `size` bytes of the given kind. Returns nullptr on size == 0.
+  [[nodiscard]] void* allocate(std::size_t size, MemKind kind);
+
+  /// Free an allocation made by allocate(). Returns false if `ptr` is not a
+  /// live allocation base (mirrors cudaErrorInvalidValue).
+  bool deallocate(void* ptr);
+
+  /// Register an externally owned host region as pinned (cudaHostRegister):
+  /// UVA queries report kPinnedHost afterwards. Fails on overlap.
+  bool register_external(void* ptr, std::size_t size);
+
+  /// Undo register_external (cudaHostUnregister). Fails if `ptr` is not a
+  /// registered external base.
+  bool unregister_external(void* ptr);
+
+  /// UVA query: classify any pointer. Unregistered pointers report
+  /// MemKind::kPageableHost with no base/extent.
+  [[nodiscard]] PointerAttributes query(const void* ptr) const;
+
+  [[nodiscard]] std::size_t live_allocations() const;
+  [[nodiscard]] std::size_t live_bytes() const;
+
+ private:
+  struct Registration {
+    MemKind kind;
+    std::size_t size;
+    bool owned{true};  ///< false for cudaHostRegister'd external regions
+  };
+
+  int device_ordinal_;
+  std::vector<std::byte> context_arena_;
+  mutable std::mutex mutex_;
+  common::IntervalMap<Registration> registry_;
+  std::size_t live_bytes_{0};
+};
+
+}  // namespace cusim

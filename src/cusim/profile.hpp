@@ -1,0 +1,31 @@
+// Device performance/footprint model. The simulator executes kernels and
+// copies functionally on the host CPU; this profile models the fixed costs a
+// real GPU context exhibits (launch latency, context memory reservation) so
+// that benchmark *shapes* are comparable to the paper's GPU measurements.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cusim {
+
+/// Default-stream semantics (paper §VI-B). Legacy: the default stream forms
+/// implicit barriers with all blocking streams (Fig. 3). PerThread
+/// (--default-stream per-thread): the default stream behaves like an
+/// ordinary non-blocking stream.
+enum class DefaultStreamMode : std::uint8_t { kLegacy, kPerThread };
+
+struct DeviceProfile {
+  DefaultStreamMode default_stream_mode{DefaultStreamMode::kLegacy};
+
+  /// Fixed overhead added to each kernel launch / async op dispatch, modelling
+  /// driver submission latency. 0 disables the model (default for tests).
+  std::uint64_t launch_overhead_ns{0};
+
+  /// Bytes committed at device creation to model the CUDA context's resident
+  /// footprint (a real CUDA context pins hundreds of MB of host memory).
+  /// Benchmarks raise this so relative RSS overheads are V100-comparable.
+  std::size_t context_reserve_bytes{0};
+};
+
+}  // namespace cusim

@@ -1,0 +1,44 @@
+// The simulator's *actual* host-synchrony behaviour for memory operations,
+// following the CUDA 11.5 "API synchronization behavior" documentation
+// (paper §III-B2/III-C). This is the ground truth the device executes.
+// CuSan's own model (src/cusan/sync_model.hpp) interprets the documented
+// "may be synchronous" cases pessimistically and therefore deliberately
+// differs from this table in those spots.
+#pragma once
+
+#include "cusim/types.hpp"
+
+namespace cusim {
+
+enum class MemOpClass : std::uint8_t {
+  kMemcpy,       ///< cudaMemcpy
+  kMemcpyAsync,  ///< cudaMemcpyAsync
+  kMemset,       ///< cudaMemset
+  kMemsetAsync,  ///< cudaMemsetAsync
+};
+
+/// True if the host blocks until the operation completed on the device.
+[[nodiscard]] constexpr bool is_host_synchronous(MemOpClass op, MemcpyDir dir, MemKind src_kind,
+                                                 MemKind dst_kind) {
+  const bool pageable_involved =
+      src_kind == MemKind::kPageableHost || dst_kind == MemKind::kPageableHost;
+  switch (op) {
+    case MemOpClass::kMemcpy:
+      // cudaMemcpy is synchronous w.r.t. the host for all transfers touching
+      // host memory; device-to-device copies are asynchronous.
+      return dir != MemcpyDir::kDeviceToDevice;
+    case MemOpClass::kMemcpyAsync:
+      // "Async" transfers involving pageable host memory are staged through
+      // a pinned buffer and behave synchronously ("may be synchronous").
+      return pageable_involved;
+    case MemOpClass::kMemset:
+      // cudaMemset is asynchronous w.r.t. host, except when the target is
+      // pinned host memory (paper §III-C).
+      return dst_kind == MemKind::kPinnedHost;
+    case MemOpClass::kMemsetAsync:
+      return false;
+  }
+  return true;  // unreachable; conservative
+}
+
+}  // namespace cusim

@@ -1,0 +1,92 @@
+// Core types of the CUDA runtime simulator. Names and semantics follow the
+// CUDA 11.x runtime API (the version the paper targets) closely enough that
+// code written against cusim reads like CUDA host code.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cusim {
+
+enum class Error : int {
+  kSuccess = 0,
+  kInvalidValue,
+  kMemoryAllocation,
+  kInvalidResourceHandle,
+  kNotReady,  ///< returned by stream/event query while work is pending
+};
+
+[[nodiscard]] constexpr const char* error_string(Error error) {
+  switch (error) {
+    case Error::kSuccess:
+      return "success";
+    case Error::kInvalidValue:
+      return "invalid value";
+    case Error::kMemoryAllocation:
+      return "memory allocation failure";
+    case Error::kInvalidResourceHandle:
+      return "invalid resource handle";
+    case Error::kNotReady:
+      return "not ready";
+  }
+  return "unknown error";
+}
+
+/// Memory kinds distinguished by the UVA pointer-attribute query; the kind
+/// determines implicit synchronization behaviour (paper §III-C).
+enum class MemKind : std::uint8_t {
+  kPageableHost,  ///< plain malloc'd host memory (not registered with the driver)
+  kPinnedHost,    ///< page-locked host memory (cudaHostAlloc / cudaMallocHost)
+  kDevice,        ///< device memory (cudaMalloc)
+  kManaged,       ///< unified/managed memory (cudaMallocManaged)
+};
+
+[[nodiscard]] constexpr const char* to_string(MemKind kind) {
+  switch (kind) {
+    case MemKind::kPageableHost:
+      return "pageable host";
+    case MemKind::kPinnedHost:
+      return "pinned host";
+    case MemKind::kDevice:
+      return "device";
+    case MemKind::kManaged:
+      return "managed";
+  }
+  return "?";
+}
+
+/// Copy direction, mirroring cudaMemcpyKind. kDefault infers the direction
+/// from UVA pointer attributes (cudaMemcpyDefault).
+enum class MemcpyDir : std::uint8_t {
+  kHostToHost,
+  kHostToDevice,
+  kDeviceToHost,
+  kDeviceToDevice,
+  kDefault,
+};
+
+/// Stream creation flags (cudaStreamDefault / cudaStreamNonBlocking).
+enum class StreamFlags : std::uint8_t {
+  kDefault,      ///< participates in legacy default-stream barriers
+  kNonBlocking,  ///< exempt from default-stream synchronization
+};
+
+/// Kernel launch geometry (flattened: total threads = grid * block).
+struct LaunchDims {
+  unsigned grid{1};
+  unsigned block{1};
+
+  [[nodiscard]] constexpr std::size_t total_threads() const {
+    return static_cast<std::size_t>(grid) * block;
+  }
+};
+
+/// UVA pointer attributes (cuPointerGetAttribute equivalent).
+struct PointerAttributes {
+  MemKind kind{MemKind::kPageableHost};
+  void* base{nullptr};       ///< allocation base (nullptr for unregistered memory)
+  std::size_t extent{0};     ///< allocation extent in bytes (0 for unregistered)
+  int device{-1};            ///< owning device ordinal (-1 for host)
+};
+
+}  // namespace cusim

@@ -1,0 +1,139 @@
+#include "kir/access_analysis.hpp"
+
+namespace kir {
+
+AccessAnalysis::AccessAnalysis(const Module& module) {
+  // Initialize all summaries to kNone (bottom of the lattice).
+  for (const auto& fn : module.functions()) {
+    summaries_.emplace(fn.get(), std::vector<AccessMode>(fn->param_count(), AccessMode::kNone));
+  }
+  // Monotone fixpoint: modes only ever grow, so this terminates. Recursion
+  // and mutual recursion converge because each round folds the previous
+  // round's summaries into callers.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    ++iterations_;
+    for (const auto& fn : module.functions()) {
+      auto& summary = summaries_.at(fn.get());
+      for (std::uint32_t p = 0; p < fn->param_count(); ++p) {
+        if (!fn->param_is_pointer(p)) {
+          continue;
+        }
+        const AccessMode updated = summary[p] | analyze_param(*fn, p);
+        if (updated != summary[p]) {
+          summary[p] = updated;
+          changed = true;
+        }
+      }
+    }
+  }
+}
+
+AccessMode AccessAnalysis::analyze_param(const Function& fn, std::uint32_t param) const {
+  const auto& instrs = fn.instrs();
+  // derived[i] == true: instruction result i carries a pointer derived from
+  // the parameter. Straight-line SSA would converge in one forward pass;
+  // phi nodes may reference *later* instructions (loop back-edges), so the
+  // derived-set computation iterates to an intra-function fixpoint
+  // (monotone: bits only ever turn on).
+  std::vector<bool> derived(instrs.size(), false);
+  const auto is_derived = [&](Value v) {
+    if (v.kind == Value::Kind::kParam) {
+      return v.index == param;
+    }
+    if (v.kind == Value::Kind::kInstr) {
+      return static_cast<bool>(derived[v.index]);
+    }
+    return false;
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < instrs.size(); ++i) {
+      const Instr& instr = instrs[i];
+      bool now = derived[i];
+      switch (instr.op) {
+        case Opcode::kGep:
+          now = is_derived(instr.a);
+          break;
+        case Opcode::kArith:
+          // Pointer arithmetic may flow through integer ops; conservative.
+          now = is_derived(instr.a) || is_derived(instr.b);
+          break;
+        case Opcode::kPhi:
+          // A phi is derived if any incoming value is (any-path semantics).
+          for (const Value& incoming : instr.args) {
+            now = now || is_derived(incoming);
+          }
+          break;
+        default:
+          break;
+      }
+      if (now && !derived[i]) {
+        derived[i] = true;
+        changed = true;
+      }
+    }
+  }
+
+  AccessMode mode = AccessMode::kNone;
+  for (const Instr& instr : instrs) {
+    switch (instr.op) {
+      case Opcode::kLoad:
+        if (is_derived(instr.a)) {
+          mode |= AccessMode::kRead;
+        }
+        break;
+      case Opcode::kStore:
+        if (is_derived(instr.a)) {
+          mode |= AccessMode::kWrite;
+        }
+        // Storing the pointer itself to memory escapes it; be conservative.
+        if (is_derived(instr.b)) {
+          mode |= AccessMode::kReadWrite;
+        }
+        break;
+      case Opcode::kCall: {
+        for (std::size_t arg = 0; arg < instr.args.size(); ++arg) {
+          if (!is_derived(instr.args[arg])) {
+            continue;
+          }
+          if (instr.callee == nullptr) {
+            mode |= AccessMode::kReadWrite;  // unknown external callee
+            continue;
+          }
+          const auto it = summaries_.find(instr.callee);
+          if (it == summaries_.end()) {
+            mode |= AccessMode::kReadWrite;  // callee outside the module
+          } else if (arg < it->second.size()) {
+            mode |= it->second[arg];
+          }
+        }
+        break;
+      }
+      case Opcode::kGep:
+      case Opcode::kArith:
+      case Opcode::kPhi:
+      case Opcode::kConst:
+      case Opcode::kRet:
+        break;
+    }
+  }
+  return mode;
+}
+
+std::span<const AccessMode> AccessAnalysis::modes(const Function* fn) const {
+  static const std::vector<AccessMode> kEmpty;
+  const auto it = summaries_.find(fn);
+  return it != summaries_.end() ? std::span<const AccessMode>(it->second)
+                                : std::span<const AccessMode>(kEmpty);
+}
+
+AccessMode AccessAnalysis::mode(const Function* fn, std::uint32_t param) const {
+  const auto span = modes(fn);
+  return param < span.size() ? span[param] : AccessMode::kNone;
+}
+
+}  // namespace kir

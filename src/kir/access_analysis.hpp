@@ -1,0 +1,75 @@
+// The paper's kernel-argument access analysis (§IV-B1): a conservative
+// interprocedural forward-dataflow analysis that classifies every pointer
+// parameter of every function as read / write / read-write / unused,
+// following pointer values through offset computations and nested calls
+// (including recursion and multiple call sites, whose effects are merged).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "kir/ir.hpp"
+
+namespace kir {
+
+enum class AccessMode : std::uint8_t {
+  kNone = 0,
+  kRead = 1,
+  kWrite = 2,
+  kReadWrite = 3,
+};
+
+[[nodiscard]] constexpr AccessMode operator|(AccessMode a, AccessMode b) {
+  return static_cast<AccessMode>(static_cast<std::uint8_t>(a) | static_cast<std::uint8_t>(b));
+}
+
+constexpr AccessMode& operator|=(AccessMode& a, AccessMode b) { return a = a | b; }
+
+[[nodiscard]] constexpr bool reads(AccessMode m) {
+  return (static_cast<std::uint8_t>(m) & static_cast<std::uint8_t>(AccessMode::kRead)) != 0;
+}
+
+[[nodiscard]] constexpr bool writes(AccessMode m) {
+  return (static_cast<std::uint8_t>(m) & static_cast<std::uint8_t>(AccessMode::kWrite)) != 0;
+}
+
+[[nodiscard]] constexpr const char* to_string(AccessMode m) {
+  switch (m) {
+    case AccessMode::kNone:
+      return "none";
+    case AccessMode::kRead:
+      return "read";
+    case AccessMode::kWrite:
+      return "write";
+    case AccessMode::kReadWrite:
+      return "read-write";
+  }
+  return "?";
+}
+
+class AccessAnalysis {
+ public:
+  /// Runs the interprocedural fixpoint over the whole module.
+  explicit AccessAnalysis(const Module& module);
+
+  /// Per-parameter access modes for `fn` (indexed by parameter position;
+  /// non-pointer parameters are always kNone).
+  [[nodiscard]] std::span<const AccessMode> modes(const Function* fn) const;
+
+  [[nodiscard]] AccessMode mode(const Function* fn, std::uint32_t param) const;
+
+  /// Number of fixpoint iterations taken (exposed for tests/diagnostics).
+  [[nodiscard]] std::uint32_t iterations() const { return iterations_; }
+
+ private:
+  /// One intraprocedural pass for a single pointer parameter using the
+  /// current interprocedural summaries. Returns the parameter's mode.
+  [[nodiscard]] AccessMode analyze_param(const Function& fn, std::uint32_t param) const;
+
+  std::unordered_map<const Function*, std::vector<AccessMode>> summaries_;
+  std::uint32_t iterations_{0};
+};
+
+}  // namespace kir

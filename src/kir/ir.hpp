@@ -1,0 +1,172 @@
+// A miniature SSA-style kernel IR, standing in for the LLVM IR of compiled
+// device code. Applications register each kernel's IR (as the compiler's
+// device-code phase would produce it, paper Fig. 7 step 2); the access
+// analysis (access_analysis.hpp) then derives per-argument read/write
+// attributes exactly as the paper's conservative interprocedural forward
+// dataflow does (Fig. 8).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace kir {
+
+enum class Opcode : std::uint8_t {
+  kLoad,   ///< read through a pointer operand
+  kStore,  ///< write through a pointer operand
+  kGep,    ///< pointer offset computation (getelementptr)
+  kCall,   ///< call another function in the module
+  kArith,  ///< scalar/pointer arithmetic
+  kPhi,    ///< SSA merge of values from different control-flow paths; may
+           ///< reference *later* instructions (loop back-edges)
+  kConst,  ///< opaque constant
+  kRet,    ///< return (optional value)
+};
+
+/// An SSA value: a function parameter or an instruction result.
+struct Value {
+  enum class Kind : std::uint8_t { kNone, kParam, kInstr };
+  Kind kind{Kind::kNone};
+  std::uint32_t index{0};
+
+  [[nodiscard]] static constexpr Value none() { return Value{}; }
+  [[nodiscard]] static constexpr Value param(std::uint32_t i) { return Value{Kind::kParam, i}; }
+  [[nodiscard]] static constexpr Value instr(std::uint32_t i) { return Value{Kind::kInstr, i}; }
+  [[nodiscard]] constexpr bool is_none() const { return kind == Kind::kNone; }
+
+  friend constexpr bool operator==(Value lhs, Value rhs) = default;
+};
+
+class Function;
+
+struct Instr {
+  Opcode op{Opcode::kConst};
+  Value a;                         ///< load/store/gep pointer; arith lhs
+  Value b;                         ///< store value; gep index; arith rhs
+  const Function* callee{nullptr}; ///< for kCall (nullptr = unknown external)
+  std::vector<Value> args;         ///< for kCall
+};
+
+/// A function with a builder-style API. Instructions are appended in SSA
+/// order (operands must already exist), which the analysis relies on.
+class Function {
+ public:
+  Function(std::string name, std::vector<bool> param_is_pointer)
+      : name_(std::move(name)), param_is_pointer_(std::move(param_is_pointer)) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::uint32_t param_count() const {
+    return static_cast<std::uint32_t>(param_is_pointer_.size());
+  }
+  [[nodiscard]] bool param_is_pointer(std::uint32_t i) const {
+    CUSAN_ASSERT(i < param_is_pointer_.size());
+    return param_is_pointer_[i];
+  }
+  [[nodiscard]] const std::vector<Instr>& instrs() const { return instrs_; }
+
+  // -- Builder ----------------------------------------------------------------
+
+  [[nodiscard]] Value param(std::uint32_t i) const {
+    CUSAN_ASSERT(i < param_is_pointer_.size());
+    return Value::param(i);
+  }
+
+  Value load(Value ptr) { return append({Opcode::kLoad, check(ptr), Value::none(), nullptr, {}}); }
+
+  void store(Value ptr, Value value) {
+    (void)append({Opcode::kStore, check(ptr), check(value), nullptr, {}});
+  }
+
+  Value gep(Value base, Value index = Value::none()) {
+    return append({Opcode::kGep, check(base),
+                   index.is_none() ? Value::none() : check(index), nullptr, {}});
+  }
+
+  /// Call `callee` (nullptr models an unknown external function, which the
+  /// analysis treats as read+write on every pointer argument).
+  Value call(const Function* callee, std::vector<Value> args) {
+    for (const Value& v : args) {
+      (void)check(v);
+    }
+    return append({Opcode::kCall, Value::none(), Value::none(), callee, std::move(args)});
+  }
+
+  Value arith(Value lhs, Value rhs) {
+    return append({Opcode::kArith, check(lhs), check(rhs), nullptr, {}});
+  }
+
+  /// SSA phi: merges `incoming` values from different control-flow paths.
+  /// Unlike other instructions, incoming values may reference instructions
+  /// that do not exist *yet* (loop back-edges); use set_phi_incoming to
+  /// patch them in after building the loop body.
+  Value phi(std::vector<Value> incoming) {
+    return append({Opcode::kPhi, Value::none(), Value::none(), nullptr, std::move(incoming)});
+  }
+
+  /// Add an incoming value to a previously created phi (back-edge patching).
+  void add_phi_incoming(Value phi_value, Value incoming) {
+    CUSAN_ASSERT(phi_value.kind == Value::Kind::kInstr && phi_value.index < instrs_.size());
+    Instr& instr = instrs_[phi_value.index];
+    CUSAN_ASSERT_MSG(instr.op == Opcode::kPhi, "not a phi");
+    instr.args.push_back(check(incoming));
+  }
+
+  Value constant() { return append({Opcode::kConst, Value::none(), Value::none(), nullptr, {}}); }
+
+  void ret(Value value = Value::none()) {
+    (void)append({Opcode::kRet, value, Value::none(), nullptr, {}});
+  }
+
+ private:
+  Value append(Instr instr) {
+    instrs_.push_back(std::move(instr));
+    return Value::instr(static_cast<std::uint32_t>(instrs_.size() - 1));
+  }
+
+  /// Enforce SSA order: operands must reference existing values.
+  Value check(Value v) const {
+    if (v.kind == Value::Kind::kParam) {
+      CUSAN_ASSERT_MSG(v.index < param_is_pointer_.size(), "operand references missing param");
+    } else if (v.kind == Value::Kind::kInstr) {
+      CUSAN_ASSERT_MSG(v.index < instrs_.size(), "operand references a later instruction");
+    }
+    return v;
+  }
+
+  std::string name_;
+  std::vector<bool> param_is_pointer_;
+  std::vector<Instr> instrs_;
+};
+
+class Module {
+ public:
+  /// Create a function; names must be unique within the module.
+  Function* create_function(std::string name, std::vector<bool> param_is_pointer) {
+    CUSAN_ASSERT_MSG(!by_name_.contains(name), "duplicate function name");
+    functions_.push_back(std::make_unique<Function>(name, std::move(param_is_pointer)));
+    Function* fn = functions_.back().get();
+    by_name_.emplace(std::move(name), fn);
+    return fn;
+  }
+
+  [[nodiscard]] Function* by_name(std::string_view name) const {
+    const auto it = by_name_.find(std::string(name));
+    return it != by_name_.end() ? it->second : nullptr;
+  }
+
+  [[nodiscard]] const std::vector<std::unique_ptr<Function>>& functions() const {
+    return functions_;
+  }
+
+ private:
+  std::vector<std::unique_ptr<Function>> functions_;
+  std::unordered_map<std::string, Function*> by_name_;
+};
+
+}  // namespace kir

@@ -1,0 +1,104 @@
+#include "kir/printer.hpp"
+
+#include "common/format.hpp"
+
+namespace kir {
+namespace {
+
+std::string value_name(Value v) {
+  switch (v.kind) {
+    case Value::Kind::kNone:
+      return "none";
+    case Value::Kind::kParam:
+      return common::format("%p{}", v.index);
+    case Value::Kind::kInstr:
+      return common::format("%v{}", v.index);
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string print_function(const Function& fn, const AccessAnalysis* analysis) {
+  std::string out = common::format("kernel @{}(", fn.name());
+  for (std::uint32_t p = 0; p < fn.param_count(); ++p) {
+    if (p != 0) {
+      out += ", ";
+    }
+    out += common::format("{} %p{}", fn.param_is_pointer(p) ? "ptr" : "i64", p);
+    if (analysis != nullptr && fn.param_is_pointer(p)) {
+      out += common::format(" [{}]", to_string(analysis->mode(&fn, p)));
+    }
+  }
+  out += ") {\n";
+  const auto& instrs = fn.instrs();
+  for (std::size_t i = 0; i < instrs.size(); ++i) {
+    const Instr& instr = instrs[i];
+    out += "  ";
+    switch (instr.op) {
+      case Opcode::kLoad:
+        out += common::format("%v{} = load {}", i, value_name(instr.a));
+        break;
+      case Opcode::kStore:
+        out += common::format("store {}, {}", value_name(instr.a), value_name(instr.b));
+        break;
+      case Opcode::kGep:
+        out += common::format("%v{} = gep {}", i, value_name(instr.a));
+        if (!instr.b.is_none()) {
+          out += common::format(", {}", value_name(instr.b));
+        }
+        break;
+      case Opcode::kCall: {
+        out += common::format("%v{} = call @{}(", i,
+                              instr.callee != nullptr ? instr.callee->name().c_str()
+                                                      : "<external>");
+        for (std::size_t a = 0; a < instr.args.size(); ++a) {
+          if (a != 0) {
+            out += ", ";
+          }
+          out += value_name(instr.args[a]);
+        }
+        out += ")";
+        break;
+      }
+      case Opcode::kArith:
+        out += common::format("%v{} = arith {}, {}", i, value_name(instr.a),
+                              value_name(instr.b));
+        break;
+      case Opcode::kPhi: {
+        out += common::format("%v{} = phi [", i);
+        for (std::size_t a = 0; a < instr.args.size(); ++a) {
+          if (a != 0) {
+            out += ", ";
+          }
+          out += value_name(instr.args[a]);
+        }
+        out += "]";
+        break;
+      }
+      case Opcode::kConst:
+        out += common::format("%v{} = const", i);
+        break;
+      case Opcode::kRet:
+        out += instr.a.is_none() ? std::string("ret") : common::format("ret {}",
+                                                                       value_name(instr.a));
+        break;
+    }
+    out += '\n';
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string print_module(const Module& module, const AccessAnalysis* analysis) {
+  std::string out;
+  for (const auto& fn : module.functions()) {
+    if (!out.empty()) {
+      out += '\n';
+    }
+    out += print_function(*fn, analysis);
+  }
+  return out;
+}
+
+}  // namespace kir

@@ -1,0 +1,25 @@
+// Textual dump of kernel IR in an LLVM-flavoured syntax, for diagnostics and
+// golden tests. Optionally annotates each pointer parameter with its
+// analysis result, mirroring how the compiler pass reports its findings.
+#pragma once
+
+#include <string>
+
+#include "kir/access_analysis.hpp"
+#include "kir/ir.hpp"
+
+namespace kir {
+
+/// Render one function, e.g.
+///   kernel @jacobi(ptr %p0 [write], ptr %p1 [read], i64 %p2) {
+///     %v0 = const
+///     %v1 = gep %p1, %v0
+///     ...
+///   }
+/// Pass nullptr for `analysis` to omit the access-mode annotations.
+[[nodiscard]] std::string print_function(const Function& fn, const AccessAnalysis* analysis);
+
+/// Render the whole module (functions in creation order).
+[[nodiscard]] std::string print_module(const Module& module, const AccessAnalysis* analysis);
+
+}  // namespace kir

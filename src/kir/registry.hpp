@@ -1,0 +1,54 @@
+// The kernel registry is the product of the host-side compilation phase
+// (paper Fig. 7 step 4 / Fig. 9): for every kernel it holds the pointer
+// argument access attributes computed by the device-code analysis, ready to
+// be passed to the cusan_kernel_register callback at launch time.
+#pragma once
+
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "kir/access_analysis.hpp"
+#include "kir/ir.hpp"
+
+namespace kir {
+
+struct KernelInfo {
+  const Function* fn{nullptr};
+  std::vector<AccessMode> param_modes;  ///< indexed by parameter position
+};
+
+class KernelRegistry {
+ public:
+  /// Runs the access analysis over the module and records per-kernel
+  /// argument attributes. The module must outlive the registry.
+  explicit KernelRegistry(const Module& module) : analysis_(module) {
+    for (const auto& fn : module.functions()) {
+      KernelInfo info;
+      info.fn = fn.get();
+      const auto modes = analysis_.modes(fn.get());
+      info.param_modes.assign(modes.begin(), modes.end());
+      infos_.emplace(fn.get(), std::move(info));
+      by_name_.emplace(fn->name(), fn.get());
+    }
+  }
+
+  [[nodiscard]] const KernelInfo* lookup(const Function* fn) const {
+    const auto it = infos_.find(fn);
+    return it != infos_.end() ? &it->second : nullptr;
+  }
+
+  [[nodiscard]] const KernelInfo* lookup(std::string_view name) const {
+    const auto it = by_name_.find(std::string(name));
+    return it != by_name_.end() ? lookup(it->second) : nullptr;
+  }
+
+  [[nodiscard]] const AccessAnalysis& analysis() const { return analysis_; }
+
+ private:
+  AccessAnalysis analysis_;
+  std::unordered_map<const Function*, KernelInfo> infos_;
+  std::unordered_map<std::string, const Function*> by_name_;
+};
+
+}  // namespace kir

@@ -1,0 +1,118 @@
+#include "kir/verifier.hpp"
+
+#include "common/format.hpp"
+
+namespace kir {
+namespace {
+
+bool value_in_range(const Function& fn, Value v) {
+  switch (v.kind) {
+    case Value::Kind::kNone:
+      return true;
+    case Value::Kind::kParam:
+      return v.index < fn.param_count();
+    case Value::Kind::kInstr:
+      return v.index < fn.instrs().size();
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<std::string> verify_function(const Function& fn) {
+  std::vector<std::string> diags;
+  const auto complain = [&](std::size_t i, const std::string& what) {
+    diags.push_back(common::format("@{}: instruction {}: {}", fn.name(), i, what));
+  };
+
+  const auto& instrs = fn.instrs();
+  if (instrs.empty() || instrs.back().op != Opcode::kRet) {
+    diags.push_back(common::format("@{}: function must end with ret", fn.name()));
+  }
+
+  std::size_t ret_count = 0;
+  for (std::size_t i = 0; i < instrs.size(); ++i) {
+    const Instr& instr = instrs[i];
+    if (!value_in_range(fn, instr.a)) {
+      complain(i, "operand a out of range");
+    }
+    if (!value_in_range(fn, instr.b)) {
+      complain(i, "operand b out of range");
+    }
+    for (const Value& arg : instr.args) {
+      if (!value_in_range(fn, arg)) {
+        complain(i, "call/phi operand out of range");
+      }
+    }
+    switch (instr.op) {
+      case Opcode::kLoad:
+        if (instr.a.is_none()) {
+          complain(i, "load without pointer operand");
+        }
+        break;
+      case Opcode::kStore:
+        if (instr.a.is_none()) {
+          complain(i, "store without pointer operand");
+        }
+        break;
+      case Opcode::kGep:
+        if (instr.a.is_none()) {
+          complain(i, "gep without base operand");
+        }
+        break;
+      case Opcode::kCall:
+        if (instr.callee != nullptr && instr.args.size() != instr.callee->param_count()) {
+          complain(i, common::format("call passes {} args but @{} takes {}", instr.args.size(),
+                                     instr.callee->name(), instr.callee->param_count()));
+        }
+        break;
+      case Opcode::kPhi:
+        if (instr.args.empty()) {
+          complain(i, "phi with no incoming values");
+        }
+        break;
+      case Opcode::kRet:
+        ++ret_count;
+        if (i + 1 != instrs.size()) {
+          complain(i, "ret must be the last instruction");
+        }
+        break;
+      case Opcode::kArith:
+      case Opcode::kConst:
+        break;
+    }
+  }
+  if (ret_count > 1) {
+    diags.push_back(common::format("@{}: multiple ret instructions", fn.name()));
+  }
+  // Straight-line SSA dominance: non-phi operands must reference EARLIER
+  // instructions (phis may reference later ones: loop back-edges).
+  for (std::size_t i = 0; i < instrs.size(); ++i) {
+    const Instr& instr = instrs[i];
+    if (instr.op == Opcode::kPhi) {
+      continue;
+    }
+    const auto check_dominance = [&](Value v) {
+      if (v.kind == Value::Kind::kInstr && v.index >= i) {
+        complain(i, "non-phi operand references a later instruction");
+      }
+    };
+    check_dominance(instr.a);
+    check_dominance(instr.b);
+    for (const Value& arg : instr.args) {
+      check_dominance(arg);
+    }
+  }
+  return diags;
+}
+
+std::vector<std::string> verify_module(const Module& module) {
+  std::vector<std::string> diags;
+  for (const auto& fn : module.functions()) {
+    auto fn_diags = verify_function(*fn);
+    diags.insert(diags.end(), fn_diags.begin(), fn_diags.end());
+  }
+  return diags;
+}
+
+}  // namespace kir

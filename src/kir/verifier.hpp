@@ -1,0 +1,22 @@
+// Structural verifier for kernel IR, mirroring LLVM's module verifier:
+// catches malformed IR early (bad operands, argument-count mismatches,
+// missing terminators) so analysis results are trustworthy.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "kir/ir.hpp"
+
+namespace kir {
+
+/// Verify one function; returns human-readable diagnostics (empty = valid).
+[[nodiscard]] std::vector<std::string> verify_function(const Function& fn);
+
+/// Verify every function in the module.
+[[nodiscard]] std::vector<std::string> verify_module(const Module& module);
+
+[[nodiscard]] inline bool is_valid(const Function& fn) { return verify_function(fn).empty(); }
+[[nodiscard]] inline bool is_valid(const Module& module) { return verify_module(module).empty(); }
+
+}  // namespace kir

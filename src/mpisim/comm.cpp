@@ -1,0 +1,570 @@
+#include "mpisim/comm.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "mpisim/request.hpp"
+
+namespace mpisim {
+
+// Internal tags used by the linear collective implementations. User tags are
+// required to be >= 0, so the reserved range can never collide.
+namespace {
+constexpr int kTagBarrierIn = -100;
+constexpr int kTagBarrierOut = -101;
+constexpr int kTagBcast = -102;
+constexpr int kTagReduce = -103;
+constexpr int kTagGather = -104;
+constexpr int kTagScatter = -105;
+}  // namespace
+
+class CommImpl {
+ public:
+  explicit CommImpl(int size)
+      : size_(size),
+        mailboxes_(static_cast<std::size_t>(size)),
+        dup_counts_(static_cast<std::size_t>(size), 0) {}
+
+  [[nodiscard]] int size() const { return size_; }
+
+  MpiError post_send(int src, int dest, int tag, const void* buf, std::size_t count,
+                     const Datatype& type) {
+    Message msg;
+    msg.src = src;
+    msg.tag = tag;
+    msg.payload.resize(type.packed_size() * count);
+    type.pack(buf, count, msg.payload.data());
+    type.signature(count, msg.signature);
+
+    std::lock_guard lock(mutex_);
+    Mailbox& box = mailboxes_[static_cast<std::size_t>(dest)];
+    // Match the oldest posted receive accepting (src, tag).
+    for (auto it = box.posted.begin(); it != box.posted.end(); ++it) {
+      if (matches(it->source, it->tag, src, tag)) {
+        PostedRecv posted = *it;
+        box.posted.erase(it);
+        deliver(msg, posted);
+        cv_.notify_all();
+        return MpiError::kSuccess;
+      }
+    }
+    box.unexpected.push_back(std::move(msg));
+    cv_.notify_all();  // wake blocking probes
+    return MpiError::kSuccess;
+  }
+
+  MpiError post_recv(int dest, int source, int tag, void* buf, std::size_t count,
+                     const Datatype& type, Request* request) {
+    PostedRecv posted;
+    posted.source = source;
+    posted.tag = tag;
+    posted.buffer = buf;
+    posted.count = count;
+    posted.type = type;
+    posted.request = request;
+
+    std::lock_guard lock(mutex_);
+    Mailbox& box = mailboxes_[static_cast<std::size_t>(dest)];
+    for (auto it = box.unexpected.begin(); it != box.unexpected.end(); ++it) {
+      if (matches(source, tag, it->src, it->tag)) {
+        Message msg = std::move(*it);
+        box.unexpected.erase(it);
+        deliver(msg, posted);
+        cv_.notify_all();
+        return MpiError::kSuccess;
+      }
+    }
+    box.posted.push_back(posted);
+    return MpiError::kSuccess;
+  }
+
+  MpiError wait(Request** request, Status* status) {
+    if (request == nullptr || *request == nullptr) {
+      return MpiError::kRequestNull;
+    }
+    Request* req = *request;
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [req] { return req->complete_; });
+    const Status st = req->status_;
+    lock.unlock();
+    if (status != nullptr) {
+      *status = st;
+    }
+    delete req;
+    *request = nullptr;
+    return st.error;
+  }
+
+  MpiError test(Request** request, bool* completed, Status* status) {
+    if (request == nullptr || *request == nullptr) {
+      return MpiError::kRequestNull;
+    }
+    Request* req = *request;
+    std::unique_lock lock(mutex_);
+    if (!req->complete_) {
+      if (completed != nullptr) {
+        *completed = false;
+      }
+      return MpiError::kSuccess;
+    }
+    const Status st = req->status_;
+    lock.unlock();
+    if (completed != nullptr) {
+      *completed = true;
+    }
+    if (status != nullptr) {
+      *status = st;
+    }
+    delete req;
+    *request = nullptr;
+    return st.error;
+  }
+
+  [[nodiscard]] Request* make_request(Request::Kind kind, const void* buf, std::size_t count,
+                                      const Datatype& type) {
+    return new Request(kind, buf, count, type);
+  }
+
+  MpiError waitany(std::span<Request*> requests, int* index, Status* status) {
+    if (index == nullptr) {
+      return MpiError::kInvalidArg;
+    }
+    *index = -1;
+    bool any = false;
+    for (const Request* req : requests) {
+      any = any || req != nullptr;
+    }
+    if (!any) {
+      return MpiError::kRequestNull;
+    }
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [&] {
+        for (std::size_t i = 0; i < requests.size(); ++i) {
+          if (requests[i] != nullptr && requests[i]->complete_) {
+            *index = static_cast<int>(i);
+            return true;
+          }
+        }
+        return false;
+      });
+    }
+    return wait(&requests[static_cast<std::size_t>(*index)], status);
+  }
+
+  MpiError probe(int rank, int source, int tag, bool blocking, bool* flag, Status* status) {
+    std::unique_lock lock(mutex_);
+    Mailbox& box = mailboxes_[static_cast<std::size_t>(rank)];
+    const auto find_match = [&]() -> const Message* {
+      for (const Message& msg : box.unexpected) {
+        if (matches(source, tag, msg.src, msg.tag)) {
+          return &msg;
+        }
+      }
+      return nullptr;
+    };
+    const Message* msg = find_match();
+    if (!blocking) {
+      if (flag != nullptr) {
+        *flag = msg != nullptr;
+      }
+    } else {
+      cv_.wait(lock, [&] {
+        msg = find_match();
+        return msg != nullptr;
+      });
+    }
+    if (msg != nullptr && status != nullptr) {
+      *status = Status{msg->src, msg->tag, msg->payload.size(), MpiError::kSuccess};
+    }
+    return MpiError::kSuccess;
+  }
+
+  void complete_send_request(Request* req, std::size_t bytes) {
+    std::lock_guard lock(mutex_);
+    req->complete_ = true;
+    req->status_ = Status{-1, -1, bytes, MpiError::kSuccess};
+    cv_.notify_all();
+  }
+
+ private:
+  struct Message {
+    int src{};
+    int tag{};
+    std::vector<std::byte> payload;   ///< packed representation
+    std::vector<Scalar> signature;    ///< sender's type signature (MUST metadata)
+  };
+
+  struct PostedRecv {
+    int source{};
+    int tag{};
+    void* buffer{};
+    std::size_t count{};
+    Datatype type;
+    Request* request{};  ///< completion target
+  };
+
+  struct Mailbox {
+    std::deque<Message> unexpected;
+    std::deque<PostedRecv> posted;
+  };
+
+  [[nodiscard]] static bool matches(int want_src, int want_tag, int src, int tag) {
+    return (want_src == kAnySource || want_src == src) &&
+           (want_tag == kAnyTag || want_tag == tag);
+  }
+
+  // Unpack a matched message into the posted receive buffer and complete the
+  // request. Caller holds mutex_.
+  void deliver(const Message& msg, const PostedRecv& posted) {
+    const std::size_t elem_packed = posted.type.packed_size();
+    const std::size_t capacity_elems = posted.count;
+    const std::size_t msg_elems = elem_packed != 0 ? msg.payload.size() / elem_packed : 0;
+    const bool truncated = msg_elems > capacity_elems;
+    const std::size_t deliver_elems = truncated ? capacity_elems : msg_elems;
+    posted.type.unpack(msg.payload.data(), deliver_elems, posted.buffer);
+
+    // Signature check over the delivered prefix (MUST's send/recv type
+    // matching): the scalar sequences must agree element-wise. A fully
+    // byte-typed side (MPI_BYTE/MPI_CHAR) is treated as an untyped view and
+    // matches anything of the same byte length.
+    const auto all_byte_like = [](const std::vector<Scalar>& sig) {
+      for (const Scalar s : sig) {
+        if (s != Scalar::kByte && s != Scalar::kChar) {
+          return false;
+        }
+      }
+      return true;
+    };
+    std::vector<Scalar> recv_sig;
+    posted.type.signature(deliver_elems, recv_sig);
+    bool mismatch = false;
+    if (!all_byte_like(recv_sig) && !all_byte_like(msg.signature)) {
+      mismatch = recv_sig.size() > msg.signature.size();
+      if (!mismatch) {
+        for (std::size_t i = 0; i < recv_sig.size(); ++i) {
+          if (recv_sig[i] != msg.signature[i]) {
+            mismatch = true;
+            break;
+          }
+        }
+      }
+    }
+
+    CUSAN_ASSERT(posted.request != nullptr);
+    posted.request->complete_ = true;
+    posted.request->status_ =
+        Status{msg.src, msg.tag, deliver_elems * elem_packed,
+               truncated ? MpiError::kTruncate : MpiError::kSuccess, mismatch};
+  }
+
+  int size_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<Mailbox> mailboxes_;
+
+ public:
+  /// The rank's k-th dup call maps to child context k (MPI's same-order
+  /// collective-call requirement makes the indices agree across ranks).
+  std::shared_ptr<CommImpl> dup_for_rank(int rank) {
+    std::lock_guard lock(dup_mutex_);
+    const std::size_t k = dup_counts_[static_cast<std::size_t>(rank)]++;
+    if (k >= children_.size()) {
+      children_.push_back(std::make_shared<CommImpl>(size_));
+    }
+    return children_[k];
+  }
+
+ private:
+  std::mutex dup_mutex_;
+  std::vector<std::size_t> dup_counts_;
+  std::vector<std::shared_ptr<CommImpl>> children_;
+};
+
+std::shared_ptr<CommImpl> make_comm_impl(int size) {
+  CUSAN_ASSERT(size > 0);
+  return std::make_shared<CommImpl>(size);
+}
+
+// -- Comm: point-to-point ---------------------------------------------------------
+
+int Comm::size() const { return impl_ ? impl_->size() : 0; }
+
+MpiError Comm::dup(Comm* out) {
+  if (out == nullptr) {
+    return MpiError::kInvalidArg;
+  }
+  if (!valid()) {
+    return MpiError::kInvalidArg;
+  }
+  *out = Comm(impl_->dup_for_rank(rank_), rank_);
+  return MpiError::kSuccess;
+}
+
+MpiError Comm::send(const void* buf, std::size_t count, const Datatype& type, int dest, int tag) {
+  if (!valid() || !type.valid() || (buf == nullptr && count > 0)) {
+    return MpiError::kInvalidArg;
+  }
+  if (!rank_valid(dest)) {
+    return MpiError::kInvalidRank;
+  }
+  // Eager buffered send: the payload is captured before returning, so the
+  // send buffer is reusable immediately (standard-mode semantics).
+  return impl_->post_send(rank_, dest, tag, buf, count, type);
+}
+
+MpiError Comm::recv(void* buf, std::size_t count, const Datatype& type, int source, int tag,
+                    Status* status) {
+  Request* request = nullptr;
+  if (const MpiError err = irecv(buf, count, type, source, tag, &request);
+      err != MpiError::kSuccess) {
+    return err;
+  }
+  return wait(&request, status);
+}
+
+MpiError Comm::isend(const void* buf, std::size_t count, const Datatype& type, int dest, int tag,
+                     Request** request) {
+  if (request == nullptr) {
+    return MpiError::kInvalidArg;
+  }
+  *request = nullptr;
+  if (!valid() || !type.valid() || (buf == nullptr && count > 0)) {
+    return MpiError::kInvalidArg;
+  }
+  if (!rank_valid(dest)) {
+    return MpiError::kInvalidRank;
+  }
+  Request* req = impl_->make_request(Request::Kind::kSend, buf, count, type);
+  const MpiError err = impl_->post_send(rank_, dest, tag, buf, count, type);
+  if (err != MpiError::kSuccess) {
+    delete req;
+    return err;
+  }
+  // Eager send: complete as soon as the payload is captured.
+  impl_->complete_send_request(req, type.packed_size() * count);
+  *request = req;
+  return MpiError::kSuccess;
+}
+
+MpiError Comm::irecv(void* buf, std::size_t count, const Datatype& type, int source, int tag,
+                     Request** request) {
+  if (request == nullptr) {
+    return MpiError::kInvalidArg;
+  }
+  *request = nullptr;
+  if (!valid() || !type.valid() || (buf == nullptr && count > 0)) {
+    return MpiError::kInvalidArg;
+  }
+  if (source != kAnySource && !rank_valid(source)) {
+    return MpiError::kInvalidRank;
+  }
+  Request* req = impl_->make_request(Request::Kind::kRecv, buf, count, type);
+  const MpiError err = impl_->post_recv(rank_, source, tag, buf, count, type, req);
+  if (err != MpiError::kSuccess) {
+    delete req;
+    return err;
+  }
+  *request = req;
+  return MpiError::kSuccess;
+}
+
+MpiError Comm::wait(Request** request, Status* status) { return impl_->wait(request, status); }
+
+MpiError Comm::test(Request** request, bool* completed, Status* status) {
+  return impl_->test(request, completed, status);
+}
+
+MpiError Comm::waitany(std::span<Request*> requests, int* index, Status* status) {
+  return impl_->waitany(requests, index, status);
+}
+
+MpiError Comm::probe(int source, int tag, Status* status) {
+  if (!valid() || (source != kAnySource && !rank_valid(source))) {
+    return MpiError::kInvalidRank;
+  }
+  return impl_->probe(rank_, source, tag, /*blocking=*/true, nullptr, status);
+}
+
+MpiError Comm::iprobe(int source, int tag, bool* flag, Status* status) {
+  if (flag == nullptr) {
+    return MpiError::kInvalidArg;
+  }
+  if (!valid() || (source != kAnySource && !rank_valid(source))) {
+    return MpiError::kInvalidRank;
+  }
+  return impl_->probe(rank_, source, tag, /*blocking=*/false, flag, status);
+}
+
+MpiError Comm::waitall(std::span<Request*> requests) {
+  MpiError first_error = MpiError::kSuccess;
+  for (Request*& req : requests) {
+    if (req == nullptr) {
+      continue;
+    }
+    const MpiError err = wait(&req, nullptr);
+    if (err != MpiError::kSuccess && first_error == MpiError::kSuccess) {
+      first_error = err;
+    }
+  }
+  return first_error;
+}
+
+MpiError Comm::sendrecv(const void* sendbuf, std::size_t sendcount, const Datatype& sendtype,
+                        int dest, int sendtag, void* recvbuf, std::size_t recvcount,
+                        const Datatype& recvtype, int source, int recvtag, Status* status) {
+  Request* recv_req = nullptr;
+  if (const MpiError err = irecv(recvbuf, recvcount, recvtype, source, recvtag, &recv_req);
+      err != MpiError::kSuccess) {
+    return err;
+  }
+  if (const MpiError err = send(sendbuf, sendcount, sendtype, dest, sendtag);
+      err != MpiError::kSuccess) {
+    (void)wait(&recv_req, nullptr);
+    return err;
+  }
+  return wait(&recv_req, status);
+}
+
+// -- Comm: collectives (linear algorithms over internal p2p) -----------------------
+
+MpiError Comm::barrier() {
+  // Gather a token at rank 0, then broadcast the release.
+  const Datatype type = Datatype::byte();
+  std::byte token{};
+  if (rank_ == 0) {
+    for (int r = 1; r < size(); ++r) {
+      if (const MpiError err = recv(&token, 1, type, r, kTagBarrierIn); err != MpiError::kSuccess) {
+        return err;
+      }
+    }
+    for (int r = 1; r < size(); ++r) {
+      if (const MpiError err = send(&token, 1, type, r, kTagBarrierOut);
+          err != MpiError::kSuccess) {
+        return err;
+      }
+    }
+    return MpiError::kSuccess;
+  }
+  if (const MpiError err = send(&token, 1, type, 0, kTagBarrierIn); err != MpiError::kSuccess) {
+    return err;
+  }
+  return recv(&token, 1, type, 0, kTagBarrierOut);
+}
+
+MpiError Comm::bcast(void* buf, std::size_t count, const Datatype& type, int root) {
+  if (!rank_valid(root)) {
+    return MpiError::kInvalidRank;
+  }
+  if (rank_ == root) {
+    for (int r = 0; r < size(); ++r) {
+      if (r == root) {
+        continue;
+      }
+      if (const MpiError err = send(buf, count, type, r, kTagBcast); err != MpiError::kSuccess) {
+        return err;
+      }
+    }
+    return MpiError::kSuccess;
+  }
+  return recv(buf, count, type, root, kTagBcast);
+}
+
+MpiError Comm::reduce(const void* sendbuf, void* recvbuf, std::size_t count, const Datatype& type,
+                      ReduceOp op, int root) {
+  if (!rank_valid(root)) {
+    return MpiError::kInvalidRank;
+  }
+  if (rank_ != root) {
+    return send(sendbuf, count, type, root, kTagReduce);
+  }
+  if (recvbuf != sendbuf) {
+    std::memcpy(recvbuf, sendbuf, type.extent() * count);
+  }
+  std::vector<std::byte> scratch(type.extent() * count);
+  for (int r = 0; r < size(); ++r) {
+    if (r == root) {
+      continue;
+    }
+    if (const MpiError err = recv(scratch.data(), count, type, r, kTagReduce);
+        err != MpiError::kSuccess) {
+      return err;
+    }
+    if (!apply_reduce(op, type, count, scratch.data(), recvbuf)) {
+      return MpiError::kInvalidArg;
+    }
+  }
+  return MpiError::kSuccess;
+}
+
+MpiError Comm::allreduce(const void* sendbuf, void* recvbuf, std::size_t count,
+                         const Datatype& type, ReduceOp op) {
+  if (const MpiError err = reduce(sendbuf, recvbuf, count, type, op, 0);
+      err != MpiError::kSuccess) {
+    return err;
+  }
+  return bcast(recvbuf, count, type, 0);
+}
+
+MpiError Comm::gather(const void* sendbuf, std::size_t count, const Datatype& type,
+                      void* recvbuf, int root) {
+  if (!rank_valid(root)) {
+    return MpiError::kInvalidRank;
+  }
+  if (rank_ != root) {
+    return send(sendbuf, count, type, root, kTagGather);
+  }
+  auto* recv_bytes = static_cast<std::byte*>(recvbuf);
+  const std::size_t slot = type.extent() * count;
+  for (int r = 0; r < size(); ++r) {
+    std::byte* dst = recv_bytes + static_cast<std::size_t>(r) * slot;
+    if (r == root) {
+      std::memcpy(dst, sendbuf, slot);
+      continue;
+    }
+    if (const MpiError err = recv(dst, count, type, r, kTagGather); err != MpiError::kSuccess) {
+      return err;
+    }
+  }
+  return MpiError::kSuccess;
+}
+
+MpiError Comm::scatter(const void* sendbuf, std::size_t count, const Datatype& type,
+                       void* recvbuf, int root) {
+  if (!rank_valid(root)) {
+    return MpiError::kInvalidRank;
+  }
+  if (rank_ != root) {
+    return recv(recvbuf, count, type, root, kTagScatter);
+  }
+  const auto* send_bytes = static_cast<const std::byte*>(sendbuf);
+  const std::size_t slot = type.extent() * count;
+  for (int r = 0; r < size(); ++r) {
+    const std::byte* src = send_bytes + static_cast<std::size_t>(r) * slot;
+    if (r == root) {
+      std::memcpy(recvbuf, src, slot);
+      continue;
+    }
+    if (const MpiError err = send(src, count, type, r, kTagScatter); err != MpiError::kSuccess) {
+      return err;
+    }
+  }
+  return MpiError::kSuccess;
+}
+
+MpiError Comm::allgather(const void* sendbuf, std::size_t count, const Datatype& type,
+                         void* recvbuf) {
+  if (const MpiError err = gather(sendbuf, count, type, recvbuf, 0);
+      err != MpiError::kSuccess) {
+    return err;
+  }
+  // Broadcast the assembled result.
+  return bcast(recvbuf, count * static_cast<std::size_t>(size()), type, 0);
+}
+
+}  // namespace mpisim

@@ -1,0 +1,254 @@
+#include "mpisim/datatype.hpp"
+
+#include <cstring>
+
+#include "common/assert.hpp"
+#include "common/format.hpp"
+
+namespace mpisim {
+
+Datatype Datatype::make_builtin(const char* name, Scalar scalar) {
+  auto impl = std::make_shared<Impl>();
+  impl->name = name;
+  impl->extent = scalar_size(scalar);
+  impl->packed = impl->extent;
+  impl->layout = {LayoutEntry{0, scalar}};
+  return Datatype(std::move(impl));
+}
+
+Datatype Datatype::byte() {
+  static const Datatype t = make_builtin("MPI_BYTE", Scalar::kByte);
+  return t;
+}
+Datatype Datatype::char_() {
+  static const Datatype t = make_builtin("MPI_CHAR", Scalar::kChar);
+  return t;
+}
+Datatype Datatype::int32() {
+  static const Datatype t = make_builtin("MPI_INT", Scalar::kInt32);
+  return t;
+}
+Datatype Datatype::uint32() {
+  static const Datatype t = make_builtin("MPI_UNSIGNED", Scalar::kUInt32);
+  return t;
+}
+Datatype Datatype::int64() {
+  static const Datatype t = make_builtin("MPI_LONG_LONG", Scalar::kInt64);
+  return t;
+}
+Datatype Datatype::uint64() {
+  static const Datatype t = make_builtin("MPI_UNSIGNED_LONG_LONG", Scalar::kUInt64);
+  return t;
+}
+Datatype Datatype::float32() {
+  static const Datatype t = make_builtin("MPI_FLOAT", Scalar::kFloat);
+  return t;
+}
+Datatype Datatype::float64() {
+  static const Datatype t = make_builtin("MPI_DOUBLE", Scalar::kDouble);
+  return t;
+}
+
+Datatype Datatype::contiguous(const Datatype& base, std::size_t count) {
+  CUSAN_ASSERT(base.valid());
+  CUSAN_ASSERT(count > 0);
+  auto impl = std::make_shared<Impl>();
+  impl->name = common::format("contiguous({}, {})", count, base.name());
+  impl->extent = base.extent() * count;
+  impl->packed = base.packed_size() * count;
+  impl->layout.reserve(base.layout().size() * count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t shift = i * base.extent();
+    for (const auto& entry : base.layout()) {
+      impl->layout.push_back(LayoutEntry{entry.offset + shift, entry.scalar});
+    }
+  }
+  return Datatype(std::move(impl));
+}
+
+Datatype Datatype::vector(const Datatype& base, std::size_t count, std::size_t blocklength,
+                          std::size_t stride) {
+  CUSAN_ASSERT(base.valid());
+  CUSAN_ASSERT(count > 0 && blocklength > 0 && stride >= blocklength);
+  auto impl = std::make_shared<Impl>();
+  impl->name = common::format("vector({}x{} stride {}, {})", count, blocklength, stride,
+                              base.name());
+  // MPI extent of a vector: distance from first to one past the last block.
+  impl->extent = ((count - 1) * stride + blocklength) * base.extent();
+  impl->packed = count * blocklength * base.packed_size();
+  impl->layout.reserve(base.layout().size() * count * blocklength);
+  for (std::size_t block = 0; block < count; ++block) {
+    for (std::size_t i = 0; i < blocklength; ++i) {
+      const std::size_t shift = (block * stride + i) * base.extent();
+      for (const auto& entry : base.layout()) {
+        impl->layout.push_back(LayoutEntry{entry.offset + shift, entry.scalar});
+      }
+    }
+  }
+  return Datatype(std::move(impl));
+}
+
+Datatype Datatype::indexed(const Datatype& base, std::span<const std::size_t> blocklengths,
+                           std::span<const std::size_t> displacements) {
+  CUSAN_ASSERT(base.valid());
+  CUSAN_ASSERT(!blocklengths.empty() && blocklengths.size() == displacements.size());
+  auto impl = std::make_shared<Impl>();
+  impl->name = common::format("indexed({} blocks, {})", blocklengths.size(), base.name());
+  std::size_t end = 0;
+  std::size_t packed_elems = 0;
+  for (std::size_t block = 0; block < blocklengths.size(); ++block) {
+    CUSAN_ASSERT_MSG(blocklengths[block] > 0, "empty indexed block");
+    CUSAN_ASSERT_MSG(displacements[block] >= end, "indexed blocks must be increasing/disjoint");
+    end = displacements[block] + blocklengths[block];
+    packed_elems += blocklengths[block];
+    for (std::size_t i = 0; i < blocklengths[block]; ++i) {
+      const std::size_t shift = (displacements[block] + i) * base.extent();
+      for (const auto& entry : base.layout()) {
+        impl->layout.push_back(LayoutEntry{entry.offset + shift, entry.scalar});
+      }
+    }
+  }
+  impl->extent = end * base.extent();
+  impl->packed = packed_elems * base.packed_size();
+  return Datatype(std::move(impl));
+}
+
+const std::string& Datatype::name() const {
+  CUSAN_ASSERT(valid());
+  return impl_->name;
+}
+
+std::size_t Datatype::extent() const {
+  CUSAN_ASSERT(valid());
+  return impl_->extent;
+}
+
+std::size_t Datatype::packed_size() const {
+  CUSAN_ASSERT(valid());
+  return impl_->packed;
+}
+
+bool Datatype::is_contiguous() const {
+  CUSAN_ASSERT(valid());
+  if (impl_->packed != impl_->extent) {
+    return false;
+  }
+  std::size_t expected = 0;
+  for (const auto& entry : impl_->layout) {
+    if (entry.offset != expected) {
+      return false;
+    }
+    expected += scalar_size(entry.scalar);
+  }
+  return expected == impl_->extent;
+}
+
+const std::vector<LayoutEntry>& Datatype::layout() const {
+  CUSAN_ASSERT(valid());
+  return impl_->layout;
+}
+
+void Datatype::signature(std::size_t count, std::vector<Scalar>& out) const {
+  CUSAN_ASSERT(valid());
+  out.reserve(out.size() + impl_->layout.size() * count);
+  for (std::size_t i = 0; i < count; ++i) {
+    for (const auto& entry : impl_->layout) {
+      out.push_back(entry.scalar);
+    }
+  }
+}
+
+void Datatype::pack(const void* src, std::size_t count, void* dst) const {
+  CUSAN_ASSERT(valid());
+  if (is_contiguous()) {
+    std::memcpy(dst, src, impl_->extent * count);
+    return;
+  }
+  const auto* in = static_cast<const std::byte*>(src);
+  auto* out = static_cast<std::byte*>(dst);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::byte* elem = in + i * impl_->extent;
+    for (const auto& entry : impl_->layout) {
+      const std::size_t n = scalar_size(entry.scalar);
+      std::memcpy(out, elem + entry.offset, n);
+      out += n;
+    }
+  }
+}
+
+void Datatype::unpack(const void* src, std::size_t count, void* dst) const {
+  CUSAN_ASSERT(valid());
+  if (is_contiguous()) {
+    std::memcpy(dst, src, impl_->extent * count);
+    return;
+  }
+  const auto* in = static_cast<const std::byte*>(src);
+  auto* out = static_cast<std::byte*>(dst);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::byte* elem = out + i * impl_->extent;
+    for (const auto& entry : impl_->layout) {
+      const std::size_t n = scalar_size(entry.scalar);
+      std::memcpy(elem + entry.offset, in, n);
+      in += n;
+    }
+  }
+}
+
+namespace {
+
+template <typename T>
+void reduce_typed(ReduceOp op, std::size_t count, const void* in_raw, void* inout_raw) {
+  const T* in = static_cast<const T*>(in_raw);
+  T* inout = static_cast<T*>(inout_raw);
+  for (std::size_t i = 0; i < count; ++i) {
+    switch (op) {
+      case ReduceOp::kSum:
+        inout[i] = static_cast<T>(inout[i] + in[i]);
+        break;
+      case ReduceOp::kMin:
+        inout[i] = in[i] < inout[i] ? in[i] : inout[i];
+        break;
+      case ReduceOp::kMax:
+        inout[i] = in[i] > inout[i] ? in[i] : inout[i];
+        break;
+      case ReduceOp::kProd:
+        inout[i] = static_cast<T>(inout[i] * in[i]);
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+bool apply_reduce(ReduceOp op, const Datatype& type, std::size_t count, const void* in,
+                  void* inout) {
+  if (!type.valid() || type.layout().size() != 1 || type.layout().front().offset != 0) {
+    return false;  // reductions only on builtin scalars
+  }
+  switch (type.layout().front().scalar) {
+    case Scalar::kInt32:
+      reduce_typed<std::int32_t>(op, count, in, inout);
+      return true;
+    case Scalar::kUInt32:
+      reduce_typed<std::uint32_t>(op, count, in, inout);
+      return true;
+    case Scalar::kInt64:
+      reduce_typed<std::int64_t>(op, count, in, inout);
+      return true;
+    case Scalar::kUInt64:
+      reduce_typed<std::uint64_t>(op, count, in, inout);
+      return true;
+    case Scalar::kFloat:
+      reduce_typed<float>(op, count, in, inout);
+      return true;
+    case Scalar::kDouble:
+      reduce_typed<double>(op, count, in, inout);
+      return true;
+    case Scalar::kByte:
+    case Scalar::kChar:
+      return false;
+  }
+  return false;
+}
+
+}  // namespace mpisim

@@ -1,0 +1,145 @@
+// MPI datatypes for the simulator: builtin scalars plus derived contiguous
+// and (strided) vector types. A datatype knows its extent, its packed size
+// and its flattened scalar layout (the "type signature" MPI matching is
+// defined over, and the layout MUST compares against TypeART allocations).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace mpisim {
+
+/// Primitive scalar kinds appearing in type signatures.
+enum class Scalar : std::uint8_t {
+  kByte,
+  kChar,
+  kInt32,
+  kUInt32,
+  kInt64,
+  kUInt64,
+  kFloat,
+  kDouble,
+};
+
+[[nodiscard]] constexpr std::size_t scalar_size(Scalar s) {
+  switch (s) {
+    case Scalar::kByte:
+    case Scalar::kChar:
+      return 1;
+    case Scalar::kInt32:
+    case Scalar::kUInt32:
+    case Scalar::kFloat:
+      return 4;
+    case Scalar::kInt64:
+    case Scalar::kUInt64:
+    case Scalar::kDouble:
+      return 8;
+  }
+  return 0;
+}
+
+[[nodiscard]] constexpr const char* to_string(Scalar s) {
+  switch (s) {
+    case Scalar::kByte:
+      return "MPI_BYTE";
+    case Scalar::kChar:
+      return "MPI_CHAR";
+    case Scalar::kInt32:
+      return "MPI_INT";
+    case Scalar::kUInt32:
+      return "MPI_UNSIGNED";
+    case Scalar::kInt64:
+      return "MPI_LONG_LONG";
+    case Scalar::kUInt64:
+      return "MPI_UNSIGNED_LONG_LONG";
+    case Scalar::kFloat:
+      return "MPI_FLOAT";
+    case Scalar::kDouble:
+      return "MPI_DOUBLE";
+  }
+  return "?";
+}
+
+/// One scalar at a byte offset within a datatype's extent.
+struct LayoutEntry {
+  std::size_t offset{};
+  Scalar scalar{Scalar::kByte};
+};
+
+class Datatype {
+ public:
+  Datatype() = default;  ///< null datatype (invalid for communication)
+
+  // Builtins.
+  [[nodiscard]] static Datatype byte();
+  [[nodiscard]] static Datatype char_();
+  [[nodiscard]] static Datatype int32();
+  [[nodiscard]] static Datatype uint32();
+  [[nodiscard]] static Datatype int64();
+  [[nodiscard]] static Datatype uint64();
+  [[nodiscard]] static Datatype float32();
+  [[nodiscard]] static Datatype float64();
+
+  /// `count` consecutive elements of `base` (MPI_Type_contiguous).
+  [[nodiscard]] static Datatype contiguous(const Datatype& base, std::size_t count);
+
+  /// `count` blocks of `blocklength` base elements, block starts separated
+  /// by `stride` base elements (MPI_Type_vector). stride >= blocklength.
+  [[nodiscard]] static Datatype vector(const Datatype& base, std::size_t count,
+                                       std::size_t blocklength, std::size_t stride);
+
+  /// MPI_Type_indexed: block i has `blocklengths[i]` base elements starting
+  /// at base-element displacement `displacements[i]`. The arrays must have
+  /// equal, non-zero length; blocks must not overlap and displacements must
+  /// be increasing.
+  [[nodiscard]] static Datatype indexed(const Datatype& base,
+                                        std::span<const std::size_t> blocklengths,
+                                        std::span<const std::size_t> displacements);
+
+  [[nodiscard]] bool valid() const { return impl_ != nullptr; }
+  [[nodiscard]] const std::string& name() const;
+  /// Span of one element in memory, including holes (MPI extent).
+  [[nodiscard]] std::size_t extent() const;
+  /// Bytes of actual data in one element (sum of scalar sizes).
+  [[nodiscard]] std::size_t packed_size() const;
+  /// True if the layout has no holes (packed_size == extent, offsets dense).
+  [[nodiscard]] bool is_contiguous() const;
+  [[nodiscard]] const std::vector<LayoutEntry>& layout() const;
+
+  /// Append the scalar signature of `count` elements to `out`.
+  void signature(std::size_t count, std::vector<Scalar>& out) const;
+
+  /// Pack `count` elements from `src` into `dst` (dst must hold
+  /// packed_size()*count bytes).
+  void pack(const void* src, std::size_t count, void* dst) const;
+  /// Unpack `count` elements from packed `src` into `dst`.
+  void unpack(const void* src, std::size_t count, void* dst) const;
+
+  friend bool operator==(const Datatype& a, const Datatype& b) { return a.impl_ == b.impl_; }
+
+ private:
+  struct Impl {
+    std::string name;
+    std::size_t extent{};
+    std::size_t packed{};
+    std::vector<LayoutEntry> layout;
+  };
+
+  explicit Datatype(std::shared_ptr<const Impl> impl) : impl_(std::move(impl)) {}
+  [[nodiscard]] static Datatype make_builtin(const char* name, Scalar scalar);
+
+  std::shared_ptr<const Impl> impl_;
+};
+
+/// Reduction operations (MPI_Op subset).
+enum class ReduceOp : std::uint8_t { kSum, kMin, kMax, kProd };
+
+/// Apply `op` elementwise: inout[i] = op(inout[i], in[i]). Only valid for
+/// builtin arithmetic datatypes; returns false for unsupported types.
+bool apply_reduce(ReduceOp op, const Datatype& type, std::size_t count, const void* in,
+                  void* inout);
+
+}  // namespace mpisim

@@ -1,0 +1,34 @@
+// Non-blocking communication requests. Requests are heap-allocated by
+// isend/irecv and destroyed by wait/test-success; the pointer value serves
+// as MUST's stable key for its request-fiber mapping.
+#pragma once
+
+#include "mpisim/comm.hpp"
+
+namespace mpisim {
+
+class Request {
+ public:
+  enum class Kind : std::uint8_t { kSend, kRecv };
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  /// The user buffer of the operation (send or recv side).
+  [[nodiscard]] const void* buffer() const { return buffer_; }
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] const Datatype& datatype() const { return type_; }
+
+ private:
+  friend class CommImpl;
+
+  Request(Kind kind, const void* buffer, std::size_t count, Datatype type)
+      : kind_(kind), buffer_(buffer), count_(count), type_(std::move(type)) {}
+
+  Kind kind_;
+  const void* buffer_;
+  std::size_t count_;
+  Datatype type_;
+  bool complete_{false};  // guarded by CommImpl::mutex_
+  Status status_{};
+};
+
+}  // namespace mpisim

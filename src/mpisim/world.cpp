@@ -1,0 +1,38 @@
+#include "mpisim/world.hpp"
+
+#include <exception>
+#include <thread>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace mpisim {
+
+World::World(int size) : size_(size), impl_(make_comm_impl(size)) {
+  CUSAN_ASSERT_MSG(size > 0, "world size must be positive");
+}
+
+void World::run(const std::function<void(Comm)>& rank_main) {
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> failures(static_cast<std::size_t>(size_));
+  threads.reserve(static_cast<std::size_t>(size_));
+  for (int r = 0; r < size_; ++r) {
+    threads.emplace_back([this, r, &rank_main, &failures] {
+      try {
+        rank_main(Comm(impl_, r));
+      } catch (...) {
+        failures[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  for (const auto& failure : failures) {
+    if (failure) {
+      std::rethrow_exception(failure);
+    }
+  }
+}
+
+}  // namespace mpisim

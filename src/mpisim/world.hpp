@@ -1,0 +1,28 @@
+// The MPI world: launches N rank threads sharing one communicator, joins
+// them, and propagates failures. One World::run corresponds to one mpirun
+// invocation of the paper's benchmark setup.
+#pragma once
+
+#include <functional>
+
+#include "mpisim/comm.hpp"
+
+namespace mpisim {
+
+class World {
+ public:
+  explicit World(int size);
+
+  [[nodiscard]] int size() const { return size_; }
+
+  /// Execute `rank_main(comm)` on every rank in its own thread and join.
+  /// If any rank throws, the first exception is rethrown after all ranks
+  /// finished (mirrors an MPI abort).
+  void run(const std::function<void(Comm)>& rank_main);
+
+ private:
+  int size_;
+  std::shared_ptr<CommImpl> impl_;
+};
+
+}  // namespace mpisim

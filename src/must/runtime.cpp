@@ -1,0 +1,247 @@
+#include "must/runtime.hpp"
+
+#include "common/assert.hpp"
+#include "common/format.hpp"
+
+namespace must {
+
+Runtime::Runtime(rsan::Runtime* tsan, typeart::Runtime* types, Config config)
+    : tsan_(tsan), types_(types), config_(config) {
+  CUSAN_ASSERT(tsan != nullptr && types != nullptr);
+}
+
+// -- helpers --------------------------------------------------------------------
+
+void Runtime::annotate_datatype_range(const void* buf, std::size_t count,
+                                      const mpisim::Datatype& type, bool is_write,
+                                      const char* label) {
+  if (!config_.check_races || buf == nullptr || count == 0) {
+    return;
+  }
+  const auto* base = static_cast<const std::byte*>(buf);
+  if (type.is_contiguous()) {
+    const std::size_t bytes = type.extent() * count;
+    if (is_write) {
+      tsan_->write_range(base, bytes, label);
+    } else {
+      tsan_->read_range(base, bytes, label);
+    }
+    return;
+  }
+  // Non-contiguous datatype: annotate only the bytes MPI actually touches,
+  // per layout entry, so accesses to the holes do not produce false races.
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::byte* elem = base + i * type.extent();
+    for (const auto& entry : type.layout()) {
+      const std::size_t n = scalar_size(entry.scalar);
+      if (is_write) {
+        tsan_->write_range(elem + entry.offset, n, label);
+      } else {
+        tsan_->read_range(elem + entry.offset, n, label);
+      }
+    }
+  }
+}
+
+void Runtime::run_type_check(const char* mpi_call, const void* buf, std::size_t count,
+                             const mpisim::Datatype& type) {
+  if (!config_.check_types || buf == nullptr || count == 0) {
+    return;
+  }
+  ++counters_.type_checks;
+  TypeCheckOutcome outcome = check_buffer(*types_, buf, count, type);
+  if (outcome.result == TypeCheckResult::kOk) {
+    return;
+  }
+  if (outcome.result == TypeCheckResult::kUntrackedBuffer && !config_.report_untracked) {
+    return;
+  }
+  ++counters_.type_errors;
+  ReportKind kind = ReportKind::kUntrackedBuffer;
+  if (outcome.result == TypeCheckResult::kTypeMismatch) {
+    kind = ReportKind::kTypeMismatch;
+  } else if (outcome.result == TypeCheckResult::kBufferOverflow) {
+    kind = ReportKind::kBufferOverflow;
+  }
+  reports_.push_back(MustReport{kind, mpi_call, std::move(outcome.detail)});
+}
+
+rsan::CtxId Runtime::acquire_fiber() {
+  if (!fiber_pool_.empty()) {
+    const rsan::CtxId id = fiber_pool_.back();
+    fiber_pool_.pop_back();
+    ++counters_.request_fibers_reused;
+    return id;
+  }
+  ++counters_.request_fibers_created;
+  return tsan_->create_fiber(rsan::CtxKind::kMpiRequestFiber,
+                             common::format("MPI request fiber {}",
+                                            counters_.request_fibers_created));
+}
+
+// -- blocking p2p ------------------------------------------------------------------
+
+void Runtime::on_send(const void* buf, std::size_t count, const mpisim::Datatype& type) {
+  ++counters_.calls_intercepted;
+  run_type_check("MPI_Send", buf, count, type);
+  annotate_datatype_range(buf, count, type, /*is_write=*/false, "MPI_Send buffer (read)");
+}
+
+void Runtime::on_recv(void* buf, std::size_t count, const mpisim::Datatype& type) {
+  ++counters_.calls_intercepted;
+  run_type_check("MPI_Recv", buf, count, type);
+  annotate_datatype_range(buf, count, type, /*is_write=*/true, "MPI_Recv buffer (write)");
+}
+
+// -- non-blocking p2p -----------------------------------------------------------------
+
+void Runtime::on_isend(const void* buf, std::size_t count, const mpisim::Datatype& type,
+                       const mpisim::Request* request) {
+  ++counters_.calls_intercepted;
+  run_type_check("MPI_Isend", buf, count, type);
+  if (!config_.check_races || request == nullptr) {
+    return;
+  }
+  auto [it, inserted] = pending_.emplace(request, PendingRequest{});
+  CUSAN_ASSERT_MSG(inserted, "request already tracked");
+  PendingRequest& pr = it->second;
+  pr.fiber = acquire_fiber();
+  // Host -> fiber ordering at issue time (the request sees all prior host
+  // writes to the buffer), then the buffer access on the request fiber, then
+  // the arc that Wait will terminate (paper Fig. 1, mirrored for Isend).
+  tsan_->happens_before(&pr.key);
+  tsan_->switch_to_fiber(pr.fiber);
+  tsan_->happens_after(&pr.key);
+  annotate_datatype_range(buf, count, type, /*is_write=*/false, "MPI_Isend buffer (read)");
+  tsan_->happens_before(&pr.key);
+  tsan_->switch_to_fiber(tsan_->host_ctx());
+}
+
+void Runtime::on_irecv(void* buf, std::size_t count, const mpisim::Datatype& type,
+                       const mpisim::Request* request) {
+  ++counters_.calls_intercepted;
+  run_type_check("MPI_Irecv", buf, count, type);
+  if (!config_.check_races || request == nullptr) {
+    return;
+  }
+  auto [it, inserted] = pending_.emplace(request, PendingRequest{});
+  CUSAN_ASSERT_MSG(inserted, "request already tracked");
+  PendingRequest& pr = it->second;
+  pr.fiber = acquire_fiber();
+  tsan_->happens_before(&pr.key);
+  tsan_->switch_to_fiber(pr.fiber);
+  tsan_->happens_after(&pr.key);
+  annotate_datatype_range(buf, count, type, /*is_write=*/true, "MPI_Irecv buffer (write)");
+  tsan_->happens_before(&pr.key);
+  tsan_->switch_to_fiber(tsan_->host_ctx());
+}
+
+void Runtime::on_complete(const mpisim::Request* request) {
+  ++counters_.calls_intercepted;
+  const auto it = pending_.find(request);
+  if (it == pending_.end()) {
+    return;  // races unchecked, or request not tracked
+  }
+  // MPI_Wait: the request's concurrent region ends; synchronize fiber -> host.
+  tsan_->happens_after(&it->second.key);
+  tsan_->release_sync_object(&it->second.key);
+  fiber_pool_.push_back(it->second.fiber);
+  pending_.erase(it);
+}
+
+void Runtime::on_gather(const void* sendbuf, std::size_t count, const mpisim::Datatype& type,
+                        void* recvbuf, bool is_root, int comm_size) {
+  ++counters_.calls_intercepted;
+  run_type_check("MPI_Gather", sendbuf, count, type);
+  annotate_datatype_range(sendbuf, count, type, /*is_write=*/false,
+                          "MPI_Gather send buffer (read)");
+  if (is_root) {
+    annotate_datatype_range(recvbuf, count * static_cast<std::size_t>(comm_size), type,
+                            /*is_write=*/true, "MPI_Gather recv buffer (write)");
+  }
+}
+
+void Runtime::on_scatter(const void* sendbuf, std::size_t count, const mpisim::Datatype& type,
+                         void* recvbuf, bool is_root, int comm_size) {
+  ++counters_.calls_intercepted;
+  run_type_check("MPI_Scatter", recvbuf, count, type);
+  if (is_root) {
+    annotate_datatype_range(sendbuf, count * static_cast<std::size_t>(comm_size), type,
+                            /*is_write=*/false, "MPI_Scatter send buffer (read)");
+  }
+  annotate_datatype_range(recvbuf, count, type, /*is_write=*/true,
+                          "MPI_Scatter recv buffer (write)");
+}
+
+void Runtime::on_receive_status(const char* mpi_call, const mpisim::Status& status) {
+  if (!status.signature_mismatch) {
+    return;
+  }
+  ++counters_.signature_mismatches;
+  reports_.push_back(MustReport{
+      ReportKind::kSignatureMismatch, mpi_call,
+      common::format("message from rank {} (tag {}) was sent with a type signature "
+                     "incompatible with the receive datatype",
+                     status.source, status.tag)});
+}
+
+void Runtime::on_finalize() {
+  for (const auto& [request, pr] : pending_) {
+    ++counters_.request_leaks;
+    reports_.push_back(MustReport{
+        ReportKind::kRequestLeak, request->kind() == mpisim::Request::Kind::kSend ? "MPI_Isend"
+                                                                                  : "MPI_Irecv",
+        common::format("request {} was never completed (missing MPI_Wait/MPI_Test); its "
+                       "concurrent region extends to MPI_Finalize",
+                       static_cast<const void*>(request))});
+  }
+}
+
+// -- collectives ---------------------------------------------------------------------
+
+void Runtime::on_barrier() { ++counters_.calls_intercepted; }
+
+void Runtime::on_bcast(void* buf, std::size_t count, const mpisim::Datatype& type, bool is_root) {
+  ++counters_.calls_intercepted;
+  run_type_check("MPI_Bcast", buf, count, type);
+  if (is_root) {
+    annotate_datatype_range(buf, count, type, /*is_write=*/false, "MPI_Bcast buffer (read)");
+  } else {
+    annotate_datatype_range(buf, count, type, /*is_write=*/true, "MPI_Bcast buffer (write)");
+  }
+}
+
+void Runtime::on_reduce(const void* sendbuf, void* recvbuf, std::size_t count,
+                        const mpisim::Datatype& type, bool is_root) {
+  ++counters_.calls_intercepted;
+  run_type_check("MPI_Reduce", sendbuf, count, type);
+  annotate_datatype_range(sendbuf, count, type, /*is_write=*/false, "MPI_Reduce send buffer (read)");
+  if (is_root && recvbuf != sendbuf) {
+    annotate_datatype_range(recvbuf, count, type, /*is_write=*/true,
+                            "MPI_Reduce recv buffer (write)");
+  }
+}
+
+void Runtime::on_allreduce(const void* sendbuf, void* recvbuf, std::size_t count,
+                           const mpisim::Datatype& type) {
+  ++counters_.calls_intercepted;
+  run_type_check("MPI_Allreduce", sendbuf, count, type);
+  if (sendbuf != recvbuf) {
+    annotate_datatype_range(sendbuf, count, type, /*is_write=*/false,
+                            "MPI_Allreduce send buffer (read)");
+  }
+  annotate_datatype_range(recvbuf, count, type, /*is_write=*/true,
+                          "MPI_Allreduce recv buffer (write)");
+}
+
+void Runtime::on_allgather(const void* sendbuf, std::size_t count, const mpisim::Datatype& type,
+                           void* recvbuf, int comm_size) {
+  ++counters_.calls_intercepted;
+  run_type_check("MPI_Allgather", sendbuf, count, type);
+  annotate_datatype_range(sendbuf, count, type, /*is_write=*/false,
+                          "MPI_Allgather send buffer (read)");
+  annotate_datatype_range(recvbuf, count * static_cast<std::size_t>(comm_size), type,
+                          /*is_write=*/true, "MPI_Allgather recv buffer (write)");
+}
+
+}  // namespace must

@@ -1,0 +1,104 @@
+#include "must/typecheck.hpp"
+
+#include "common/format.hpp"
+
+namespace must {
+namespace {
+
+/// Byte width of an MPI scalar (for MPI_BYTE size-match rules).
+[[nodiscard]] bool is_byte_like(mpisim::Scalar s) {
+  return s == mpisim::Scalar::kByte || s == mpisim::Scalar::kChar;
+}
+
+}  // namespace
+
+bool scalar_compatible(mpisim::Scalar mpi_scalar, typeart::TypeId builtin) {
+  using mpisim::Scalar;
+  if (is_byte_like(mpi_scalar)) {
+    return true;  // byte reinterpretation is always layout-valid
+  }
+  switch (mpi_scalar) {
+    case Scalar::kInt32:
+      return builtin == typeart::kInt32;
+    case Scalar::kUInt32:
+      return builtin == typeart::kUInt32;
+    case Scalar::kInt64:
+      return builtin == typeart::kInt64;
+    case Scalar::kUInt64:
+      return builtin == typeart::kUInt64;
+    case Scalar::kFloat:
+      return builtin == typeart::kFloat;
+    case Scalar::kDouble:
+      return builtin == typeart::kDouble;
+    case Scalar::kByte:
+    case Scalar::kChar:
+      return true;
+  }
+  return false;
+}
+
+TypeCheckOutcome check_buffer(const typeart::Runtime& types, const void* buf, std::size_t count,
+                              const mpisim::Datatype& type) {
+  if (count == 0) {
+    return {TypeCheckResult::kOk, ""};
+  }
+  const auto info = types.find(buf);
+  if (!info.has_value()) {
+    return {TypeCheckResult::kUntrackedBuffer,
+            common::format("buffer {} is not a tracked allocation", buf)};
+  }
+  const std::uintptr_t addr = reinterpret_cast<std::uintptr_t>(buf);
+  const std::size_t byte_offset = addr - info->base;
+  const std::size_t available = info->extent - byte_offset;
+  const std::size_t needed = type.extent() * count;
+  if (needed > available) {
+    return {TypeCheckResult::kBufferOverflow,
+            common::format("{} x {} needs {} bytes but only {} remain in allocation of {} bytes",
+                           count, type.name(), needed, available, info->extent)};
+  }
+
+  // Compare the MPI type's scalar layout against the allocation's flattened
+  // element layout, tiled across the buffer (the allocation's layout repeats
+  // every elem_size bytes). MPI elements are checked for every *distinct*
+  // alignment they take within the element grid: the residues
+  // (byte_offset + k * extent) mod elem_size cycle, so the loop stops as
+  // soon as the first residue repeats instead of scanning all `count`
+  // elements.
+  const typeart::TypeDB& db = types.type_db();
+  const std::size_t elem_size = db.size_of(info->type);
+  if (elem_size == 0) {
+    return {TypeCheckResult::kUntrackedBuffer, "allocation has unknown element type"};
+  }
+  const auto flat = db.flatten(info->type);
+  const std::size_t first_residue = byte_offset % elem_size;
+  for (std::size_t k = 0; k < count; ++k) {
+    const std::size_t elem_base = (byte_offset + k * type.extent()) % elem_size;
+    if (k > 0 && elem_base == first_residue) {
+      break;  // alignments repeat from here on
+    }
+    for (const auto& entry : type.layout()) {
+      const std::size_t abs = (elem_base + entry.offset) % elem_size;
+      bool matched = false;
+      for (const auto& member : flat) {
+        if (member.offset == abs) {
+          matched = scalar_compatible(entry.scalar, member.builtin);
+          break;
+        }
+      }
+      // MPI_BYTE is layout-valid even when straddling members.
+      if (!matched && is_byte_like(entry.scalar)) {
+        matched = true;
+      }
+      if (!matched) {
+        const typeart::TypeInfo* tinfo = db.get(info->type);
+        return {TypeCheckResult::kTypeMismatch,
+                common::format("{} at element offset {} is incompatible with buffer type '{}'",
+                               to_string(entry.scalar), abs,
+                               tinfo != nullptr ? tinfo->name.c_str() : "<unknown>")};
+      }
+    }
+  }
+  return {TypeCheckResult::kOk, ""};
+}
+
+}  // namespace must

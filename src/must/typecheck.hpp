@@ -1,0 +1,52 @@
+// MUST's TypeART integration (paper Fig. 2): for every intercepted MPI call,
+// resolve the type-less buffer pointer to its tracked allocation and verify
+// (i) that the MPI datatype's scalar signature is layout-compatible with the
+// allocation's element type and (ii) that count * extent fits inside the
+// allocation.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mpisim/datatype.hpp"
+#include "typeart/runtime.hpp"
+
+namespace must {
+
+enum class TypeCheckResult : std::uint8_t {
+  kOk,
+  kUntrackedBuffer,   ///< pointer not in the TypeART allocation table
+  kTypeMismatch,      ///< scalar signature incompatible with allocation layout
+  kBufferOverflow,    ///< count * extent exceeds the allocation
+};
+
+[[nodiscard]] constexpr const char* to_string(TypeCheckResult r) {
+  switch (r) {
+    case TypeCheckResult::kOk:
+      return "ok";
+    case TypeCheckResult::kUntrackedBuffer:
+      return "untracked buffer";
+    case TypeCheckResult::kTypeMismatch:
+      return "datatype/buffer type mismatch";
+    case TypeCheckResult::kBufferOverflow:
+      return "buffer overflow (count exceeds allocation)";
+  }
+  return "?";
+}
+
+/// Is this MPI scalar byte-layout-compatible with the TypeART builtin?
+/// MPI_BYTE/MPI_CHAR match any builtin of any size (byte reinterpretation).
+[[nodiscard]] bool scalar_compatible(mpisim::Scalar mpi_scalar, typeart::TypeId builtin);
+
+struct TypeCheckOutcome {
+  TypeCheckResult result{TypeCheckResult::kOk};
+  std::string detail;  ///< human-readable explanation for reports
+};
+
+/// Run the full check of `count` elements of `type` at `buf` against the
+/// TypeART runtime `types`.
+[[nodiscard]] TypeCheckOutcome check_buffer(const typeart::Runtime& types, const void* buf,
+                                            std::size_t count, const mpisim::Datatype& type);
+
+}  // namespace must

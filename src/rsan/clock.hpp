@@ -1,0 +1,74 @@
+// Vector clocks for happens-before tracking, modelled after ThreadSanitizer's
+// logical clocks. Each analysis context (OS thread or fiber) owns one
+// VectorClock; synchronization objects store joined snapshots.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace rsan {
+
+/// Analysis-context identifier. Threads and fibers share one id space within
+/// a Runtime (per MPI rank). Ids are never reused.
+using CtxId = std::uint32_t;
+
+inline constexpr CtxId kInvalidCtx = 0xFFFFFFFFu;
+
+class VectorClock {
+ public:
+  VectorClock() = default;
+
+  /// Clock component of `ctx` (0 if never set).
+  [[nodiscard]] std::uint64_t get(CtxId ctx) const {
+    return ctx < values_.size() ? values_[ctx] : 0;
+  }
+
+  void set(CtxId ctx, std::uint64_t value) {
+    ensure(ctx);
+    values_[ctx] = value;
+  }
+
+  /// Increment the component of `ctx` and return the new value.
+  std::uint64_t tick(CtxId ctx) {
+    ensure(ctx);
+    return ++values_[ctx];
+  }
+
+  /// Element-wise maximum: this = max(this, other).
+  void join(const VectorClock& other) {
+    if (other.values_.size() > values_.size()) {
+      values_.resize(other.values_.size(), 0);
+    }
+    for (std::size_t i = 0; i < other.values_.size(); ++i) {
+      if (other.values_[i] > values_[i]) {
+        values_[i] = other.values_[i];
+      }
+    }
+  }
+
+  /// True if every component of this clock is <= the corresponding component
+  /// of `other` (i.e. all events seen by this clock are visible in `other`).
+  [[nodiscard]] bool less_equal(const VectorClock& other) const {
+    for (std::size_t i = 0; i < values_.size(); ++i) {
+      if (values_[i] > other.get(static_cast<CtxId>(i))) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  [[nodiscard]] std::size_t size() const { return values_.size(); }
+
+  void clear() { values_.clear(); }
+
+ private:
+  void ensure(CtxId ctx) {
+    if (ctx >= values_.size()) {
+      values_.resize(static_cast<std::size_t>(ctx) + 1, 0);
+    }
+  }
+
+  std::vector<std::uint64_t> values_;
+};
+
+}  // namespace rsan

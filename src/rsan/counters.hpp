@@ -1,0 +1,24 @@
+// Event counters exposed by the rsan runtime; together with cusan's CUDA
+// counters these regenerate the paper's Table I.
+#pragma once
+
+#include <cstdint>
+
+namespace rsan {
+
+struct Counters {
+  std::uint64_t fiber_switches{};
+  std::uint64_t hb_before{};          ///< AnnotateHappensBefore (release) calls
+  std::uint64_t hb_after{};           ///< AnnotateHappensAfter (acquire) calls
+  std::uint64_t read_range_calls{};
+  std::uint64_t write_range_calls{};
+  std::uint64_t read_range_bytes{};
+  std::uint64_t write_range_bytes{};
+  std::uint64_t plain_reads{};        ///< single-access instrumentation (TSan pass analog)
+  std::uint64_t plain_writes{};
+  std::uint64_t races_detected{};     ///< race events (at most one per range call)
+  std::uint64_t races_suppressed{};   ///< race events silenced by a suppression
+  std::uint64_t ignored_accesses{};   ///< accesses skipped inside ignore scopes
+};
+
+}  // namespace rsan

@@ -1,0 +1,50 @@
+#include "rsan/report.hpp"
+
+#include "common/format.hpp"
+
+namespace rsan {
+namespace {
+
+std::string format_access(const char* role, const RaceAccess& access) {
+  std::string out = common::format("  {} {} by {} '{}' (ctx {}, epoch {})", role,
+                                   access.is_write ? "write" : "read", to_string(access.kind),
+                                   access.ctx_name, access.ctx, access.clock);
+  if (!access.label.empty()) {
+    out += common::format("\n    operation: {}", access.label);
+  }
+  return out;
+}
+
+}  // namespace
+
+namespace {
+
+std::string access_json(const RaceAccess& access) {
+  return common::format(R"({"ctx":{},"kind":"{}","name":"{}","access":"{}","epoch":{},"op":"{}"})",
+                        access.ctx, to_string(access.kind), access.ctx_name,
+                        access.is_write ? "write" : "read", access.clock, access.label);
+}
+
+}  // namespace
+
+std::string reports_to_jsonl(const std::vector<RaceReport>& reports) {
+  std::string out;
+  for (const RaceReport& report : reports) {
+    out += common::format(R"({"addr":"{}","size":{},"current":{},"previous":{}})",
+                          common::hex(report.addr), report.access_size,
+                          access_json(report.current), access_json(report.previous));
+    out += '\n';
+  }
+  return out;
+}
+
+std::string format_report(const RaceReport& report) {
+  std::string out = common::format("WARNING: data race at address {} (access size {})\n",
+                                   common::hex(report.addr), report.access_size);
+  out += format_access("current ", report.current);
+  out += '\n';
+  out += format_access("previous", report.previous);
+  return out;
+}
+
+}  // namespace rsan

@@ -1,0 +1,250 @@
+#include "rsan/runtime.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/log.hpp"
+
+namespace rsan {
+
+Runtime::Runtime(RuntimeConfig config) : config_(config) {
+  host_ = create_fiber(CtxKind::kHostThread, "host");
+  current_ = host_;
+}
+
+CtxId Runtime::create_fiber(CtxKind kind, std::string name) {
+  const auto id = static_cast<CtxId>(contexts_.size());
+  CUSAN_ASSERT_MSG(id <= ShadowCell::kCtxMask, "context id space exhausted");
+  auto ctx = std::make_unique<Context>();
+  ctx->info = ContextInfo{id, kind, std::move(name), true};
+  ctx->history.resize(config_.history_size);
+  if (current_ != kInvalidCtx) {
+    // Fiber creation synchronizes creator -> fiber (release semantics): the
+    // fiber inherits the creator's clock, and the creator's epoch advances
+    // so its *later* accesses are not mistaken as ordered before the fiber.
+    ctx->clock.join(contexts_[current_]->clock);
+    contexts_[current_]->clock.tick(current_);
+  }
+  ctx->clock.tick(id);
+  contexts_.push_back(std::move(ctx));
+  return id;
+}
+
+void Runtime::destroy_fiber(CtxId id) {
+  CUSAN_ASSERT(id < contexts_.size());
+  CUSAN_ASSERT_MSG(id != current_, "cannot destroy the current fiber");
+  contexts_[id]->info.alive = false;
+}
+
+void Runtime::switch_to_fiber(CtxId id) {
+  CUSAN_ASSERT(id < contexts_.size());
+  CUSAN_ASSERT_MSG(contexts_[id]->info.alive, "switch to destroyed fiber");
+  if (id != current_) {
+    ++counters_.fiber_switches;
+    current_ = id;
+  }
+}
+
+const ContextInfo& Runtime::context(CtxId id) const {
+  CUSAN_ASSERT(id < contexts_.size());
+  return contexts_[id]->info;
+}
+
+void Runtime::happens_before(const void* key) {
+  ++counters_.hb_before;
+  Context& cur = *contexts_[current_];
+  auto& clock = sync_objects_[reinterpret_cast<std::uintptr_t>(key)];
+  clock.join(cur.clock);
+  cur.clock.tick(current_);
+}
+
+void Runtime::happens_after(const void* key) {
+  ++counters_.hb_after;
+  const auto it = sync_objects_.find(reinterpret_cast<std::uintptr_t>(key));
+  if (it == sync_objects_.end()) {
+    return;  // acquiring a never-released object is a no-op (TSan semantics)
+  }
+  contexts_[current_]->clock.join(it->second);
+}
+
+bool Runtime::has_sync_object(const void* key) const {
+  return sync_objects_.contains(reinterpret_cast<std::uintptr_t>(key));
+}
+
+void Runtime::release_sync_object(const void* key) {
+  sync_objects_.erase(reinterpret_cast<std::uintptr_t>(key));
+}
+
+void Runtime::read_range(const void* addr, std::size_t size, const char* label) {
+  ++counters_.read_range_calls;
+  counters_.read_range_bytes += size;
+  access_range(addr, size, /*is_write=*/false, label);
+}
+
+void Runtime::write_range(const void* addr, std::size_t size, const char* label) {
+  ++counters_.write_range_calls;
+  counters_.write_range_bytes += size;
+  access_range(addr, size, /*is_write=*/true, label);
+}
+
+void Runtime::plain_read(const void* addr, std::size_t size) {
+  ++counters_.plain_reads;
+  access_range(addr, size, /*is_write=*/false, nullptr);
+}
+
+void Runtime::plain_write(const void* addr, std::size_t size) {
+  ++counters_.plain_writes;
+  access_range(addr, size, /*is_write=*/true, nullptr);
+}
+
+void Runtime::reset_shadow_range(const void* addr, std::size_t size) {
+  shadow_.reset_range(reinterpret_cast<std::uintptr_t>(addr), size);
+}
+
+void Runtime::ignore_begin() { ++contexts_[current_]->ignore_depth; }
+
+void Runtime::ignore_end() {
+  CUSAN_ASSERT_MSG(contexts_[current_]->ignore_depth > 0, "unbalanced ignore_end");
+  --contexts_[current_]->ignore_depth;
+}
+
+bool Runtime::ignoring() const { return contexts_[current_]->ignore_depth > 0; }
+
+void Runtime::clear_reports() {
+  reports_.clear();
+  report_dedup_.clear();
+}
+
+const char* Runtime::intern(std::string label) {
+  interned_.push_back(std::move(label));
+  return interned_.back().c_str();
+}
+
+void Runtime::access_range(const void* addr, std::size_t size, bool is_write, const char* label) {
+  if (!config_.track_memory || size == 0) {
+    return;
+  }
+  Context& cur = *contexts_[current_];
+  if (cur.ignore_depth > 0) {
+    ++counters_.ignored_accesses;
+    return;
+  }
+  const std::uint64_t cur_clock = cur.clock.get(current_);
+  record_history(cur, reinterpret_cast<std::uintptr_t>(addr), size, is_write, label, cur_clock);
+
+  const std::uintptr_t base = reinterpret_cast<std::uintptr_t>(addr);
+  const std::uintptr_t first = base / kGranuleBytes;
+  const std::uintptr_t last = (base + size - 1) / kGranuleBytes;
+  const ShadowCell fresh = ShadowCell::make(current_, cur_clock, is_write);
+  bool reported_this_call = false;
+
+  for (std::uintptr_t g = first; g <= last; ++g) {
+    ShadowCell* cells = shadow_.granule(g * kGranuleBytes);
+    int store_slot = -1;
+    for (std::size_t s = 0; s < kShadowSlots; ++s) {
+      ShadowCell& cell = cells[s];
+      if (!cell.valid()) {
+        if (store_slot < 0) {
+          store_slot = static_cast<int>(s);
+        }
+        continue;
+      }
+      const CtxId prev_ctx = cell.ctx();
+      if (prev_ctx == current_) {
+        // Program order on the same context: never a race. Subsume the old
+        // epoch if the access kinds match (write subsumes read as well).
+        if (cell.is_write() == is_write || is_write) {
+          store_slot = static_cast<int>(s);
+        }
+        continue;
+      }
+      if (!is_write && !cell.is_write()) {
+        continue;  // read-read never races
+      }
+      // Happens-before check: the previous access is ordered before the
+      // current one iff its epoch is visible in the current clock.
+      if (cell.clock() > (cur.clock.get(prev_ctx) & ShadowCell::kClockMask)) {
+        if (!reported_this_call) {
+          reported_this_call = true;
+          report_race(g * kGranuleBytes, size, is_write, label, cur_clock, cell);
+        }
+      }
+    }
+    if (store_slot < 0) {
+      store_slot = static_cast<int>(evict_rotor_++ % kShadowSlots);
+    }
+    cells[store_slot] = fresh;
+  }
+}
+
+void Runtime::record_history(Context& ctx, std::uintptr_t base, std::size_t size, bool is_write,
+                             const char* label, std::uint64_t clock) {
+  if (ctx.history.empty()) {
+    return;
+  }
+  AccessRecord& rec = ctx.history[ctx.history_next];
+  ctx.history_next = (ctx.history_next + 1) % ctx.history.size();
+  rec = AccessRecord{base, size, label, clock, is_write};
+}
+
+const Runtime::AccessRecord* Runtime::find_history(const Context& ctx, std::uintptr_t addr,
+                                                   std::uint64_t clock, bool is_write) const {
+  const AccessRecord* best = nullptr;
+  for (const AccessRecord& rec : ctx.history) {
+    if (rec.size == 0 || rec.is_write != is_write) {
+      continue;
+    }
+    if (addr < rec.base || addr >= rec.base + rec.size) {
+      continue;
+    }
+    if ((rec.clock & ShadowCell::kClockMask) == clock) {
+      return &rec;  // exact epoch match
+    }
+    if (best == nullptr || rec.clock > best->clock) {
+      best = &rec;  // fall back to the most recent covering record
+    }
+  }
+  return best;
+}
+
+void Runtime::report_race(std::uintptr_t addr, std::size_t access_size, bool cur_is_write,
+                          const char* cur_label, std::uint64_t cur_clock, const ShadowCell& prev) {
+  const Context& prev_ctx = *contexts_[prev.ctx()];
+  const Context& cur_ctx = *contexts_[current_];
+
+  RaceReport report;
+  report.addr = addr;
+  report.access_size = access_size;
+  report.current = RaceAccess{current_, cur_ctx.info.kind, cur_ctx.info.name, cur_is_write,
+                              cur_clock, cur_label != nullptr ? cur_label : ""};
+  report.previous = RaceAccess{prev.ctx(), prev_ctx.info.kind, prev_ctx.info.name, prev.is_write(),
+                               prev.clock(), ""};
+  if (const AccessRecord* rec = find_history(prev_ctx, addr, prev.clock(), prev.is_write());
+      rec != nullptr && rec->label != nullptr) {
+    report.previous.label = rec->label;
+  }
+
+  if (!suppressions_.empty() && suppressions_.matches(report)) {
+    ++counters_.races_suppressed;
+    return;
+  }
+  ++counters_.races_detected;
+
+  // Dedupe by (unordered context pair, page) so one bad kernel/MPI pairing
+  // produces a single report per buffer region rather than millions per
+  // granule (and not one per access direction).
+  const CtxId lo = current_ < prev.ctx() ? current_ : prev.ctx();
+  const CtxId hi = current_ < prev.ctx() ? prev.ctx() : current_;
+  const std::uint64_t key = (static_cast<std::uint64_t>(lo) << 44) ^
+                            (static_cast<std::uint64_t>(hi) << 24) ^ (addr >> 12);
+  if (!report_dedup_.insert(key).second) {
+    return;
+  }
+  if (reports_.size() >= config_.report_limit) {
+    return;
+  }
+  CUSAN_LOG_INFO("{}", format_report(report));
+  reports_.push_back(std::move(report));
+}
+
+}  // namespace rsan

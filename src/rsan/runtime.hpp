@@ -1,0 +1,169 @@
+// The rsan analysis runtime: a ThreadSanitizer-equivalent happens-before
+// data race detector built around the annotation/fiber API surface the paper
+// relies on (AnnotateHappensBefore/After, tsan_read_range/tsan_write_range,
+// fiber create/switch).
+//
+// One Runtime instance exists per MPI rank (mirroring one TSan instance per
+// MPI process). All calls into a Runtime must come from its rank's host
+// thread: like the real tool, all analysis happens at API-interception time
+// on the host thread, with fibers modelling the logical concurrency of CUDA
+// streams and non-blocking MPI requests. Detection is therefore fully
+// deterministic and independent of physical scheduling.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "rsan/clock.hpp"
+#include "rsan/counters.hpp"
+#include "rsan/report.hpp"
+#include "rsan/shadow.hpp"
+#include "rsan/suppressions.hpp"
+
+namespace rsan {
+
+struct RuntimeConfig {
+  /// Ablation knob (paper §V-B): when false, read_range/write_range become
+  /// no-ops, removing all shadow-memory work while keeping fibers and
+  /// happens-before bookkeeping intact.
+  bool track_memory = true;
+  /// Maximum number of stored race reports (all races are still counted).
+  std::size_t report_limit = 256;
+  /// Per-context access-history ring size, used to attach operation labels
+  /// to the "previous access" side of reports.
+  std::size_t history_size = 64;
+};
+
+struct ContextInfo {
+  CtxId id{kInvalidCtx};
+  CtxKind kind{CtxKind::kHostThread};
+  std::string name;
+  bool alive{true};
+};
+
+class Runtime {
+ public:
+  explicit Runtime(RuntimeConfig config = {});
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  // -- Contexts / fibers ----------------------------------------------------
+
+  /// Create a new fiber. Its clock starts as a copy of the creating
+  /// context's clock (like thread creation, fiber creation is a
+  /// synchronization point: everything that happened before the create
+  /// happens before all fiber events).
+  CtxId create_fiber(CtxKind kind, std::string name);
+
+  /// Mark a fiber dead. Its clock and name are retained so that races
+  /// against past accesses still produce meaningful reports.
+  void destroy_fiber(CtxId id);
+
+  /// Switch the executing host thread onto `id`. Carries no synchronization
+  /// (matches TSan fiber semantics).
+  void switch_to_fiber(CtxId id);
+
+  [[nodiscard]] CtxId current_ctx() const { return current_; }
+  [[nodiscard]] CtxId host_ctx() const { return host_; }
+  [[nodiscard]] const ContextInfo& context(CtxId id) const;
+  [[nodiscard]] std::size_t context_count() const { return contexts_.size(); }
+
+  // -- Synchronization annotations -------------------------------------------
+
+  /// Release: publish the current context's clock on the sync object `key`,
+  /// then advance the current context's epoch.
+  void happens_before(const void* key);
+
+  /// Acquire: join the sync object's stored clock (if any) into the current
+  /// context's clock.
+  void happens_after(const void* key);
+
+  [[nodiscard]] bool has_sync_object(const void* key) const;
+
+  /// Drop a sync object (e.g. stream destroyed). Safe if absent.
+  void release_sync_object(const void* key);
+
+  // -- Memory access annotations ---------------------------------------------
+
+  /// Annotate a range access. `label` should describe the operation (it is
+  /// surfaced in race reports); use intern() for dynamically built labels.
+  void read_range(const void* addr, std::size_t size, const char* label = nullptr);
+  void write_range(const void* addr, std::size_t size, const char* label = nullptr);
+
+  /// Single-element access instrumentation — what the TSan compiler pass
+  /// emits for plain host loads/stores.
+  void plain_read(const void* addr, std::size_t size);
+  void plain_write(const void* addr, std::size_t size);
+
+  /// Forget all shadow state for a range (memory freed / reused).
+  void reset_shadow_range(const void* addr, std::size_t size);
+
+  /// TSan's AnnotateIgnore{Reads,Writes}Begin/End: while the current
+  /// context's ignore depth is positive, its memory accesses are neither
+  /// tracked nor checked (synchronization annotations stay active). Nests.
+  void ignore_begin();
+  void ignore_end();
+  [[nodiscard]] bool ignoring() const;
+
+  // -- Reports / stats ---------------------------------------------------------
+
+  [[nodiscard]] const std::vector<RaceReport>& reports() const { return reports_; }
+  void clear_reports();
+  [[nodiscard]] const Counters& counters() const { return counters_; }
+  [[nodiscard]] std::size_t shadow_resident_bytes() const { return shadow_.resident_bytes(); }
+
+  /// Intern a dynamically built label; the returned pointer stays valid for
+  /// the Runtime's lifetime.
+  const char* intern(std::string label);
+
+  /// Suppression patterns (TSan suppression-file style); matched reports are
+  /// counted in counters().races_suppressed instead of being reported.
+  [[nodiscard]] SuppressionList& suppressions() { return suppressions_; }
+  [[nodiscard]] const SuppressionList& suppressions() const { return suppressions_; }
+
+ private:
+  struct AccessRecord {
+    std::uintptr_t base{};
+    std::size_t size{};
+    const char* label{nullptr};
+    std::uint64_t clock{};
+    bool is_write{false};
+  };
+
+  struct Context {
+    ContextInfo info;
+    VectorClock clock;
+    std::vector<AccessRecord> history;  // ring buffer
+    std::size_t history_next{0};
+    int ignore_depth{0};
+  };
+
+  void access_range(const void* addr, std::size_t size, bool is_write, const char* label);
+  void record_history(Context& ctx, std::uintptr_t base, std::size_t size, bool is_write,
+                      const char* label, std::uint64_t clock);
+  [[nodiscard]] const AccessRecord* find_history(const Context& ctx, std::uintptr_t addr,
+                                                 std::uint64_t clock, bool is_write) const;
+  void report_race(std::uintptr_t addr, std::size_t access_size, bool cur_is_write,
+                   const char* cur_label, std::uint64_t cur_clock, const ShadowCell& prev);
+
+  RuntimeConfig config_;
+  std::vector<std::unique_ptr<Context>> contexts_;
+  CtxId host_{kInvalidCtx};
+  CtxId current_{kInvalidCtx};
+  ShadowMemory shadow_;
+  std::unordered_map<std::uintptr_t, VectorClock> sync_objects_;
+  Counters counters_;
+  SuppressionList suppressions_;
+  std::vector<RaceReport> reports_;
+  std::unordered_set<std::uint64_t> report_dedup_;
+  std::deque<std::string> interned_;
+  std::size_t evict_rotor_{0};
+};
+
+}  // namespace rsan

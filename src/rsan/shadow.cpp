@@ -1,0 +1,33 @@
+#include "rsan/shadow.hpp"
+
+namespace rsan {
+
+void ShadowMemory::reset_range(std::uintptr_t base, std::size_t extent) {
+  if (extent == 0) {
+    return;
+  }
+  const std::uintptr_t first_granule = base / kGranuleBytes;
+  const std::uintptr_t last_granule = (base + extent - 1) / kGranuleBytes;
+  for (std::uintptr_t g = first_granule; g <= last_granule; ++g) {
+    const std::uintptr_t addr = g * kGranuleBytes;
+    const auto it = blocks_.find(addr / kBlockAppBytes);
+    if (it == blocks_.end()) {
+      // Skip ahead to the next block boundary.
+      const std::uintptr_t next_block_granule = ((addr / kBlockAppBytes) + 1) * kGranulesPerBlock;
+      if (next_block_granule <= g) {
+        break;  // defensive: cannot happen, avoids infinite loop on overflow
+      }
+      g = next_block_granule - 1;
+      continue;
+    }
+    const std::size_t granule_idx = (addr % kBlockAppBytes) / kGranuleBytes;
+    ShadowCell* cells = it->second->cells.data() + granule_idx * kShadowSlots;
+    for (std::size_t s = 0; s < kShadowSlots; ++s) {
+      cells[s] = ShadowCell{};
+    }
+  }
+  cached_block_ = nullptr;
+  cached_key_ = ~std::uintptr_t{0};
+}
+
+}  // namespace rsan

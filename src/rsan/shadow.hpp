@@ -1,0 +1,113 @@
+// Shadow memory for memory-access tracking, modelled after ThreadSanitizer:
+// application memory is tracked at 8-byte granularity; each granule owns a
+// small fixed number of shadow cells recording the most recent accesses as
+// (context, epoch, access-kind) triples packed into 64 bits.
+//
+// Shadow blocks cover 4 KiB of application memory and are allocated lazily,
+// so shadow residency is proportional to the amount of memory actually
+// tracked — the property behind the paper's Fig. 11/12 observations.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "rsan/clock.hpp"
+
+namespace rsan {
+
+/// One shadow cell packed into 64 bits:
+///   [63]    valid
+///   [62]    is_write
+///   [61:42] context id (20 bits)
+///   [41:0]  epoch / clock value (42 bits)
+struct ShadowCell {
+  std::uint64_t raw{0};
+
+  static constexpr std::uint64_t kValidBit = 1ULL << 63;
+  static constexpr std::uint64_t kWriteBit = 1ULL << 62;
+  static constexpr int kCtxShift = 42;
+  static constexpr std::uint64_t kCtxMask = (1ULL << 20) - 1;
+  static constexpr std::uint64_t kClockMask = (1ULL << 42) - 1;
+
+  [[nodiscard]] static ShadowCell make(CtxId ctx, std::uint64_t clock, bool is_write) {
+    ShadowCell cell;
+    cell.raw = kValidBit | (is_write ? kWriteBit : 0) |
+               ((static_cast<std::uint64_t>(ctx) & kCtxMask) << kCtxShift) | (clock & kClockMask);
+    return cell;
+  }
+
+  [[nodiscard]] bool valid() const { return (raw & kValidBit) != 0; }
+  [[nodiscard]] bool is_write() const { return (raw & kWriteBit) != 0; }
+  [[nodiscard]] CtxId ctx() const { return static_cast<CtxId>((raw >> kCtxShift) & kCtxMask); }
+  [[nodiscard]] std::uint64_t clock() const { return raw & kClockMask; }
+};
+
+/// Number of shadow cells per 8-byte granule (ThreadSanitizer uses 4).
+inline constexpr std::size_t kShadowSlots = 4;
+/// Application bytes per granule.
+inline constexpr std::size_t kGranuleBytes = 8;
+/// Application bytes covered by one shadow block.
+inline constexpr std::size_t kBlockAppBytes = 4096;
+inline constexpr std::size_t kGranulesPerBlock = kBlockAppBytes / kGranuleBytes;
+
+struct ShadowBlock {
+  // cells[granule * kShadowSlots + slot]
+  std::array<ShadowCell, kGranulesPerBlock * kShadowSlots> cells{};
+};
+
+class ShadowMemory {
+ public:
+  /// Shadow cells for the granule containing `addr`; allocates the block on
+  /// first touch. Returned pointer is to kShadowSlots consecutive cells.
+  [[nodiscard]] ShadowCell* granule(std::uintptr_t addr) {
+    const std::uintptr_t block_key = addr / kBlockAppBytes;
+    ShadowBlock* block = nullptr;
+    if (block_key == cached_key_ && cached_block_ != nullptr) {
+      block = cached_block_;
+    } else {
+      auto& slot = blocks_[block_key];
+      if (!slot) {
+        slot = std::make_unique<ShadowBlock>();
+      }
+      block = slot.get();
+      cached_key_ = block_key;
+      cached_block_ = block;
+    }
+    const std::size_t granule_idx = (addr % kBlockAppBytes) / kGranuleBytes;
+    return block->cells.data() + granule_idx * kShadowSlots;
+  }
+
+  /// Shadow cells for the granule containing `addr`, or nullptr if the block
+  /// was never touched (read-only lookup; does not allocate).
+  [[nodiscard]] const ShadowCell* granule_if_present(std::uintptr_t addr) const {
+    const auto it = blocks_.find(addr / kBlockAppBytes);
+    if (it == blocks_.end()) {
+      return nullptr;
+    }
+    const std::size_t granule_idx = (addr % kBlockAppBytes) / kGranuleBytes;
+    return it->second->cells.data() + granule_idx * kShadowSlots;
+  }
+
+  /// Drop all shadow state for [base, base+extent) — used when memory is
+  /// freed so stale epochs cannot produce false races on reuse. Only clears
+  /// blocks that exist; granule-partial edges are zeroed cell-wise.
+  void reset_range(std::uintptr_t base, std::size_t extent);
+
+  [[nodiscard]] std::size_t resident_blocks() const { return blocks_.size(); }
+  [[nodiscard]] std::size_t resident_bytes() const { return blocks_.size() * sizeof(ShadowBlock); }
+
+  void clear() {
+    blocks_.clear();
+    cached_block_ = nullptr;
+    cached_key_ = ~std::uintptr_t{0};
+  }
+
+ private:
+  std::unordered_map<std::uintptr_t, std::unique_ptr<ShadowBlock>> blocks_;
+  std::uintptr_t cached_key_{~std::uintptr_t{0}};
+  ShadowBlock* cached_block_{nullptr};
+};
+
+}  // namespace rsan

@@ -1,0 +1,85 @@
+#include "rsan/suppressions.hpp"
+
+namespace rsan {
+
+void SuppressionList::add(std::string pattern) {
+  if (!pattern.empty()) {
+    patterns_.push_back(std::move(pattern));
+  }
+}
+
+std::size_t SuppressionList::parse(std::string_view text) {
+  std::size_t added = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t end = text.find('\n', pos);
+    std::string_view line =
+        text.substr(pos, end == std::string_view::npos ? std::string_view::npos : end - pos);
+    pos = end == std::string_view::npos ? text.size() + 1 : end + 1;
+
+    // Trim whitespace.
+    while (!line.empty() && (line.front() == ' ' || line.front() == '\t' || line.front() == '\r')) {
+      line.remove_prefix(1);
+    }
+    while (!line.empty() && (line.back() == ' ' || line.back() == '\t' || line.back() == '\r')) {
+      line.remove_suffix(1);
+    }
+    if (line.empty() || line.front() == '#') {
+      continue;
+    }
+    const std::size_t colon = line.find(':');
+    if (colon != std::string_view::npos) {
+      const std::string_view kind = line.substr(0, colon);
+      if (kind != "race") {
+        continue;  // suppression for another report type
+      }
+      line = line.substr(colon + 1);
+    }
+    if (!line.empty()) {
+      add(std::string(line));
+      ++added;
+    }
+  }
+  return added;
+}
+
+bool SuppressionList::glob_match(std::string_view pattern, std::string_view text) {
+  // Iterative glob with backtracking over the last '*'.
+  std::size_t p = 0;
+  std::size_t t = 0;
+  std::size_t star = std::string_view::npos;
+  std::size_t star_t = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() && (pattern[p] == '?' || pattern[p] == text[t])) {
+      ++p;
+      ++t;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      star_t = t;
+    } else if (star != std::string_view::npos) {
+      p = star + 1;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') {
+    ++p;
+  }
+  return p == pattern.size();
+}
+
+bool SuppressionList::matches(const RaceReport& report) const {
+  const std::string_view fields[] = {report.current.ctx_name, report.current.label,
+                                     report.previous.ctx_name, report.previous.label};
+  for (const auto& pattern : patterns_) {
+    for (const auto field : fields) {
+      if (!field.empty() && glob_match(pattern, field)) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace rsan

@@ -1,0 +1,47 @@
+// Race report suppressions, modelled after ThreadSanitizer's suppression
+// files. The paper's artifact ships cluster-specific suppression lists to
+// silence false positives from system libraries; here patterns are matched
+// against a report's context names and operation labels.
+//
+// File format (TSan-compatible subset):
+//   # comment
+//   race:<glob pattern>
+// A pattern with no "race:" prefix is also accepted as a race suppression.
+// Globs support '*' (any sequence) and '?' (any single character).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rsan/report.hpp"
+
+namespace rsan {
+
+class SuppressionList {
+ public:
+  /// Add one pattern.
+  void add(std::string pattern);
+
+  /// Parse a suppression file's contents; returns the number of patterns
+  /// added. Unknown directive prefixes (e.g. "thread:") are ignored, like
+  /// TSan ignores suppressions for other report types.
+  std::size_t parse(std::string_view text);
+
+  /// True if any pattern matches any of the report's context names or
+  /// operation labels.
+  [[nodiscard]] bool matches(const RaceReport& report) const;
+
+  [[nodiscard]] std::size_t size() const { return patterns_.size(); }
+  [[nodiscard]] bool empty() const { return patterns_.empty(); }
+  void clear() { patterns_.clear(); }
+
+  /// Glob matching with '*' and '?'. A pattern matches if it matches the
+  /// whole text.
+  [[nodiscard]] static bool glob_match(std::string_view pattern, std::string_view text);
+
+ private:
+  std::vector<std::string> patterns_;
+};
+
+}  // namespace rsan

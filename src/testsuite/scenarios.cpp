@@ -1,0 +1,327 @@
+#include "testsuite/scenarios.hpp"
+
+#include <memory>
+
+#include "capi/cuda.hpp"
+#include "capi/mpi.hpp"
+#include "common/assert.hpp"
+#include "kir/registry.hpp"
+
+namespace testsuite {
+namespace {
+
+struct SuiteKernels {
+  kir::Module module;
+  const kir::KernelInfo* writer{};
+  const kir::KernelInfo* reader{};
+  std::unique_ptr<kir::KernelRegistry> registry;
+  SuiteKernels() {
+    kir::Function* w = module.create_function("suite_writer", {true, false});
+    w->store(w->gep(w->param(0), w->constant()), w->constant());
+    w->ret();
+    kir::Function* r = module.create_function("suite_reader", {true, false});
+    (void)r->load(r->gep(r->param(0), r->constant()));
+    r->ret();
+    registry = std::make_unique<kir::KernelRegistry>(module);
+    writer = registry->lookup(w);
+    reader = registry->lookup(r);
+  }
+};
+
+const SuiteKernels& kernels() {
+  static const SuiteKernels k;
+  return k;
+}
+
+constexpr std::size_t kCount = 4096;
+constexpr std::size_t kSendCount = kCount / 2;
+
+double* allocate(Mem mem) {
+  double* p = nullptr;
+  switch (mem) {
+    case Mem::kDevice:
+      (void)capi::cuda::malloc_device(&p, kCount);
+      break;
+    case Mem::kManaged:
+      (void)capi::cuda::malloc_managed(&p, kCount);
+      break;
+    case Mem::kPinned:
+      (void)capi::cuda::malloc_host(&p, kCount);
+      break;
+  }
+  return p;
+}
+
+void deallocate(Mem mem, double* p) {
+  if (mem == Mem::kPinned) {
+    (void)capi::cuda::free_host(p);
+  } else {
+    (void)capi::cuda::free(p);
+  }
+}
+
+}  // namespace
+
+const char* to_string(Mem m) {
+  switch (m) {
+    case Mem::kDevice:
+      return "device";
+    case Mem::kManaged:
+      return "managed";
+    case Mem::kPinned:
+      return "pinned";
+  }
+  return "?";
+}
+
+const char* to_string(StreamKind s) {
+  switch (s) {
+    case StreamKind::kDefault:
+      return "default_stream";
+    case StreamKind::kUser:
+      return "user_stream";
+    case StreamKind::kNonBlocking:
+      return "nonblocking_stream";
+  }
+  return "?";
+}
+
+const char* to_string(Sync s) {
+  switch (s) {
+    case Sync::kNone:
+      return "no_sync";
+    case Sync::kDevice:
+      return "device_sync";
+    case Sync::kStream:
+      return "stream_sync";
+    case Sync::kWrongStream:
+      return "wrong_stream_sync";
+    case Sync::kEvent:
+      return "event_sync";
+    case Sync::kEventEarly:
+      return "event_recorded_early";
+    case Sync::kQuery:
+      return "query_busy_wait";
+    case Sync::kMemcpy:
+      return "memcpy_implicit_sync";
+    case Sync::kWait:
+      return "wait_before_kernel";
+    case Sync::kNoWait:
+      return "kernel_before_wait";
+    case Sync::kTestLoop:
+      return "test_loop_before_kernel";
+  }
+  return "?";
+}
+
+void scenario_rank_main(capi::RankEnv& env, const Scenario& sc) {
+  namespace cuda = capi::cuda;
+  namespace mpi = capi::mpi;
+  const auto type = mpisim::Datatype::float64();
+  double* buf = allocate(sc.mem);
+  CUSAN_ASSERT(buf != nullptr);
+
+  cusim::Stream* stream = nullptr;  // nullptr = default stream
+  cusim::Stream* other = nullptr;
+  if (sc.stream != StreamKind::kDefault) {
+    (void)cuda::stream_create(&stream, sc.stream == StreamKind::kNonBlocking
+                                           ? cusim::StreamFlags::kNonBlocking
+                                           : cusim::StreamFlags::kDefault);
+  }
+  if (sc.sync == Sync::kWrongStream) {
+    (void)cuda::stream_create(&other, cusim::StreamFlags::kNonBlocking);
+  }
+
+  // Racy bodies stay clear of the exchanged byte range — detection runs on
+  // the statically derived whole-range access modes (see DESIGN.md).
+  const auto launch_writer = [&] {
+    (void)cuda::launch(*kernels().writer, {8, 64}, stream, {buf, nullptr},
+                       [buf](const cusim::KernelContext&) { buf[kCount - 1] = 1.0; });
+  };
+  const auto launch_reader = [&] {
+    (void)cuda::launch(*kernels().reader, {8, 64}, stream, {buf, nullptr},
+                       [buf](const cusim::KernelContext&) { (void)buf[kCount - 1]; });
+  };
+  const auto apply_sync = [&] {
+    switch (sc.sync) {
+      case Sync::kNone:
+      case Sync::kEventEarly:  // handled inline at the call site
+        break;
+      case Sync::kDevice:
+        (void)cuda::device_synchronize();
+        break;
+      case Sync::kStream:
+        (void)cuda::stream_synchronize(stream);
+        break;
+      case Sync::kWrongStream:
+        (void)cuda::stream_synchronize(other);
+        break;
+      case Sync::kEvent: {
+        cusim::Event* e = nullptr;
+        (void)cuda::event_create(&e);
+        (void)cuda::event_record(e, stream);
+        (void)cuda::event_synchronize(e);
+        (void)cuda::event_destroy(e);
+        break;
+      }
+      case Sync::kQuery: {
+        cusim::Stream* target = stream != nullptr ? stream : capi::cuda::default_stream();
+        while (cuda::stream_query(target) != cusim::Error::kSuccess) {
+        }
+        break;
+      }
+      case Sync::kMemcpy: {
+        double probe = 0.0;
+        (void)cuda::memcpy(&probe, buf, sizeof(double), cusim::MemcpyDir::kDefault);
+        break;
+      }
+      default:
+        break;
+    }
+  };
+
+  if (env.rank() == 0) {
+    if (sc.dir == Direction::kCudaToMpi) {
+      if (sc.sync == Sync::kEventEarly) {
+        cusim::Event* e = nullptr;
+        (void)cuda::event_create(&e);
+        (void)cuda::event_record(e, stream);  // records BEFORE the kernel
+        launch_writer();
+        (void)cuda::event_synchronize(e);  // does not cover the kernel
+        (void)cuda::event_destroy(e);
+      } else {
+        launch_writer();
+        apply_sync();
+      }
+      (void)mpi::send(env.comm, buf, kSendCount, type, 1, 0);
+      (void)cuda::device_synchronize();
+    } else {
+      // mpi-to-cuda: rank 0 only produces the message.
+      (void)cuda::device_synchronize();
+      (void)mpi::send(env.comm, buf, kSendCount, type, 1, 0);
+    }
+  } else {
+    if (sc.dir == Direction::kCudaToMpi) {
+      (void)mpi::recv(env.comm, buf, kSendCount, type, 0, 0);
+      launch_reader();
+      (void)cuda::device_synchronize();
+    } else {
+      mpisim::Request* req = nullptr;
+      (void)mpi::irecv(env.comm, buf, kSendCount, type, 0, 0, &req);
+      switch (sc.sync) {
+        case Sync::kWait:
+          (void)mpi::wait(env.comm, &req);
+          launch_reader();
+          break;
+        case Sync::kTestLoop: {
+          bool done = false;
+          while (!done) {
+            (void)mpi::test(env.comm, &req, &done);
+          }
+          launch_reader();
+          break;
+        }
+        case Sync::kNoWait:
+        default:
+          launch_reader();  // RACE: the request may still write the buffer
+          (void)mpi::wait(env.comm, &req);
+          break;
+      }
+      (void)cuda::device_synchronize();
+    }
+  }
+
+  if (other != nullptr) {
+    (void)cuda::stream_destroy(other);
+  }
+  if (stream != nullptr) {
+    (void)cuda::stream_destroy(stream);
+  }
+  deallocate(sc.mem, buf);
+}
+
+std::vector<Scenario> build_scenarios() {
+  std::vector<Scenario> out;
+  const auto add_mode = [&out](Direction dir, Mem mem, StreamKind stream, Sync sync,
+                               cusim::DefaultStreamMode mode, bool expect_race) {
+    Scenario sc;
+    sc.dir = dir;
+    sc.mem = mem;
+    sc.stream = stream;
+    sc.sync = sync;
+    sc.stream_mode = mode;
+    sc.expect_race = expect_race;
+    sc.name = std::string(dir == Direction::kCudaToMpi ? "cuda_to_mpi" : "mpi_to_cuda") + "__" +
+              to_string(mem) + "__" + to_string(stream) + "__" + to_string(sync) +
+              (mode == cusim::DefaultStreamMode::kPerThread ? "__per_thread" : "") +
+              (expect_race ? "__racy" : "__ok");
+    out.push_back(std::move(sc));
+  };
+  const auto add = [&add_mode](Direction dir, Mem mem, StreamKind stream, Sync sync,
+                               bool expect_race) {
+    add_mode(dir, mem, stream, sync, cusim::DefaultStreamMode::kLegacy, expect_race);
+  };
+
+  // cuda-to-mpi: direction of paper Fig. 4(i).
+  for (const Mem mem : {Mem::kDevice, Mem::kManaged}) {
+    for (const StreamKind stream :
+         {StreamKind::kDefault, StreamKind::kUser, StreamKind::kNonBlocking}) {
+      add(Direction::kCudaToMpi, mem, stream, Sync::kNone, true);
+      add(Direction::kCudaToMpi, mem, stream, Sync::kDevice, false);
+      add(Direction::kCudaToMpi, mem, stream, Sync::kStream, false);
+      add(Direction::kCudaToMpi, mem, stream, Sync::kEvent, false);
+      add(Direction::kCudaToMpi, mem, stream, Sync::kQuery, false);
+      // Blocking cudaMemcpy runs on the default stream: legacy barriers cover
+      // the default and blocking user streams, but NOT non-blocking streams.
+      add(Direction::kCudaToMpi, mem, stream, Sync::kMemcpy,
+          stream == StreamKind::kNonBlocking);
+    }
+    add(Direction::kCudaToMpi, mem, StreamKind::kNonBlocking, Sync::kWrongStream, true);
+    add(Direction::kCudaToMpi, mem, StreamKind::kUser, Sync::kEventEarly, true);
+  }
+  // Pinned host memory is also exchanged directly (zero-copy kernels).
+  add(Direction::kCudaToMpi, Mem::kPinned, StreamKind::kDefault, Sync::kNone, true);
+  add(Direction::kCudaToMpi, Mem::kPinned, StreamKind::kDefault, Sync::kDevice, false);
+
+  // mpi-to-cuda: direction of paper Fig. 4(ii).
+  for (const Mem mem : {Mem::kDevice, Mem::kManaged}) {
+    for (const StreamKind stream : {StreamKind::kDefault, StreamKind::kUser}) {
+      add(Direction::kMpiToCuda, mem, stream, Sync::kWait, false);
+      add(Direction::kMpiToCuda, mem, stream, Sync::kNoWait, true);
+      add(Direction::kMpiToCuda, mem, stream, Sync::kTestLoop, false);
+    }
+  }
+  add(Direction::kMpiToCuda, Mem::kPinned, StreamKind::kDefault, Sync::kNoWait, true);
+  add(Direction::kMpiToCuda, Mem::kPinned, StreamKind::kDefault, Sync::kWait, false);
+
+  // Per-thread default stream mode (§VI-B): the blocking cudaMemcpy on the
+  // default stream no longer forms a legacy barrier with a user stream, so
+  // the implicit-sync pattern that is clean under legacy semantics races.
+  add_mode(Direction::kCudaToMpi, Mem::kDevice, StreamKind::kUser, Sync::kMemcpy,
+           cusim::DefaultStreamMode::kPerThread, true);
+  // Explicit synchronization still works in per-thread mode.
+  add_mode(Direction::kCudaToMpi, Mem::kDevice, StreamKind::kUser, Sync::kStream,
+           cusim::DefaultStreamMode::kPerThread, false);
+  add_mode(Direction::kCudaToMpi, Mem::kDevice, StreamKind::kDefault, Sync::kDevice,
+           cusim::DefaultStreamMode::kPerThread, false);
+  add_mode(Direction::kCudaToMpi, Mem::kDevice, StreamKind::kDefault, Sync::kNone,
+           cusim::DefaultStreamMode::kPerThread, true);
+  add_mode(Direction::kMpiToCuda, Mem::kDevice, StreamKind::kDefault, Sync::kNoWait,
+           cusim::DefaultStreamMode::kPerThread, true);
+  add_mode(Direction::kMpiToCuda, Mem::kDevice, StreamKind::kDefault, Sync::kWait,
+           cusim::DefaultStreamMode::kPerThread, false);
+
+  return out;
+}
+
+std::size_t run_scenario(const Scenario& scenario) {
+  capi::SessionConfig config;
+  config.ranks = 2;
+  config.tools = capi::make_tool_config(capi::Flavor::kMustCusan);
+  config.device_profile.default_stream_mode = scenario.stream_mode;
+  const auto results = capi::run_session(
+      config, [&](capi::RankEnv& env) { scenario_rank_main(env, scenario); });
+  return capi::total_races(results);
+}
+
+}  // namespace testsuite

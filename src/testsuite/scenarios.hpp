@@ -1,0 +1,64 @@
+// The CuSan correctness test suite (paper §VI-C) as a reusable library:
+// a matrix of small CUDA-aware MPI programs — correct and seeded-racy — over
+// communication direction x memory kind x stream kind x synchronization
+// mechanism. Consumed by the gtest suite (tests/test_testsuite.cpp) and by
+// the llvm-lit-style runner (tools/check_cutests.cpp), mirroring the
+// artifact's `make check-cutests` target.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "capi/session.hpp"
+
+namespace testsuite {
+
+enum class Direction { kCudaToMpi, kMpiToCuda };
+enum class Mem { kDevice, kManaged, kPinned };
+enum class StreamKind { kDefault, kUser, kNonBlocking };
+enum class Sync {
+  kNone,         ///< cuda-to-mpi: no sync before MPI        -> race
+  kDevice,       ///< cudaDeviceSynchronize                  -> clean
+  kStream,       ///< cudaStreamSynchronize(launch stream)   -> clean
+  kWrongStream,  ///< synchronize an unrelated stream        -> race
+  kEvent,        ///< record + cudaEventSynchronize          -> clean
+  kEventEarly,   ///< event recorded BEFORE the kernel       -> race
+  kQuery,        ///< busy-wait on cudaStreamQuery           -> clean
+  kMemcpy,       ///< implicit sync via cudaMemcpy D2H       -> clean unless non-blocking stream
+  // mpi-to-cuda completion modes:
+  kWait,         ///< MPI_Wait before the kernel             -> clean
+  kNoWait,       ///< kernel launched before MPI_Wait        -> race
+  kTestLoop,     ///< MPI_Test loop before the kernel        -> clean
+};
+
+[[nodiscard]] const char* to_string(Mem m);
+[[nodiscard]] const char* to_string(StreamKind s);
+[[nodiscard]] const char* to_string(Sync s);
+
+struct Scenario {
+  std::string name;
+  Direction dir{Direction::kCudaToMpi};
+  Mem mem{Mem::kDevice};
+  StreamKind stream{StreamKind::kDefault};
+  Sync sync{Sync::kNone};
+  /// Default-stream semantics the program is compiled with (§VI-B).
+  cusim::DefaultStreamMode stream_mode{cusim::DefaultStreamMode::kLegacy};
+  bool expect_race{false};
+};
+
+/// The full parameterized scenario matrix (62 entries, incl. per-thread
+/// default-stream mode).
+[[nodiscard]] std::vector<Scenario> build_scenarios();
+
+/// Run one scenario's two-rank program on the given rank.
+void scenario_rank_main(capi::RankEnv& env, const Scenario& scenario);
+
+/// Run a scenario under MUST & CuSan and return the total race count.
+[[nodiscard]] std::size_t run_scenario(const Scenario& scenario);
+
+/// True if the tool classified the scenario as its definition expects.
+[[nodiscard]] inline bool classified_correctly(const Scenario& scenario, std::size_t races) {
+  return scenario.expect_race ? races >= 1 : races == 0;
+}
+
+}  // namespace testsuite

@@ -1,0 +1,62 @@
+#include "typeart/runtime.hpp"
+
+#include "common/assert.hpp"
+
+namespace typeart {
+
+Runtime::Runtime(const TypeDB* db) : db_(db) { CUSAN_ASSERT(db != nullptr); }
+
+bool Runtime::on_alloc(const void* ptr, TypeId type, std::size_t count, AllocKind kind) {
+  const std::size_t extent = db_->size_of(type) * count;
+  if (ptr == nullptr || extent == 0) {
+    return false;
+  }
+  const bool inserted =
+      map_.insert(reinterpret_cast<std::uintptr_t>(ptr), extent, Payload{type, count, kind});
+  if (!inserted) {
+    ++stats_.double_registrations;
+    return false;
+  }
+  ++stats_.allocs_tracked;
+  return true;
+}
+
+std::optional<AllocationInfo> Runtime::on_free(const void* ptr) {
+  const std::uintptr_t base = reinterpret_cast<std::uintptr_t>(ptr);
+  const auto entry = map_.find_exact(base);
+  if (!entry.has_value()) {
+    ++stats_.unknown_frees;
+    return std::nullopt;
+  }
+  (void)map_.erase(base);
+  ++stats_.frees_tracked;
+  return AllocationInfo{entry->base, entry->extent, entry->payload.type, entry->payload.count,
+                        entry->payload.kind};
+}
+
+std::optional<AllocationInfo> Runtime::find(const void* ptr) const {
+  ++stats_.lookups;
+  const auto entry = map_.find(reinterpret_cast<std::uintptr_t>(ptr));
+  if (!entry.has_value()) {
+    ++stats_.failed_lookups;
+    return std::nullopt;
+  }
+  return AllocationInfo{entry->base, entry->extent, entry->payload.type, entry->payload.count,
+                        entry->payload.kind};
+}
+
+std::optional<std::size_t> Runtime::count_from(const void* ptr) const {
+  const auto info = find(ptr);
+  if (!info.has_value()) {
+    return std::nullopt;
+  }
+  const std::size_t elem_size = db_->size_of(info->type);
+  if (elem_size == 0) {
+    return std::nullopt;
+  }
+  const std::uintptr_t addr = reinterpret_cast<std::uintptr_t>(ptr);
+  const std::size_t byte_offset = addr - info->base;
+  return (info->extent - byte_offset) / elem_size;
+}
+
+}  // namespace typeart

@@ -1,0 +1,102 @@
+// TypeART's allocation-tracking runtime (paper Fig. 2): callbacks invoked by
+// the instrumentation record (address, type id, count, allocation kind);
+// MUST queries datatype layouts for its MPI checks and CuSan queries
+// allocation extents for its whole-range memory annotations.
+//
+// One Runtime per MPI rank; calls come from that rank's host thread.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/interval_map.hpp"
+#include "typeart/typedb.hpp"
+
+namespace typeart {
+
+/// Where an allocation lives; device kinds are the CuSan extension (§IV-C).
+enum class AllocKind : std::uint8_t {
+  kHostHeap,
+  kHostStack,
+  kHostGlobal,
+  kDevice,
+  kPinnedHost,
+  kManaged,
+};
+
+[[nodiscard]] constexpr const char* to_string(AllocKind kind) {
+  switch (kind) {
+    case AllocKind::kHostHeap:
+      return "host heap";
+    case AllocKind::kHostStack:
+      return "host stack";
+    case AllocKind::kHostGlobal:
+      return "host global";
+    case AllocKind::kDevice:
+      return "device";
+    case AllocKind::kPinnedHost:
+      return "pinned host";
+    case AllocKind::kManaged:
+      return "managed";
+  }
+  return "?";
+}
+
+struct AllocationInfo {
+  std::uintptr_t base{};
+  std::size_t extent{};  ///< bytes
+  TypeId type{kUnknownType};
+  std::size_t count{};   ///< number of elements of `type`
+  AllocKind kind{AllocKind::kHostHeap};
+};
+
+struct RuntimeStats {
+  std::uint64_t allocs_tracked{};
+  std::uint64_t frees_tracked{};
+  std::uint64_t lookups{};
+  std::uint64_t failed_lookups{};
+  std::uint64_t double_registrations{};
+  std::uint64_t unknown_frees{};
+};
+
+class Runtime {
+ public:
+  explicit Runtime(const TypeDB* db);
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// Instrumentation callback for an allocation of `count` elements of
+  /// `type`. Returns false (and counts a double registration) if the region
+  /// overlaps a live tracked allocation.
+  bool on_alloc(const void* ptr, TypeId type, std::size_t count, AllocKind kind);
+
+  /// Instrumentation callback for a deallocation; returns the removed info,
+  /// or nullopt (counting an unknown free) if `ptr` was not a tracked base.
+  std::optional<AllocationInfo> on_free(const void* ptr);
+
+  /// Query the allocation containing `ptr` (TypeART's central query, used by
+  /// MUST and CuSan).
+  [[nodiscard]] std::optional<AllocationInfo> find(const void* ptr) const;
+
+  /// Convenience: remaining element count from `ptr` to the end of its
+  /// allocation (how many `type` elements an MPI call may safely touch).
+  [[nodiscard]] std::optional<std::size_t> count_from(const void* ptr) const;
+
+  [[nodiscard]] const TypeDB& type_db() const { return *db_; }
+  [[nodiscard]] const RuntimeStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t live_allocations() const { return map_.size(); }
+
+ private:
+  struct Payload {
+    TypeId type;
+    std::size_t count;
+    AllocKind kind;
+  };
+
+  const TypeDB* db_;
+  common::IntervalMap<Payload> map_;
+  mutable RuntimeStats stats_;
+};
+
+}  // namespace typeart

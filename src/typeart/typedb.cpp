@@ -1,0 +1,105 @@
+#include "typeart/typedb.hpp"
+
+#include "common/assert.hpp"
+
+namespace typeart {
+namespace {
+
+struct BuiltinDef {
+  TypeId id;
+  const char* name;
+  std::size_t size;
+};
+
+constexpr BuiltinDef kBuiltins[] = {
+    {kUnknownType, "<unknown>", 0}, {kInt8, "int8", 1},     {kUInt8, "uint8", 1},
+    {kInt16, "int16", 2},           {kUInt16, "uint16", 2}, {kInt32, "int32", 4},
+    {kUInt32, "uint32", 4},         {kInt64, "int64", 8},   {kUInt64, "uint64", 8},
+    {kFloat, "float", 4},           {kDouble, "double", 8}, {kPointer, "pointer", sizeof(void*)},
+};
+
+}  // namespace
+
+TypeDB::TypeDB() {
+  types_.resize(kFirstUserTypeId);
+  for (const auto& def : kBuiltins) {
+    TypeInfo info;
+    info.id = def.id;
+    info.name = def.name;
+    info.size = def.size;
+    types_[static_cast<std::size_t>(def.id)] = info;
+    by_name_.emplace(def.name, def.id);
+  }
+}
+
+TypeId TypeDB::register_struct(std::string name, std::size_t size,
+                               std::vector<StructMember> members) {
+  if (by_name_.contains(name) || size == 0) {
+    return kUnknownType;
+  }
+  for (const auto& member : members) {
+    if (!is_valid(member.type) || member.count == 0) {
+      return kUnknownType;
+    }
+    const std::size_t member_extent = size_of(member.type) * member.count;
+    if (member.offset + member_extent > size) {
+      return kUnknownType;  // member extends past the struct
+    }
+  }
+  const auto id = static_cast<TypeId>(types_.size());
+  TypeInfo info;
+  info.id = id;
+  info.name = name;
+  info.size = size;
+  info.members = std::move(members);
+  types_.push_back(std::move(info));
+  by_name_.emplace(std::move(name), id);
+  return id;
+}
+
+const TypeInfo* TypeDB::get(TypeId id) const {
+  if (id < 0 || static_cast<std::size_t>(id) >= types_.size()) {
+    return nullptr;
+  }
+  const TypeInfo& info = types_[static_cast<std::size_t>(id)];
+  // Reserved-but-unregistered slots have id kUnknownType (the default).
+  if (info.id != id) {
+    return nullptr;
+  }
+  return &info;
+}
+
+const TypeInfo* TypeDB::by_name(std::string_view name) const {
+  const auto it = by_name_.find(std::string(name));
+  return it != by_name_.end() ? get(it->second) : nullptr;
+}
+
+std::size_t TypeDB::size_of(TypeId id) const {
+  const TypeInfo* info = get(id);
+  return info != nullptr ? info->size : 0;
+}
+
+std::vector<FlatEntry> TypeDB::flatten(TypeId id) const {
+  std::vector<FlatEntry> out;
+  flatten_into(id, 0, out);
+  return out;
+}
+
+void TypeDB::flatten_into(TypeId id, std::size_t base_offset, std::vector<FlatEntry>& out) const {
+  const TypeInfo* info = get(id);
+  if (info == nullptr) {
+    return;
+  }
+  if (info->members.empty()) {
+    out.push_back(FlatEntry{base_offset, id});
+    return;
+  }
+  for (const auto& member : info->members) {
+    const std::size_t member_size = size_of(member.type);
+    for (std::size_t i = 0; i < member.count; ++i) {
+      flatten_into(member.type, base_offset + member.offset + i * member_size, out);
+    }
+  }
+}
+
+}  // namespace typeart

@@ -1,0 +1,112 @@
+// TypeART's type database: builtin scalar types plus user-registered struct
+// layouts, each identified by a unique type id (paper §II-C). The database
+// is the compile-time-extracted, serialized type information; the runtime
+// (runtime.hpp) associates allocations with these ids.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace typeart {
+
+using TypeId = std::int32_t;
+
+/// Builtin scalar type ids (stable, matching TypeART's layout convention of
+/// reserving low ids for builtins).
+enum BuiltinTypeId : TypeId {
+  kUnknownType = 0,
+  kInt8 = 1,
+  kUInt8 = 2,
+  kInt16 = 3,
+  kUInt16 = 4,
+  kInt32 = 5,
+  kUInt32 = 6,
+  kInt64 = 7,
+  kUInt64 = 8,
+  kFloat = 9,
+  kDouble = 10,
+  kPointer = 11,
+  kFirstUserTypeId = 32,
+};
+
+struct StructMember {
+  std::size_t offset{};  ///< byte offset within the struct
+  TypeId type{kUnknownType};
+  std::size_t count{1};  ///< array length (1 for scalar members)
+};
+
+struct TypeInfo {
+  TypeId id{kUnknownType};
+  std::string name;
+  std::size_t size{};                 ///< sizeof the type (including padding)
+  std::vector<StructMember> members;  ///< empty for builtins
+  [[nodiscard]] bool is_builtin() const { return members.empty() && id < kFirstUserTypeId; }
+};
+
+/// A (offset, builtin type) pair in the flattened layout of a type.
+struct FlatEntry {
+  std::size_t offset{};
+  TypeId builtin{kUnknownType};
+};
+
+class TypeDB {
+ public:
+  TypeDB();
+
+  /// Register a struct layout; returns its new id. Member types must already
+  /// be registered. Returns kUnknownType if the name is already taken.
+  TypeId register_struct(std::string name, std::size_t size, std::vector<StructMember> members);
+
+  [[nodiscard]] const TypeInfo* get(TypeId id) const;
+  [[nodiscard]] const TypeInfo* by_name(std::string_view name) const;
+  [[nodiscard]] std::size_t size_of(TypeId id) const;
+  [[nodiscard]] bool is_valid(TypeId id) const { return get(id) != nullptr; }
+
+  /// Recursively flatten a type into its primitive members with absolute
+  /// byte offsets — the canonical layout MUST compares against MPI datatypes.
+  [[nodiscard]] std::vector<FlatEntry> flatten(TypeId id) const;
+
+  [[nodiscard]] std::size_t type_count() const { return types_.size(); }
+
+ private:
+  void flatten_into(TypeId id, std::size_t base_offset, std::vector<FlatEntry>& out) const;
+
+  std::vector<TypeInfo> types_;  // indexed by id (gaps for reserved range)
+  std::unordered_map<std::string, TypeId> by_name_;
+};
+
+/// Map a C++ scalar type to its builtin id at compile time.
+template <typename T>
+[[nodiscard]] constexpr TypeId builtin_type_id() {
+  if constexpr (std::is_same_v<T, std::int8_t> || std::is_same_v<T, char>) {
+    return kInt8;
+  } else if constexpr (std::is_same_v<T, std::uint8_t>) {
+    return kUInt8;
+  } else if constexpr (std::is_same_v<T, std::int16_t>) {
+    return kInt16;
+  } else if constexpr (std::is_same_v<T, std::uint16_t>) {
+    return kUInt16;
+  } else if constexpr (std::is_same_v<T, std::int32_t>) {
+    return kInt32;
+  } else if constexpr (std::is_same_v<T, std::uint32_t>) {
+    return kUInt32;
+  } else if constexpr (std::is_same_v<T, std::int64_t> || std::is_same_v<T, long long>) {
+    return kInt64;
+  } else if constexpr (std::is_same_v<T, std::uint64_t> || std::is_same_v<T, unsigned long long>) {
+    return kUInt64;
+  } else if constexpr (std::is_same_v<T, float>) {
+    return kFloat;
+  } else if constexpr (std::is_same_v<T, double>) {
+    return kDouble;
+  } else if constexpr (std::is_pointer_v<T>) {
+    return kPointer;
+  } else {
+    return kUnknownType;
+  }
+}
+
+}  // namespace typeart

@@ -1,0 +1,102 @@
+// Unit tests for the synchrony tables: the simulator's ground-truth
+// behaviour (cusim/sync_behavior.hpp) and CuSan's pessimistic model
+// (cusan/sync_model.hpp), verified against the paper's §III-B2/§III-C
+// statements.
+#include <gtest/gtest.h>
+
+#include "cusan/sync_model.hpp"
+#include "cusim/sync_behavior.hpp"
+
+namespace {
+
+using cusim::is_host_synchronous;
+using cusim::MemcpyDir;
+using cusim::MemKind;
+using cusim::MemOpClass;
+using cusan::model_host_sync;
+
+TEST(SyncBehaviorTest, MemcpyIsSynchronousForHostTransfers) {
+  EXPECT_TRUE(is_host_synchronous(MemOpClass::kMemcpy, MemcpyDir::kHostToDevice,
+                                  MemKind::kPageableHost, MemKind::kDevice));
+  EXPECT_TRUE(is_host_synchronous(MemOpClass::kMemcpy, MemcpyDir::kDeviceToHost, MemKind::kDevice,
+                                  MemKind::kPageableHost));
+  EXPECT_TRUE(is_host_synchronous(MemOpClass::kMemcpy, MemcpyDir::kHostToDevice,
+                                  MemKind::kPinnedHost, MemKind::kDevice));
+  EXPECT_TRUE(is_host_synchronous(MemOpClass::kMemcpy, MemcpyDir::kHostToHost,
+                                  MemKind::kPageableHost, MemKind::kPageableHost));
+}
+
+TEST(SyncBehaviorTest, MemcpyDeviceToDeviceIsAsynchronous) {
+  EXPECT_FALSE(is_host_synchronous(MemOpClass::kMemcpy, MemcpyDir::kDeviceToDevice,
+                                   MemKind::kDevice, MemKind::kDevice));
+}
+
+TEST(SyncBehaviorTest, MemcpyAsyncStagedThroughPageableIsSynchronous) {
+  // "May be synchronous": the simulator's ground truth is that it IS.
+  EXPECT_TRUE(is_host_synchronous(MemOpClass::kMemcpyAsync, MemcpyDir::kHostToDevice,
+                                  MemKind::kPageableHost, MemKind::kDevice));
+  EXPECT_TRUE(is_host_synchronous(MemOpClass::kMemcpyAsync, MemcpyDir::kDeviceToHost,
+                                  MemKind::kDevice, MemKind::kPageableHost));
+  // Pinned transfers are truly asynchronous.
+  EXPECT_FALSE(is_host_synchronous(MemOpClass::kMemcpyAsync, MemcpyDir::kHostToDevice,
+                                   MemKind::kPinnedHost, MemKind::kDevice));
+  EXPECT_FALSE(is_host_synchronous(MemOpClass::kMemcpyAsync, MemcpyDir::kDeviceToDevice,
+                                   MemKind::kDevice, MemKind::kDevice));
+}
+
+TEST(SyncBehaviorTest, MemsetFollowsPaperTable) {
+  // Paper §III-C: memset to pinned host memory synchronizes, device does not.
+  EXPECT_FALSE(is_host_synchronous(MemOpClass::kMemset, MemcpyDir::kHostToDevice,
+                                   MemKind::kPageableHost, MemKind::kDevice));
+  EXPECT_TRUE(is_host_synchronous(MemOpClass::kMemset, MemcpyDir::kHostToDevice,
+                                  MemKind::kPageableHost, MemKind::kPinnedHost));
+  EXPECT_FALSE(is_host_synchronous(MemOpClass::kMemsetAsync, MemcpyDir::kHostToDevice,
+                                   MemKind::kPageableHost, MemKind::kDevice));
+  EXPECT_FALSE(is_host_synchronous(MemOpClass::kMemsetAsync, MemcpyDir::kHostToDevice,
+                                   MemKind::kPageableHost, MemKind::kPinnedHost));
+}
+
+TEST(SyncModelTest, ModelMatchesDocumentedSynchronousCases) {
+  // cudaMemcpy touching host memory: documented synchronous; model agrees.
+  EXPECT_TRUE(model_host_sync(MemOpClass::kMemcpy, MemcpyDir::kHostToDevice,
+                              MemKind::kPageableHost, MemKind::kDevice));
+  EXPECT_TRUE(model_host_sync(MemOpClass::kMemcpy, MemcpyDir::kDeviceToHost, MemKind::kDevice,
+                              MemKind::kPinnedHost));
+  EXPECT_FALSE(model_host_sync(MemOpClass::kMemcpy, MemcpyDir::kDeviceToDevice, MemKind::kDevice,
+                               MemKind::kDevice));
+}
+
+TEST(SyncModelTest, ModelIsPessimisticWhereDocsSayMayBe) {
+  // Ground truth: staged pageable async copies ARE synchronous; the model
+  // must NOT credit synchronization ("may be synchronous" -> assume not).
+  EXPECT_TRUE(is_host_synchronous(MemOpClass::kMemcpyAsync, MemcpyDir::kHostToDevice,
+                                  MemKind::kPageableHost, MemKind::kDevice));
+  EXPECT_FALSE(model_host_sync(MemOpClass::kMemcpyAsync, MemcpyDir::kHostToDevice,
+                               MemKind::kPageableHost, MemKind::kDevice));
+}
+
+TEST(SyncModelTest, ModelNeverCreditsMoreThanGroundTruth) {
+  // Safety property: if the model credits sync, the simulator actually
+  // synchronizes (otherwise CuSan would *miss* races). Pessimism may only go
+  // the other way. Exhaustively check the product space.
+  for (const auto op : {MemOpClass::kMemcpy, MemOpClass::kMemcpyAsync, MemOpClass::kMemset,
+                        MemOpClass::kMemsetAsync}) {
+    for (const auto dir : {MemcpyDir::kHostToHost, MemcpyDir::kHostToDevice,
+                           MemcpyDir::kDeviceToHost, MemcpyDir::kDeviceToDevice}) {
+      for (const auto src : {MemKind::kPageableHost, MemKind::kPinnedHost, MemKind::kDevice,
+                             MemKind::kManaged}) {
+        for (const auto dst : {MemKind::kPageableHost, MemKind::kPinnedHost, MemKind::kDevice,
+                               MemKind::kManaged}) {
+          if (model_host_sync(op, dir, src, dst)) {
+            EXPECT_TRUE(is_host_synchronous(op, dir, src, dst))
+                << "model credits sync the simulator does not provide: op="
+                << static_cast<int>(op) << " dir=" << static_cast<int>(dir)
+                << " src=" << static_cast<int>(src) << " dst=" << static_cast<int>(dst);
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,422 @@
+// Unit tests for the simulated device: stream FIFO order, asynchrony w.r.t.
+// the host, legacy default-stream barriers, events, queries and the
+// host-synchrony matrix of memory operations.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "cusim/device.hpp"
+
+namespace {
+
+using cusim::Device;
+using cusim::Error;
+using cusim::Event;
+using cusim::LaunchDims;
+using cusim::MemcpyDir;
+using cusim::Stream;
+using cusim::StreamFlags;
+
+class CusimDeviceTest : public ::testing::Test {
+ protected:
+  Device device;
+};
+
+TEST_F(CusimDeviceTest, StreamCreateDestroy) {
+  Stream* s = nullptr;
+  ASSERT_EQ(device.stream_create(&s), Error::kSuccess);
+  ASSERT_NE(s, nullptr);
+  EXPECT_FALSE(s->is_default());
+  EXPECT_FALSE(s->is_non_blocking());
+  EXPECT_EQ(device.stream_destroy(s), Error::kSuccess);
+  EXPECT_EQ(device.stream_create(nullptr), Error::kInvalidValue);
+  EXPECT_EQ(device.stream_destroy(device.default_stream()), Error::kInvalidValue);
+}
+
+TEST_F(CusimDeviceTest, NonBlockingFlagIsRecorded) {
+  Stream* s = nullptr;
+  ASSERT_EQ(device.stream_create(&s, StreamFlags::kNonBlocking), Error::kSuccess);
+  EXPECT_TRUE(s->is_non_blocking());
+  EXPECT_EQ(device.stream_destroy(s), Error::kSuccess);
+}
+
+TEST_F(CusimDeviceTest, KernelFifoOrderWithinStream) {
+  std::vector<int> order;
+  Stream* s = nullptr;
+  ASSERT_EQ(device.stream_create(&s), Error::kSuccess);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_EQ(device.launch_kernel(
+                  s, LaunchDims{1, 1},
+                  [&order, i](const cusim::KernelContext&) { order.push_back(i); }),
+              Error::kSuccess);
+  }
+  ASSERT_EQ(device.stream_synchronize(s), Error::kSuccess);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+  EXPECT_EQ(device.stream_destroy(s), Error::kSuccess);
+}
+
+TEST_F(CusimDeviceTest, KernelsAreAsynchronousToHost) {
+  std::atomic<bool> release{false};
+  std::atomic<bool> ran{false};
+  ASSERT_EQ(device.launch_kernel(nullptr, LaunchDims{1, 1},
+                                 [&](const cusim::KernelContext&) {
+                                   while (!release.load()) {
+                                     std::this_thread::yield();
+                                   }
+                                   ran.store(true);
+                                 }),
+            Error::kSuccess);
+  // The launch returned while the kernel is still blocked -> asynchronous.
+  EXPECT_FALSE(ran.load());
+  EXPECT_EQ(device.stream_query(device.default_stream()), Error::kNotReady);
+  release.store(true);
+  EXPECT_EQ(device.device_synchronize(), Error::kSuccess);
+  EXPECT_TRUE(ran.load());
+  EXPECT_EQ(device.stream_query(device.default_stream()), Error::kSuccess);
+}
+
+TEST_F(CusimDeviceTest, KernelContextIteratesAllThreads) {
+  std::atomic<int> count{0};
+  ASSERT_EQ(device.launch_kernel(nullptr, LaunchDims{4, 32},
+                                 [&](const cusim::KernelContext& ctx) {
+                                   ctx.for_each_thread([&](std::size_t) { ++count; });
+                                 }),
+            Error::kSuccess);
+  ASSERT_EQ(device.device_synchronize(), Error::kSuccess);
+  EXPECT_EQ(count.load(), 128);
+}
+
+TEST_F(CusimDeviceTest, LegacyDefaultStreamBarriers) {
+  // Ops: K1 on blocking stream, K0 on default, K2 on blocking stream.
+  // Legacy semantics (paper Fig. 3): K0 waits K1; K2 waits K0.
+  std::vector<int> order;
+  std::atomic<bool> release_k1{false};
+  Stream* s1 = nullptr;
+  Stream* s2 = nullptr;
+  ASSERT_EQ(device.stream_create(&s1), Error::kSuccess);
+  ASSERT_EQ(device.stream_create(&s2), Error::kSuccess);
+
+  ASSERT_EQ(device.launch_kernel(s1, LaunchDims{1, 1},
+                                 [&](const cusim::KernelContext&) {
+                                   while (!release_k1.load()) {
+                                     std::this_thread::yield();
+                                   }
+                                   order.push_back(1);
+                                 }),
+            Error::kSuccess);
+  ASSERT_EQ(device.launch_kernel(device.default_stream(), LaunchDims{1, 1},
+                                 [&](const cusim::KernelContext&) { order.push_back(0); }),
+            Error::kSuccess);
+  ASSERT_EQ(device.launch_kernel(s2, LaunchDims{1, 1},
+                                 [&](const cusim::KernelContext&) { order.push_back(2); }),
+            Error::kSuccess);
+  // Give the executor a chance to (incorrectly) run K0/K2 early.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_TRUE(order.empty());
+  release_k1.store(true);
+  ASSERT_EQ(device.device_synchronize(), Error::kSuccess);
+  EXPECT_EQ(order, (std::vector<int>{1, 0, 2}));
+  EXPECT_EQ(device.stream_destroy(s1), Error::kSuccess);
+  EXPECT_EQ(device.stream_destroy(s2), Error::kSuccess);
+}
+
+TEST_F(CusimDeviceTest, NonBlockingStreamIgnoresDefaultBarrier) {
+  std::vector<int> order;
+  std::atomic<bool> release_def{false};
+  Stream* nb = nullptr;
+  ASSERT_EQ(device.stream_create(&nb, StreamFlags::kNonBlocking), Error::kSuccess);
+
+  ASSERT_EQ(device.launch_kernel(device.default_stream(), LaunchDims{1, 1},
+                                 [&](const cusim::KernelContext&) {
+                                   while (!release_def.load()) {
+                                     std::this_thread::yield();
+                                   }
+                                 }),
+            Error::kSuccess);
+  ASSERT_EQ(device.launch_kernel(nb, LaunchDims{1, 1},
+                                 [&](const cusim::KernelContext&) { order.push_back(9); }),
+            Error::kSuccess);
+  // The non-blocking stream's kernel must complete even though the default
+  // stream is still blocked... but a single executor serializes execution;
+  // synchronize the non-blocking stream to prove no dependency exists.
+  ASSERT_EQ(device.stream_synchronize(nb), Error::kSuccess);
+  EXPECT_EQ(order, (std::vector<int>{9}));
+  release_def.store(true);
+  ASSERT_EQ(device.device_synchronize(), Error::kSuccess);
+  EXPECT_EQ(device.stream_destroy(nb), Error::kSuccess);
+}
+
+TEST_F(CusimDeviceTest, EventRecordAndSynchronize) {
+  Stream* s = nullptr;
+  Event* e = nullptr;
+  ASSERT_EQ(device.stream_create(&s), Error::kSuccess);
+  ASSERT_EQ(device.event_create(&e), Error::kSuccess);
+  EXPECT_FALSE(e->recorded());
+  // Unrecorded event: synchronize/query succeed immediately.
+  EXPECT_EQ(device.event_synchronize(e), Error::kSuccess);
+  EXPECT_EQ(device.event_query(e), Error::kSuccess);
+
+  std::atomic<bool> release{false};
+  int after_event = 0;
+  ASSERT_EQ(device.launch_kernel(s, LaunchDims{1, 1},
+                                 [&](const cusim::KernelContext&) {
+                                   while (!release.load()) {
+                                     std::this_thread::yield();
+                                   }
+                                 }),
+            Error::kSuccess);
+  ASSERT_EQ(device.event_record(e, s), Error::kSuccess);
+  EXPECT_TRUE(e->recorded());
+  // Work enqueued AFTER the record is not captured by the event.
+  ASSERT_EQ(device.launch_kernel(s, LaunchDims{1, 1},
+                                 [&](const cusim::KernelContext&) { after_event = 1; }),
+            Error::kSuccess);
+  EXPECT_EQ(device.event_query(e), Error::kNotReady);
+  release.store(true);
+  EXPECT_EQ(device.event_synchronize(e), Error::kSuccess);
+  ASSERT_EQ(device.device_synchronize(), Error::kSuccess);
+  EXPECT_EQ(after_event, 1);
+  EXPECT_EQ(device.event_destroy(e), Error::kSuccess);
+  EXPECT_EQ(device.stream_destroy(s), Error::kSuccess);
+}
+
+TEST_F(CusimDeviceTest, StreamWaitEventOrdersAcrossStreams) {
+  Stream* producer = nullptr;
+  Stream* consumer = nullptr;
+  Event* e = nullptr;
+  ASSERT_EQ(device.stream_create(&producer, StreamFlags::kNonBlocking), Error::kSuccess);
+  ASSERT_EQ(device.stream_create(&consumer, StreamFlags::kNonBlocking), Error::kSuccess);
+  ASSERT_EQ(device.event_create(&e), Error::kSuccess);
+
+  std::atomic<bool> release{false};
+  std::vector<int> order;
+  ASSERT_EQ(device.launch_kernel(producer, LaunchDims{1, 1},
+                                 [&](const cusim::KernelContext&) {
+                                   while (!release.load()) {
+                                     std::this_thread::yield();
+                                   }
+                                   order.push_back(1);
+                                 }),
+            Error::kSuccess);
+  ASSERT_EQ(device.event_record(e, producer), Error::kSuccess);
+  ASSERT_EQ(device.stream_wait_event(consumer, e), Error::kSuccess);
+  ASSERT_EQ(device.launch_kernel(consumer, LaunchDims{1, 1},
+                                 [&](const cusim::KernelContext&) { order.push_back(2); }),
+            Error::kSuccess);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_TRUE(order.empty());
+  release.store(true);
+  ASSERT_EQ(device.device_synchronize(), Error::kSuccess);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(device.event_destroy(e), Error::kSuccess);
+  EXPECT_EQ(device.stream_destroy(producer), Error::kSuccess);
+  EXPECT_EQ(device.stream_destroy(consumer), Error::kSuccess);
+}
+
+TEST_F(CusimDeviceTest, MemcpyMovesDataAndIsHostSynchronous) {
+  double* d = nullptr;
+  ASSERT_EQ(device.malloc_device(reinterpret_cast<void**>(&d), 8 * sizeof(double)),
+            Error::kSuccess);
+  std::vector<double> h_in{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<double> h_out(8, 0.0);
+  ASSERT_EQ(device.memcpy(d, h_in.data(), 8 * sizeof(double), MemcpyDir::kHostToDevice),
+            Error::kSuccess);
+  ASSERT_EQ(device.memcpy(h_out.data(), d, 8 * sizeof(double), MemcpyDir::kDeviceToHost),
+            Error::kSuccess);
+  // Host-synchronous: data must already be there without further sync.
+  EXPECT_EQ(h_out, h_in);
+  EXPECT_EQ(device.free(d), Error::kSuccess);
+}
+
+TEST_F(CusimDeviceTest, MemcpyDirectionValidation) {
+  double* d = nullptr;
+  ASSERT_EQ(device.malloc_device(reinterpret_cast<void**>(&d), 64), Error::kSuccess);
+  double h[4] = {};
+  // Wrong direction: claiming D2H for a host source.
+  EXPECT_EQ(device.memcpy(h, h, 16, MemcpyDir::kDeviceToHost), Error::kInvalidValue);
+  // Wrong direction: claiming H2D onto a host destination.
+  EXPECT_EQ(device.memcpy(h, d, 16, MemcpyDir::kHostToDevice), Error::kInvalidValue);
+  // kDefault infers the direction from UVA.
+  EXPECT_EQ(device.memcpy(d, h, 16, MemcpyDir::kDefault), Error::kSuccess);
+  EXPECT_EQ(device.free(d), Error::kSuccess);
+}
+
+TEST_F(CusimDeviceTest, ManagedMemoryWorksOnBothSides) {
+  double* m = nullptr;
+  ASSERT_EQ(device.malloc_managed(reinterpret_cast<void**>(&m), 4 * sizeof(double)),
+            Error::kSuccess);
+  m[0] = 41.0;  // host write
+  ASSERT_EQ(device.launch_kernel(nullptr, LaunchDims{1, 1},
+                                 [m](const cusim::KernelContext&) { m[0] += 1.0; }),
+            Error::kSuccess);
+  ASSERT_EQ(device.device_synchronize(), Error::kSuccess);
+  EXPECT_EQ(m[0], 42.0);
+  EXPECT_EQ(device.free(m), Error::kSuccess);
+}
+
+TEST_F(CusimDeviceTest, MemsetFillsDeviceMemory) {
+  unsigned char* d = nullptr;
+  ASSERT_EQ(device.malloc_device(reinterpret_cast<void**>(&d), 64), Error::kSuccess);
+  ASSERT_EQ(device.memset(d, 0x7, 64), Error::kSuccess);
+  ASSERT_EQ(device.device_synchronize(), Error::kSuccess);  // memset is async
+  std::vector<unsigned char> h(64);
+  ASSERT_EQ(device.memcpy(h.data(), d, 64, MemcpyDir::kDeviceToHost), Error::kSuccess);
+  for (unsigned char byte : h) {
+    EXPECT_EQ(byte, 0x7);
+  }
+  EXPECT_EQ(device.free(d), Error::kSuccess);
+}
+
+TEST_F(CusimDeviceTest, FreeSynchronizesDevice) {
+  int* d = nullptr;
+  ASSERT_EQ(device.malloc_device(reinterpret_cast<void**>(&d), sizeof(int)), Error::kSuccess);
+  std::atomic<bool> ran{false};
+  ASSERT_EQ(device.launch_kernel(nullptr, LaunchDims{1, 1},
+                                 [&](const cusim::KernelContext&) {
+                                   std::this_thread::sleep_for(std::chrono::milliseconds(20));
+                                   ran.store(true);
+                                 }),
+            Error::kSuccess);
+  ASSERT_EQ(device.free(d), Error::kSuccess);
+  EXPECT_TRUE(ran.load());  // cudaFree waited for the kernel
+}
+
+TEST_F(CusimDeviceTest, FreeAsyncOrdersWithStream) {
+  int* d = nullptr;
+  ASSERT_EQ(device.malloc_device(reinterpret_cast<void**>(&d), sizeof(int)), Error::kSuccess);
+  Stream* s = nullptr;
+  ASSERT_EQ(device.stream_create(&s), Error::kSuccess);
+  ASSERT_EQ(device.launch_kernel(s, LaunchDims{1, 1},
+                                 [d](const cusim::KernelContext&) { *d = 1; }),
+            Error::kSuccess);
+  ASSERT_EQ(device.free_async(d, s), Error::kSuccess);
+  ASSERT_EQ(device.stream_synchronize(s), Error::kSuccess);
+  EXPECT_EQ(device.memory().live_allocations(), 0u);
+  EXPECT_EQ(device.stream_destroy(s), Error::kSuccess);
+}
+
+TEST_F(CusimDeviceTest, InvalidHandlesRejected) {
+  EXPECT_EQ(device.stream_synchronize(nullptr), Error::kInvalidResourceHandle);
+  EXPECT_EQ(device.event_synchronize(nullptr), Error::kInvalidResourceHandle);
+  EXPECT_EQ(device.free(reinterpret_cast<void*>(0xDEAD)), Error::kInvalidValue);
+  Stream* s = nullptr;
+  ASSERT_EQ(device.stream_create(&s), Error::kSuccess);
+  ASSERT_EQ(device.stream_destroy(s), Error::kSuccess);
+  EXPECT_EQ(device.stream_synchronize(s), Error::kInvalidResourceHandle);  // stale handle
+}
+
+TEST_F(CusimDeviceTest, StreamsSnapshotIncludesDefaultFirst) {
+  Stream* s = nullptr;
+  ASSERT_EQ(device.stream_create(&s), Error::kSuccess);
+  const auto streams = device.streams();
+  ASSERT_EQ(streams.size(), 2u);
+  EXPECT_TRUE(streams[0]->is_default());
+  EXPECT_EQ(streams[1], s);
+  EXPECT_EQ(device.stream_destroy(s), Error::kSuccess);
+}
+
+TEST_F(CusimDeviceTest, EventReRecordMovesCapturePoint) {
+  Stream* s = nullptr;
+  Event* e = nullptr;
+  ASSERT_EQ(device.stream_create(&s), Error::kSuccess);
+  ASSERT_EQ(device.event_create(&e), Error::kSuccess);
+
+  ASSERT_EQ(device.launch_kernel(s, LaunchDims{1, 1}, [](const cusim::KernelContext&) {}),
+            Error::kSuccess);
+  ASSERT_EQ(device.event_record(e, s), Error::kSuccess);
+  ASSERT_EQ(device.event_synchronize(e), Error::kSuccess);
+
+  std::atomic<bool> release{false};
+  ASSERT_EQ(device.launch_kernel(s, LaunchDims{1, 1},
+                                 [&](const cusim::KernelContext&) {
+                                   while (!release.load()) {
+                                     std::this_thread::yield();
+                                   }
+                                 }),
+            Error::kSuccess);
+  // Re-record: the event now captures the blocked kernel.
+  ASSERT_EQ(device.event_record(e, s), Error::kSuccess);
+  EXPECT_EQ(device.event_query(e), Error::kNotReady);
+  release.store(true);
+  EXPECT_EQ(device.event_synchronize(e), Error::kSuccess);
+  EXPECT_EQ(device.stream_destroy(s), Error::kSuccess);
+  EXPECT_EQ(device.event_destroy(e), Error::kSuccess);
+}
+
+TEST_F(CusimDeviceTest, LaunchValidation) {
+  EXPECT_EQ(device.launch_kernel(nullptr, LaunchDims{0, 0}, [](const cusim::KernelContext&) {}),
+            Error::kInvalidValue);
+  EXPECT_EQ(device.launch_kernel(nullptr, LaunchDims{1, 1}, cusim::KernelBody{}),
+            Error::kInvalidValue);
+  Stream* stale = nullptr;
+  ASSERT_EQ(device.stream_create(&stale), Error::kSuccess);
+  ASSERT_EQ(device.stream_destroy(stale), Error::kSuccess);
+  EXPECT_EQ(device.launch_kernel(stale, LaunchDims{1, 1}, [](const cusim::KernelContext&) {}),
+            Error::kInvalidResourceHandle);
+}
+
+TEST_F(CusimDeviceTest, FreeAsyncValidation) {
+  Stream* s = nullptr;
+  ASSERT_EQ(device.stream_create(&s), Error::kSuccess);
+  int local = 0;
+  EXPECT_EQ(device.free_async(&local, s), Error::kInvalidValue);  // not an allocation
+  EXPECT_EQ(device.free_async(nullptr, s), Error::kSuccess);      // nullptr ok
+  EXPECT_EQ(device.stream_destroy(s), Error::kSuccess);
+}
+
+TEST_F(CusimDeviceTest, Memcpy2DAsyncIsAsyncForPinned) {
+  // Pinned <-> device 2D async copies do not block the host.
+  double* d = nullptr;
+  double* pinned = nullptr;
+  ASSERT_EQ(device.malloc_device(reinterpret_cast<void**>(&d), 64 * sizeof(double)),
+            Error::kSuccess);
+  ASSERT_EQ(device.malloc_host(reinterpret_cast<void**>(&pinned), 64 * sizeof(double)),
+            Error::kSuccess);
+  Stream* s = nullptr;
+  ASSERT_EQ(device.stream_create(&s, StreamFlags::kNonBlocking), Error::kSuccess);
+  std::atomic<bool> release{false};
+  // Block the stream so the copy cannot have run when the call returns.
+  ASSERT_EQ(device.launch_kernel(s, LaunchDims{1, 1},
+                                 [&](const cusim::KernelContext&) {
+                                   while (!release.load()) {
+                                     std::this_thread::yield();
+                                   }
+                                 }),
+            Error::kSuccess);
+  ASSERT_EQ(device.memcpy_2d_async(pinned, 8 * sizeof(double), d, 8 * sizeof(double),
+                                   8 * sizeof(double), 8, MemcpyDir::kDeviceToHost, s),
+            Error::kSuccess);
+  EXPECT_EQ(device.stream_query(s), Error::kNotReady);  // returned while blocked: async
+  release.store(true);
+  ASSERT_EQ(device.stream_synchronize(s), Error::kSuccess);
+  EXPECT_EQ(device.stream_destroy(s), Error::kSuccess);
+  EXPECT_EQ(device.free(d), Error::kSuccess);
+  EXPECT_EQ(device.free_host(pinned), Error::kSuccess);
+}
+
+TEST(CusimDeviceProfileTest, LaunchOverheadDelaysHost) {
+  cusim::DeviceProfile profile;
+  profile.launch_overhead_ns = 200000;  // 200 us
+  Device device(profile);
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_EQ(device.launch_kernel(nullptr, LaunchDims{1, 1},
+                                   [](const cusim::KernelContext&) {}),
+              Error::kSuccess);
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count(), 1000);
+  ASSERT_EQ(device.device_synchronize(), Error::kSuccess);
+}
+
+TEST(CusimDeviceProfileTest, ContextReserveTouchedAtCreation) {
+  cusim::DeviceProfile profile;
+  profile.context_reserve_bytes = 1 << 20;
+  Device device(profile);
+  SUCCEED();  // constructor committed the arena without crashing
+}
+
+}  // namespace

@@ -1,0 +1,98 @@
+// Unit tests for the simulator's memory manager and UVA pointer queries.
+#include <gtest/gtest.h>
+
+#include "cusim/memory.hpp"
+
+namespace {
+
+using cusim::MemKind;
+using cusim::MemoryManager;
+
+TEST(CusimMemoryTest, AllocateAndQueryKinds) {
+  MemoryManager mm(/*device_ordinal=*/3, /*context_reserve_bytes=*/0);
+  void* dev = mm.allocate(256, MemKind::kDevice);
+  void* pinned = mm.allocate(128, MemKind::kPinnedHost);
+  void* managed = mm.allocate(64, MemKind::kManaged);
+  ASSERT_NE(dev, nullptr);
+  ASSERT_NE(pinned, nullptr);
+  ASSERT_NE(managed, nullptr);
+
+  EXPECT_EQ(mm.query(dev).kind, MemKind::kDevice);
+  EXPECT_EQ(mm.query(dev).device, 3);
+  EXPECT_EQ(mm.query(pinned).kind, MemKind::kPinnedHost);
+  EXPECT_EQ(mm.query(pinned).device, -1);
+  EXPECT_EQ(mm.query(managed).kind, MemKind::kManaged);
+  EXPECT_EQ(mm.query(managed).device, 3);
+
+  EXPECT_TRUE(mm.deallocate(dev));
+  EXPECT_TRUE(mm.deallocate(pinned));
+  EXPECT_TRUE(mm.deallocate(managed));
+}
+
+TEST(CusimMemoryTest, InteriorPointerResolvesToAllocation) {
+  MemoryManager mm(0, 0);
+  auto* base = static_cast<std::byte*>(mm.allocate(1000, MemKind::kDevice));
+  const auto attrs = mm.query(base + 500);
+  EXPECT_EQ(attrs.kind, MemKind::kDevice);
+  EXPECT_EQ(attrs.base, base);
+  EXPECT_EQ(attrs.extent, 1000u);
+  // One-past-the-end is NOT inside.
+  EXPECT_EQ(mm.query(base + 1000).kind, MemKind::kPageableHost);
+  EXPECT_TRUE(mm.deallocate(base));
+}
+
+TEST(CusimMemoryTest, UnknownPointerIsPageableHost) {
+  MemoryManager mm(0, 0);
+  int local = 0;
+  const auto attrs = mm.query(&local);
+  EXPECT_EQ(attrs.kind, MemKind::kPageableHost);
+  EXPECT_EQ(attrs.base, nullptr);
+  EXPECT_EQ(attrs.extent, 0u);
+  EXPECT_EQ(attrs.device, -1);
+}
+
+TEST(CusimMemoryTest, DeallocateRejectsNonBasePointers) {
+  MemoryManager mm(0, 0);
+  auto* base = static_cast<std::byte*>(mm.allocate(100, MemKind::kDevice));
+  EXPECT_FALSE(mm.deallocate(base + 1));
+  EXPECT_TRUE(mm.deallocate(base));
+  EXPECT_FALSE(mm.deallocate(base));  // double free
+}
+
+TEST(CusimMemoryTest, NullAndZeroSize) {
+  MemoryManager mm(0, 0);
+  EXPECT_EQ(mm.allocate(0, MemKind::kDevice), nullptr);
+  EXPECT_TRUE(mm.deallocate(nullptr));  // cudaFree(nullptr) succeeds
+}
+
+TEST(CusimMemoryTest, LiveAccounting) {
+  MemoryManager mm(0, 0);
+  void* a = mm.allocate(100, MemKind::kDevice);
+  void* b = mm.allocate(200, MemKind::kManaged);
+  EXPECT_EQ(mm.live_allocations(), 2u);
+  EXPECT_EQ(mm.live_bytes(), 300u);
+  EXPECT_TRUE(mm.deallocate(a));
+  EXPECT_EQ(mm.live_allocations(), 1u);
+  EXPECT_EQ(mm.live_bytes(), 200u);
+  EXPECT_TRUE(mm.deallocate(b));
+  EXPECT_EQ(mm.live_bytes(), 0u);
+}
+
+TEST(CusimMemoryTest, ContextReserveIsIndependentOfAllocations) {
+  MemoryManager mm(0, 1 << 20);
+  EXPECT_EQ(mm.live_bytes(), 0u);
+  void* a = mm.allocate(64, MemKind::kDevice);
+  EXPECT_EQ(mm.live_bytes(), 64u);
+  EXPECT_TRUE(mm.deallocate(a));
+}
+
+TEST(CusimMemoryTest, AllocationsAreAligned) {
+  MemoryManager mm(0, 0);
+  for (std::size_t size : {1u, 7u, 64u, 1000u}) {
+    void* p = mm.allocate(size, MemKind::kDevice);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 64, 0u);
+    EXPECT_TRUE(mm.deallocate(p));
+  }
+}
+
+}  // namespace

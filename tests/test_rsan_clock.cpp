@@ -1,0 +1,108 @@
+// Unit tests for vector clocks and shadow cell packing.
+#include <gtest/gtest.h>
+
+#include "rsan/clock.hpp"
+#include "rsan/shadow.hpp"
+
+namespace {
+
+using rsan::ShadowCell;
+using rsan::VectorClock;
+
+TEST(VectorClockTest, DefaultIsZero) {
+  VectorClock clock;
+  EXPECT_EQ(clock.get(0), 0u);
+  EXPECT_EQ(clock.get(1000), 0u);
+  EXPECT_EQ(clock.size(), 0u);
+}
+
+TEST(VectorClockTest, SetGetTick) {
+  VectorClock clock;
+  clock.set(3, 7);
+  EXPECT_EQ(clock.get(3), 7u);
+  EXPECT_EQ(clock.get(2), 0u);
+  EXPECT_EQ(clock.tick(3), 8u);
+  EXPECT_EQ(clock.get(3), 8u);
+  EXPECT_EQ(clock.tick(5), 1u);
+}
+
+TEST(VectorClockTest, JoinTakesElementwiseMax) {
+  VectorClock a;
+  VectorClock b;
+  a.set(0, 5);
+  a.set(1, 2);
+  b.set(1, 7);
+  b.set(2, 3);
+  a.join(b);
+  EXPECT_EQ(a.get(0), 5u);
+  EXPECT_EQ(a.get(1), 7u);
+  EXPECT_EQ(a.get(2), 3u);
+}
+
+TEST(VectorClockTest, JoinGrowsSmallerClock) {
+  VectorClock a;
+  VectorClock b;
+  b.set(9, 4);
+  a.join(b);
+  EXPECT_EQ(a.get(9), 4u);
+  EXPECT_GE(a.size(), 10u);
+}
+
+TEST(VectorClockTest, LessEqualDefinesHappensBefore) {
+  VectorClock a;
+  VectorClock b;
+  a.set(0, 1);
+  b.set(0, 2);
+  b.set(1, 1);
+  EXPECT_TRUE(a.less_equal(b));
+  EXPECT_FALSE(b.less_equal(a));
+  // Concurrent clocks: neither ordered.
+  VectorClock c;
+  VectorClock d;
+  c.set(0, 1);
+  d.set(1, 1);
+  EXPECT_FALSE(c.less_equal(d));
+  EXPECT_FALSE(d.less_equal(c));
+}
+
+TEST(VectorClockTest, SelfLessEqual) {
+  VectorClock a;
+  a.set(2, 9);
+  EXPECT_TRUE(a.less_equal(a));
+}
+
+TEST(ShadowCellTest, PackUnpackRoundTrip) {
+  const auto cell = ShadowCell::make(123, 456789, true);
+  EXPECT_TRUE(cell.valid());
+  EXPECT_TRUE(cell.is_write());
+  EXPECT_EQ(cell.ctx(), 123u);
+  EXPECT_EQ(cell.clock(), 456789u);
+
+  const auto read_cell = ShadowCell::make(0, 0, false);
+  EXPECT_TRUE(read_cell.valid());  // valid bit independent of payload
+  EXPECT_FALSE(read_cell.is_write());
+  EXPECT_EQ(read_cell.ctx(), 0u);
+  EXPECT_EQ(read_cell.clock(), 0u);
+}
+
+TEST(ShadowCellTest, DefaultIsInvalid) {
+  ShadowCell cell;
+  EXPECT_FALSE(cell.valid());
+}
+
+TEST(ShadowCellTest, MaxFieldValues) {
+  const rsan::CtxId max_ctx = static_cast<rsan::CtxId>(ShadowCell::kCtxMask);
+  const std::uint64_t max_clock = ShadowCell::kClockMask;
+  const auto cell = ShadowCell::make(max_ctx, max_clock, true);
+  EXPECT_EQ(cell.ctx(), max_ctx);
+  EXPECT_EQ(cell.clock(), max_clock);
+  EXPECT_TRUE(cell.is_write());
+  EXPECT_TRUE(cell.valid());
+}
+
+TEST(ShadowCellTest, CellIsEightBytes) {
+  static_assert(sizeof(ShadowCell) == 8);
+  SUCCEED();
+}
+
+}  // namespace

@@ -1,0 +1,108 @@
+// Unit tests for the shadow memory (lazy blocks, granule addressing, reset).
+#include <gtest/gtest.h>
+
+#include "rsan/shadow.hpp"
+
+namespace {
+
+using rsan::kBlockAppBytes;
+using rsan::kGranuleBytes;
+using rsan::kShadowSlots;
+using rsan::ShadowCell;
+using rsan::ShadowMemory;
+
+TEST(ShadowMemoryTest, LazyAllocation) {
+  ShadowMemory shadow;
+  EXPECT_EQ(shadow.resident_blocks(), 0u);
+  (void)shadow.granule(0x1000);
+  EXPECT_EQ(shadow.resident_blocks(), 1u);
+  (void)shadow.granule(0x1008);  // same block
+  EXPECT_EQ(shadow.resident_blocks(), 1u);
+  (void)shadow.granule(0x1000 + kBlockAppBytes);  // next block
+  EXPECT_EQ(shadow.resident_blocks(), 2u);
+  EXPECT_EQ(shadow.resident_bytes(), 2 * sizeof(rsan::ShadowBlock));
+}
+
+TEST(ShadowMemoryTest, GranuleCellsPersist) {
+  ShadowMemory shadow;
+  ShadowCell* cells = shadow.granule(0x2000);
+  cells[0] = ShadowCell::make(1, 5, true);
+  ShadowCell* again = shadow.granule(0x2000);
+  EXPECT_EQ(again[0].raw, cells[0].raw);
+  EXPECT_TRUE(again[0].valid());
+  // A different granule in the same block has its own cells.
+  ShadowCell* other = shadow.granule(0x2008);
+  EXPECT_FALSE(other[0].valid());
+}
+
+TEST(ShadowMemoryTest, SameGranuleForAllBytesWithin) {
+  ShadowMemory shadow;
+  ShadowCell* base = shadow.granule(0x3000);
+  for (std::uintptr_t off = 0; off < kGranuleBytes; ++off) {
+    EXPECT_EQ(shadow.granule(0x3000 + off), base);
+  }
+  EXPECT_NE(shadow.granule(0x3000 + kGranuleBytes), base);
+}
+
+TEST(ShadowMemoryTest, GranuleIfPresentDoesNotAllocate) {
+  ShadowMemory shadow;
+  EXPECT_EQ(shadow.granule_if_present(0x4000), nullptr);
+  EXPECT_EQ(shadow.resident_blocks(), 0u);
+  (void)shadow.granule(0x4000);
+  EXPECT_NE(shadow.granule_if_present(0x4000), nullptr);
+}
+
+TEST(ShadowMemoryTest, ResetRangeClearsCells) {
+  ShadowMemory shadow;
+  for (std::uintptr_t addr = 0x5000; addr < 0x5100; addr += kGranuleBytes) {
+    shadow.granule(addr)[0] = ShadowCell::make(2, 9, false);
+  }
+  shadow.reset_range(0x5000, 0x100);
+  for (std::uintptr_t addr = 0x5000; addr < 0x5100; addr += kGranuleBytes) {
+    const ShadowCell* cells = shadow.granule_if_present(addr);
+    ASSERT_NE(cells, nullptr);
+    for (std::size_t s = 0; s < kShadowSlots; ++s) {
+      EXPECT_FALSE(cells[s].valid());
+    }
+  }
+}
+
+TEST(ShadowMemoryTest, ResetRangeIsBounded) {
+  ShadowMemory shadow;
+  shadow.granule(0x6000 - kGranuleBytes)[0] = ShadowCell::make(1, 1, true);
+  shadow.granule(0x6000)[0] = ShadowCell::make(1, 2, true);
+  shadow.granule(0x6010)[0] = ShadowCell::make(1, 3, true);
+  shadow.reset_range(0x6000, 0x10);
+  EXPECT_TRUE(shadow.granule(0x6000 - kGranuleBytes)[0].valid());  // before range
+  EXPECT_FALSE(shadow.granule(0x6000)[0].valid());
+  EXPECT_FALSE(shadow.granule(0x6008)[0].valid());
+  EXPECT_TRUE(shadow.granule(0x6010)[0].valid());  // after range
+}
+
+TEST(ShadowMemoryTest, ResetRangeSkipsAbsentBlocks) {
+  ShadowMemory shadow;
+  shadow.granule(0x10000)[0] = ShadowCell::make(1, 1, true);
+  // Range spans many never-touched blocks plus the one above.
+  shadow.reset_range(0x8000, 0x10000);
+  EXPECT_FALSE(shadow.granule(0x10000)[0].valid());
+  // No new blocks were materialized by the reset.
+  EXPECT_EQ(shadow.resident_blocks(), 1u);
+}
+
+TEST(ShadowMemoryTest, ResetRangeZeroExtentIsNoop) {
+  ShadowMemory shadow;
+  shadow.granule(0x7000)[0] = ShadowCell::make(1, 1, true);
+  shadow.reset_range(0x7000, 0);
+  EXPECT_TRUE(shadow.granule(0x7000)[0].valid());
+}
+
+TEST(ShadowMemoryTest, ClearDropsEverything) {
+  ShadowMemory shadow;
+  (void)shadow.granule(0x1000);
+  (void)shadow.granule(0x100000);
+  shadow.clear();
+  EXPECT_EQ(shadow.resident_blocks(), 0u);
+  EXPECT_EQ(shadow.granule_if_present(0x1000), nullptr);
+}
+
+}  // namespace

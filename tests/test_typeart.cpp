@@ -1,0 +1,173 @@
+// Unit tests for the TypeART substrate: type database, struct layout
+// flattening and the allocation-tracking runtime.
+#include <gtest/gtest.h>
+
+#include "typeart/runtime.hpp"
+#include "typeart/typedb.hpp"
+
+namespace {
+
+using typeart::AllocKind;
+using typeart::Runtime;
+using typeart::StructMember;
+using typeart::TypeDB;
+
+TEST(TypeDBTest, BuiltinsArePreRegistered) {
+  TypeDB db;
+  EXPECT_EQ(db.size_of(typeart::kDouble), 8u);
+  EXPECT_EQ(db.size_of(typeart::kFloat), 4u);
+  EXPECT_EQ(db.size_of(typeart::kInt32), 4u);
+  EXPECT_EQ(db.size_of(typeart::kInt8), 1u);
+  EXPECT_EQ(db.size_of(typeart::kPointer), sizeof(void*));
+  ASSERT_NE(db.by_name("double"), nullptr);
+  EXPECT_EQ(db.by_name("double")->id, typeart::kDouble);
+  EXPECT_TRUE(db.get(typeart::kDouble)->is_builtin());
+}
+
+TEST(TypeDBTest, CompileTimeBuiltinMapping) {
+  EXPECT_EQ(typeart::builtin_type_id<double>(), typeart::kDouble);
+  EXPECT_EQ(typeart::builtin_type_id<float>(), typeart::kFloat);
+  EXPECT_EQ(typeart::builtin_type_id<std::int32_t>(), typeart::kInt32);
+  EXPECT_EQ(typeart::builtin_type_id<std::uint64_t>(), typeart::kUInt64);
+  EXPECT_EQ(typeart::builtin_type_id<int*>(), typeart::kPointer);
+}
+
+TEST(TypeDBTest, RegisterStruct) {
+  TypeDB db;
+  // struct Particle { double pos[3]; double mass; int32 id; /* pad */ };
+  const auto id = db.register_struct("Particle", 40,
+                                     {StructMember{0, typeart::kDouble, 3},
+                                      StructMember{24, typeart::kDouble, 1},
+                                      StructMember{32, typeart::kInt32, 1}});
+  ASSERT_NE(id, typeart::kUnknownType);
+  EXPECT_GE(id, typeart::kFirstUserTypeId);
+  EXPECT_EQ(db.size_of(id), 40u);
+  EXPECT_EQ(db.by_name("Particle")->id, id);
+  EXPECT_FALSE(db.get(id)->is_builtin());
+}
+
+TEST(TypeDBTest, RejectsDuplicateNamesAndBadLayouts) {
+  TypeDB db;
+  ASSERT_NE(db.register_struct("S", 8, {StructMember{0, typeart::kDouble, 1}}),
+            typeart::kUnknownType);
+  EXPECT_EQ(db.register_struct("S", 8, {}), typeart::kUnknownType);  // dup name
+  EXPECT_EQ(db.register_struct("T", 0, {}), typeart::kUnknownType);  // zero size
+  // Member past the end of the struct.
+  EXPECT_EQ(db.register_struct("U", 8, {StructMember{4, typeart::kDouble, 1}}),
+            typeart::kUnknownType);
+  // Unknown member type.
+  EXPECT_EQ(db.register_struct("V", 8, {StructMember{0, static_cast<typeart::TypeId>(999), 1}}),
+            typeart::kUnknownType);
+}
+
+TEST(TypeDBTest, FlattenBuiltin) {
+  TypeDB db;
+  const auto flat = db.flatten(typeart::kDouble);
+  ASSERT_EQ(flat.size(), 1u);
+  EXPECT_EQ(flat[0].offset, 0u);
+  EXPECT_EQ(flat[0].builtin, typeart::kDouble);
+}
+
+TEST(TypeDBTest, FlattenNestedStructsWithArrays) {
+  TypeDB db;
+  const auto vec2 = db.register_struct("Vec2", 16,
+                                       {StructMember{0, typeart::kDouble, 1},
+                                        StructMember{8, typeart::kDouble, 1}});
+  ASSERT_NE(vec2, typeart::kUnknownType);
+  // struct Pair { Vec2 a[2]; int32 tag; } (size 40 with padding)
+  const auto pair = db.register_struct(
+      "Pair", 40, {StructMember{0, vec2, 2}, StructMember{32, typeart::kInt32, 1}});
+  ASSERT_NE(pair, typeart::kUnknownType);
+  const auto flat = db.flatten(pair);
+  ASSERT_EQ(flat.size(), 5u);
+  EXPECT_EQ(flat[0].offset, 0u);
+  EXPECT_EQ(flat[1].offset, 8u);
+  EXPECT_EQ(flat[2].offset, 16u);
+  EXPECT_EQ(flat[3].offset, 24u);
+  EXPECT_EQ(flat[4].offset, 32u);
+  EXPECT_EQ(flat[4].builtin, typeart::kInt32);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(flat[i].builtin, typeart::kDouble);
+  }
+}
+
+TEST(TypeDBTest, InvalidIdQueries) {
+  TypeDB db;
+  EXPECT_EQ(db.get(-1), nullptr);
+  EXPECT_EQ(db.get(9999), nullptr);
+  EXPECT_EQ(db.get(20), nullptr);  // reserved but unregistered slot
+  EXPECT_EQ(db.size_of(9999), 0u);
+  EXPECT_TRUE(db.flatten(9999).empty());
+}
+
+class TypeartRuntimeTest : public ::testing::Test {
+ protected:
+  TypeDB db;
+  Runtime rt{&db};
+  double buffer[100]{};
+};
+
+TEST_F(TypeartRuntimeTest, TrackAllocAndFind) {
+  ASSERT_TRUE(rt.on_alloc(buffer, typeart::kDouble, 100, AllocKind::kDevice));
+  const auto info = rt.find(&buffer[50]);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->base, reinterpret_cast<std::uintptr_t>(buffer));
+  EXPECT_EQ(info->extent, 800u);
+  EXPECT_EQ(info->type, typeart::kDouble);
+  EXPECT_EQ(info->count, 100u);
+  EXPECT_EQ(info->kind, AllocKind::kDevice);
+  EXPECT_EQ(rt.live_allocations(), 1u);
+}
+
+TEST_F(TypeartRuntimeTest, CountFromInteriorPointer) {
+  ASSERT_TRUE(rt.on_alloc(buffer, typeart::kDouble, 100, AllocKind::kDevice));
+  EXPECT_EQ(rt.count_from(buffer).value(), 100u);
+  EXPECT_EQ(rt.count_from(&buffer[60]).value(), 40u);
+  EXPECT_EQ(rt.count_from(&buffer[99]).value(), 1u);
+  EXPECT_FALSE(rt.count_from(&buffer[100]).has_value());  // one past the end
+}
+
+TEST_F(TypeartRuntimeTest, FreeRemovesTracking) {
+  ASSERT_TRUE(rt.on_alloc(buffer, typeart::kDouble, 100, AllocKind::kManaged));
+  const auto removed = rt.on_free(buffer);
+  ASSERT_TRUE(removed.has_value());
+  EXPECT_EQ(removed->kind, AllocKind::kManaged);
+  EXPECT_FALSE(rt.find(buffer).has_value());
+  EXPECT_EQ(rt.live_allocations(), 0u);
+}
+
+TEST_F(TypeartRuntimeTest, DoubleRegistrationCounted) {
+  ASSERT_TRUE(rt.on_alloc(buffer, typeart::kDouble, 100, AllocKind::kDevice));
+  EXPECT_FALSE(rt.on_alloc(&buffer[10], typeart::kDouble, 10, AllocKind::kDevice));
+  EXPECT_EQ(rt.stats().double_registrations, 1u);
+}
+
+TEST_F(TypeartRuntimeTest, UnknownFreeCounted) {
+  EXPECT_FALSE(rt.on_free(buffer).has_value());
+  EXPECT_EQ(rt.stats().unknown_frees, 1u);
+}
+
+TEST_F(TypeartRuntimeTest, FailedLookupCounted) {
+  EXPECT_FALSE(rt.find(buffer).has_value());
+  EXPECT_EQ(rt.stats().lookups, 1u);
+  EXPECT_EQ(rt.stats().failed_lookups, 1u);
+}
+
+TEST_F(TypeartRuntimeTest, RejectsNullAndUnknownType) {
+  EXPECT_FALSE(rt.on_alloc(nullptr, typeart::kDouble, 10, AllocKind::kDevice));
+  EXPECT_FALSE(rt.on_alloc(buffer, typeart::kUnknownType, 10, AllocKind::kDevice));
+  EXPECT_EQ(rt.live_allocations(), 0u);
+}
+
+TEST_F(TypeartRuntimeTest, StructTypedAllocation) {
+  const auto vec2 = db.register_struct("Vec2", 16,
+                                       {StructMember{0, typeart::kDouble, 1},
+                                        StructMember{8, typeart::kDouble, 1}});
+  ASSERT_TRUE(rt.on_alloc(buffer, vec2, 10, AllocKind::kDevice));
+  const auto info = rt.find(buffer);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->extent, 160u);
+  EXPECT_EQ(rt.count_from(&buffer[4]).value(), 8u);  // 2 Vec2 consumed
+}
+
+}  // namespace

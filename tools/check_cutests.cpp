@@ -1,0 +1,49 @@
+// The artifact's `make check-cutests` analog: runs the §VI-C correctness
+// test suite and prints llvm-lit style output, e.g.
+//
+//   PASS: CuSanTest :: cuda_to_mpi/device__default_stream__no_sync__racy (1 of 56)
+//
+// Exit code 0 iff every scenario is classified correctly (racy programs
+// produce at least one report, correct programs produce none).
+//
+// Usage: check_cutests [filter-substring]
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "testsuite/scenarios.hpp"
+
+int main(int argc, char** argv) {
+  const char* filter = argc > 1 ? argv[1] : nullptr;
+  const auto scenarios = testsuite::build_scenarios();
+
+  std::vector<const testsuite::Scenario*> selected;
+  for (const auto& scenario : scenarios) {
+    if (filter == nullptr || scenario.name.find(filter) != std::string::npos) {
+      selected.push_back(&scenario);
+    }
+  }
+  if (selected.empty()) {
+    std::fprintf(stderr, "no scenario matches filter '%s'\n", filter != nullptr ? filter : "");
+    return 2;
+  }
+
+  std::size_t failures = 0;
+  std::size_t index = 0;
+  for (const auto* scenario : selected) {
+    ++index;
+    const std::size_t races = testsuite::run_scenario(*scenario);
+    const bool ok = testsuite::classified_correctly(*scenario, races);
+    if (!ok) {
+      ++failures;
+    }
+    std::printf("%s: CuSanTest :: %s (%zu of %zu)%s\n", ok ? "PASS" : "FAIL",
+                scenario->name.c_str(), index, selected.size(),
+                ok ? ""
+                   : (scenario->expect_race ? "  [expected a race, none reported]"
+                                            : "  [false positive report]"));
+  }
+  std::printf("\nTesting Time: done\n  Passed: %zu\n  Failed: %zu\n", selected.size() - failures,
+              failures);
+  return failures == 0 ? 0 : 1;
+}
