@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "capi/cuda.hpp"
@@ -13,47 +15,52 @@
 namespace apps {
 namespace {
 
-/// Kernel IR for the smoother. The row loop is modelled with a phi-based
-/// induction pointer (exercising the analysis' back-edge handling) feeding a
-/// nested per-row helper.
+/// Kernel IR for the smoother, built per local domain shape. The prev-field
+/// reads go through a phi-based induction pointer feeding a nested per-row
+/// helper (exercising the analysis' back-edge handling; the loop widens the
+/// read summary to ⊤), while the interior store uses the rank's
+/// compiler-known index bounds so the write summary is a byte interval.
 struct StencilKernels {
   kir::Module module;
   const kir::KernelInfo* smooth{};
   const kir::KernelInfo* sum{};
   std::unique_ptr<kir::KernelRegistry> registry;
 
-  StencilKernels() {
-    // row_update(next*, prev*, i): next[i] = avg(prev neighbors)
-    kir::Function* row = module.create_function("st_row_update", {true, true, false});
+  StencilKernels(std::size_t local_rows, std::size_t local_cols) {
+    const std::size_t pc = local_cols + 2;  // padded row length
+    // Interior hull as flat element indices: first interior element to last.
+    const auto interior_lo = static_cast<std::int64_t>(pc + 1);
+    const auto interior_hi = static_cast<std::int64_t>(local_rows * pc + local_cols);
+    constexpr auto kElem = static_cast<std::uint32_t>(sizeof(double));
+    // row_read(prev*, i): reads prev[i +/- ...] for one row (read-only).
+    kir::Function* row = module.create_function("st_row_read", {true, false});
     {
-      const auto next = row->param(0);
-      const auto prev = row->param(1);
-      const auto i = row->param(2);
-      const auto v = row->load(row->gep(prev, i));
-      row->store(row->gep(next, i), v);
+      (void)row->load(row->gep(row->param(0), row->param(1), kElem), kElem);
       row->ret();
     }
-    // smooth(next*, prev*, n): loop over rows via phi induction.
+    // smooth(next*, prev*, n): prev walks through a phi induction pointer
+    // into the helper; next is written directly over the interior hull.
     kir::Function* smooth_fn = module.create_function("st_smooth", {true, true, false});
     {
       const auto next = smooth_fn->param(0);
       const auto prev = smooth_fn->param(1);
-      const auto row_next = smooth_fn->phi({next});
       const auto row_prev = smooth_fn->phi({prev});
-      (void)smooth_fn->call(row, {row_next, row_prev, smooth_fn->constant()});
-      const auto adv_next = smooth_fn->gep(row_next, smooth_fn->constant());
+      (void)smooth_fn->call(row, {row_prev, smooth_fn->constant()});
       const auto adv_prev = smooth_fn->gep(row_prev, smooth_fn->constant());
-      smooth_fn->add_phi_incoming(row_next, adv_next);  // loop back-edges
-      smooth_fn->add_phi_incoming(row_prev, adv_prev);
+      smooth_fn->add_phi_incoming(row_prev, adv_prev);  // loop back-edge
+      const auto idx = smooth_fn->bounded(interior_lo, interior_hi);
+      smooth_fn->store(smooth_fn->gep(next, idx, kElem), smooth_fn->constant(), kElem);
       smooth_fn->ret();
     }
-    // sum(partial*, field*): partial[b] = sum(field row b)
+    // sum(partial*, field*): partial[b] = sum(field row b), all bounds known.
     kir::Function* sum_fn = module.create_function("st_sum", {true, true});
     {
       const auto partial = sum_fn->param(0);
       const auto field = sum_fn->param(1);
-      sum_fn->store(sum_fn->gep(partial, sum_fn->constant()),
-                    sum_fn->load(sum_fn->gep(field, sum_fn->constant())));
+      const auto idx = sum_fn->bounded(interior_lo, interior_hi);
+      const auto v = sum_fn->load(sum_fn->gep(field, idx, kElem), kElem);
+      const auto row_idx = sum_fn->bounded(1, static_cast<std::int64_t>(local_rows));
+      sum_fn->store(sum_fn->gep(partial, row_idx, kElem), v, kElem);
       sum_fn->ret();
     }
     registry = std::make_unique<kir::KernelRegistry>(module);
@@ -65,9 +72,15 @@ struct StencilKernels {
   }
 };
 
-const StencilKernels& kernels() {
-  static const StencilKernels k;
-  return k;
+const StencilKernels& kernels(std::size_t local_rows, std::size_t local_cols) {
+  static std::mutex mutex;
+  static std::map<std::pair<std::size_t, std::size_t>, std::unique_ptr<StencilKernels>> cache;
+  const std::lock_guard<std::mutex> lock(mutex);
+  auto& slot = cache[{local_rows, local_cols}];
+  if (slot == nullptr) {
+    slot = std::make_unique<StencilKernels>(local_rows, local_cols);
+  }
+  return *slot;
 }
 
 }  // namespace
@@ -92,6 +105,7 @@ Stencil2DResult run_stencil2d_rank(capi::RankEnv& env, const Stencil2DConfig& co
   const int north = gy > 0 ? env.rank() - config.px : -1;
   const int south = gy + 1 < config.py ? env.rank() + config.px : -1;
 
+  const StencilKernels& k = kernels(local_rows, local_cols);
   double* d_a = nullptr;
   double* d_b = nullptr;
   double* d_sum = nullptr;
@@ -169,7 +183,7 @@ Stencil2DResult run_stencil2d_rank(capi::RankEnv& env, const Stencil2DConfig& co
     const std::size_t row_hi = racy ? local_rows - 1 : local_rows;
     const std::size_t col_hi = racy ? local_cols - 1 : local_cols;
     (void)cuda::launch(
-        *kernels().smooth,
+        *k.smooth,
         cusim::LaunchDims{static_cast<unsigned>(local_rows), static_cast<unsigned>(local_cols)},
         nullptr, {next, prev, nullptr}, [=](const cusim::KernelContext&) {
           for (std::size_t r = lo; r <= row_hi; ++r) {
@@ -192,7 +206,7 @@ Stencil2DResult run_stencil2d_rank(capi::RankEnv& env, const Stencil2DConfig& co
   {
     double* partial = d_sum;
     const double* field = d_prev;
-    (void)cuda::launch(*kernels().sum, cusim::LaunchDims{static_cast<unsigned>(local_rows), 1},
+    (void)cuda::launch(*k.sum, cusim::LaunchDims{static_cast<unsigned>(local_rows), 1},
                        nullptr, {partial, field},
                        [=](const cusim::KernelContext&) {
                          for (std::size_t r = 1; r <= local_rows; ++r) {

@@ -361,7 +361,9 @@ cusim::Error launch(const kir::KernelInfo& info, cusim::LaunchDims dims, cusim::
     args.reserve(ptr_args.size());
     std::size_t i = 0;
     for (const void* ptr : ptr_args) {
-      args.push_back(cusan::KernelArgAccess{ptr, info.param_modes[i]});
+      const kir::ParamIntervals* intervals =
+          i < info.param_intervals.size() ? &info.param_intervals[i] : nullptr;
+      args.push_back(cusan::KernelArgAccess{ptr, info.param_modes[i], intervals});
       ++i;
     }
     cs->on_kernel_launch(stream, info.fn->name().c_str(), args);

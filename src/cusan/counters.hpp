@@ -19,6 +19,10 @@ struct Counters {
   std::uint64_t hb_before{};         ///< semantic happens-before arcs started by CuSan
   std::uint64_t hb_after{};          ///< semantic happens-before arcs terminated by CuSan
   std::uint64_t unknown_kernel_args{}; ///< pointer args with no TypeART allocation info
+  std::uint64_t interval_kernel_args{};    ///< args annotated via bounded byte intervals
+  std::uint64_t whole_range_kernel_args{}; ///< args annotated whole-allocation (⊤ fallback)
+  std::uint64_t interval_bytes_annotated{}; ///< bytes covered by interval annotations
+  std::uint64_t interval_bytes_elided{};   ///< allocation bytes skipped thanks to intervals
 };
 
 }  // namespace cusan

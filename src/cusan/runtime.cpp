@@ -1,5 +1,7 @@
 #include "cusan/runtime.hpp"
 
+#include <algorithm>
+
 #include "common/assert.hpp"
 #include "common/format.hpp"
 
@@ -173,6 +175,79 @@ void Runtime::annotate_access(const void* ptr, std::size_t fallback_size, bool r
   }
 }
 
+void Runtime::annotate_kernel_arg(const KernelArgAccess& arg, const char* label) {
+  const bool read = kir::reads(arg.mode);
+  const bool write = kir::writes(arg.mode);
+  const kir::ParamIntervals* pi = arg.intervals;
+  const bool use_intervals = config_.use_access_intervals && pi != nullptr;
+  const bool read_bounded = read && use_intervals && pi->read.is_bounded();
+  const bool write_bounded = write && use_intervals && pi->write.is_bounded();
+  if (!read_bounded && !write_bounded) {
+    // ⊤ (or unknown) summary in every active direction: paper behaviour,
+    // annotate the whole allocation.
+    ++counters_.whole_range_kernel_args;
+    annotate_access(arg.ptr, 0, read, write, label);
+    return;
+  }
+  ++counters_.interval_kernel_args;
+  // Resolve the allocation so intervals can be clamped to its extent.
+  // Untracked pointers keep the bounded sub-ranges relative to the raw
+  // pointer — strictly more information than the unknown-arg drop.
+  const auto* ptr_bytes = static_cast<const char*>(arg.ptr);
+  const char* alloc_lo = ptr_bytes;
+  const char* alloc_hi = nullptr;
+  bool tracked = false;
+  if (const auto info = types_->find(arg.ptr); info.has_value()) {
+    alloc_lo = reinterpret_cast<const char*>(info->base);
+    alloc_hi = alloc_lo + info->extent;
+    tracked = true;
+  }
+  const bool delegates = (read && !read_bounded) || (write && !write_bounded);
+  if (!tracked && !delegates) {
+    ++counters_.unknown_kernel_args;  // annotate_access would have counted it
+  }
+  const auto annotate_set = [&](const kir::IntervalSet& set, bool is_write) {
+    std::uint64_t covered = 0;
+    for (const kir::Interval& iv : set.intervals()) {
+      const char* lo = ptr_bytes + iv.lo;
+      const char* hi = ptr_bytes + iv.hi;
+      if (tracked) {
+        lo = std::max(lo, alloc_lo);
+        hi = std::min(hi, alloc_hi);
+      }
+      if (hi <= lo) {
+        continue;
+      }
+      const auto bytes = static_cast<std::size_t>(hi - lo);
+      covered += bytes;
+      if (is_write) {
+        tsan_->write_range(lo, bytes, label);
+      } else {
+        tsan_->read_range(lo, bytes, label);
+      }
+    }
+    counters_.interval_bytes_annotated += covered;
+    if (tracked) {
+      const auto extent = static_cast<std::uint64_t>(alloc_hi - alloc_lo);
+      counters_.interval_bytes_elided += extent > covered ? extent - covered : 0;
+    }
+  };
+  if (read) {
+    if (read_bounded) {
+      annotate_set(pi->read, /*is_write=*/false);
+    } else {
+      annotate_access(arg.ptr, 0, /*read=*/true, /*write=*/false, label);
+    }
+  }
+  if (write) {
+    if (write_bounded) {
+      annotate_set(pi->write, /*is_write=*/true);
+    } else {
+      annotate_access(arg.ptr, 0, /*read=*/false, /*write=*/true, label);
+    }
+  }
+}
+
 void Runtime::on_kernel_launch(const cusim::Stream* stream, const char* kernel_name,
                                std::span<const KernelArgAccess> args) {
   ++counters_.kernel_launches;
@@ -185,8 +260,7 @@ void Runtime::on_kernel_launch(const cusim::Stream* stream, const char* kernel_n
       if (arg.ptr == nullptr || arg.mode == kir::AccessMode::kNone) {
         continue;
       }
-      annotate_access(arg.ptr, 0, kir::reads(arg.mode), kir::writes(arg.mode),
-                      kernel_arg_label(kernel_name, i, arg.mode));
+      annotate_kernel_arg(arg, kernel_arg_label(kernel_name, i, arg.mode));
     }
   }
   finish_op(ss);

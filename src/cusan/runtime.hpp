@@ -22,6 +22,7 @@
 #include "cusan/trace.hpp"
 #include "cusim/device.hpp"
 #include "kir/access_analysis.hpp"
+#include "kir/interval_analysis.hpp"
 #include "rsan/runtime.hpp"
 #include "typeart/runtime.hpp"
 
@@ -35,6 +36,12 @@ struct Config {
   /// Record every intercepted CUDA call into an in-memory trace
   /// (Runtime::trace()), exportable as JSONL for diagnosis.
   bool enable_trace = false;
+  /// When true (default), kernel arguments whose kir interval summary bounds
+  /// the touched byte sub-range are annotated only over those sub-ranges
+  /// (clamped to the TypeART allocation); ⊤ summaries fall back to the whole
+  /// allocation. When false, every argument uses the paper's whole-range
+  /// annotation (ablation baseline).
+  bool use_access_intervals = true;
 };
 
 /// One pointer argument of a kernel launch, paired with the access mode the
@@ -42,6 +49,9 @@ struct Config {
 struct KernelArgAccess {
   const void* ptr{nullptr};
   kir::AccessMode mode{kir::AccessMode::kNone};
+  /// Byte-precise access intervals for the parameter (relative to `ptr`);
+  /// nullptr means "unknown" and is treated as ⊤ (whole allocation).
+  const kir::ParamIntervals* intervals{nullptr};
 };
 
 class Runtime {
@@ -151,6 +161,12 @@ class Runtime {
   /// memory.
   void annotate_access(const void* ptr, std::size_t fallback_size, bool read, bool write,
                        const char* label);
+
+  /// Interval-refined kernel-argument annotation: when the kir summary bounds
+  /// the touched byte sub-ranges, annotate only those ranges (clamped to the
+  /// TypeART allocation extent); directions whose summary is ⊤/unknown fall
+  /// back to whole-allocation annotate_access.
+  void annotate_kernel_arg(const KernelArgAccess& arg, const char* label);
 
   [[nodiscard]] const char* kernel_arg_label(const char* kernel_name, std::size_t arg_index,
                                              kir::AccessMode mode);

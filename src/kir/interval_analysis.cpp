@@ -1,0 +1,422 @@
+#include "kir/interval_analysis.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "common/format.hpp"
+
+namespace kir {
+namespace {
+
+/// Widening thresholds: how many times a lattice element may grow before it
+/// is forced to ⊤. Loop back-edges that keep shifting offsets (pointer
+/// increment loops) and recursion over shifted bases hit these.
+constexpr std::uint32_t kIntraWidenThreshold = 4;
+constexpr std::uint32_t kInterWidenThreshold = 8;
+
+bool add_overflows(std::int64_t a, std::int64_t b, std::int64_t* out) {
+  return __builtin_add_overflow(a, b, out);
+}
+
+bool mul_overflows(std::int64_t a, std::int64_t b, std::int64_t* out) {
+  return __builtin_mul_overflow(a, b, out);
+}
+
+/// Inclusive scalar value range for integer-valued instructions.
+struct ScalarRange {
+  std::int64_t lo{0};
+  std::int64_t hi{0};
+  bool known{false};
+};
+
+ScalarRange join(ScalarRange a, ScalarRange b) {
+  if (!a.known || !b.known) {
+    return ScalarRange{};
+  }
+  return ScalarRange{std::min(a.lo, b.lo), std::max(a.hi, b.hi), true};
+}
+
+/// Per-function scalar ranges: constants carry their declared range, phis
+/// join their incoming ranges (with widening on non-converging loop bounds),
+/// everything else is unknown.
+std::vector<ScalarRange> scalar_ranges(const Function& fn) {
+  const auto& instrs = fn.instrs();
+  std::vector<ScalarRange> ranges(instrs.size());
+  std::vector<std::uint32_t> grew(instrs.size(), 0);
+  const auto range_of = [&](Value v) {
+    return v.kind == Value::Kind::kInstr ? ranges[v.index] : ScalarRange{};
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < instrs.size(); ++i) {
+      const Instr& instr = instrs[i];
+      ScalarRange next = ranges[i];
+      switch (instr.op) {
+        case Opcode::kConst:
+          if (instr.has_range()) {
+            next = ScalarRange{instr.imm_lo, instr.imm_hi, true};
+          }
+          break;
+        case Opcode::kPhi: {
+          if (instr.args.empty()) {
+            break;
+          }
+          ScalarRange merged = range_of(instr.args.front());
+          for (std::size_t a = 1; a < instr.args.size(); ++a) {
+            merged = join(merged, range_of(instr.args[a]));
+          }
+          // First flow-in adopts the merged range; afterwards only grow.
+          next = ranges[i].known ? join(ranges[i], merged) : merged;
+          break;
+        }
+        default:
+          break;  // arith/load/call results: opaque
+      }
+      const auto differs = [&] {
+        return next.known != ranges[i].known || next.lo != ranges[i].lo || next.hi != ranges[i].hi;
+      };
+      if (differs()) {
+        if (++grew[i] > kIntraWidenThreshold) {
+          next = ScalarRange{};  // unknown: absorbing, guarantees convergence
+        }
+        if (differs()) {
+          ranges[i] = next;
+          changed = true;
+        }
+      }
+    }
+  }
+  return ranges;
+}
+
+/// Minkowski-compose a set of pointer-start offsets with a set of byte
+/// intervals relative to those starts: start interval [a, b) (possible start
+/// offsets a..b-1) x byte interval [c, d) -> accessed bytes [a+c, b+d-1).
+IntervalSet compose_offsets(const IntervalSet& starts, const IntervalSet& bytes) {
+  if (starts.is_top() || bytes.is_top()) {
+    return IntervalSet::top();
+  }
+  IntervalSet out;
+  for (const Interval& s : starts.intervals()) {
+    for (const Interval& b : bytes.intervals()) {
+      std::int64_t lo = 0;
+      std::int64_t hi_base = 0;
+      std::int64_t hi = 0;
+      if (add_overflows(s.lo, b.lo, &lo) || add_overflows(s.hi, b.hi, &hi_base) ||
+          add_overflows(hi_base, -1, &hi)) {
+        return IntervalSet::top();
+      }
+      out.insert(Interval{lo, hi});
+    }
+  }
+  return out;
+}
+
+/// The byte range touched by one access of `width` bytes from any start in
+/// `starts`.
+IntervalSet access_bytes(const IntervalSet& starts, std::uint32_t width) {
+  return compose_offsets(starts, IntervalSet::of(Interval{0, static_cast<std::int64_t>(width)}));
+}
+
+}  // namespace
+
+// -- IntervalSet -----------------------------------------------------------------
+
+void IntervalSet::insert(Interval iv) {
+  if (top_ || iv.empty()) {
+    return;
+  }
+  intervals_.push_back(iv);
+  normalize();
+}
+
+bool IntervalSet::merge(const IntervalSet& other) {
+  if (top_) {
+    return false;
+  }
+  if (other.top_) {
+    widen_to_top();
+    return true;
+  }
+  const auto before = intervals_;
+  for (const Interval& iv : other.intervals_) {
+    intervals_.push_back(iv);
+  }
+  normalize();
+  return intervals_ != before;
+}
+
+void IntervalSet::normalize() {
+  std::sort(intervals_.begin(), intervals_.end(),
+            [](Interval a, Interval b) { return a.lo < b.lo || (a.lo == b.lo && a.hi < b.hi); });
+  // Coalesce overlapping/adjacent intervals.
+  std::vector<Interval> merged;
+  for (const Interval& iv : intervals_) {
+    if (iv.empty()) {
+      continue;
+    }
+    if (!merged.empty() && iv.lo <= merged.back().hi) {
+      merged.back().hi = std::max(merged.back().hi, iv.hi);
+    } else {
+      merged.push_back(iv);
+    }
+  }
+  // Bounded precision: fuse the closest pair until within the cap.
+  while (merged.size() > kMaxIntervals) {
+    std::size_t best = 0;
+    std::int64_t best_gap = merged[1].lo - merged[0].hi;
+    for (std::size_t i = 1; i + 1 < merged.size(); ++i) {
+      const std::int64_t gap = merged[i + 1].lo - merged[i].hi;
+      if (gap < best_gap) {
+        best_gap = gap;
+        best = i;
+      }
+    }
+    merged[best].hi = merged[best + 1].hi;
+    merged.erase(merged.begin() + static_cast<std::ptrdiff_t>(best) + 1);
+  }
+  intervals_ = std::move(merged);
+}
+
+IntervalSet IntervalSet::shifted(std::int64_t lo, std::int64_t hi) const {
+  if (top_) {
+    return top();
+  }
+  IntervalSet out;
+  for (const Interval& iv : intervals_) {
+    Interval moved;
+    if (add_overflows(iv.lo, lo, &moved.lo) || add_overflows(iv.hi, hi, &moved.hi)) {
+      return top();
+    }
+    out.insert(moved);
+  }
+  return out;
+}
+
+std::int64_t IntervalSet::byte_count() const {
+  std::int64_t total = 0;
+  for (const Interval& iv : intervals_) {
+    total += iv.length();
+  }
+  return total;
+}
+
+std::string to_string(const IntervalSet& set) {
+  if (set.is_top()) {
+    return "*";
+  }
+  if (set.is_empty()) {
+    return "{}";
+  }
+  std::string out;
+  for (const Interval& iv : set.intervals()) {
+    if (!out.empty()) {
+      out += 'u';
+    }
+    out += common::format("[{},{})", iv.lo, iv.hi);
+  }
+  return out;
+}
+
+// -- IntervalAnalysis ---------------------------------------------------------------
+
+IntervalAnalysis::IntervalAnalysis(const Module& module) {
+  for (const auto& fn : module.functions()) {
+    summaries_.emplace(fn.get(), std::vector<ParamIntervals>(fn->param_count()));
+  }
+  // Monotone fixpoint mirroring AccessAnalysis: summaries only ever grow.
+  // Unlike the finite mode lattice, interval bounds can climb indefinitely
+  // through recursion over shifted bases, so each summary set that keeps
+  // changing is widened to ⊤ after kInterWidenThreshold growths.
+  std::unordered_map<const Function*, std::vector<std::pair<std::uint32_t, std::uint32_t>>> grew;
+  for (const auto& fn : module.functions()) {
+    grew.emplace(fn.get(),
+                 std::vector<std::pair<std::uint32_t, std::uint32_t>>(fn->param_count(), {0, 0}));
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    ++iterations_;
+    for (const auto& fn : module.functions()) {
+      auto& summary = summaries_.at(fn.get());
+      auto& counters = grew.at(fn.get());
+      for (std::uint32_t p = 0; p < fn->param_count(); ++p) {
+        if (!fn->param_is_pointer(p)) {
+          continue;
+        }
+        const ParamIntervals update = analyze_param(*fn, p);
+        if (summary[p].read.merge(update.read)) {
+          if (++counters[p].first > kInterWidenThreshold) {
+            summary[p].read.widen_to_top();
+          }
+          changed = true;
+        }
+        if (summary[p].write.merge(update.write)) {
+          if (++counters[p].second > kInterWidenThreshold) {
+            summary[p].write.widen_to_top();
+          }
+          changed = true;
+        }
+      }
+    }
+  }
+}
+
+ParamIntervals IntervalAnalysis::analyze_param(const Function& fn, std::uint32_t param) const {
+  const auto& instrs = fn.instrs();
+  const auto scalars = scalar_ranges(fn);
+
+  // offsets[i]: set when instruction i's result carries a pointer derived
+  // from the parameter; the IntervalSet holds the possible *start byte
+  // offsets* of that pointer relative to the parameter value. The param
+  // itself starts at offset 0 exactly.
+  std::vector<std::optional<IntervalSet>> offsets(instrs.size());
+  std::vector<std::uint32_t> grew(instrs.size(), 0);
+  const auto offsets_of = [&](Value v) -> std::optional<IntervalSet> {
+    if (v.kind == Value::Kind::kParam) {
+      if (v.index == param) {
+        return IntervalSet::of(Interval{0, 1});
+      }
+      return std::nullopt;
+    }
+    if (v.kind == Value::Kind::kInstr) {
+      return offsets[v.index];
+    }
+    return std::nullopt;
+  };
+
+  // Intra-function fixpoint over the derived-offset sets; phi back-edges may
+  // require several rounds, with per-instruction widening bounding them.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < instrs.size(); ++i) {
+      const Instr& instr = instrs[i];
+      std::optional<IntervalSet> next = offsets[i];
+      switch (instr.op) {
+        case Opcode::kGep: {
+          const auto base = offsets_of(instr.a);
+          if (!base.has_value()) {
+            break;
+          }
+          IntervalSet derived = *base;
+          if (!instr.b.is_none()) {
+            const ScalarRange index =
+                instr.b.kind == Value::Kind::kInstr ? scalars[instr.b.index] : ScalarRange{};
+            if (!index.known) {
+              derived = IntervalSet::top();
+            } else {
+              std::int64_t lo = 0;
+              std::int64_t hi = 0;
+              const auto elem = static_cast<std::int64_t>(instr.size);
+              if (mul_overflows(index.lo, elem, &lo) || mul_overflows(index.hi, elem, &hi)) {
+                derived = IntervalSet::top();
+              } else {
+                derived = derived.shifted(lo, hi);
+              }
+            }
+          }
+          next = next.has_value() ? *next : IntervalSet::bottom();
+          next->merge(derived);
+          break;
+        }
+        case Opcode::kArith: {
+          // Pointer arithmetic through an opaque op: derived, offsets unknown.
+          if (offsets_of(instr.a).has_value() || offsets_of(instr.b).has_value()) {
+            next = IntervalSet::top();
+          }
+          break;
+        }
+        case Opcode::kPhi: {
+          IntervalSet merged = next.has_value() ? *next : IntervalSet::bottom();
+          bool any = next.has_value();
+          for (const Value& incoming : instr.args) {
+            if (const auto in = offsets_of(incoming); in.has_value()) {
+              any = true;
+              merged.merge(*in);
+            }
+          }
+          if (any) {
+            next = merged;
+          }
+          break;
+        }
+        default:
+          break;
+      }
+      const auto differs = [&] {
+        return next.has_value() && (!offsets[i].has_value() || *next != *offsets[i]);
+      };
+      if (differs()) {
+        if (++grew[i] > kIntraWidenThreshold) {
+          next->widen_to_top();
+        }
+        if (differs()) {
+          offsets[i] = std::move(next);
+          changed = true;
+        }
+      }
+    }
+  }
+
+  ParamIntervals result;
+  for (const Instr& instr : instrs) {
+    switch (instr.op) {
+      case Opcode::kLoad:
+        if (const auto starts = offsets_of(instr.a); starts.has_value()) {
+          result.read.merge(access_bytes(*starts, instr.size));
+        }
+        break;
+      case Opcode::kStore:
+        if (const auto starts = offsets_of(instr.a); starts.has_value()) {
+          result.write.merge(access_bytes(*starts, instr.size));
+        }
+        // Storing the pointer itself escapes it: anything may happen to the
+        // allocation afterwards (AccessAnalysis says read-write; we say ⊤).
+        if (offsets_of(instr.b).has_value()) {
+          result.read.widen_to_top();
+          result.write.widen_to_top();
+        }
+        break;
+      case Opcode::kCall: {
+        for (std::size_t arg = 0; arg < instr.args.size(); ++arg) {
+          const auto starts = offsets_of(instr.args[arg]);
+          if (!starts.has_value()) {
+            continue;
+          }
+          const auto it = instr.callee != nullptr ? summaries_.find(instr.callee)
+                                                  : summaries_.end();
+          if (it == summaries_.end()) {
+            // Unknown external callee or callee outside the module.
+            result.read.widen_to_top();
+            result.write.widen_to_top();
+          } else if (arg < it->second.size()) {
+            const ParamIntervals& callee = it->second[arg];
+            result.read.merge(compose_offsets(*starts, callee.read));
+            result.write.merge(compose_offsets(*starts, callee.write));
+          }
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return result;
+}
+
+std::span<const ParamIntervals> IntervalAnalysis::intervals(const Function* fn) const {
+  static const std::vector<ParamIntervals> kEmpty;
+  const auto it = summaries_.find(fn);
+  return it != summaries_.end() ? std::span<const ParamIntervals>(it->second)
+                                : std::span<const ParamIntervals>(kEmpty);
+}
+
+const ParamIntervals* IntervalAnalysis::param(const Function* fn, std::uint32_t param) const {
+  const auto span = intervals(fn);
+  return param < span.size() ? &span[param] : nullptr;
+}
+
+}  // namespace kir

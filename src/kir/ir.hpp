@@ -51,6 +51,15 @@ struct Instr {
   Value b;                         ///< store value; gep index; arith rhs
   const Function* callee{nullptr}; ///< for kCall (nullptr = unknown external)
   std::vector<Value> args;         ///< for kCall
+  /// kConst: known scalar range [imm_lo, imm_hi] (inclusive); imm_lo > imm_hi
+  /// means the value is opaque (unknown). Compilers derive such ranges from
+  /// literal constants, launch bounds and scalar evolution.
+  std::int64_t imm_lo{0};
+  std::int64_t imm_hi{-1};
+  /// kGep: element size in bytes; kLoad/kStore: access width in bytes.
+  std::uint32_t size{1};
+
+  [[nodiscard]] bool has_range() const { return imm_lo <= imm_hi; }
 };
 
 /// A function with a builder-style API. Instructions are appended in SSA
@@ -77,15 +86,28 @@ class Function {
     return Value::param(i);
   }
 
-  Value load(Value ptr) { return append({Opcode::kLoad, check(ptr), Value::none(), nullptr, {}}); }
-
-  void store(Value ptr, Value value) {
-    (void)append({Opcode::kStore, check(ptr), check(value), nullptr, {}});
+  /// `bytes` is the access width (1 = untyped/byte access; 8 = a double).
+  Value load(Value ptr, std::uint32_t bytes = 1) {
+    CUSAN_ASSERT_MSG(bytes > 0, "load width must be positive");
+    Instr instr{Opcode::kLoad, check(ptr), Value::none(), nullptr, {}};
+    instr.size = bytes;
+    return append(std::move(instr));
   }
 
-  Value gep(Value base, Value index = Value::none()) {
-    return append({Opcode::kGep, check(base),
-                   index.is_none() ? Value::none() : check(index), nullptr, {}});
+  void store(Value ptr, Value value, std::uint32_t bytes = 1) {
+    CUSAN_ASSERT_MSG(bytes > 0, "store width must be positive");
+    Instr instr{Opcode::kStore, check(ptr), check(value), nullptr, {}};
+    instr.size = bytes;
+    (void)append(std::move(instr));
+  }
+
+  /// `elem_size` scales the index into a byte offset (getelementptr stride).
+  Value gep(Value base, Value index = Value::none(), std::uint32_t elem_size = 1) {
+    CUSAN_ASSERT_MSG(elem_size > 0, "gep element size must be positive");
+    Instr instr{Opcode::kGep, check(base), index.is_none() ? Value::none() : check(index),
+                nullptr, {}};
+    instr.size = elem_size;
+    return append(std::move(instr));
   }
 
   /// Call `callee` (nullptr models an unknown external function, which the
@@ -117,7 +139,22 @@ class Function {
     instr.args.push_back(check(incoming));
   }
 
+  /// An opaque constant: the interval analysis treats its value as unknown.
   Value constant() { return append({Opcode::kConst, Value::none(), Value::none(), nullptr, {}}); }
+
+  /// A constant with a known integer value.
+  Value constant_int(std::int64_t value) { return bounded(value, value); }
+
+  /// A scalar known to lie in [lo, hi] (inclusive) — what the compiler's
+  /// value-range analysis derives for thread indices under launch bounds or
+  /// loop induction variables with static trip counts.
+  Value bounded(std::int64_t lo, std::int64_t hi) {
+    CUSAN_ASSERT_MSG(lo <= hi, "bounded range must be non-empty");
+    Instr instr{Opcode::kConst, Value::none(), Value::none(), nullptr, {}};
+    instr.imm_lo = lo;
+    instr.imm_hi = hi;
+    return append(std::move(instr));
+  }
 
   void ret(Value value = Value::none()) {
     (void)append({Opcode::kRet, value, Value::none(), nullptr, {}});

@@ -19,7 +19,8 @@ std::string value_name(Value v) {
 
 }  // namespace
 
-std::string print_function(const Function& fn, const AccessAnalysis* analysis) {
+std::string print_function(const Function& fn, const AccessAnalysis* analysis,
+                           const IntervalAnalysis* intervals) {
   std::string out = common::format("kernel @{}(", fn.name());
   for (std::uint32_t p = 0; p < fn.param_count(); ++p) {
     if (p != 0) {
@@ -27,7 +28,20 @@ std::string print_function(const Function& fn, const AccessAnalysis* analysis) {
     }
     out += common::format("{} %p{}", fn.param_is_pointer(p) ? "ptr" : "i64", p);
     if (analysis != nullptr && fn.param_is_pointer(p)) {
-      out += common::format(" [{}]", to_string(analysis->mode(&fn, p)));
+      const AccessMode mode = analysis->mode(&fn, p);
+      std::string summary = to_string(mode);
+      if (intervals != nullptr) {
+        // Bounded summaries sharpen the mode annotation; ⊤ adds nothing.
+        if (const ParamIntervals* pi = intervals->param(&fn, p); pi != nullptr) {
+          if (reads(mode) && pi->read.is_bounded()) {
+            summary += common::format(" r={}", to_string(pi->read));
+          }
+          if (writes(mode) && pi->write.is_bounded()) {
+            summary += common::format(" w={}", to_string(pi->write));
+          }
+        }
+      }
+      out += common::format(" [{}]", summary);
     }
   }
   out += ") {\n";
@@ -38,14 +52,23 @@ std::string print_function(const Function& fn, const AccessAnalysis* analysis) {
     switch (instr.op) {
       case Opcode::kLoad:
         out += common::format("%v{} = load {}", i, value_name(instr.a));
+        if (instr.size != 1) {
+          out += common::format(", i{}", 8 * instr.size);
+        }
         break;
       case Opcode::kStore:
         out += common::format("store {}, {}", value_name(instr.a), value_name(instr.b));
+        if (instr.size != 1) {
+          out += common::format(", i{}", 8 * instr.size);
+        }
         break;
       case Opcode::kGep:
         out += common::format("%v{} = gep {}", i, value_name(instr.a));
         if (!instr.b.is_none()) {
           out += common::format(", {}", value_name(instr.b));
+        }
+        if (instr.size != 1) {
+          out += common::format(", x{}", instr.size);
         }
         break;
       case Opcode::kCall: {
@@ -78,6 +101,11 @@ std::string print_function(const Function& fn, const AccessAnalysis* analysis) {
       }
       case Opcode::kConst:
         out += common::format("%v{} = const", i);
+        if (instr.has_range()) {
+          out += instr.imm_lo == instr.imm_hi
+                     ? common::format(" {}", instr.imm_lo)
+                     : common::format(" [{}, {}]", instr.imm_lo, instr.imm_hi);
+        }
         break;
       case Opcode::kRet:
         out += instr.a.is_none() ? std::string("ret") : common::format("ret {}",
@@ -90,13 +118,14 @@ std::string print_function(const Function& fn, const AccessAnalysis* analysis) {
   return out;
 }
 
-std::string print_module(const Module& module, const AccessAnalysis* analysis) {
+std::string print_module(const Module& module, const AccessAnalysis* analysis,
+                         const IntervalAnalysis* intervals) {
   std::string out;
   for (const auto& fn : module.functions()) {
     if (!out.empty()) {
       out += '\n';
     }
-    out += print_function(*fn, analysis);
+    out += print_function(*fn, analysis, intervals);
   }
   return out;
 }

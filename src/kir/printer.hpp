@@ -6,20 +6,25 @@
 #include <string>
 
 #include "kir/access_analysis.hpp"
+#include "kir/interval_analysis.hpp"
 #include "kir/ir.hpp"
 
 namespace kir {
 
 /// Render one function, e.g.
-///   kernel @jacobi(ptr %p0 [write], ptr %p1 [read], i64 %p2) {
-///     %v0 = const
-///     %v1 = gep %p1, %v0
+///   kernel @jacobi(ptr %p0 [write [0,512)], ptr %p1 [read], i64 %p2) {
+///     %v0 = const [0, 63]
+///     %v1 = gep %p1, %v0, 8
 ///     ...
 ///   }
-/// Pass nullptr for `analysis` to omit the access-mode annotations.
-[[nodiscard]] std::string print_function(const Function& fn, const AccessAnalysis* analysis);
+/// Pass nullptr for `analysis` to omit the access-mode annotations, and for
+/// `intervals` to omit the byte-interval summaries (⊤ summaries are elided
+/// either way — they add nothing over the bare mode).
+[[nodiscard]] std::string print_function(const Function& fn, const AccessAnalysis* analysis,
+                                         const IntervalAnalysis* intervals = nullptr);
 
 /// Render the whole module (functions in creation order).
-[[nodiscard]] std::string print_module(const Module& module, const AccessAnalysis* analysis);
+[[nodiscard]] std::string print_module(const Module& module, const AccessAnalysis* analysis,
+                                       const IntervalAnalysis* intervals = nullptr);
 
 }  // namespace kir

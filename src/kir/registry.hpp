@@ -9,25 +9,32 @@
 #include <vector>
 
 #include "kir/access_analysis.hpp"
+#include "kir/interval_analysis.hpp"
 #include "kir/ir.hpp"
 
 namespace kir {
 
 struct KernelInfo {
   const Function* fn{nullptr};
-  std::vector<AccessMode> param_modes;  ///< indexed by parameter position
+  std::vector<AccessMode> param_modes;        ///< indexed by parameter position
+  /// Byte-precise access intervals per parameter (same indexing). ⊤ entries
+  /// reproduce the whole-allocation annotation behaviour.
+  std::vector<ParamIntervals> param_intervals;
 };
 
 class KernelRegistry {
  public:
-  /// Runs the access analysis over the module and records per-kernel
-  /// argument attributes. The module must outlive the registry.
-  explicit KernelRegistry(const Module& module) : analysis_(module) {
+  /// Runs the access-mode and access-interval analyses over the module and
+  /// records per-kernel argument attributes. The module must outlive the
+  /// registry.
+  explicit KernelRegistry(const Module& module) : analysis_(module), intervals_(module) {
     for (const auto& fn : module.functions()) {
       KernelInfo info;
       info.fn = fn.get();
       const auto modes = analysis_.modes(fn.get());
       info.param_modes.assign(modes.begin(), modes.end());
+      const auto intervals = intervals_.intervals(fn.get());
+      info.param_intervals.assign(intervals.begin(), intervals.end());
       infos_.emplace(fn.get(), std::move(info));
       by_name_.emplace(fn->name(), fn.get());
     }
@@ -44,9 +51,11 @@ class KernelRegistry {
   }
 
   [[nodiscard]] const AccessAnalysis& analysis() const { return analysis_; }
+  [[nodiscard]] const IntervalAnalysis& interval_analysis() const { return intervals_; }
 
  private:
   AccessAnalysis analysis_;
+  IntervalAnalysis intervals_;
   std::unordered_map<const Function*, KernelInfo> infos_;
   std::unordered_map<std::string, const Function*> by_name_;
 };

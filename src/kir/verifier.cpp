@@ -59,6 +59,20 @@ std::vector<std::string> verify_function(const Function& fn) {
         if (instr.a.is_none()) {
           complain(i, "gep without base operand");
         }
+        if (instr.a.kind == Value::Kind::kParam && instr.a.index < fn.param_count() &&
+            !fn.param_is_pointer(instr.a.index)) {
+          complain(i, "gep base must be pointer-typed");
+        }
+        // The index must be integer-typed: neither a pointer parameter nor
+        // the (pointer) result of another gep.
+        if (instr.b.kind == Value::Kind::kParam && instr.b.index < fn.param_count() &&
+            fn.param_is_pointer(instr.b.index)) {
+          complain(i, "gep index must be integer-typed, got pointer parameter");
+        }
+        if (instr.b.kind == Value::Kind::kInstr && instr.b.index < instrs.size() &&
+            instrs[instr.b.index].op == Opcode::kGep) {
+          complain(i, "gep index must be integer-typed, got gep result");
+        }
         break;
       case Opcode::kCall:
         if (instr.callee != nullptr && instr.args.size() != instr.callee->param_count()) {

@@ -31,9 +31,20 @@ enum class Sync {
   kTestLoop,     ///< MPI_Test loop before the kernel        -> clean
 };
 
+/// Which byte sub-range of the buffer the kernel's IR provably touches
+/// (interval analysis): the whole buffer (⊤ summary), only the tail half
+/// (disjoint from the exchanged head half) or only the head half (overlapping
+/// the exchange).
+enum class Span { kWhole, kTail, kHead };
+
+/// Annotation precision the run is configured with: the paper's
+/// whole-allocation ranges or the byte-precise interval refinement.
+enum class Precision { kWholeRange, kIntervals };
+
 [[nodiscard]] const char* to_string(Mem m);
 [[nodiscard]] const char* to_string(StreamKind s);
 [[nodiscard]] const char* to_string(Sync s);
+[[nodiscard]] const char* to_string(Span s);
 
 struct Scenario {
   std::string name;
@@ -43,6 +54,8 @@ struct Scenario {
   Sync sync{Sync::kNone};
   /// Default-stream semantics the program is compiled with (§VI-B).
   cusim::DefaultStreamMode stream_mode{cusim::DefaultStreamMode::kLegacy};
+  Span span{Span::kWhole};
+  Precision precision{Precision::kIntervals};
   bool expect_race{false};
 };
 
@@ -52,6 +65,17 @@ struct Scenario {
 
 /// Run one scenario's two-rank program on the given rank.
 void scenario_rank_main(capi::RankEnv& env, const Scenario& scenario);
+
+/// Race count plus the tracked-byte volume (rsan read_range/write_range
+/// bytes summed over both ranks) — the per-scenario precision metric that
+/// tools/check_cutests reports.
+struct ScenarioOutcome {
+  std::size_t races{0};
+  std::uint64_t tracked_bytes{0};
+};
+
+/// Run a scenario under MUST & CuSan and return races + tracked bytes.
+[[nodiscard]] ScenarioOutcome run_scenario_outcome(const Scenario& scenario);
 
 /// Run a scenario under MUST & CuSan and return the total race count.
 [[nodiscard]] std::size_t run_scenario(const Scenario& scenario);

@@ -391,6 +391,229 @@ TEST(KirVerifierTest, AppKernelsVerifyCleanly) {
   EXPECT_TRUE(verify_module(m).empty());
 }
 
+// -- Access-interval analysis (byte-precise refinement) -------------------------
+
+using kir::Interval;
+using kir::IntervalAnalysis;
+using kir::IntervalSet;
+
+TEST(KirIntervalSetTest, InsertCoalescesAdjacentAndOverlapping) {
+  IntervalSet set;
+  set.insert({0, 8});
+  set.insert({8, 16});   // adjacent
+  set.insert({12, 20});  // overlapping
+  ASSERT_EQ(set.intervals().size(), 1u);
+  EXPECT_EQ(set.intervals()[0], (Interval{0, 20}));
+  EXPECT_EQ(set.byte_count(), 20);
+}
+
+TEST(KirIntervalSetTest, CapFusesClosestPair) {
+  IntervalSet set;
+  set.insert({0, 1});
+  set.insert({100, 101});
+  set.insert({200, 201});
+  set.insert({300, 301});
+  set.insert({302, 303});  // 5th entry; gap of 1 to its neighbour
+  ASSERT_EQ(set.intervals().size(), IntervalSet::kMaxIntervals);
+  // The closest pair ([300,301) and [302,303)) was fused, others survive.
+  EXPECT_EQ(set.intervals().back(), (Interval{300, 303}));
+  EXPECT_EQ(set.intervals().front(), (Interval{0, 1}));
+}
+
+TEST(KirIntervalSetTest, TopIsAbsorbing) {
+  IntervalSet top = IntervalSet::top();
+  EXPECT_FALSE(top.merge(IntervalSet::of({0, 8})));  // ⊤ never changes
+  IntervalSet set = IntervalSet::of({0, 8});
+  EXPECT_TRUE(set.merge(IntervalSet::top()));
+  EXPECT_TRUE(set.is_top());
+  EXPECT_TRUE(set.shifted(4, 4).is_top());
+}
+
+TEST(KirIntervalSetTest, ToStringForms) {
+  EXPECT_EQ(to_string(IntervalSet::top()), "*");
+  EXPECT_EQ(to_string(IntervalSet::bottom()), "{}");
+  IntervalSet set = IntervalSet::of({0, 8});
+  set.insert({16, 24});
+  EXPECT_EQ(to_string(set), "[0,8)u[16,24)");
+}
+
+TEST(KirIntervalTest, BoundedIndexYieldsByteInterval) {
+  Module m;
+  // f(p*): p[i] = c for i in [2048, 4095], doubles.
+  Function* f = m.create_function("f", {true});
+  f->store(f->gep(f->param(0), f->bounded(2048, 4095), 8), f->constant(), 8);
+  f->ret();
+  IntervalAnalysis analysis(m);
+  const kir::ParamIntervals* pi = analysis.param(f, 0);
+  ASSERT_NE(pi, nullptr);
+  EXPECT_TRUE(pi->read.is_empty());
+  ASSERT_TRUE(pi->write.is_bounded());
+  EXPECT_EQ(to_string(pi->write), "[16384,32768)");
+}
+
+TEST(KirIntervalTest, OpaqueConstantIndexIsTop) {
+  Module m;
+  Function* f = m.create_function("f", {true});
+  f->store(f->gep(f->param(0), f->constant()), f->constant());
+  f->ret();
+  IntervalAnalysis analysis(m);
+  EXPECT_TRUE(analysis.param(f, 0)->write.is_top());
+}
+
+TEST(KirIntervalTest, IndexlessGepIsSingleAccess) {
+  Module m;
+  Function* f = m.create_function("f", {true});
+  (void)f->load(f->gep(f->param(0)), 4);
+  f->ret();
+  IntervalAnalysis analysis(m);
+  EXPECT_EQ(to_string(analysis.param(f, 0)->read), "[0,4)");
+}
+
+TEST(KirIntervalTest, CalleeSummaryComposesWithCallerOffset) {
+  Module m;
+  // leaf(p*): p[0..8) = c.  caller(q*): leaf(q + 4*8 bytes).
+  Function* leaf = m.create_function("leaf", {true});
+  leaf->store(leaf->gep(leaf->param(0)), leaf->constant(), 8);
+  leaf->ret();
+  Function* caller = m.create_function("caller", {true});
+  (void)caller->call(leaf, {caller->gep(caller->param(0), caller->constant_int(4), 8)});
+  caller->ret();
+  IntervalAnalysis analysis(m);
+  EXPECT_EQ(to_string(analysis.param(leaf, 0)->write), "[0,8)");
+  EXPECT_EQ(to_string(analysis.param(caller, 0)->write), "[32,40)");
+}
+
+TEST(KirIntervalTest, PointerEscapeIsTopBothDirections) {
+  Module m;
+  Function* f = m.create_function("f", {true, true});
+  f->store(f->gep(f->param(1)), f->param(0));
+  f->ret();
+  IntervalAnalysis analysis(m);
+  EXPECT_TRUE(analysis.param(f, 0)->read.is_top());
+  EXPECT_TRUE(analysis.param(f, 0)->write.is_top());
+}
+
+TEST(KirIntervalTest, ExternalCalleeIsTop) {
+  Module m;
+  Function* f = m.create_function("f", {true});
+  (void)f->call(nullptr, {f->param(0)});
+  f->ret();
+  IntervalAnalysis analysis(m);
+  EXPECT_TRUE(analysis.param(f, 0)->read.is_top());
+  EXPECT_TRUE(analysis.param(f, 0)->write.is_top());
+}
+
+TEST(KirIntervalTest, RecursionOverShiftedBaseWidens) {
+  Module m;
+  // rec(p*): p[0..8) = c; rec(p + 8)  -- bounds climb forever; must widen.
+  Function* rec = m.create_function("rec", {true});
+  rec->store(rec->gep(rec->param(0)), rec->constant(), 8);
+  (void)rec->call(rec, {rec->gep(rec->param(0), rec->constant_int(1), 8)});
+  rec->ret();
+  IntervalAnalysis analysis(m);
+  EXPECT_TRUE(analysis.param(rec, 0)->write.is_top());
+  EXPECT_LT(analysis.iterations(), 32u);
+}
+
+TEST(KirIntervalTest, PointerIncrementLoopWidens) {
+  Module m;
+  // f(p*): i = phi(p, i+8); load i  -- the back-edge keeps shifting offsets.
+  Function* f = m.create_function("f", {true});
+  const auto induction = f->phi({f->param(0)});
+  (void)f->load(induction, 8);
+  f->add_phi_incoming(induction, f->gep(induction, f->constant_int(1), 8));
+  f->ret();
+  IntervalAnalysis analysis(m);
+  EXPECT_TRUE(analysis.param(f, 0)->read.is_top());
+}
+
+TEST(KirIntervalTest, UnusedPointerIsBottom) {
+  Module m;
+  Function* f = m.create_function("f", {true, true});
+  (void)f->load(f->gep(f->param(1)));
+  f->ret();
+  IntervalAnalysis analysis(m);
+  EXPECT_TRUE(analysis.param(f, 0)->read.is_empty());
+  EXPECT_TRUE(analysis.param(f, 0)->write.is_empty());
+}
+
+TEST(KirPrinterTest, GoldenIntervalDump) {
+  Module m;
+  Function* f = m.create_function("k", {true, true});
+  const auto idx = f->bounded(0, 63);
+  const auto v = f->load(f->gep(f->param(1), idx, 8), 8);
+  f->store(f->gep(f->param(0), idx, 8), v, 8);
+  f->ret();
+  AccessAnalysis analysis(m);
+  IntervalAnalysis intervals(m);
+  EXPECT_EQ(print_function(*f, &analysis, &intervals),
+            "kernel @k(ptr %p0 [write w=[0,512)], ptr %p1 [read r=[0,512)]) {\n"
+            "  %v0 = const [0, 63]\n"
+            "  %v1 = gep %p1, %v0, x8\n"
+            "  %v2 = load %v1, i64\n"
+            "  %v3 = gep %p0, %v0, x8\n"
+            "  store %v3, %v2, i64\n"
+            "  ret\n"
+            "}\n");
+}
+
+TEST(KirPrinterTest, TopIntervalsElidedFromDump) {
+  Module m;
+  Function* f = m.create_function("k", {true});
+  f->store(f->gep(f->param(0), f->constant()), f->constant());
+  f->ret();
+  AccessAnalysis analysis(m);
+  IntervalAnalysis intervals(m);
+  // A ⊤ summary adds nothing over the bare mode: identical with/without.
+  EXPECT_EQ(print_function(*f, &analysis, &intervals), print_function(*f, &analysis));
+}
+
+TEST(KirVerifierTest, GepPointerIndexDiagnosed) {
+  Module m;
+  Function* f = m.create_function("f", {true, true});
+  (void)f->load(f->gep(f->param(0), f->param(1)));
+  f->ret();
+  const auto diags = verify_function(*f);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_NE(diags[0].find("gep index must be integer-typed, got pointer parameter"),
+            std::string::npos);
+}
+
+TEST(KirVerifierTest, GepResultAsIndexDiagnosed) {
+  Module m;
+  Function* f = m.create_function("f", {true, false});
+  const auto inner = f->gep(f->param(0), f->param(1));
+  (void)f->load(f->gep(f->param(0), inner));
+  f->ret();
+  const auto diags = verify_function(*f);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_NE(diags[0].find("gep index must be integer-typed, got gep result"), std::string::npos);
+}
+
+TEST(KirVerifierTest, GepNonPointerBaseDiagnosed) {
+  Module m;
+  Function* f = m.create_function("f", {false});
+  (void)f->load(f->gep(f->param(0)));
+  f->ret();
+  const auto diags = verify_function(*f);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_NE(diags[0].find("gep base must be pointer-typed"), std::string::npos);
+}
+
+TEST(KirRegistryTest, RegistryExposesIntervals) {
+  Module m;
+  Function* f = m.create_function("k", {true, true});
+  f->store(f->gep(f->param(0), f->bounded(0, 15), 8), f->constant(), 8);
+  (void)f->load(f->gep(f->param(1), f->constant()));
+  f->ret();
+  kir::KernelRegistry registry(m);
+  const kir::KernelInfo* info = registry.lookup("k");
+  ASSERT_NE(info, nullptr);
+  ASSERT_EQ(info->param_intervals.size(), 2u);
+  EXPECT_EQ(to_string(info->param_intervals[0].write), "[0,128)");
+  EXPECT_TRUE(info->param_intervals[1].read.is_top());
+}
+
 TEST(KirRegistryTest, RegistryExposesModes) {
   Module m;
   Function* f = m.create_function("k", {true, true, false});

@@ -10,8 +10,10 @@
 //  3. mpisim traffic: random point-to-point traffic delivers every message
 //     exactly once, in per-(source,tag) FIFO order, with intact payloads.
 //  4. kir conservativeness: wrapping any function in a forwarding caller
-//     preserves the analysis result (call-site transparency), and adding
-//     accesses never lowers a mode (monotonicity).
+//     preserves the analysis result (call-site transparency), adding
+//     accesses never lowers a mode (monotonicity), and on random call graphs
+//     (recursion, multi-site merging) both the mode and the byte-interval
+//     fixpoints converge in bounded iterations and agree direction-wise.
 #include <gtest/gtest.h>
 
 #include <map>
@@ -20,6 +22,7 @@
 
 #include "common/rng.hpp"
 #include "kir/registry.hpp"
+#include "kir/verifier.hpp"
 #include "mpisim/request.hpp"
 #include "mpisim/world.hpp"
 #include "rsan/runtime.hpp"
@@ -409,6 +412,70 @@ TEST_P(KirPropertyP, ForwardingWrapperPreservesModesAndGrowthIsMonotone) {
     const auto before = analysis.mode(leaf, p);
     const auto after = analysis2.mode(leaf2, p);
     EXPECT_EQ(after | before, after) << "mode lowered for param " << p;
+  }
+}
+
+TEST_P(KirPropertyP, RandomCallGraphsConvergeAndAnalysesAgree) {
+  // Random call graphs exercising recursion, multi-call-site merging and
+  // pointer params passed through unused. Both fixpoints must converge in a
+  // bounded number of iterations, and the byte-interval analysis must agree
+  // with the mode analysis direction-wise: a param has a non-empty read
+  // (write) interval set iff its mode reads (writes) — the interval pass is a
+  // refinement of the mode pass, never a relaxation.
+  common::SplitMix64 rng(GetParam());
+  kir::Module module;
+  const std::size_t fn_count = 3 + rng.next_below(3);
+  std::vector<kir::Function*> fns;
+  for (std::size_t f = 0; f < fn_count; ++f) {
+    fns.push_back(module.create_function("f" + std::to_string(f), {true, true}));
+  }
+  for (std::size_t f = 0; f < fn_count; ++f) {
+    kir::Function* fn = fns[f];
+    const int ops = 1 + static_cast<int>(rng.next_below(5));
+    for (int i = 0; i < ops; ++i) {
+      const auto p = static_cast<std::uint32_t>(rng.next_below(2));
+      switch (rng.next_below(4)) {
+        case 0: {  // bounded-index access (interval-precise)
+          const auto lo = static_cast<std::int64_t>(rng.next_below(64));
+          const auto hi = lo + static_cast<std::int64_t>(rng.next_below(64));
+          (void)fn->load(fn->gep(fn->param(p), fn->bounded(lo, hi), 8), 8);
+          break;
+        }
+        case 1:  // opaque-index store (⊤ write)
+          fn->store(fn->gep(fn->param(p), fn->constant()), fn->constant());
+          break;
+        case 2: {  // call a random function: self (recursion), earlier or
+                   // later (mutual recursion); repeated picks merge sites.
+          kir::Function* callee = fns[rng.next_below(fn_count)];
+          const auto q = static_cast<std::uint32_t>(rng.next_below(2));
+          const auto shift = static_cast<std::int64_t>(rng.next_below(8));
+          (void)fn->call(callee, {fn->param(p),
+                                  fn->gep(fn->param(q), fn->constant_int(shift), 8)});
+          break;
+        }
+        case 3:  // narrow direct read at offset 0
+          (void)fn->load(fn->gep(fn->param(p)), 4);
+          break;
+      }
+    }
+    fn->ret();
+  }
+  ASSERT_TRUE(kir::is_valid(module));
+
+  kir::AccessAnalysis modes(module);
+  kir::IntervalAnalysis intervals(module);
+  EXPECT_LT(modes.iterations(), 64u);
+  EXPECT_LT(intervals.iterations(), 64u);
+  for (kir::Function* fn : fns) {
+    for (std::uint32_t p = 0; p < 2; ++p) {
+      const kir::AccessMode mode = modes.mode(fn, p);
+      const kir::ParamIntervals* pi = intervals.param(fn, p);
+      ASSERT_NE(pi, nullptr);
+      EXPECT_EQ(kir::reads(mode), !pi->read.is_empty())
+          << "@" << fn->name() << " param " << p << " read disagreement";
+      EXPECT_EQ(kir::writes(mode), !pi->write.is_empty())
+          << "@" << fn->name() << " param " << p << " write disagreement";
+    }
   }
 }
 

@@ -1,12 +1,15 @@
 // The artifact's `make check-cutests` analog: runs the §VI-C correctness
 // test suite and prints llvm-lit style output, e.g.
 //
-//   PASS: CuSanTest :: cuda_to_mpi/device__default_stream__no_sync__racy (1 of 56)
+//   PASS: CuSanTest :: cuda_to_mpi/device__default_stream__no_sync__racy (1 of 56) [tracked 81.9 KiB]
 //
-// Exit code 0 iff every scenario is classified correctly (racy programs
-// produce at least one report, correct programs produce none).
+// Each line reports the scenario's tracked-byte volume (rsan read_range +
+// write_range bytes over both ranks) — the metric the interval-precision
+// scenarios shrink. Exit code 0 iff every scenario is classified correctly
+// (racy programs produce at least one report, correct programs produce none).
 //
 // Usage: check_cutests [filter-substring]
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -30,20 +33,24 @@ int main(int argc, char** argv) {
 
   std::size_t failures = 0;
   std::size_t index = 0;
+  std::uint64_t total_tracked = 0;
   for (const auto* scenario : selected) {
     ++index;
-    const std::size_t races = testsuite::run_scenario(*scenario);
-    const bool ok = testsuite::classified_correctly(*scenario, races);
+    const auto outcome = testsuite::run_scenario_outcome(*scenario);
+    total_tracked += outcome.tracked_bytes;
+    const bool ok = testsuite::classified_correctly(*scenario, outcome.races);
     if (!ok) {
       ++failures;
     }
-    std::printf("%s: CuSanTest :: %s (%zu of %zu)%s\n", ok ? "PASS" : "FAIL",
+    std::printf("%s: CuSanTest :: %s (%zu of %zu) [tracked %.1f KiB]%s\n", ok ? "PASS" : "FAIL",
                 scenario->name.c_str(), index, selected.size(),
+                static_cast<double>(outcome.tracked_bytes) / 1024.0,
                 ok ? ""
                    : (scenario->expect_race ? "  [expected a race, none reported]"
                                             : "  [false positive report]"));
   }
-  std::printf("\nTesting Time: done\n  Passed: %zu\n  Failed: %zu\n", selected.size() - failures,
-              failures);
+  std::printf("\nTesting Time: done\n  Passed: %zu\n  Failed: %zu\n  Tracked: %.1f KiB\n",
+              selected.size() - failures, failures,
+              static_cast<double>(total_tracked) / 1024.0);
   return failures == 0 ? 0 : 1;
 }
