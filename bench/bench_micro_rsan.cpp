@@ -10,7 +10,12 @@
 namespace {
 
 void BM_WriteRange(benchmark::State& state) {
-  rsan::Runtime rt;
+  // Reference per-granule store cost (the per-byte shadow cost behind
+  // Fig. 12): the fast path is pinned off so repeated iterations measure the
+  // full scan, not the recent-range cache.
+  rsan::RuntimeConfig config;
+  config.use_shadow_fast_path = false;
+  rsan::Runtime rt(config);
   const std::size_t bytes = static_cast<std::size_t>(state.range(0));
   std::vector<double> buf(bytes / sizeof(double) + 1);
   for (auto _ : state) {
@@ -23,8 +28,10 @@ BENCHMARK(BM_WriteRange)->Range(64, 16 << 20);
 
 void BM_ReadRangeAfterWrite(benchmark::State& state) {
   // Read ranges that check existing same-context write cells (the common
-  // kernel read-after-write pattern).
-  rsan::Runtime rt;
+  // kernel read-after-write pattern), at reference per-granule cost.
+  rsan::RuntimeConfig config;
+  config.use_shadow_fast_path = false;
+  rsan::Runtime rt(config);
   const std::size_t bytes = static_cast<std::size_t>(state.range(0));
   std::vector<double> buf(bytes / sizeof(double) + 1);
   rt.write_range(buf.data(), bytes, "prep");
@@ -35,6 +42,42 @@ void BM_ReadRangeAfterWrite(benchmark::State& state) {
                           static_cast<std::int64_t>(bytes));
 }
 BENCHMARK(BM_ReadRangeAfterWrite)->Range(64, 16 << 20);
+
+void BM_WriteRangeBlockSummary(benchmark::State& state) {
+  // Fast path, fresh epoch every iteration (the kernel-launch cadence:
+  // cusan's finish_op ticks the fiber clock after every op). The recent-range
+  // cache never hits; each block resolves through its uniform summary with
+  // one representative scan and a single-slot blast store.
+  rsan::RuntimeConfig config;
+  config.use_shadow_fast_path = true;
+  rsan::Runtime rt(config);
+  const std::size_t bytes = static_cast<std::size_t>(state.range(0));
+  std::vector<double> buf(bytes / sizeof(double) + 1);
+  int key{};
+  for (auto _ : state) {
+    rt.happens_before(&key);  // tick: forces the block-summary layer
+    rt.write_range(buf.data(), bytes, "bench");
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_WriteRangeBlockSummary)->Range(64, 16 << 20);
+
+void BM_WriteRangeRecentRangeCache(benchmark::State& state) {
+  // Fast path, unticked epoch: repeated annotation of the same range by the
+  // same context is O(1) via the per-context recent-range cache.
+  rsan::RuntimeConfig config;
+  config.use_shadow_fast_path = true;
+  rsan::Runtime rt(config);
+  const std::size_t bytes = static_cast<std::size_t>(state.range(0));
+  std::vector<double> buf(bytes / sizeof(double) + 1);
+  for (auto _ : state) {
+    rt.write_range(buf.data(), bytes, "bench");
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_WriteRangeRecentRangeCache)->Range(64, 16 << 20);
 
 void BM_RangeCrossFiberHandoff(benchmark::State& state) {
   // The CuSan kernel-launch pattern: switch to a stream fiber, annotate a

@@ -23,6 +23,7 @@ struct Counters {
   std::uint64_t whole_range_kernel_args{}; ///< args annotated whole-allocation (⊤ fallback)
   std::uint64_t interval_bytes_annotated{}; ///< bytes covered by interval annotations
   std::uint64_t interval_bytes_elided{};   ///< allocation bytes skipped thanks to intervals
+  std::uint64_t kernel_annotation_calls{}; ///< rsan range calls issued for kernel arguments
 };
 
 }  // namespace cusan

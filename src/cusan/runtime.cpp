@@ -168,9 +168,11 @@ void Runtime::annotate_access(const void* ptr, std::size_t fallback_size, bool r
     return;
   }
   if (read) {
+    ++counters_.kernel_annotation_calls;
     tsan_->read_range(base, size, label);
   }
   if (write) {
+    ++counters_.kernel_annotation_calls;
     tsan_->write_range(base, size, label);
   }
 }
@@ -220,6 +222,7 @@ void Runtime::annotate_kernel_arg(const KernelArgAccess& arg, const char* label)
       }
       const auto bytes = static_cast<std::size_t>(hi - lo);
       covered += bytes;
+      ++counters_.kernel_annotation_calls;
       if (is_write) {
         tsan_->write_range(lo, bytes, label);
       } else {

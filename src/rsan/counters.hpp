@@ -19,6 +19,12 @@ struct Counters {
   std::uint64_t races_detected{};     ///< race events (at most one per range call)
   std::uint64_t races_suppressed{};   ///< race events silenced by a suppression
   std::uint64_t ignored_accesses{};   ///< accesses skipped inside ignore scopes
+  // Shadow fast path (see Runtime::access_range; all zero when
+  // RuntimeConfig::use_shadow_fast_path is false).
+  std::uint64_t fastpath_range_hits{};      ///< whole calls skipped via the recent-range cache
+  std::uint64_t fastpath_block_hits{};      ///< block segments stored via the uniform-summary scan
+  std::uint64_t fastpath_block_misses{};    ///< block segments that took the per-granule scan
+  std::uint64_t fastpath_granules_elided{}; ///< granule scans skipped by either fast-path layer
 };
 
 }  // namespace rsan

@@ -44,8 +44,8 @@ struct RaceAccess {
 };
 
 struct RaceReport {
-  std::uintptr_t addr{};       ///< first racing address (granule-aligned)
-  std::size_t access_size{};   ///< size of the current access's range
+  std::uintptr_t addr{};       ///< first racing byte within the current access
+  std::size_t access_size{};   ///< racing bytes of the conflicting granule, clipped to the access
   RaceAccess current;          ///< the access that detected the race
   RaceAccess previous;         ///< the conflicting earlier access
 };

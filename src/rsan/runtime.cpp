@@ -1,11 +1,46 @@
 #include "rsan/runtime.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+#include <string_view>
 
 #include "common/assert.hpp"
 #include "common/log.hpp"
 
 namespace rsan {
+
+namespace {
+
+[[nodiscard]] bool cells_equal(const ShadowCell* a, const ShadowCell* b) {
+  for (std::size_t s = 0; s < kShadowSlots; ++s) {
+    if (a[s].raw != b[s].raw) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Eviction victim when every slot is valid and none is subsumable: the slot
+/// holding the stalest epoch (lowest clock; ties break to the lowest index).
+/// Stale epochs are the least likely to witness a future race, and the choice
+/// is a pure function of the cells — granules with identical state pick the
+/// same victim, which keeps uniform shadow blocks uniform.
+[[nodiscard]] int evict_victim(const ShadowCell* cells) {
+  int victim = 0;
+  for (std::size_t s = 1; s < kShadowSlots; ++s) {
+    if (cells[s].clock() < cells[static_cast<std::size_t>(victim)].clock()) {
+      victim = static_cast<int>(s);
+    }
+  }
+  return victim;
+}
+
+}  // namespace
+
+bool default_shadow_fast_path() {
+  const char* env = std::getenv("CUSAN_SHADOW_FAST_PATH");
+  return env == nullptr || std::string_view{env} != "0";
+}
 
 Runtime::Runtime(RuntimeConfig config) : config_(config) {
   host_ = create_fiber(CtxKind::kHostThread, "host");
@@ -56,6 +91,7 @@ void Runtime::happens_before(const void* key) {
   auto& clock = sync_objects_[reinterpret_cast<std::uintptr_t>(key)];
   clock.join(cur.clock);
   cur.clock.tick(current_);
+  ++cur.sync_gen;  // fast-path invalidation rule: any release invalidates
 }
 
 void Runtime::happens_after(const void* key) {
@@ -64,7 +100,9 @@ void Runtime::happens_after(const void* key) {
   if (it == sync_objects_.end()) {
     return;  // acquiring a never-released object is a no-op (TSan semantics)
   }
-  contexts_[current_]->clock.join(it->second);
+  Context& cur = *contexts_[current_];
+  cur.clock.join(it->second);
+  ++cur.sync_gen;  // fast-path invalidation rule: any acquire invalidates
 }
 
 bool Runtime::has_sync_object(const void* key) const {
@@ -99,6 +137,7 @@ void Runtime::plain_write(const void* addr, std::size_t size) {
 
 void Runtime::reset_shadow_range(const void* addr, std::size_t size) {
   shadow_.reset_range(reinterpret_cast<std::uintptr_t>(addr), size);
+  ++shadow_gen_;  // fast-path invalidation rule: reset invalidates all caches
 }
 
 void Runtime::ignore_begin() { ++contexts_[current_]->ignore_depth; }
@@ -130,16 +169,159 @@ void Runtime::access_range(const void* addr, std::size_t size, bool is_write, co
     return;
   }
   const std::uint64_t cur_clock = cur.clock.get(current_);
-  record_history(cur, reinterpret_cast<std::uintptr_t>(addr), size, is_write, label, cur_clock);
-
   const std::uintptr_t base = reinterpret_cast<std::uintptr_t>(addr);
+  // History is recorded even when the fast path skips the scan: reports
+  // against this epoch attach labels from the ring, and a repeat of the same
+  // range may carry a different label.
+  record_history(cur, base, size, is_write, label, cur_clock);
+
   const std::uintptr_t first = base / kGranuleBytes;
   const std::uintptr_t last = (base + size - 1) / kGranuleBytes;
   const ShadowCell fresh = ShadowCell::make(current_, cur_clock, is_write);
-  bool reported_this_call = false;
+  const bool fast = config_.use_shadow_fast_path;
 
-  for (std::uintptr_t g = first; g <= last; ++g) {
-    ShadowCell* cells = shadow_.granule(g * kGranuleBytes);
+  if (fast && cur.recent.valid && cur.recent.is_write == is_write &&
+      cur.recent.epoch == cur_clock && cur.recent.sync_gen == cur.sync_gen &&
+      cur.recent.shadow_gen == shadow_gen_ && cur.recent.first_granule <= first &&
+      last <= cur.recent.last_granule) {
+    // Repeat (or sub-range) of this context's last race-free annotation with
+    // the same access kind, at an unticked epoch, with no acquire/release by
+    // this context and no shadow mutation by anyone since: re-running the
+    // scan would find the cells this context just stored, pick the same
+    // slots, store identical values and detect nothing — a provable no-op.
+    ++counters_.fastpath_range_hits;
+    counters_.fastpath_granules_elided += last - first + 1;
+    return;
+  }
+
+  ++shadow_gen_;  // this call stores into the shadow
+  bool reported_this_call = false;
+  bool call_race_free = true;
+
+  for (std::uintptr_t g = first;;) {
+    const std::uintptr_t key = g / kGranulesPerBlock;
+    const std::uintptr_t seg_last = std::min(last, (key + 1) * kGranulesPerBlock - 1);
+    const std::size_t g_lo = static_cast<std::size_t>(g - key * kGranulesPerBlock);
+    const std::size_t g_hi = static_cast<std::size_t>(seg_last - key * kGranulesPerBlock);
+    ShadowBlock& blk = *shadow_.block(g * kGranuleBytes);
+    if (!fast || !try_fast_block(blk, key, g_lo, g_hi, base, size, is_write, label, cur, cur_clock,
+                                 fresh, reported_this_call, call_race_free)) {
+      if (fast) {
+        ++counters_.fastpath_block_misses;
+      }
+      slow_block(blk, key, g_lo, g_hi, base, size, is_write, label, cur, cur_clock, fresh,
+                 reported_this_call, call_race_free, /*update_summary=*/true);
+    }
+    if (seg_last == last) {
+      break;
+    }
+    g = seg_last + 1;
+  }
+
+  if (fast) {
+    if (call_race_free) {
+      cur.recent =
+          RecentRange{first, last, cur_clock, cur.sync_gen, shadow_gen_, is_write, true};
+    } else {
+      cur.recent.valid = false;
+    }
+  }
+}
+
+bool Runtime::try_fast_block(ShadowBlock& blk, std::uintptr_t block_key, std::size_t g_lo,
+                             std::size_t g_hi, std::uintptr_t base, std::size_t size,
+                             bool is_write, const char* label, const Context& cur,
+                             std::uint64_t cur_clock, ShadowCell fresh, bool& reported_this_call,
+                             bool& call_race_free) {
+  const BlockSummary& sum = blk.summary;
+  if (sum.lo > sum.hi) {
+    return false;  // no summary for this block
+  }
+  // The summary need not cover the whole segment: the uniform middle is
+  // resolved with one representative scan and the uncovered edge granules
+  // (e.g. the boundary columns an interior-only kernel write skips) fall back
+  // to the per-granule scan. This is what makes the fast path effective on
+  // stencil patterns, where interior writes and whole-range reads alternate.
+  const std::size_t fast_lo = std::max(g_lo, static_cast<std::size_t>(sum.lo));
+  const std::size_t fast_hi = std::min(g_hi, static_cast<std::size_t>(sum.hi));
+  if (fast_lo > fast_hi) {
+    return false;  // disjoint: the whole segment takes the reference scan
+  }
+  // Every granule in [sum.lo, sum.hi] holds identical cells, so the reference
+  // per-granule scan has one outcome for the whole covered span; run it once
+  // on the snapshot. The branch structure mirrors slow_block() exactly.
+  int store_slot = -1;
+  for (std::size_t s = 0; s < kShadowSlots; ++s) {
+    const ShadowCell cell = sum.cells[s];
+    if (!cell.valid()) {
+      if (store_slot < 0) {
+        store_slot = static_cast<int>(s);
+      }
+      continue;
+    }
+    const CtxId prev_ctx = cell.ctx();
+    if (prev_ctx == current_) {
+      if (cell.is_write() == is_write || is_write) {
+        store_slot = static_cast<int>(s);
+      }
+      continue;
+    }
+    if (!is_write && !cell.is_write()) {
+      continue;
+    }
+    if (cell.clock() > (cur.clock.get(prev_ctx) & ShadowCell::kClockMask)) {
+      return false;  // racing segment: report + count on the reference path
+    }
+  }
+  if (store_slot < 0) {
+    // All slots valid and none subsumable: evict the stalest epoch. The
+    // victim choice is a pure function of the cell state, so it is the same
+    // for every granule of the uniform span — and identical to the choice
+    // the reference scan makes per granule.
+    store_slot = evict_victim(sum.cells.data());
+  }
+  ++counters_.fastpath_block_hits;
+  counters_.fastpath_granules_elided += fast_hi - fast_lo + 1;
+  // Edge granules are processed in the reference order (front, middle, back)
+  // so race reports keep their first-racing-granule attribution. The edges
+  // lie outside [sum.lo, sum.hi], so their stores never touch the summarized
+  // span; the summary epilogue is suppressed to keep the middle's summary.
+  if (g_lo < fast_lo) {
+    slow_block(blk, block_key, g_lo, fast_lo - 1, base, size, is_write, label, cur, cur_clock,
+               fresh, reported_this_call, call_race_free, /*update_summary=*/false);
+  }
+  if (sum.cells[static_cast<std::size_t>(store_slot)].raw != fresh.raw) {
+    ShadowCell* const cells = blk.cells.data();
+    for (std::size_t g = fast_lo; g <= fast_hi; ++g) {
+      cells[g * kShadowSlots + static_cast<std::size_t>(store_slot)] = fresh;
+    }
+    // Granules of the old summary span outside [fast_lo, fast_hi] did not
+    // receive `fresh`, so the summary shrinks to the span just stored.
+    blk.summary.cells[static_cast<std::size_t>(store_slot)] = fresh;
+    blk.summary.lo = static_cast<std::uint16_t>(fast_lo);
+    blk.summary.hi = static_cast<std::uint16_t>(fast_hi);
+  }
+  // else: the chosen slot already holds `fresh` (same ctx/epoch/kind repeat
+  // over a different base range) — the store would be a bit-exact no-op, so
+  // the cells and the full summary span stay valid untouched.
+  if (fast_hi < g_hi) {
+    slow_block(blk, block_key, fast_hi + 1, g_hi, base, size, is_write, label, cur, cur_clock,
+               fresh, reported_this_call, call_race_free, /*update_summary=*/false);
+  }
+  return true;
+}
+
+void Runtime::slow_block(ShadowBlock& blk, std::uintptr_t block_key, std::size_t g_lo,
+                         std::size_t g_hi, std::uintptr_t base, std::size_t size, bool is_write,
+                         const char* label, const Context& cur, std::uint64_t cur_clock,
+                         ShadowCell fresh, bool& reported_this_call, bool& call_race_free,
+                         bool update_summary) {
+  const bool fast = config_.use_shadow_fast_path && update_summary;
+  ShadowCell* const block_cells = blk.cells.data();
+  const ShadowCell* const rep = block_cells + g_lo * kShadowSlots;
+  bool uniform = true;
+  for (std::size_t g = g_lo; g <= g_hi; ++g) {
+    ShadowCell* cells = block_cells + g * kShadowSlots;
     int store_slot = -1;
     for (std::size_t s = 0; s < kShadowSlots; ++s) {
       ShadowCell& cell = cells[s];
@@ -164,16 +346,67 @@ void Runtime::access_range(const void* addr, std::size_t size, bool is_write, co
       // Happens-before check: the previous access is ordered before the
       // current one iff its epoch is visible in the current clock.
       if (cell.clock() > (cur.clock.get(prev_ctx) & ShadowCell::kClockMask)) {
+        call_race_free = false;
         if (!reported_this_call) {
           reported_this_call = true;
-          report_race(g * kGranuleBytes, size, is_write, label, cur_clock, cell);
+          // Attribute the race to the conflicting granule's bytes clipped to
+          // the current access, not the whole annotated range.
+          const std::uintptr_t gaddr = (block_key * kGranulesPerBlock + g) * kGranuleBytes;
+          const std::uintptr_t race_lo = std::max(gaddr, base);
+          const std::uintptr_t race_hi = std::min(gaddr + kGranuleBytes, base + size);
+          report_race(race_lo, race_hi - race_lo, is_write, label, cur_clock, cell);
         }
       }
     }
     if (store_slot < 0) {
-      store_slot = static_cast<int>(evict_rotor_++ % kShadowSlots);
+      // Evict the stalest epoch (ties to the lowest slot). The choice is a
+      // pure function of the granule's cells, so granules with identical
+      // state evolve identically — a property the block summaries rely on.
+      store_slot = evict_victim(cells);
     }
     cells[store_slot] = fresh;
+    if (fast && uniform && g != g_lo && !cells_equal(cells, rep)) {
+      uniform = false;
+    }
+  }
+  if (!fast) {
+    return;  // summaries are never consulted; skip the bookkeeping entirely
+  }
+  // Candidate summaries for the block: the span just scanned (if its cells
+  // came out uniform) and the fragments of the previous summary this span did
+  // not touch (still uniform with the old cells). Keeping the widest one
+  // stops narrow annotations — a halo-row exchange, a host plain access —
+  // from clobbering a full-block summary.
+  const BlockSummary prev_sum = blk.summary;
+  const auto width = [](std::size_t lo, std::size_t hi) { return lo <= hi ? hi - lo + 1 : 0; };
+  std::size_t left_lo = 1;
+  std::size_t left_hi = 0;
+  std::size_t right_lo = 1;
+  std::size_t right_hi = 0;
+  if (prev_sum.lo <= prev_sum.hi) {
+    if (g_lo > prev_sum.lo) {
+      left_lo = prev_sum.lo;
+      left_hi = std::min<std::size_t>(prev_sum.hi, g_lo - 1);
+    }
+    if (g_hi < prev_sum.hi) {
+      right_lo = std::max<std::size_t>(prev_sum.lo, g_hi + 1);
+      right_hi = prev_sum.hi;
+    }
+  }
+  const std::size_t new_width = uniform ? g_hi - g_lo + 1 : 0;
+  const std::size_t frag_lo = width(left_lo, left_hi) >= width(right_lo, right_hi) ? left_lo : right_lo;
+  const std::size_t frag_hi = width(left_lo, left_hi) >= width(right_lo, right_hi) ? left_hi : right_hi;
+  if (new_width >= width(frag_lo, frag_hi)) {
+    if (uniform) {
+      std::copy(rep, rep + kShadowSlots, blk.summary.cells.begin());
+      blk.summary.lo = static_cast<std::uint16_t>(g_lo);
+      blk.summary.hi = static_cast<std::uint16_t>(g_hi);
+    } else {
+      blk.summary.invalidate();
+    }
+  } else {
+    blk.summary.lo = static_cast<std::uint16_t>(frag_lo);
+    blk.summary.hi = static_cast<std::uint16_t>(frag_hi);
   }
 }
 

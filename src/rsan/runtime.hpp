@@ -27,6 +27,11 @@
 
 namespace rsan {
 
+/// Default for RuntimeConfig::use_shadow_fast_path: true unless the
+/// CUSAN_SHADOW_FAST_PATH environment variable is set to "0" (the CI leg that
+/// pins the reference scan uses this).
+[[nodiscard]] bool default_shadow_fast_path();
+
 struct RuntimeConfig {
   /// Ablation knob (paper §V-B): when false, read_range/write_range become
   /// no-ops, removing all shadow-memory work while keeping fibers and
@@ -37,6 +42,12 @@ struct RuntimeConfig {
   /// Per-context access-history ring size, used to attach operation labels
   /// to the "previous access" side of reports.
   std::size_t history_size = 64;
+  /// Ablation knob for the shadow fast path (per-block uniform-contents
+  /// summaries + per-context recent-range cache). Detection results are
+  /// bit-identical either way — the differential oracle and the dual-mode
+  /// check_cutests run enforce this; the flag exists so the reference scan
+  /// stays exercised and the speedup stays measurable.
+  bool use_shadow_fast_path = default_shadow_fast_path();
 };
 
 struct ContextInfo {
@@ -117,6 +128,8 @@ class Runtime {
   void clear_reports();
   [[nodiscard]] const Counters& counters() const { return counters_; }
   [[nodiscard]] std::size_t shadow_resident_bytes() const { return shadow_.resident_bytes(); }
+  /// Read-only view of the shadow table (differential oracle / tests).
+  [[nodiscard]] const ShadowMemory& shadow() const { return shadow_; }
 
   /// Intern a dynamically built label; the returned pointer stays valid for
   /// the Runtime's lifetime.
@@ -136,15 +149,40 @@ class Runtime {
     bool is_write{false};
   };
 
+  /// Per-context memo of the last race-free range annotation. A repeat of
+  /// the same (range, kind) by the same context is a provable no-op — and is
+  /// skipped in O(1) — as long as the context's epoch is unticked
+  /// (epoch check), it acquired nothing since (sync_gen), and no other call
+  /// stored into or reset the shadow since (shadow_gen).
+  struct RecentRange {
+    std::uintptr_t first_granule{};
+    std::uintptr_t last_granule{};
+    std::uint64_t epoch{};
+    std::uint64_t sync_gen{};
+    std::uint64_t shadow_gen{};
+    bool is_write{false};
+    bool valid{false};
+  };
+
   struct Context {
     ContextInfo info;
     VectorClock clock;
     std::vector<AccessRecord> history;  // ring buffer
     std::size_t history_next{0};
     int ignore_depth{0};
+    std::uint64_t sync_gen{0};  ///< bumped on every acquire/release by this ctx
+    RecentRange recent;
   };
 
   void access_range(const void* addr, std::size_t size, bool is_write, const char* label);
+  bool try_fast_block(ShadowBlock& blk, std::uintptr_t block_key, std::size_t g_lo,
+                      std::size_t g_hi, std::uintptr_t base, std::size_t size, bool is_write,
+                      const char* label, const Context& cur, std::uint64_t cur_clock,
+                      ShadowCell fresh, bool& reported_this_call, bool& call_race_free);
+  void slow_block(ShadowBlock& blk, std::uintptr_t block_key, std::size_t g_lo, std::size_t g_hi,
+                  std::uintptr_t base, std::size_t size, bool is_write, const char* label,
+                  const Context& cur, std::uint64_t cur_clock, ShadowCell fresh,
+                  bool& reported_this_call, bool& call_race_free, bool update_summary);
   void record_history(Context& ctx, std::uintptr_t base, std::size_t size, bool is_write,
                       const char* label, std::uint64_t clock);
   [[nodiscard]] const AccessRecord* find_history(const Context& ctx, std::uintptr_t addr,
@@ -163,7 +201,10 @@ class Runtime {
   std::vector<RaceReport> reports_;
   std::unordered_set<std::uint64_t> report_dedup_;
   std::deque<std::string> interned_;
-  std::size_t evict_rotor_{0};
+  /// Bumped whenever shadow contents change (any storing access_range or
+  /// reset_shadow_range); recent-range cache entries from older generations
+  /// are stale.
+  std::uint64_t shadow_gen_{0};
 };
 
 }  // namespace rsan

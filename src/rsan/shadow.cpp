@@ -1,6 +1,52 @@
 #include "rsan/shadow.hpp"
 
+#include <algorithm>
+
 namespace rsan {
+
+ShadowBlock* ShadowMemory::lookup_or_create(std::uintptr_t key) {
+  if (key < kDirectMappedBlockKeys) {
+    if (l1_.empty()) {
+      l1_.resize(std::size_t{1} << kShadowL1Bits);
+    }
+    std::unique_ptr<L2Page>& page = l1_[key >> kShadowL2Bits];
+    if (!page) {
+      page = std::make_unique<L2Page>();
+    }
+    std::unique_ptr<ShadowBlock>& slot =
+        page->blocks[key & ((std::uintptr_t{1} << kShadowL2Bits) - 1)];
+    if (!slot) {
+      slot = std::make_unique<ShadowBlock>();
+      ++block_count_;
+    }
+    return slot.get();
+  }
+  std::unique_ptr<ShadowBlock>& slot = overflow_[key];
+  if (!slot) {
+    slot = std::make_unique<ShadowBlock>();
+    ++block_count_;
+  }
+  return slot.get();
+}
+
+ShadowBlock* ShadowMemory::find(std::uintptr_t key) {
+  return const_cast<ShadowBlock*>(static_cast<const ShadowMemory*>(this)->find(key));
+}
+
+const ShadowBlock* ShadowMemory::find(std::uintptr_t key) const {
+  if (key < kDirectMappedBlockKeys) {
+    if (l1_.empty()) {
+      return nullptr;
+    }
+    const std::unique_ptr<L2Page>& page = l1_[key >> kShadowL2Bits];
+    if (!page) {
+      return nullptr;
+    }
+    return page->blocks[key & ((std::uintptr_t{1} << kShadowL2Bits) - 1)].get();
+  }
+  const auto it = overflow_.find(key);
+  return it != overflow_.end() ? it->second.get() : nullptr;
+}
 
 void ShadowMemory::reset_range(std::uintptr_t base, std::size_t extent) {
   if (extent == 0) {
@@ -8,24 +54,35 @@ void ShadowMemory::reset_range(std::uintptr_t base, std::size_t extent) {
   }
   const std::uintptr_t first_granule = base / kGranuleBytes;
   const std::uintptr_t last_granule = (base + extent - 1) / kGranuleBytes;
-  for (std::uintptr_t g = first_granule; g <= last_granule; ++g) {
-    const std::uintptr_t addr = g * kGranuleBytes;
-    const auto it = blocks_.find(addr / kBlockAppBytes);
-    if (it == blocks_.end()) {
-      // Skip ahead to the next block boundary.
-      const std::uintptr_t next_block_granule = ((addr / kBlockAppBytes) + 1) * kGranulesPerBlock;
-      if (next_block_granule <= g) {
-        break;  // defensive: cannot happen, avoids infinite loop on overflow
-      }
-      g = next_block_granule - 1;
-      continue;
+  std::uintptr_t g = first_granule;
+  for (;;) {
+    const std::uintptr_t key = g / kGranulesPerBlock;
+    const std::uintptr_t block_last = (key + 1) * kGranulesPerBlock - 1;
+    const std::uintptr_t seg_last = std::min(last_granule, block_last);
+    ShadowBlock* blk = find(key);
+    if (blk != nullptr) {
+      const std::size_t lo = static_cast<std::size_t>(g - key * kGranulesPerBlock);
+      const std::size_t hi = static_cast<std::size_t>(seg_last - key * kGranulesPerBlock);
+      std::fill(blk->cells.begin() + static_cast<std::ptrdiff_t>(lo * kShadowSlots),
+                blk->cells.begin() + static_cast<std::ptrdiff_t>((hi + 1) * kShadowSlots),
+                ShadowCell{});
+      blk->summary.invalidate();
     }
-    const std::size_t granule_idx = (addr % kBlockAppBytes) / kGranuleBytes;
-    ShadowCell* cells = it->second->cells.data() + granule_idx * kShadowSlots;
-    for (std::size_t s = 0; s < kShadowSlots; ++s) {
-      cells[s] = ShadowCell{};
+    if (seg_last == last_granule) {
+      break;
     }
+    g = seg_last + 1;
   }
+  // The cached block may point into the reset range; drop it so later
+  // mutating lookups re-walk the table (mirrors the pre-reset behaviour).
+  cached_block_ = nullptr;
+  cached_key_ = ~std::uintptr_t{0};
+}
+
+void ShadowMemory::clear() {
+  l1_.clear();
+  overflow_.clear();
+  block_count_ = 0;
   cached_block_ = nullptr;
   cached_key_ = ~std::uintptr_t{0};
 }

@@ -3,15 +3,22 @@
 // small fixed number of shadow cells recording the most recent accesses as
 // (context, epoch, access-kind) triples packed into 64 bits.
 //
-// Shadow blocks cover 4 KiB of application memory and are allocated lazily,
-// so shadow residency is proportional to the amount of memory actually
-// tracked — the property behind the paper's Fig. 11/12 observations.
+// Shadow blocks cover 4 KiB of application memory and are kept in a flat
+// two-level direct-map table: an L1 directory indexed by the high bits of
+// the block key points at lazily allocated L2 pages of block pointers, so a
+// granule lookup is two indexed loads with no hashing. Blocks themselves are
+// still allocated lazily on first touch, so shadow residency stays
+// proportional to the amount of memory actually tracked — the property
+// behind the paper's Fig. 11/12 observations. Addresses beyond the
+// direct-mapped VA range (48 bits) fall back to a hashed overflow map so
+// correctness never depends on the platform's address layout.
 #pragma once
 
 #include <array>
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "rsan/clock.hpp"
 
@@ -52,60 +59,104 @@ inline constexpr std::size_t kGranuleBytes = 8;
 inline constexpr std::size_t kBlockAppBytes = 4096;
 inline constexpr std::size_t kGranulesPerBlock = kBlockAppBytes / kGranuleBytes;
 
+/// Two-level table geometry: 48 bits of direct-mapped VA split into a block
+/// offset (12 bits), an L2 page index and an L1 directory index.
+inline constexpr unsigned kShadowL1Bits = 18;
+inline constexpr unsigned kShadowL2Bits = 18;
+inline constexpr std::uintptr_t kDirectMappedBlockKeys =
+    std::uintptr_t{1} << (kShadowL1Bits + kShadowL2Bits);
+
+/// Per-block summary of the last range annotation, maintained by the
+/// runtime's shadow fast path (see rsan::Runtime::access_range): when every
+/// granule in [lo, hi] holds identical cell contents, one representative scan
+/// decides the whole segment. `lo > hi` means "no summary". ShadowMemory only
+/// *invalidates* summaries (reset_range / clear); it never sets them.
+struct BlockSummary {
+  std::array<ShadowCell, kShadowSlots> cells{};  ///< uniform contents of [lo, hi]
+  std::uint16_t lo{1};                           ///< first granule index covered
+  std::uint16_t hi{0};                           ///< last granule index covered
+
+  [[nodiscard]] bool covers(std::size_t g_lo, std::size_t g_hi) const {
+    return lo <= g_lo && g_hi <= hi;
+  }
+  void invalidate() {
+    lo = 1;
+    hi = 0;
+  }
+};
+
 struct ShadowBlock {
   // cells[granule * kShadowSlots + slot]
   std::array<ShadowCell, kGranulesPerBlock * kShadowSlots> cells{};
+  BlockSummary summary{};
 };
 
 class ShadowMemory {
  public:
+  /// Shadow block covering `addr`; allocates on first touch.
+  [[nodiscard]] ShadowBlock* block(std::uintptr_t addr) {
+    const std::uintptr_t key = addr / kBlockAppBytes;
+    if (key == cached_key_ && cached_block_ != nullptr) {
+      return cached_block_;
+    }
+    ShadowBlock* blk = lookup_or_create(key);
+    cached_key_ = key;
+    cached_block_ = blk;
+    return blk;
+  }
+
+  /// Shadow block covering `addr`, or nullptr if never touched.
+  [[nodiscard]] const ShadowBlock* block_if_present(std::uintptr_t addr) const {
+    return find(addr / kBlockAppBytes);
+  }
+
   /// Shadow cells for the granule containing `addr`; allocates the block on
   /// first touch. Returned pointer is to kShadowSlots consecutive cells.
   [[nodiscard]] ShadowCell* granule(std::uintptr_t addr) {
-    const std::uintptr_t block_key = addr / kBlockAppBytes;
-    ShadowBlock* block = nullptr;
-    if (block_key == cached_key_ && cached_block_ != nullptr) {
-      block = cached_block_;
-    } else {
-      auto& slot = blocks_[block_key];
-      if (!slot) {
-        slot = std::make_unique<ShadowBlock>();
-      }
-      block = slot.get();
-      cached_key_ = block_key;
-      cached_block_ = block;
-    }
+    ShadowBlock* blk = block(addr);
     const std::size_t granule_idx = (addr % kBlockAppBytes) / kGranuleBytes;
-    return block->cells.data() + granule_idx * kShadowSlots;
+    return blk->cells.data() + granule_idx * kShadowSlots;
   }
 
   /// Shadow cells for the granule containing `addr`, or nullptr if the block
   /// was never touched (read-only lookup; does not allocate).
   [[nodiscard]] const ShadowCell* granule_if_present(std::uintptr_t addr) const {
-    const auto it = blocks_.find(addr / kBlockAppBytes);
-    if (it == blocks_.end()) {
+    const ShadowBlock* blk = find(addr / kBlockAppBytes);
+    if (blk == nullptr) {
       return nullptr;
     }
     const std::size_t granule_idx = (addr % kBlockAppBytes) / kGranuleBytes;
-    return it->second->cells.data() + granule_idx * kShadowSlots;
+    return blk->cells.data() + granule_idx * kShadowSlots;
   }
 
   /// Drop all shadow state for [base, base+extent) — used when memory is
   /// freed so stale epochs cannot produce false races on reuse. Only clears
-  /// blocks that exist; granule-partial edges are zeroed cell-wise.
+  /// blocks that exist; granules partially overlapped by the range edges are
+  /// cleared whole (cell-wise zeroing), matching the tracking granularity.
+  /// Also invalidates the affected blocks' fast-path summaries.
   void reset_range(std::uintptr_t base, std::size_t extent);
 
-  [[nodiscard]] std::size_t resident_blocks() const { return blocks_.size(); }
-  [[nodiscard]] std::size_t resident_bytes() const { return blocks_.size() * sizeof(ShadowBlock); }
+  [[nodiscard]] std::size_t resident_blocks() const { return block_count_; }
+  [[nodiscard]] std::size_t resident_bytes() const { return block_count_ * sizeof(ShadowBlock); }
 
-  void clear() {
-    blocks_.clear();
-    cached_block_ = nullptr;
-    cached_key_ = ~std::uintptr_t{0};
-  }
+  void clear();
 
  private:
-  std::unordered_map<std::uintptr_t, std::unique_ptr<ShadowBlock>> blocks_;
+  /// One L2 page: a direct-mapped array of lazily allocated blocks.
+  struct L2Page {
+    std::array<std::unique_ptr<ShadowBlock>, std::size_t{1} << kShadowL2Bits> blocks;
+  };
+
+  [[nodiscard]] ShadowBlock* lookup_or_create(std::uintptr_t key);
+  [[nodiscard]] ShadowBlock* find(std::uintptr_t key);
+  [[nodiscard]] const ShadowBlock* find(std::uintptr_t key) const;
+
+  /// L1 directory (sized on first use so untracked runtimes stay tiny).
+  std::vector<std::unique_ptr<L2Page>> l1_;
+  /// Blocks whose key exceeds the direct-mapped range (exotic address
+  /// layouts only; empty on mainstream 48-bit-VA platforms).
+  std::unordered_map<std::uintptr_t, std::unique_ptr<ShadowBlock>> overflow_;
+  std::size_t block_count_{0};
   std::uintptr_t cached_key_{~std::uintptr_t{0}};
   ShadowBlock* cached_block_{nullptr};
 };

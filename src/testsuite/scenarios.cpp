@@ -413,11 +413,16 @@ std::vector<Scenario> build_scenarios() {
 }
 
 ScenarioOutcome run_scenario_outcome(const Scenario& scenario) {
+  return run_scenario_outcome(scenario, rsan::RuntimeConfig{}.use_shadow_fast_path);
+}
+
+ScenarioOutcome run_scenario_outcome(const Scenario& scenario, bool use_shadow_fast_path) {
   capi::SessionConfig config;
   config.ranks = 2;
   config.tools = capi::make_tool_config(capi::Flavor::kMustCusan);
   config.tools.cusan_config.use_access_intervals =
       scenario.precision == Precision::kIntervals;
+  config.tools.rsan_config.use_shadow_fast_path = use_shadow_fast_path;
   config.device_profile.default_stream_mode = scenario.stream_mode;
   const auto results = capi::run_session(
       config, [&](capi::RankEnv& env) { scenario_rank_main(env, scenario); });
@@ -426,6 +431,9 @@ ScenarioOutcome run_scenario_outcome(const Scenario& scenario) {
   for (const auto& result : results) {
     outcome.tracked_bytes +=
         result.tsan_counters.read_range_bytes + result.tsan_counters.write_range_bytes;
+    outcome.fastpath_hits +=
+        result.tsan_counters.fastpath_range_hits + result.tsan_counters.fastpath_block_hits;
+    outcome.fastpath_granules_elided += result.tsan_counters.fastpath_granules_elided;
   }
   return outcome;
 }

@@ -68,14 +68,21 @@ void scenario_rank_main(capi::RankEnv& env, const Scenario& scenario);
 
 /// Race count plus the tracked-byte volume (rsan read_range/write_range
 /// bytes summed over both ranks) — the per-scenario precision metric that
-/// tools/check_cutests reports.
+/// tools/check_cutests reports — and the shadow fast-path hit counters
+/// (zero when the fast path is disabled).
 struct ScenarioOutcome {
   std::size_t races{0};
   std::uint64_t tracked_bytes{0};
+  std::uint64_t fastpath_hits{0};             ///< range-cache + block-summary hits
+  std::uint64_t fastpath_granules_elided{0};  ///< granule scans skipped
 };
 
 /// Run a scenario under MUST & CuSan and return races + tracked bytes.
+/// The one-argument form uses the environment-default shadow fast-path
+/// setting; the two-argument form pins it (dual-mode divergence checks).
 [[nodiscard]] ScenarioOutcome run_scenario_outcome(const Scenario& scenario);
+[[nodiscard]] ScenarioOutcome run_scenario_outcome(const Scenario& scenario,
+                                                   bool use_shadow_fast_path);
 
 /// Run a scenario under MUST & CuSan and return the total race count.
 [[nodiscard]] std::size_t run_scenario(const Scenario& scenario);

@@ -372,4 +372,129 @@ TEST_F(RsanRuntimeTest, IgnoreDoesNotAffectSynchronization) {
   EXPECT_EQ(rt.counters().races_detected, 0u);
 }
 
+// Golden report test for the attribution fix: the report names the racing
+// granule's bytes clipped to the current access, not the whole annotated
+// range starting at a granule boundary.
+TEST_F(RsanRuntimeTest, RaceAttributionClipsToConflictingGranule) {
+  const auto fiber = rt.create_fiber(CtxKind::kStreamFiber, "s1");
+  rt.switch_to_fiber(fiber);
+  rt.write_range(&buf[4], 8, "fiber write");  // exactly one granule
+  rt.switch_to_fiber(rt.host_ctx());
+  // The host access starts 4 bytes into the conflicting granule and spans 20
+  // bytes; only the granule's trailing 4 bytes overlap the access.
+  const auto* start = reinterpret_cast<const char*>(&buf[4]) + 4;
+  rt.write_range(start, 20, "host write");
+  ASSERT_EQ(rt.reports().size(), 1u);
+  EXPECT_EQ(rt.reports()[0].addr, reinterpret_cast<std::uintptr_t>(start));
+  EXPECT_EQ(rt.reports()[0].access_size, 4u);
+}
+
+TEST_F(RsanRuntimeTest, RaceAttributionPointsAtMiddleGranule) {
+  const auto fiber = rt.create_fiber(CtxKind::kStreamFiber, "s1");
+  rt.switch_to_fiber(fiber);
+  rt.write_range(&buf[6], 8, "fiber write");
+  rt.switch_to_fiber(rt.host_ctx());
+  rt.write_range(&buf[4], 4 * sizeof(double), "host write");  // granules 4..7
+  ASSERT_EQ(rt.reports().size(), 1u);
+  // The race is attributed to granule 6 — the conflicting one — with the
+  // full 8 granule bytes (they lie entirely inside the access).
+  EXPECT_EQ(rt.reports()[0].addr, reinterpret_cast<std::uintptr_t>(&buf[6]));
+  EXPECT_EQ(rt.reports()[0].access_size, sizeof(double));
+}
+
+// -- Shadow fast path --------------------------------------------------------
+
+TEST_F(RsanRuntimeTest, RepeatedSameEpochRangeHitsRecentRangeCache) {
+  RuntimeConfig config;
+  config.use_shadow_fast_path = true;
+  Runtime fast(config);
+  fast.write_range(buf.data(), sizeof buf, "first");
+  EXPECT_EQ(fast.counters().fastpath_range_hits, 0u);
+  fast.write_range(buf.data(), sizeof buf, "repeat");
+  EXPECT_EQ(fast.counters().fastpath_range_hits, 1u);
+  EXPECT_EQ(fast.counters().fastpath_granules_elided, sizeof buf / rsan::kGranuleBytes);
+  // A covered sub-range is also a provable no-op.
+  fast.write_range(&buf[10], 64, "subrange");
+  EXPECT_EQ(fast.counters().fastpath_range_hits, 2u);
+  EXPECT_EQ(fast.counters().races_detected, 0u);
+}
+
+TEST_F(RsanRuntimeTest, RecentRangeCacheRequiresSameAccessKind) {
+  RuntimeConfig config;
+  config.use_shadow_fast_path = true;
+  Runtime fast(config);
+  fast.write_range(buf.data(), sizeof buf);
+  // A read after a write stores fresh read cells in the reference semantics,
+  // so it must not be skipped (kind equality, not subsumption).
+  fast.read_range(buf.data(), sizeof buf);
+  EXPECT_EQ(fast.counters().fastpath_range_hits, 0u);
+}
+
+TEST_F(RsanRuntimeTest, ClockTickInvalidatesRecentRangeCache) {
+  RuntimeConfig config;
+  config.use_shadow_fast_path = true;
+  Runtime fast(config);
+  fast.write_range(buf.data(), sizeof buf);
+  fast.happens_before(&sync_key);  // ticks the epoch
+  fast.write_range(buf.data(), sizeof buf);
+  EXPECT_EQ(fast.counters().fastpath_range_hits, 0u);
+  // The re-scan still runs O(blocks), not O(granules): every block summary is
+  // uniform after the first pass, so the second pass hits the summary layer.
+  EXPECT_GT(fast.counters().fastpath_block_hits, 0u);
+}
+
+TEST_F(RsanRuntimeTest, AcquireInvalidatesRecentRangeCache) {
+  RuntimeConfig config;
+  config.use_shadow_fast_path = true;
+  Runtime fast(config);
+  int key{};
+  fast.happens_before(&key);
+  fast.write_range(buf.data(), sizeof buf);
+  fast.happens_after(&key);  // acquire does not tick, but still invalidates
+  fast.write_range(buf.data(), sizeof buf);
+  EXPECT_EQ(fast.counters().fastpath_range_hits, 0u);
+}
+
+TEST_F(RsanRuntimeTest, ResetRangeInvalidatesFastPathState) {
+  RuntimeConfig config;
+  config.use_shadow_fast_path = true;
+  Runtime fast(config);
+  fast.write_range(buf.data(), sizeof buf);
+  fast.reset_shadow_range(buf.data(), sizeof buf);
+  fast.write_range(buf.data(), sizeof buf);
+  EXPECT_EQ(fast.counters().fastpath_range_hits, 0u);
+  // The repeat after the reset really stored: the shadow holds valid cells.
+  const auto* cells = fast.shadow().granule_if_present(
+      reinterpret_cast<std::uintptr_t>(buf.data()));
+  ASSERT_NE(cells, nullptr);
+  EXPECT_TRUE(cells[0].valid());
+}
+
+TEST_F(RsanRuntimeTest, FastPathStillDetectsRacesAfterHits) {
+  RuntimeConfig config;
+  config.use_shadow_fast_path = true;
+  Runtime fast(config);
+  const auto fiber = fast.create_fiber(CtxKind::kStreamFiber, "s1");
+  fast.switch_to_fiber(fiber);
+  fast.write_range(buf.data(), sizeof buf, "fiber write");
+  fast.write_range(buf.data(), sizeof buf, "fiber write");  // range-cache hit
+  EXPECT_EQ(fast.counters().fastpath_range_hits, 1u);
+  fast.switch_to_fiber(fast.host_ctx());
+  fast.write_range(buf.data(), sizeof buf, "host write");
+  EXPECT_EQ(fast.counters().races_detected, 1u);
+}
+
+TEST_F(RsanRuntimeTest, FastPathDisabledKeepsCountersZero) {
+  RuntimeConfig config;
+  config.use_shadow_fast_path = false;
+  Runtime slow(config);
+  for (int i = 0; i < 4; ++i) {
+    slow.write_range(buf.data(), sizeof buf);
+  }
+  EXPECT_EQ(slow.counters().fastpath_range_hits, 0u);
+  EXPECT_EQ(slow.counters().fastpath_block_hits, 0u);
+  EXPECT_EQ(slow.counters().fastpath_block_misses, 0u);
+  EXPECT_EQ(slow.counters().fastpath_granules_elided, 0u);
+}
+
 }  // namespace

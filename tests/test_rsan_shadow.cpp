@@ -105,4 +105,96 @@ TEST(ShadowMemoryTest, ClearDropsEverything) {
   EXPECT_EQ(shadow.granule_if_present(0x1000), nullptr);
 }
 
+TEST(ShadowMemoryTest, ResetRangePartialGranuleEdgesClearWholeGranules) {
+  // A reset range that starts and ends mid-granule clears the full front and
+  // back granules (tracking granularity is 8 bytes; a freed byte invalidates
+  // its whole granule).
+  ShadowMemory shadow;
+  shadow.granule(0x8000)[0] = ShadowCell::make(1, 1, true);   // front granule
+  shadow.granule(0x8008)[0] = ShadowCell::make(1, 2, true);   // interior
+  shadow.granule(0x8010)[0] = ShadowCell::make(1, 3, true);   // back granule
+  shadow.granule(0x8018)[0] = ShadowCell::make(1, 4, true);   // beyond
+  shadow.reset_range(0x8003, 0x12);  // [0x8003, 0x8015): mid-granule both ends
+  EXPECT_FALSE(shadow.granule(0x8000)[0].valid());
+  EXPECT_FALSE(shadow.granule(0x8008)[0].valid());
+  EXPECT_FALSE(shadow.granule(0x8010)[0].valid());
+  EXPECT_TRUE(shadow.granule(0x8018)[0].valid());
+}
+
+TEST(ShadowMemoryTest, ResetRangeSpansAbsentMiddleBlocks) {
+  // Present blocks on both ends of the range, absent blocks in the middle:
+  // both ends are cleared and nothing is materialized in between.
+  ShadowMemory shadow;
+  const std::uintptr_t first_block = 0x20000;
+  const std::uintptr_t last_block = first_block + 4 * kBlockAppBytes;
+  shadow.granule(first_block + 8)[0] = ShadowCell::make(1, 1, true);
+  shadow.granule(last_block + 8)[0] = ShadowCell::make(1, 2, true);
+  EXPECT_EQ(shadow.resident_blocks(), 2u);
+  shadow.reset_range(first_block, 5 * kBlockAppBytes);
+  EXPECT_FALSE(shadow.granule(first_block + 8)[0].valid());
+  EXPECT_FALSE(shadow.granule(last_block + 8)[0].valid());
+  EXPECT_EQ(shadow.resident_blocks(), 2u);
+}
+
+TEST(ShadowMemoryTest, ResetRangeInvalidatesCachedBlockLookup) {
+  // granule() caches the last block; a reset through the ShadowMemory API
+  // must not leave the cache serving a stale pointer view of cleared cells.
+  ShadowMemory shadow;
+  shadow.granule(0x9000)[0] = ShadowCell::make(1, 7, true);  // block now cached
+  shadow.reset_range(0x9000, kGranuleBytes);
+  ShadowCell* cells = shadow.granule(0x9000);  // re-walks the table
+  EXPECT_FALSE(cells[0].valid());
+  cells[0] = ShadowCell::make(2, 3, false);
+  EXPECT_TRUE(shadow.granule(0x9000)[0].valid());
+  EXPECT_EQ(shadow.resident_blocks(), 1u);
+}
+
+TEST(ShadowMemoryTest, ResetRangeInvalidatesBlockSummary) {
+  ShadowMemory shadow;
+  rsan::ShadowBlock* blk = shadow.block(0xA000);
+  blk->summary.cells[0] = ShadowCell::make(1, 1, true);
+  blk->summary.lo = 0;
+  blk->summary.hi = 10;
+  EXPECT_TRUE(blk->summary.covers(2, 5));
+  shadow.reset_range(0xA020, kGranuleBytes);  // touches the block anywhere
+  EXPECT_FALSE(blk->summary.covers(2, 5));
+  EXPECT_GT(blk->summary.lo, blk->summary.hi);  // invalidated, not shrunk
+}
+
+TEST(ShadowMemoryTest, TwoLevelTableHandlesFarApartAddresses) {
+  // Addresses in different L2 pages (>= 1 GiB apart) and at the very bottom
+  // of the address space resolve to distinct, persistent blocks.
+  ShadowMemory shadow;
+  const std::uintptr_t far_apart[] = {0x0, 0x40000000, 0x7f0000000000};
+  int tag = 1;
+  for (const std::uintptr_t addr : far_apart) {
+    shadow.granule(addr)[0] = ShadowCell::make(1, static_cast<std::uint64_t>(tag++), true);
+  }
+  EXPECT_EQ(shadow.resident_blocks(), 3u);
+  tag = 1;
+  for (const std::uintptr_t addr : far_apart) {
+    const ShadowCell* cells = shadow.granule_if_present(addr);
+    ASSERT_NE(cells, nullptr);
+    EXPECT_EQ(cells[0].clock(), static_cast<std::uint64_t>(tag++));
+  }
+}
+
+TEST(ShadowMemoryTest, AddressesBeyondDirectMapUseOverflowTable) {
+  // Keys past the 48-bit direct-mapped VA range fall back to the hashed
+  // overflow map; granule addressing, reset and residency behave identically.
+  if constexpr (sizeof(std::uintptr_t) < 8) {
+    GTEST_SKIP() << "no addresses beyond the direct map on 32-bit platforms";
+  }
+  ShadowMemory shadow;
+  const std::uintptr_t high = std::uintptr_t{1} << 50;
+  shadow.granule(high)[0] = ShadowCell::make(3, 9, true);
+  EXPECT_EQ(shadow.resident_blocks(), 1u);
+  const ShadowCell* cells = shadow.granule_if_present(high);
+  ASSERT_NE(cells, nullptr);
+  EXPECT_EQ(cells[0].clock(), 9u);
+  EXPECT_EQ(shadow.granule_if_present(high + kBlockAppBytes), nullptr);
+  shadow.reset_range(high, kGranuleBytes);
+  EXPECT_FALSE(shadow.granule(high)[0].valid());
+}
+
 }  // namespace

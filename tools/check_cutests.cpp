@@ -1,12 +1,16 @@
 // The artifact's `make check-cutests` analog: runs the §VI-C correctness
 // test suite and prints llvm-lit style output, e.g.
 //
-//   PASS: CuSanTest :: cuda_to_mpi/device__default_stream__no_sync__racy (1 of 56) [tracked 81.9 KiB]
+//   PASS: CuSanTest :: cuda_to_mpi/device__default_stream__no_sync__racy (1 of 56) [tracked 81.9 KiB] [fastpath 12 hits / 2048 granules]
 //
 // Each line reports the scenario's tracked-byte volume (rsan read_range +
 // write_range bytes over both ranks) — the metric the interval-precision
-// scenarios shrink. Exit code 0 iff every scenario is classified correctly
-// (racy programs produce at least one report, correct programs produce none).
+// scenarios shrink — and the shadow fast-path hit counters. Every scenario is
+// run twice, with the shadow fast path enabled and disabled; any divergence
+// in the race verdict between the two modes is a failure in itself (the fast
+// path must be detection-invisible). Exit code 0 iff every scenario is
+// classified correctly (racy programs produce at least one report, correct
+// programs produce none) in both modes.
 //
 // Usage: check_cutests [filter-substring]
 #include <cstdint>
@@ -32,25 +36,47 @@ int main(int argc, char** argv) {
   }
 
   std::size_t failures = 0;
+  std::size_t divergences = 0;
   std::size_t index = 0;
   std::uint64_t total_tracked = 0;
+  std::uint64_t total_hits = 0;
   for (const auto* scenario : selected) {
     ++index;
-    const auto outcome = testsuite::run_scenario_outcome(*scenario);
-    total_tracked += outcome.tracked_bytes;
-    const bool ok = testsuite::classified_correctly(*scenario, outcome.races);
+    const auto fast = testsuite::run_scenario_outcome(*scenario, /*use_shadow_fast_path=*/true);
+    const auto slow = testsuite::run_scenario_outcome(*scenario, /*use_shadow_fast_path=*/false);
+    total_tracked += fast.tracked_bytes;
+    total_hits += fast.fastpath_hits;
+    const bool diverged = fast.races != slow.races;
+    const bool ok = !diverged && testsuite::classified_correctly(*scenario, fast.races);
     if (!ok) {
       ++failures;
     }
-    std::printf("%s: CuSanTest :: %s (%zu of %zu) [tracked %.1f KiB]%s\n", ok ? "PASS" : "FAIL",
-                scenario->name.c_str(), index, selected.size(),
-                static_cast<double>(outcome.tracked_bytes) / 1024.0,
-                ok ? ""
-                   : (scenario->expect_race ? "  [expected a race, none reported]"
-                                            : "  [false positive report]"));
+    if (diverged) {
+      ++divergences;
+    }
+    const char* detail = "";
+    if (diverged) {
+      detail = "  [fast/slow shadow divergence]";
+    } else if (!ok) {
+      detail = scenario->expect_race ? "  [expected a race, none reported]"
+                                     : "  [false positive report]";
+    }
+    std::printf(
+        "%s: CuSanTest :: %s (%zu of %zu) [tracked %.1f KiB] [fastpath %llu hits / %llu "
+        "granules]%s\n",
+        ok ? "PASS" : "FAIL", scenario->name.c_str(), index, selected.size(),
+        static_cast<double>(fast.tracked_bytes) / 1024.0,
+        static_cast<unsigned long long>(fast.fastpath_hits),
+        static_cast<unsigned long long>(fast.fastpath_granules_elided), detail);
+    if (diverged) {
+      std::printf("  fast path: %zu race(s); reference path: %zu race(s)\n", fast.races,
+                  slow.races);
+    }
   }
-  std::printf("\nTesting Time: done\n  Passed: %zu\n  Failed: %zu\n  Tracked: %.1f KiB\n",
-              selected.size() - failures, failures,
-              static_cast<double>(total_tracked) / 1024.0);
+  std::printf(
+      "\nTesting Time: done\n  Passed: %zu\n  Failed: %zu\n  Diverged: %zu\n  Tracked: %.1f "
+      "KiB\n  Fast-path hits: %llu\n",
+      selected.size() - failures, failures, divergences,
+      static_cast<double>(total_tracked) / 1024.0, static_cast<unsigned long long>(total_hits));
   return failures == 0 ? 0 : 1;
 }
