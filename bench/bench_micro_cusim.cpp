@@ -4,9 +4,11 @@
 // correctness tools add their tracking on top of.
 #include <benchmark/benchmark.h>
 
+#include <cstddef>
 #include <vector>
 
 #include "cusim/device.hpp"
+#include "fault_guard.hpp"
 
 namespace {
 
@@ -115,4 +117,28 @@ BENCHMARK(BM_CrossStreamEventChain);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  {
+    // Representative guarded op: the cheapest cusim call that probes the
+    // injector on its hot path.
+    cusim::Device device;
+    void* d = nullptr;
+    (void)device.malloc_device(&d, 4096);
+    std::vector<std::byte> h(4096);
+    const int rc = bench::fault_hook_overhead_guard(
+        "cusim memcpy(4 KiB)",
+        [&] { (void)device.memcpy(d, h.data(), 4096, cusim::MemcpyDir::kHostToDevice); },
+        2000);
+    (void)device.free(d);
+    if (rc != 0) {
+      return rc;
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -6,6 +6,8 @@
 
 #include <vector>
 
+#include "fault_guard.hpp"
+#include "mpisim/world.hpp"
 #include "must/runtime.hpp"
 
 namespace {
@@ -86,4 +88,35 @@ BENCHMARK(BM_CollectiveAnnotation);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  {
+    // Representative guarded op: the cheapest mpisim call that probes the
+    // fault injector — a self isend/recv/wait round trip on one rank.
+    int rc = 0;
+    mpisim::World world(1);
+    world.run([&rc](mpisim::Comm comm) {
+      std::vector<double> send(64);
+      std::vector<double> recv(64);
+      rc = bench::fault_hook_overhead_guard(
+          "mpisim self send/recv(64 doubles)",
+          [&] {
+            mpisim::Request* request = nullptr;
+            (void)comm.isend(send.data(), send.size(), mpisim::Datatype::float64(), 0, 0,
+                             &request);
+            (void)comm.recv(recv.data(), recv.size(), mpisim::Datatype::float64(), 0, 0);
+            (void)comm.wait(&request);
+          },
+          5000);
+    });
+    if (rc != 0) {
+      return rc;
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Shared bench-startup guard: with no fault plan loaded, the only
+// instruction fault hooks execute is Injector::armed() — one relaxed atomic
+// load. The guard measures that load against a representative guarded
+// operation and fails the process if the hook costs >= 1% of the operation,
+// so a regression on the disarmed fast path breaks the build instead of
+// silently taxing every run.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "faultsim/injector.hpp"
+
+namespace bench {
+
+/// Runs the overhead guard against `op` (called `op_iters` times). Returns 0
+/// on pass or when a plan is armed (faulted runs trade speed for determinism
+/// by design), 1 on budget violation, 2 on a malformed CUSAN_FAULT_PLAN.
+template <typename Op>
+int fault_hook_overhead_guard(const char* op_name, Op&& op, int op_iters) {
+  auto& injector = faultsim::Injector::instance();
+  std::string error;
+  if (!injector.load_env(&error)) {
+    std::fprintf(stderr, "[fault-guard] bad CUSAN_FAULT_PLAN: %s\n", error.c_str());
+    return 2;
+  }
+  if (faultsim::Injector::armed()) {
+    std::fprintf(stderr, "[fault-guard] fault plan armed (%s); skipping overhead guard\n",
+                 injector.plan_string().c_str());
+    return 0;
+  }
+
+  using clock = std::chrono::steady_clock;
+  constexpr int kHookIters = 1 << 22;
+  for (int i = 0; i < 1024; ++i) {
+    benchmark::DoNotOptimize(faultsim::Injector::armed());
+  }
+  const auto h0 = clock::now();
+  for (int i = 0; i < kHookIters; ++i) {
+    benchmark::DoNotOptimize(faultsim::Injector::armed());
+  }
+  const auto h1 = clock::now();
+  const double hook_ns =
+      std::chrono::duration<double, std::nano>(h1 - h0).count() / kHookIters;
+
+  for (int i = 0; i < op_iters / 10 + 1; ++i) {
+    op();
+  }
+  const auto o0 = clock::now();
+  for (int i = 0; i < op_iters; ++i) {
+    op();
+  }
+  const auto o1 = clock::now();
+  const double op_ns =
+      std::chrono::duration<double, std::nano>(o1 - o0).count() / op_iters;
+
+  const double ratio = op_ns > 0.0 ? hook_ns / op_ns : 0.0;
+  std::fprintf(stderr,
+               "[fault-guard] hook %.3f ns/probe vs %s %.1f ns/op -> %.4f%% overhead "
+               "(budget 1%%)\n",
+               hook_ns, op_name, op_ns, ratio * 100.0);
+  if (ratio >= 0.01) {
+    std::fprintf(stderr, "[fault-guard] FAIL: disarmed fault hook costs >= 1%% of %s\n",
+                 op_name);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace bench

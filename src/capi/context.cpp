@@ -71,6 +71,9 @@ RankResult ToolContext::finalize() {
   }
   for (const auto& device : devices_) {
     result.device_live_bytes += device->memory().live_bytes();
+    if (device->get_last_error() != cusim::Error::kSuccess) {
+      ++result.sticky_errors;
+    }
   }
   result.rss_peak_bytes = common::read_memstats().rss_peak_bytes;
   return result;

@@ -1,6 +1,9 @@
 #include "capi/cuda.hpp"
 
+#include <thread>
 #include <vector>
+
+#include "faultsim/injector.hpp"
 
 namespace capi::cuda {
 
@@ -336,6 +339,10 @@ cusim::Error stream_wait_event(cusim::Stream* stream, cusim::Event* event) {
 
 cusim::Stream* default_stream() { return ctx().device().default_stream(); }
 
+cusim::Error get_last_error() { return ctx().device().get_last_error(); }
+
+cusim::Error peek_at_last_error() { return ctx().device().peek_at_last_error(); }
+
 cusim::Error set_device(int ordinal) {
   return ctx().set_device(ordinal) ? cusim::Error::kSuccess : cusim::Error::kInvalidValue;
 }
@@ -354,6 +361,30 @@ cusim::Error launch(const kir::KernelInfo& info, cusim::LaunchDims dims, cusim::
                    "kernel argument count mismatch with IR");
   if (stream == nullptr) {
     stream = c.device().default_stream();
+  }
+  if (faultsim::Injector::armed()) {
+    faultsim::SiteContext where;
+    where.device = c.device().ordinal();
+    where.rank = c.rank();
+    where.stream = static_cast<int>(stream->id());
+    auto& injector = faultsim::Injector::instance();
+    if (const auto fired = injector.probe(faultsim::Site::kKernel, where)) {
+      switch (fired->action) {
+        case faultsim::Action::kDelay:
+          std::this_thread::sleep_for(fired->delay);
+          break;
+        case faultsim::Action::kAbort:
+          // Launch is accepted but the kernel dies on the device: the error
+          // latches at the stream position where the kernel would have run.
+          // No annotations are published — the kernel never executed, so it
+          // must not create happens-before edges or device accesses.
+          return c.device().inject_async_error(stream, cusim::Error::kLaunchFailure, fired->id);
+        default:
+          injector.mark_surfaced(fired->id, faultsim::Channel::kApiError);
+          c.device().latch_error(cusim::Error::kLaunchFailure);
+          return cusim::Error::kLaunchFailure;
+      }
+    }
   }
   // The instrumented callback runs before the actual launch (paper Fig. 9).
   if (auto* cs = c.cusan_rt()) {

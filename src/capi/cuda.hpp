@@ -158,6 +158,11 @@ cusim::Error stream_wait_event(cusim::Stream* stream, cusim::Event* event);
 /// The rank's legacy default stream (of the current device).
 [[nodiscard]] cusim::Stream* default_stream();
 
+/// cudaGetLastError: returns and clears the current device's sticky error.
+cusim::Error get_last_error();
+/// cudaPeekAtLastError: returns the sticky error without clearing it.
+[[nodiscard]] cusim::Error peek_at_last_error();
+
 /// cudaSetDevice / cudaGetDevice / cudaGetDeviceCount.
 cusim::Error set_device(int ordinal);
 [[nodiscard]] int get_device();

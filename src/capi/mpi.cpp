@@ -8,6 +8,17 @@ namespace {
   return ctx != nullptr ? ctx->must_rt() : nullptr;
 }
 
+/// Deliver the watchdog's deadlock verdict to MUST (one structured report
+/// per rank runtime). Returns `err` so callers can tail-call through it.
+mpisim::MpiError note_deadlock(mpisim::Comm& comm, mpisim::MpiError err) {
+  if (err == mpisim::MpiError::kDeadlock) {
+    if (auto* m = must_rt()) {
+      m->on_deadlock(comm.rank(), comm.deadlock_report());
+    }
+  }
+  return err;
+}
+
 }  // namespace
 
 mpisim::MpiError send(mpisim::Comm& comm, const void* buf, std::size_t count,
@@ -15,21 +26,25 @@ mpisim::MpiError send(mpisim::Comm& comm, const void* buf, std::size_t count,
   if (auto* m = must_rt()) {
     m->on_send(buf, count, type);
   }
-  return comm.send(buf, count, type, dest, tag);
+  return note_deadlock(comm, comm.send(buf, count, type, dest, tag));
 }
 
 mpisim::MpiError recv(mpisim::Comm& comm, void* buf, std::size_t count,
                       const mpisim::Datatype& type, int source, int tag, mpisim::Status* status) {
   mpisim::Status local;
   const mpisim::MpiError err = comm.recv(buf, count, type, source, tag, &local);
-  if (auto* m = must_rt()) {
-    m->on_recv(buf, count, type);
-    m->on_receive_status("MPI_Recv", local);
+  // On a declared deadlock nothing was received: publishing the buffer-write
+  // annotation would fabricate accesses that never happened.
+  if (err != mpisim::MpiError::kDeadlock) {
+    if (auto* m = must_rt()) {
+      m->on_recv(buf, count, type);
+      m->on_receive_status("MPI_Recv", local);
+    }
   }
   if (status != nullptr) {
     *status = local;
   }
-  return err;
+  return note_deadlock(comm, err);
 }
 
 mpisim::MpiError isend(mpisim::Comm& comm, const void* buf, std::size_t count,
@@ -41,7 +56,7 @@ mpisim::MpiError isend(mpisim::Comm& comm, const void* buf, std::size_t count,
       m->on_isend(buf, count, type, *request);
     }
   }
-  return err;
+  return note_deadlock(comm, err);
 }
 
 mpisim::MpiError irecv(mpisim::Comm& comm, void* buf, std::size_t count,
@@ -53,7 +68,7 @@ mpisim::MpiError irecv(mpisim::Comm& comm, void* buf, std::size_t count,
       m->on_irecv(buf, count, type, *request);
     }
   }
-  return err;
+  return note_deadlock(comm, err);
 }
 
 mpisim::MpiError wait(mpisim::Comm& comm, mpisim::Request** request, mpisim::Status* status) {
@@ -62,7 +77,9 @@ mpisim::MpiError wait(mpisim::Comm& comm, mpisim::Request** request, mpisim::Sta
   const mpisim::Request* handle = request != nullptr ? *request : nullptr;
   mpisim::Status local;
   const mpisim::MpiError err = comm.wait(request, &local);
-  if (handle != nullptr) {
+  // kDeadlock means the wait was abandoned: the request did not complete and
+  // its fiber must stay open (MUST later reports it as a leak).
+  if (handle != nullptr && err != mpisim::MpiError::kDeadlock) {
     if (auto* m = must_rt()) {
       m->on_complete(handle);
       m->on_receive_status("MPI_Wait", local);
@@ -71,7 +88,7 @@ mpisim::MpiError wait(mpisim::Comm& comm, mpisim::Request** request, mpisim::Sta
   if (status != nullptr) {
     *status = local;
   }
-  return err;
+  return note_deadlock(comm, err);
 }
 
 mpisim::MpiError test(mpisim::Comm& comm, mpisim::Request** request, bool* completed,
@@ -92,7 +109,7 @@ mpisim::MpiError test(mpisim::Comm& comm, mpisim::Request** request, bool* compl
   if (status != nullptr) {
     *status = local;
   }
-  return err;
+  return note_deadlock(comm, err);
 }
 
 mpisim::MpiError waitall(mpisim::Comm& comm, std::span<mpisim::Request*> requests) {
@@ -129,14 +146,14 @@ mpisim::MpiError waitany(mpisim::Comm& comm, std::span<mpisim::Request*> request
   if (status != nullptr) {
     *status = local;
   }
-  return err;
+  return note_deadlock(comm, err);
 }
 
 mpisim::MpiError probe(mpisim::Comm& comm, int source, int tag, mpisim::Status* status) {
   if (auto* m = must_rt()) {
     m->on_probe();
   }
-  return comm.probe(source, tag, status);
+  return note_deadlock(comm, comm.probe(source, tag, status));
 }
 
 mpisim::MpiError iprobe(mpisim::Comm& comm, int source, int tag, bool* flag,
@@ -157,14 +174,16 @@ mpisim::MpiError sendrecv(mpisim::Comm& comm, const void* sendbuf, std::size_t s
   mpisim::Status local;
   const mpisim::MpiError err = comm.sendrecv(sendbuf, sendcount, sendtype, dest, sendtag, recvbuf,
                                              recvcount, recvtype, source, recvtag, &local);
-  if (auto* m = must_rt()) {
-    m->on_recv(recvbuf, recvcount, recvtype);
-    m->on_receive_status("MPI_Sendrecv", local);
+  if (err != mpisim::MpiError::kDeadlock) {
+    if (auto* m = must_rt()) {
+      m->on_recv(recvbuf, recvcount, recvtype);
+      m->on_receive_status("MPI_Sendrecv", local);
+    }
   }
   if (status != nullptr) {
     *status = local;
   }
-  return err;
+  return note_deadlock(comm, err);
 }
 
 mpisim::MpiError comm_dup(mpisim::Comm& comm, mpisim::Comm* out) {
@@ -178,7 +197,7 @@ mpisim::MpiError barrier(mpisim::Comm& comm) {
   if (auto* m = must_rt()) {
     m->on_barrier();
   }
-  return comm.barrier();
+  return note_deadlock(comm, comm.barrier());
 }
 
 mpisim::MpiError bcast(mpisim::Comm& comm, void* buf, std::size_t count,
@@ -186,7 +205,7 @@ mpisim::MpiError bcast(mpisim::Comm& comm, void* buf, std::size_t count,
   if (auto* m = must_rt()) {
     m->on_bcast(buf, count, type, comm.rank() == root);
   }
-  return comm.bcast(buf, count, type, root);
+  return note_deadlock(comm, comm.bcast(buf, count, type, root));
 }
 
 mpisim::MpiError reduce(mpisim::Comm& comm, const void* sendbuf, void* recvbuf, std::size_t count,
@@ -194,7 +213,7 @@ mpisim::MpiError reduce(mpisim::Comm& comm, const void* sendbuf, void* recvbuf, 
   if (auto* m = must_rt()) {
     m->on_reduce(sendbuf, recvbuf, count, type, comm.rank() == root);
   }
-  return comm.reduce(sendbuf, recvbuf, count, type, op, root);
+  return note_deadlock(comm, comm.reduce(sendbuf, recvbuf, count, type, op, root));
 }
 
 mpisim::MpiError allreduce(mpisim::Comm& comm, const void* sendbuf, void* recvbuf,
@@ -202,7 +221,7 @@ mpisim::MpiError allreduce(mpisim::Comm& comm, const void* sendbuf, void* recvbu
   if (auto* m = must_rt()) {
     m->on_allreduce(sendbuf, recvbuf, count, type);
   }
-  return comm.allreduce(sendbuf, recvbuf, count, type, op);
+  return note_deadlock(comm, comm.allreduce(sendbuf, recvbuf, count, type, op));
 }
 
 mpisim::MpiError allgather(mpisim::Comm& comm, const void* sendbuf, std::size_t count,
@@ -210,7 +229,7 @@ mpisim::MpiError allgather(mpisim::Comm& comm, const void* sendbuf, std::size_t 
   if (auto* m = must_rt()) {
     m->on_allgather(sendbuf, count, type, recvbuf, comm.size());
   }
-  return comm.allgather(sendbuf, count, type, recvbuf);
+  return note_deadlock(comm, comm.allgather(sendbuf, count, type, recvbuf));
 }
 
 mpisim::MpiError gather(mpisim::Comm& comm, const void* sendbuf, std::size_t count,
@@ -218,7 +237,7 @@ mpisim::MpiError gather(mpisim::Comm& comm, const void* sendbuf, std::size_t cou
   if (auto* m = must_rt()) {
     m->on_gather(sendbuf, count, type, recvbuf, comm.rank() == root, comm.size());
   }
-  return comm.gather(sendbuf, count, type, recvbuf, root);
+  return note_deadlock(comm, comm.gather(sendbuf, count, type, recvbuf, root));
 }
 
 mpisim::MpiError scatter(mpisim::Comm& comm, const void* sendbuf, std::size_t count,
@@ -226,7 +245,7 @@ mpisim::MpiError scatter(mpisim::Comm& comm, const void* sendbuf, std::size_t co
   if (auto* m = must_rt()) {
     m->on_scatter(sendbuf, count, type, recvbuf, comm.rank() == root, comm.size());
   }
-  return comm.scatter(sendbuf, count, type, recvbuf, root);
+  return note_deadlock(comm, comm.scatter(sendbuf, count, type, recvbuf, root));
 }
 
 }  // namespace capi::mpi

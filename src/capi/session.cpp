@@ -1,9 +1,24 @@
 #include "capi/session.hpp"
 
+#include <mutex>
+
+#include "faultsim/injector.hpp"
+
 namespace capi {
 
 std::vector<RankResult> run_session(const SessionConfig& config, const RankMain& rank_main) {
+  // Arm the fault injector from CUSAN_FAULT_PLAN once per process; sessions
+  // with an explicit programmatic plan (Injector::load) are unaffected
+  // because an unset/empty env keeps the current state.
+  static std::once_flag env_once;
+  std::call_once(env_once, [] { (void)faultsim::Injector::instance().load_env(); });
+
   mpisim::World world(config.ranks);
+  if (config.watchdog_timeout.count() > 0) {
+    world.set_watchdog_timeout(config.watchdog_timeout);
+  } else if (config.watchdog_timeout.count() < 0) {
+    world.set_watchdog_timeout(std::chrono::milliseconds(0));
+  }
   std::vector<RankResult> results(static_cast<std::size_t>(config.ranks));
   world.run([&](mpisim::Comm comm) {
     ToolContext ctx(comm.rank(), config.tools, config.device_profile, config.typedb,

@@ -23,6 +23,9 @@ struct SessionConfig {
   /// Shared type database (struct layouts registered up front). nullptr:
   /// each rank uses a builtin-only database.
   const typeart::TypeDB* typedb = nullptr;
+  /// MPI progress-watchdog timeout for this session. Zero keeps the world's
+  /// default (CUSAN_MPI_WATCHDOG_MS, or 1s); negative disables the watchdog.
+  std::chrono::milliseconds watchdog_timeout{0};
 };
 
 /// What an application's per-rank body receives.

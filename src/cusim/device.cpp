@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "common/assert.hpp"
+#include "faultsim/injector.hpp"
 
 namespace cusim {
 namespace {
@@ -16,6 +18,39 @@ namespace {
 
 [[nodiscard]] bool is_device_side(MemKind kind) {
   return kind == MemKind::kDevice || kind == MemKind::kManaged;
+}
+
+/// Fault-plan probe for a CUDA call site; the armed() check is the entire
+/// cost when no plan is loaded.
+[[nodiscard]] std::optional<faultsim::Fired> probe_fault(faultsim::Site site, int device,
+                                                         int stream = -1) {
+  if (!faultsim::Injector::armed()) {
+    return std::nullopt;
+  }
+  faultsim::SiteContext where;
+  where.device = device;
+  where.stream = stream;
+  return faultsim::Injector::instance().probe(site, where);
+}
+
+void mark_api_error(std::uint64_t fault_id) {
+  faultsim::Injector::instance().mark_surfaced(fault_id, faultsim::Channel::kApiError);
+}
+
+/// Shared malloc-site fault handling (oom/fail both return allocation
+/// failure; delay perturbs but the allocation proceeds). True = fail now.
+[[nodiscard]] bool malloc_fault(int ordinal, void** out) {
+  const auto fired = probe_fault(faultsim::Site::kMalloc, ordinal);
+  if (!fired) {
+    return false;
+  }
+  if (fired->action == faultsim::Action::kDelay) {
+    std::this_thread::sleep_for(fired->delay);
+    return false;
+  }
+  mark_api_error(fired->id);
+  *out = nullptr;
+  return true;
 }
 
 }  // namespace
@@ -102,7 +137,7 @@ Error Device::stream_synchronize(Stream* stream) {
   }
   std::unique_lock lock(mutex_);
   wait_stream_drained_locked(stream, lock);
-  return Error::kSuccess;
+  return surface_sticky(Error::kSuccess);
 }
 
 Error Device::stream_query(Stream* stream) {
@@ -110,7 +145,10 @@ Error Device::stream_query(Stream* stream) {
     return Error::kInvalidResourceHandle;
   }
   std::lock_guard lock(mutex_);
-  return stream->completed >= stream->last_enqueued ? Error::kSuccess : Error::kNotReady;
+  // A latched error dominates both "done" and "pending" (CUDA reports the
+  // sticky error from any stream of the failed device).
+  return surface_sticky(stream->completed >= stream->last_enqueued ? Error::kSuccess
+                                                                   : Error::kNotReady);
 }
 
 std::vector<Stream*> Device::streams() const {
@@ -181,7 +219,7 @@ Error Device::event_synchronize(Event* event) {
     ticket = event->ticket_;
   }
   wait_ticket(stream, ticket);
-  return Error::kSuccess;
+  return surface_sticky(Error::kSuccess);
 }
 
 Error Device::event_query(Event* event) {
@@ -190,9 +228,10 @@ Error Device::event_query(Event* event) {
   }
   std::lock_guard lock(mutex_);
   if (event->stream_ == nullptr) {
-    return Error::kSuccess;
+    return surface_sticky(Error::kSuccess);
   }
-  return event->stream_->completed >= event->ticket_ ? Error::kSuccess : Error::kNotReady;
+  return surface_sticky(event->stream_->completed >= event->ticket_ ? Error::kSuccess
+                                                                    : Error::kNotReady);
 }
 
 Error Device::stream_wait_event(Stream* stream, Event* event) {
@@ -234,6 +273,61 @@ Error Device::device_synchronize() {
       return s->completed >= s->last_enqueued && s->pending.empty() && !s->running;
     });
   });
+  return surface_sticky(Error::kSuccess);
+}
+
+// -- Sticky errors ----------------------------------------------------------------
+
+void Device::latch_error(Error err, std::uint64_t fault_id) {
+  CUSAN_ASSERT(err != Error::kSuccess);
+  int expected = 0;
+  // First error wins, like the CUDA runtime: later failures before the latch
+  // is read do not overwrite the original diagnosis.
+  if (sticky_error_.compare_exchange_strong(expected, static_cast<int>(err),
+                                            std::memory_order_acq_rel)) {
+    sticky_fault_.store(fault_id, std::memory_order_release);
+  }
+}
+
+void Device::mark_sticky_surfaced() const {
+  const std::uint64_t id = sticky_fault_.load(std::memory_order_acquire);
+  if (id != 0) {
+    faultsim::Injector::instance().mark_surfaced(id, faultsim::Channel::kStickyError);
+  }
+}
+
+Error Device::surface_sticky(Error fallback) const {
+  const int raw = sticky_error_.load(std::memory_order_acquire);
+  if (raw == 0) {
+    return fallback;
+  }
+  mark_sticky_surfaced();
+  return static_cast<Error>(raw);
+}
+
+Error Device::get_last_error() {
+  const int raw = sticky_error_.exchange(0, std::memory_order_acq_rel);
+  if (raw == 0) {
+    return Error::kSuccess;
+  }
+  mark_sticky_surfaced();
+  sticky_fault_.store(0, std::memory_order_release);
+  return static_cast<Error>(raw);
+}
+
+Error Device::peek_at_last_error() const { return surface_sticky(Error::kSuccess); }
+
+Error Device::inject_async_error(Stream* stream, Error err, std::uint64_t fault_id) {
+  if (stream == nullptr) {
+    stream = default_stream();
+  }
+  if (!is_live_stream(stream)) {
+    return Error::kInvalidResourceHandle;
+  }
+  if (err == Error::kSuccess) {
+    return Error::kInvalidValue;
+  }
+  enqueue(stream, [this, err, fault_id] { latch_error(err, fault_id); });
   return Error::kSuccess;
 }
 
@@ -242,6 +336,9 @@ Error Device::device_synchronize() {
 Error Device::malloc_device(void** out, std::size_t size) {
   if (out == nullptr) {
     return Error::kInvalidValue;
+  }
+  if (malloc_fault(ordinal_, out)) {
+    return Error::kMemoryAllocation;
   }
   *out = memory_.allocate(size, MemKind::kDevice);
   return (*out != nullptr || size == 0) ? Error::kSuccess : Error::kMemoryAllocation;
@@ -254,6 +351,9 @@ Error Device::malloc_async(void** out, std::size_t size, Stream* stream) {
   if (out == nullptr) {
     return Error::kInvalidValue;
   }
+  if (malloc_fault(ordinal_, out)) {
+    return Error::kMemoryAllocation;
+  }
   // The simulator's pool can satisfy the allocation immediately; the
   // stream-ordering contract (usable after prior stream work) is then
   // trivially met.
@@ -265,6 +365,9 @@ Error Device::malloc_managed(void** out, std::size_t size) {
   if (out == nullptr) {
     return Error::kInvalidValue;
   }
+  if (malloc_fault(ordinal_, out)) {
+    return Error::kMemoryAllocation;
+  }
   *out = memory_.allocate(size, MemKind::kManaged);
   return (*out != nullptr || size == 0) ? Error::kSuccess : Error::kMemoryAllocation;
 }
@@ -272,6 +375,9 @@ Error Device::malloc_managed(void** out, std::size_t size) {
 Error Device::malloc_host(void** out, std::size_t size) {
   if (out == nullptr) {
     return Error::kInvalidValue;
+  }
+  if (malloc_fault(ordinal_, out)) {
+    return Error::kMemoryAllocation;
   }
   *out = memory_.allocate(size, MemKind::kPinnedHost);
   return (*out != nullptr || size == 0) ? Error::kSuccess : Error::kMemoryAllocation;
@@ -358,6 +464,15 @@ Error Device::memcpy(void* dst, const void* src, std::size_t bytes, MemcpyDir di
   if (const Error err = resolve_memcpy_dir(dst, src, dir); err != Error::kSuccess) {
     return err;
   }
+  if (const auto fired = probe_fault(faultsim::Site::kMemcpy, ordinal_, 0)) {
+    if (fired->action == faultsim::Action::kDelay) {
+      std::this_thread::sleep_for(fired->delay);
+    } else {
+      // A synchronous copy fails synchronously — no bytes move, no latch.
+      mark_api_error(fired->id);
+      return Error::kStreamError;
+    }
+  }
   // Synchronous memcpy runs on the legacy default stream.
   const std::uint64_t ticket =
       enqueue(default_stream(), [dst, src, bytes] { std::memcpy(dst, src, bytes); });
@@ -380,6 +495,23 @@ Error Device::memcpy_async(void* dst, const void* src, std::size_t bytes, Memcpy
   if (const Error err = resolve_memcpy_dir(dst, src, dir); err != Error::kSuccess) {
     return err;
   }
+  if (const auto fired = probe_fault(faultsim::Site::kMemcpy, ordinal_,
+                                     static_cast<int>(stream->id()))) {
+    switch (fired->action) {
+      case faultsim::Action::kDelay:
+        std::this_thread::sleep_for(fired->delay);
+        break;
+      case faultsim::Action::kAbort: {
+        // Asynchronous failure: the call "succeeds", the copy never runs,
+        // and the error latches at the stream position (surfaced later).
+        enqueue(stream, [this, id = fired->id] { latch_error(Error::kStreamError, id); });
+        return Error::kSuccess;
+      }
+      default:
+        mark_api_error(fired->id);
+        return Error::kStreamError;
+    }
+  }
   const std::uint64_t ticket =
       enqueue(stream, [dst, src, bytes] { std::memcpy(dst, src, bytes); });
   const MemKind src_kind = memory_.query(src).kind;
@@ -393,6 +525,14 @@ Error Device::memcpy_async(void* dst, const void* src, std::size_t bytes, Memcpy
 Error Device::memset(void* dst, int value, std::size_t bytes) {
   if (dst == nullptr) {
     return bytes == 0 ? Error::kSuccess : Error::kInvalidValue;
+  }
+  if (const auto fired = probe_fault(faultsim::Site::kMemset, ordinal_, 0)) {
+    if (fired->action == faultsim::Action::kDelay) {
+      std::this_thread::sleep_for(fired->delay);
+    } else {
+      mark_api_error(fired->id);
+      return Error::kStreamError;
+    }
   }
   const std::uint64_t ticket =
       enqueue(default_stream(), [dst, value, bytes] { std::memset(dst, value, bytes); });
@@ -410,6 +550,20 @@ Error Device::memset_async(void* dst, int value, std::size_t bytes, Stream* stre
   }
   if (dst == nullptr) {
     return bytes == 0 ? Error::kSuccess : Error::kInvalidValue;
+  }
+  if (const auto fired = probe_fault(faultsim::Site::kMemset, ordinal_,
+                                     static_cast<int>(stream->id()))) {
+    switch (fired->action) {
+      case faultsim::Action::kDelay:
+        std::this_thread::sleep_for(fired->delay);
+        break;
+      case faultsim::Action::kAbort:
+        enqueue(stream, [this, id = fired->id] { latch_error(Error::kStreamError, id); });
+        return Error::kSuccess;
+      default:
+        mark_api_error(fired->id);
+        return Error::kStreamError;
+    }
   }
   enqueue(stream, [dst, value, bytes] { std::memset(dst, value, bytes); });
   return Error::kSuccess;
@@ -436,6 +590,14 @@ Error Device::memcpy_2d(void* dst, std::size_t dpitch, const void* src, std::siz
   if (const Error err = resolve_memcpy_dir(dst, src, dir); err != Error::kSuccess) {
     return err;
   }
+  if (const auto fired = probe_fault(faultsim::Site::kMemcpy, ordinal_, 0)) {
+    if (fired->action == faultsim::Action::kDelay) {
+      std::this_thread::sleep_for(fired->delay);
+    } else {
+      mark_api_error(fired->id);
+      return Error::kStreamError;
+    }
+  }
   const std::uint64_t ticket = enqueue(default_stream(), [=] {
     copy_2d(dst, dpitch, src, spitch, width, height);
   });
@@ -458,6 +620,20 @@ Error Device::memcpy_2d_async(void* dst, std::size_t dpitch, const void* src, st
   }
   if (const Error err = resolve_memcpy_dir(dst, src, dir); err != Error::kSuccess) {
     return err;
+  }
+  if (const auto fired = probe_fault(faultsim::Site::kMemcpy, ordinal_,
+                                     static_cast<int>(stream->id()))) {
+    switch (fired->action) {
+      case faultsim::Action::kDelay:
+        std::this_thread::sleep_for(fired->delay);
+        break;
+      case faultsim::Action::kAbort:
+        enqueue(stream, [this, id = fired->id] { latch_error(Error::kStreamError, id); });
+        return Error::kSuccess;
+      default:
+        mark_api_error(fired->id);
+        return Error::kStreamError;
+    }
   }
   const std::uint64_t ticket =
       enqueue(stream, [=] { copy_2d(dst, dpitch, src, spitch, width, height); });

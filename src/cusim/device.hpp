@@ -7,6 +7,7 @@
 // one V100 per MPI process.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -115,6 +116,26 @@ class Device {
 
   Error device_synchronize();
 
+  // -- Sticky errors (CUDA 11.x semantics) -----------------------------------
+  //
+  // Asynchronous failures latch as a per-device sticky error (first error
+  // wins) and surface at the next synchronize/query/GetLastError — a sync on
+  // stream B observes an error latched by work on stream A of the same
+  // device. GetLastError clears the latch; PeekAtLastError and the
+  // sync/query paths do not.
+
+  /// cudaGetLastError: returns and clears the sticky error.
+  Error get_last_error();
+  /// cudaPeekAtLastError: returns the sticky error without clearing it.
+  [[nodiscard]] Error peek_at_last_error() const;
+  /// Latch `err` as the sticky error if none is pending. `fault_id` ties the
+  /// latch to a faultsim plan entry for fault accounting (0 = none).
+  void latch_error(Error err, std::uint64_t fault_id = 0);
+  /// Enqueue an op on `stream` (nullptr = default) that latches `err` when
+  /// the stream reaches it — an asynchronous failure surfacing at the next
+  /// sync/query. Also the test hook for sticky-error ordering tests.
+  Error inject_async_error(Stream* stream, Error err, std::uint64_t fault_id = 0);
+
   // -- Memory ----------------------------------------------------------------
 
   Error malloc_device(void** out, std::size_t size);
@@ -186,6 +207,10 @@ class Device {
   /// Create a stream (with its worker) under mutex_.
   Stream* create_stream_locked(StreamFlags flags);
   void apply_launch_overhead() const;
+  /// If a sticky error is pending, mark its fault surfaced and return it;
+  /// otherwise return `fallback`. Does not clear the latch.
+  Error surface_sticky(Error fallback) const;
+  void mark_sticky_surfaced() const;
 
   DeviceProfile profile_;
   int ordinal_;
@@ -196,6 +221,10 @@ class Device {
   std::condition_variable done_cv_;  ///< signals waiting host threads
   std::vector<std::unique_ptr<Stream>> streams_;
   std::vector<std::unique_ptr<Event>> events_;
+  /// Sticky error latch (stored as int so it stays a lock-free atomic) and
+  /// the fault-plan id of the fault that latched it, if any.
+  std::atomic<int> sticky_error_{0};
+  mutable std::atomic<std::uint64_t> sticky_fault_{0};
 };
 
 }  // namespace cusim

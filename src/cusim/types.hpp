@@ -6,6 +6,8 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "common/assert.hpp"
+
 namespace cusim {
 
 enum class Error : int {
@@ -13,7 +15,9 @@ enum class Error : int {
   kInvalidValue,
   kMemoryAllocation,
   kInvalidResourceHandle,
-  kNotReady,  ///< returned by stream/event query while work is pending
+  kNotReady,        ///< returned by stream/event query while work is pending
+  kLaunchFailure,   ///< kernel launch failed (sticky once latched)
+  kStreamError,     ///< asynchronous stream operation failed (sticky once latched)
 };
 
 [[nodiscard]] constexpr const char* error_string(Error error) {
@@ -28,8 +32,15 @@ enum class Error : int {
       return "invalid resource handle";
     case Error::kNotReady:
       return "not ready";
+    case Error::kLaunchFailure:
+      return "kernel launch failure";
+    case Error::kStreamError:
+      return "stream operation failed";
   }
-  return "unknown error";
+  // Exhaustive switch above: an unmapped Error must never print "unknown
+  // error" silently in reports. Reaching here aborts at runtime and fails
+  // outright during constant evaluation (assert_fail is not constexpr).
+  common::assert_fail("unmapped cusim::Error value", __FILE__, __LINE__, "error_string");
 }
 
 /// Memory kinds distinguished by the UVA pointer-attribute query; the kind

@@ -1,0 +1,189 @@
+#include "faultsim/injector.hpp"
+
+#include <cstdlib>
+
+namespace faultsim {
+namespace {
+
+[[nodiscard]] bool scope_matches(const FaultSpec& spec, const SiteContext& where) {
+  switch (spec.scope_kind) {
+    case ScopeKind::kAny:
+      return true;
+    case ScopeKind::kDevice:
+      return where.device == spec.scope_id;
+    case ScopeKind::kRank:
+      return where.rank == spec.scope_id;
+    case ScopeKind::kStream:
+      return where.stream == spec.scope_id;
+  }
+  return false;
+}
+
+/// Deterministic per-instance counting: the rank (MPI sites) or the device
+/// (CUDA sites) identifies the instance. A shared global counter would make
+/// the fault schedule depend on thread interleaving across ranks.
+[[nodiscard]] std::size_t instance_key(const SiteContext& where) {
+  if (where.rank >= 0) {
+    return static_cast<std::size_t>(where.rank);
+  }
+  if (where.device >= 0) {
+    return static_cast<std::size_t>(where.device);
+  }
+  return 0;
+}
+
+}  // namespace
+
+const char* to_string(Channel channel) {
+  switch (channel) {
+    case Channel::kNone:
+      return "unsurfaced";
+    case Channel::kApiError:
+      return "API error";
+    case Channel::kStickyError:
+      return "sticky device error";
+    case Channel::kMustReport:
+      return "MUST report";
+    case Channel::kDeadlockReport:
+      return "deadlock report";
+    case Channel::kPerturbation:
+      return "timing perturbation";
+  }
+  return "?";
+}
+
+std::atomic<bool>& Injector::armed_flag() {
+  static std::atomic<bool> flag{false};
+  return flag;
+}
+
+Injector& Injector::instance() {
+  static Injector injector;
+  return injector;
+}
+
+void Injector::load(FaultPlan plan) {
+  std::lock_guard lock(mutex_);
+  specs_.clear();
+  fired_.clear();
+  next_id_ = 1;
+  for (const FaultSpec& spec : plan.specs()) {
+    specs_.push_back(SpecState{spec, {}});
+  }
+  armed_flag().store(!specs_.empty(), std::memory_order_relaxed);
+}
+
+bool Injector::load_env(std::string* error) {
+  const char* text = std::getenv("CUSAN_FAULT_PLAN");
+  if (text == nullptr || text[0] == '\0') {
+    return true;  // no plan: stay disarmed (or keep a programmatic plan as-is)
+  }
+  FaultPlan plan;
+  const FaultPlan::ParseResult result = FaultPlan::parse(text, plan);
+  if (!result.ok) {
+    if (error != nullptr) {
+      *error = result.error;
+    }
+    return false;
+  }
+  load(std::move(plan));
+  return true;
+}
+
+void Injector::clear() {
+  std::lock_guard lock(mutex_);
+  specs_.clear();
+  fired_.clear();
+  armed_flag().store(false, std::memory_order_relaxed);
+}
+
+bool Injector::has_plan() const {
+  std::lock_guard lock(mutex_);
+  return !specs_.empty();
+}
+
+std::string Injector::plan_string() const {
+  std::lock_guard lock(mutex_);
+  FaultPlan plan;
+  for (const SpecState& state : specs_) {
+    plan.add(state.spec);
+  }
+  return plan.to_string();
+}
+
+std::optional<Fired> Injector::probe(Site site, const SiteContext& where) {
+  if (!armed()) {
+    return std::nullopt;
+  }
+  std::lock_guard lock(mutex_);
+  for (SpecState& state : specs_) {
+    const FaultSpec& spec = state.spec;
+    if (spec.site != site || !scope_matches(spec, where)) {
+      continue;
+    }
+    const std::size_t key = instance_key(where);
+    if (state.counts.size() <= key) {
+      state.counts.resize(key + 1, 0);
+    }
+    const std::uint64_t count = ++state.counts[key];
+    const bool fires =
+        spec.period == 0 ? count == spec.nth
+                         : count >= spec.nth && (count - spec.nth) % spec.period == 0;
+    if (!fires) {
+      continue;
+    }
+    FiredFault entry;
+    entry.id = next_id_++;
+    entry.site = site;
+    entry.action = spec.action;
+    entry.where = where;
+    // Delays are observable by construction (the call still succeeds).
+    entry.surfaced = spec.action == Action::kDelay ? Channel::kPerturbation : Channel::kNone;
+    fired_.push_back(entry);
+    return Fired{entry.id, spec.action, spec.delay};
+  }
+  return std::nullopt;
+}
+
+void Injector::mark_surfaced(std::uint64_t fault_id, Channel channel) {
+  if (fault_id == 0) {
+    return;
+  }
+  std::lock_guard lock(mutex_);
+  for (FiredFault& entry : fired_) {
+    if (entry.id == fault_id) {
+      if (entry.surfaced == Channel::kNone) {
+        entry.surfaced = channel;
+      }
+      return;
+    }
+  }
+}
+
+std::vector<FiredFault> Injector::fired_log() const {
+  std::lock_guard lock(mutex_);
+  return fired_;
+}
+
+std::size_t Injector::fired_count() const {
+  std::lock_guard lock(mutex_);
+  return fired_.size();
+}
+
+std::size_t Injector::unsurfaced_count() const {
+  std::lock_guard lock(mutex_);
+  std::size_t count = 0;
+  for (const FiredFault& entry : fired_) {
+    count += entry.surfaced == Channel::kNone ? 1 : 0;
+  }
+  return count;
+}
+
+std::vector<FiredFault> Injector::take_fired() {
+  std::lock_guard lock(mutex_);
+  std::vector<FiredFault> out = std::move(fired_);
+  fired_.clear();
+  return out;
+}
+
+}  // namespace faultsim

@@ -1,0 +1,97 @@
+// Deterministic fault plans: a compact description of *which* call should
+// fail *how*. A plan is a list of specs of the form
+//
+//     site[@scope][#n[%k]]=action
+//
+//   site    malloc | memcpy | memset | kernel | send | recv | wait |
+//           barrier | collective
+//   scope   *            any instance (default)
+//           dev<N>       CUDA sites on device ordinal N
+//           stream<N>    CUDA sites on stream id N
+//           rank<N>      MPI sites on rank N
+//   n       the n-th matching call fires the fault (default 1); with %k the
+//           fault also re-fires every k further matches (periodic plans for
+//           sweep-style runs)
+//   action  oom          allocation failure (malloc only)
+//           fail         synchronous API error at the call site
+//           abort        asynchronous failure: the op is dropped and a sticky
+//                        device error latches (memcpy/memset/kernel only)
+//           delay:<T>    sleep T (e.g. 5ms, 250us) before proceeding normally
+//           stall        the call never completes; the MPI watchdog converts
+//                        it into a DeadlockReport (MPI sites only)
+//
+// Specs are separated by ';'. Example:
+//     malloc@dev0#3=oom;send@rank1#2=delay:5ms;kernel@stream2#1=abort
+//
+// Plans are fully deterministic: matching is counted per (spec, rank-or-
+// device instance), never through a shared global counter, so two ranks
+// racing through the same code path each see the same fault schedule.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace faultsim {
+
+enum class Site : std::uint8_t {
+  kMalloc,      ///< cudaMalloc / cudaMallocManaged / cudaMallocAsync / cudaMallocHost
+  kMemcpy,      ///< cudaMemcpy(2D)(Async)
+  kMemset,      ///< cudaMemset(Async)
+  kKernel,      ///< kernel launch
+  kSend,        ///< MPI_Send / MPI_Isend / MPI_Sendrecv
+  kRecv,        ///< MPI_Recv / MPI_Irecv
+  kWait,        ///< MPI_Wait / MPI_Waitall / MPI_Waitany
+  kBarrier,     ///< MPI_Barrier
+  kCollective,  ///< bcast/reduce/allreduce/(all)gather/scatter
+};
+
+enum class Action : std::uint8_t {
+  kOom,    ///< allocation failure
+  kFail,   ///< synchronous API error
+  kAbort,  ///< asynchronous failure latching a sticky device error
+  kDelay,  ///< timing perturbation, call otherwise succeeds
+  kStall,  ///< call never completes (watchdog territory)
+};
+
+enum class ScopeKind : std::uint8_t { kAny, kDevice, kRank, kStream };
+
+[[nodiscard]] const char* to_string(Site site);
+[[nodiscard]] const char* to_string(Action action);
+
+/// One `site@scope#n[%k]=action` clause.
+struct FaultSpec {
+  Site site{Site::kMalloc};
+  ScopeKind scope_kind{ScopeKind::kAny};
+  int scope_id{-1};                        ///< device/rank/stream id for non-kAny scopes
+  std::uint64_t nth{1};                    ///< fire on the nth match...
+  std::uint64_t period{0};                 ///< ...and every `period` matches after (0 = one-shot)
+  Action action{Action::kFail};
+  std::chrono::microseconds delay{0};      ///< kDelay only
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+class FaultPlan {
+ public:
+  struct ParseResult {
+    bool ok{true};
+    std::string error;  ///< human-readable description of the first bad spec
+  };
+
+  /// Parse the `CUSAN_FAULT_PLAN` grammar. An empty/blank string yields an
+  /// empty (valid) plan. On failure `out` is left empty.
+  [[nodiscard]] static ParseResult parse(std::string_view text, FaultPlan& out);
+
+  void add(FaultSpec spec) { specs_.push_back(spec); }
+  [[nodiscard]] const std::vector<FaultSpec>& specs() const { return specs_; }
+  [[nodiscard]] bool empty() const { return specs_.empty(); }
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<FaultSpec> specs_;
+};
+
+}  // namespace faultsim

@@ -4,10 +4,13 @@
 #include <condition_variable>
 #include <cstring>
 #include <deque>
+#include <functional>
 #include <mutex>
+#include <thread>
 #include <vector>
 
 #include "common/assert.hpp"
+#include "faultsim/injector.hpp"
 #include "mpisim/request.hpp"
 
 namespace mpisim {
@@ -21,16 +24,61 @@ constexpr int kTagBcast = -102;
 constexpr int kTagReduce = -103;
 constexpr int kTagGather = -104;
 constexpr int kTagScatter = -105;
+
+/// How often a blocked thread re-checks the watchdog condition.
+constexpr auto kWatchdogPoll = std::chrono::milliseconds(5);
+/// Consecutive incomplete Test calls before the rank counts as soft-blocked.
+constexpr int kSoftBlockThreshold = 64;
+
+/// The outermost public MPI call executing on this thread. Collectives and
+/// blocking receives are built from inner send/recv/wait calls: the label
+/// keeps DeadlockReports naming the user-visible operation, and suppresses
+/// fault-plan probes on the internal calls (one probe per user call).
+thread_local const char* t_op_label = nullptr;
+
+struct OpScope {
+  const char* prev;
+  bool outermost;
+  explicit OpScope(const char* label) : prev(t_op_label), outermost(t_op_label == nullptr) {
+    if (outermost) {
+      t_op_label = label;
+    }
+  }
+  ~OpScope() { t_op_label = prev; }
+  OpScope(const OpScope&) = delete;
+  OpScope& operator=(const OpScope&) = delete;
+};
+
+[[nodiscard]] const char* current_op_label(const char* fallback) {
+  return t_op_label != nullptr ? t_op_label : fallback;
+}
+
 }  // namespace
 
 class CommImpl {
  public:
-  explicit CommImpl(int size)
+  CommImpl(int size, std::shared_ptr<ProgressTracker> tracker, int comm_id)
       : size_(size),
+        tracker_(std::move(tracker)),
+        comm_id_(comm_id),
         mailboxes_(static_cast<std::size_t>(size)),
+        test_polls_(static_cast<std::size_t>(size), 0),
+        soft_blocked_(static_cast<std::size_t>(size), false),
+        soft_snapshot_(static_cast<std::size_t>(size), 0),
+        soft_quiet_since_(static_cast<std::size_t>(size)),
         dup_counts_(static_cast<std::size_t>(size), 0) {}
 
   [[nodiscard]] int size() const { return size_; }
+  [[nodiscard]] int comm_id() const { return comm_id_; }
+  [[nodiscard]] ProgressTracker* tracker() const { return tracker_.get(); }
+
+  [[nodiscard]] bool deadlocked() const {
+    return tracker_ != nullptr && tracker_->deadlocked();
+  }
+
+  [[nodiscard]] DeadlockReport deadlock_report() const {
+    return tracker_ != nullptr ? tracker_->report() : DeadlockReport{};
+  }
 
   MpiError post_send(int src, int dest, int tag, const void* buf, std::size_t count,
                      const Datatype& type) {
@@ -42,6 +90,7 @@ class CommImpl {
     type.signature(count, msg.signature);
 
     std::lock_guard lock(mutex_);
+    clear_soft_locked(src);
     Mailbox& box = mailboxes_[static_cast<std::size_t>(dest)];
     // Match the oldest posted receive accepting (src, tag).
     for (auto it = box.posted.begin(); it != box.posted.end(); ++it) {
@@ -54,6 +103,7 @@ class CommImpl {
       }
     }
     box.unexpected.push_back(std::move(msg));
+    note_progress();  // a blocked probe/recv poster may now match
     cv_.notify_all();  // wake blocking probes
     return MpiError::kSuccess;
   }
@@ -69,6 +119,7 @@ class CommImpl {
     posted.request = request;
 
     std::lock_guard lock(mutex_);
+    clear_soft_locked(dest);
     Mailbox& box = mailboxes_[static_cast<std::size_t>(dest)];
     for (auto it = box.unexpected.begin(); it != box.unexpected.end(); ++it) {
       if (matches(source, tag, it->src, it->tag)) {
@@ -83,13 +134,29 @@ class CommImpl {
     return MpiError::kSuccess;
   }
 
-  MpiError wait(Request** request, Status* status) {
+  MpiError wait(int rank, Request** request, Status* status) {
     if (request == nullptr || *request == nullptr) {
       return MpiError::kRequestNull;
     }
     Request* req = *request;
     std::unique_lock lock(mutex_);
-    cv_.wait(lock, [req] { return req->complete_; });
+    BlockedOp op;
+    op.rank = rank;
+    op.op = current_op_label("MPI_Wait");
+    op.peer = req->peer_;
+    op.tag = req->tag_;
+    op.comm_id = comm_id_;
+    const MpiError blocked =
+        blocked_wait(lock, [req] { return req->complete_; }, op);
+    if (blocked != MpiError::kSuccess) {
+      // Deadlock: the request stays pending (it can never complete); MUST's
+      // finalize-time leak check will see and report it.
+      if (status != nullptr) {
+        *status = Status{};
+        status->error = blocked;
+      }
+      return blocked;
+    }
     const Status st = req->status_;
     lock.unlock();
     if (status != nullptr) {
@@ -100,7 +167,7 @@ class CommImpl {
     return st.error;
   }
 
-  MpiError test(Request** request, bool* completed, Status* status) {
+  MpiError test(int rank, Request** request, bool* completed, Status* status) {
     if (request == nullptr || *request == nullptr) {
       return MpiError::kRequestNull;
     }
@@ -110,8 +177,48 @@ class CommImpl {
       if (completed != nullptr) {
         *completed = false;
       }
+      if (deadlocked()) {
+        return MpiError::kDeadlock;
+      }
+      // A rank spinning on an incomplete Test cannot make progress by
+      // itself: after a burst of fruitless polls it counts as (soft)
+      // blocked so a Test-polling rank doesn't mask a deadlock forever.
+      if (tracker_ != nullptr &&
+          ++test_polls_[static_cast<std::size_t>(rank)] >= kSoftBlockThreshold) {
+        if (!soft_blocked_[static_cast<std::size_t>(rank)]) {
+          BlockedOp op;
+          op.rank = rank;
+          op.op = current_op_label("MPI_Test");
+          op.peer = req->peer_;
+          op.tag = req->tag_;
+          op.comm_id = comm_id_;
+          tracker_->soft_block(op);
+          soft_blocked_[static_cast<std::size_t>(rank)] = true;
+          soft_snapshot_[static_cast<std::size_t>(rank)] = tracker_->progress();
+          soft_quiet_since_[static_cast<std::size_t>(rank)] = std::chrono::steady_clock::now();
+        } else if (tracker_->timeout().count() > 0) {
+          // A soft-blocked rank may be the only live thread (everyone else
+          // hard-blocked or exited): it must drive declaration itself, or an
+          // all-Test-polling deadlock would spin forever.
+          const std::uint64_t progress = tracker_->progress();
+          const auto now = std::chrono::steady_clock::now();
+          auto& snapshot = soft_snapshot_[static_cast<std::size_t>(rank)];
+          auto& quiet_since = soft_quiet_since_[static_cast<std::size_t>(rank)];
+          if (progress != snapshot) {
+            snapshot = progress;
+            quiet_since = now;
+          } else if (now - quiet_since >= tracker_->timeout()) {
+            if (tracker_->try_declare(snapshot)) {
+              cv_.notify_all();
+              return MpiError::kDeadlock;
+            }
+            quiet_since = now;
+          }
+        }
+      }
       return MpiError::kSuccess;
     }
+    clear_soft_locked(rank);
     const Status st = req->status_;
     lock.unlock();
     if (completed != nullptr) {
@@ -126,35 +233,55 @@ class CommImpl {
   }
 
   [[nodiscard]] Request* make_request(Request::Kind kind, const void* buf, std::size_t count,
-                                      const Datatype& type) {
-    return new Request(kind, buf, count, type);
+                                      const Datatype& type, int peer, int tag) {
+    return new Request(kind, buf, count, type, peer, tag);
   }
 
-  MpiError waitany(std::span<Request*> requests, int* index, Status* status) {
+  MpiError waitany(int rank, std::span<Request*> requests, int* index, Status* status) {
     if (index == nullptr) {
       return MpiError::kInvalidArg;
     }
     *index = -1;
+    const Request* first_pending = nullptr;
     bool any = false;
     for (const Request* req : requests) {
       any = any || req != nullptr;
+      if (first_pending == nullptr && req != nullptr) {
+        first_pending = req;
+      }
     }
     if (!any) {
       return MpiError::kRequestNull;
     }
     {
       std::unique_lock lock(mutex_);
-      cv_.wait(lock, [&] {
-        for (std::size_t i = 0; i < requests.size(); ++i) {
-          if (requests[i] != nullptr && requests[i]->complete_) {
-            *index = static_cast<int>(i);
-            return true;
-          }
+      BlockedOp op;
+      op.rank = rank;
+      op.op = current_op_label("MPI_Waitany");
+      op.peer = first_pending->peer_;
+      op.tag = first_pending->tag_;
+      op.comm_id = comm_id_;
+      const MpiError blocked = blocked_wait(
+          lock,
+          [&] {
+            for (std::size_t i = 0; i < requests.size(); ++i) {
+              if (requests[i] != nullptr && requests[i]->complete_) {
+                *index = static_cast<int>(i);
+                return true;
+              }
+            }
+            return false;
+          },
+          op);
+      if (blocked != MpiError::kSuccess) {
+        if (status != nullptr) {
+          *status = Status{};
+          status->error = blocked;
         }
-        return false;
-      });
+        return blocked;
+      }
     }
-    return wait(&requests[static_cast<std::size_t>(*index)], status);
+    return wait(rank, &requests[static_cast<std::size_t>(*index)], status);
   }
 
   MpiError probe(int rank, int source, int tag, bool blocking, bool* flag, Status* status) {
@@ -173,11 +300,27 @@ class CommImpl {
       if (flag != nullptr) {
         *flag = msg != nullptr;
       }
-    } else {
-      cv_.wait(lock, [&] {
-        msg = find_match();
-        return msg != nullptr;
-      });
+    } else if (msg == nullptr) {
+      BlockedOp op;
+      op.rank = rank;
+      op.op = current_op_label("MPI_Probe");
+      op.peer = source;
+      op.tag = tag;
+      op.comm_id = comm_id_;
+      const MpiError blocked = blocked_wait(
+          lock,
+          [&] {
+            msg = find_match();
+            return msg != nullptr;
+          },
+          op);
+      if (blocked != MpiError::kSuccess) {
+        if (status != nullptr) {
+          *status = Status{};
+          status->error = blocked;
+        }
+        return blocked;
+      }
     }
     if (msg != nullptr && status != nullptr) {
       *status = Status{msg->src, msg->tag, msg->payload.size(), MpiError::kSuccess};
@@ -189,7 +332,31 @@ class CommImpl {
     std::lock_guard lock(mutex_);
     req->complete_ = true;
     req->status_ = Status{-1, -1, bytes, MpiError::kSuccess};
+    note_progress();
     cv_.notify_all();
+  }
+
+  /// An injected `stall` fault: park the calling rank as if the operation
+  /// never completed, until the watchdog declares a deadlock. With no
+  /// tracker the stall degrades to a synchronous failure (no hang).
+  MpiError stall(int rank, const char* op_name, int peer, int tag, std::uint64_t fault_id) {
+    auto& injector = faultsim::Injector::instance();
+    {
+      std::unique_lock lock(mutex_);
+      if (tracker_ != nullptr && tracker_->timeout().count() > 0) {
+        BlockedOp op;
+        op.rank = rank;
+        op.op = std::string(op_name) + " [stalled by fault plan]";
+        op.peer = peer;
+        op.tag = tag;
+        op.comm_id = comm_id_;
+        const MpiError err = blocked_wait(lock, [] { return false; }, op);
+        injector.mark_surfaced(fault_id, faultsim::Channel::kDeadlockReport);
+        return err;
+      }
+    }
+    injector.mark_surfaced(fault_id, faultsim::Channel::kApiError);
+    return MpiError::kOther;
   }
 
  private:
@@ -217,6 +384,86 @@ class CommImpl {
   [[nodiscard]] static bool matches(int want_src, int want_tag, int src, int tag) {
     return (want_src == kAnySource || want_src == src) &&
            (want_tag == kAnyTag || want_tag == tag);
+  }
+
+  void note_progress() {
+    if (tracker_ != nullptr) {
+      tracker_->note_progress();
+    }
+  }
+
+  /// Reset the rank's Test-poll streak (and soft-block registration): the
+  /// rank just made or observed progress, or entered a real blocking call.
+  /// Caller holds mutex_.
+  void clear_soft_locked(int rank) {
+    if (rank < 0 || rank >= size_) {
+      return;
+    }
+    test_polls_[static_cast<std::size_t>(rank)] = 0;
+    if (soft_blocked_[static_cast<std::size_t>(rank)]) {
+      soft_blocked_[static_cast<std::size_t>(rank)] = false;
+      if (tracker_ != nullptr) {
+        tracker_->soft_unblock(rank);
+      }
+    }
+  }
+
+  /// Block on cv_ until `pred` holds, participating in the progress
+  /// watchdog: the blocked op is registered, the wait polls, and when every
+  /// live rank is blocked with no progress for the timeout the wait returns
+  /// kDeadlock instead of hanging. Caller holds `lock` on mutex_.
+  MpiError blocked_wait(std::unique_lock<std::mutex>& lock, const std::function<bool()>& pred,
+                        const BlockedOp& op) {
+    clear_soft_locked(op.rank);
+    if (pred()) {
+      return MpiError::kSuccess;
+    }
+    if (tracker_ == nullptr || tracker_->timeout().count() <= 0) {
+      cv_.wait(lock, pred);
+      return MpiError::kSuccess;
+    }
+    if (tracker_->deadlocked()) {
+      return MpiError::kDeadlock;
+    }
+    tracker_->block(op);
+    MpiError result = MpiError::kSuccess;
+    std::uint64_t snapshot = tracker_->progress();
+    auto quiet_since = std::chrono::steady_clock::now();
+    while (true) {
+      if (pred()) {
+        break;
+      }
+      if (tracker_->deadlocked()) {
+        result = MpiError::kDeadlock;
+        break;
+      }
+      cv_.wait_for(lock, kWatchdogPoll);
+      if (pred()) {
+        break;
+      }
+      if (tracker_->deadlocked()) {
+        result = MpiError::kDeadlock;
+        break;
+      }
+      const std::uint64_t progress = tracker_->progress();
+      const auto now = std::chrono::steady_clock::now();
+      if (progress != snapshot) {
+        snapshot = progress;
+        quiet_since = now;
+        continue;
+      }
+      if (now - quiet_since >= tracker_->timeout()) {
+        if (tracker_->try_declare(snapshot)) {
+          cv_.notify_all();  // wake peers so they observe the declaration
+          result = MpiError::kDeadlock;
+          break;
+        }
+        // Not a deadlock (some rank is still running); keep waiting.
+        quiet_since = now;
+      }
+    }
+    tracker_->unblock(op.rank);
+    return result;
   }
 
   // Unpack a matched message into the posted receive buffer and complete the
@@ -261,21 +508,32 @@ class CommImpl {
     posted.request->status_ =
         Status{msg.src, msg.tag, deliver_elems * elem_packed,
                truncated ? MpiError::kTruncate : MpiError::kSuccess, mismatch};
+    note_progress();
   }
 
   int size_;
+  std::shared_ptr<ProgressTracker> tracker_;
+  int comm_id_;
   std::mutex mutex_;
   std::condition_variable cv_;
   std::vector<Mailbox> mailboxes_;
+  std::vector<int> test_polls_;      ///< consecutive incomplete Test calls per rank
+  std::vector<bool> soft_blocked_;   ///< rank currently registered soft-blocked
+  std::vector<std::uint64_t> soft_snapshot_;  ///< progress snapshot at soft-block time
+  std::vector<std::chrono::steady_clock::time_point> soft_quiet_since_;
+  // NOLINTNEXTLINE: members above guarded by mutex_
 
  public:
   /// The rank's k-th dup call maps to child context k (MPI's same-order
   /// collective-call requirement makes the indices agree across ranks).
+  /// Children share the parent's progress tracker: a deadlock spanning
+  /// communicators is still a deadlock of the one world.
   std::shared_ptr<CommImpl> dup_for_rank(int rank) {
     std::lock_guard lock(dup_mutex_);
     const std::size_t k = dup_counts_[static_cast<std::size_t>(rank)]++;
     if (k >= children_.size()) {
-      children_.push_back(std::make_shared<CommImpl>(size_));
+      children_.push_back(
+          std::make_shared<CommImpl>(size_, tracker_, comm_id_ + static_cast<int>(k) + 1));
     }
     return children_[k];
   }
@@ -287,13 +545,56 @@ class CommImpl {
 };
 
 std::shared_ptr<CommImpl> make_comm_impl(int size) {
-  CUSAN_ASSERT(size > 0);
-  return std::make_shared<CommImpl>(size);
+  return make_comm_impl(size, nullptr);
 }
+
+std::shared_ptr<CommImpl> make_comm_impl(int size, std::shared_ptr<ProgressTracker> tracker) {
+  CUSAN_ASSERT(size > 0);
+  return std::make_shared<CommImpl>(size, std::move(tracker), /*comm_id=*/0);
+}
+
+// -- Comm: fault-plan consultation -------------------------------------------------
+
+namespace {
+
+/// Probe the fault plan for an outermost MPI call. Returns kSuccess when the
+/// call should proceed normally (possibly after a delay); anything else is
+/// the error the call must return.
+MpiError consult_fault(CommImpl* impl, int rank, faultsim::Site site, const char* op_name,
+                       int peer, int tag, bool outermost) {
+  if (!outermost || !faultsim::Injector::armed()) {
+    return MpiError::kSuccess;
+  }
+  faultsim::SiteContext where;
+  where.rank = rank;
+  auto& injector = faultsim::Injector::instance();
+  const auto fired = injector.probe(site, where);
+  if (!fired) {
+    return MpiError::kSuccess;
+  }
+  switch (fired->action) {
+    case faultsim::Action::kDelay:
+      std::this_thread::sleep_for(fired->delay);
+      return MpiError::kSuccess;
+    case faultsim::Action::kStall:
+      return impl->stall(rank, op_name, peer, tag, fired->id);
+    default:
+      injector.mark_surfaced(fired->id, faultsim::Channel::kApiError);
+      return MpiError::kOther;
+  }
+}
+
+}  // namespace
 
 // -- Comm: point-to-point ---------------------------------------------------------
 
 int Comm::size() const { return impl_ ? impl_->size() : 0; }
+
+bool Comm::deadlock_detected() const { return impl_ != nullptr && impl_->deadlocked(); }
+
+DeadlockReport Comm::deadlock_report() const {
+  return impl_ != nullptr ? impl_->deadlock_report() : DeadlockReport{};
+}
 
 MpiError Comm::dup(Comm* out) {
   if (out == nullptr) {
@@ -307,11 +608,17 @@ MpiError Comm::dup(Comm* out) {
 }
 
 MpiError Comm::send(const void* buf, std::size_t count, const Datatype& type, int dest, int tag) {
+  OpScope scope("MPI_Send");
   if (!valid() || !type.valid() || (buf == nullptr && count > 0)) {
     return MpiError::kInvalidArg;
   }
   if (!rank_valid(dest)) {
     return MpiError::kInvalidRank;
+  }
+  if (const MpiError err = consult_fault(impl_.get(), rank_, faultsim::Site::kSend, "MPI_Send",
+                                         dest, tag, scope.outermost);
+      err != MpiError::kSuccess) {
+    return err;
   }
   // Eager buffered send: the payload is captured before returning, so the
   // send buffer is reusable immediately (standard-mode semantics).
@@ -320,6 +627,14 @@ MpiError Comm::send(const void* buf, std::size_t count, const Datatype& type, in
 
 MpiError Comm::recv(void* buf, std::size_t count, const Datatype& type, int source, int tag,
                     Status* status) {
+  OpScope scope("MPI_Recv");
+  if (scope.outermost && valid()) {
+    if (const MpiError err = consult_fault(impl_.get(), rank_, faultsim::Site::kRecv, "MPI_Recv",
+                                           source, tag, scope.outermost);
+        err != MpiError::kSuccess) {
+      return err;
+    }
+  }
   Request* request = nullptr;
   if (const MpiError err = irecv(buf, count, type, source, tag, &request);
       err != MpiError::kSuccess) {
@@ -330,6 +645,7 @@ MpiError Comm::recv(void* buf, std::size_t count, const Datatype& type, int sour
 
 MpiError Comm::isend(const void* buf, std::size_t count, const Datatype& type, int dest, int tag,
                      Request** request) {
+  OpScope scope("MPI_Isend");
   if (request == nullptr) {
     return MpiError::kInvalidArg;
   }
@@ -340,7 +656,12 @@ MpiError Comm::isend(const void* buf, std::size_t count, const Datatype& type, i
   if (!rank_valid(dest)) {
     return MpiError::kInvalidRank;
   }
-  Request* req = impl_->make_request(Request::Kind::kSend, buf, count, type);
+  if (const MpiError err = consult_fault(impl_.get(), rank_, faultsim::Site::kSend, "MPI_Isend",
+                                         dest, tag, scope.outermost);
+      err != MpiError::kSuccess) {
+    return err;
+  }
+  Request* req = impl_->make_request(Request::Kind::kSend, buf, count, type, dest, tag);
   const MpiError err = impl_->post_send(rank_, dest, tag, buf, count, type);
   if (err != MpiError::kSuccess) {
     delete req;
@@ -354,6 +675,7 @@ MpiError Comm::isend(const void* buf, std::size_t count, const Datatype& type, i
 
 MpiError Comm::irecv(void* buf, std::size_t count, const Datatype& type, int source, int tag,
                      Request** request) {
+  OpScope scope("MPI_Irecv");
   if (request == nullptr) {
     return MpiError::kInvalidArg;
   }
@@ -364,7 +686,12 @@ MpiError Comm::irecv(void* buf, std::size_t count, const Datatype& type, int sou
   if (source != kAnySource && !rank_valid(source)) {
     return MpiError::kInvalidRank;
   }
-  Request* req = impl_->make_request(Request::Kind::kRecv, buf, count, type);
+  if (const MpiError err = consult_fault(impl_.get(), rank_, faultsim::Site::kRecv, "MPI_Irecv",
+                                         source, tag, scope.outermost);
+      err != MpiError::kSuccess) {
+    return err;
+  }
+  Request* req = impl_->make_request(Request::Kind::kRecv, buf, count, type, source, tag);
   const MpiError err = impl_->post_recv(rank_, source, tag, buf, count, type, req);
   if (err != MpiError::kSuccess) {
     delete req;
@@ -374,17 +701,39 @@ MpiError Comm::irecv(void* buf, std::size_t count, const Datatype& type, int sou
   return MpiError::kSuccess;
 }
 
-MpiError Comm::wait(Request** request, Status* status) { return impl_->wait(request, status); }
+MpiError Comm::wait(Request** request, Status* status) {
+  OpScope scope("MPI_Wait");
+  if (scope.outermost) {
+    const int peer = (request != nullptr && *request != nullptr) ? (*request)->peer() : -1;
+    const int tag = (request != nullptr && *request != nullptr) ? (*request)->tag() : -1;
+    if (const MpiError err = consult_fault(impl_.get(), rank_, faultsim::Site::kWait, "MPI_Wait",
+                                           peer, tag, scope.outermost);
+        err != MpiError::kSuccess) {
+      return err;
+    }
+  }
+  return impl_->wait(rank_, request, status);
+}
 
 MpiError Comm::test(Request** request, bool* completed, Status* status) {
-  return impl_->test(request, completed, status);
+  return impl_->test(rank_, request, completed, status);
 }
 
 MpiError Comm::waitany(std::span<Request*> requests, int* index, Status* status) {
-  return impl_->waitany(requests, index, status);
+  OpScope scope("MPI_Waitany");
+  if (const MpiError err = consult_fault(impl_.get(), rank_, faultsim::Site::kWait, "MPI_Waitany",
+                                         -1, -1, scope.outermost);
+      err != MpiError::kSuccess) {
+    if (index != nullptr) {
+      *index = -1;
+    }
+    return err;
+  }
+  return impl_->waitany(rank_, requests, index, status);
 }
 
 MpiError Comm::probe(int source, int tag, Status* status) {
+  OpScope scope("MPI_Probe");
   if (!valid() || (source != kAnySource && !rank_valid(source))) {
     return MpiError::kInvalidRank;
   }
@@ -402,6 +751,12 @@ MpiError Comm::iprobe(int source, int tag, bool* flag, Status* status) {
 }
 
 MpiError Comm::waitall(std::span<Request*> requests) {
+  OpScope scope("MPI_Waitall");
+  if (const MpiError err = consult_fault(impl_.get(), rank_, faultsim::Site::kWait, "MPI_Waitall",
+                                         -1, -1, scope.outermost);
+      err != MpiError::kSuccess) {
+    return err;
+  }
   MpiError first_error = MpiError::kSuccess;
   for (Request*& req : requests) {
     if (req == nullptr) {
@@ -418,6 +773,12 @@ MpiError Comm::waitall(std::span<Request*> requests) {
 MpiError Comm::sendrecv(const void* sendbuf, std::size_t sendcount, const Datatype& sendtype,
                         int dest, int sendtag, void* recvbuf, std::size_t recvcount,
                         const Datatype& recvtype, int source, int recvtag, Status* status) {
+  OpScope scope("MPI_Sendrecv");
+  if (const MpiError err = consult_fault(impl_.get(), rank_, faultsim::Site::kSend,
+                                         "MPI_Sendrecv", dest, sendtag, scope.outermost);
+      err != MpiError::kSuccess) {
+    return err;
+  }
   Request* recv_req = nullptr;
   if (const MpiError err = irecv(recvbuf, recvcount, recvtype, source, recvtag, &recv_req);
       err != MpiError::kSuccess) {
@@ -434,6 +795,12 @@ MpiError Comm::sendrecv(const void* sendbuf, std::size_t sendcount, const Dataty
 // -- Comm: collectives (linear algorithms over internal p2p) -----------------------
 
 MpiError Comm::barrier() {
+  OpScope scope("MPI_Barrier");
+  if (const MpiError err = consult_fault(impl_.get(), rank_, faultsim::Site::kBarrier,
+                                         "MPI_Barrier", -1, -1, scope.outermost);
+      err != MpiError::kSuccess) {
+    return err;
+  }
   // Gather a token at rank 0, then broadcast the release.
   const Datatype type = Datatype::byte();
   std::byte token{};
@@ -458,8 +825,14 @@ MpiError Comm::barrier() {
 }
 
 MpiError Comm::bcast(void* buf, std::size_t count, const Datatype& type, int root) {
+  OpScope scope("MPI_Bcast");
   if (!rank_valid(root)) {
     return MpiError::kInvalidRank;
+  }
+  if (const MpiError err = consult_fault(impl_.get(), rank_, faultsim::Site::kCollective,
+                                         "MPI_Bcast", root, -1, scope.outermost);
+      err != MpiError::kSuccess) {
+    return err;
   }
   if (rank_ == root) {
     for (int r = 0; r < size(); ++r) {
@@ -477,8 +850,14 @@ MpiError Comm::bcast(void* buf, std::size_t count, const Datatype& type, int roo
 
 MpiError Comm::reduce(const void* sendbuf, void* recvbuf, std::size_t count, const Datatype& type,
                       ReduceOp op, int root) {
+  OpScope scope("MPI_Reduce");
   if (!rank_valid(root)) {
     return MpiError::kInvalidRank;
+  }
+  if (const MpiError err = consult_fault(impl_.get(), rank_, faultsim::Site::kCollective,
+                                         "MPI_Reduce", root, -1, scope.outermost);
+      err != MpiError::kSuccess) {
+    return err;
   }
   if (rank_ != root) {
     return send(sendbuf, count, type, root, kTagReduce);
@@ -504,6 +883,12 @@ MpiError Comm::reduce(const void* sendbuf, void* recvbuf, std::size_t count, con
 
 MpiError Comm::allreduce(const void* sendbuf, void* recvbuf, std::size_t count,
                          const Datatype& type, ReduceOp op) {
+  OpScope scope("MPI_Allreduce");
+  if (const MpiError err = consult_fault(impl_.get(), rank_, faultsim::Site::kCollective,
+                                         "MPI_Allreduce", -1, -1, scope.outermost);
+      err != MpiError::kSuccess) {
+    return err;
+  }
   if (const MpiError err = reduce(sendbuf, recvbuf, count, type, op, 0);
       err != MpiError::kSuccess) {
     return err;
@@ -513,8 +898,14 @@ MpiError Comm::allreduce(const void* sendbuf, void* recvbuf, std::size_t count,
 
 MpiError Comm::gather(const void* sendbuf, std::size_t count, const Datatype& type,
                       void* recvbuf, int root) {
+  OpScope scope("MPI_Gather");
   if (!rank_valid(root)) {
     return MpiError::kInvalidRank;
+  }
+  if (const MpiError err = consult_fault(impl_.get(), rank_, faultsim::Site::kCollective,
+                                         "MPI_Gather", root, -1, scope.outermost);
+      err != MpiError::kSuccess) {
+    return err;
   }
   if (rank_ != root) {
     return send(sendbuf, count, type, root, kTagGather);
@@ -536,8 +927,14 @@ MpiError Comm::gather(const void* sendbuf, std::size_t count, const Datatype& ty
 
 MpiError Comm::scatter(const void* sendbuf, std::size_t count, const Datatype& type,
                        void* recvbuf, int root) {
+  OpScope scope("MPI_Scatter");
   if (!rank_valid(root)) {
     return MpiError::kInvalidRank;
+  }
+  if (const MpiError err = consult_fault(impl_.get(), rank_, faultsim::Site::kCollective,
+                                         "MPI_Scatter", root, -1, scope.outermost);
+      err != MpiError::kSuccess) {
+    return err;
   }
   if (rank_ != root) {
     return recv(recvbuf, count, type, root, kTagScatter);
@@ -559,6 +956,12 @@ MpiError Comm::scatter(const void* sendbuf, std::size_t count, const Datatype& t
 
 MpiError Comm::allgather(const void* sendbuf, std::size_t count, const Datatype& type,
                          void* recvbuf) {
+  OpScope scope("MPI_Allgather");
+  if (const MpiError err = consult_fault(impl_.get(), rank_, faultsim::Site::kCollective,
+                                         "MPI_Allgather", -1, -1, scope.outermost);
+      err != MpiError::kSuccess) {
+    return err;
+  }
   if (const MpiError err = gather(sendbuf, count, type, recvbuf, 0);
       err != MpiError::kSuccess) {
     return err;

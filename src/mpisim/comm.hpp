@@ -15,6 +15,7 @@
 #include <memory>
 
 #include "mpisim/datatype.hpp"
+#include "mpisim/deadlock.hpp"
 
 namespace mpisim {
 
@@ -24,6 +25,8 @@ enum class MpiError : int {
   kInvalidArg,
   kInvalidRank,
   kRequestNull,
+  kDeadlock,     ///< watchdog declared a deadlock; the blocking call was abandoned
+  kOther,        ///< injected fault (MPI_ERR_OTHER)
 };
 
 [[nodiscard]] constexpr const char* to_string(MpiError e) {
@@ -38,6 +41,10 @@ enum class MpiError : int {
       return "MPI_ERR_RANK";
     case MpiError::kRequestNull:
       return "MPI_ERR_REQUEST";
+    case MpiError::kDeadlock:
+      return "MPI_ERR_DEADLOCK";
+    case MpiError::kOther:
+      return "MPI_ERR_OTHER";
   }
   return "?";
 }
@@ -59,8 +66,12 @@ class Request;
 class CommImpl;
 
 /// Create the shared state for a communicator over `size` ranks (used by
-/// World; applications normally never call this directly).
+/// World; applications normally never call this directly). Without a
+/// tracker the communicator has no deadlock watchdog (blocking calls can
+/// hang forever, the pre-watchdog behaviour).
 [[nodiscard]] std::shared_ptr<CommImpl> make_comm_impl(int size);
+[[nodiscard]] std::shared_ptr<CommImpl> make_comm_impl(
+    int size, std::shared_ptr<ProgressTracker> tracker);
 
 /// A rank's view of a communicator (lightweight value handle).
 class Comm {
@@ -126,6 +137,15 @@ class Comm {
   /// slice r (`count` elements) into recvbuf.
   MpiError scatter(const void* sendbuf, std::size_t count, const Datatype& type, void* recvbuf,
                    int root);
+
+  // -- Deadlock diagnosis -----------------------------------------------------------
+
+  /// True once the progress watchdog declared a deadlock on this
+  /// communicator's world. All blocking calls then return kDeadlock.
+  [[nodiscard]] bool deadlock_detected() const;
+  /// The per-rank blocked-op table captured at declaration time (empty if
+  /// no deadlock was declared).
+  [[nodiscard]] DeadlockReport deadlock_report() const;
 
  private:
   [[nodiscard]] bool rank_valid(int r) const { return r >= 0 && r < size(); }

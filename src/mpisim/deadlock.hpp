@@ -1,0 +1,97 @@
+// MPI progress watchdog: converts "every live rank is blocked and nothing
+// can make progress" from an eternal hang into a structured DeadlockReport —
+// graceful degradation from "CI hangs" to "test fails with a diagnosis".
+//
+// Detection condition: every rank of the world is either exited or blocked
+// in a blocking call (or soft-blocked: spinning on an incomplete Test), at
+// least one rank is blocked, and the shared progress counter — bumped on
+// every message delivery / completion — has not moved for the watchdog
+// timeout. Blocked threads poll this condition themselves (no extra watchdog
+// thread); the first to observe it declares the deadlock, snapshots the
+// per-rank blocked-op table, and poisons the communicator: every blocked and
+// future blocking call returns MpiError::kDeadlock immediately.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace mpisim {
+
+/// Watchdog timeout: CUSAN_MPI_WATCHDOG_MS, default 1000 ms. 0 disables
+/// declaration (blocking calls then wait forever, the pre-watchdog
+/// behaviour).
+[[nodiscard]] std::chrono::milliseconds default_watchdog_timeout();
+
+/// One rank's blocked operation at declaration time.
+struct BlockedOp {
+  int rank{-1};
+  std::string op;    ///< outermost MPI call, e.g. "MPI_Barrier"
+  int peer{-1};      ///< source/dest rank (kAnySource / -1 if n/a)
+  int tag{-1};       ///< message tag (-1 if n/a; internal tags are negative)
+  int comm_id{0};    ///< 0 = world communicator, >0 = dup children
+  bool soft{false};  ///< soft-blocked (Test polling loop), not a blocking call
+};
+
+struct DeadlockReport {
+  std::vector<BlockedOp> blocked;  ///< sorted by rank
+  int world_size{0};
+
+  [[nodiscard]] bool empty() const { return blocked.empty(); }
+  [[nodiscard]] const BlockedOp* for_rank(int rank) const;
+  /// Multi-line human-readable rendering (one line per blocked rank).
+  [[nodiscard]] std::string to_string() const;
+};
+
+class ProgressTracker {
+ public:
+  explicit ProgressTracker(int world_size);
+
+  [[nodiscard]] int world_size() const { return world_size_; }
+
+  void set_timeout(std::chrono::milliseconds timeout);
+  [[nodiscard]] std::chrono::milliseconds timeout() const;
+
+  /// Bumped on every state change that can unblock a rank (delivery,
+  /// unexpected-message arrival, request completion, rank exit).
+  void note_progress() { progress_.fetch_add(1, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t progress() const {
+    return progress_.load(std::memory_order_relaxed);
+  }
+
+  void block(const BlockedOp& op);
+  void unblock(int rank);
+  /// A rank spinning on Test without completion counts as blocked for the
+  /// all-blocked condition (it cannot make progress by itself).
+  void soft_block(const BlockedOp& op);
+  void soft_unblock(int rank);
+  void rank_exited(int rank);
+
+  /// Declare a deadlock if the condition holds and the progress counter
+  /// still equals `progress_snapshot`. Idempotent; returns deadlocked().
+  bool try_declare(std::uint64_t progress_snapshot);
+
+  [[nodiscard]] bool deadlocked() const {
+    return deadlocked_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] DeadlockReport report() const;
+
+ private:
+  int world_size_;
+  std::atomic<std::uint64_t> progress_{0};
+  std::atomic<std::int64_t> timeout_us_;
+  std::atomic<bool> deadlocked_{false};
+
+  mutable std::mutex mutex_;
+  std::unordered_map<int, BlockedOp> blocked_;       ///< rank -> hard-blocked op
+  std::unordered_map<int, BlockedOp> soft_blocked_;  ///< rank -> Test-poll op
+  std::size_t exited_{0};
+  std::vector<bool> exited_ranks_;
+  DeadlockReport report_;
+};
+
+}  // namespace mpisim

@@ -16,17 +16,24 @@ class Request {
   [[nodiscard]] const void* buffer() const { return buffer_; }
   [[nodiscard]] std::size_t count() const { return count_; }
   [[nodiscard]] const Datatype& datatype() const { return type_; }
+  /// Envelope (dest for sends, source for recvs; wildcards stay -1) — used
+  /// by the deadlock watchdog's blocked-op diagnostics.
+  [[nodiscard]] int peer() const { return peer_; }
+  [[nodiscard]] int tag() const { return tag_; }
 
  private:
   friend class CommImpl;
 
-  Request(Kind kind, const void* buffer, std::size_t count, Datatype type)
-      : kind_(kind), buffer_(buffer), count_(count), type_(std::move(type)) {}
+  Request(Kind kind, const void* buffer, std::size_t count, Datatype type, int peer, int tag)
+      : kind_(kind), buffer_(buffer), count_(count), type_(std::move(type)), peer_(peer),
+        tag_(tag) {}
 
   Kind kind_;
   const void* buffer_;
   std::size_t count_;
   Datatype type_;
+  int peer_{-1};
+  int tag_{-1};
   bool complete_{false};  // guarded by CommImpl::mutex_
   Status status_{};
 };

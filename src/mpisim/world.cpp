@@ -8,7 +8,10 @@
 
 namespace mpisim {
 
-World::World(int size) : size_(size), impl_(make_comm_impl(size)) {
+World::World(int size)
+    : size_(size),
+      tracker_(std::make_shared<ProgressTracker>(size)),
+      impl_(make_comm_impl(size, tracker_)) {
   CUSAN_ASSERT_MSG(size > 0, "world size must be positive");
 }
 
@@ -23,6 +26,8 @@ void World::run(const std::function<void(Comm)>& rank_main) {
       } catch (...) {
         failures[static_cast<std::size_t>(r)] = std::current_exception();
       }
+      // Exited ranks stop counting toward the all-blocked condition.
+      tracker_->rank_exited(r);
     });
   }
   for (auto& t : threads) {

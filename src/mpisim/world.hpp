@@ -20,8 +20,16 @@ class World {
   /// finished (mirrors an MPI abort).
   void run(const std::function<void(Comm)>& rank_main);
 
+  /// The progress watchdog shared by the world communicator and all dups.
+  [[nodiscard]] ProgressTracker& watchdog() { return *tracker_; }
+  [[nodiscard]] const ProgressTracker& watchdog() const { return *tracker_; }
+  void set_watchdog_timeout(std::chrono::milliseconds timeout) {
+    tracker_->set_timeout(timeout);
+  }
+
  private:
   int size_;
+  std::shared_ptr<ProgressTracker> tracker_;
   std::shared_ptr<CommImpl> impl_;
 };
 

@@ -185,6 +185,18 @@ void Runtime::on_receive_status(const char* mpi_call, const mpisim::Status& stat
                      status.source, status.tag)});
 }
 
+void Runtime::on_deadlock(int rank, const mpisim::DeadlockReport& report) {
+  if (deadlock_reported_ || report.empty()) {
+    return;
+  }
+  deadlock_reported_ = true;
+  ++counters_.deadlocks_reported;
+  const mpisim::BlockedOp* own = report.for_rank(rank);
+  reports_.push_back(MustReport{ReportKind::kDeadlock,
+                                own != nullptr ? own->op : std::string("MPI (blocked)"),
+                                report.to_string()});
+}
+
 void Runtime::on_finalize() {
   for (const auto& [request, pr] : pending_) {
     ++counters_.request_leaks;

@@ -42,6 +42,7 @@ enum class ReportKind : std::uint8_t {
   kUntrackedBuffer,
   kRequestLeak,         ///< non-blocking request never completed (missing Wait/Test)
   kSignatureMismatch,   ///< sender/receiver type signatures disagree
+  kDeadlock,            ///< the progress watchdog declared a deadlock
 };
 
 [[nodiscard]] constexpr const char* to_string(ReportKind kind) {
@@ -56,6 +57,8 @@ enum class ReportKind : std::uint8_t {
       return "request leak (never completed)";
     case ReportKind::kSignatureMismatch:
       return "send/recv type signature mismatch";
+    case ReportKind::kDeadlock:
+      return "deadlock (no rank can make progress)";
   }
   return "?";
 }
@@ -74,6 +77,7 @@ struct MustCounters {
   std::uint64_t type_errors{};
   std::uint64_t request_leaks{};
   std::uint64_t signature_mismatches{};
+  std::uint64_t deadlocks_reported{};
 };
 
 class Runtime {
@@ -102,6 +106,12 @@ class Runtime {
 
   /// MPI_Probe / MPI_Iprobe: envelope-only, no buffer semantics.
   void on_probe() { ++counters_.calls_intercepted; }
+
+  /// The mpisim progress watchdog declared a deadlock and a blocking call on
+  /// this rank returned MPI_ERR_DEADLOCK. Emits one structured report per
+  /// rank runtime (later calls on the same poisoned communicator are
+  /// deduplicated).
+  void on_deadlock(int rank, const mpisim::DeadlockReport& report);
 
   /// Inspect a completed receive's status for the piggybacked signature
   /// verdict (MUST's send/recv type matching).
@@ -150,6 +160,7 @@ class Runtime {
   std::vector<MustReport> reports_;
   std::unordered_map<const mpisim::Request*, PendingRequest> pending_;
   std::vector<rsan::CtxId> fiber_pool_;
+  bool deadlock_reported_{false};
 };
 
 }  // namespace must

@@ -25,6 +25,10 @@ struct Counters {
   std::uint64_t fastpath_block_hits{};      ///< block segments stored via the uniform-summary scan
   std::uint64_t fastpath_block_misses{};    ///< block segments that took the per-granule scan
   std::uint64_t fastpath_granules_elided{}; ///< granule scans skipped by either fast-path layer
+  // Graceful degradation under a shadow-memory cap (CUSAN_SHADOW_MAX_MB;
+  // both zero when no cap is set or the cap is never hit).
+  std::uint64_t degraded_blocks{};    ///< block segments untracked (budget denied allocation)
+  std::uint64_t degraded_accesses{};  ///< range calls with at least one untracked segment
 };
 
 }  // namespace rsan

@@ -42,7 +42,24 @@ bool default_shadow_fast_path() {
   return env == nullptr || std::string_view{env} != "0";
 }
 
+std::size_t default_shadow_max_bytes() {
+  const char* env = std::getenv("CUSAN_SHADOW_MAX_MB");
+  if (env == nullptr || *env == '\0') {
+    return 0;
+  }
+  char* end = nullptr;
+  const unsigned long long mb = std::strtoull(env, &end, 10);
+  if (end == env || (end != nullptr && *end != '\0')) {
+    return 0;
+  }
+  return static_cast<std::size_t>(mb) * 1024 * 1024;
+}
+
 Runtime::Runtime(RuntimeConfig config) : config_(config) {
+  if (config_.shadow_max_bytes != 0) {
+    // At least one block so a capped runtime still tracks something.
+    shadow_.set_block_budget(std::max<std::size_t>(1, config_.shadow_max_bytes / sizeof(ShadowBlock)));
+  }
   host_ = create_fiber(CtxKind::kHostThread, "host");
   current_ = host_;
 }
@@ -197,19 +214,27 @@ void Runtime::access_range(const void* addr, std::size_t size, bool is_write, co
   ++shadow_gen_;  // this call stores into the shadow
   bool reported_this_call = false;
   bool call_race_free = true;
+  bool degraded = false;
 
   for (std::uintptr_t g = first;;) {
     const std::uintptr_t key = g / kGranulesPerBlock;
     const std::uintptr_t seg_last = std::min(last, (key + 1) * kGranulesPerBlock - 1);
     const std::size_t g_lo = static_cast<std::size_t>(g - key * kGranulesPerBlock);
     const std::size_t g_hi = static_cast<std::size_t>(seg_last - key * kGranulesPerBlock);
-    ShadowBlock& blk = *shadow_.block(g * kGranuleBytes);
-    if (!fast || !try_fast_block(blk, key, g_lo, g_hi, base, size, is_write, label, cur, cur_clock,
-                                 fresh, reported_this_call, call_race_free)) {
+    ShadowBlock* blkp = shadow_.block(g * kGranuleBytes);
+    if (blkp == nullptr) {
+      // Block budget exhausted (CUSAN_SHADOW_MAX_MB): this segment is not
+      // tracked. Count the degradation and keep going — soundness of the
+      // tracked part is preserved, the process stays alive.
+      ++counters_.degraded_blocks;
+      degraded = true;
+    } else if (!fast ||
+               !try_fast_block(*blkp, key, g_lo, g_hi, base, size, is_write, label, cur, cur_clock,
+                               fresh, reported_this_call, call_race_free)) {
       if (fast) {
         ++counters_.fastpath_block_misses;
       }
-      slow_block(blk, key, g_lo, g_hi, base, size, is_write, label, cur, cur_clock, fresh,
+      slow_block(*blkp, key, g_lo, g_hi, base, size, is_write, label, cur, cur_clock, fresh,
                  reported_this_call, call_race_free, /*update_summary=*/true);
     }
     if (seg_last == last) {
@@ -218,8 +243,13 @@ void Runtime::access_range(const void* addr, std::size_t size, bool is_write, co
     g = seg_last + 1;
   }
 
+  if (degraded) {
+    ++counters_.degraded_accesses;
+  }
   if (fast) {
-    if (call_race_free) {
+    // A degraded call must not seed the recent-range cache: the untracked
+    // segments stored nothing, so a repeat is not a provable no-op.
+    if (call_race_free && !degraded) {
       cur.recent =
           RecentRange{first, last, cur_clock, cur.sync_gen, shadow_gen_, is_write, true};
     } else {

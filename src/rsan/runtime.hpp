@@ -32,6 +32,10 @@ namespace rsan {
 /// pins the reference scan uses this).
 [[nodiscard]] bool default_shadow_fast_path();
 
+/// Default for RuntimeConfig::shadow_max_bytes: CUSAN_SHADOW_MAX_MB
+/// megabytes, or 0 (unlimited) when unset/invalid.
+[[nodiscard]] std::size_t default_shadow_max_bytes();
+
 struct RuntimeConfig {
   /// Ablation knob (paper §V-B): when false, read_range/write_range become
   /// no-ops, removing all shadow-memory work while keeping fibers and
@@ -48,6 +52,11 @@ struct RuntimeConfig {
   /// check_cutests run enforce this; the flag exists so the reference scan
   /// stays exercised and the speedup stays measurable.
   bool use_shadow_fast_path = default_shadow_fast_path();
+  /// Upper bound on resident shadow memory (0 = unlimited). At the cap,
+  /// tracking degrades for untracked blocks — counted in
+  /// Counters::degraded_blocks/degraded_accesses — instead of aborting the
+  /// run (robustness under substrate memory pressure).
+  std::size_t shadow_max_bytes = default_shadow_max_bytes();
 };
 
 struct ContextInfo {

@@ -5,6 +5,15 @@
 namespace rsan {
 
 ShadowBlock* ShadowMemory::lookup_or_create(std::uintptr_t key) {
+  if (ShadowBlock* existing = find(key)) {
+    return existing;
+  }
+  // Budget check before any allocation (including L2 pages): at the cap the
+  // lookup is denied rather than the process aborted.
+  if (block_budget_ != 0 && block_count_ >= block_budget_) {
+    ++denied_blocks_;
+    return nullptr;
+  }
   if (key < kDirectMappedBlockKeys) {
     if (l1_.empty()) {
       l1_.resize(std::size_t{1} << kShadowL1Bits);
@@ -83,6 +92,7 @@ void ShadowMemory::clear() {
   l1_.clear();
   overflow_.clear();
   block_count_ = 0;
+  denied_blocks_ = 0;
   cached_block_ = nullptr;
   cached_key_ = ~std::uintptr_t{0};
 }

@@ -93,15 +93,19 @@ struct ShadowBlock {
 
 class ShadowMemory {
  public:
-  /// Shadow block covering `addr`; allocates on first touch.
+  /// Shadow block covering `addr`; allocates on first touch. Returns nullptr
+  /// when a block budget is set and exhausted (the caller degrades tracking
+  /// for the address instead of aborting; see Runtime::access_range).
   [[nodiscard]] ShadowBlock* block(std::uintptr_t addr) {
     const std::uintptr_t key = addr / kBlockAppBytes;
     if (key == cached_key_ && cached_block_ != nullptr) {
       return cached_block_;
     }
     ShadowBlock* blk = lookup_or_create(key);
-    cached_key_ = key;
-    cached_block_ = blk;
+    if (blk != nullptr) {
+      cached_key_ = key;
+      cached_block_ = blk;
+    }
     return blk;
   }
 
@@ -111,9 +115,13 @@ class ShadowMemory {
   }
 
   /// Shadow cells for the granule containing `addr`; allocates the block on
-  /// first touch. Returned pointer is to kShadowSlots consecutive cells.
+  /// first touch. Returned pointer is to kShadowSlots consecutive cells
+  /// (nullptr when the block budget is exhausted).
   [[nodiscard]] ShadowCell* granule(std::uintptr_t addr) {
     ShadowBlock* blk = block(addr);
+    if (blk == nullptr) {
+      return nullptr;
+    }
     const std::size_t granule_idx = (addr % kBlockAppBytes) / kGranuleBytes;
     return blk->cells.data() + granule_idx * kShadowSlots;
   }
@@ -139,6 +147,14 @@ class ShadowMemory {
   [[nodiscard]] std::size_t resident_blocks() const { return block_count_; }
   [[nodiscard]] std::size_t resident_bytes() const { return block_count_ * sizeof(ShadowBlock); }
 
+  /// Cap the number of resident shadow blocks (0 = unlimited). When the cap
+  /// is hit, first-touch lookups return nullptr instead of allocating —
+  /// tracking degrades, the process does not die (CUSAN_SHADOW_MAX_MB).
+  void set_block_budget(std::size_t blocks) { block_budget_ = blocks; }
+  [[nodiscard]] std::size_t block_budget() const { return block_budget_; }
+  /// First-touch lookups denied by the budget since the last clear().
+  [[nodiscard]] std::uint64_t denied_blocks() const { return denied_blocks_; }
+
   void clear();
 
  private:
@@ -157,6 +173,8 @@ class ShadowMemory {
   /// layouts only; empty on mainstream 48-bit-VA platforms).
   std::unordered_map<std::uintptr_t, std::unique_ptr<ShadowBlock>> overflow_;
   std::size_t block_count_{0};
+  std::size_t block_budget_{0};
+  std::uint64_t denied_blocks_{0};
   std::uintptr_t cached_key_{~std::uintptr_t{0}};
   ShadowBlock* cached_block_{nullptr};
 };

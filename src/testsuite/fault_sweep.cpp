@@ -1,0 +1,173 @@
+#include "testsuite/fault_sweep.hpp"
+
+#include <cstdio>
+
+#include "common/format.hpp"
+#include "common/rng.hpp"
+#include "faultsim/injector.hpp"
+#include "testsuite/scenarios.hpp"
+
+namespace testsuite {
+namespace {
+
+using faultsim::Action;
+using faultsim::ScopeKind;
+using faultsim::Site;
+
+[[nodiscard]] bool is_mpi_site(Site site) {
+  switch (site) {
+    case Site::kSend:
+    case Site::kRecv:
+    case Site::kWait:
+    case Site::kBarrier:
+    case Site::kCollective:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Draw one spec whose (site, scope, action) combination passes plan
+/// validation. Concrete scopes only: the scenario programs run 2 ranks with
+/// 1 device each, so dev0/rank0/rank1/stream0..2 all exist.
+[[nodiscard]] faultsim::FaultSpec random_spec(common::SplitMix64& rng) {
+  static constexpr Site kSites[] = {Site::kMalloc, Site::kMemcpy, Site::kMemset,
+                                    Site::kKernel, Site::kSend,   Site::kRecv,
+                                    Site::kWait,   Site::kBarrier, Site::kCollective};
+  faultsim::FaultSpec spec;
+  spec.site = kSites[rng.next_below(sizeof(kSites) / sizeof(kSites[0]))];
+
+  if (is_mpi_site(spec.site)) {
+    switch (rng.next_below(3)) {
+      case 0:
+        spec.scope_kind = ScopeKind::kAny;
+        break;
+      default:
+        spec.scope_kind = ScopeKind::kRank;
+        spec.scope_id = static_cast<int>(rng.next_below(2));  // ranks 0..1
+        break;
+    }
+    // stall is rationed: at most one per plan would still be fine, but its
+    // cost is a full watchdog timeout per run, so keep it rare.
+    const auto roll = rng.next_below(10);
+    if (roll < 1) {
+      spec.action = Action::kStall;
+    } else if (roll < 5) {
+      spec.action = Action::kDelay;
+      spec.delay = std::chrono::microseconds(200 + 200 * rng.next_below(5));
+    } else {
+      spec.action = Action::kFail;
+    }
+  } else {
+    switch (rng.next_below(3)) {
+      case 0:
+        spec.scope_kind = ScopeKind::kAny;
+        break;
+      case 1:
+        spec.scope_kind = ScopeKind::kDevice;
+        spec.scope_id = 0;  // each rank's only device
+        break;
+      default:
+        spec.scope_kind = ScopeKind::kStream;
+        spec.scope_id = static_cast<int>(rng.next_below(3));  // default + 2 user streams
+        break;
+    }
+    if (spec.site == Site::kMalloc) {
+      spec.action = rng.next_below(3) == 0 ? Action::kDelay : Action::kOom;
+    } else if (spec.site == Site::kKernel) {
+      spec.action = rng.next_below(2) == 0 ? Action::kAbort : Action::kFail;
+    } else {
+      const auto roll = rng.next_below(3);
+      spec.action = roll == 0 ? Action::kAbort : (roll == 1 ? Action::kDelay : Action::kFail);
+    }
+    if (spec.action == Action::kDelay) {
+      spec.delay = std::chrono::microseconds(200 + 200 * rng.next_below(5));
+    }
+  }
+
+  spec.nth = 1 + rng.next_below(4);
+  if (rng.next_below(2) == 0) {
+    spec.period = 2 + rng.next_below(5);
+  }
+  return spec;
+}
+
+}  // namespace
+
+faultsim::FaultPlan make_random_plan(std::uint64_t seed, int faults) {
+  common::SplitMix64 rng(seed);
+  faultsim::FaultPlan plan;
+  for (int i = 0; i < faults; ++i) {
+    plan.add(random_spec(rng));
+  }
+  return plan;
+}
+
+SweepStats run_fault_sweep(const SweepOptions& options) {
+  auto& injector = faultsim::Injector::instance();
+  SweepStats stats;
+
+  std::vector<Scenario> scenarios;
+  for (Scenario& sc : build_scenarios()) {
+    if (options.filter.empty() || sc.name.find(options.filter) != std::string::npos) {
+      scenarios.push_back(std::move(sc));
+    }
+  }
+  stats.scenarios = scenarios.size();
+
+  const bool fast = rsan::RuntimeConfig{}.use_shadow_fast_path;
+
+  // Unfaulted baseline (also exercises the watchdog's no-false-positive
+  // promise: a short timeout must not misfire on clean runs).
+  injector.clear();
+  std::vector<std::size_t> baseline;
+  baseline.reserve(scenarios.size());
+  for (const Scenario& sc : scenarios) {
+    baseline.push_back(run_scenario_outcome(sc, fast, options.watchdog).races);
+  }
+
+  for (int p = 0; p < options.plans; ++p) {
+    const faultsim::FaultPlan plan = make_random_plan(options.seed + static_cast<std::uint64_t>(p),
+                                                      options.faults_per_plan);
+    if (options.verbose) {
+      std::printf("[sweep] plan %d: %s\n", p, plan.to_string().c_str());
+    }
+    for (std::size_t i = 0; i < scenarios.size(); ++i) {
+      injector.load(plan);  // resets match counters: every run sees the same schedule
+      const std::size_t races = run_scenario_outcome(scenarios[i], fast, options.watchdog).races;
+      const std::vector<faultsim::FiredFault> fired = injector.take_fired();
+      ++stats.runs;
+      if (fired.empty()) {
+        // Invariant 2: fault hooks that never fire must be invisible.
+        if (races != baseline[i]) {
+          ++stats.verdict_mismatches;
+          stats.failures.push_back(common::format(
+              "plan {} scenario {}: no fault fired but verdict changed ({} races vs baseline {})",
+              p, scenarios[i].name, races, baseline[i]));
+        }
+        continue;
+      }
+      ++stats.faulted_runs;
+      stats.faults_fired += fired.size();
+      for (const faultsim::FiredFault& f : fired) {
+        // Invariant 3: every fired fault is accounted through some channel.
+        if (f.surfaced == faultsim::Channel::kNone) {
+          ++stats.faults_unsurfaced;
+          stats.failures.push_back(
+              common::format("plan {} scenario {}: fault #{} ({} at {}) fired but was never "
+                             "surfaced through any channel",
+                             p, scenarios[i].name, f.id, to_string(f.action), to_string(f.site)));
+        }
+      }
+      if (options.verbose) {
+        std::printf("[sweep] plan %d %-70s races=%zu fired=%zu\n", p, scenarios[i].name.c_str(),
+                    races, fired.size());
+      }
+    }
+  }
+
+  injector.clear();
+  return stats;
+}
+
+}  // namespace testsuite

@@ -1,0 +1,59 @@
+// Differential fault sweep: run the full scenario matrix under randomized
+// (but seed-deterministic) fault plans and check the three robustness
+// invariants the checker stack promises when the substrate fails:
+//
+//   1. No crash and no hang — every run terminates (injected stalls resolve
+//      through the MPI progress watchdog).
+//   2. Runs in which no fault fired produce verdicts identical to the
+//      unfaulted baseline (fault hooks are invisible until they fire).
+//   3. Every fault that fired is *accounted for*: surfaced as an API error,
+//      a sticky CUDA error, a MUST report, a DeadlockReport, or marked as a
+//      pure perturbation (delay).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "faultsim/plan.hpp"
+
+namespace testsuite {
+
+struct SweepOptions {
+  std::uint64_t seed{0x5eed};
+  /// Number of random fault plans to sweep (plan i uses seed + i).
+  int plans{3};
+  /// Fault specs per generated plan.
+  int faults_per_plan{4};
+  /// Substring filter on scenario names (empty = all scenarios).
+  std::string filter;
+  /// MPI watchdog timeout for every run; keep small so stalls resolve fast.
+  std::chrono::milliseconds watchdog{150};
+  /// Print one line per (plan, scenario) run to stdout.
+  bool verbose{false};
+};
+
+struct SweepStats {
+  std::size_t scenarios{0};      ///< scenarios in the (filtered) matrix
+  std::size_t runs{0};           ///< faulted runs executed (plans x scenarios)
+  std::size_t faulted_runs{0};   ///< runs where at least one fault fired
+  std::uint64_t faults_fired{0};
+  std::uint64_t faults_unsurfaced{0};   ///< fired but never accounted — invariant 3 violation
+  std::size_t verdict_mismatches{0};    ///< unfaulted run diverged from baseline — invariant 2
+  std::vector<std::string> failures;    ///< human-readable invariant violations
+
+  [[nodiscard]] bool ok() const {
+    return faults_unsurfaced == 0 && verdict_mismatches == 0 && failures.empty();
+  }
+};
+
+/// Seed-deterministic random plan: `faults` specs with concrete scopes and
+/// site-valid actions (the same seed always yields the same plan).
+[[nodiscard]] faultsim::FaultPlan make_random_plan(std::uint64_t seed, int faults);
+
+/// Run the sweep. Loads plans into the global faultsim::Injector (clearing it
+/// on exit), so it must not race with other injector users.
+[[nodiscard]] SweepStats run_fault_sweep(const SweepOptions& options);
+
+}  // namespace testsuite

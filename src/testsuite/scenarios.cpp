@@ -5,6 +5,7 @@
 #include "capi/cuda.hpp"
 #include "capi/mpi.hpp"
 #include "common/assert.hpp"
+#include "faultsim/injector.hpp"
 #include "kir/registry.hpp"
 
 namespace testsuite {
@@ -173,7 +174,13 @@ void scenario_rank_main(capi::RankEnv& env, const Scenario& sc) {
   namespace mpi = capi::mpi;
   const auto type = mpisim::Datatype::float64();
   double* buf = allocate(sc.mem);
-  CUSAN_ASSERT(buf != nullptr);
+  if (buf == nullptr) {
+    // Only an injected OOM may fail these small allocations. Bail out like a
+    // defensive application: the peer's now-unmatched operations are the
+    // watchdog's job, not a crash.
+    CUSAN_ASSERT_MSG(faultsim::Injector::armed(), "scenario allocation failed without a fault plan");
+    return;
+  }
 
   cusim::Stream* stream = nullptr;  // nullptr = default stream
   cusim::Stream* other = nullptr;
@@ -221,7 +228,9 @@ void scenario_rank_main(capi::RankEnv& env, const Scenario& sc) {
       }
       case Sync::kQuery: {
         cusim::Stream* target = stream != nullptr ? stream : capi::cuda::default_stream();
-        while (cuda::stream_query(target) != cusim::Error::kSuccess) {
+        // Spin only while genuinely pending: a sticky device error also ends
+        // the wait (otherwise an injected stream error spins forever).
+        while (cuda::stream_query(target) == cusim::Error::kNotReady) {
         }
         break;
       }
@@ -271,7 +280,11 @@ void scenario_rank_main(capi::RankEnv& env, const Scenario& sc) {
         case Sync::kTestLoop: {
           bool done = false;
           while (!done) {
-            (void)mpi::test(env.comm, &req, &done);
+            // A deadlock verdict (or injected failure) ends the poll loop;
+            // the leaked request becomes a MUST leak report.
+            if (mpi::test(env.comm, &req, &done) != mpisim::MpiError::kSuccess) {
+              break;
+            }
           }
           launch_reader();
           break;
@@ -417,6 +430,11 @@ ScenarioOutcome run_scenario_outcome(const Scenario& scenario) {
 }
 
 ScenarioOutcome run_scenario_outcome(const Scenario& scenario, bool use_shadow_fast_path) {
+  return run_scenario_outcome(scenario, use_shadow_fast_path, std::chrono::milliseconds(0));
+}
+
+ScenarioOutcome run_scenario_outcome(const Scenario& scenario, bool use_shadow_fast_path,
+                                     std::chrono::milliseconds watchdog_timeout) {
   capi::SessionConfig config;
   config.ranks = 2;
   config.tools = capi::make_tool_config(capi::Flavor::kMustCusan);
@@ -424,6 +442,7 @@ ScenarioOutcome run_scenario_outcome(const Scenario& scenario, bool use_shadow_f
       scenario.precision == Precision::kIntervals;
   config.tools.rsan_config.use_shadow_fast_path = use_shadow_fast_path;
   config.device_profile.default_stream_mode = scenario.stream_mode;
+  config.watchdog_timeout = watchdog_timeout;
   const auto results = capi::run_session(
       config, [&](capi::RankEnv& env) { scenario_rank_main(env, scenario); });
   ScenarioOutcome outcome;

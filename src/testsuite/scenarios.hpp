@@ -80,9 +80,14 @@ struct ScenarioOutcome {
 /// Run a scenario under MUST & CuSan and return races + tracked bytes.
 /// The one-argument form uses the environment-default shadow fast-path
 /// setting; the two-argument form pins it (dual-mode divergence checks).
+/// The three-argument form additionally sets the MPI watchdog timeout
+/// (fault-sweep runs use a short timeout so injected stalls resolve fast).
 [[nodiscard]] ScenarioOutcome run_scenario_outcome(const Scenario& scenario);
 [[nodiscard]] ScenarioOutcome run_scenario_outcome(const Scenario& scenario,
                                                    bool use_shadow_fast_path);
+[[nodiscard]] ScenarioOutcome run_scenario_outcome(const Scenario& scenario,
+                                                   bool use_shadow_fast_path,
+                                                   std::chrono::milliseconds watchdog_timeout);
 
 /// Run a scenario under MUST & CuSan and return the total race count.
 [[nodiscard]] std::size_t run_scenario(const Scenario& scenario);

@@ -419,4 +419,82 @@ TEST(CusimDeviceProfileTest, ContextReserveTouchedAtCreation) {
   SUCCEED();  // constructor committed the arena without crashing
 }
 
+// -- Sticky errors (CUDA 11.x ordering semantics) ---------------------------------
+
+TEST_F(CusimDeviceTest, GetLastErrorClearsPeekDoesNot) {
+  EXPECT_EQ(device.get_last_error(), Error::kSuccess);
+  device.latch_error(Error::kStreamError);
+  EXPECT_EQ(device.peek_at_last_error(), Error::kStreamError);
+  EXPECT_EQ(device.peek_at_last_error(), Error::kStreamError);  // peek never clears
+  EXPECT_EQ(device.get_last_error(), Error::kStreamError);      // returns and clears
+  EXPECT_EQ(device.get_last_error(), Error::kSuccess);
+  EXPECT_EQ(device.peek_at_last_error(), Error::kSuccess);
+}
+
+TEST_F(CusimDeviceTest, FirstLatchedErrorWins) {
+  device.latch_error(Error::kLaunchFailure);
+  device.latch_error(Error::kStreamError);  // later failure must not overwrite
+  EXPECT_EQ(device.get_last_error(), Error::kLaunchFailure);
+  EXPECT_EQ(device.get_last_error(), Error::kSuccess);
+}
+
+TEST_F(CusimDeviceTest, AsyncErrorSurfacesAtSyncWithoutClearing) {
+  Stream* s = nullptr;
+  ASSERT_EQ(device.stream_create(&s), Error::kSuccess);
+  ASSERT_EQ(device.inject_async_error(s, Error::kStreamError), Error::kSuccess);
+  // Sync surfaces the latched error but does not clear it (only
+  // cudaGetLastError does).
+  EXPECT_EQ(device.stream_synchronize(s), Error::kStreamError);
+  EXPECT_EQ(device.peek_at_last_error(), Error::kStreamError);
+  EXPECT_EQ(device.stream_query(s), Error::kStreamError);
+  EXPECT_EQ(device.get_last_error(), Error::kStreamError);
+  // Latch drained: subsequent syncs on the (idle) stream are clean again.
+  EXPECT_EQ(device.stream_synchronize(s), Error::kSuccess);
+  EXPECT_EQ(device.stream_destroy(s), Error::kSuccess);
+}
+
+TEST_F(CusimDeviceTest, StreamAErrorObservedFromStreamBSync) {
+  // Sticky errors are per-device, not per-stream: an async failure on stream
+  // A is observed by a synchronize on unrelated stream B.
+  Stream* a = nullptr;
+  Stream* b = nullptr;
+  ASSERT_EQ(device.stream_create(&a, StreamFlags::kNonBlocking), Error::kSuccess);
+  ASSERT_EQ(device.stream_create(&b, StreamFlags::kNonBlocking), Error::kSuccess);
+  ASSERT_EQ(device.inject_async_error(a, Error::kLaunchFailure), Error::kSuccess);
+  ASSERT_EQ(device.stream_synchronize(a), Error::kLaunchFailure);  // latch the async op
+  EXPECT_EQ(device.stream_synchronize(b), Error::kLaunchFailure);
+  EXPECT_EQ(device.device_synchronize(), Error::kLaunchFailure);
+  EXPECT_EQ(device.get_last_error(), Error::kLaunchFailure);
+  EXPECT_EQ(device.stream_synchronize(b), Error::kSuccess);
+  EXPECT_EQ(device.stream_destroy(a), Error::kSuccess);
+  EXPECT_EQ(device.stream_destroy(b), Error::kSuccess);
+}
+
+TEST_F(CusimDeviceTest, AsyncErrorLatchesOnlyWhenStreamReachesIt) {
+  // The injected op is stream-ordered: while a blocking kernel holds the
+  // stream, the error has not latched yet; it surfaces once the stream
+  // drains — asynchronous failure semantics, not an immediate latch.
+  Stream* s = nullptr;
+  ASSERT_EQ(device.stream_create(&s, StreamFlags::kNonBlocking), Error::kSuccess);
+  std::atomic<bool> release{false};
+  ASSERT_EQ(device.launch_kernel(s, LaunchDims{1, 1},
+                                 [&](const cusim::KernelContext&) {
+                                   while (!release.load()) {
+                                     std::this_thread::yield();
+                                   }
+                                 }),
+            Error::kSuccess);
+  ASSERT_EQ(device.inject_async_error(s, Error::kStreamError), Error::kSuccess);
+  EXPECT_EQ(device.peek_at_last_error(), Error::kSuccess);  // not yet reached
+  release.store(true);
+  EXPECT_EQ(device.stream_synchronize(s), Error::kStreamError);
+  EXPECT_EQ(device.get_last_error(), Error::kStreamError);
+  EXPECT_EQ(device.stream_destroy(s), Error::kSuccess);
+}
+
+TEST_F(CusimDeviceTest, ErrorStringCoversStickyErrors) {
+  EXPECT_STREQ(cusim::error_string(Error::kLaunchFailure), "kernel launch failure");
+  EXPECT_STREQ(cusim::error_string(Error::kStreamError), "stream operation failed");
+}
+
 }  // namespace

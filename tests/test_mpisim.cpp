@@ -4,8 +4,10 @@
 
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 
 #include "mpisim/datatype.hpp"
 #include "mpisim/request.hpp"
@@ -679,6 +681,199 @@ TEST(MpisimWorldTest, SingleRankWorld) {
     double r = 0.0;
     ASSERT_EQ(comm.allreduce(&v, &r, 1, Datatype::float64(), ReduceOp::kSum), MpiError::kSuccess);
     EXPECT_EQ(r, 4.0);
+  });
+}
+
+// -- Progress watchdog / deadlock detection ---------------------------------------
+
+TEST(MpisimWatchdogTest, UnmatchedRecvDeclaresDeadlock) {
+  World world(2);
+  world.set_watchdog_timeout(std::chrono::milliseconds(100));
+  world.run([](Comm comm) {
+    if (comm.rank() == 0) {
+      // No matching send ever arrives; rank 1 exits immediately.
+      double v = 0.0;
+      EXPECT_EQ(comm.recv(&v, 1, Datatype::float64(), 1, 42), MpiError::kDeadlock);
+      EXPECT_TRUE(comm.deadlock_detected());
+      const mpisim::DeadlockReport report = comm.deadlock_report();
+      ASSERT_FALSE(report.empty());
+      EXPECT_EQ(report.world_size, 2);
+      const mpisim::BlockedOp* op = report.for_rank(0);
+      ASSERT_NE(op, nullptr);
+      EXPECT_EQ(op->op, "MPI_Recv");
+      EXPECT_EQ(op->peer, 1);
+      EXPECT_EQ(op->tag, 42);
+      EXPECT_FALSE(op->soft);
+      // The exited rank does not appear as blocked.
+      EXPECT_EQ(report.for_rank(1), nullptr);
+      // The rendered report names the blocked rank and call.
+      EXPECT_NE(report.to_string().find("rank 0"), std::string::npos);
+      EXPECT_NE(report.to_string().find("MPI_Recv"), std::string::npos);
+    }
+  });
+}
+
+TEST(MpisimWatchdogTest, CrossedRecvsBothDiagnosed) {
+  World world(2);
+  world.set_watchdog_timeout(std::chrono::milliseconds(100));
+  world.run([](Comm comm) {
+    // Classic head-to-head: both ranks receive first — nobody ever sends.
+    double v = 0.0;
+    const int peer = 1 - comm.rank();
+    EXPECT_EQ(comm.recv(&v, 1, Datatype::float64(), peer, 0), MpiError::kDeadlock);
+    const mpisim::DeadlockReport report = comm.deadlock_report();
+    ASSERT_EQ(report.blocked.size(), 2u);  // both ranks captured
+    for (int r = 0; r < 2; ++r) {
+      const mpisim::BlockedOp* op = report.for_rank(r);
+      ASSERT_NE(op, nullptr);
+      EXPECT_EQ(op->op, "MPI_Recv");
+      EXPECT_EQ(op->peer, 1 - r);
+    }
+  });
+}
+
+TEST(MpisimWatchdogTest, BarrierAgainstRecvMismatch) {
+  World world(2);
+  world.set_watchdog_timeout(std::chrono::milliseconds(100));
+  world.run([](Comm comm) {
+    if (comm.rank() == 0) {
+      EXPECT_EQ(comm.barrier(), MpiError::kDeadlock);
+    } else {
+      double v = 0.0;
+      EXPECT_EQ(comm.recv(&v, 1, Datatype::float64(), 0, 5), MpiError::kDeadlock);
+    }
+    const mpisim::DeadlockReport report = comm.deadlock_report();
+    const mpisim::BlockedOp* r0 = report.for_rank(0);
+    const mpisim::BlockedOp* r1 = report.for_rank(1);
+    ASSERT_NE(r0, nullptr);
+    ASSERT_NE(r1, nullptr);
+    // The report names the *outermost* MPI calls, not the internal p2p the
+    // barrier is built from.
+    EXPECT_EQ(r0->op, "MPI_Barrier");
+    EXPECT_EQ(r1->op, "MPI_Recv");
+  });
+}
+
+TEST(MpisimWatchdogTest, WaitOnOrphanedIrecv) {
+  World world(2);
+  world.set_watchdog_timeout(std::chrono::milliseconds(100));
+  world.run([](Comm comm) {
+    if (comm.rank() == 0) {
+      double v = 0.0;
+      Request* req = nullptr;
+      ASSERT_EQ(comm.irecv(&v, 1, Datatype::float64(), 1, 3, &req), MpiError::kSuccess);
+      Status status;
+      EXPECT_EQ(comm.wait(&req, &status), MpiError::kDeadlock);
+      EXPECT_EQ(status.error, MpiError::kDeadlock);
+      // The abandoned request stays pending (MUST reports it as a leak).
+      EXPECT_NE(req, nullptr);
+      const mpisim::DeadlockReport report = comm.deadlock_report();
+      const mpisim::BlockedOp* op = report.for_rank(0);
+      ASSERT_NE(op, nullptr);
+      EXPECT_EQ(op->op, "MPI_Wait");
+      EXPECT_EQ(op->peer, 1);
+      EXPECT_EQ(op->tag, 3);
+    }
+  });
+}
+
+TEST(MpisimWatchdogTest, WaitallOnOrphanedRequests) {
+  World world(2);
+  world.set_watchdog_timeout(std::chrono::milliseconds(100));
+  world.run([](Comm comm) {
+    if (comm.rank() == 0) {
+      std::array<double, 2> v{};
+      std::array<Request*, 2> reqs{};
+      ASSERT_EQ(comm.irecv(&v[0], 1, Datatype::float64(), 1, 0, &reqs[0]), MpiError::kSuccess);
+      ASSERT_EQ(comm.irecv(&v[1], 1, Datatype::float64(), 1, 1, &reqs[1]), MpiError::kSuccess);
+      EXPECT_EQ(comm.waitall(reqs), MpiError::kDeadlock);
+      const mpisim::DeadlockReport report = comm.deadlock_report();
+      const mpisim::BlockedOp* op = report.for_rank(0);
+      ASSERT_NE(op, nullptr);
+      EXPECT_EQ(op->op, "MPI_Waitall");
+    }
+  });
+}
+
+TEST(MpisimWatchdogTest, TestPollLoopCountsAsBlocked) {
+  World world(2);
+  world.set_watchdog_timeout(std::chrono::milliseconds(100));
+  world.run([](Comm comm) {
+    if (comm.rank() == 0) {
+      // Spinning on MPI_Test for a message that never comes cannot make
+      // progress by itself: the soft-block path feeds the watchdog.
+      double v = 0.0;
+      Request* req = nullptr;
+      ASSERT_EQ(comm.irecv(&v, 1, Datatype::float64(), 1, 9, &req), MpiError::kSuccess);
+      bool completed = false;
+      MpiError err = MpiError::kSuccess;
+      const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(20);
+      while (err == MpiError::kSuccess && std::chrono::steady_clock::now() < deadline) {
+        err = comm.test(&req, &completed);
+        EXPECT_FALSE(completed);
+      }
+      EXPECT_EQ(err, MpiError::kDeadlock);
+      const mpisim::DeadlockReport report = comm.deadlock_report();
+      const mpisim::BlockedOp* op = report.for_rank(0);
+      ASSERT_NE(op, nullptr);
+      EXPECT_TRUE(op->soft);
+      EXPECT_NE(report.to_string().find("polling MPI_Test"), std::string::npos);
+    }
+  });
+}
+
+TEST(MpisimWatchdogTest, SlowRankIsNotAFalsePositive) {
+  // One rank computes for 4x the watchdog timeout before sending: as long as
+  // a live rank is unblocked, no deadlock may be declared.
+  World world(2);
+  world.set_watchdog_timeout(std::chrono::milliseconds(75));
+  world.run([](Comm comm) {
+    double v = 7.0;
+    if (comm.rank() == 0) {
+      EXPECT_EQ(comm.recv(&v, 1, Datatype::float64(), 1, 0), MpiError::kSuccess);
+      EXPECT_EQ(v, 3.0);
+      EXPECT_FALSE(comm.deadlock_detected());
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(300));
+      v = 3.0;
+      EXPECT_EQ(comm.send(&v, 1, Datatype::float64(), 0, 0), MpiError::kSuccess);
+    }
+  });
+}
+
+TEST(MpisimWatchdogTest, PoisonedCommFailsFastAfterDeclaration) {
+  World world(2);
+  world.set_watchdog_timeout(std::chrono::milliseconds(100));
+  world.run([](Comm comm) {
+    if (comm.rank() == 0) {
+      double v = 0.0;
+      EXPECT_EQ(comm.recv(&v, 1, Datatype::float64(), 1, 0), MpiError::kDeadlock);
+      // Every further blocking call returns immediately with kDeadlock
+      // instead of hanging again.
+      const auto start = std::chrono::steady_clock::now();
+      EXPECT_EQ(comm.recv(&v, 1, Datatype::float64(), 1, 1), MpiError::kDeadlock);
+      EXPECT_EQ(comm.barrier(), MpiError::kDeadlock);
+      const auto elapsed = std::chrono::steady_clock::now() - start;
+      EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed).count(), 100);
+    }
+  });
+}
+
+TEST(MpisimWatchdogTest, DisabledWatchdogKeepsLegacyBehaviour) {
+  // Timeout 0 disables declaration: a recv matched late still completes and
+  // no deadlock state is ever set.
+  World world(2);
+  world.set_watchdog_timeout(std::chrono::milliseconds(0));
+  world.run([](Comm comm) {
+    double v = 0.0;
+    if (comm.rank() == 0) {
+      EXPECT_EQ(comm.recv(&v, 1, Datatype::float64(), 1, 0), MpiError::kSuccess);
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      v = 1.0;
+      EXPECT_EQ(comm.send(&v, 1, Datatype::float64(), 0, 0), MpiError::kSuccess);
+    }
+    EXPECT_FALSE(comm.deadlock_detected());
   });
 }
 

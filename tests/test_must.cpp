@@ -248,4 +248,58 @@ TEST_F(MustTypeCheckTest, ZeroCountSkipsChecks) {
   EXPECT_EQ(must.counters().type_checks, 0u);
 }
 
+// -- Deadlock report relay --------------------------------------------------------
+
+TEST_F(MustRuntimeTest, DeadlockReportRelayedOnce) {
+  Runtime must = make();
+  mpisim::DeadlockReport report;
+  report.world_size = 2;
+  mpisim::BlockedOp op;
+  op.rank = 0;
+  op.op = "MPI_Recv";
+  op.peer = 1;
+  op.tag = 42;
+  report.blocked.push_back(op);
+
+  must.on_deadlock(0, report);
+  ASSERT_EQ(must.reports().size(), 1u);
+  EXPECT_EQ(must.reports()[0].kind, ReportKind::kDeadlock);
+  // The report names the rank's own blocked call and carries the full
+  // per-rank table in the detail text.
+  EXPECT_EQ(must.reports()[0].mpi_call, "MPI_Recv");
+  EXPECT_NE(must.reports()[0].detail.find("rank 0"), std::string::npos);
+  EXPECT_EQ(must.counters().deadlocks_reported, 1u);
+
+  // A poisoned communicator returns kDeadlock from every further call; the
+  // relay must not multiply reports.
+  must.on_deadlock(0, report);
+  must.on_deadlock(0, report);
+  EXPECT_EQ(must.reports().size(), 1u);
+  EXPECT_EQ(must.counters().deadlocks_reported, 1u);
+}
+
+TEST_F(MustRuntimeTest, DeadlockRelayIgnoresEmptyReports) {
+  Runtime must = make();
+  must.on_deadlock(0, mpisim::DeadlockReport{});
+  EXPECT_TRUE(must.reports().empty());
+  EXPECT_EQ(must.counters().deadlocks_reported, 0u);
+}
+
+TEST_F(MustRuntimeTest, DeadlockOfAnotherRankStillReported) {
+  // The declaring rank may not itself be in the blocked table (it could be
+  // soft-blocked or already past the call): the relay falls back to a
+  // generic call name but still reports.
+  Runtime must = make();
+  mpisim::DeadlockReport report;
+  report.world_size = 2;
+  mpisim::BlockedOp op;
+  op.rank = 1;
+  op.op = "MPI_Barrier";
+  report.blocked.push_back(op);
+  must.on_deadlock(0, report);
+  ASSERT_EQ(must.reports().size(), 1u);
+  EXPECT_EQ(must.reports()[0].kind, ReportKind::kDeadlock);
+  EXPECT_NE(must.reports()[0].detail.find("MPI_Barrier"), std::string::npos);
+}
+
 }  // namespace

@@ -1,0 +1,97 @@
+// Differential fault-sweep driver: runs the full §VI-C scenario matrix under
+// N seed-deterministic random fault plans and enforces the three robustness
+// invariants (no crash/hang, unfired plans are verdict-invisible, every fired
+// fault is surfaced through some channel). See src/testsuite/fault_sweep.hpp.
+//
+// Usage: fault_sweep [--plans N] [--faults N] [--seed N] [--filter SUBSTR]
+//                    [--watchdog MS] [--verbose]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "testsuite/fault_sweep.hpp"
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--plans N] [--faults N] [--seed N] [--filter SUBSTR] "
+               "[--watchdog MS] [--verbose]\n",
+               argv0);
+  std::exit(2);
+}
+
+long parse_long(const char* argv0, const char* flag, const char* value) {
+  if (value == nullptr) {
+    std::fprintf(stderr, "%s requires a value\n", flag);
+    usage(argv0);
+  }
+  char* end = nullptr;
+  const long parsed = std::strtol(value, &end, 10);
+  if (end == value || *end != '\0') {
+    std::fprintf(stderr, "%s: not a number: '%s'\n", flag, value);
+    usage(argv0);
+  }
+  return parsed;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  testsuite::SweepOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const char* value = i + 1 < argc ? argv[i + 1] : nullptr;
+    if (std::strcmp(arg, "--plans") == 0) {
+      options.plans = static_cast<int>(parse_long(argv[0], arg, value));
+      ++i;
+    } else if (std::strcmp(arg, "--faults") == 0) {
+      options.faults_per_plan = static_cast<int>(parse_long(argv[0], arg, value));
+      ++i;
+    } else if (std::strcmp(arg, "--seed") == 0) {
+      options.seed = static_cast<std::uint64_t>(parse_long(argv[0], arg, value));
+      ++i;
+    } else if (std::strcmp(arg, "--filter") == 0) {
+      if (value == nullptr) {
+        usage(argv[0]);
+      }
+      options.filter = value;
+      ++i;
+    } else if (std::strcmp(arg, "--watchdog") == 0) {
+      options.watchdog = std::chrono::milliseconds(parse_long(argv[0], arg, value));
+      ++i;
+    } else if (std::strcmp(arg, "--verbose") == 0) {
+      options.verbose = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg);
+      usage(argv[0]);
+    }
+  }
+  if (options.plans < 1 || options.faults_per_plan < 1 || options.watchdog.count() <= 0) {
+    std::fprintf(stderr, "--plans/--faults must be >= 1 and --watchdog must be > 0\n");
+    return 2;
+  }
+
+  std::printf("fault sweep: %d plan(s) x %d fault(s), seed %llu, watchdog %lld ms\n",
+              options.plans, options.faults_per_plan,
+              static_cast<unsigned long long>(options.seed),
+              static_cast<long long>(options.watchdog.count()));
+  const testsuite::SweepStats stats = testsuite::run_fault_sweep(options);
+
+  std::printf(
+      "\nSweep summary\n  Scenarios: %zu\n  Faulted runs executed: %zu (of %zu)\n  Faults "
+      "fired: %llu\n  Faults unsurfaced: %llu\n  Unfaulted verdict mismatches: %zu\n",
+      stats.scenarios, stats.faulted_runs, stats.runs,
+      static_cast<unsigned long long>(stats.faults_fired),
+      static_cast<unsigned long long>(stats.faults_unsurfaced), stats.verdict_mismatches);
+  for (const std::string& failure : stats.failures) {
+    std::printf("  VIOLATION: %s\n", failure.c_str());
+  }
+  if (stats.scenarios == 0) {
+    std::fprintf(stderr, "no scenario matches filter '%s'\n", options.filter.c_str());
+    return 2;
+  }
+  std::printf("%s\n", stats.ok() ? "OK: all robustness invariants hold" : "FAILED");
+  return stats.ok() ? 0 : 1;
+}
