@@ -1,10 +1,26 @@
 #include "capi/session.hpp"
 
+#include <cstdlib>
 #include <mutex>
 
 #include "faultsim/injector.hpp"
 
 namespace capi {
+
+int default_ranks() {
+  static const int ranks = [] {
+    const char* env = std::getenv("CUSAN_RANKS");
+    if (env == nullptr || *env == '\0') {
+      return 2;
+    }
+    const int parsed = std::atoi(env);
+    if (parsed < 2) {
+      return 2;
+    }
+    return parsed > 64 ? 64 : parsed;
+  }();
+  return ranks;
+}
 
 std::vector<RankResult> run_session(const SessionConfig& config, const RankMain& rank_main) {
   // Arm the fault injector from CUSAN_FAULT_PLAN once per process; sessions

@@ -39,6 +39,12 @@ struct RankEnv {
 
 using RankMain = std::function<void(RankEnv&)>;
 
+/// World size for harness-driven sessions: the CUSAN_RANKS environment
+/// variable (clamped to [2, 64]), or 2 when unset/invalid. Lets the whole
+/// testsuite / fault sweep scale to wider worlds (CI runs it at 8) without
+/// touching every call site.
+[[nodiscard]] int default_ranks();
+
 /// Run `rank_main` on every rank under the configured tool flavor and return
 /// each rank's tool results (index == rank).
 [[nodiscard]] std::vector<RankResult> run_session(const SessionConfig& config,

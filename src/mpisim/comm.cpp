@@ -1,21 +1,23 @@
 #include "mpisim/comm.hpp"
 
 #include <algorithm>
-#include <condition_variable>
+#include <atomic>
 #include <cstring>
 #include <deque>
-#include <functional>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
 #include "common/assert.hpp"
 #include "faultsim/injector.hpp"
+#include "mpisim/counters.hpp"
 #include "mpisim/request.hpp"
+#include "mpisim/wakeup.hpp"
 
 namespace mpisim {
 
-// Internal tags used by the linear collective implementations. User tags are
+// Internal tags used by the collective tree implementations. User tags are
 // required to be >= 0, so the reserved range can never collide.
 namespace {
 constexpr int kTagBarrierIn = -100;
@@ -24,11 +26,18 @@ constexpr int kTagBcast = -102;
 constexpr int kTagReduce = -103;
 constexpr int kTagGather = -104;
 constexpr int kTagScatter = -105;
+constexpr int kTagAllreduce = -106;
+constexpr int kTagAllgather = -107;
 
 /// How often a blocked thread re-checks the watchdog condition.
 constexpr auto kWatchdogPoll = std::chrono::milliseconds(5);
 /// Consecutive incomplete Test calls before the rank counts as soft-blocked.
 constexpr int kSoftBlockThreshold = 64;
+/// Predicate re-checks (with sched yields) before parking on the waiter
+/// slot. On an oversubscribed host the peer usually completes the operation
+/// within one timeslice, so yielding first avoids the two futex transitions
+/// of a condvar park on the hot path.
+constexpr int kParkSpinYields = 4;
 
 /// The outermost public MPI call executing on this thread. Collectives and
 /// blocking receives are built from inner send/recv/wait calls: the label
@@ -55,18 +64,27 @@ struct OpScope {
 
 }  // namespace
 
+// The sharded communication engine. One Mailbox per destination rank, each
+// with its own lock, per-source FIFO sub-queues, and a channel epoch counter
+// that totally orders entries across the sub-queues (so wildcard matching
+// still picks the oldest, as a single merged queue would). A completion
+// signals only the involved rank's WaiterSlot; the sole broadcast is deadlock
+// declaration/poisoning, which every blocked rank must observe.
 class CommImpl {
  public:
-  CommImpl(int size, std::shared_ptr<ProgressTracker> tracker, int comm_id)
+  CommImpl(int size, std::shared_ptr<ProgressTracker> tracker, int comm_id,
+           std::shared_ptr<WaiterHub> hub)
       : size_(size),
         tracker_(std::move(tracker)),
         comm_id_(comm_id),
-        mailboxes_(static_cast<std::size_t>(size)),
-        test_polls_(static_cast<std::size_t>(size), 0),
-        soft_blocked_(static_cast<std::size_t>(size), false),
-        soft_snapshot_(static_cast<std::size_t>(size), 0),
-        soft_quiet_since_(static_cast<std::size_t>(size)),
-        dup_counts_(static_cast<std::size_t>(size), 0) {}
+        hub_(std::move(hub)),
+        rank_local_(static_cast<std::size_t>(size)),
+        dup_counts_(static_cast<std::size_t>(size), 0) {
+    mailboxes_.reserve(static_cast<std::size_t>(size));
+    for (int r = 0; r < size; ++r) {
+      mailboxes_.push_back(std::make_unique<Mailbox>(size));
+    }
+  }
 
   [[nodiscard]] int size() const { return size_; }
   [[nodiscard]] int comm_id() const { return comm_id_; }
@@ -80,31 +98,55 @@ class CommImpl {
     return tracker_ != nullptr ? tracker_->report() : DeadlockReport{};
   }
 
+  /// Wake every rank of this world (rank exit, deadlock poisoning).
+  void wake_all() { hub_->broadcast(); }
+
   MpiError post_send(int src, int dest, int tag, const void* buf, std::size_t count,
                      const Datatype& type) {
     Message msg;
     msg.src = src;
     msg.tag = tag;
+    // Pack outside any lock: only the queue manipulation is serialized.
     msg.payload.resize(type.packed_size() * count);
     type.pack(buf, count, msg.payload.data());
     type.signature(count, msg.signature);
 
-    std::lock_guard lock(mutex_);
-    clear_soft_locked(src);
-    Mailbox& box = mailboxes_[static_cast<std::size_t>(dest)];
-    // Match the oldest posted receive accepting (src, tag).
-    for (auto it = box.posted.begin(); it != box.posted.end(); ++it) {
-      if (matches(it->source, it->tag, src, tag)) {
-        PostedRecv posted = *it;
-        box.posted.erase(it);
+    clear_soft(src);
+    Mailbox& box = *mailboxes_[static_cast<std::size_t>(dest)];
+    {
+      MailboxLock lock(box);
+      // Match the oldest posted receive accepting (src, tag): the head
+      // tag-acceptor of the per-source queue vs the wildcard queue, the
+      // lower channel epoch being the one a merged queue would have found
+      // first.
+      std::deque<PostedRecv>& per_src = box.by_src[static_cast<std::size_t>(src)].posted;
+      const auto specific = std::find_if(per_src.begin(), per_src.end(), [&](const PostedRecv& p) {
+        return tag_accepts(p.tag, tag);
+      });
+      const auto wildcard =
+          std::find_if(box.wildcard.begin(), box.wildcard.end(),
+                       [&](const PostedRecv& p) { return tag_accepts(p.tag, tag); });
+      const bool have_specific = specific != per_src.end();
+      const bool have_wildcard = wildcard != box.wildcard.end();
+      if (have_specific || have_wildcard) {
+        const bool use_specific =
+            have_specific && (!have_wildcard || specific->epoch < wildcard->epoch);
+        PostedRecv posted = use_specific ? *specific : *wildcard;
+        if (use_specific) {
+          per_src.erase(specific);
+        } else {
+          box.wildcard.erase(wildcard);
+        }
         deliver(msg, posted);
-        cv_.notify_all();
-        return MpiError::kSuccess;
+      } else {
+        msg.epoch = box.next_epoch++;
+        box.by_src[static_cast<std::size_t>(src)].unexpected.push_back(std::move(msg));
+        note_progress();  // a blocked probe/recv poster may now match
       }
     }
-    box.unexpected.push_back(std::move(msg));
-    note_progress();  // a blocked probe/recv poster may now match
-    cv_.notify_all();  // wake blocking probes
+    // Targeted wakeup: only the destination rank can be waiting on this
+    // mailbox (its recv/probe/wait predicates), so only its slot is poked.
+    hub_->slot(dest).signal();
     return MpiError::kSuccess;
   }
 
@@ -118,19 +160,46 @@ class CommImpl {
     posted.type = type;
     posted.request = request;
 
-    std::lock_guard lock(mutex_);
-    clear_soft_locked(dest);
-    Mailbox& box = mailboxes_[static_cast<std::size_t>(dest)];
-    for (auto it = box.unexpected.begin(); it != box.unexpected.end(); ++it) {
-      if (matches(source, tag, it->src, it->tag)) {
-        Message msg = std::move(*it);
-        box.unexpected.erase(it);
-        deliver(msg, posted);
-        cv_.notify_all();
-        return MpiError::kSuccess;
+    clear_soft(dest);
+    Mailbox& box = *mailboxes_[static_cast<std::size_t>(dest)];
+    MailboxLock lock(box);
+    std::deque<Message>* match_queue = nullptr;
+    std::deque<Message>::iterator match;
+    if (source != kAnySource) {
+      std::deque<Message>& q = box.by_src[static_cast<std::size_t>(source)].unexpected;
+      const auto it = std::find_if(
+          q.begin(), q.end(), [&](const Message& m) { return tag_accepts(tag, m.tag); });
+      if (it != q.end()) {
+        match_queue = &q;
+        match = it;
+      }
+    } else {
+      // ANY_SOURCE slow path: scan every source channel's head tag-acceptor
+      // and take the globally oldest (lowest channel epoch).
+      detail::bump(detail::g_any_source_scans);
+      for (auto& src_q : box.by_src) {
+        const auto it =
+            std::find_if(src_q.unexpected.begin(), src_q.unexpected.end(),
+                         [&](const Message& m) { return tag_accepts(tag, m.tag); });
+        if (it != src_q.unexpected.end() &&
+            (match_queue == nullptr || it->epoch < match->epoch)) {
+          match_queue = &src_q.unexpected;
+          match = it;
+        }
       }
     }
-    box.posted.push_back(posted);
+    if (match_queue != nullptr) {
+      Message msg = std::move(*match);
+      match_queue->erase(match);
+      deliver(msg, posted);
+      return MpiError::kSuccess;
+    }
+    posted.epoch = box.next_epoch++;
+    if (source != kAnySource) {
+      box.by_src[static_cast<std::size_t>(source)].posted.push_back(posted);
+    } else {
+      box.wildcard.push_back(posted);
+    }
     return MpiError::kSuccess;
   }
 
@@ -139,15 +208,13 @@ class CommImpl {
       return MpiError::kRequestNull;
     }
     Request* req = *request;
-    std::unique_lock lock(mutex_);
     BlockedOp op;
     op.rank = rank;
     op.op = current_op_label("MPI_Wait");
     op.peer = req->peer_;
     op.tag = req->tag_;
     op.comm_id = comm_id_;
-    const MpiError blocked =
-        blocked_wait(lock, [req] { return req->complete_; }, op);
+    const MpiError blocked = blocked_wait(op, [req] { return req->complete(); });
     if (blocked != MpiError::kSuccess) {
       // Deadlock: the request stays pending (it can never complete); MUST's
       // finalize-time leak check will see and report it.
@@ -158,7 +225,6 @@ class CommImpl {
       return blocked;
     }
     const Status st = req->status_;
-    lock.unlock();
     if (status != nullptr) {
       *status = st;
     }
@@ -172,8 +238,7 @@ class CommImpl {
       return MpiError::kRequestNull;
     }
     Request* req = *request;
-    std::unique_lock lock(mutex_);
-    if (!req->complete_) {
+    if (!req->complete()) {
       if (completed != nullptr) {
         *completed = false;
       }
@@ -183,9 +248,10 @@ class CommImpl {
       // A rank spinning on an incomplete Test cannot make progress by
       // itself: after a burst of fruitless polls it counts as (soft)
       // blocked so a Test-polling rank doesn't mask a deadlock forever.
-      if (tracker_ != nullptr &&
-          ++test_polls_[static_cast<std::size_t>(rank)] >= kSoftBlockThreshold) {
-        if (!soft_blocked_[static_cast<std::size_t>(rank)]) {
+      // The streak state is only ever touched by the owning rank's thread.
+      RankLocal& rl = rank_local_[static_cast<std::size_t>(rank)];
+      if (tracker_ != nullptr && ++rl.test_polls >= kSoftBlockThreshold) {
+        if (!rl.soft_blocked) {
           BlockedOp op;
           op.rank = rank;
           op.op = current_op_label("MPI_Test");
@@ -193,34 +259,31 @@ class CommImpl {
           op.tag = req->tag_;
           op.comm_id = comm_id_;
           tracker_->soft_block(op);
-          soft_blocked_[static_cast<std::size_t>(rank)] = true;
-          soft_snapshot_[static_cast<std::size_t>(rank)] = tracker_->progress();
-          soft_quiet_since_[static_cast<std::size_t>(rank)] = std::chrono::steady_clock::now();
+          rl.soft_blocked = true;
+          rl.soft_snapshot = tracker_->progress();
+          rl.soft_quiet_since = std::chrono::steady_clock::now();
         } else if (tracker_->timeout().count() > 0) {
           // A soft-blocked rank may be the only live thread (everyone else
           // hard-blocked or exited): it must drive declaration itself, or an
           // all-Test-polling deadlock would spin forever.
           const std::uint64_t progress = tracker_->progress();
           const auto now = std::chrono::steady_clock::now();
-          auto& snapshot = soft_snapshot_[static_cast<std::size_t>(rank)];
-          auto& quiet_since = soft_quiet_since_[static_cast<std::size_t>(rank)];
-          if (progress != snapshot) {
-            snapshot = progress;
-            quiet_since = now;
-          } else if (now - quiet_since >= tracker_->timeout()) {
-            if (tracker_->try_declare(snapshot)) {
-              cv_.notify_all();
+          if (progress != rl.soft_snapshot) {
+            rl.soft_snapshot = progress;
+            rl.soft_quiet_since = now;
+          } else if (now - rl.soft_quiet_since >= tracker_->timeout()) {
+            if (tracker_->try_declare(rl.soft_snapshot)) {
+              hub_->broadcast();  // poisoning: every blocked rank must see it
               return MpiError::kDeadlock;
             }
-            quiet_since = now;
+            rl.soft_quiet_since = now;
           }
         }
       }
       return MpiError::kSuccess;
     }
-    clear_soft_locked(rank);
+    clear_soft(rank);
     const Status st = req->status_;
-    lock.unlock();
     if (completed != nullptr) {
       *completed = true;
     }
@@ -253,67 +316,78 @@ class CommImpl {
     if (!any) {
       return MpiError::kRequestNull;
     }
-    {
-      std::unique_lock lock(mutex_);
-      BlockedOp op;
-      op.rank = rank;
-      op.op = current_op_label("MPI_Waitany");
-      op.peer = first_pending->peer_;
-      op.tag = first_pending->tag_;
-      op.comm_id = comm_id_;
-      const MpiError blocked = blocked_wait(
-          lock,
-          [&] {
-            for (std::size_t i = 0; i < requests.size(); ++i) {
-              if (requests[i] != nullptr && requests[i]->complete_) {
-                *index = static_cast<int>(i);
-                return true;
-              }
-            }
-            return false;
-          },
-          op);
-      if (blocked != MpiError::kSuccess) {
-        if (status != nullptr) {
-          *status = Status{};
-          status->error = blocked;
+    BlockedOp op;
+    op.rank = rank;
+    op.op = current_op_label("MPI_Waitany");
+    op.peer = first_pending->peer_;
+    op.tag = first_pending->tag_;
+    op.comm_id = comm_id_;
+    const MpiError blocked = blocked_wait(op, [&] {
+      for (std::size_t i = 0; i < requests.size(); ++i) {
+        if (requests[i] != nullptr && requests[i]->complete()) {
+          *index = static_cast<int>(i);
+          return true;
         }
-        return blocked;
       }
+      return false;
+    });
+    if (blocked != MpiError::kSuccess) {
+      if (status != nullptr) {
+        *status = Status{};
+        status->error = blocked;
+      }
+      return blocked;
     }
     return wait(rank, &requests[static_cast<std::size_t>(*index)], status);
   }
 
   MpiError probe(int rank, int source, int tag, bool blocking, bool* flag, Status* status) {
-    std::unique_lock lock(mutex_);
-    Mailbox& box = mailboxes_[static_cast<std::size_t>(rank)];
-    const auto find_match = [&]() -> const Message* {
-      for (const Message& msg : box.unexpected) {
-        if (matches(source, tag, msg.src, msg.tag)) {
-          return &msg;
+    Mailbox& box = *mailboxes_[static_cast<std::size_t>(rank)];
+    // Envelope snapshot: the matched message cannot be referenced outside
+    // the mailbox lock (the owning rank could consume it), so copy what
+    // Status needs while holding it.
+    const auto find_match = [&]() -> std::optional<Status> {
+      MailboxLock lock(box);
+      const Message* found = nullptr;
+      if (source != kAnySource) {
+        const std::deque<Message>& q = box.by_src[static_cast<std::size_t>(source)].unexpected;
+        const auto it = std::find_if(
+            q.begin(), q.end(), [&](const Message& m) { return tag_accepts(tag, m.tag); });
+        if (it != q.end()) {
+          found = &*it;
+        }
+      } else {
+        detail::bump(detail::g_any_source_scans);
+        for (const auto& src_q : box.by_src) {
+          const auto it =
+              std::find_if(src_q.unexpected.begin(), src_q.unexpected.end(),
+                           [&](const Message& m) { return tag_accepts(tag, m.tag); });
+          if (it != src_q.unexpected.end() && (found == nullptr || it->epoch < found->epoch)) {
+            found = &*it;
+          }
         }
       }
-      return nullptr;
+      if (found == nullptr) {
+        return std::nullopt;
+      }
+      return Status{found->src, found->tag, found->payload.size(), MpiError::kSuccess};
     };
-    const Message* msg = find_match();
+    std::optional<Status> envelope = find_match();
     if (!blocking) {
       if (flag != nullptr) {
-        *flag = msg != nullptr;
+        *flag = envelope.has_value();
       }
-    } else if (msg == nullptr) {
+    } else if (!envelope.has_value()) {
       BlockedOp op;
       op.rank = rank;
       op.op = current_op_label("MPI_Probe");
       op.peer = source;
       op.tag = tag;
       op.comm_id = comm_id_;
-      const MpiError blocked = blocked_wait(
-          lock,
-          [&] {
-            msg = find_match();
-            return msg != nullptr;
-          },
-          op);
+      const MpiError blocked = blocked_wait(op, [&] {
+        envelope = find_match();
+        return envelope.has_value();
+      });
       if (blocked != MpiError::kSuccess) {
         if (status != nullptr) {
           *status = Status{};
@@ -322,18 +396,18 @@ class CommImpl {
         return blocked;
       }
     }
-    if (msg != nullptr && status != nullptr) {
-      *status = Status{msg->src, msg->tag, msg->payload.size(), MpiError::kSuccess};
+    if (envelope.has_value() && status != nullptr) {
+      *status = *envelope;
     }
     return MpiError::kSuccess;
   }
 
+  /// Eager sends complete on the posting thread itself: the owner cannot be
+  /// waiting on the request yet, so no wakeup is needed.
   void complete_send_request(Request* req, std::size_t bytes) {
-    std::lock_guard lock(mutex_);
-    req->complete_ = true;
     req->status_ = Status{-1, -1, bytes, MpiError::kSuccess};
+    req->complete_.store(true, std::memory_order_release);
     note_progress();
-    cv_.notify_all();
   }
 
   /// An injected `stall` fault: park the calling rank as if the operation
@@ -341,19 +415,16 @@ class CommImpl {
   /// tracker the stall degrades to a synchronous failure (no hang).
   MpiError stall(int rank, const char* op_name, int peer, int tag, std::uint64_t fault_id) {
     auto& injector = faultsim::Injector::instance();
-    {
-      std::unique_lock lock(mutex_);
-      if (tracker_ != nullptr && tracker_->timeout().count() > 0) {
-        BlockedOp op;
-        op.rank = rank;
-        op.op = std::string(op_name) + " [stalled by fault plan]";
-        op.peer = peer;
-        op.tag = tag;
-        op.comm_id = comm_id_;
-        const MpiError err = blocked_wait(lock, [] { return false; }, op);
-        injector.mark_surfaced(fault_id, faultsim::Channel::kDeadlockReport);
-        return err;
-      }
+    if (tracker_ != nullptr && tracker_->timeout().count() > 0) {
+      BlockedOp op;
+      op.rank = rank;
+      op.op = std::string(op_name) + " [stalled by fault plan]";
+      op.peer = peer;
+      op.tag = tag;
+      op.comm_id = comm_id_;
+      const MpiError err = blocked_wait(op, [] { return false; });
+      injector.mark_surfaced(fault_id, faultsim::Channel::kDeadlockReport);
+      return err;
     }
     injector.mark_surfaced(fault_id, faultsim::Channel::kApiError);
     return MpiError::kOther;
@@ -363,6 +434,7 @@ class CommImpl {
   struct Message {
     int src{};
     int tag{};
+    std::uint64_t epoch{};            ///< mailbox arrival order (set when queued)
     std::vector<std::byte> payload;   ///< packed representation
     std::vector<Scalar> signature;    ///< sender's type signature (MUST metadata)
   };
@@ -370,20 +442,52 @@ class CommImpl {
   struct PostedRecv {
     int source{};
     int tag{};
+    std::uint64_t epoch{};  ///< mailbox posting order (set when queued)
     void* buffer{};
     std::size_t count{};
     Datatype type;
     Request* request{};  ///< completion target
   };
 
-  struct Mailbox {
-    std::deque<Message> unexpected;
-    std::deque<PostedRecv> posted;
+  /// One source channel within a destination mailbox.
+  struct SrcQueues {
+    std::deque<Message> unexpected;  ///< arrived, not yet matched
+    std::deque<PostedRecv> posted;   ///< posted with this specific source
   };
 
-  [[nodiscard]] static bool matches(int want_src, int want_tag, int src, int tag) {
-    return (want_src == kAnySource || want_src == src) &&
-           (want_tag == kAnyTag || want_tag == tag);
+  /// Per-destination shard: its own lock, per-source FIFO sub-queues, a
+  /// wildcard (ANY_SOURCE) posted queue, and a channel epoch counter giving
+  /// a total arrival/posting order across the sub-queues. Cacheline-aligned
+  /// so neighbouring shards don't false-share.
+  struct alignas(64) Mailbox {
+    explicit Mailbox(int size) : by_src(static_cast<std::size_t>(size)) {}
+    std::mutex mutex;
+    std::uint64_t next_epoch{0};       ///< guarded by mutex
+    std::vector<SrcQueues> by_src;     ///< guarded by mutex
+    std::deque<PostedRecv> wildcard;   ///< guarded by mutex
+  };
+
+  class MailboxLock {
+   public:
+    explicit MailboxLock(Mailbox& box) : lock_(box.mutex) {
+      detail::bump(detail::g_mailbox_locks);
+    }
+
+   private:
+    std::lock_guard<std::mutex> lock_;
+  };
+
+  /// Per-rank Test-poll streak. Only the owning rank's thread reads or
+  /// writes its entry, so no lock is needed; padding avoids false sharing.
+  struct alignas(64) RankLocal {
+    int test_polls{0};
+    bool soft_blocked{false};
+    std::uint64_t soft_snapshot{0};
+    std::chrono::steady_clock::time_point soft_quiet_since{};
+  };
+
+  [[nodiscard]] static bool tag_accepts(int want_tag, int tag) {
+    return want_tag == kAnyTag || want_tag == tag;
   }
 
   void note_progress() {
@@ -394,32 +498,48 @@ class CommImpl {
 
   /// Reset the rank's Test-poll streak (and soft-block registration): the
   /// rank just made or observed progress, or entered a real blocking call.
-  /// Caller holds mutex_.
-  void clear_soft_locked(int rank) {
+  void clear_soft(int rank) {
     if (rank < 0 || rank >= size_) {
       return;
     }
-    test_polls_[static_cast<std::size_t>(rank)] = 0;
-    if (soft_blocked_[static_cast<std::size_t>(rank)]) {
-      soft_blocked_[static_cast<std::size_t>(rank)] = false;
+    RankLocal& rl = rank_local_[static_cast<std::size_t>(rank)];
+    rl.test_polls = 0;
+    if (rl.soft_blocked) {
+      rl.soft_blocked = false;
       if (tracker_ != nullptr) {
         tracker_->soft_unblock(rank);
       }
     }
   }
 
-  /// Block on cv_ until `pred` holds, participating in the progress
-  /// watchdog: the blocked op is registered, the wait polls, and when every
-  /// live rank is blocked with no progress for the timeout the wait returns
-  /// kDeadlock instead of hanging. Caller holds `lock` on mutex_.
-  MpiError blocked_wait(std::unique_lock<std::mutex>& lock, const std::function<bool()>& pred,
-                        const BlockedOp& op) {
-    clear_soft_locked(op.rank);
+  /// Block the rank until `pred` holds, parking on its WaiterSlot and
+  /// participating in the progress watchdog: the blocked op is registered,
+  /// the park re-checks periodically, and when every live rank is blocked
+  /// with no progress for the timeout the wait returns kDeadlock instead of
+  /// hanging. `pred` is evaluated with no locks held by this function; it
+  /// may take mailbox locks or read request completion atomics. Templated
+  /// over the predicate so the hot path allocates no std::function.
+  template <typename Pred>
+  MpiError blocked_wait(const BlockedOp& op, Pred&& pred) {
+    clear_soft(op.rank);
     if (pred()) {
       return MpiError::kSuccess;
     }
+    // Pre-park yield phase: on an oversubscribed host the peer usually
+    // finishes within a timeslice, making the condvar round-trip (two futex
+    // syscalls plus a scheduler wakeup) the dominant cost of a wait.
+    for (int i = 0; i < kParkSpinYields; ++i) {
+      std::this_thread::yield();
+      if (pred()) {
+        return MpiError::kSuccess;
+      }
+    }
+    WaiterSlot& slot = hub_->slot(op.rank);
     if (tracker_ == nullptr || tracker_->timeout().count() <= 0) {
-      cv_.wait(lock, pred);
+      std::uint64_t seen = slot.epoch();
+      while (!pred()) {
+        seen = slot.wait(seen);
+      }
       return MpiError::kSuccess;
     }
     if (tracker_->deadlocked()) {
@@ -429,6 +549,7 @@ class CommImpl {
     MpiError result = MpiError::kSuccess;
     std::uint64_t snapshot = tracker_->progress();
     auto quiet_since = std::chrono::steady_clock::now();
+    std::uint64_t seen = slot.epoch();
     while (true) {
       if (pred()) {
         break;
@@ -437,9 +558,18 @@ class CommImpl {
         result = MpiError::kDeadlock;
         break;
       }
-      cv_.wait_for(lock, kWatchdogPoll);
+      const std::uint64_t woke = slot.wait(seen, kWatchdogPoll);
+      const bool signalled = woke != seen;
+      seen = woke;
       if (pred()) {
         break;
+      }
+      if (signalled) {
+        // Signalled but the predicate is still false: the wakeup was for a
+        // different condition (e.g. an unexpected message this rank's recv
+        // doesn't match). With the old notify_all engine this was the norm;
+        // now it is the exception the counter makes visible.
+        detail::bump(detail::g_wakeups_spurious);
       }
       if (tracker_->deadlocked()) {
         result = MpiError::kDeadlock;
@@ -454,7 +584,7 @@ class CommImpl {
       }
       if (now - quiet_since >= tracker_->timeout()) {
         if (tracker_->try_declare(snapshot)) {
-          cv_.notify_all();  // wake peers so they observe the declaration
+          hub_->broadcast();  // wake peers so they observe the declaration
           result = MpiError::kDeadlock;
           break;
         }
@@ -467,7 +597,7 @@ class CommImpl {
   }
 
   // Unpack a matched message into the posted receive buffer and complete the
-  // request. Caller holds mutex_.
+  // request. Caller holds the destination mailbox lock.
   void deliver(const Message& msg, const PostedRecv& posted) {
     const std::size_t elem_packed = posted.type.packed_size();
     const std::size_t capacity_elems = posted.count;
@@ -504,36 +634,32 @@ class CommImpl {
     }
 
     CUSAN_ASSERT(posted.request != nullptr);
-    posted.request->complete_ = true;
     posted.request->status_ =
         Status{msg.src, msg.tag, deliver_elems * elem_packed,
                truncated ? MpiError::kTruncate : MpiError::kSuccess, mismatch};
+    posted.request->complete_.store(true, std::memory_order_release);
     note_progress();
   }
 
   int size_;
   std::shared_ptr<ProgressTracker> tracker_;
   int comm_id_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::vector<Mailbox> mailboxes_;
-  std::vector<int> test_polls_;      ///< consecutive incomplete Test calls per rank
-  std::vector<bool> soft_blocked_;   ///< rank currently registered soft-blocked
-  std::vector<std::uint64_t> soft_snapshot_;  ///< progress snapshot at soft-block time
-  std::vector<std::chrono::steady_clock::time_point> soft_quiet_since_;
-  // NOLINTNEXTLINE: members above guarded by mutex_
+  std::shared_ptr<WaiterHub> hub_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::vector<RankLocal> rank_local_;
 
  public:
   /// The rank's k-th dup call maps to child context k (MPI's same-order
   /// collective-call requirement makes the indices agree across ranks).
-  /// Children share the parent's progress tracker: a deadlock spanning
-  /// communicators is still a deadlock of the one world.
+  /// Children share the parent's progress tracker AND waiter hub: a
+  /// deadlock spanning communicators is still a deadlock of the one world,
+  /// and a rank blocked on one communicator must be wakeable from another.
   std::shared_ptr<CommImpl> dup_for_rank(int rank) {
     std::lock_guard lock(dup_mutex_);
     const std::size_t k = dup_counts_[static_cast<std::size_t>(rank)]++;
     if (k >= children_.size()) {
-      children_.push_back(
-          std::make_shared<CommImpl>(size_, tracker_, comm_id_ + static_cast<int>(k) + 1));
+      children_.push_back(std::make_shared<CommImpl>(
+          size_, tracker_, comm_id_ + static_cast<int>(k) + 1, hub_));
     }
     return children_[k];
   }
@@ -550,7 +676,8 @@ std::shared_ptr<CommImpl> make_comm_impl(int size) {
 
 std::shared_ptr<CommImpl> make_comm_impl(int size, std::shared_ptr<ProgressTracker> tracker) {
   CUSAN_ASSERT(size > 0);
-  return std::make_shared<CommImpl>(size, std::move(tracker), /*comm_id=*/0);
+  return std::make_shared<CommImpl>(size, std::move(tracker), /*comm_id=*/0,
+                                    std::make_shared<WaiterHub>(size));
 }
 
 // -- Comm: fault-plan consultation -------------------------------------------------
@@ -583,6 +710,23 @@ MpiError consult_fault(CommImpl* impl, int rank, faultsim::Site site, const char
       return MpiError::kOther;
   }
 }
+
+/// Rank renumbering relative to a collective's root (MPICH convention):
+/// tree algorithms are written for root 0 over relative ranks.
+[[nodiscard]] int rel_rank(int rank, int root, int size) { return (rank - root + size) % size; }
+[[nodiscard]] int abs_rank(int rel, int root, int size) { return (rel + root) % size; }
+
+/// Largest power of two <= n (n >= 1).
+[[nodiscard]] int floor_pow2(int n) {
+  int p = 1;
+  while (p * 2 <= n) {
+    p *= 2;
+  }
+  return p;
+}
+
+/// Count an internal collective-tree message (instrumentation only).
+void count_collective_message() { detail::bump(detail::g_collective_messages); }
 
 }  // namespace
 
@@ -792,7 +936,14 @@ MpiError Comm::sendrecv(const void* sendbuf, std::size_t sendcount, const Dataty
   return wait(&recv_req, status);
 }
 
-// -- Comm: collectives (linear algorithms over internal p2p) -----------------------
+// -- Comm: collectives (binomial trees / recursive doubling over internal p2p) -----
+//
+// All algorithms follow the MPICH formulations over root-relative ranks.
+// Messages travel on reserved negative tags, so user traffic (tags >= 0)
+// can interleave freely. An error from an inner send/recv (deadlock
+// poisoning, injected fault) aborts the tree immediately — peers observe
+// the same poisoning through their own blocked calls, exactly as with the
+// previous linear algorithms.
 
 MpiError Comm::barrier() {
   OpScope scope("MPI_Barrier");
@@ -801,27 +952,58 @@ MpiError Comm::barrier() {
       err != MpiError::kSuccess) {
     return err;
   }
-  // Gather a token at rank 0, then broadcast the release.
+  // Binomial-tree gather of a token at rank 0, then tree broadcast of the
+  // release: 2*log2(P) rounds instead of the old 2*(P-1) at rank 0.
   const Datatype type = Datatype::byte();
+  const int world = size();
   std::byte token{};
-  if (rank_ == 0) {
-    for (int r = 1; r < size(); ++r) {
-      if (const MpiError err = recv(&token, 1, type, r, kTagBarrierIn); err != MpiError::kSuccess) {
+  int mask = 1;
+  while (mask < world) {
+    if ((rank_ & mask) != 0) {
+      count_collective_message();
+      if (const MpiError err = send(&token, 1, type, rank_ ^ mask, kTagBarrierIn);
+          err != MpiError::kSuccess) {
         return err;
       }
+      break;
     }
-    for (int r = 1; r < size(); ++r) {
-      if (const MpiError err = send(&token, 1, type, r, kTagBarrierOut);
+    const int child = rank_ | mask;
+    if (child < world) {
+      if (const MpiError err = recv(&token, 1, type, child, kTagBarrierIn);
           err != MpiError::kSuccess) {
         return err;
       }
     }
-    return MpiError::kSuccess;
+    mask <<= 1;
   }
-  if (const MpiError err = send(&token, 1, type, 0, kTagBarrierIn); err != MpiError::kSuccess) {
-    return err;
+  // Release phase: rank 0 falls through the loop above with mask >= world;
+  // everyone else re-enters at the bit it sent on.
+  int release_mask = 1;
+  while (release_mask < world) {
+    if ((rank_ & release_mask) != 0) {
+      if (const MpiError err = recv(&token, 1, type, rank_ ^ release_mask, kTagBarrierOut);
+          err != MpiError::kSuccess) {
+        return err;
+      }
+      break;
+    }
+    release_mask <<= 1;
   }
-  return recv(&token, 1, type, 0, kTagBarrierOut);
+  release_mask >>= 1;
+  while (release_mask > 0) {
+    if ((rank_ & release_mask) == 0) {
+      const int child = rank_ | release_mask;
+      if (child < world && child != rank_) {
+        count_collective_message();
+        if (const MpiError err = send(&token, 1, type, child, kTagBarrierOut);
+            err != MpiError::kSuccess) {
+          return err;
+        }
+      }
+    }
+    release_mask >>= 1;
+  }
+  return MpiError::kSuccess;
 }
 
 MpiError Comm::bcast(void* buf, std::size_t count, const Datatype& type, int root) {
@@ -834,18 +1016,35 @@ MpiError Comm::bcast(void* buf, std::size_t count, const Datatype& type, int roo
       err != MpiError::kSuccess) {
     return err;
   }
-  if (rank_ == root) {
-    for (int r = 0; r < size(); ++r) {
-      if (r == root) {
-        continue;
+  const int world = size();
+  const int rel = rel_rank(rank_, root, world);
+  // Receive from the parent (the rank that differs at our lowest set bit)…
+  int mask = 1;
+  while (mask < world) {
+    if ((rel & mask) != 0) {
+      if (const MpiError err =
+              recv(buf, count, type, abs_rank(rel ^ mask, root, world), kTagBcast);
+          err != MpiError::kSuccess) {
+        return err;
       }
-      if (const MpiError err = send(buf, count, type, r, kTagBcast); err != MpiError::kSuccess) {
+      break;
+    }
+    mask <<= 1;
+  }
+  // …then forward to children at all lower bits.
+  mask >>= 1;
+  while (mask > 0) {
+    if (rel + mask < world) {
+      count_collective_message();
+      if (const MpiError err =
+              send(buf, count, type, abs_rank(rel + mask, root, world), kTagBcast);
+          err != MpiError::kSuccess) {
         return err;
       }
     }
-    return MpiError::kSuccess;
+    mask >>= 1;
   }
-  return recv(buf, count, type, root, kTagBcast);
+  return MpiError::kSuccess;
 }
 
 MpiError Comm::reduce(const void* sendbuf, void* recvbuf, std::size_t count, const Datatype& type,
@@ -859,25 +1058,54 @@ MpiError Comm::reduce(const void* sendbuf, void* recvbuf, std::size_t count, con
       err != MpiError::kSuccess) {
     return err;
   }
-  if (rank_ != root) {
-    return send(sendbuf, count, type, root, kTagReduce);
+  const int world = size();
+  const int rel = rel_rank(rank_, root, world);
+  const std::size_t bytes = type.extent() * count;
+  // Accumulate child subtree contributions in increasing-bit order (the
+  // same association every rank uses, so results are deterministic). The
+  // accumulator materializes lazily: a leaf never copies, it just forwards
+  // its send buffer.
+  const void* acc_read = sendbuf;
+  void* acc_mut = nullptr;
+  std::vector<std::byte> acc_store;
+  std::vector<std::byte> scratch;
+  if (rank_ == root && recvbuf != sendbuf) {
+    std::memcpy(recvbuf, sendbuf, bytes);
   }
-  if (recvbuf != sendbuf) {
-    std::memcpy(recvbuf, sendbuf, type.extent() * count);
+  int mask = 1;
+  while (mask < world) {
+    if ((rel & mask) != 0) {
+      count_collective_message();
+      return send(acc_read, count, type, abs_rank(rel ^ mask, root, world), kTagReduce);
+    }
+    const int child = rel | mask;
+    if (child < world) {
+      if (scratch.empty()) {
+        scratch.resize(bytes);
+      }
+      if (const MpiError err =
+              recv(scratch.data(), count, type, abs_rank(child, root, world), kTagReduce);
+          err != MpiError::kSuccess) {
+        return err;
+      }
+      if (acc_mut == nullptr) {
+        if (rank_ == root) {
+          acc_mut = recvbuf;  // already seeded with sendbuf above
+        } else {
+          acc_store.assign(static_cast<const std::byte*>(sendbuf),
+                           static_cast<const std::byte*>(sendbuf) + bytes);
+          acc_mut = acc_store.data();
+        }
+        acc_read = acc_mut;
+      }
+      if (!apply_reduce(op, type, count, scratch.data(), acc_mut)) {
+        return MpiError::kInvalidArg;
+      }
+    }
+    mask <<= 1;
   }
-  std::vector<std::byte> scratch(type.extent() * count);
-  for (int r = 0; r < size(); ++r) {
-    if (r == root) {
-      continue;
-    }
-    if (const MpiError err = recv(scratch.data(), count, type, r, kTagReduce);
-        err != MpiError::kSuccess) {
-      return err;
-    }
-    if (!apply_reduce(op, type, count, scratch.data(), recvbuf)) {
-      return MpiError::kInvalidArg;
-    }
-  }
+  // Only rel 0 — the root — falls through; with no children (world == 1)
+  // recvbuf already holds sendbuf.
   return MpiError::kSuccess;
 }
 
@@ -889,11 +1117,71 @@ MpiError Comm::allreduce(const void* sendbuf, void* recvbuf, std::size_t count,
       err != MpiError::kSuccess) {
     return err;
   }
-  if (const MpiError err = reduce(sendbuf, recvbuf, count, type, op, 0);
-      err != MpiError::kSuccess) {
-    return err;
+  const int world = size();
+  const std::size_t bytes = type.extent() * count;
+  if (recvbuf != sendbuf) {
+    std::memcpy(recvbuf, sendbuf, bytes);
   }
-  return bcast(recvbuf, count, type, 0);
+  if (world == 1) {
+    return MpiError::kSuccess;
+  }
+  // Recursive doubling with the MPICH non-power-of-two pre/post phase: the
+  // first 2*rem ranks pair up, odd members absorb their even partner and
+  // take part in the log2(pof2) exchange rounds; even members sit out and
+  // receive the final result afterwards. Every participating rank applies
+  // the reductions in the same order, so all ranks get bitwise-identical
+  // results (commutative builtin ops).
+  const int pof2 = floor_pow2(world);
+  const int rem = world - pof2;
+  std::vector<std::byte> scratch(bytes);
+  int newrank;
+  if (rank_ < 2 * rem) {
+    if ((rank_ % 2) == 0) {
+      count_collective_message();
+      if (const MpiError err = send(recvbuf, count, type, rank_ + 1, kTagAllreduce);
+          err != MpiError::kSuccess) {
+        return err;
+      }
+      newrank = -1;
+    } else {
+      if (const MpiError err = recv(scratch.data(), count, type, rank_ - 1, kTagAllreduce);
+          err != MpiError::kSuccess) {
+        return err;
+      }
+      if (!apply_reduce(op, type, count, scratch.data(), recvbuf)) {
+        return MpiError::kInvalidArg;
+      }
+      newrank = rank_ / 2;
+    }
+  } else {
+    newrank = rank_ - rem;
+  }
+  if (newrank >= 0) {
+    for (int mask = 1; mask < pof2; mask <<= 1) {
+      const int newpeer = newrank ^ mask;
+      const int peer = newpeer < rem ? newpeer * 2 + 1 : newpeer + rem;
+      count_collective_message();
+      if (const MpiError err = send(recvbuf, count, type, peer, kTagAllreduce);
+          err != MpiError::kSuccess) {
+        return err;
+      }
+      if (const MpiError err = recv(scratch.data(), count, type, peer, kTagAllreduce);
+          err != MpiError::kSuccess) {
+        return err;
+      }
+      if (!apply_reduce(op, type, count, scratch.data(), recvbuf)) {
+        return MpiError::kInvalidArg;
+      }
+    }
+  }
+  if (rank_ < 2 * rem) {
+    if ((rank_ % 2) != 0) {
+      count_collective_message();
+      return send(recvbuf, count, type, rank_ - 1, kTagAllreduce);
+    }
+    return recv(recvbuf, count, type, rank_ + 1, kTagAllreduce);
+  }
+  return MpiError::kSuccess;
 }
 
 MpiError Comm::gather(const void* sendbuf, std::size_t count, const Datatype& type,
@@ -907,19 +1195,82 @@ MpiError Comm::gather(const void* sendbuf, std::size_t count, const Datatype& ty
       err != MpiError::kSuccess) {
     return err;
   }
-  if (rank_ != root) {
-    return send(sendbuf, count, type, root, kTagGather);
-  }
-  auto* recv_bytes = static_cast<std::byte*>(recvbuf);
+  const int world = size();
   const std::size_t slot = type.extent() * count;
-  for (int r = 0; r < size(); ++r) {
-    std::byte* dst = recv_bytes + static_cast<std::size_t>(r) * slot;
-    if (r == root) {
-      std::memcpy(dst, sendbuf, slot);
-      continue;
+  if (world == 1) {
+    std::memcpy(recvbuf, sendbuf, slot);
+    return MpiError::kSuccess;
+  }
+  // Binomial aggregation needs rank blocks staged contiguously; derived
+  // datatypes with holes would be clobbered by that staging, so they take
+  // the linear path.
+  if (!type.is_contiguous()) {
+    if (rank_ != root) {
+      count_collective_message();
+      return send(sendbuf, count, type, root, kTagGather);
     }
-    if (const MpiError err = recv(dst, count, type, r, kTagGather); err != MpiError::kSuccess) {
-      return err;
+    auto* recv_bytes = static_cast<std::byte*>(recvbuf);
+    for (int r = 0; r < world; ++r) {
+      std::byte* dst = recv_bytes + static_cast<std::size_t>(r) * slot;
+      if (r == root) {
+        std::memcpy(dst, sendbuf, slot);
+        continue;
+      }
+      if (const MpiError err = recv(dst, count, type, r, kTagGather); err != MpiError::kSuccess) {
+        return err;
+      }
+    }
+    return MpiError::kSuccess;
+  }
+  const int rel = rel_rank(rank_, root, world);
+  // Leaf fast path: a rank with lowest bit set owns only its own block.
+  if ((rel & 1) != 0) {
+    count_collective_message();
+    return send(sendbuf, count, type, abs_rank(rel ^ 1, root, world), kTagGather);
+  }
+  // Interior ranks stage blocks [rel, rel + subtree) contiguously in
+  // relative-rank order; the root with root == 0 can stage directly in
+  // recvbuf (relative == absolute there).
+  int subtree = 1;
+  while ((rel & subtree) == 0 && subtree < world) {
+    subtree <<= 1;
+  }
+  const int max_blocks = std::min(subtree, world - rel);
+  const bool direct = rank_ == root && root == 0;
+  std::vector<std::byte> staging;
+  std::byte* stage;
+  if (direct) {
+    stage = static_cast<std::byte*>(recvbuf);
+  } else {
+    staging.resize(static_cast<std::size_t>(max_blocks) * slot);
+    stage = staging.data();
+  }
+  std::memcpy(stage, sendbuf, slot);
+  for (int mask = 1; mask < world; mask <<= 1) {
+    if ((rel & mask) != 0) {
+      const int have = std::min(mask, world - rel);
+      count_collective_message();
+      return send(stage, count * static_cast<std::size_t>(have), type,
+                  abs_rank(rel ^ mask, root, world), kTagGather);
+    }
+    const int child = rel | mask;
+    if (child < world) {
+      const int child_blocks = std::min(mask, world - child);
+      if (const MpiError err = recv(stage + static_cast<std::size_t>(mask) * slot,
+                                    count * static_cast<std::size_t>(child_blocks), type,
+                                    abs_rank(child, root, world), kTagGather);
+          err != MpiError::kSuccess) {
+        return err;
+      }
+    }
+  }
+  // Only the root (rel 0) reaches here. Rotate relative-order blocks into
+  // absolute rank slots when the staging wasn't done in place.
+  if (!direct) {
+    auto* recv_bytes = static_cast<std::byte*>(recvbuf);
+    for (int r = 0; r < world; ++r) {
+      std::memcpy(recv_bytes + static_cast<std::size_t>(abs_rank(r, root, world)) * slot,
+                  stage + static_cast<std::size_t>(r) * slot, slot);
     }
   }
   return MpiError::kSuccess;
@@ -936,20 +1287,91 @@ MpiError Comm::scatter(const void* sendbuf, std::size_t count, const Datatype& t
       err != MpiError::kSuccess) {
     return err;
   }
-  if (rank_ != root) {
-    return recv(recvbuf, count, type, root, kTagScatter);
-  }
-  const auto* send_bytes = static_cast<const std::byte*>(sendbuf);
+  const int world = size();
   const std::size_t slot = type.extent() * count;
-  for (int r = 0; r < size(); ++r) {
-    const std::byte* src = send_bytes + static_cast<std::size_t>(r) * slot;
-    if (r == root) {
-      std::memcpy(recvbuf, src, slot);
-      continue;
+  if (world == 1) {
+    std::memcpy(recvbuf, sendbuf, slot);
+    return MpiError::kSuccess;
+  }
+  if (!type.is_contiguous()) {
+    // Linear fallback, mirroring gather: staging multi-block spans would
+    // clobber the holes of non-contiguous datatypes.
+    if (rank_ != root) {
+      return recv(recvbuf, count, type, root, kTagScatter);
     }
-    if (const MpiError err = send(src, count, type, r, kTagScatter); err != MpiError::kSuccess) {
+    const auto* send_bytes = static_cast<const std::byte*>(sendbuf);
+    for (int r = 0; r < world; ++r) {
+      const std::byte* src = send_bytes + static_cast<std::size_t>(r) * slot;
+      if (r == root) {
+        std::memcpy(recvbuf, src, slot);
+        continue;
+      }
+      count_collective_message();
+      if (const MpiError err = send(src, count, type, r, kTagScatter); err != MpiError::kSuccess) {
+        return err;
+      }
+    }
+    return MpiError::kSuccess;
+  }
+  const int rel = rel_rank(rank_, root, world);
+  // b: the subtree stride — the distance to the parent for non-roots, the
+  // power-of-two ceiling of the world for the root.
+  int b = 1;
+  if (rel == 0) {
+    while (b < world) {
+      b <<= 1;
+    }
+  } else {
+    while ((rel & b) == 0) {
+      b <<= 1;
+    }
+  }
+  const int span = rel == 0 ? world : std::min(b, world - rel);
+  std::vector<std::byte> staging;
+  const std::byte* stage;
+  if (rel == 0) {
+    if (root == 0) {
+      stage = static_cast<const std::byte*>(sendbuf);
+    } else {
+      // Rotate absolute rank slots into relative order once at the root.
+      staging.resize(static_cast<std::size_t>(world) * slot);
+      const auto* send_bytes = static_cast<const std::byte*>(sendbuf);
+      for (int r = 0; r < world; ++r) {
+        std::memcpy(staging.data() + static_cast<std::size_t>(r) * slot,
+                    send_bytes + static_cast<std::size_t>(abs_rank(r, root, world)) * slot, slot);
+      }
+      stage = staging.data();
+    }
+  } else {
+    std::byte* dst;
+    if (span > 1) {
+      staging.resize(static_cast<std::size_t>(span) * slot);
+      dst = staging.data();
+    } else {
+      dst = static_cast<std::byte*>(recvbuf);
+    }
+    if (const MpiError err = recv(dst, count * static_cast<std::size_t>(span), type,
+                                  abs_rank(rel ^ b, root, world), kTagScatter);
+        err != MpiError::kSuccess) {
       return err;
     }
+    stage = dst;
+  }
+  for (int mask = b >> 1; mask >= 1; mask >>= 1) {
+    const int child = rel | mask;
+    if (child > rel && child < world) {
+      const int child_span = std::min(mask, world - child);
+      count_collective_message();
+      if (const MpiError err = send(stage + static_cast<std::size_t>(mask) * slot,
+                                    count * static_cast<std::size_t>(child_span), type,
+                                    abs_rank(child, root, world), kTagScatter);
+          err != MpiError::kSuccess) {
+        return err;
+      }
+    }
+  }
+  if (rel == 0 || span > 1) {
+    std::memcpy(recvbuf, stage, slot);  // own block is the first staged one
   }
   return MpiError::kSuccess;
 }
@@ -962,12 +1384,40 @@ MpiError Comm::allgather(const void* sendbuf, std::size_t count, const Datatype&
       err != MpiError::kSuccess) {
     return err;
   }
+  const int world = size();
+  const std::size_t slot = type.extent() * count;
+  const bool pof2 = (world & (world - 1)) == 0;
+  if (type.is_contiguous() && pof2 && world > 1) {
+    // Recursive doubling: in round k each rank swaps its accumulated 2^k
+    // blocks with the partner across bit k, in place in recvbuf.
+    auto* base = static_cast<std::byte*>(recvbuf);
+    std::memcpy(base + static_cast<std::size_t>(rank_) * slot, sendbuf, slot);
+    for (int mask = 1; mask < world; mask <<= 1) {
+      const int peer = rank_ ^ mask;
+      const int send_base = rank_ & ~(mask - 1);
+      const int recv_base = peer & ~(mask - 1);
+      count_collective_message();
+      if (const MpiError err = send(base + static_cast<std::size_t>(send_base) * slot,
+                                    count * static_cast<std::size_t>(mask), type, peer,
+                                    kTagAllgather);
+          err != MpiError::kSuccess) {
+        return err;
+      }
+      if (const MpiError err = recv(base + static_cast<std::size_t>(recv_base) * slot,
+                                    count * static_cast<std::size_t>(mask), type, peer,
+                                    kTagAllgather);
+          err != MpiError::kSuccess) {
+        return err;
+      }
+    }
+    return MpiError::kSuccess;
+  }
+  // Non-power-of-two or non-contiguous: binomial gather + tree bcast.
   if (const MpiError err = gather(sendbuf, count, type, recvbuf, 0);
       err != MpiError::kSuccess) {
     return err;
   }
-  // Broadcast the assembled result.
-  return bcast(recvbuf, count * static_cast<std::size_t>(size()), type, 0);
+  return bcast(recvbuf, count * static_cast<std::size_t>(world), type, 0);
 }
 
 }  // namespace mpisim

@@ -1,7 +1,17 @@
 // The simulator's communicator: point-to-point messaging with MPI matching
 // semantics (source/tag matching incl. wildcards, FIFO per channel, eager
-// buffered sends, posted-receive + unexpected-message queues) and linear
-// collectives built on the same p2p engine with reserved internal tags.
+// buffered sends, posted-receive + unexpected-message queues) and tree
+// collectives (binomial barrier/bcast/reduce/gather/scatter, recursive-
+// doubling allreduce/allgather) built on the same p2p engine with reserved
+// internal tags.
+//
+// Internally the engine is sharded: one mailbox per destination rank with
+// its own lock and per-source FIFO sub-queues (ANY_SOURCE takes a
+// documented scan-all-channels slow path ordered by a channel epoch
+// counter), and completions wake only the involved rank via its waiter
+// slot — the sole broadcast wakeup is deadlock declaration/poisoning. See
+// docs/architecture.md ("Communication engine") and mpisim/counters.hpp
+// for the observable contention counters.
 //
 // Ranks run as threads within one process (see world.hpp); buffers may be
 // cusim device pointers — like a CUDA-aware MPI library, the engine copies

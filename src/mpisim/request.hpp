@@ -3,6 +3,8 @@
 // as MUST's stable key for its request-fiber mapping.
 #pragma once
 
+#include <atomic>
+
 #include "mpisim/comm.hpp"
 
 namespace mpisim {
@@ -28,14 +30,20 @@ class Request {
       : kind_(kind), buffer_(buffer), count_(count), type_(std::move(type)), peer_(peer),
         tag_(tag) {}
 
+  /// Completion flag. The completer writes status_ first, then stores true
+  /// with release; the owning rank loads with acquire before reading
+  /// status_ or deleting the request. Only the posting rank ever waits on,
+  /// tests or frees a request, so no further synchronization is needed.
+  [[nodiscard]] bool complete() const { return complete_.load(std::memory_order_acquire); }
+
   Kind kind_;
   const void* buffer_;
   std::size_t count_;
   Datatype type_;
   int peer_{-1};
   int tag_{-1};
-  bool complete_{false};  // guarded by CommImpl::mutex_
-  Status status_{};
+  std::atomic<bool> complete_{false};
+  Status status_{};  ///< published by the release-store on complete_
 };
 
 }  // namespace mpisim

@@ -14,34 +14,50 @@ using CtxId = std::uint32_t;
 
 inline constexpr CtxId kInvalidCtx = 0xFFFFFFFFu;
 
+/// Vector clock with small-buffer storage: components for the first
+/// kInlineCtxs contexts live inline in the object, so the common case (a few
+/// threads/fibers per rank) never touches the heap; higher context ids spill
+/// into an overflow vector. join() takes an early exit — without writing —
+/// when `other` advances nothing (re-acquiring a synchronization object the
+/// context released last), which is the hot no-op case in acquire paths.
 class VectorClock {
  public:
+  static constexpr std::size_t kInlineCtxs = 8;
+
   VectorClock() = default;
 
   /// Clock component of `ctx` (0 if never set).
   [[nodiscard]] std::uint64_t get(CtxId ctx) const {
-    return ctx < values_.size() ? values_[ctx] : 0;
+    if (ctx < kInlineCtxs) {
+      return inline_[ctx];
+    }
+    const std::size_t idx = ctx - kInlineCtxs;
+    return idx < overflow_.size() ? overflow_[idx] : 0;
   }
 
-  void set(CtxId ctx, std::uint64_t value) {
-    ensure(ctx);
-    values_[ctx] = value;
-  }
+  void set(CtxId ctx, std::uint64_t value) { slot(ctx) = value; }
 
   /// Increment the component of `ctx` and return the new value.
-  std::uint64_t tick(CtxId ctx) {
-    ensure(ctx);
-    return ++values_[ctx];
-  }
+  std::uint64_t tick(CtxId ctx) { return ++slot(ctx); }
 
   /// Element-wise maximum: this = max(this, other).
   void join(const VectorClock& other) {
-    if (other.values_.size() > values_.size()) {
-      values_.resize(other.values_.size(), 0);
+    if (&other == this) {
+      return;
     }
-    for (std::size_t i = 0; i < other.values_.size(); ++i) {
-      if (other.values_[i] > values_[i]) {
-        values_[i] = other.values_[i];
+    const std::size_t other_size = other.size_;
+    // Scan for the first component `other` would advance; if there is none
+    // the join is a no-op and nothing is written (or resized).
+    std::size_t i = 0;
+    for (; i < other_size; ++i) {
+      if (other.get(static_cast<CtxId>(i)) > get(static_cast<CtxId>(i))) {
+        break;
+      }
+    }
+    for (; i < other_size; ++i) {
+      const std::uint64_t v = other.get(static_cast<CtxId>(i));
+      if (v > get(static_cast<CtxId>(i))) {
+        slot(static_cast<CtxId>(i)) = v;
       }
     }
   }
@@ -49,26 +65,45 @@ class VectorClock {
   /// True if every component of this clock is <= the corresponding component
   /// of `other` (i.e. all events seen by this clock are visible in `other`).
   [[nodiscard]] bool less_equal(const VectorClock& other) const {
-    for (std::size_t i = 0; i < values_.size(); ++i) {
-      if (values_[i] > other.get(static_cast<CtxId>(i))) {
+    for (std::size_t i = 0; i < size_; ++i) {
+      if (get(static_cast<CtxId>(i)) > other.get(static_cast<CtxId>(i))) {
         return false;
       }
     }
     return true;
   }
 
-  [[nodiscard]] std::size_t size() const { return values_.size(); }
+  [[nodiscard]] std::size_t size() const { return size_; }
 
-  void clear() { values_.clear(); }
-
- private:
-  void ensure(CtxId ctx) {
-    if (ctx >= values_.size()) {
-      values_.resize(static_cast<std::size_t>(ctx) + 1, 0);
+  void clear() {
+    for (std::uint64_t& v : inline_) {
+      v = 0;
     }
+    overflow_.clear();
+    size_ = 0;
   }
 
-  std::vector<std::uint64_t> values_;
+ private:
+  /// Mutable access to a component, growing logical size (and the overflow
+  /// vector) as needed. Inline components are always zero-initialized, so
+  /// get() needs no bound check against size_.
+  [[nodiscard]] std::uint64_t& slot(CtxId ctx) {
+    if (static_cast<std::size_t>(ctx) + 1 > size_) {
+      size_ = static_cast<std::size_t>(ctx) + 1;
+    }
+    if (ctx < kInlineCtxs) {
+      return inline_[ctx];
+    }
+    const std::size_t idx = ctx - kInlineCtxs;
+    if (idx >= overflow_.size()) {
+      overflow_.resize(idx + 1, 0);
+    }
+    return overflow_[idx];
+  }
+
+  std::uint64_t inline_[kInlineCtxs] = {};
+  std::vector<std::uint64_t> overflow_;
+  std::size_t size_ = 0;  ///< 1 + highest ctx ever written
 };
 
 }  // namespace rsan

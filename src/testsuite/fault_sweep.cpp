@@ -28,8 +28,9 @@ using faultsim::Site;
 }
 
 /// Draw one spec whose (site, scope, action) combination passes plan
-/// validation. Concrete scopes only: the scenario programs run 2 ranks with
-/// 1 device each, so dev0/rank0/rank1/stream0..2 all exist.
+/// validation. Concrete scopes only: scenario worlds are at least 2 ranks
+/// (CUSAN_RANKS may widen them) with 1 device each, so dev0/rank0/rank1/
+/// stream0..2 always exist.
 [[nodiscard]] faultsim::FaultSpec random_spec(common::SplitMix64& rng) {
   static constexpr Site kSites[] = {Site::kMalloc, Site::kMemcpy, Site::kMemset,
                                     Site::kKernel, Site::kSend,   Site::kRecv,

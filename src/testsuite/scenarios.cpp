@@ -172,6 +172,15 @@ const char* to_string(Span s) {
 void scenario_rank_main(capi::RankEnv& env, const Scenario& sc) {
   namespace cuda = capi::cuda;
   namespace mpi = capi::mpi;
+  // Ranks pair up (2i, 2i+1): even ranks play the producer role, odd ranks
+  // the consumer, so one scenario exercises every pair of an N-rank world
+  // concurrently. An unpaired trailing rank (odd world size) idles.
+  const int rank = env.rank();
+  const int partner = rank ^ 1;
+  if (partner >= env.size()) {
+    return;
+  }
+  const bool producer = (rank & 1) == 0;
   const auto type = mpisim::Datatype::float64();
   double* buf = allocate(sc.mem);
   if (buf == nullptr) {
@@ -244,7 +253,7 @@ void scenario_rank_main(capi::RankEnv& env, const Scenario& sc) {
     }
   };
 
-  if (env.rank() == 0) {
+  if (producer) {
     if (sc.dir == Direction::kCudaToMpi) {
       if (sc.sync == Sync::kEventEarly) {
         cusim::Event* e = nullptr;
@@ -257,21 +266,21 @@ void scenario_rank_main(capi::RankEnv& env, const Scenario& sc) {
         launch_writer();
         apply_sync();
       }
-      (void)mpi::send(env.comm, buf, kSendCount, type, 1, 0);
+      (void)mpi::send(env.comm, buf, kSendCount, type, partner, 0);
       (void)cuda::device_synchronize();
     } else {
-      // mpi-to-cuda: rank 0 only produces the message.
+      // mpi-to-cuda: the producer only produces the message.
       (void)cuda::device_synchronize();
-      (void)mpi::send(env.comm, buf, kSendCount, type, 1, 0);
+      (void)mpi::send(env.comm, buf, kSendCount, type, partner, 0);
     }
   } else {
     if (sc.dir == Direction::kCudaToMpi) {
-      (void)mpi::recv(env.comm, buf, kSendCount, type, 0, 0);
+      (void)mpi::recv(env.comm, buf, kSendCount, type, partner, 0);
       launch_reader();
       (void)cuda::device_synchronize();
     } else {
       mpisim::Request* req = nullptr;
-      (void)mpi::irecv(env.comm, buf, kSendCount, type, 0, 0, &req);
+      (void)mpi::irecv(env.comm, buf, kSendCount, type, partner, 0, &req);
       switch (sc.sync) {
         case Sync::kWait:
           (void)mpi::wait(env.comm, &req);
@@ -436,7 +445,7 @@ ScenarioOutcome run_scenario_outcome(const Scenario& scenario, bool use_shadow_f
 ScenarioOutcome run_scenario_outcome(const Scenario& scenario, bool use_shadow_fast_path,
                                      std::chrono::milliseconds watchdog_timeout) {
   capi::SessionConfig config;
-  config.ranks = 2;
+  config.ranks = capi::default_ranks();
   config.tools = capi::make_tool_config(capi::Flavor::kMustCusan);
   config.tools.cusan_config.use_access_intervals =
       scenario.precision == Precision::kIntervals;

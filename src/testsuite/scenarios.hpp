@@ -63,7 +63,9 @@ struct Scenario {
 /// default-stream mode).
 [[nodiscard]] std::vector<Scenario> build_scenarios();
 
-/// Run one scenario's two-rank program on the given rank.
+/// Run one scenario's pairwise program on the given rank: ranks pair up as
+/// (2i, 2i+1) so the scenario runs on every pair of the world concurrently
+/// (world size comes from capi::default_ranks(), i.e. CUSAN_RANKS).
 void scenario_rank_main(capi::RankEnv& env, const Scenario& scenario);
 
 /// Race count plus the tracked-byte volume (rsan read_range/write_range

@@ -7,6 +7,7 @@
 #include <chrono>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 #include <thread>
 
 #include "mpisim/datatype.hpp"
@@ -685,19 +686,30 @@ TEST(MpisimWorldTest, SingleRankWorld) {
 }
 
 // -- Progress watchdog / deadlock detection ---------------------------------------
+//
+// Parameterized over the world size: the same deadlock scenarios must be
+// diagnosed identically by the sharded engine whether two ranks or eight are
+// involved (idle/extra ranks either exit immediately or block symmetrically).
 
-TEST(MpisimWatchdogTest, UnmatchedRecvDeclaresDeadlock) {
-  World world(2);
+class MpisimWatchdogTest : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(WorldSizes, MpisimWatchdogTest, ::testing::Values(2, 8),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "ranks" + std::to_string(info.param);
+                         });
+
+TEST_P(MpisimWatchdogTest, UnmatchedRecvDeclaresDeadlock) {
+  World world(GetParam());
   world.set_watchdog_timeout(std::chrono::milliseconds(100));
-  world.run([](Comm comm) {
+  world.run([&](Comm comm) {
     if (comm.rank() == 0) {
-      // No matching send ever arrives; rank 1 exits immediately.
+      // No matching send ever arrives; all other ranks exit immediately.
       double v = 0.0;
       EXPECT_EQ(comm.recv(&v, 1, Datatype::float64(), 1, 42), MpiError::kDeadlock);
       EXPECT_TRUE(comm.deadlock_detected());
       const mpisim::DeadlockReport report = comm.deadlock_report();
       ASSERT_FALSE(report.empty());
-      EXPECT_EQ(report.world_size, 2);
+      EXPECT_EQ(report.world_size, GetParam());
       const mpisim::BlockedOp* op = report.for_rank(0);
       ASSERT_NE(op, nullptr);
       EXPECT_EQ(op->op, "MPI_Recv");
@@ -713,30 +725,31 @@ TEST(MpisimWatchdogTest, UnmatchedRecvDeclaresDeadlock) {
   });
 }
 
-TEST(MpisimWatchdogTest, CrossedRecvsBothDiagnosed) {
-  World world(2);
+TEST_P(MpisimWatchdogTest, CrossedRecvsBothDiagnosed) {
+  World world(GetParam());
   world.set_watchdog_timeout(std::chrono::milliseconds(100));
-  world.run([](Comm comm) {
-    // Classic head-to-head: both ranks receive first — nobody ever sends.
+  world.run([&](Comm comm) {
+    // Classic head-to-head on every rank pair: everyone receives first —
+    // nobody ever sends.
     double v = 0.0;
-    const int peer = 1 - comm.rank();
+    const int peer = comm.rank() ^ 1;
     EXPECT_EQ(comm.recv(&v, 1, Datatype::float64(), peer, 0), MpiError::kDeadlock);
     const mpisim::DeadlockReport report = comm.deadlock_report();
-    ASSERT_EQ(report.blocked.size(), 2u);  // both ranks captured
-    for (int r = 0; r < 2; ++r) {
+    ASSERT_EQ(report.blocked.size(), static_cast<std::size_t>(GetParam()));  // all captured
+    for (int r = 0; r < GetParam(); ++r) {
       const mpisim::BlockedOp* op = report.for_rank(r);
       ASSERT_NE(op, nullptr);
       EXPECT_EQ(op->op, "MPI_Recv");
-      EXPECT_EQ(op->peer, 1 - r);
+      EXPECT_EQ(op->peer, r ^ 1);
     }
   });
 }
 
-TEST(MpisimWatchdogTest, BarrierAgainstRecvMismatch) {
-  World world(2);
+TEST_P(MpisimWatchdogTest, BarrierAgainstRecvMismatch) {
+  World world(GetParam());
   world.set_watchdog_timeout(std::chrono::milliseconds(100));
   world.run([](Comm comm) {
-    if (comm.rank() == 0) {
+    if (comm.rank() != 1) {
       EXPECT_EQ(comm.barrier(), MpiError::kDeadlock);
     } else {
       double v = 0.0;
@@ -754,8 +767,8 @@ TEST(MpisimWatchdogTest, BarrierAgainstRecvMismatch) {
   });
 }
 
-TEST(MpisimWatchdogTest, WaitOnOrphanedIrecv) {
-  World world(2);
+TEST_P(MpisimWatchdogTest, WaitOnOrphanedIrecv) {
+  World world(GetParam());
   world.set_watchdog_timeout(std::chrono::milliseconds(100));
   world.run([](Comm comm) {
     if (comm.rank() == 0) {
@@ -777,8 +790,8 @@ TEST(MpisimWatchdogTest, WaitOnOrphanedIrecv) {
   });
 }
 
-TEST(MpisimWatchdogTest, WaitallOnOrphanedRequests) {
-  World world(2);
+TEST_P(MpisimWatchdogTest, WaitallOnOrphanedRequests) {
+  World world(GetParam());
   world.set_watchdog_timeout(std::chrono::milliseconds(100));
   world.run([](Comm comm) {
     if (comm.rank() == 0) {
@@ -795,8 +808,8 @@ TEST(MpisimWatchdogTest, WaitallOnOrphanedRequests) {
   });
 }
 
-TEST(MpisimWatchdogTest, TestPollLoopCountsAsBlocked) {
-  World world(2);
+TEST_P(MpisimWatchdogTest, TestPollLoopCountsAsBlocked) {
+  World world(GetParam());
   world.set_watchdog_timeout(std::chrono::milliseconds(100));
   world.run([](Comm comm) {
     if (comm.rank() == 0) {
@@ -822,27 +835,28 @@ TEST(MpisimWatchdogTest, TestPollLoopCountsAsBlocked) {
   });
 }
 
-TEST(MpisimWatchdogTest, SlowRankIsNotAFalsePositive) {
-  // One rank computes for 4x the watchdog timeout before sending: as long as
-  // a live rank is unblocked, no deadlock may be declared.
-  World world(2);
+TEST_P(MpisimWatchdogTest, SlowRankIsNotAFalsePositive) {
+  // Odd ranks compute for 4x the watchdog timeout before sending to their
+  // partner: as long as a live rank is unblocked, no deadlock may be declared.
+  World world(GetParam());
   world.set_watchdog_timeout(std::chrono::milliseconds(75));
   world.run([](Comm comm) {
     double v = 7.0;
-    if (comm.rank() == 0) {
-      EXPECT_EQ(comm.recv(&v, 1, Datatype::float64(), 1, 0), MpiError::kSuccess);
+    const int partner = comm.rank() ^ 1;
+    if (comm.rank() % 2 == 0) {
+      EXPECT_EQ(comm.recv(&v, 1, Datatype::float64(), partner, 0), MpiError::kSuccess);
       EXPECT_EQ(v, 3.0);
       EXPECT_FALSE(comm.deadlock_detected());
     } else {
       std::this_thread::sleep_for(std::chrono::milliseconds(300));
       v = 3.0;
-      EXPECT_EQ(comm.send(&v, 1, Datatype::float64(), 0, 0), MpiError::kSuccess);
+      EXPECT_EQ(comm.send(&v, 1, Datatype::float64(), partner, 0), MpiError::kSuccess);
     }
   });
 }
 
-TEST(MpisimWatchdogTest, PoisonedCommFailsFastAfterDeclaration) {
-  World world(2);
+TEST_P(MpisimWatchdogTest, PoisonedCommFailsFastAfterDeclaration) {
+  World world(GetParam());
   world.set_watchdog_timeout(std::chrono::milliseconds(100));
   world.run([](Comm comm) {
     if (comm.rank() == 0) {
@@ -859,19 +873,20 @@ TEST(MpisimWatchdogTest, PoisonedCommFailsFastAfterDeclaration) {
   });
 }
 
-TEST(MpisimWatchdogTest, DisabledWatchdogKeepsLegacyBehaviour) {
+TEST_P(MpisimWatchdogTest, DisabledWatchdogKeepsLegacyBehaviour) {
   // Timeout 0 disables declaration: a recv matched late still completes and
   // no deadlock state is ever set.
-  World world(2);
+  World world(GetParam());
   world.set_watchdog_timeout(std::chrono::milliseconds(0));
   world.run([](Comm comm) {
     double v = 0.0;
-    if (comm.rank() == 0) {
-      EXPECT_EQ(comm.recv(&v, 1, Datatype::float64(), 1, 0), MpiError::kSuccess);
+    const int partner = comm.rank() ^ 1;
+    if (comm.rank() % 2 == 0) {
+      EXPECT_EQ(comm.recv(&v, 1, Datatype::float64(), partner, 0), MpiError::kSuccess);
     } else {
       std::this_thread::sleep_for(std::chrono::milliseconds(50));
       v = 1.0;
-      EXPECT_EQ(comm.send(&v, 1, Datatype::float64(), 0, 0), MpiError::kSuccess);
+      EXPECT_EQ(comm.send(&v, 1, Datatype::float64(), partner, 0), MpiError::kSuccess);
     }
     EXPECT_FALSE(comm.deadlock_detected());
   });

@@ -1,6 +1,10 @@
 // Unit tests for vector clocks and shadow cell packing.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
 #include "rsan/clock.hpp"
 #include "rsan/shadow.hpp"
 
@@ -68,6 +72,139 @@ TEST(VectorClockTest, LessEqualDefinesHappensBefore) {
 TEST(VectorClockTest, SelfLessEqual) {
   VectorClock a;
   a.set(2, 9);
+  EXPECT_TRUE(a.less_equal(a));
+}
+
+// -- Small-buffer storage equivalence ---------------------------------------------
+//
+// VectorClock keeps the first kInlineCtxs components inline and spills the
+// rest into a vector; these tests pin the hybrid storage to the semantics of
+// the obvious single-vector implementation.
+
+/// The naive reference: one flat vector, no small-buffer tricks.
+class ReferenceClock {
+ public:
+  [[nodiscard]] std::uint64_t get(rsan::CtxId ctx) const {
+    return ctx < values_.size() ? values_[ctx] : 0;
+  }
+  void set(rsan::CtxId ctx, std::uint64_t value) { ensure(ctx), values_[ctx] = value; }
+  std::uint64_t tick(rsan::CtxId ctx) { return ensure(ctx), ++values_[ctx]; }
+  void join(const ReferenceClock& other) {
+    if (other.values_.size() > values_.size()) {
+      values_.resize(other.values_.size(), 0);
+    }
+    for (std::size_t i = 0; i < other.values_.size(); ++i) {
+      values_[i] = std::max(values_[i], other.values_[i]);
+    }
+  }
+  [[nodiscard]] bool less_equal(const ReferenceClock& other) const {
+    for (std::size_t i = 0; i < values_.size(); ++i) {
+      if (values_[i] > other.get(static_cast<rsan::CtxId>(i))) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  void ensure(rsan::CtxId ctx) {
+    if (ctx >= values_.size()) {
+      values_.resize(static_cast<std::size_t>(ctx) + 1, 0);
+    }
+  }
+  std::vector<std::uint64_t> values_;
+};
+
+void expect_equivalent(const VectorClock& clock, const ReferenceClock& ref, rsan::CtxId max_ctx) {
+  for (rsan::CtxId ctx = 0; ctx <= max_ctx; ++ctx) {
+    ASSERT_EQ(clock.get(ctx), ref.get(ctx)) << "ctx " << ctx;
+  }
+}
+
+TEST(VectorClockTest, InlineOverflowBoundaryBehavesUniformly) {
+  // Exercise the exact components around the inline/overflow boundary.
+  const auto boundary = static_cast<rsan::CtxId>(VectorClock::kInlineCtxs);
+  VectorClock clock;
+  ReferenceClock ref;
+  for (const rsan::CtxId ctx :
+       {rsan::CtxId{0}, boundary - 1, boundary, boundary + 1, boundary * 4}) {
+    clock.set(ctx, 10 + ctx);
+    ref.set(ctx, 10 + ctx);
+    clock.tick(ctx);
+    ref.tick(ctx);
+  }
+  expect_equivalent(clock, ref, boundary * 4 + 2);
+  EXPECT_EQ(clock.size(), static_cast<std::size_t>(boundary) * 4 + 1);
+}
+
+TEST(VectorClockTest, RandomizedOpsMatchReferenceImplementation) {
+  // Deterministic xorshift so failures reproduce.
+  std::uint64_t state = 0x9e3779b97f4a7c15ull;
+  const auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  constexpr rsan::CtxId kMaxCtx = 24;  // straddles the inline buffer size
+  VectorClock clocks[3];
+  ReferenceClock refs[3];
+  for (int step = 0; step < 2000; ++step) {
+    const std::size_t who = next() % 3;
+    const auto ctx = static_cast<rsan::CtxId>(next() % kMaxCtx);
+    switch (next() % 4) {
+      case 0:
+        clocks[who].set(ctx, next() % 100);
+        refs[who].set(ctx, state % 100);
+        break;
+      case 1:
+        EXPECT_EQ(clocks[who].tick(ctx), refs[who].tick(ctx));
+        break;
+      case 2: {
+        const std::size_t from = next() % 3;
+        clocks[who].join(clocks[from]);
+        refs[who].join(refs[from]);
+        break;
+      }
+      default: {
+        const std::size_t other = next() % 3;
+        EXPECT_EQ(clocks[who].less_equal(clocks[other]), refs[who].less_equal(refs[other]));
+        break;
+      }
+    }
+  }
+  for (std::size_t who = 0; who < 3; ++who) {
+    expect_equivalent(clocks[who], refs[who], kMaxCtx);
+  }
+}
+
+TEST(VectorClockTest, NoOpJoinLeavesClockUntouched) {
+  // The early-exit path: joining a clock that advances nothing must neither
+  // change components nor grow the logical size.
+  VectorClock a;
+  VectorClock b;
+  a.set(1, 5);
+  a.set(10, 3);  // overflow component
+  b.set(1, 5);   // equal, not greater
+  const std::size_t size_before = a.size();
+  a.join(b);
+  EXPECT_EQ(a.get(1), 5u);
+  EXPECT_EQ(a.get(10), 3u);
+  EXPECT_EQ(a.size(), size_before);
+  a.join(a);  // self-join is also a no-op
+  EXPECT_EQ(a.get(1), 5u);
+}
+
+TEST(VectorClockTest, ClearResetsInlineAndOverflowStorage) {
+  VectorClock a;
+  a.set(2, 9);
+  a.set(20, 4);
+  a.clear();
+  EXPECT_EQ(a.size(), 0u);
+  EXPECT_EQ(a.get(2), 0u);
+  EXPECT_EQ(a.get(20), 0u);
+  // Reusable after clear.
+  EXPECT_EQ(a.tick(2), 1u);
   EXPECT_TRUE(a.less_equal(a));
 }
 

@@ -38,6 +38,8 @@ int main(int argc, char** argv) {
   if (faulted_run) {
     std::printf("-- fault plan: %s\n", injector.plan_string().c_str());
   }
+  // Scenarios run pairwise on every rank pair of the world (CUSAN_RANKS).
+  std::printf("-- world: %d ranks\n", capi::default_ranks());
 
   const char* filter = argc > 1 ? argv[1] : nullptr;
   const auto scenarios = testsuite::build_scenarios();
