@@ -8,9 +8,12 @@
 // instead of a mystery slowdown. EXPERIMENTS.md records the pre/post-sharding
 // results.
 //
-// Usage: bench_scaling_ranks [--smoke] [--max-ranks N]
+// Usage: bench_scaling_ranks [--smoke] [--max-ranks N] [--guard-only]
+//                            [--metrics PATH]
 //   --smoke      CI mode: ~20x fewer iterations, same code paths.
 //   --max-ranks  Cap the rank sweep (default 16).
+//   --guard-only Run only the disabled-obs-hook overhead guard (CI gate).
+//   --metrics    Dump the sweep's metrics-registry delta as JSON to PATH.
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -22,6 +25,9 @@
 #include "common/rng.hpp"
 #include "mpisim/counters.hpp"
 #include "mpisim/request.hpp"
+#include "obs_guard.hpp"
+#include "obs/metrics.hpp"
+#include "obs/perfetto.hpp"
 
 namespace {
 
@@ -150,6 +156,8 @@ void print_row(const char* pattern, const char* flavor, int ranks, const BenchRe
 int main(int argc, char** argv) {
   Workload w;
   int max_ranks = 16;
+  bool guard_only = false;
+  std::string metrics_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       w.pingpong_roundtrips = 200;
@@ -157,8 +165,31 @@ int main(int argc, char** argv) {
       w.allreduce_iters = 40;
     } else if (std::strcmp(argv[i], "--max-ranks") == 0 && i + 1 < argc) {
       max_ranks = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--guard-only") == 0) {
+      guard_only = true;
+    } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
+      metrics_path = argv[++i];
     }
   }
+
+  {
+    // Representative guarded op: a 4 KiB host-to-device memcpy, whose hot
+    // path crosses the cusim enqueue + worker obs hooks.
+    cusim::Device device;
+    void* d = nullptr;
+    (void)device.malloc_device(&d, 4096);
+    std::vector<std::byte> h(4096);
+    const int rc = bench::obs_hook_overhead_guard(
+        "cusim memcpy(4 KiB)",
+        [&] { (void)device.memcpy(d, h.data(), 4096, cusim::MemcpyDir::kHostToDevice); },
+        2000);
+    (void)device.free(d);
+    if (rc != 0 || guard_only) {
+      return rc;
+    }
+  }
+
+  const obs::MetricsSnapshot metrics_before = obs::MetricsRegistry::instance().snapshot();
 
   bench::print_header("bench_scaling_ranks — substrate rank scaling",
                       "engine scalability behind the paper's Fig. 12 sweeps");
@@ -174,6 +205,15 @@ int main(int argc, char** argv) {
       print_row("pingpong", fname, ranks, run_pingpong(flavor, ranks, w));
       print_row("exchange", fname, ranks, run_exchange(flavor, ranks, w));
       print_row("allreduce", fname, ranks, run_allreduce(flavor, ranks, w));
+    }
+  }
+  if (!metrics_path.empty()) {
+    const auto delta = obs::MetricsRegistry::diff(obs::MetricsRegistry::instance().snapshot(),
+                                                  metrics_before);
+    std::string error;
+    if (!obs::write_file(metrics_path, obs::MetricsRegistry::to_json(delta), &error)) {
+      std::fprintf(stderr, "--metrics: %s\n", error.c_str());
+      return 2;
     }
   }
   return 0;

@@ -1,0 +1,93 @@
+// Bench-startup guard for the observability substrate: without CUSAN_TRACE,
+// every obs hook must stay at the faultsim discipline — one relaxed atomic
+// load (obs::tracing_enabled()), nothing else. The guard measures the
+// disabled hooks against two references and fails the process on regression:
+//
+//   1. parity: tracing_enabled() vs faultsim::Injector::armed(), the
+//      codebase's canonical single-relaxed-load hook. A disabled obs gate
+//      costing several times the reference load means someone added work
+//      (a second load, a branch chain, a call) to the off path.
+//   2. budget: the disabled emit path (emit_instant, which self-gates) vs a
+//      representative guarded operation, same < 1% rule as fault_guard.hpp.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+
+#include "faultsim/injector.hpp"
+#include "obs/ring.hpp"
+
+namespace bench {
+
+namespace detail {
+
+/// Keep a value alive without google-benchmark (bench_scaling_ranks does not
+/// link it): an empty asm block the optimizer must assume reads `v`.
+template <typename T>
+inline void keep(const T& v) {
+  asm volatile("" : : "g"(v) : "memory");
+}
+
+template <typename Hook>
+double time_hook_ns(Hook&& hook) {
+  using clock = std::chrono::steady_clock;
+  constexpr int kIters = 1 << 22;
+  for (int i = 0; i < 1024; ++i) {
+    hook();
+  }
+  const auto t0 = clock::now();
+  for (int i = 0; i < kIters; ++i) {
+    hook();
+  }
+  const auto t1 = clock::now();
+  return std::chrono::duration<double, std::nano>(t1 - t0).count() / kIters;
+}
+
+}  // namespace detail
+
+/// Runs the disabled-hook guard against `op` (called `op_iters` times).
+/// Returns 0 on pass or when tracing is enabled (a traced run pays for its
+/// timeline by design), 1 on violation.
+template <typename Op>
+int obs_hook_overhead_guard(const char* op_name, Op&& op, int op_iters) {
+  if (obs::tracing_enabled()) {
+    std::fprintf(stderr, "[obs-guard] CUSAN_TRACE armed; skipping disabled-hook guard\n");
+    return 0;
+  }
+
+  const double gate_ns = detail::time_hook_ns([] { detail::keep(obs::tracing_enabled()); });
+  const double ref_ns = detail::time_hook_ns([] { detail::keep(faultsim::Injector::armed()); });
+  const double emit_ns = detail::time_hook_ns(
+      [] { obs::emit_instant(obs::EventKind::kTrace, obs::kHostTrack, "guard"); });
+
+  using clock = std::chrono::steady_clock;
+  for (int i = 0; i < op_iters / 10 + 1; ++i) {
+    op();
+  }
+  const auto o0 = clock::now();
+  for (int i = 0; i < op_iters; ++i) {
+    op();
+  }
+  const auto o1 = clock::now();
+  const double op_ns = std::chrono::duration<double, std::nano>(o1 - o0).count() / op_iters;
+
+  const double parity = ref_ns > 0.0 ? gate_ns / ref_ns : 0.0;
+  const double budget = op_ns > 0.0 ? emit_ns / op_ns : 0.0;
+  std::fprintf(stderr,
+               "[obs-guard] gate %.3f ns vs armed() %.3f ns (%.2fx, budget 4x); disabled emit "
+               "%.3f ns vs %s %.1f ns/op -> %.4f%% overhead (budget 1%%)\n",
+               gate_ns, ref_ns, parity, emit_ns, op_name, op_ns, budget * 100.0);
+  // 4x plus an absolute 1 ns floor absorbs timer noise on a sub-ns load; a
+  // second atomic or a mutex on the off path lands far beyond both.
+  if (parity >= 4.0 && gate_ns - ref_ns > 1.0) {
+    std::fprintf(stderr, "[obs-guard] FAIL: tracing_enabled() is no longer one relaxed load\n");
+    return 1;
+  }
+  if (budget >= 0.01) {
+    std::fprintf(stderr, "[obs-guard] FAIL: disabled obs emit costs >= 1%% of %s\n", op_name);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace bench

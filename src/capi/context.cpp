@@ -1,12 +1,27 @@
 #include "capi/context.hpp"
 
+#include <string>
+
 #include "common/assert.hpp"
 #include "common/memstats.hpp"
+#include "obs/metrics.hpp"
+#include "obs/ring.hpp"
 
 namespace capi {
 
 namespace {
 thread_local ToolContext* t_current = nullptr;
+
+/// Publish a per-rank counters struct into the central registry under
+/// `prefix` (counters accumulate across ranks; consumers diff snapshots).
+template <typename Counters>
+void publish_counters(const char* prefix, const Counters& counters) {
+  for_each_counter(counters, [&](const char* name, std::uint64_t value) {
+    if (value != 0) {
+      obs::metric(std::string(prefix) + name).add(value);
+    }
+  });
+}
 }  // namespace
 
 ToolContext::ToolContext(int rank, const ToolConfig& config, const cusim::DeviceProfile& profile,
@@ -23,6 +38,7 @@ ToolContext::ToolContext(int rank, const ToolConfig& config, const cusim::Device
   }
   for (int d = 0; d < device_count; ++d) {
     devices_.push_back(std::make_unique<cusim::Device>(profile, rank * device_count + d));
+    devices_.back()->set_obs_rank(rank);
   }
   if (config.tsan) {
     tsan_ = std::make_unique<rsan::Runtime>(config.rsan_config);
@@ -76,6 +92,18 @@ RankResult ToolContext::finalize() {
     }
   }
   result.rss_peak_bytes = common::read_memstats().rss_peak_bytes;
+  // Feed the rank's tool counters into the one metrics registry (summed
+  // across ranks; bench/tools diff snapshots around a session).
+  if (tsan_) {
+    publish_counters("rsan.", result.tsan_counters);
+    obs::metric("rsan.shadow_bytes").add(result.shadow_bytes);
+  }
+  if (cusan_) {
+    publish_counters("cusan.", result.cusan_counters);
+  }
+  if (must_) {
+    publish_counters("must.", result.must_counters);
+  }
   return result;
 }
 
@@ -89,8 +117,14 @@ bool ToolContext::set_device(int ordinal) {
 
 ToolContext* ToolContext::current() { return t_current; }
 
-ToolContext::Binder::Binder(ToolContext& ctx) : previous_(t_current) { t_current = &ctx; }
+ToolContext::Binder::Binder(ToolContext& ctx) : previous_(t_current) {
+  t_current = &ctx;
+  obs::bind_rank(ctx.rank());
+}
 
-ToolContext::Binder::~Binder() { t_current = previous_; }
+ToolContext::Binder::~Binder() {
+  t_current = previous_;
+  obs::bind_rank(previous_ != nullptr ? previous_->rank() : -1);
+}
 
 }  // namespace capi

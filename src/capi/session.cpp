@@ -1,11 +1,56 @@
 #include "capi/session.hpp"
 
+#include <cstdio>
 #include <cstdlib>
 #include <mutex>
 
 #include "faultsim/injector.hpp"
+#include "obs/metrics.hpp"
+#include "obs/perfetto.hpp"
+#include "obs/ring.hpp"
 
 namespace capi {
+
+namespace {
+
+/// Process-wide observability export config, parsed from CUSAN_TRACE /
+/// CUSAN_METRICS on first session start (tracing is armed at the same time).
+const obs::ExportConfig& obs_config() {
+  static const obs::ExportConfig config = [] {
+    std::string error;
+    obs::ExportConfig parsed = obs::export_config_from_env(&error);
+    if (!error.empty()) {
+      std::fprintf(stderr, "cusan: %s\n", error.c_str());
+    }
+    if (parsed.trace_enabled) {
+      // The env arms tracing but never owns the flag: a harness (or test)
+      // that called set_tracing_enabled(true) itself keeps its timeline.
+      obs::set_tracing_enabled(true);
+    }
+    return parsed;
+  }();
+  return config;
+}
+
+/// Post-session export: the trace covers the rings as recorded by the most
+/// recent session (reset at each session start), the metrics snapshot is
+/// cumulative across sessions.
+void export_observability(const obs::ExportConfig& config) {
+  std::string error;
+  if (config.trace_enabled && !config.trace_path.empty()) {
+    if (!obs::write_file(config.trace_path, obs::export_chrome_trace(), &error)) {
+      std::fprintf(stderr, "cusan: trace export failed: %s\n", error.c_str());
+    }
+  }
+  if (!config.metrics_path.empty()) {
+    const auto snapshot = obs::MetricsRegistry::instance().snapshot();
+    if (!obs::write_file(config.metrics_path, obs::MetricsRegistry::to_json(snapshot), &error)) {
+      std::fprintf(stderr, "cusan: metrics export failed: %s\n", error.c_str());
+    }
+  }
+}
+
+}  // namespace
 
 int default_ranks() {
   static const int ranks = [] {
@@ -28,6 +73,12 @@ std::vector<RankResult> run_session(const SessionConfig& config, const RankMain&
   // because an unset/empty env keeps the current state.
   static std::once_flag env_once;
   std::call_once(env_once, [] { (void)faultsim::Injector::instance().load_env(); });
+  const obs::ExportConfig& obs_cfg = obs_config();
+  if (obs_cfg.trace_enabled) {
+    // Each session records a fresh timeline; with multiple sessions per
+    // process (the testsuite) the exported trace is the last session's.
+    obs::reset_rings();
+  }
 
   mpisim::World world(config.ranks);
   if (config.watchdog_timeout.count() > 0) {
@@ -46,6 +97,7 @@ std::vector<RankResult> run_session(const SessionConfig& config, const RankMain&
     // not needed since each rank only writes its own slot.
     results[static_cast<std::size_t>(comm.rank())] = ctx.finalize();
   });
+  export_observability(obs_cfg);
   return results;
 }
 

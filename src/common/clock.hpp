@@ -1,0 +1,19 @@
+// The one monotonic clock for the whole stack: obs spans, the mpisim
+// watchdog, WallTimer and cusim's launch-overhead model all read time through
+// now_ns() so timestamps from different subsystems are directly comparable.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace common {
+
+/// Monotonic nanoseconds since an arbitrary (per-process) epoch.
+[[nodiscard]] inline std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace common

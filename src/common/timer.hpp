@@ -1,25 +1,27 @@
-// Simple wall-clock timer for benchmark harnesses.
+// Simple wall-clock timer for benchmark harnesses, built on the shared
+// monotonic clock (common::now_ns).
 #pragma once
 
-#include <chrono>
+#include <cstdint>
+
+#include "common/clock.hpp"
 
 namespace common {
 
 class WallTimer {
  public:
-  WallTimer() : start_(Clock::now()) {}
+  WallTimer() : start_ns_(now_ns()) {}
 
-  void reset() { start_ = Clock::now(); }
+  void reset() { start_ns_ = now_ns(); }
 
   [[nodiscard]] double elapsed_seconds() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
+    return static_cast<double>(now_ns() - start_ns_) * 1e-9;
   }
 
   [[nodiscard]] double elapsed_ms() const { return elapsed_seconds() * 1e3; }
 
  private:
-  using Clock = std::chrono::steady_clock;
-  Clock::time_point start_;
+  std::uint64_t start_ns_;
 };
 
 }  // namespace common

@@ -26,4 +26,27 @@ struct Counters {
   std::uint64_t kernel_annotation_calls{}; ///< rsan range calls issued for kernel arguments
 };
 
+/// Visit every counter as (name, value) — the one enumeration the obs
+/// metrics publication, JSON dumps and registry-equality tests all share.
+template <typename Fn>
+void for_each_counter(const Counters& c, Fn&& fn) {
+  fn("streams_created", c.streams_created);
+  fn("events_created", c.events_created);
+  fn("event_records", c.event_records);
+  fn("memsets", c.memsets);
+  fn("memcpys", c.memcpys);
+  fn("sync_calls", c.sync_calls);
+  fn("kernel_launches", c.kernel_launches);
+  fn("prefetches", c.prefetches);
+  fn("host_funcs", c.host_funcs);
+  fn("hb_before", c.hb_before);
+  fn("hb_after", c.hb_after);
+  fn("unknown_kernel_args", c.unknown_kernel_args);
+  fn("interval_kernel_args", c.interval_kernel_args);
+  fn("whole_range_kernel_args", c.whole_range_kernel_args);
+  fn("interval_bytes_annotated", c.interval_bytes_annotated);
+  fn("interval_bytes_elided", c.interval_bytes_elided);
+  fn("kernel_annotation_calls", c.kernel_annotation_calls);
+}
+
 }  // namespace cusan

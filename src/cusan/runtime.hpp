@@ -23,6 +23,7 @@
 #include "cusim/device.hpp"
 #include "kir/access_analysis.hpp"
 #include "kir/interval_analysis.hpp"
+#include "obs/ring.hpp"
 #include "rsan/runtime.hpp"
 #include "typeart/runtime.hpp"
 
@@ -174,6 +175,11 @@ class Runtime {
 
   void trace_record(TraceKind kind, const void* stream = nullptr, const void* object = nullptr,
                     std::uint64_t bytes = 0, const char* detail = nullptr) {
+    // Every observed CUDA call is an instant on the rank's host track
+    // (emit_instant is one relaxed load when CUSAN_TRACE is off); the legacy
+    // JSONL trace remains a separately-gated view of the same stream.
+    obs::emit_instant(to_obs_kind(kind), obs::kHostTrack,
+                      detail != nullptr ? detail : to_string(kind), bytes);
     if (config_.enable_trace) {
       trace_.record(kind, stream, object, bytes, detail);
     }

@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/events.hpp"
+
 namespace cusan {
 
 enum class TraceKind : std::uint8_t {
@@ -64,6 +66,40 @@ enum class TraceKind : std::uint8_t {
       return "free";
   }
   return "?";
+}
+
+/// Category under which a TraceKind lands in the obs event ring (the Trace
+/// class is a view layered over the ring: runtime hooks emit each observed
+/// call as an obs instant and, when the JSONL trace is on, a TraceEvent).
+[[nodiscard]] constexpr obs::EventKind to_obs_kind(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kKernelLaunch:
+      return obs::EventKind::kKernel;
+    case TraceKind::kMemcpy:
+      return obs::EventKind::kMemcpy;
+    case TraceKind::kMemset:
+      return obs::EventKind::kMemset;
+    case TraceKind::kPrefetch:
+      return obs::EventKind::kPrefetch;
+    case TraceKind::kHostFunc:
+      return obs::EventKind::kHostFunc;
+    case TraceKind::kStreamSync:
+    case TraceKind::kDeviceSync:
+    case TraceKind::kEventSync:
+    case TraceKind::kStreamWaitEvent:
+    case TraceKind::kQuerySuccess:
+      return obs::EventKind::kSync;
+    case TraceKind::kStreamCreate:
+    case TraceKind::kStreamDestroy:
+      return obs::EventKind::kStreamOp;
+    case TraceKind::kEventCreate:
+    case TraceKind::kEventDestroy:
+    case TraceKind::kEventRecord:
+      return obs::EventKind::kEventOp;
+    case TraceKind::kFree:
+      return obs::EventKind::kAlloc;
+  }
+  return obs::EventKind::kTrace;
 }
 
 struct TraceEvent {

@@ -6,7 +6,9 @@
 #include <thread>
 
 #include "common/assert.hpp"
+#include "common/clock.hpp"
 #include "faultsim/injector.hpp"
+#include "obs/ring.hpp"
 
 namespace cusim {
 namespace {
@@ -327,7 +329,8 @@ Error Device::inject_async_error(Stream* stream, Error err, std::uint64_t fault_
   if (err == Error::kSuccess) {
     return Error::kInvalidValue;
   }
-  enqueue(stream, [this, err, fault_id] { latch_error(err, fault_id); });
+  enqueue(stream, [this, err, fault_id] { latch_error(err, fault_id); }, "async_error",
+          obs::EventKind::kStreamOp);
   return Error::kSuccess;
 }
 
@@ -399,7 +402,8 @@ Error Device::free_async(void* ptr, Stream* stream) {
   if (memory_.query(ptr).base != ptr) {
     return Error::kInvalidValue;
   }
-  enqueue(stream, [this, ptr] { (void)memory_.deallocate(ptr); });
+  enqueue(stream, [this, ptr] { (void)memory_.deallocate(ptr); }, "free_async",
+          obs::EventKind::kAlloc);
   return Error::kSuccess;
 }
 
@@ -475,7 +479,8 @@ Error Device::memcpy(void* dst, const void* src, std::size_t bytes, MemcpyDir di
   }
   // Synchronous memcpy runs on the legacy default stream.
   const std::uint64_t ticket =
-      enqueue(default_stream(), [dst, src, bytes] { std::memcpy(dst, src, bytes); });
+      enqueue(default_stream(), [dst, src, bytes] { std::memcpy(dst, src, bytes); }, "memcpy",
+              obs::EventKind::kMemcpy, bytes);
   const MemKind src_kind = memory_.query(src).kind;
   const MemKind dst_kind = memory_.query(dst).kind;
   if (is_host_synchronous(MemOpClass::kMemcpy, dir, src_kind, dst_kind)) {
@@ -513,7 +518,8 @@ Error Device::memcpy_async(void* dst, const void* src, std::size_t bytes, Memcpy
     }
   }
   const std::uint64_t ticket =
-      enqueue(stream, [dst, src, bytes] { std::memcpy(dst, src, bytes); });
+      enqueue(stream, [dst, src, bytes] { std::memcpy(dst, src, bytes); }, "memcpy_async",
+              obs::EventKind::kMemcpy, bytes);
   const MemKind src_kind = memory_.query(src).kind;
   const MemKind dst_kind = memory_.query(dst).kind;
   if (is_host_synchronous(MemOpClass::kMemcpyAsync, dir, src_kind, dst_kind)) {
@@ -535,7 +541,8 @@ Error Device::memset(void* dst, int value, std::size_t bytes) {
     }
   }
   const std::uint64_t ticket =
-      enqueue(default_stream(), [dst, value, bytes] { std::memset(dst, value, bytes); });
+      enqueue(default_stream(), [dst, value, bytes] { std::memset(dst, value, bytes); },
+              "memset", obs::EventKind::kMemset, bytes);
   const MemKind dst_kind = memory_.query(dst).kind;
   if (is_host_synchronous(MemOpClass::kMemset, MemcpyDir::kHostToDevice, MemKind::kPageableHost,
                           dst_kind)) {
@@ -565,7 +572,8 @@ Error Device::memset_async(void* dst, int value, std::size_t bytes, Stream* stre
         return Error::kStreamError;
     }
   }
-  enqueue(stream, [dst, value, bytes] { std::memset(dst, value, bytes); });
+  enqueue(stream, [dst, value, bytes] { std::memset(dst, value, bytes); }, "memset_async",
+          obs::EventKind::kMemset, bytes);
   return Error::kSuccess;
 }
 
@@ -598,9 +606,9 @@ Error Device::memcpy_2d(void* dst, std::size_t dpitch, const void* src, std::siz
       return Error::kStreamError;
     }
   }
-  const std::uint64_t ticket = enqueue(default_stream(), [=] {
-    copy_2d(dst, dpitch, src, spitch, width, height);
-  });
+  const std::uint64_t ticket = enqueue(
+      default_stream(), [=] { copy_2d(dst, dpitch, src, spitch, width, height); }, "memcpy_2d",
+      obs::EventKind::kMemcpy, width * height);
   const MemKind src_kind = memory_.query(src).kind;
   const MemKind dst_kind = memory_.query(dst).kind;
   if (is_host_synchronous(MemOpClass::kMemcpy, dir, src_kind, dst_kind)) {
@@ -636,7 +644,8 @@ Error Device::memcpy_2d_async(void* dst, std::size_t dpitch, const void* src, st
     }
   }
   const std::uint64_t ticket =
-      enqueue(stream, [=] { copy_2d(dst, dpitch, src, spitch, width, height); });
+      enqueue(stream, [=] { copy_2d(dst, dpitch, src, spitch, width, height); },
+              "memcpy_2d_async", obs::EventKind::kMemcpy, width * height);
   const MemKind src_kind = memory_.query(src).kind;
   const MemKind dst_kind = memory_.query(dst).kind;
   if (is_host_synchronous(MemOpClass::kMemcpyAsync, dir, src_kind, dst_kind)) {
@@ -653,7 +662,8 @@ Error Device::mem_prefetch_async(const void* ptr, std::size_t bytes, Stream* str
   if (attrs.kind != MemKind::kManaged || bytes == 0) {
     return Error::kInvalidValue;  // prefetch is defined for managed memory
   }
-  enqueue(stream, [] {});  // ordering-only hint in the simulator
+  // ordering-only hint in the simulator
+  enqueue(stream, [] {}, "prefetch", obs::EventKind::kPrefetch, bytes);
   return Error::kSuccess;
 }
 
@@ -667,7 +677,7 @@ Error Device::launch_host_func(Stream* stream, std::function<void()> fn) {
   if (!fn) {
     return Error::kInvalidValue;
   }
-  enqueue(stream, std::move(fn));
+  enqueue(stream, std::move(fn), "host_func", obs::EventKind::kHostFunc);
   return Error::kSuccess;
 }
 
@@ -684,21 +694,29 @@ Error Device::launch_kernel(Stream* stream, LaunchDims dims, KernelBody body, st
     return Error::kInvalidValue;
   }
   apply_launch_overhead();
-  enqueue(stream, [dims, body = std::move(body)] {
-    KernelContext ctx(dims);
-    body(ctx);
-  });
-  (void)name;
+  enqueue(
+      stream,
+      [dims, body = std::move(body)] {
+        KernelContext ctx(dims);
+        body(ctx);
+      },
+      name.c_str(), obs::EventKind::kKernel, dims.total_threads());
   return Error::kSuccess;
 }
 
 // -- Executor -----------------------------------------------------------------------
 
-std::uint64_t Device::enqueue(Stream* stream, std::function<void()> fn) {
+std::uint64_t Device::enqueue(Stream* stream, std::function<void()> fn, const char* label,
+                              obs::EventKind kind, std::uint64_t arg) {
   std::lock_guard lock(mutex_);
   Stream::Op op;
   op.ticket = ++stream->last_enqueued;
   op.fn = std::move(fn);
+  if (obs::tracing_enabled()) {
+    op.label = label != nullptr ? label : "";
+    op.kind = kind;
+    op.arg = arg;
+  }
   // Legacy default-stream semantics (paper Fig. 3): work on the default
   // stream waits for all prior work on blocking streams; work on a blocking
   // stream waits for all prior work on the default stream. Non-blocking
@@ -756,7 +774,16 @@ void Device::stream_worker(Stream* stream) {
     stream->pending.pop_front();
     stream->running = true;
     lock.unlock();
-    op.fn();
+    {
+      // The op's execution becomes a span on this stream's track of the
+      // owning rank's timeline (one relaxed load when tracing is off).
+      std::optional<obs::Span> span;
+      if (obs::tracing_enabled()) {
+        span.emplace(obs_rank_.load(std::memory_order_relaxed), op.kind,
+                     obs::stream_track(stream->id_), op.label.c_str(), op.arg);
+      }
+      op.fn();
+    }
     lock.lock();
     stream->running = false;
     stream->completed = op.ticket;
@@ -769,9 +796,8 @@ void Device::apply_launch_overhead() const {
   if (profile_.launch_overhead_ns == 0) {
     return;
   }
-  const auto deadline = std::chrono::steady_clock::now() +
-                        std::chrono::nanoseconds(profile_.launch_overhead_ns);
-  while (std::chrono::steady_clock::now() < deadline) {
+  const std::uint64_t deadline = common::now_ns() + profile_.launch_overhead_ns;
+  while (common::now_ns() < deadline) {
     // busy wait: models the driver-side submission cost on the host
   }
 }

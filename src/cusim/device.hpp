@@ -20,6 +20,7 @@
 
 #include "cusim/kernel.hpp"
 #include "cusim/memory.hpp"
+#include "obs/events.hpp"
 #include "cusim/profile.hpp"
 #include "cusim/sync_behavior.hpp"
 #include "cusim/types.hpp"
@@ -51,6 +52,11 @@ class Stream {
     std::uint64_t ticket{0};
     std::vector<Dep> deps;
     std::function<void()> fn;
+    /// obs labelling; `label` stays empty unless tracing was enabled at
+    /// enqueue time (no per-op allocation on untraced runs).
+    std::string label;
+    obs::EventKind kind{obs::EventKind::kStreamOp};
+    std::uint64_t arg{0};
   };
 
   Stream(std::uint32_t id, StreamFlags flags, Device* device)
@@ -88,6 +94,11 @@ class Device {
 
   [[nodiscard]] int ordinal() const { return ordinal_; }
   [[nodiscard]] const DeviceProfile& profile() const { return profile_; }
+
+  /// MPI rank this device's timeline belongs to (obs event attribution).
+  /// Stream workers read it, so it may be set any time before/between ops.
+  void set_obs_rank(int rank) { obs_rank_.store(rank, std::memory_order_relaxed); }
+  [[nodiscard]] int obs_rank() const { return obs_rank_.load(std::memory_order_relaxed); }
 
   // -- Streams ---------------------------------------------------------------
 
@@ -197,8 +208,10 @@ class Device {
   [[nodiscard]] bool is_live_event(const Event* event) const;
 
   /// Enqueue `fn` on `stream` with legacy default-stream dependencies.
-  /// Returns the op's ticket. Caller must hold no lock.
-  std::uint64_t enqueue(Stream* stream, std::function<void()> fn);
+  /// Returns the op's ticket. Caller must hold no lock. `label`/`kind`/`arg`
+  /// name the op's span in the obs timeline (captured only when tracing).
+  std::uint64_t enqueue(Stream* stream, std::function<void()> fn, const char* label = "op",
+                        obs::EventKind kind = obs::EventKind::kStreamOp, std::uint64_t arg = 0);
   /// Block until `stream` completed ticket `ticket`. Caller must hold no lock.
   void wait_ticket(Stream* stream, std::uint64_t ticket);
   void wait_stream_drained_locked(Stream* stream, std::unique_lock<std::mutex>& lock);
@@ -221,6 +234,7 @@ class Device {
   std::condition_variable done_cv_;  ///< signals waiting host threads
   std::vector<std::unique_ptr<Stream>> streams_;
   std::vector<std::unique_ptr<Event>> events_;
+  std::atomic<int> obs_rank_{-1};
   /// Sticky error latch (stored as int so it stays a lock-free atomic) and
   /// the fault-plan id of the fault that latched it, if any.
   std::atomic<int> sticky_error_{0};

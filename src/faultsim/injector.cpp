@@ -2,6 +2,10 @@
 
 #include <cstdlib>
 
+#include "common/format.hpp"
+#include "obs/diagnostics.hpp"
+#include "obs/metrics.hpp"
+
 namespace faultsim {
 namespace {
 
@@ -59,6 +63,18 @@ std::atomic<bool>& Injector::armed_flag() {
 
 Injector& Injector::instance() {
   static Injector injector;
+  // Ledger state rides along in every metrics snapshot (registered once;
+  // the provider recomputes from the ledger so take_fired drains are
+  // reflected, unlike the monotonic faultsim.faults_fired counter).
+  static const bool provider_registered = [] {
+    obs::MetricsRegistry::instance().register_provider(
+        "faultsim.ledger", [](obs::MetricsSnapshot& snapshot) {
+          snapshot["faultsim.ledger_fired"] = injector.fired_count();
+          snapshot["faultsim.ledger_unsurfaced"] = injector.unsurfaced_count();
+        });
+    return true;
+  }();
+  (void)provider_registered;
   return injector;
 }
 
@@ -115,7 +131,7 @@ std::optional<Fired> Injector::probe(Site site, const SiteContext& where) {
   if (!armed()) {
     return std::nullopt;
   }
-  std::lock_guard lock(mutex_);
+  std::unique_lock lock(mutex_);
   for (SpecState& state : specs_) {
     const FaultSpec& spec = state.spec;
     if (spec.site != site || !scope_matches(spec, where)) {
@@ -140,7 +156,16 @@ std::optional<Fired> Injector::probe(Site site, const SiteContext& where) {
     // Delays are observable by construction (the call still succeeds).
     entry.surfaced = spec.action == Action::kDelay ? Channel::kPerturbation : Channel::kNone;
     fired_.push_back(entry);
-    return Fired{entry.id, spec.action, spec.delay};
+    const auto delay = spec.delay;
+    lock.unlock();  // obs fan-out below must not run under the probe mutex
+    obs::metric("faultsim.faults_fired").increment();
+    obs::emit_diagnostic(obs::Diagnostic{
+        "faultsim.fault_fired", obs::Severity::kWarning, where.rank,
+        common::format("fault #{} {} at {} (device {}, stream {})", entry.id,
+                       to_string(entry.action), to_string(entry.site), where.device,
+                       where.stream),
+        0});
+    return Fired{entry.id, entry.action, delay};
   }
   return std::nullopt;
 }

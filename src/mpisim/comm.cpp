@@ -10,10 +10,12 @@
 #include <vector>
 
 #include "common/assert.hpp"
+#include "common/clock.hpp"
 #include "faultsim/injector.hpp"
 #include "mpisim/counters.hpp"
 #include "mpisim/request.hpp"
 #include "mpisim/wakeup.hpp"
+#include "obs/ring.hpp"
 
 namespace mpisim {
 
@@ -48,9 +50,16 @@ thread_local const char* t_op_label = nullptr;
 struct OpScope {
   const char* prev;
   bool outermost;
-  explicit OpScope(const char* label) : prev(t_op_label), outermost(t_op_label == nullptr) {
+  /// Outermost calls become spans on the rank's host track; inner calls
+  /// (collective building blocks) stay invisible, matching the label rule.
+  std::optional<obs::Span> span;
+  explicit OpScope(const char* label, int rank = -1)
+      : prev(t_op_label), outermost(t_op_label == nullptr) {
     if (outermost) {
       t_op_label = label;
+      if (obs::tracing_enabled()) {
+        span.emplace(rank, obs::EventKind::kMpi, obs::kHostTrack, label);
+      }
     }
   }
   ~OpScope() { t_op_label = prev; }
@@ -60,6 +69,12 @@ struct OpScope {
 
 [[nodiscard]] const char* current_op_label(const char* fallback) {
   return t_op_label != nullptr ? t_op_label : fallback;
+}
+
+/// Watchdog timeout in the shared monotonic-clock unit (common::now_ns).
+[[nodiscard]] std::uint64_t timeout_as_ns(std::chrono::milliseconds timeout) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(timeout).count());
 }
 
 }  // namespace
@@ -176,7 +191,7 @@ class CommImpl {
     } else {
       // ANY_SOURCE slow path: scan every source channel's head tag-acceptor
       // and take the globally oldest (lowest channel epoch).
-      detail::bump(detail::g_any_source_scans);
+      detail::bump(detail::contention_counters().any_source_scans);
       for (auto& src_q : box.by_src) {
         const auto it =
             std::find_if(src_q.unexpected.begin(), src_q.unexpected.end(),
@@ -261,17 +276,17 @@ class CommImpl {
           tracker_->soft_block(op);
           rl.soft_blocked = true;
           rl.soft_snapshot = tracker_->progress();
-          rl.soft_quiet_since = std::chrono::steady_clock::now();
+          rl.soft_quiet_since = common::now_ns();
         } else if (tracker_->timeout().count() > 0) {
           // A soft-blocked rank may be the only live thread (everyone else
           // hard-blocked or exited): it must drive declaration itself, or an
           // all-Test-polling deadlock would spin forever.
           const std::uint64_t progress = tracker_->progress();
-          const auto now = std::chrono::steady_clock::now();
+          const std::uint64_t now = common::now_ns();
           if (progress != rl.soft_snapshot) {
             rl.soft_snapshot = progress;
             rl.soft_quiet_since = now;
-          } else if (now - rl.soft_quiet_since >= tracker_->timeout()) {
+          } else if (now - rl.soft_quiet_since >= timeout_as_ns(tracker_->timeout())) {
             if (tracker_->try_declare(rl.soft_snapshot)) {
               hub_->broadcast();  // poisoning: every blocked rank must see it
               return MpiError::kDeadlock;
@@ -357,7 +372,7 @@ class CommImpl {
           found = &*it;
         }
       } else {
-        detail::bump(detail::g_any_source_scans);
+        detail::bump(detail::contention_counters().any_source_scans);
         for (const auto& src_q : box.by_src) {
           const auto it =
               std::find_if(src_q.unexpected.begin(), src_q.unexpected.end(),
@@ -470,7 +485,7 @@ class CommImpl {
   class MailboxLock {
    public:
     explicit MailboxLock(Mailbox& box) : lock_(box.mutex) {
-      detail::bump(detail::g_mailbox_locks);
+      detail::bump(detail::contention_counters().mailbox_locks);
     }
 
    private:
@@ -483,7 +498,7 @@ class CommImpl {
     int test_polls{0};
     bool soft_blocked{false};
     std::uint64_t soft_snapshot{0};
-    std::chrono::steady_clock::time_point soft_quiet_since{};
+    std::uint64_t soft_quiet_since{0};  ///< common::now_ns timestamp
   };
 
   [[nodiscard]] static bool tag_accepts(int want_tag, int tag) {
@@ -548,7 +563,7 @@ class CommImpl {
     tracker_->block(op);
     MpiError result = MpiError::kSuccess;
     std::uint64_t snapshot = tracker_->progress();
-    auto quiet_since = std::chrono::steady_clock::now();
+    std::uint64_t quiet_since = common::now_ns();
     std::uint64_t seen = slot.epoch();
     while (true) {
       if (pred()) {
@@ -569,20 +584,20 @@ class CommImpl {
         // different condition (e.g. an unexpected message this rank's recv
         // doesn't match). With the old notify_all engine this was the norm;
         // now it is the exception the counter makes visible.
-        detail::bump(detail::g_wakeups_spurious);
+        detail::bump(detail::contention_counters().wakeups_spurious);
       }
       if (tracker_->deadlocked()) {
         result = MpiError::kDeadlock;
         break;
       }
       const std::uint64_t progress = tracker_->progress();
-      const auto now = std::chrono::steady_clock::now();
+      const std::uint64_t now = common::now_ns();
       if (progress != snapshot) {
         snapshot = progress;
         quiet_since = now;
         continue;
       }
-      if (now - quiet_since >= tracker_->timeout()) {
+      if (now - quiet_since >= timeout_as_ns(tracker_->timeout())) {
         if (tracker_->try_declare(snapshot)) {
           hub_->broadcast();  // wake peers so they observe the declaration
           result = MpiError::kDeadlock;
@@ -726,7 +741,9 @@ MpiError consult_fault(CommImpl* impl, int rank, faultsim::Site site, const char
 }
 
 /// Count an internal collective-tree message (instrumentation only).
-void count_collective_message() { detail::bump(detail::g_collective_messages); }
+void count_collective_message() {
+  detail::bump(detail::contention_counters().collective_messages);
+}
 
 }  // namespace
 
@@ -752,7 +769,7 @@ MpiError Comm::dup(Comm* out) {
 }
 
 MpiError Comm::send(const void* buf, std::size_t count, const Datatype& type, int dest, int tag) {
-  OpScope scope("MPI_Send");
+  OpScope scope("MPI_Send", rank_);
   if (!valid() || !type.valid() || (buf == nullptr && count > 0)) {
     return MpiError::kInvalidArg;
   }
@@ -771,7 +788,7 @@ MpiError Comm::send(const void* buf, std::size_t count, const Datatype& type, in
 
 MpiError Comm::recv(void* buf, std::size_t count, const Datatype& type, int source, int tag,
                     Status* status) {
-  OpScope scope("MPI_Recv");
+  OpScope scope("MPI_Recv", rank_);
   if (scope.outermost && valid()) {
     if (const MpiError err = consult_fault(impl_.get(), rank_, faultsim::Site::kRecv, "MPI_Recv",
                                            source, tag, scope.outermost);
@@ -789,7 +806,7 @@ MpiError Comm::recv(void* buf, std::size_t count, const Datatype& type, int sour
 
 MpiError Comm::isend(const void* buf, std::size_t count, const Datatype& type, int dest, int tag,
                      Request** request) {
-  OpScope scope("MPI_Isend");
+  OpScope scope("MPI_Isend", rank_);
   if (request == nullptr) {
     return MpiError::kInvalidArg;
   }
@@ -819,7 +836,7 @@ MpiError Comm::isend(const void* buf, std::size_t count, const Datatype& type, i
 
 MpiError Comm::irecv(void* buf, std::size_t count, const Datatype& type, int source, int tag,
                      Request** request) {
-  OpScope scope("MPI_Irecv");
+  OpScope scope("MPI_Irecv", rank_);
   if (request == nullptr) {
     return MpiError::kInvalidArg;
   }
@@ -846,7 +863,7 @@ MpiError Comm::irecv(void* buf, std::size_t count, const Datatype& type, int sou
 }
 
 MpiError Comm::wait(Request** request, Status* status) {
-  OpScope scope("MPI_Wait");
+  OpScope scope("MPI_Wait", rank_);
   if (scope.outermost) {
     const int peer = (request != nullptr && *request != nullptr) ? (*request)->peer() : -1;
     const int tag = (request != nullptr && *request != nullptr) ? (*request)->tag() : -1;
@@ -864,7 +881,7 @@ MpiError Comm::test(Request** request, bool* completed, Status* status) {
 }
 
 MpiError Comm::waitany(std::span<Request*> requests, int* index, Status* status) {
-  OpScope scope("MPI_Waitany");
+  OpScope scope("MPI_Waitany", rank_);
   if (const MpiError err = consult_fault(impl_.get(), rank_, faultsim::Site::kWait, "MPI_Waitany",
                                          -1, -1, scope.outermost);
       err != MpiError::kSuccess) {
@@ -877,7 +894,7 @@ MpiError Comm::waitany(std::span<Request*> requests, int* index, Status* status)
 }
 
 MpiError Comm::probe(int source, int tag, Status* status) {
-  OpScope scope("MPI_Probe");
+  OpScope scope("MPI_Probe", rank_);
   if (!valid() || (source != kAnySource && !rank_valid(source))) {
     return MpiError::kInvalidRank;
   }
@@ -895,7 +912,7 @@ MpiError Comm::iprobe(int source, int tag, bool* flag, Status* status) {
 }
 
 MpiError Comm::waitall(std::span<Request*> requests) {
-  OpScope scope("MPI_Waitall");
+  OpScope scope("MPI_Waitall", rank_);
   if (const MpiError err = consult_fault(impl_.get(), rank_, faultsim::Site::kWait, "MPI_Waitall",
                                          -1, -1, scope.outermost);
       err != MpiError::kSuccess) {
@@ -917,7 +934,7 @@ MpiError Comm::waitall(std::span<Request*> requests) {
 MpiError Comm::sendrecv(const void* sendbuf, std::size_t sendcount, const Datatype& sendtype,
                         int dest, int sendtag, void* recvbuf, std::size_t recvcount,
                         const Datatype& recvtype, int source, int recvtag, Status* status) {
-  OpScope scope("MPI_Sendrecv");
+  OpScope scope("MPI_Sendrecv", rank_);
   if (const MpiError err = consult_fault(impl_.get(), rank_, faultsim::Site::kSend,
                                          "MPI_Sendrecv", dest, sendtag, scope.outermost);
       err != MpiError::kSuccess) {
@@ -946,7 +963,7 @@ MpiError Comm::sendrecv(const void* sendbuf, std::size_t sendcount, const Dataty
 // previous linear algorithms.
 
 MpiError Comm::barrier() {
-  OpScope scope("MPI_Barrier");
+  OpScope scope("MPI_Barrier", rank_);
   if (const MpiError err = consult_fault(impl_.get(), rank_, faultsim::Site::kBarrier,
                                          "MPI_Barrier", -1, -1, scope.outermost);
       err != MpiError::kSuccess) {
@@ -1007,7 +1024,7 @@ MpiError Comm::barrier() {
 }
 
 MpiError Comm::bcast(void* buf, std::size_t count, const Datatype& type, int root) {
-  OpScope scope("MPI_Bcast");
+  OpScope scope("MPI_Bcast", rank_);
   if (!rank_valid(root)) {
     return MpiError::kInvalidRank;
   }
@@ -1049,7 +1066,7 @@ MpiError Comm::bcast(void* buf, std::size_t count, const Datatype& type, int roo
 
 MpiError Comm::reduce(const void* sendbuf, void* recvbuf, std::size_t count, const Datatype& type,
                       ReduceOp op, int root) {
-  OpScope scope("MPI_Reduce");
+  OpScope scope("MPI_Reduce", rank_);
   if (!rank_valid(root)) {
     return MpiError::kInvalidRank;
   }
@@ -1111,7 +1128,7 @@ MpiError Comm::reduce(const void* sendbuf, void* recvbuf, std::size_t count, con
 
 MpiError Comm::allreduce(const void* sendbuf, void* recvbuf, std::size_t count,
                          const Datatype& type, ReduceOp op) {
-  OpScope scope("MPI_Allreduce");
+  OpScope scope("MPI_Allreduce", rank_);
   if (const MpiError err = consult_fault(impl_.get(), rank_, faultsim::Site::kCollective,
                                          "MPI_Allreduce", -1, -1, scope.outermost);
       err != MpiError::kSuccess) {
@@ -1186,7 +1203,7 @@ MpiError Comm::allreduce(const void* sendbuf, void* recvbuf, std::size_t count,
 
 MpiError Comm::gather(const void* sendbuf, std::size_t count, const Datatype& type,
                       void* recvbuf, int root) {
-  OpScope scope("MPI_Gather");
+  OpScope scope("MPI_Gather", rank_);
   if (!rank_valid(root)) {
     return MpiError::kInvalidRank;
   }
@@ -1278,7 +1295,7 @@ MpiError Comm::gather(const void* sendbuf, std::size_t count, const Datatype& ty
 
 MpiError Comm::scatter(const void* sendbuf, std::size_t count, const Datatype& type,
                        void* recvbuf, int root) {
-  OpScope scope("MPI_Scatter");
+  OpScope scope("MPI_Scatter", rank_);
   if (!rank_valid(root)) {
     return MpiError::kInvalidRank;
   }
@@ -1378,7 +1395,7 @@ MpiError Comm::scatter(const void* sendbuf, std::size_t count, const Datatype& t
 
 MpiError Comm::allgather(const void* sendbuf, std::size_t count, const Datatype& type,
                          void* recvbuf) {
-  OpScope scope("MPI_Allgather");
+  OpScope scope("MPI_Allgather", rank_);
   if (const MpiError err = consult_fault(impl_.get(), rank_, faultsim::Site::kCollective,
                                          "MPI_Allgather", -1, -1, scope.outermost);
       err != MpiError::kSuccess) {

@@ -1,18 +1,21 @@
-// Process-global contention counters for the sharded communication engine.
-// They quantify exactly the costs the sharding work targets: how often a
-// mailbox lock is taken, how many wakeups are delivered point-to-point vs
-// broadcast, and how many of them were spurious (the woken rank's predicate
-// was still false). bench_scaling_ranks prints them next to throughput so a
-// wakeup regression (e.g. an accidental notify_all on the hot path) is
-// visible as a number, not just as a slowdown.
+// Process-global contention counters for the sharded communication engine,
+// now backed by the central obs metrics registry (names "mpisim.*") so the
+// same numbers show up in CUSAN_METRICS dumps, check_cutests --json and
+// bench_scaling_ranks. They quantify exactly the costs the sharding work
+// targets: how often a mailbox lock is taken, how many wakeups are delivered
+// point-to-point vs broadcast, and how many of them were spurious (the woken
+// rank's predicate was still false).
 //
-// Counters are relaxed atomics: they impose no ordering and cost one
-// uncontended RMW per event, which is noise next to the mutex operation they
-// sit beside. Snapshot/reset are racy-by-design (monitoring, not invariants).
+// The hot-path discipline is unchanged: each bump is one relaxed RMW on a
+// cached obs::Counter handle (stable address — resolved once per process,
+// never a map lookup per event), which is noise next to the mutex operation
+// it sits beside. Snapshot/reset are racy-by-design (monitoring, not
+// invariants).
 #pragma once
 
-#include <atomic>
 #include <cstdint>
+
+#include "obs/metrics.hpp"
 
 namespace mpisim {
 
@@ -26,36 +29,50 @@ struct ContentionSnapshot {
 };
 
 namespace detail {
-inline std::atomic<std::uint64_t> g_mailbox_locks{0};
-inline std::atomic<std::uint64_t> g_wakeups_delivered{0};
-inline std::atomic<std::uint64_t> g_wakeups_broadcast{0};
-inline std::atomic<std::uint64_t> g_wakeups_spurious{0};
-inline std::atomic<std::uint64_t> g_any_source_scans{0};
-inline std::atomic<std::uint64_t> g_collective_messages{0};
 
-inline void bump(std::atomic<std::uint64_t>& counter, std::uint64_t n = 1) {
-  counter.fetch_add(n, std::memory_order_relaxed);
+/// Registry handles, resolved once (thread-safe local static) and cached.
+struct ContentionCounters {
+  obs::Counter& mailbox_locks;
+  obs::Counter& wakeups_delivered;
+  obs::Counter& wakeups_broadcast;
+  obs::Counter& wakeups_spurious;
+  obs::Counter& any_source_scans;
+  obs::Counter& collective_messages;
+};
+
+[[nodiscard]] inline ContentionCounters& contention_counters() {
+  static ContentionCounters counters{
+      obs::metric("mpisim.mailbox_locks"),      obs::metric("mpisim.wakeups_delivered"),
+      obs::metric("mpisim.wakeups_broadcast"),  obs::metric("mpisim.wakeups_spurious"),
+      obs::metric("mpisim.any_source_scans"),   obs::metric("mpisim.collective_messages"),
+  };
+  return counters;
 }
+
+inline void bump(obs::Counter& counter, std::uint64_t n = 1) { counter.add(n); }
+
 }  // namespace detail
 
 [[nodiscard]] inline ContentionSnapshot contention_snapshot() {
+  const auto& c = detail::contention_counters();
   ContentionSnapshot s;
-  s.mailbox_locks = detail::g_mailbox_locks.load(std::memory_order_relaxed);
-  s.wakeups_delivered = detail::g_wakeups_delivered.load(std::memory_order_relaxed);
-  s.wakeups_broadcast = detail::g_wakeups_broadcast.load(std::memory_order_relaxed);
-  s.wakeups_spurious = detail::g_wakeups_spurious.load(std::memory_order_relaxed);
-  s.any_source_scans = detail::g_any_source_scans.load(std::memory_order_relaxed);
-  s.collective_messages = detail::g_collective_messages.load(std::memory_order_relaxed);
+  s.mailbox_locks = c.mailbox_locks.value();
+  s.wakeups_delivered = c.wakeups_delivered.value();
+  s.wakeups_broadcast = c.wakeups_broadcast.value();
+  s.wakeups_spurious = c.wakeups_spurious.value();
+  s.any_source_scans = c.any_source_scans.value();
+  s.collective_messages = c.collective_messages.value();
   return s;
 }
 
 inline void reset_contention_counters() {
-  detail::g_mailbox_locks.store(0, std::memory_order_relaxed);
-  detail::g_wakeups_delivered.store(0, std::memory_order_relaxed);
-  detail::g_wakeups_broadcast.store(0, std::memory_order_relaxed);
-  detail::g_wakeups_spurious.store(0, std::memory_order_relaxed);
-  detail::g_any_source_scans.store(0, std::memory_order_relaxed);
-  detail::g_collective_messages.store(0, std::memory_order_relaxed);
+  const auto& c = detail::contention_counters();
+  c.mailbox_locks.set(0);
+  c.wakeups_delivered.set(0);
+  c.wakeups_broadcast.set(0);
+  c.wakeups_spurious.set(0);
+  c.any_source_scans.set(0);
+  c.collective_messages.set(0);
 }
 
 /// Difference of two snapshots (end - begin), for bracketing one benchmark.

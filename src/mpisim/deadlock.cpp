@@ -4,6 +4,8 @@
 #include <cstdlib>
 
 #include "common/assert.hpp"
+#include "obs/diagnostics.hpp"
+#include "obs/metrics.hpp"
 
 namespace mpisim {
 
@@ -141,6 +143,9 @@ bool ProgressTracker::try_declare(std::uint64_t progress_snapshot) {
             [](const BlockedOp& a, const BlockedOp& b) { return a.rank < b.rank; });
   report_ = std::move(report);
   deadlocked_.store(true, std::memory_order_release);
+  obs::metric("mpisim.deadlocks_declared").increment();
+  obs::emit_diagnostic(obs::Diagnostic{"mpisim.deadlock", obs::Severity::kError,
+                                       /*rank=*/-1, report_.to_string(), 0});
   return true;
 }
 

@@ -56,7 +56,7 @@ class WaiterSlot {
       wake = parked_;
     }
     if (wake) {
-      detail::bump(detail::g_wakeups_delivered);
+      detail::bump(detail::contention_counters().wakeups_delivered);
       cv_.notify_one();  // at most one thread (the owning rank) ever parks here
     }
   }
@@ -116,7 +116,7 @@ class WaiterHub {
       }
       slot->cv_.notify_all();
     }
-    detail::bump(detail::g_wakeups_broadcast, slots_.size());
+    detail::bump(detail::contention_counters().wakeups_broadcast, slots_.size());
   }
 
  private:

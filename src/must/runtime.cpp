@@ -1,9 +1,52 @@
 #include "must/runtime.hpp"
 
+#include <cstdio>
+
 #include "common/assert.hpp"
 #include "common/format.hpp"
+#include "obs/diagnostics.hpp"
+#include "obs/ring.hpp"
 
 namespace must {
+
+namespace {
+
+/// Stable diagnostic id per MUST error class (the DiagnosticSink contract:
+/// ids never change across releases, messages may).
+[[nodiscard]] constexpr const char* diagnostic_id(ReportKind kind) {
+  switch (kind) {
+    case ReportKind::kTypeMismatch:
+      return "must.type_mismatch";
+    case ReportKind::kBufferOverflow:
+      return "must.buffer_overflow";
+    case ReportKind::kUntrackedBuffer:
+      return "must.untracked_buffer";
+    case ReportKind::kRequestLeak:
+      return "must.request_leak";
+    case ReportKind::kSignatureMismatch:
+      return "must.signature_mismatch";
+    case ReportKind::kDeadlock:
+      return "must.deadlock";
+  }
+  return "must.report";
+}
+
+[[nodiscard]] constexpr obs::Severity diagnostic_severity(ReportKind kind) {
+  // Untracked buffers are advisory (stack buffers trip them); everything
+  // else is a correctness error.
+  return kind == ReportKind::kUntrackedBuffer ? obs::Severity::kWarning : obs::Severity::kError;
+}
+
+/// Forward a freshly filed MustReport into the obs diagnostics hub.
+void emit_report_diagnostic(const MustReport& report) {
+  obs::emit_diagnostic({diagnostic_id(report.kind), diagnostic_severity(report.kind),
+                        obs::bound_rank(),
+                        common::format("{}: {} — {}", report.mpi_call, to_string(report.kind),
+                                       report.detail),
+                        0});
+}
+
+}  // namespace
 
 Runtime::Runtime(rsan::Runtime* tsan, typeart::Runtime* types, Config config)
     : tsan_(tsan), types_(types), config_(config) {
@@ -64,6 +107,7 @@ void Runtime::run_type_check(const char* mpi_call, const void* buf, std::size_t 
     kind = ReportKind::kBufferOverflow;
   }
   reports_.push_back(MustReport{kind, mpi_call, std::move(outcome.detail)});
+  emit_report_diagnostic(reports_.back());
 }
 
 rsan::CtxId Runtime::acquire_fiber() {
@@ -106,6 +150,10 @@ void Runtime::on_isend(const void* buf, std::size_t count, const mpisim::Datatyp
   CUSAN_ASSERT_MSG(inserted, "request already tracked");
   PendingRequest& pr = it->second;
   pr.fiber = acquire_fiber();
+  if (obs::tracing_enabled()) {
+    pr.track = obs::request_track(static_cast<std::uint32_t>(next_request_ordinal_++));
+    pr.start_ns = obs::trace_now_ns();
+  }
   // Host -> fiber ordering at issue time (the request sees all prior host
   // writes to the buffer), then the buffer access on the request fiber, then
   // the arc that Wait will terminate (paper Fig. 1, mirrored for Isend).
@@ -128,6 +176,10 @@ void Runtime::on_irecv(void* buf, std::size_t count, const mpisim::Datatype& typ
   CUSAN_ASSERT_MSG(inserted, "request already tracked");
   PendingRequest& pr = it->second;
   pr.fiber = acquire_fiber();
+  if (obs::tracing_enabled()) {
+    pr.track = obs::request_track(static_cast<std::uint32_t>(next_request_ordinal_++));
+    pr.start_ns = obs::trace_now_ns();
+  }
   tsan_->happens_before(&pr.key);
   tsan_->switch_to_fiber(pr.fiber);
   tsan_->happens_after(&pr.key);
@@ -141,6 +193,20 @@ void Runtime::on_complete(const mpisim::Request* request) {
   const auto it = pending_.find(request);
   if (it == pending_.end()) {
     return;  // races unchecked, or request not tracked
+  }
+  if (it->second.start_ns != 0 && obs::tracing_enabled()) {
+    // The request's concurrent region as a span on its own fiber track,
+    // issue -> completion (paper Fig. 1's lifetime, rendered as a timeline).
+    obs::Event event;
+    event.ts_ns = it->second.start_ns;
+    const std::uint64_t end_ns = obs::trace_now_ns();
+    event.dur_ns = end_ns > event.ts_ns ? end_ns - event.ts_ns : 1;
+    event.rank = obs::bound_rank();
+    event.track = it->second.track;
+    event.kind = obs::EventKind::kRequest;
+    std::snprintf(event.name, sizeof(event.name), "%s",
+                  request->kind() == mpisim::Request::Kind::kSend ? "MPI_Isend" : "MPI_Irecv");
+    obs::emit_event(event);
   }
   // MPI_Wait: the request's concurrent region ends; synchronize fiber -> host.
   tsan_->happens_after(&it->second.key);
@@ -183,6 +249,7 @@ void Runtime::on_receive_status(const char* mpi_call, const mpisim::Status& stat
       common::format("message from rank {} (tag {}) was sent with a type signature "
                      "incompatible with the receive datatype",
                      status.source, status.tag)});
+  emit_report_diagnostic(reports_.back());
 }
 
 void Runtime::on_deadlock(int rank, const mpisim::DeadlockReport& report) {
@@ -195,6 +262,7 @@ void Runtime::on_deadlock(int rank, const mpisim::DeadlockReport& report) {
   reports_.push_back(MustReport{ReportKind::kDeadlock,
                                 own != nullptr ? own->op : std::string("MPI (blocked)"),
                                 report.to_string()});
+  emit_report_diagnostic(reports_.back());
 }
 
 void Runtime::on_finalize() {
@@ -206,6 +274,7 @@ void Runtime::on_finalize() {
         common::format("request {} was never completed (missing MPI_Wait/MPI_Test); its "
                        "concurrent region extends to MPI_Finalize",
                        static_cast<const void*>(request))});
+    emit_report_diagnostic(reports_.back());
   }
 }
 

@@ -80,6 +80,20 @@ struct MustCounters {
   std::uint64_t deadlocks_reported{};
 };
 
+/// Visit every counter as (name, value) — the one enumeration the obs
+/// metrics publication, JSON dumps and registry-equality tests all share.
+template <typename Fn>
+void for_each_counter(const MustCounters& c, Fn&& fn) {
+  fn("calls_intercepted", c.calls_intercepted);
+  fn("request_fibers_created", c.request_fibers_created);
+  fn("request_fibers_reused", c.request_fibers_reused);
+  fn("type_checks", c.type_checks);
+  fn("type_errors", c.type_errors);
+  fn("request_leaks", c.request_leaks);
+  fn("signature_mismatches", c.signature_mismatches);
+  fn("deadlocks_reported", c.deadlocks_reported);
+}
+
 class Runtime {
  public:
   Runtime(rsan::Runtime* tsan, typeart::Runtime* types, Config config = {});
@@ -145,6 +159,8 @@ class Runtime {
   struct PendingRequest {
     rsan::CtxId fiber{rsan::kInvalidCtx};
     char key{};  ///< request's HB sync object... address-stable via node map
+    std::uint32_t track{0};     ///< obs request track (0 when tracing is off)
+    std::uint64_t start_ns{0};  ///< issue timestamp for the request span
   };
 
   void annotate_datatype_range(const void* buf, std::size_t count, const mpisim::Datatype& type,
@@ -160,6 +176,7 @@ class Runtime {
   std::vector<MustReport> reports_;
   std::unordered_map<const mpisim::Request*, PendingRequest> pending_;
   std::vector<rsan::CtxId> fiber_pool_;
+  std::uint64_t next_request_ordinal_{0};  ///< obs request-track assignment
   bool deadlock_reported_{false};
 };
 

@@ -1,0 +1,103 @@
+#include "obs/diagnostics.hpp"
+
+#include <cstdio>
+#include <deque>
+#include <mutex>
+
+#include "obs/metrics.hpp"
+#include "obs/ring.hpp"
+
+namespace obs {
+
+namespace {
+
+constexpr std::size_t kMaxRetained = 4096;
+
+struct Hub {
+  std::mutex mutex;
+  std::vector<DiagnosticSink*> sinks;
+  std::deque<Diagnostic> retained;
+  std::uint64_t dropped{0};
+};
+
+Hub& hub() {
+  static Hub h;
+  return h;
+}
+
+}  // namespace
+
+const char* to_string(Severity severity) {
+  switch (severity) {
+    case Severity::kInfo:
+      return "info";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+void emit_diagnostic(Diagnostic diagnostic) {
+  if (diagnostic.ts_ns == 0) {
+    diagnostic.ts_ns = trace_now_ns();
+  }
+  metric("diag." + diagnostic.id).increment();
+  if (tracing_enabled()) {
+    Event marker;
+    marker.ts_ns = diagnostic.ts_ns;
+    marker.rank = diagnostic.rank;
+    marker.track = kHostTrack;
+    marker.kind = EventKind::kDiagnostic;
+    std::snprintf(marker.name, sizeof(marker.name), "%s", diagnostic.id.c_str());
+    ring_for_rank(diagnostic.rank).emit(marker);
+  }
+  Hub& h = hub();
+  std::vector<DiagnosticSink*> sinks;
+  {
+    std::lock_guard<std::mutex> lock(h.mutex);
+    if (h.retained.size() >= kMaxRetained) {
+      h.retained.pop_front();
+      ++h.dropped;
+    }
+    h.retained.push_back(diagnostic);
+    sinks = h.sinks;
+  }
+  for (DiagnosticSink* sink : sinks) {
+    sink->on_diagnostic(diagnostic);
+  }
+}
+
+void add_diagnostic_sink(DiagnosticSink* sink) {
+  Hub& h = hub();
+  std::lock_guard<std::mutex> lock(h.mutex);
+  h.sinks.push_back(sink);
+}
+
+void remove_diagnostic_sink(DiagnosticSink* sink) {
+  Hub& h = hub();
+  std::lock_guard<std::mutex> lock(h.mutex);
+  std::erase(h.sinks, sink);
+}
+
+std::vector<Diagnostic> diagnostics() {
+  Hub& h = hub();
+  std::lock_guard<std::mutex> lock(h.mutex);
+  return {h.retained.begin(), h.retained.end()};
+}
+
+void clear_diagnostics() {
+  Hub& h = hub();
+  std::lock_guard<std::mutex> lock(h.mutex);
+  h.retained.clear();
+  h.dropped = 0;
+}
+
+std::uint64_t dropped_diagnostics() {
+  Hub& h = hub();
+  std::lock_guard<std::mutex> lock(h.mutex);
+  return h.dropped;
+}
+
+}  // namespace obs

@@ -1,0 +1,54 @@
+// One report stream for the whole stack. rsan races, must reports, mpisim
+// deadlock declarations and faultsim fired-fault records all flow through
+// emit_diagnostic() with a stable machine-readable id ("rsan.race",
+// "must.type_mismatch", "mpisim.deadlock", "faultsim.fault_fired", ...),
+// a severity, and the reporting rank. Every diagnostic also bumps the
+// metrics counter `diag.<id>` and — when tracing is live — drops an instant
+// marker into the rank's event ring so reports line up with the timeline.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace obs {
+
+enum class Severity : std::uint8_t {
+  kInfo = 0,
+  kWarning,
+  kError,
+};
+
+[[nodiscard]] const char* to_string(Severity severity);
+
+struct Diagnostic {
+  std::string id;       ///< stable dotted id, e.g. "rsan.race"
+  Severity severity{Severity::kWarning};
+  int rank{-1};
+  std::string message;  ///< human-readable detail
+  std::uint64_t ts_ns{0};
+};
+
+/// Receives every diagnostic as it is emitted (tools, tests).
+class DiagnosticSink {
+ public:
+  virtual ~DiagnosticSink() = default;
+  virtual void on_diagnostic(const Diagnostic& diagnostic) = 0;
+};
+
+/// Fan a diagnostic out to all registered sinks, the bounded in-process
+/// store, the `diag.<id>` metric and (if enabled) the event ring.
+/// `ts_ns == 0` is stamped with the trace clock.
+void emit_diagnostic(Diagnostic diagnostic);
+
+void add_diagnostic_sink(DiagnosticSink* sink);
+void remove_diagnostic_sink(DiagnosticSink* sink);
+
+/// The retained diagnostics (bounded; oldest dropped past the cap).
+[[nodiscard]] std::vector<Diagnostic> diagnostics();
+void clear_diagnostics();
+
+/// Diagnostics dropped from the bounded store so far.
+[[nodiscard]] std::uint64_t dropped_diagnostics();
+
+}  // namespace obs

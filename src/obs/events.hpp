@@ -1,0 +1,61 @@
+// Typed events for the observability substrate: every producer (cusim stream
+// workers, mpisim p2p/collective waits, cusan intercepts, must request
+// fibers, faultsim, diagnostics) records the same fixed-size Event into a
+// per-rank ring (obs/ring.hpp). Events carry a monotonic timestamp
+// (common::now_ns epoch), a (rank, track) correlation id and an optional
+// 64-bit payload; the Perfetto exporter maps ranks to processes and tracks
+// to threads.
+#pragma once
+
+#include <cstdint>
+
+namespace obs {
+
+/// Broad event category; becomes the Chrome trace "cat" field.
+enum class EventKind : std::uint16_t {
+  kKernel = 0,   ///< kernel execution / launch
+  kMemcpy,       ///< memcpy (any direction)
+  kMemset,       ///< memset
+  kPrefetch,     ///< managed-memory prefetch
+  kHostFunc,     ///< cudaLaunchHostFunc callback
+  kSync,         ///< stream/device/event synchronization
+  kStreamOp,     ///< stream create/destroy, query
+  kEventOp,      ///< event create/record/destroy
+  kAlloc,        ///< malloc/free
+  kMpi,          ///< MPI call (p2p, collective, wait family)
+  kRequest,      ///< nonblocking-request fiber lifetime
+  kDiagnostic,   ///< race/report/deadlock/fault diagnostic marker
+  kTrace,        ///< generic intercepted-call marker (cusan::Trace)
+};
+
+[[nodiscard]] const char* to_string(EventKind kind);
+
+/// Track ids partition a rank's timeline into exporter "threads".
+/// 0 is the host thread; 1..999 are device streams (1 + stream ordinal);
+/// 1000+ are MPI request fibers.
+inline constexpr std::uint32_t kHostTrack = 0;
+inline constexpr std::uint32_t kStreamTrackBase = 1;
+inline constexpr std::uint32_t kRequestTrackBase = 1000;
+
+[[nodiscard]] constexpr std::uint32_t stream_track(std::uint32_t stream_ordinal) {
+  return kStreamTrackBase + stream_ordinal;
+}
+
+[[nodiscard]] constexpr std::uint32_t request_track(std::uint32_t fiber_ordinal) {
+  return kRequestTrackBase + fiber_ordinal;
+}
+
+/// One ring entry. `dur_ns == 0` marks an instant; otherwise a complete span
+/// starting at `ts_ns`. The label is truncated into a fixed buffer so slots
+/// stay trivially copyable (seqlock-guarded, see EventRing).
+struct Event {
+  std::uint64_t ts_ns{0};
+  std::uint64_t dur_ns{0};
+  std::uint64_t arg{0};   ///< payload: bytes moved, ticket, report id, ...
+  std::int32_t rank{-1};  ///< -1 = unattributed
+  std::uint32_t track{kHostTrack};
+  EventKind kind{EventKind::kTrace};
+  char name[42]{};
+};
+
+}  // namespace obs

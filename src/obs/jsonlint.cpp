@@ -1,0 +1,400 @@
+#include "obs/jsonlint.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/format.hpp"
+
+namespace obs::jsonlint {
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view text, std::string* error) : text_(text), error_(error) {}
+
+  bool run(Value* out) {
+    skip_ws();
+    if (!parse_value(out, 0)) {
+      return false;
+    }
+    skip_ws();
+    if (pos_ != text_.size()) {
+      return fail("trailing characters after document");
+    }
+    return true;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  bool fail(const std::string& message) {
+    if (error_ != nullptr) {
+      *error_ = common::format("{} at offset {}", message, pos_);
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                                   text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  bool consume(char c) {
+    if (peek() != c) {
+      return fail(common::format("expected '{}'", c));
+    }
+    ++pos_;
+    return true;
+  }
+
+  bool parse_value(Value* out, int depth) {
+    if (depth > kMaxDepth) {
+      return fail("nesting too deep");
+    }
+    switch (peek()) {
+      case '{':
+        return parse_object(out, depth);
+      case '[':
+        return parse_array(out, depth);
+      case '"':
+        out->kind = Value::Kind::kString;
+        return parse_string(&out->string);
+      case 't':
+      case 'f':
+        return parse_literal(out);
+      case 'n':
+        out->kind = Value::Kind::kNull;
+        return parse_keyword("null");
+      default:
+        return parse_number(out);
+    }
+  }
+
+  bool parse_keyword(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) {
+      return fail(common::format("expected '{}'", std::string(word)));
+    }
+    pos_ += word.size();
+    return true;
+  }
+
+  bool parse_literal(Value* out) {
+    out->kind = Value::Kind::kBool;
+    if (peek() == 't') {
+      out->boolean = true;
+      return parse_keyword("true");
+    }
+    out->boolean = false;
+    return parse_keyword("false");
+  }
+
+  bool parse_number(Value* out) {
+    const std::size_t start = pos_;
+    if (peek() == '-') {
+      ++pos_;
+    }
+    if (!std::isdigit(static_cast<unsigned char>(peek()))) {
+      return fail("invalid value");
+    }
+    while (std::isdigit(static_cast<unsigned char>(peek()))) {
+      ++pos_;
+    }
+    if (peek() == '.') {
+      ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) {
+        return fail("digit expected after decimal point");
+      }
+      while (std::isdigit(static_cast<unsigned char>(peek()))) {
+        ++pos_;
+      }
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') {
+        ++pos_;
+      }
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) {
+        return fail("digit expected in exponent");
+      }
+      while (std::isdigit(static_cast<unsigned char>(peek()))) {
+        ++pos_;
+      }
+    }
+    out->kind = Value::Kind::kNumber;
+    out->number = std::strtod(std::string(text_.substr(start, pos_ - start)).c_str(), nullptr);
+    return true;
+  }
+
+  bool parse_string(std::string* out) {
+    if (!consume('"')) {
+      return false;
+    }
+    out->clear();
+    while (true) {
+      if (pos_ >= text_.size()) {
+        return fail("unterminated string");
+      }
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        *out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        return fail("unterminated escape");
+      }
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+        case '\\':
+        case '/':
+          *out += esc;
+          break;
+        case 'b':
+          *out += '\b';
+          break;
+        case 'f':
+          *out += '\f';
+          break;
+        case 'n':
+          *out += '\n';
+          break;
+        case 'r':
+          *out += '\r';
+          break;
+        case 't':
+          *out += '\t';
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            return fail("truncated \\u escape");
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code += static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code += static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code += static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return fail("invalid \\u escape");
+            }
+          }
+          // Lint-grade: keep BMP code points as UTF-8, no surrogate pairing.
+          if (code < 0x80) {
+            *out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            *out += static_cast<char>(0xC0 | (code >> 6));
+            *out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            *out += static_cast<char>(0xE0 | (code >> 12));
+            *out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            *out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          return fail("invalid escape");
+      }
+    }
+  }
+
+  bool parse_array(Value* out, int depth) {
+    if (!consume('[')) {
+      return false;
+    }
+    out->kind = Value::Kind::kArray;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      auto element = std::make_shared<Value>();
+      skip_ws();
+      if (!parse_value(element.get(), depth + 1)) {
+        return false;
+      }
+      out->array.push_back(std::move(element));
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      return consume(']');
+    }
+  }
+
+  bool parse_object(Value* out, int depth) {
+    if (!consume('{')) {
+      return false;
+    }
+    out->kind = Value::Kind::kObject;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(&key)) {
+        return false;
+      }
+      skip_ws();
+      if (!consume(':')) {
+        return false;
+      }
+      skip_ws();
+      auto member = std::make_shared<Value>();
+      if (!parse_value(member.get(), depth + 1)) {
+        return false;
+      }
+      out->object[key] = std::move(member);
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      return consume('}');
+    }
+  }
+
+  std::string_view text_;
+  std::string* error_;
+  std::size_t pos_{0};
+};
+
+bool check(bool condition, const std::string& message, std::string* error) {
+  if (!condition && error != nullptr) {
+    *error = message;
+  }
+  return condition;
+}
+
+}  // namespace
+
+const Value* Value::get(const std::string& key) const {
+  if (kind != Kind::kObject) {
+    return nullptr;
+  }
+  const auto it = object.find(key);
+  return it != object.end() ? it->second.get() : nullptr;
+}
+
+bool parse(std::string_view text, Value* out, std::string* error) {
+  return Parser(text, error).run(out);
+}
+
+bool validate_chrome_trace(std::string_view text, std::string* error, std::size_t* event_count) {
+  Value root;
+  if (!parse(text, &root, error)) {
+    return false;
+  }
+  if (!check(root.is(Value::Kind::kObject), "top level is not an object", error)) {
+    return false;
+  }
+  const Value* events = root.get("traceEvents");
+  if (!check(events != nullptr && events->is(Value::Kind::kArray),
+             "missing 'traceEvents' array", error)) {
+    return false;
+  }
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < events->array.size(); ++i) {
+    const Value& event = *events->array[i];
+    const std::string at = common::format("traceEvents[{}]", i);
+    if (!check(event.is(Value::Kind::kObject), at + " is not an object", error)) {
+      return false;
+    }
+    const Value* ph = event.get("ph");
+    if (!check(ph != nullptr && ph->is(Value::Kind::kString), at + " missing string 'ph'",
+               error)) {
+      return false;
+    }
+    const Value* pid = event.get("pid");
+    if (!check(pid != nullptr && pid->is(Value::Kind::kNumber), at + " missing numeric 'pid'",
+               error)) {
+      return false;
+    }
+    const Value* name = event.get("name");
+    if (!check(name != nullptr && name->is(Value::Kind::kString), at + " missing string 'name'",
+               error)) {
+      return false;
+    }
+    if (ph->string == "M") {
+      if (name->string != "process_name" && name->string != "thread_name") {
+        continue;  // other metadata kinds are legal in the wild
+      }
+      const Value* args = event.get("args");
+      const Value* value = args != nullptr ? args->get("name") : nullptr;
+      if (!check(value != nullptr && value->is(Value::Kind::kString),
+                 at + " metadata missing args.name", error)) {
+        return false;
+      }
+      continue;
+    }
+    if (ph->string == "X" || ph->string == "i") {
+      ++count;
+      const Value* ts = event.get("ts");
+      const Value* tid = event.get("tid");
+      if (!check(ts != nullptr && ts->is(Value::Kind::kNumber), at + " missing numeric 'ts'",
+                 error) ||
+          !check(tid != nullptr && tid->is(Value::Kind::kNumber), at + " missing numeric 'tid'",
+                 error)) {
+        return false;
+      }
+      if (ph->string == "X") {
+        const Value* dur = event.get("dur");
+        if (!check(dur != nullptr && dur->is(Value::Kind::kNumber),
+                   at + " missing numeric 'dur'", error)) {
+          return false;
+        }
+      }
+      continue;
+    }
+    // Other phases (B/E, counters, flows) are valid trace_event but this
+    // exporter never writes them — flag so regressions surface.
+    if (!check(false, at + common::format(" unexpected phase '{}'", ph->string), error)) {
+      return false;
+    }
+  }
+  if (event_count != nullptr) {
+    *event_count = count;
+  }
+  return true;
+}
+
+bool validate_metrics_json(std::string_view text, std::string* error, std::size_t* metric_count) {
+  Value root;
+  if (!parse(text, &root, error)) {
+    return false;
+  }
+  if (!check(root.is(Value::Kind::kObject), "top level is not an object", error)) {
+    return false;
+  }
+  for (const auto& [key, value] : root.object) {
+    if (!check(value->is(Value::Kind::kNumber),
+               common::format("metric '{}' is not a number", key), error)) {
+      return false;
+    }
+  }
+  if (metric_count != nullptr) {
+    *metric_count = root.object.size();
+  }
+  return true;
+}
+
+}  // namespace obs::jsonlint

@@ -1,0 +1,51 @@
+// Minimal recursive-descent JSON parser and Chrome trace_event schema
+// checker. Exists so tests and CI can validate the exporter's output (and
+// any metrics dump) without external dependencies; it is a linter, not a
+// general-purpose JSON library — numbers are kept as doubles and documents
+// are size-bounded only by recursion depth.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace obs::jsonlint {
+
+struct Value;
+using ValuePtr = std::shared_ptr<Value>;
+
+struct Value {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind{Kind::kNull};
+  bool boolean{false};
+  double number{0.0};
+  std::string string;
+  std::vector<ValuePtr> array;
+  std::map<std::string, ValuePtr> object;
+
+  [[nodiscard]] bool is(Kind k) const { return kind == k; }
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const Value* get(const std::string& key) const;
+};
+
+/// Parse a complete JSON document. Returns false with a position-bearing
+/// message in `error` on malformed input (trailing garbage included).
+bool parse(std::string_view text, Value* out, std::string* error);
+
+/// Validate a Chrome trace_event JSON document: top-level object with a
+/// "traceEvents" array; every element an object with a string "ph"; "X"/"i"
+/// events need numeric ts/pid/tid and a string name ("X" also numeric dur);
+/// "M" metadata needs process_name/thread_name with args.name. On success
+/// reports the number of non-metadata events via `event_count` (optional).
+bool validate_chrome_trace(std::string_view text, std::string* error,
+                           std::size_t* event_count = nullptr);
+
+/// Validate a flat metrics JSON object (string keys -> numbers).
+bool validate_metrics_json(std::string_view text, std::string* error,
+                           std::size_t* metric_count = nullptr);
+
+}  // namespace obs::jsonlint

@@ -1,0 +1,76 @@
+// Central metrics registry: one namespace of named monotonic counters and
+// gauges replacing the per-subsystem counters structs (cusan, rsan, mpisim,
+// faultsim). Hot paths hold a `Counter&` handle (stable address, relaxed
+// atomic add — never a map lookup); consumers take snapshots, diff them
+// across a region of interest, and export JSON. Providers let subsystems
+// contribute computed values (peak RSS, fault-ledger state) at snapshot time.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace obs {
+
+class Counter {
+ public:
+  void add(std::uint64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  void increment() { add(1); }
+  void set(std::uint64_t value) { value_.store(value, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Name -> value at one point in time (sorted, so JSON export is stable).
+using MetricsSnapshot = std::map<std::string, std::uint64_t>;
+
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& instance();
+
+  /// Find-or-create a counter. The returned reference stays valid for the
+  /// process lifetime — cache it; never call this on a hot path.
+  [[nodiscard]] Counter& counter(std::string_view name);
+
+  /// Convenience: overwrite a gauge-style value.
+  void set_gauge(std::string_view name, std::uint64_t value);
+
+  /// Providers run at snapshot time and may add/overwrite entries.
+  /// Re-registering under the same name replaces the previous provider.
+  using Provider = std::function<void(MetricsSnapshot&)>;
+  void register_provider(const std::string& name, Provider provider);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// later - earlier, per key; keys only in `later` keep their value, keys
+  /// only in `earlier` are dropped. Underflow clamps to 0 (gauges may move
+  /// both ways).
+  [[nodiscard]] static MetricsSnapshot diff(const MetricsSnapshot& later,
+                                            const MetricsSnapshot& earlier);
+
+  /// Zero every registered counter (providers are unaffected).
+  void reset();
+
+  [[nodiscard]] static std::string to_json(const MetricsSnapshot& snapshot);
+
+ private:
+  MetricsRegistry();
+
+  mutable std::mutex mutex_;
+  // std::map: node-based, so Counter addresses are stable across inserts.
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Provider> providers_;
+};
+
+/// Shorthand for MetricsRegistry::instance().counter(name).
+[[nodiscard]] inline Counter& metric(std::string_view name) {
+  return MetricsRegistry::instance().counter(name);
+}
+
+}  // namespace obs

@@ -31,4 +31,28 @@ struct Counters {
   std::uint64_t degraded_accesses{};  ///< range calls with at least one untracked segment
 };
 
+/// Visit every counter as (name, value) — the one enumeration the obs
+/// metrics publication, JSON dumps and registry-equality tests all share.
+template <typename Fn>
+void for_each_counter(const Counters& c, Fn&& fn) {
+  fn("fiber_switches", c.fiber_switches);
+  fn("hb_before", c.hb_before);
+  fn("hb_after", c.hb_after);
+  fn("read_range_calls", c.read_range_calls);
+  fn("write_range_calls", c.write_range_calls);
+  fn("read_range_bytes", c.read_range_bytes);
+  fn("write_range_bytes", c.write_range_bytes);
+  fn("plain_reads", c.plain_reads);
+  fn("plain_writes", c.plain_writes);
+  fn("races_detected", c.races_detected);
+  fn("races_suppressed", c.races_suppressed);
+  fn("ignored_accesses", c.ignored_accesses);
+  fn("fastpath_range_hits", c.fastpath_range_hits);
+  fn("fastpath_block_hits", c.fastpath_block_hits);
+  fn("fastpath_block_misses", c.fastpath_block_misses);
+  fn("fastpath_granules_elided", c.fastpath_granules_elided);
+  fn("degraded_blocks", c.degraded_blocks);
+  fn("degraded_accesses", c.degraded_accesses);
+}
+
 }  // namespace rsan

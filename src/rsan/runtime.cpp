@@ -6,6 +6,8 @@
 
 #include "common/assert.hpp"
 #include "common/log.hpp"
+#include "obs/diagnostics.hpp"
+#include "obs/ring.hpp"
 
 namespace rsan {
 
@@ -507,6 +509,8 @@ void Runtime::report_race(std::uintptr_t addr, std::size_t access_size, bool cur
     return;
   }
   CUSAN_LOG_INFO("{}", format_report(report));
+  obs::emit_diagnostic(obs::Diagnostic{"rsan.race", obs::Severity::kError, obs::bound_rank(),
+                                       format_report(report), 0});
   reports_.push_back(std::move(report));
 }
 

@@ -18,16 +18,107 @@
 // fault must still be surfaced through some channel, and no run may crash or
 // hang (pair with CUSAN_MPI_WATCHDOG_MS). This is the CI resilience leg.
 //
-// Usage: check_cutests [filter-substring]
+// With --json[=PATH] the same run is reported as one machine-readable JSON
+// document (per-scenario verdicts plus a summary block with the obs metrics
+// registry delta for the whole run), written to PATH or stdout.
+//
+// Usage: check_cutests [--json[=PATH]] [filter-substring]
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "faultsim/injector.hpp"
+#include "obs/metrics.hpp"
+#include "obs/perfetto.hpp"
 #include "testsuite/scenarios.hpp"
 
+namespace {
+
+struct ScenarioRecord {
+  const testsuite::Scenario* scenario{nullptr};
+  testsuite::ScenarioOutcome fast{};
+  testsuite::ScenarioOutcome slow{};
+  std::size_t faults_fired{0};
+  bool diverged{false};
+  bool ok{true};
+};
+
+[[nodiscard]] const char* verdict(const ScenarioRecord& r) {
+  if (r.faults_fired > 0) {
+    return "fault";
+  }
+  return r.ok ? "pass" : "fail";
+}
+
+void append_json_escaped(std::string& out, const std::string& text) {
+  for (const char c : text) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+}
+
+[[nodiscard]] std::string to_json(const std::vector<ScenarioRecord>& records,
+                                  const obs::MetricsSnapshot& metrics_delta, int world_ranks,
+                                  std::size_t failures, std::size_t divergences,
+                                  std::size_t faulted, std::size_t unsurfaced) {
+  std::string out = "{\n  \"world_ranks\": " + std::to_string(world_ranks) +
+                    ",\n  \"scenarios\": [\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const ScenarioRecord& r = records[i];
+    out += "    {\"name\": \"";
+    append_json_escaped(out, r.scenario->name);
+    out += "\", \"verdict\": \"";
+    out += verdict(r);
+    out += "\", \"expect_race\": ";
+    out += r.scenario->expect_race ? "true" : "false";
+    out += ", \"races\": " + std::to_string(r.fast.races);
+    out += ", \"races_reference\": " + std::to_string(r.slow.races);
+    out += ", \"tracked_bytes\": " + std::to_string(r.fast.tracked_bytes);
+    out += ", \"fastpath_hits\": " + std::to_string(r.fast.fastpath_hits);
+    out += ", \"fastpath_granules_elided\": " + std::to_string(r.fast.fastpath_granules_elided);
+    out += ", \"faults_fired\": " + std::to_string(r.faults_fired);
+    out += "}";
+    out += i + 1 < records.size() ? ",\n" : "\n";
+  }
+  out += "  ],\n  \"summary\": {\"scenarios\": " + std::to_string(records.size());
+  out += ", \"failed\": " + std::to_string(failures);
+  out += ", \"diverged\": " + std::to_string(divergences);
+  out += ", \"faulted\": " + std::to_string(faulted);
+  out += ", \"faults_unsurfaced\": " + std::to_string(unsurfaced);
+  out += "},\n  \"metrics\": ";
+  out += obs::MetricsRegistry::to_json(metrics_delta);
+  out += "\n}\n";
+  return out;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
+  bool json = false;
+  std::string json_path;
+  const char* filter = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--json") == 0) {
+      json = true;
+    } else if (std::strncmp(arg, "--json=", 7) == 0) {
+      json = true;
+      json_path = arg + 7;
+    } else {
+      filter = arg;
+    }
+  }
+
   auto& injector = faultsim::Injector::instance();
   std::string plan_error;
   if (!injector.load_env(&plan_error)) {
@@ -35,13 +126,15 @@ int main(int argc, char** argv) {
     return 2;
   }
   const bool faulted_run = faultsim::Injector::armed();
-  if (faulted_run) {
+  if (faulted_run && !json) {
     std::printf("-- fault plan: %s\n", injector.plan_string().c_str());
   }
   // Scenarios run pairwise on every rank pair of the world (CUSAN_RANKS).
-  std::printf("-- world: %d ranks\n", capi::default_ranks());
+  const int world_ranks = capi::default_ranks();
+  if (!json) {
+    std::printf("-- world: %d ranks\n", world_ranks);
+  }
 
-  const char* filter = argc > 1 ? argv[1] : nullptr;
   const auto scenarios = testsuite::build_scenarios();
 
   std::vector<const testsuite::Scenario*> selected;
@@ -55,70 +148,98 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  const obs::MetricsSnapshot metrics_before = obs::MetricsRegistry::instance().snapshot();
+
   std::size_t failures = 0;
   std::size_t divergences = 0;
   std::size_t faulted = 0;
   std::size_t index = 0;
   std::uint64_t total_tracked = 0;
   std::uint64_t total_hits = 0;
+  std::vector<ScenarioRecord> records;
+  records.reserve(selected.size());
   for (const auto* scenario : selected) {
     ++index;
+    ScenarioRecord record;
+    record.scenario = scenario;
     const std::size_t fired_before = injector.fired_count();
-    const auto fast = testsuite::run_scenario_outcome(*scenario, /*use_shadow_fast_path=*/true);
-    const auto slow = testsuite::run_scenario_outcome(*scenario, /*use_shadow_fast_path=*/false);
-    const std::size_t fired_here = injector.fired_count() - fired_before;
-    total_tracked += fast.tracked_bytes;
-    total_hits += fast.fastpath_hits;
-    if (fired_here > 0) {
+    record.fast = testsuite::run_scenario_outcome(*scenario, /*use_shadow_fast_path=*/true);
+    record.slow = testsuite::run_scenario_outcome(*scenario, /*use_shadow_fast_path=*/false);
+    record.faults_fired = injector.fired_count() - fired_before;
+    total_tracked += record.fast.tracked_bytes;
+    total_hits += record.fast.fastpath_hits;
+    if (record.faults_fired > 0) {
       // Faults fired into this scenario: the verdict may legitimately differ
       // from the fault-free expectation. Surfacing is checked at the end.
       ++faulted;
-      std::printf("FAULT: CuSanTest :: %s (%zu of %zu) [%zu fault(s) fired]\n",
-                  scenario->name.c_str(), index, selected.size(), fired_here);
+      if (!json) {
+        std::printf("FAULT: CuSanTest :: %s (%zu of %zu) [%zu fault(s) fired]\n",
+                    scenario->name.c_str(), index, selected.size(), record.faults_fired);
+      }
+      records.push_back(record);
       continue;
     }
-    const bool diverged = fast.races != slow.races;
-    const bool ok = !diverged && testsuite::classified_correctly(*scenario, fast.races);
-    if (!ok) {
+    record.diverged = record.fast.races != record.slow.races;
+    record.ok = !record.diverged && testsuite::classified_correctly(*scenario, record.fast.races);
+    if (!record.ok) {
       ++failures;
     }
-    if (diverged) {
+    if (record.diverged) {
       ++divergences;
     }
-    const char* detail = "";
-    if (diverged) {
-      detail = "  [fast/slow shadow divergence]";
-    } else if (!ok) {
-      detail = scenario->expect_race ? "  [expected a race, none reported]"
-                                     : "  [false positive report]";
+    if (!json) {
+      const char* detail = "";
+      if (record.diverged) {
+        detail = "  [fast/slow shadow divergence]";
+      } else if (!record.ok) {
+        detail = scenario->expect_race ? "  [expected a race, none reported]"
+                                       : "  [false positive report]";
+      }
+      std::printf(
+          "%s: CuSanTest :: %s (%zu of %zu) [tracked %.1f KiB] [fastpath %llu hits / %llu "
+          "granules]%s\n",
+          record.ok ? "PASS" : "FAIL", scenario->name.c_str(), index, selected.size(),
+          static_cast<double>(record.fast.tracked_bytes) / 1024.0,
+          static_cast<unsigned long long>(record.fast.fastpath_hits),
+          static_cast<unsigned long long>(record.fast.fastpath_granules_elided), detail);
+      if (record.diverged) {
+        std::printf("  fast path: %zu race(s); reference path: %zu race(s)\n", record.fast.races,
+                    record.slow.races);
+      }
     }
-    std::printf(
-        "%s: CuSanTest :: %s (%zu of %zu) [tracked %.1f KiB] [fastpath %llu hits / %llu "
-        "granules]%s\n",
-        ok ? "PASS" : "FAIL", scenario->name.c_str(), index, selected.size(),
-        static_cast<double>(fast.tracked_bytes) / 1024.0,
-        static_cast<unsigned long long>(fast.fastpath_hits),
-        static_cast<unsigned long long>(fast.fastpath_granules_elided), detail);
-    if (diverged) {
-      std::printf("  fast path: %zu race(s); reference path: %zu race(s)\n", fast.races,
-                  slow.races);
-    }
+    records.push_back(record);
   }
   const std::size_t unsurfaced = faulted_run ? injector.unsurfaced_count() : 0;
-  std::printf(
-      "\nTesting Time: done\n  Passed: %zu\n  Failed: %zu\n  Diverged: %zu\n  Tracked: %.1f "
-      "KiB\n  Fast-path hits: %llu\n",
-      selected.size() - failures - faulted, failures, divergences,
-      static_cast<double>(total_tracked) / 1024.0, static_cast<unsigned long long>(total_hits));
-  if (faulted_run) {
-    std::printf("  Faulted: %zu\n  Faults fired: %zu\n  Faults unsurfaced: %zu\n", faulted,
-                injector.fired_count(), unsurfaced);
-    if (unsurfaced > 0) {
-      for (const auto& f : injector.fired_log()) {
-        if (f.surfaced == faultsim::Channel::kNone) {
-          std::printf("  UNSURFACED: fault #%llu %s at %s\n",
-                      static_cast<unsigned long long>(f.id), to_string(f.action),
-                      to_string(f.site));
+  if (json) {
+    const obs::MetricsSnapshot metrics_after = obs::MetricsRegistry::instance().snapshot();
+    const std::string doc =
+        to_json(records, obs::MetricsRegistry::diff(metrics_after, metrics_before), world_ranks,
+                failures, divergences, faulted, unsurfaced);
+    if (json_path.empty()) {
+      std::fputs(doc.c_str(), stdout);
+    } else {
+      std::string error;
+      if (!obs::write_file(json_path, doc, &error)) {
+        std::fprintf(stderr, "--json: %s\n", error.c_str());
+        return 2;
+      }
+    }
+  } else {
+    std::printf(
+        "\nTesting Time: done\n  Passed: %zu\n  Failed: %zu\n  Diverged: %zu\n  Tracked: %.1f "
+        "KiB\n  Fast-path hits: %llu\n",
+        selected.size() - failures - faulted, failures, divergences,
+        static_cast<double>(total_tracked) / 1024.0, static_cast<unsigned long long>(total_hits));
+    if (faulted_run) {
+      std::printf("  Faulted: %zu\n  Faults fired: %zu\n  Faults unsurfaced: %zu\n", faulted,
+                  injector.fired_count(), unsurfaced);
+      if (unsurfaced > 0) {
+        for (const auto& f : injector.fired_log()) {
+          if (f.surfaced == faultsim::Channel::kNone) {
+            std::printf("  UNSURFACED: fault #%llu %s at %s\n",
+                        static_cast<unsigned long long>(f.id), to_string(f.action),
+                        to_string(f.site));
+          }
         }
       }
     }

@@ -4,12 +4,14 @@
 // fault is surfaced through some channel). See src/testsuite/fault_sweep.hpp.
 //
 // Usage: fault_sweep [--plans N] [--faults N] [--seed N] [--filter SUBSTR]
-//                    [--watchdog MS] [--verbose]
+//                    [--watchdog MS] [--metrics PATH] [--verbose]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
+#include "obs/metrics.hpp"
+#include "obs/perfetto.hpp"
 #include "testsuite/fault_sweep.hpp"
 
 namespace {
@@ -17,7 +19,7 @@ namespace {
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--plans N] [--faults N] [--seed N] [--filter SUBSTR] "
-               "[--watchdog MS] [--verbose]\n",
+               "[--watchdog MS] [--metrics PATH] [--verbose]\n",
                argv0);
   std::exit(2);
 }
@@ -40,6 +42,7 @@ long parse_long(const char* argv0, const char* flag, const char* value) {
 
 int main(int argc, char** argv) {
   testsuite::SweepOptions options;
+  std::string metrics_path;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     const char* value = i + 1 < argc ? argv[i + 1] : nullptr;
@@ -61,6 +64,12 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(arg, "--watchdog") == 0) {
       options.watchdog = std::chrono::milliseconds(parse_long(argv[0], arg, value));
       ++i;
+    } else if (std::strcmp(arg, "--metrics") == 0) {
+      if (value == nullptr) {
+        usage(argv[0]);
+      }
+      metrics_path = value;
+      ++i;
     } else if (std::strcmp(arg, "--verbose") == 0) {
       options.verbose = true;
     } else {
@@ -77,7 +86,19 @@ int main(int argc, char** argv) {
               options.plans, options.faults_per_plan,
               static_cast<unsigned long long>(options.seed),
               static_cast<long long>(options.watchdog.count()));
+  const obs::MetricsSnapshot metrics_before = obs::MetricsRegistry::instance().snapshot();
   const testsuite::SweepStats stats = testsuite::run_fault_sweep(options);
+  if (!metrics_path.empty()) {
+    // The sweep's whole-run registry delta (tool counters, fault ledger,
+    // contention counters) as one flat JSON object.
+    const auto delta = obs::MetricsRegistry::diff(obs::MetricsRegistry::instance().snapshot(),
+                                                  metrics_before);
+    std::string error;
+    if (!obs::write_file(metrics_path, obs::MetricsRegistry::to_json(delta), &error)) {
+      std::fprintf(stderr, "--metrics: %s\n", error.c_str());
+      return 2;
+    }
+  }
 
   std::printf(
       "\nSweep summary\n  Scenarios: %zu\n  Faulted runs executed: %zu (of %zu)\n  Faults "

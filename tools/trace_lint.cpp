@@ -1,0 +1,72 @@
+// Schema checker for the observability export artifacts: validates Chrome
+// trace_event JSON written via CUSAN_TRACE=perfetto:<path> and flat metrics
+// JSON written via CUSAN_METRICS=<path>. CI runs this over the testsuite
+// artifacts so a malformed export fails the build, not the person opening
+// ui.perfetto.dev.
+//
+// Usage: trace_lint [--trace FILE]... [--metrics FILE]...
+// Exit 0 iff every file parses and matches its schema.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "obs/jsonlint.hpp"
+
+namespace {
+
+bool read_file(const char* path, std::string* out) {
+  std::FILE* f = std::fopen(path, "rb");
+  if (f == nullptr) {
+    return false;
+  }
+  char buf[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out->append(buf, n);
+  }
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s [--trace FILE]... [--metrics FILE]...\n", argv[0]);
+    return 2;
+  }
+  int failures = 0;
+  int checked = 0;
+  for (int i = 1; i < argc; ++i) {
+    const bool is_trace = std::strcmp(argv[i], "--trace") == 0;
+    const bool is_metrics = std::strcmp(argv[i], "--metrics") == 0;
+    if (!is_trace && !is_metrics) {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 2;
+    }
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "%s requires a file\n", argv[i]);
+      return 2;
+    }
+    const char* path = argv[++i];
+    std::string text;
+    if (!read_file(path, &text)) {
+      std::printf("FAIL: %s: cannot read\n", path);
+      ++failures;
+      continue;
+    }
+    std::string error;
+    std::size_t count = 0;
+    const bool ok = is_trace ? obs::jsonlint::validate_chrome_trace(text, &error, &count)
+                             : obs::jsonlint::validate_metrics_json(text, &error, &count);
+    ++checked;
+    if (ok) {
+      std::printf("OK: %s: %zu %s\n", path, count, is_trace ? "event(s)" : "metric(s)");
+    } else {
+      std::printf("FAIL: %s: %s\n", path, error.c_str());
+      ++failures;
+    }
+  }
+  return failures == 0 && checked > 0 ? 0 : 1;
+}
