@@ -48,7 +48,11 @@ struct StencilKernels {
       (void)smooth_fn->call(row, {row_prev, smooth_fn->constant()});
       const auto adv_prev = smooth_fn->gep(row_prev, smooth_fn->constant());
       smooth_fn->add_phi_incoming(row_prev, adv_prev);  // loop back-edge
-      const auto idx = smooth_fn->bounded(interior_lo, interior_hi);
+      // One thread per interior-hull element: the affine write summary is
+      // 8·tid+[0,8), provably disjoint across threads, so prove-and-elide
+      // can drop `next`'s dynamic tracking (prev's phi-widened ⊤ read keeps
+      // that argument tracked).
+      const auto idx = smooth_fn->thread_idx(interior_lo, interior_hi);
       smooth_fn->store(smooth_fn->gep(next, idx, kElem), smooth_fn->constant(), kElem);
       smooth_fn->ret();
     }
@@ -57,9 +61,9 @@ struct StencilKernels {
     {
       const auto partial = sum_fn->param(0);
       const auto field = sum_fn->param(1);
-      const auto idx = sum_fn->bounded(interior_lo, interior_hi);
+      const auto idx = sum_fn->thread_idx(interior_lo, interior_hi);
       const auto v = sum_fn->load(sum_fn->gep(field, idx, kElem), kElem);
-      const auto row_idx = sum_fn->bounded(1, static_cast<std::int64_t>(local_rows));
+      const auto row_idx = sum_fn->thread_idx(1, static_cast<std::int64_t>(local_rows), 1);
       sum_fn->store(sum_fn->gep(partial, row_idx, kElem), v, kElem);
       sum_fn->ret();
     }

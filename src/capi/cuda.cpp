@@ -394,7 +394,9 @@ cusim::Error launch(const kir::KernelInfo& info, cusim::LaunchDims dims, cusim::
     for (const void* ptr : ptr_args) {
       const kir::ParamIntervals* intervals =
           i < info.param_intervals.size() ? &info.param_intervals[i] : nullptr;
-      args.push_back(cusan::KernelArgAccess{ptr, info.param_modes[i], intervals});
+      const kir::ParamProof* proof =
+          i < info.proof.params.size() ? &info.proof.params[i] : nullptr;
+      args.push_back(cusan::KernelArgAccess{ptr, info.param_modes[i], intervals, proof});
       ++i;
     }
     cs->on_kernel_launch(stream, info.fn->name().c_str(), args);

@@ -24,6 +24,13 @@ struct Counters {
   std::uint64_t interval_bytes_annotated{}; ///< bytes covered by interval annotations
   std::uint64_t interval_bytes_elided{};   ///< allocation bytes skipped thanks to intervals
   std::uint64_t kernel_annotation_calls{}; ///< rsan range calls issued for kernel arguments
+  // Prove-and-elide (CUSAN_PROVE_ELIDE; all zero when off).
+  std::uint64_t proof_elided_launches{};      ///< launches with at least one elided argument
+  std::uint64_t proof_elided_args{};          ///< arguments elided via an affine proof
+  std::uint64_t proof_elided_bytes{};         ///< bytes covered by elided annotations
+  std::uint64_t proof_fast_launches{};        ///< launches fully skipped via the generation memo
+  std::uint64_t proof_alias_rejects{};        ///< proofs voided by aliasing pointer arguments
+  std::uint64_t proof_cross_stream_overlaps{}; ///< memo skips denied by theorem-2 overlap
 };
 
 /// Visit every counter as (name, value) — the one enumeration the obs
@@ -47,6 +54,12 @@ void for_each_counter(const Counters& c, Fn&& fn) {
   fn("interval_bytes_annotated", c.interval_bytes_annotated);
   fn("interval_bytes_elided", c.interval_bytes_elided);
   fn("kernel_annotation_calls", c.kernel_annotation_calls);
+  fn("proof_elided_launches", c.proof_elided_launches);
+  fn("proof_elided_args", c.proof_elided_args);
+  fn("proof_elided_bytes", c.proof_elided_bytes);
+  fn("proof_fast_launches", c.proof_fast_launches);
+  fn("proof_alias_rejects", c.proof_alias_rejects);
+  fn("proof_cross_stream_overlaps", c.proof_cross_stream_overlaps);
 }
 
 }  // namespace cusan

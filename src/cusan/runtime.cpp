@@ -1,11 +1,63 @@
 #include "cusan/runtime.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+#include <string_view>
 
 #include "common/assert.hpp"
 #include "common/format.hpp"
+#include "rsan/shadow.hpp"
 
 namespace cusan {
+
+ProveElide default_prove_elide() {
+  const char* env = std::getenv("CUSAN_PROVE_ELIDE");
+  if (env == nullptr) {
+    return ProveElide::kOff;
+  }
+  const std::string_view v{env};
+  if (v == "intra") {
+    return ProveElide::kIntra;
+  }
+  if (v == "full") {
+    return ProveElide::kFull;
+  }
+  return ProveElide::kOff;
+}
+
+namespace {
+
+/// Theorem-2 side condition S2 at the dynamic granularity: two proven
+/// footprints over the same allocation conflict iff their byte intervals,
+/// rounded out to shadow granules (the resolution at which the region checks
+/// fire), overlap. Both vectors are sorted, disjoint, base-relative.
+[[nodiscard]] bool granule_overlaps(const std::vector<kir::Interval>& a,
+                                    const std::vector<kir::Interval>& b) {
+  constexpr std::int64_t kG = static_cast<std::int64_t>(rsan::kGranuleBytes);
+  const auto round = [](const kir::Interval& iv) {
+    return kir::Interval{(iv.lo / kG) * kG, ((iv.hi - 1) / kG + 1) * kG};
+  };
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    const kir::Interval x = round(a[i]);
+    const kir::Interval y = round(b[j]);
+    if (x.hi <= y.lo) {
+      ++i;
+    } else if (y.hi <= x.lo) {
+      ++j;
+    } else {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Cap on distinct in-flight footprints per allocation; past it the skip
+/// gate degrades to "never skip" until the next sync instead of growing.
+constexpr std::size_t kMaxInflightPerAlloc = 64;
+
+}  // namespace
 
 Runtime::Runtime(rsan::Runtime* tsan, typeart::Runtime* types, Config config)
     : tsan_(tsan), types_(types), config_(config) {
@@ -258,15 +310,214 @@ void Runtime::on_kernel_launch(const cusim::Stream* stream, const char* kernel_n
   StreamState& ss = stream_state(stream);
   begin_op(ss);
   if (config_.track_memory_accesses) {
+    launch_args(ss, stream, kernel_name, args);
+  }
+  finish_op(ss);
+}
+
+void Runtime::launch_args(StreamState& ss, const cusim::Stream* stream, const char* kernel_name,
+                          std::span<const KernelArgAccess> args) {
+  // Elision derives its footprints from the byte-precise affine summaries, so
+  // it is only consistent with interval-precision annotations: under the
+  // paper's whole-range mode an elided argument would silently shrink to its
+  // proven sub-range and erase the coarse-annotation races that mode is meant
+  // to emulate.
+  const bool prove = config_.prove_elide != ProveElide::kOff && config_.use_access_intervals;
+  std::vector<ArgPlan> plans;
+  bool all_elided = false;
+  if (prove) {
+    plans.resize(args.size());
+    // Pass 1: resolve allocations and build candidate footprints. An
+    // argument is an elision candidate when theorem 1 proved the parameter
+    // race-free and every active direction resolves to bounded byte
+    // intervals; ⊤ in any active direction keeps the whole argument on the
+    // tracked path (partial elision of one direction would leave the other
+    // direction's cells racing against our own region).
+    struct AllocUse {
+      std::size_t arg_count{0};
+      bool any_write{false};
+    };
+    std::unordered_map<const void*, AllocUse> uses;
     for (std::size_t i = 0; i < args.size(); ++i) {
       const KernelArgAccess& arg = args[i];
       if (arg.ptr == nullptr || arg.mode == kir::AccessMode::kNone) {
         continue;
       }
-      annotate_kernel_arg(arg, kernel_arg_label(kernel_name, i, arg.mode));
+      ArgPlan& plan = plans[i];
+      plan.read = kir::reads(arg.mode);
+      plan.write = kir::writes(arg.mode);
+      const auto info = types_->find(arg.ptr);
+      if (info.has_value()) {
+        plan.base = reinterpret_cast<const char*>(info->base);
+        plan.extent = info->extent;
+        AllocUse& use = uses[plan.base];
+        ++use.arg_count;
+        use.any_write |= plan.write;
+      }
+      if (plan.base == nullptr || arg.proof == nullptr || !arg.proof->race_free) {
+        continue;  // untracked or unproven: tracked path
+      }
+      const std::int64_t off = static_cast<const char*>(arg.ptr) - plan.base;
+      const auto clamp_resolve = [&](const kir::AffineSet& set, std::vector<kir::Interval>& out) {
+        if (set.is_empty()) {
+          return true;  // direction provably untouched
+        }
+        const kir::IntervalSet resolved = set.resolve();
+        if (!resolved.is_bounded()) {
+          return false;
+        }
+        for (const kir::Interval& iv : resolved.intervals()) {
+          const std::int64_t lo = std::max<std::int64_t>(iv.lo + off, 0);
+          const std::int64_t hi =
+              std::min<std::int64_t>(iv.hi + off, static_cast<std::int64_t>(plan.extent));
+          if (hi > lo) {
+            out.push_back(kir::Interval{lo, hi});
+          }
+        }
+        return true;
+      };
+      bool ok = true;
+      if (plan.read) {
+        ok = clamp_resolve(arg.proof->read, plan.read_iv);
+      }
+      if (ok && plan.write) {
+        ok = clamp_resolve(arg.proof->write, plan.write_iv);
+      }
+      plan.elide = ok;
+    }
+    // Pass 2: alias guard. Theorem 1 reasons about parameters as distinct
+    // memory objects; two arguments landing in the same allocation with a
+    // write among them void every proof over that allocation.
+    all_elided = true;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      const KernelArgAccess& arg = args[i];
+      if (arg.ptr == nullptr || arg.mode == kir::AccessMode::kNone) {
+        continue;
+      }
+      ArgPlan& plan = plans[i];
+      if (plan.elide && plan.base != nullptr) {
+        const AllocUse& use = uses[plan.base];
+        if (use.arg_count > 1 && use.any_write) {
+          plan.elide = false;
+          ++counters_.proof_alias_rejects;
+        }
+      }
+      all_elided &= plan.elide;
+    }
+    all_elided &= !args.empty();
+  }
+
+  // Full-mode memo: a repeat of the last fully-elided race-free launch may
+  // refresh its regions without re-scanning, iff generation accounting shows
+  // every intervening shadow tick was a proven publish and every in-flight
+  // footprint from another stream is theorem-2 disjoint from ours.
+  bool memo_skip = false;
+  if (config_.prove_elide == ProveElide::kFull && all_elided && ss.memo.valid &&
+      ss.memo.kernel == kernel_name && !inflight_saturated_) {
+    bool match = ss.memo.ptrs.size() == args.size();
+    for (std::size_t i = 0; match && i < args.size(); ++i) {
+      match = ss.memo.ptrs[i] == args[i].ptr;
+    }
+    if (match &&
+        tsan_->shadow_generation() - ss.memo.shadow_gen ==
+            tsan_->counters().proven_range_calls - ss.memo.proven_calls) {
+      memo_skip = true;
+      for (std::size_t i = 0; memo_skip && i < plans.size(); ++i) {
+        const ArgPlan& plan = plans[i];
+        if (!plan.elide) {
+          continue;
+        }
+        const auto it = inflight_.find(plan.base);
+        if (it == inflight_.end()) {
+          continue;
+        }
+        for (const InflightProof& fp : it->second) {
+          if (fp.fiber == ss.fiber) {
+            continue;  // program order on the same stream: never a conflict
+          }
+          // A write on either side with overlapping granules breaks the
+          // cross-stream disjointness theorem — fall back to the full check.
+          if (granule_overlaps(plan.write_iv, fp.write_iv) ||
+              granule_overlaps(plan.write_iv, fp.read_iv) ||
+              granule_overlaps(plan.read_iv, fp.write_iv)) {
+            memo_skip = false;
+            ++counters_.proof_cross_stream_overlaps;
+            break;
+          }
+        }
+      }
     }
   }
-  finish_op(ss);
+
+  bool any_elided = false;
+  bool all_clean = true;
+  std::uint64_t elided_bytes = 0;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const KernelArgAccess& arg = args[i];
+    if (arg.ptr == nullptr || arg.mode == kir::AccessMode::kNone) {
+      continue;
+    }
+    const char* label = kernel_arg_label(kernel_name, i, arg.mode);
+    if (!prove || !plans[i].elide) {
+      annotate_kernel_arg(arg, label);
+      continue;
+    }
+    const ArgPlan& plan = plans[i];
+    any_elided = true;
+    ++counters_.proof_elided_args;
+    for (const kir::Interval& iv : plan.read_iv) {
+      elided_bytes += static_cast<std::uint64_t>(iv.hi - iv.lo);
+      all_clean &= tsan_->proven_range(plan.base + iv.lo, static_cast<std::size_t>(iv.hi - iv.lo),
+                                       /*is_write=*/false, label, /*check=*/!memo_skip);
+    }
+    for (const kir::Interval& iv : plan.write_iv) {
+      elided_bytes += static_cast<std::uint64_t>(iv.hi - iv.lo);
+      all_clean &= tsan_->proven_range(plan.base + iv.lo, static_cast<std::size_t>(iv.hi - iv.lo),
+                                       /*is_write=*/true, label, /*check=*/!memo_skip);
+    }
+    if (config_.prove_elide == ProveElide::kFull && !memo_skip) {
+      // Record the footprint for later theorem-2 gates. A memo-skipped
+      // repeat is already represented by the entry its checked predecessor
+      // stored (same kernel, same pointers, same footprint).
+      auto& entries = inflight_[plan.base];
+      const auto same = [&](const InflightProof& fp) {
+        return fp.fiber == ss.fiber && fp.read_iv == plan.read_iv && fp.write_iv == plan.write_iv;
+      };
+      if (std::none_of(entries.begin(), entries.end(), same)) {
+        if (entries.size() >= kMaxInflightPerAlloc) {
+          inflight_saturated_ = true;  // degrade: deny skips until next sync
+        } else {
+          entries.push_back(InflightProof{ss.fiber, plan.read_iv, plan.write_iv});
+        }
+      }
+    }
+  }
+
+  if (any_elided) {
+    ++counters_.proof_elided_launches;
+    counters_.proof_elided_bytes += elided_bytes;
+    if (memo_skip) {
+      ++counters_.proof_fast_launches;
+    }
+    trace_record(TraceKind::kProofElided, stream, nullptr, elided_bytes, kernel_name);
+    obs::Counter*& metric = elide_metrics_[kernel_name];
+    if (metric == nullptr) {
+      metric = &obs::metric(common::format("cusan.prove_elide.{}.launches", kernel_name));
+    }
+    metric->add(1);
+  }
+  if (config_.prove_elide == ProveElide::kFull) {
+    ss.memo.valid = all_elided && all_clean;
+    if (ss.memo.valid) {
+      ss.memo.kernel = kernel_name;
+      ss.memo.ptrs.assign(args.size(), nullptr);
+      for (std::size_t i = 0; i < args.size(); ++i) {
+        ss.memo.ptrs[i] = args[i].ptr;
+      }
+      ss.memo.shadow_gen = tsan_->shadow_generation();
+      ss.memo.proven_calls = tsan_->counters().proven_range_calls;
+    }
+  }
 }
 
 // -- Explicit synchronization ---------------------------------------------------------------
@@ -274,6 +525,7 @@ void Runtime::on_kernel_launch(const cusim::Stream* stream, const char* kernel_n
 void Runtime::on_stream_synchronize(const cusim::Stream* stream) {
   ++counters_.sync_calls;
   trace_record(TraceKind::kStreamSync, stream);
+  clear_inflight();
   StreamState& ss = stream_state(stream);
   tsan_->happens_after(&ss.complete_key);
   ++counters_.hb_after;
@@ -293,6 +545,7 @@ void Runtime::on_stream_synchronize(const cusim::Stream* stream) {
 void Runtime::on_device_synchronize() {
   ++counters_.sync_calls;
   trace_record(TraceKind::kDeviceSync);
+  clear_inflight();
   // Terminate the arc of every stream, including non-blocking ones.
   for (auto& [stream, state] : streams_) {
     tsan_->happens_after(&state.complete_key);
@@ -303,6 +556,7 @@ void Runtime::on_device_synchronize() {
 void Runtime::on_device_synchronize(const cusim::Device* device) {
   ++counters_.sync_calls;
   trace_record(TraceKind::kDeviceSync);
+  clear_inflight();
   // Only the given device's streams are covered (multi-GPU ranks).
   for (auto& [stream, state] : streams_) {
     if (state.device != device) {
@@ -330,6 +584,7 @@ void Runtime::on_event_record(const cusim::Event* event, const cusim::Stream* st
 void Runtime::on_event_synchronize(const cusim::Event* event) {
   ++counters_.sync_calls;
   trace_record(TraceKind::kEventSync, nullptr, event);
+  clear_inflight();
   EventState& es = event_state(event);
   if (es.stream == nullptr) {
     return;  // never recorded
@@ -358,6 +613,7 @@ void Runtime::on_stream_query_success(const cusim::Stream* stream) {
   // synchronization (paper §III-B1).
   ++counters_.sync_calls;
   trace_record(TraceKind::kQuerySuccess, stream);
+  clear_inflight();
   StreamState& ss = stream_state(stream);
   tsan_->happens_after(&ss.complete_key);
   ++counters_.hb_after;
@@ -366,6 +622,7 @@ void Runtime::on_stream_query_success(const cusim::Stream* stream) {
 void Runtime::on_event_query_success(const cusim::Event* event) {
   ++counters_.sync_calls;
   trace_record(TraceKind::kQuerySuccess, nullptr, event);
+  clear_inflight();
   EventState& es = event_state(event);
   if (es.stream == nullptr) {
     return;
@@ -500,6 +757,8 @@ void Runtime::on_free(const void* ptr) {
   trace_record(TraceKind::kFree, nullptr, ptr);
   if (const auto info = types_->find(ptr); info.has_value()) {
     tsan_->reset_shadow_range(reinterpret_cast<const void*>(info->base), info->extent);
+    // The reused address must not inherit stale proven footprints.
+    inflight_.erase(reinterpret_cast<const char*>(info->base));
   }
 }
 

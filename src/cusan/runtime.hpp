@@ -22,12 +22,29 @@
 #include "cusan/trace.hpp"
 #include "cusim/device.hpp"
 #include "kir/access_analysis.hpp"
+#include "kir/affine_analysis.hpp"
 #include "kir/interval_analysis.hpp"
+#include "obs/metrics.hpp"
 #include "obs/ring.hpp"
 #include "rsan/runtime.hpp"
 #include "typeart/runtime.hpp"
 
 namespace cusan {
+
+/// Prove-and-elide mode ladder (CUSAN_PROVE_ELIDE, docs/architecture.md):
+///  * kOff   — every launch annotates tracked ranges (paper behaviour).
+///  * kIntra — arguments whose affine summary satisfies theorem 1 (per-thread
+///             disjointness) take the proven-region path: a check-only shadow
+///             scan plus a region publish, with zero shadow-cell stores.
+///  * kFull  — kIntra, plus a per-stream generation memo: a repeat launch of
+///             a fully-proven kernel whose only intervening shadow activity
+///             was other proven publishes that are theorem-2 disjoint
+///             (cross-stream) skips even the check-only scan in O(#args).
+enum class ProveElide : std::uint8_t { kOff, kIntra, kFull };
+
+/// CUSAN_PROVE_ELIDE environment default: "intra"/"full" select the elision
+/// tiers, anything else (or unset) is kOff.
+[[nodiscard]] ProveElide default_prove_elide();
 
 struct Config {
   /// Ablation knob (paper §V-B): when false, kernel/memcpy/memset memory
@@ -43,6 +60,10 @@ struct Config {
   /// allocation. When false, every argument uses the paper's whole-range
   /// annotation (ablation baseline).
   bool use_access_intervals = true;
+  /// Prove-and-elide tier; see ProveElide. Detection verdicts are
+  /// bit-identical across tiers (enforced by the differential tests) — the
+  /// tiers trade dynamic tracking work against static proof obligations.
+  ProveElide prove_elide = default_prove_elide();
 };
 
 /// One pointer argument of a kernel launch, paired with the access mode the
@@ -53,6 +74,9 @@ struct KernelArgAccess {
   /// Byte-precise access intervals for the parameter (relative to `ptr`);
   /// nullptr means "unknown" and is treated as ⊤ (whole allocation).
   const kir::ParamIntervals* intervals{nullptr};
+  /// Affine summary + theorem-1 verdict for the parameter; nullptr (or a
+  /// proof that is not race_free) keeps the argument on the tracked path.
+  const kir::ParamProof* proof{nullptr};
 };
 
 class Runtime {
@@ -128,6 +152,20 @@ class Runtime {
   [[nodiscard]] std::size_t device_count() const { return devices_.size(); }
 
  private:
+  /// Full-mode launch memo (theorem 2 + generation accounting): remembers the
+  /// last fully-elided, race-free launch on the stream. A repeat with the
+  /// same kernel and argument pointers may skip even the check-only scan iff
+  /// every shadow-generation tick since was a proven-region publish (checked
+  /// against rsan's proven_range_calls counter) and every publish from
+  /// another stream is theorem-2 disjoint from this launch's footprint.
+  struct LaunchMemo {
+    const char* kernel{nullptr};
+    std::vector<const void*> ptrs;
+    std::uint64_t shadow_gen{0};
+    std::uint64_t proven_calls{0};
+    bool valid{false};
+  };
+
   struct StreamState {
     rsan::CtxId fiber{rsan::kInvalidCtx};
     const cusim::Device* device{nullptr};
@@ -140,6 +178,7 @@ class Runtime {
     char complete_key{};  ///< &complete_key is the stream's HB sync object
     char submit_key{};    ///< &submit_key orders host -> fiber at op issue
     std::uint64_t acquired_by_default{0};  ///< this stream's ops_issued when default last acquired it
+    LaunchMemo memo;
   };
 
   struct EventState {
@@ -169,6 +208,42 @@ class Runtime {
   /// back to whole-allocation annotate_access.
   void annotate_kernel_arg(const KernelArgAccess& arg, const char* label);
 
+  /// Per-argument elision plan, built at launch when prove_elide is on. The
+  /// interval vectors are clamped to the allocation and made base-relative so
+  /// footprints of different arguments over the same allocation compare.
+  struct ArgPlan {
+    bool elide{false};
+    bool read{false};
+    bool write{false};
+    const char* base{nullptr};
+    std::size_t extent{0};
+    std::vector<kir::Interval> read_iv;
+    std::vector<kir::Interval> write_iv;
+  };
+
+  /// One launch's proven footprint over an allocation, kept while no
+  /// host-ordering synchronization has happened — the theorem-2 witnesses a
+  /// later memo skip must be disjoint from.
+  struct InflightProof {
+    rsan::CtxId fiber{rsan::kInvalidCtx};
+    std::vector<kir::Interval> read_iv;
+    std::vector<kir::Interval> write_iv;
+  };
+
+  /// Kernel-argument annotation for one launch: decides per-arg elision
+  /// (alias guard + bounded affine resolution), applies the full-mode memo,
+  /// and routes each argument to the proven or the tracked path.
+  void launch_args(StreamState& ss, const cusim::Stream* stream, const char* kernel_name,
+                   std::span<const KernelArgAccess> args);
+
+  /// Host-ordering synchronization observed: in-flight proven footprints are
+  /// no longer concurrent with future launches (begin_op imports the host's
+  /// acquired clock into the launching fiber).
+  void clear_inflight() {
+    inflight_.clear();
+    inflight_saturated_ = false;
+  }
+
   [[nodiscard]] const char* kernel_arg_label(const char* kernel_name, std::size_t arg_index,
                                              kir::AccessMode mode);
   [[nodiscard]] cusim::MemKind kind_of(const void* ptr) const;
@@ -195,6 +270,12 @@ class Runtime {
   std::unordered_map<const cusim::Event*, EventState> events_;
   std::unordered_map<const cusim::Device*, StreamState*> default_states_;
   std::unordered_map<std::uint64_t, const char*> label_cache_;
+  /// Full-mode theorem-2 state: proven footprints per allocation base, alive
+  /// until the next host-ordering sync.
+  std::unordered_map<const void*, std::vector<InflightProof>> inflight_;
+  bool inflight_saturated_{false};
+  /// Per-kernel elision metrics (obs MetricsRegistry), cached by kernel name.
+  std::unordered_map<const void*, obs::Counter*> elide_metrics_;
 };
 
 }  // namespace cusan

@@ -28,6 +28,7 @@ enum class TraceKind : std::uint8_t {
   kPrefetch,
   kHostFunc,
   kFree,
+  kProofElided,  ///< kernel launch whose tracking was elided by an affine proof
 };
 
 [[nodiscard]] constexpr const char* to_string(TraceKind kind) {
@@ -64,6 +65,8 @@ enum class TraceKind : std::uint8_t {
       return "host_func";
     case TraceKind::kFree:
       return "free";
+    case TraceKind::kProofElided:
+      return "proof_elided";
   }
   return "?";
 }
@@ -74,6 +77,7 @@ enum class TraceKind : std::uint8_t {
 [[nodiscard]] constexpr obs::EventKind to_obs_kind(TraceKind kind) {
   switch (kind) {
     case TraceKind::kKernelLaunch:
+    case TraceKind::kProofElided:
       return obs::EventKind::kKernel;
     case TraceKind::kMemcpy:
       return obs::EventKind::kMemcpy;

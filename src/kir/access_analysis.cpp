@@ -117,6 +117,7 @@ AccessMode AccessAnalysis::analyze_param(const Function& fn, std::uint32_t param
       case Opcode::kArith:
       case Opcode::kPhi:
       case Opcode::kConst:
+      case Opcode::kThreadIdx:
       case Opcode::kRet:
         break;
     }

@@ -1,6 +1,7 @@
 #include "kir/interval_analysis.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <optional>
 
 #include "common/format.hpp"
@@ -55,6 +56,11 @@ std::vector<ScalarRange> scalar_ranges(const Function& fn) {
       ScalarRange next = ranges[i];
       switch (instr.op) {
         case Opcode::kConst:
+        case Opcode::kThreadIdx:
+          // A thread index is, for value-range purposes, just a scalar
+          // bounded by the launch bounds — so every interval summary is at
+          // least as precise as with bounded(); only the affine analysis
+          // additionally exploits that distinct threads hold distinct values.
           if (instr.has_range()) {
             next = ScalarRange{instr.imm_lo, instr.imm_hi, true};
           }
@@ -180,19 +186,60 @@ void IntervalSet::normalize() {
   intervals_ = std::move(merged);
 }
 
+namespace {
+std::atomic<std::uint64_t> widened_by_cap_count{0};
+}  // namespace
+
+IntervalSet IntervalSet::from_raw_capped(std::vector<Interval> raw) {
+  std::sort(raw.begin(), raw.end(),
+            [](Interval a, Interval b) { return a.lo < b.lo || (a.lo == b.lo && a.hi < b.hi); });
+  std::vector<Interval> merged;
+  for (const Interval& iv : raw) {
+    if (iv.empty()) {
+      continue;
+    }
+    if (!merged.empty() && iv.lo <= merged.back().hi) {
+      merged.back().hi = std::max(merged.back().hi, iv.hi);
+    } else {
+      merged.push_back(iv);
+    }
+  }
+  if (merged.size() > kMaxIntervals) {
+    widened_by_cap_count.fetch_add(1, std::memory_order_relaxed);
+    return top();
+  }
+  IntervalSet out;
+  out.intervals_ = std::move(merged);
+  return out;
+}
+
+IntervalSet IntervalSet::capped_top() {
+  widened_by_cap_count.fetch_add(1, std::memory_order_relaxed);
+  return top();
+}
+
+std::uint64_t IntervalSet::widened_by_cap() {
+  return widened_by_cap_count.load(std::memory_order_relaxed);
+}
+
+void IntervalSet::reset_widened_by_cap() {
+  widened_by_cap_count.store(0, std::memory_order_relaxed);
+}
+
 IntervalSet IntervalSet::shifted(std::int64_t lo, std::int64_t hi) const {
   if (top_) {
     return top();
   }
-  IntervalSet out;
+  std::vector<Interval> moved;
+  moved.reserve(intervals_.size());
   for (const Interval& iv : intervals_) {
-    Interval moved;
-    if (add_overflows(iv.lo, lo, &moved.lo) || add_overflows(iv.hi, hi, &moved.hi)) {
+    Interval m;
+    if (add_overflows(iv.lo, lo, &m.lo) || add_overflows(iv.hi, hi, &m.hi)) {
       return top();
     }
-    out.insert(moved);
+    moved.push_back(m);
   }
-  return out;
+  return from_raw_capped(std::move(moved));
 }
 
 std::int64_t IntervalSet::byte_count() const {
@@ -201,6 +248,30 @@ std::int64_t IntervalSet::byte_count() const {
     total += iv.length();
   }
   return total;
+}
+
+bool overlaps(const IntervalSet& a, const IntervalSet& b) {
+  if (a.is_empty() || b.is_empty()) {
+    return false;
+  }
+  if (a.is_top() || b.is_top()) {
+    return true;
+  }
+  // Both sorted and disjoint: a linear sweep finds any shared byte.
+  std::size_t i = 0;
+  std::size_t j = 0;
+  const auto& av = a.intervals();
+  const auto& bv = b.intervals();
+  while (i < av.size() && j < bv.size()) {
+    if (av[i].hi <= bv[j].lo) {
+      ++i;
+    } else if (bv[j].hi <= av[i].lo) {
+      ++j;
+    } else {
+      return true;
+    }
+  }
+  return false;
 }
 
 std::string to_string(const IntervalSet& set) {

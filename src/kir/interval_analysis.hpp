@@ -70,8 +70,26 @@ class IntervalSet {
   }
 
   /// Minkowski sum with the inclusive offset range [lo, hi]: every interval
-  /// [a, b) becomes [a + lo, b + hi). ⊤ stays ⊤; overflow widens to ⊤.
+  /// [a, b) becomes [a + lo, b + hi). ⊤ stays ⊤; overflow widens to ⊤, as
+  /// does exceeding kMaxIntervals after the sum (counted by widened_by_cap).
   [[nodiscard]] IntervalSet shifted(std::int64_t lo, std::int64_t hi) const;
+
+  /// Build a set from raw (unsorted, possibly overlapping) intervals under
+  /// the cap policy: sort + coalesce, and if more than kMaxIntervals disjoint
+  /// intervals remain, the result is ⊤ and widened_by_cap() ticks — instead
+  /// of silently coalescing precision away. Minkowski sums and affine-term
+  /// resolution (affine_analysis.hpp) construct their results through this.
+  [[nodiscard]] static IntervalSet from_raw_capped(std::vector<Interval> raw);
+
+  /// ⊤ produced by the cap policy: ticks widened_by_cap(). For consumers
+  /// (affine-term resolution) whose faithful result would exceed the cap
+  /// without materializing every interval first.
+  [[nodiscard]] static IntervalSet capped_top();
+
+  /// Process-wide count of sets widened to ⊤ by the kMaxIntervals cap
+  /// (precision telemetry; tests reset between cases).
+  [[nodiscard]] static std::uint64_t widened_by_cap();
+  static void reset_widened_by_cap();
 
   /// Total bytes covered (0 for bottom; meaningless for ⊤ — check is_top()).
   [[nodiscard]] std::int64_t byte_count() const;
@@ -87,6 +105,11 @@ class IntervalSet {
 
 /// Rendered as "*" (⊤), "{}" (bottom) or "[0,8)u[16,24)".
 [[nodiscard]] std::string to_string(const IntervalSet& set);
+
+/// True when the two byte sets share at least one byte. ⊤ overlaps anything
+/// non-empty — the conservative answer the cross-stream disjointness check
+/// (prove-and-elide theorem 2) needs.
+[[nodiscard]] bool overlaps(const IntervalSet& a, const IntervalSet& b);
 
 /// Per-parameter summary: which byte offsets (relative to the pointer value
 /// passed for the parameter) the function may read / write.

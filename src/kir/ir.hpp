@@ -26,6 +26,8 @@ enum class Opcode : std::uint8_t {
   kPhi,    ///< SSA merge of values from different control-flow paths; may
            ///< reference *later* instructions (loop back-edges)
   kConst,  ///< opaque constant
+  kThreadIdx,  ///< the launching thread's linearized index along one
+               ///< dimension, bounded by the kernel's launch bounds
   kRet,    ///< return (optional value)
 };
 
@@ -54,9 +56,11 @@ struct Instr {
   /// kConst: known scalar range [imm_lo, imm_hi] (inclusive); imm_lo > imm_hi
   /// means the value is opaque (unknown). Compilers derive such ranges from
   /// literal constants, launch bounds and scalar evolution.
+  /// kThreadIdx: the inclusive thread-index range under the launch bounds.
   std::int64_t imm_lo{0};
   std::int64_t imm_hi{-1};
-  /// kGep: element size in bytes; kLoad/kStore: access width in bytes.
+  /// kGep: element size in bytes; kLoad/kStore: access width in bytes;
+  /// kThreadIdx: the dimension (0 = x, 1 = y, 2 = z).
   std::uint32_t size{1};
 
   [[nodiscard]] bool has_range() const { return imm_lo <= imm_hi; }
@@ -153,6 +157,23 @@ class Function {
     Instr instr{Opcode::kConst, Value::none(), Value::none(), nullptr, {}};
     instr.imm_lo = lo;
     instr.imm_hi = hi;
+    return append(std::move(instr));
+  }
+
+  /// The linearized thread index along `dim` (0 = x, 1 = y, 2 = z), known to
+  /// lie in [lo, hi] (inclusive) under the kernel's launch bounds — the
+  /// `blockIdx·blockDim + threadIdx` value device code derives per-thread
+  /// addresses from. Unlike bounded(), distinct dynamic threads hold
+  /// *distinct* values, which is what the affine analysis exploits to prove
+  /// per-thread disjointness (affine_analysis.hpp).
+  Value thread_idx(std::int64_t lo, std::int64_t hi, std::uint32_t dim = 0) {
+    CUSAN_ASSERT_MSG(lo <= hi, "thread-index range must be non-empty");
+    CUSAN_ASSERT_MSG(lo >= 0, "thread indices are non-negative");
+    CUSAN_ASSERT_MSG(dim < 3, "thread-index dimension must be x, y or z");
+    Instr instr{Opcode::kThreadIdx, Value::none(), Value::none(), nullptr, {}};
+    instr.imm_lo = lo;
+    instr.imm_hi = hi;
+    instr.size = dim;
     return append(std::move(instr));
   }
 

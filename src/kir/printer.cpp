@@ -20,7 +20,7 @@ std::string value_name(Value v) {
 }  // namespace
 
 std::string print_function(const Function& fn, const AccessAnalysis* analysis,
-                           const IntervalAnalysis* intervals) {
+                           const IntervalAnalysis* intervals, const AffineAnalysis* affine) {
   std::string out = common::format("kernel @{}(", fn.name());
   for (std::uint32_t p = 0; p < fn.param_count(); ++p) {
     if (p != 0) {
@@ -38,6 +38,21 @@ std::string print_function(const Function& fn, const AccessAnalysis* analysis,
           }
           if (writes(mode) && pi->write.is_bounded()) {
             summary += common::format(" w={}", to_string(pi->write));
+          }
+        }
+      }
+      if (affine != nullptr) {
+        const auto proofs = affine->params(&fn);
+        if (p < proofs.size()) {
+          const ParamProof& proof = proofs[p];
+          if (proof.read.is_bounded()) {
+            summary += common::format(" ar={}", to_string(proof.read));
+          }
+          if (proof.write.is_bounded()) {
+            summary += common::format(" aw={}", to_string(proof.write));
+          }
+          if (proof.race_free && (proof.read.is_bounded() || proof.write.is_bounded())) {
+            summary += " proof";
           }
         }
       }
@@ -107,6 +122,12 @@ std::string print_function(const Function& fn, const AccessAnalysis* analysis,
                      : common::format(" [{}, {}]", instr.imm_lo, instr.imm_hi);
         }
         break;
+      case Opcode::kThreadIdx: {
+        const char* dims[] = {"x", "y", "z"};
+        out += common::format("%v{} = tid.{} [{}, {}]", i, dims[instr.size < 3 ? instr.size : 0],
+                              instr.imm_lo, instr.imm_hi);
+        break;
+      }
       case Opcode::kRet:
         out += instr.a.is_none() ? std::string("ret") : common::format("ret {}",
                                                                        value_name(instr.a));
@@ -119,13 +140,13 @@ std::string print_function(const Function& fn, const AccessAnalysis* analysis,
 }
 
 std::string print_module(const Module& module, const AccessAnalysis* analysis,
-                         const IntervalAnalysis* intervals) {
+                         const IntervalAnalysis* intervals, const AffineAnalysis* affine) {
   std::string out;
   for (const auto& fn : module.functions()) {
     if (!out.empty()) {
       out += '\n';
     }
-    out += print_function(*fn, analysis, intervals);
+    out += print_function(*fn, analysis, intervals, affine);
   }
   return out;
 }

@@ -6,25 +6,30 @@
 #include <string>
 
 #include "kir/access_analysis.hpp"
+#include "kir/affine_analysis.hpp"
 #include "kir/interval_analysis.hpp"
 #include "kir/ir.hpp"
 
 namespace kir {
 
 /// Render one function, e.g.
-///   kernel @jacobi(ptr %p0 [write [0,512)], ptr %p1 [read], i64 %p2) {
-///     %v0 = const [0, 63]
+///   kernel @jacobi(ptr %p0 [write [0,512) a=8·tid+[0,8) t∈[1,62]], i64 %p2) {
+///     %v0 = tid.x [1, 62]
 ///     %v1 = gep %p1, %v0, 8
 ///     ...
 ///   }
-/// Pass nullptr for `analysis` to omit the access-mode annotations, and for
-/// `intervals` to omit the byte-interval summaries (⊤ summaries are elided
-/// either way — they add nothing over the bare mode).
+/// Pass nullptr for `analysis` to omit the access-mode annotations, for
+/// `intervals` to omit the byte-interval summaries, and for `affine` to omit
+/// the affine thread-index summaries (⊤ summaries are elided either way —
+/// they add nothing over the bare mode). A `proof` marker follows the mode
+/// when the affine analysis proved the parameter race-free (theorem 1).
 [[nodiscard]] std::string print_function(const Function& fn, const AccessAnalysis* analysis,
-                                         const IntervalAnalysis* intervals = nullptr);
+                                         const IntervalAnalysis* intervals = nullptr,
+                                         const AffineAnalysis* affine = nullptr);
 
 /// Render the whole module (functions in creation order).
 [[nodiscard]] std::string print_module(const Module& module, const AccessAnalysis* analysis,
-                                       const IntervalAnalysis* intervals = nullptr);
+                                       const IntervalAnalysis* intervals = nullptr,
+                                       const AffineAnalysis* affine = nullptr);
 
 }  // namespace kir

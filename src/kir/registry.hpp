@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "kir/access_analysis.hpp"
+#include "kir/affine_analysis.hpp"
 #include "kir/interval_analysis.hpp"
 #include "kir/ir.hpp"
 
@@ -20,14 +21,18 @@ struct KernelInfo {
   /// Byte-precise access intervals per parameter (same indexing). ⊤ entries
   /// reproduce the whole-allocation annotation behaviour.
   std::vector<ParamIntervals> param_intervals;
+  /// Affine thread-index summaries plus the theorem-1 race-freedom verdict —
+  /// what CUSAN_PROVE_ELIDE consults at launch time (affine_analysis.hpp).
+  ProofSummary proof;
 };
 
 class KernelRegistry {
  public:
-  /// Runs the access-mode and access-interval analyses over the module and
-  /// records per-kernel argument attributes. The module must outlive the
-  /// registry.
-  explicit KernelRegistry(const Module& module) : analysis_(module), intervals_(module) {
+  /// Runs the access-mode, access-interval and affine prove-and-elide
+  /// analyses over the module and records per-kernel argument attributes.
+  /// The module must outlive the registry.
+  explicit KernelRegistry(const Module& module)
+      : analysis_(module), intervals_(module), affine_(module) {
     for (const auto& fn : module.functions()) {
       KernelInfo info;
       info.fn = fn.get();
@@ -35,6 +40,9 @@ class KernelRegistry {
       info.param_modes.assign(modes.begin(), modes.end());
       const auto intervals = intervals_.intervals(fn.get());
       info.param_intervals.assign(intervals.begin(), intervals.end());
+      if (const ProofSummary* proof = affine_.summary(fn.get()); proof != nullptr) {
+        info.proof = *proof;
+      }
       infos_.emplace(fn.get(), std::move(info));
       by_name_.emplace(fn->name(), fn.get());
     }
@@ -52,10 +60,12 @@ class KernelRegistry {
 
   [[nodiscard]] const AccessAnalysis& analysis() const { return analysis_; }
   [[nodiscard]] const IntervalAnalysis& interval_analysis() const { return intervals_; }
+  [[nodiscard]] const AffineAnalysis& affine_analysis() const { return affine_; }
 
  private:
   AccessAnalysis analysis_;
   IntervalAnalysis intervals_;
+  AffineAnalysis affine_;
   std::unordered_map<const Function*, KernelInfo> infos_;
   std::unordered_map<std::string, const Function*> by_name_;
 };

@@ -91,6 +91,20 @@ std::vector<std::string> verify_function(const Function& fn) {
           complain(i, "ret must be the last instruction");
         }
         break;
+      case Opcode::kThreadIdx:
+        if (!instr.has_range()) {
+          complain(i, "thread index without a launch-bound range");
+        }
+        if (instr.imm_lo < 0) {
+          complain(i, "thread index range must be non-negative");
+        }
+        if (instr.size > 2) {
+          complain(i, "thread index dimension must be x, y or z");
+        }
+        if (!instr.a.is_none() || !instr.b.is_none()) {
+          complain(i, "thread index takes no operands");
+        }
+        break;
       case Opcode::kArith:
       case Opcode::kConst:
         break;

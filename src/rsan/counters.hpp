@@ -29,6 +29,20 @@ struct Counters {
   // both zero when no cap is set or the cap is never hit).
   std::uint64_t degraded_blocks{};    ///< block segments untracked (budget denied allocation)
   std::uint64_t degraded_accesses{};  ///< range calls with at least one untracked segment
+  // Prove-and-elide (Runtime::proven_range; all zero when CUSAN_PROVE_ELIDE
+  // is off — proven annotations check the shadow but never store into it).
+  std::uint64_t proven_range_calls{};  ///< proven_range annotations (checked or refreshed)
+  std::uint64_t proven_bytes{};        ///< bytes covered by proven annotations
+  std::uint64_t proven_refreshes{};    ///< check-free epoch refreshes (generation memo hit)
+  std::uint64_t proven_scan_blocks{};  ///< resident blocks scanned check-only
+  std::uint64_t proven_block_skips{};  ///< never-touched blocks skipped in O(1)
+  std::uint64_t region_checks{};       ///< access-vs-proven-region overlap checks
+  /// Granules whose stalest epoch was dropped to make room for a new store
+  /// (all four slots valid, none subsumable). A nonzero value means the cell
+  /// array may have forgotten a conflicting epoch — the tracked baseline can
+  /// under-report relative to the never-evicting proven-region tier, which is
+  /// why the prove-elide differential oracle keys its strictness on this.
+  std::uint64_t slot_evictions{};
 };
 
 /// Visit every counter as (name, value) — the one enumeration the obs
@@ -53,6 +67,13 @@ void for_each_counter(const Counters& c, Fn&& fn) {
   fn("fastpath_granules_elided", c.fastpath_granules_elided);
   fn("degraded_blocks", c.degraded_blocks);
   fn("degraded_accesses", c.degraded_accesses);
+  fn("proven_range_calls", c.proven_range_calls);
+  fn("proven_bytes", c.proven_bytes);
+  fn("proven_refreshes", c.proven_refreshes);
+  fn("proven_scan_blocks", c.proven_scan_blocks);
+  fn("proven_block_skips", c.proven_block_skips);
+  fn("region_checks", c.region_checks);
+  fn("slot_evictions", c.slot_evictions);
 }
 
 }  // namespace rsan

@@ -156,7 +156,169 @@ void Runtime::plain_write(const void* addr, std::size_t size) {
 
 void Runtime::reset_shadow_range(const void* addr, std::size_t size) {
   shadow_.reset_range(reinterpret_cast<std::uintptr_t>(addr), size);
+  if (!regions_.empty() && size != 0) {
+    // Freed/reused memory also forgets its proven regions, exactly like its
+    // shadow cells.
+    const std::uintptr_t lo = reinterpret_cast<std::uintptr_t>(addr);
+    const std::uintptr_t hi = lo + size;
+    std::erase_if(regions_, [&](const ProvenRegion& r) {
+      return r.base < hi && lo < r.base + r.size;
+    });
+  }
   ++shadow_gen_;  // fast-path invalidation rule: reset invalidates all caches
+}
+
+bool Runtime::proven_range(const void* addr, std::size_t size, bool is_write, const char* label,
+                           bool check) {
+  if (!config_.track_memory || size == 0) {
+    return false;
+  }
+  Context& cur = *contexts_[current_];
+  if (cur.ignore_depth > 0) {
+    ++counters_.ignored_accesses;
+    return false;
+  }
+  ++counters_.proven_range_calls;
+  counters_.proven_bytes += size;
+  const std::uint64_t cur_clock = cur.clock.get(current_);
+  const std::uintptr_t base = reinterpret_cast<std::uintptr_t>(addr);
+  record_history(cur, base, size, is_write, label, cur_clock);
+
+  bool reported_this_call = false;
+  bool call_race_free = true;
+  if (check) {
+    // Check-only shadow scan: same conflict logic as the tracked path, but
+    // through block_if_present — a block nobody ever stored into holds no
+    // conflicting epochs, so it is skipped without allocating. On a pure
+    // proven working set the shadow table therefore stays empty forever.
+    const std::uintptr_t first = base / kGranuleBytes;
+    const std::uintptr_t last = (base + size - 1) / kGranuleBytes;
+    for (std::uintptr_t g = first;;) {
+      const std::uintptr_t key = g / kGranulesPerBlock;
+      const std::uintptr_t seg_last = std::min(last, (key + 1) * kGranulesPerBlock - 1);
+      const std::size_t g_lo = static_cast<std::size_t>(g - key * kGranulesPerBlock);
+      const std::size_t g_hi = static_cast<std::size_t>(seg_last - key * kGranulesPerBlock);
+      if (const ShadowBlock* blk = shadow_.block_if_present(g * kGranuleBytes); blk != nullptr) {
+        ++counters_.proven_scan_blocks;
+        check_only_block(*blk, key, g_lo, g_hi, base, size, is_write, label, cur, cur_clock,
+                         reported_this_call, call_race_free);
+      } else {
+        ++counters_.proven_block_skips;
+      }
+      if (seg_last == last) {
+        break;
+      }
+      g = seg_last + 1;
+    }
+    check_regions(base, size, is_write, label, cur, cur_clock, reported_this_call,
+                  call_race_free);
+  } else {
+    // Generation-memo refresh: the caller proved nothing shadow-observable
+    // happened since its last *checked* race-free publish of this exact
+    // region, so re-scanning would detect nothing.
+    ++counters_.proven_refreshes;
+  }
+
+  // Publish (or refresh) the region: it stands in for the cells a tracked
+  // launch would have stored, so future conflicting accesses race against it
+  // with identical happens-before logic. Keyed by (ctx, range, kind) — the
+  // steady-state kernel loop updates one record in place.
+  bool found = false;
+  for (ProvenRegion& r : regions_) {
+    if (r.ctx == current_ && r.base == base && r.size == size && r.is_write == is_write) {
+      r.clock = cur_clock;
+      found = true;
+      break;
+    }
+  }
+  if (!found) {
+    regions_.push_back(ProvenRegion{base, size, current_, cur_clock, is_write});
+  }
+  ++shadow_gen_;  // region epochs are shadow-observable: invalidate caches/memos
+  return call_race_free;
+}
+
+void Runtime::check_only_block(const ShadowBlock& blk, std::uintptr_t block_key, std::size_t g_lo,
+                               std::size_t g_hi, std::uintptr_t base, std::size_t size,
+                               bool is_write, const char* label, const Context& cur,
+                               std::uint64_t cur_clock, bool& reported_this_call,
+                               bool& call_race_free) {
+  const ShadowCell* const block_cells = blk.cells.data();
+  const auto check_granule = [&](const ShadowCell* cells, std::size_t g) {
+    for (std::size_t s = 0; s < kShadowSlots; ++s) {
+      const ShadowCell cell = cells[s];
+      if (!cell.valid()) {
+        continue;
+      }
+      const CtxId prev_ctx = cell.ctx();
+      if (prev_ctx == current_) {
+        continue;  // program order: never a race
+      }
+      if (!is_write && !cell.is_write()) {
+        continue;  // read-read never races
+      }
+      if (cell.clock() > (cur.clock.get(prev_ctx) & ShadowCell::kClockMask)) {
+        call_race_free = false;
+        if (!reported_this_call) {
+          reported_this_call = true;
+          const std::uintptr_t gaddr = (block_key * kGranulesPerBlock + g) * kGranuleBytes;
+          const std::uintptr_t race_lo = std::max(gaddr, base);
+          const std::uintptr_t race_hi = std::min(gaddr + kGranuleBytes, base + size);
+          report_race(race_lo, race_hi - race_lo, is_write, label, cur_clock, cell);
+        }
+      }
+    }
+  };
+  const BlockSummary& sum = blk.summary;
+  const bool summarized = config_.use_shadow_fast_path && sum.lo <= sum.hi;
+  for (std::size_t g = g_lo; g <= g_hi; ++g) {
+    if (summarized && g >= sum.lo && g <= sum.hi) {
+      // Uniform span: one representative check decides it, then jump past.
+      check_granule(sum.cells.data(), g);
+      if (static_cast<std::size_t>(sum.hi) >= g_hi) {
+        break;
+      }
+      g = sum.hi;  // loop increment moves to sum.hi + 1
+      continue;
+    }
+    check_granule(block_cells + g * kShadowSlots, g);
+  }
+}
+
+void Runtime::check_regions(std::uintptr_t base, std::size_t size, bool is_write,
+                            const char* label, const Context& cur, std::uint64_t cur_clock,
+                            bool& reported_this_call, bool& call_race_free) {
+  if (regions_.empty()) {
+    return;
+  }
+  // Extents are rounded to shadow granules so region-vs-access conflicts
+  // trigger on exactly the byte ranges cell-vs-access conflicts would.
+  const std::uintptr_t a_lo = (base / kGranuleBytes) * kGranuleBytes;
+  const std::uintptr_t a_hi = ((base + size - 1) / kGranuleBytes + 1) * kGranuleBytes;
+  for (const ProvenRegion& r : regions_) {
+    if (r.ctx == current_) {
+      continue;  // program order: never a race
+    }
+    if (!is_write && !r.is_write) {
+      continue;  // read-read never races
+    }
+    const std::uintptr_t r_lo = (r.base / kGranuleBytes) * kGranuleBytes;
+    const std::uintptr_t r_hi = ((r.base + r.size - 1) / kGranuleBytes + 1) * kGranuleBytes;
+    if (r_hi <= a_lo || a_hi <= r_lo) {
+      continue;
+    }
+    ++counters_.region_checks;
+    if (r.clock > cur.clock.get(r.ctx)) {
+      call_race_free = false;
+      if (!reported_this_call) {
+        reported_this_call = true;
+        const std::uintptr_t race_lo = std::max({r_lo, a_lo, base});
+        const std::uintptr_t race_hi = std::min({r_hi, a_hi, base + size});
+        report_race(race_lo, race_hi > race_lo ? race_hi - race_lo : 1, is_write, label,
+                    cur_clock, ShadowCell::make(r.ctx, r.clock, r.is_write));
+      }
+    }
+  }
 }
 
 void Runtime::ignore_begin() { ++contexts_[current_]->ignore_depth; }
@@ -245,6 +407,10 @@ void Runtime::access_range(const void* addr, std::size_t size, bool is_write, co
     g = seg_last + 1;
   }
 
+  // Proven regions published by elided launches are checked with the same
+  // conflict rules as shadow cells (no-op while prove-and-elide is off).
+  check_regions(base, size, is_write, label, cur, cur_clock, reported_this_call, call_race_free);
+
   if (degraded) {
     ++counters_.degraded_accesses;
   }
@@ -311,6 +477,7 @@ bool Runtime::try_fast_block(ShadowBlock& blk, std::uintptr_t block_key, std::si
     // for every granule of the uniform span — and identical to the choice
     // the reference scan makes per granule.
     store_slot = evict_victim(sum.cells.data());
+    counters_.slot_evictions += fast_hi - fast_lo + 1;
   }
   ++counters_.fastpath_block_hits;
   counters_.fastpath_granules_elided += fast_hi - fast_lo + 1;
@@ -395,6 +562,7 @@ void Runtime::slow_block(ShadowBlock& blk, std::uintptr_t block_key, std::size_t
       // pure function of the granule's cells, so granules with identical
       // state evolve identically — a property the block summaries rely on.
       store_slot = evict_victim(cells);
+      ++counters_.slot_evictions;
     }
     cells[store_slot] = fresh;
     if (fast && uniform && g != g_lo && !cells_equal(cells, rep)) {

@@ -121,6 +121,29 @@ class Runtime {
   void plain_read(const void* addr, std::size_t size);
   void plain_write(const void* addr, std::size_t size);
 
+  /// Prove-and-elide annotation (cusan CUSAN_PROVE_ELIDE): race-CHECKS the
+  /// range against shadow cells and proven regions exactly like
+  /// read_range/write_range would, but stores no shadow cells — instead it
+  /// publishes (or refreshes) a byte-precise *proven region* carrying the
+  /// current context's epoch. Future conflicting accesses by other contexts
+  /// race against the region with the same happens-before logic they would
+  /// apply to cells, so verdicts stay bit-identical while proven launches
+  /// leave the shadow table untouched (never-touched blocks are skipped in
+  /// O(1) without allocating). With `check` false only the region epoch is
+  /// refreshed — sound solely when the caller proves nothing observable
+  /// changed since the last checked publish (shadow_generation() memo).
+  /// Returns true iff the check found no race (callers memoize only then).
+  bool proven_range(const void* addr, std::size_t size, bool is_write, const char* label = nullptr,
+                    bool check = true);
+
+  /// Bumped whenever shadow-observable state changes: cell stores, shadow
+  /// resets and proven-region publishes/refreshes. The cusan launch memo
+  /// compares this across launches to justify check-free refreshes.
+  [[nodiscard]] std::uint64_t shadow_generation() const { return shadow_gen_; }
+
+  /// Live proven regions (tests / diagnostics).
+  [[nodiscard]] std::size_t proven_region_count() const { return regions_.size(); }
+
   /// Forget all shadow state for a range (memory freed / reused).
   void reset_shadow_range(const void* addr, std::size_t size);
 
@@ -183,7 +206,26 @@ class Runtime {
     RecentRange recent;
   };
 
+  /// One proven-region record: stands in for the shadow cells an elided
+  /// launch would have stored. Keyed by (ctx, base, size, kind) so a repeated
+  /// launch refreshes its epoch in place; byte extents are granule-rounded at
+  /// check time to match the shadow's tracking granularity exactly.
+  struct ProvenRegion {
+    std::uintptr_t base{};
+    std::size_t size{};
+    CtxId ctx{kInvalidCtx};
+    std::uint64_t clock{};
+    bool is_write{false};
+  };
+
   void access_range(const void* addr, std::size_t size, bool is_write, const char* label);
+  void check_regions(std::uintptr_t base, std::size_t size, bool is_write, const char* label,
+                     const Context& cur, std::uint64_t cur_clock, bool& reported_this_call,
+                     bool& call_race_free);
+  void check_only_block(const ShadowBlock& blk, std::uintptr_t block_key, std::size_t g_lo,
+                        std::size_t g_hi, std::uintptr_t base, std::size_t size, bool is_write,
+                        const char* label, const Context& cur, std::uint64_t cur_clock,
+                        bool& reported_this_call, bool& call_race_free);
   bool try_fast_block(ShadowBlock& blk, std::uintptr_t block_key, std::size_t g_lo,
                       std::size_t g_hi, std::uintptr_t base, std::size_t size, bool is_write,
                       const char* label, const Context& cur, std::uint64_t cur_clock,
@@ -210,9 +252,13 @@ class Runtime {
   std::vector<RaceReport> reports_;
   std::unordered_set<std::uint64_t> report_dedup_;
   std::deque<std::string> interned_;
-  /// Bumped whenever shadow contents change (any storing access_range or
-  /// reset_shadow_range); recent-range cache entries from older generations
-  /// are stale.
+  /// Proven regions published by elided launches (linear scan: a handful of
+  /// hot kernels per rank). Cleared per-range by reset_shadow_range.
+  std::vector<ProvenRegion> regions_;
+  /// Bumped whenever shadow-observable contents change (any storing
+  /// access_range, reset_shadow_range, or a proven-region publish/refresh);
+  /// recent-range cache entries and launch memos from older generations are
+  /// stale.
   std::uint64_t shadow_gen_{0};
 };
 

@@ -77,6 +77,8 @@ struct ScenarioOutcome {
   std::uint64_t tracked_bytes{0};
   std::uint64_t fastpath_hits{0};             ///< range-cache + block-summary hits
   std::uint64_t fastpath_granules_elided{0};  ///< granule scans skipped
+  std::uint64_t elided_launches{0};           ///< launches with ≥1 proof-elided argument
+  std::uint64_t elided_bytes{0};              ///< annotation bytes proven race-free & elided
 };
 
 /// Run a scenario under MUST & CuSan and return races + tracked bytes.
@@ -84,12 +86,18 @@ struct ScenarioOutcome {
 /// setting; the two-argument form pins it (dual-mode divergence checks).
 /// The three-argument form additionally sets the MPI watchdog timeout
 /// (fault-sweep runs use a short timeout so injected stalls resolve fast).
+/// The four-argument form also pins the prove-and-elide mode (the shorter
+/// forms inherit the CUSAN_PROVE_ELIDE environment default).
 [[nodiscard]] ScenarioOutcome run_scenario_outcome(const Scenario& scenario);
 [[nodiscard]] ScenarioOutcome run_scenario_outcome(const Scenario& scenario,
                                                    bool use_shadow_fast_path);
 [[nodiscard]] ScenarioOutcome run_scenario_outcome(const Scenario& scenario,
                                                    bool use_shadow_fast_path,
                                                    std::chrono::milliseconds watchdog_timeout);
+[[nodiscard]] ScenarioOutcome run_scenario_outcome(const Scenario& scenario,
+                                                   bool use_shadow_fast_path,
+                                                   std::chrono::milliseconds watchdog_timeout,
+                                                   cusan::ProveElide prove_elide);
 
 /// Run a scenario under MUST & CuSan and return the total race count.
 [[nodiscard]] std::size_t run_scenario(const Scenario& scenario);

@@ -312,6 +312,56 @@ TEST(KirPrinterTest, GoldenFunctionDump) {
             "}\n");
 }
 
+TEST(KirPrinterTest, GoldenAffineFunctionDump) {
+  // Full annotation stack: access modes, byte intervals, affine thread-index
+  // summaries and the theorem-1 `proof` marker, plus the tid.x instruction
+  // rendering with its inclusive launch-bound range.
+  Module m;
+  Function* f = m.create_function("saxpy", {true, true});
+  const auto idx = f->thread_idx(0, 63);
+  const auto v = f->load(f->gep(f->param(1), idx, 8), 8);
+  f->store(f->gep(f->param(0), idx, 8), v, 8);
+  f->ret();
+
+  AccessAnalysis analysis(m);
+  const kir::IntervalAnalysis intervals(m);
+  const kir::AffineAnalysis affine(m);
+  const std::string text = print_function(*f, &analysis, &intervals, &affine);
+  EXPECT_EQ(text,
+            "kernel @saxpy(ptr %p0 [write w=[0,512) aw=8·tid+[0,8) t∈[0,63] proof], "
+            "ptr %p1 [read r=[0,512) ar=8·tid+[0,8) t∈[0,63] proof]) {\n"
+            "  %v0 = tid.x [0, 63]\n"
+            "  %v1 = gep %p1, %v0, x8\n"
+            "  %v2 = load %v1, i64\n"
+            "  %v3 = gep %p0, %v0, x8\n"
+            "  store %v3, %v2, i64\n"
+            "  ret\n"
+            "}\n");
+}
+
+TEST(KirPrinterTest, ThreadIdxDimensionsRendered) {
+  Module m;
+  Function* f = m.create_function("f", {true});
+  (void)f->load(f->gep(f->param(0), f->thread_idx(1, 6, 1), 8), 8);
+  f->ret();
+  const std::string text = print_function(*f, nullptr);
+  EXPECT_NE(text.find("%v0 = tid.y [1, 6]"), std::string::npos);
+}
+
+TEST(KirPrinterTest, UnprovenAffineSummaryOmitsProofMarker) {
+  // Sub-stride windows overlap across threads: the affine summary still
+  // renders, but no `proof` marker may appear.
+  Module m;
+  Function* f = m.create_function("racy", {true});
+  f->store(f->gep(f->param(0), f->thread_idx(0, 15), 4), f->constant(), 8);
+  f->ret();
+  AccessAnalysis analysis(m);
+  const kir::AffineAnalysis affine(m);
+  const std::string text = print_function(*f, &analysis, nullptr, &affine);
+  EXPECT_NE(text.find("aw=4·tid+[0,8) t∈[0,15]"), std::string::npos);
+  EXPECT_EQ(text.find(" proof"), std::string::npos);
+}
+
 TEST(KirPrinterTest, ModuleDumpContainsAllFunctions) {
   Module m;
   (void)m.create_function("a", {true});
@@ -378,6 +428,14 @@ TEST(KirVerifierTest, EmptyPhiDiagnosed) {
   const auto diags = verify_function(*f);
   ASSERT_FALSE(diags.empty());
   EXPECT_NE(diags[0].find("phi with no incoming"), std::string::npos);
+}
+
+TEST(KirVerifierTest, ThreadIdxVerifiesCleanly) {
+  Module m;
+  Function* f = m.create_function("k", {true});
+  f->store(f->gep(f->param(0), f->thread_idx(0, 31, 2), 8), f->constant(), 8);
+  f->ret();
+  EXPECT_TRUE(verify_module(m).empty());
 }
 
 TEST(KirVerifierTest, AppKernelsVerifyCleanly) {

@@ -1,7 +1,7 @@
 // The artifact's `make check-cutests` analog: runs the §VI-C correctness
 // test suite and prints llvm-lit style output, e.g.
 //
-//   PASS: CuSanTest :: cuda_to_mpi/device__default_stream__no_sync__racy (1 of 56) [tracked 81.9 KiB] [fastpath 12 hits / 2048 granules]
+//   PASS: CuSanTest :: cuda_to_mpi/device__default_stream__no_sync__racy (1 of 56) [tracked 81.9 KiB] [fastpath 12 hits / 2048 granules] [elided 0 launches / 0.0 KiB]
 //
 // Each line reports the scenario's tracked-byte volume (rsan read_range +
 // write_range bytes over both ranks) — the metric the interval-precision
@@ -86,6 +86,8 @@ void append_json_escaped(std::string& out, const std::string& text) {
     out += ", \"tracked_bytes\": " + std::to_string(r.fast.tracked_bytes);
     out += ", \"fastpath_hits\": " + std::to_string(r.fast.fastpath_hits);
     out += ", \"fastpath_granules_elided\": " + std::to_string(r.fast.fastpath_granules_elided);
+    out += ", \"elided_launches\": " + std::to_string(r.fast.elided_launches);
+    out += ", \"elided_bytes\": " + std::to_string(r.fast.elided_bytes);
     out += ", \"faults_fired\": " + std::to_string(r.faults_fired);
     out += "}";
     out += i + 1 < records.size() ? ",\n" : "\n";
@@ -156,6 +158,8 @@ int main(int argc, char** argv) {
   std::size_t index = 0;
   std::uint64_t total_tracked = 0;
   std::uint64_t total_hits = 0;
+  std::uint64_t total_elided_launches = 0;
+  std::uint64_t total_elided_bytes = 0;
   std::vector<ScenarioRecord> records;
   records.reserve(selected.size());
   for (const auto* scenario : selected) {
@@ -168,6 +172,8 @@ int main(int argc, char** argv) {
     record.faults_fired = injector.fired_count() - fired_before;
     total_tracked += record.fast.tracked_bytes;
     total_hits += record.fast.fastpath_hits;
+    total_elided_launches += record.fast.elided_launches;
+    total_elided_bytes += record.fast.elided_bytes;
     if (record.faults_fired > 0) {
       // Faults fired into this scenario: the verdict may legitimately differ
       // from the fault-free expectation. Surfacing is checked at the end.
@@ -197,11 +203,13 @@ int main(int argc, char** argv) {
       }
       std::printf(
           "%s: CuSanTest :: %s (%zu of %zu) [tracked %.1f KiB] [fastpath %llu hits / %llu "
-          "granules]%s\n",
+          "granules] [elided %llu launches / %.1f KiB]%s\n",
           record.ok ? "PASS" : "FAIL", scenario->name.c_str(), index, selected.size(),
           static_cast<double>(record.fast.tracked_bytes) / 1024.0,
           static_cast<unsigned long long>(record.fast.fastpath_hits),
-          static_cast<unsigned long long>(record.fast.fastpath_granules_elided), detail);
+          static_cast<unsigned long long>(record.fast.fastpath_granules_elided),
+          static_cast<unsigned long long>(record.fast.elided_launches),
+          static_cast<double>(record.fast.elided_bytes) / 1024.0, detail);
       if (record.diverged) {
         std::printf("  fast path: %zu race(s); reference path: %zu race(s)\n", record.fast.races,
                     record.slow.races);
@@ -227,9 +235,11 @@ int main(int argc, char** argv) {
   } else {
     std::printf(
         "\nTesting Time: done\n  Passed: %zu\n  Failed: %zu\n  Diverged: %zu\n  Tracked: %.1f "
-        "KiB\n  Fast-path hits: %llu\n",
+        "KiB\n  Fast-path hits: %llu\n  Elided launches: %llu\n  Elided bytes: %.1f KiB\n",
         selected.size() - failures - faulted, failures, divergences,
-        static_cast<double>(total_tracked) / 1024.0, static_cast<unsigned long long>(total_hits));
+        static_cast<double>(total_tracked) / 1024.0, static_cast<unsigned long long>(total_hits),
+        static_cast<unsigned long long>(total_elided_launches),
+        static_cast<double>(total_elided_bytes) / 1024.0);
     if (faulted_run) {
       std::printf("  Faulted: %zu\n  Faults fired: %zu\n  Faults unsurfaced: %zu\n", faulted,
                   injector.fired_count(), unsurfaced);
