@@ -12,7 +12,8 @@
 //                            [--metrics PATH]
 //   --smoke      CI mode: ~20x fewer iterations, same code paths.
 //   --max-ranks  Cap the rank sweep (default 16).
-//   --guard-only Run only the disabled-obs-hook overhead guard (CI gate).
+//   --guard-only Run only the disabled-obs-hook and disarmed-schedule
+//                overhead guards (CI gate).
 //   --metrics    Dump the sweep's metrics-registry delta as JSON to PATH.
 #include <cstdio>
 #include <cstring>
@@ -28,6 +29,7 @@
 #include "obs_guard.hpp"
 #include "obs/metrics.hpp"
 #include "obs/perfetto.hpp"
+#include "sched_guard.hpp"
 
 namespace {
 
@@ -179,10 +181,16 @@ int main(int argc, char** argv) {
     void* d = nullptr;
     (void)device.malloc_device(&d, 4096);
     std::vector<std::byte> h(4096);
-    const int rc = bench::obs_hook_overhead_guard(
+    int rc = bench::obs_hook_overhead_guard(
         "cusim memcpy(4 KiB)",
         [&] { (void)device.memcpy(d, h.data(), 4096, cusim::MemcpyDir::kHostToDevice); },
         2000);
+    if (rc == 0) {
+      rc = bench::sched_hook_overhead_guard(
+          "cusim memcpy(4 KiB)",
+          [&] { (void)device.memcpy(d, h.data(), 4096, cusim::MemcpyDir::kHostToDevice); },
+          2000);
+    }
     (void)device.free(d);
     if (rc != 0 || guard_only) {
       return rc;

@@ -1,5 +1,10 @@
 #include "capi/mpi.hpp"
 
+#include <numeric>
+#include <vector>
+
+#include "schedsim/controller.hpp"
+
 namespace capi::mpi {
 namespace {
 
@@ -113,8 +118,24 @@ mpisim::MpiError test(mpisim::Comm& comm, mpisim::Request** request, bool* compl
 }
 
 mpisim::MpiError waitall(mpisim::Comm& comm, std::span<mpisim::Request*> requests) {
+  // The order the requests are waited on is not observable through MPI (all
+  // must complete before the call returns) but *is* observable through MUST:
+  // each wait() closes the request's fiber via on_complete, so the processing
+  // order is the fiber-join order. Under the schedule controller, permute it.
+  std::vector<std::size_t> order(requests.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  if (schedsim::Controller::armed() && requests.size() > 1) {
+    auto& controller = schedsim::Controller::instance();
+    const schedsim::ActorId actor{comm.rank(), 'h', 0};
+    for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+      const int pick = controller.choose(schedsim::Site::kWaitallOrder, actor,
+                                         static_cast<int>(order.size() - i), 0);
+      std::swap(order[i], order[i + static_cast<std::size_t>(pick)]);
+    }
+  }
   mpisim::MpiError first_error = mpisim::MpiError::kSuccess;
-  for (mpisim::Request*& req : requests) {
+  for (const std::size_t idx : order) {
+    mpisim::Request*& req = requests[idx];
     if (req == nullptr) {
       continue;
     }

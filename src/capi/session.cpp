@@ -8,6 +8,7 @@
 #include "obs/metrics.hpp"
 #include "obs/perfetto.hpp"
 #include "obs/ring.hpp"
+#include "schedsim/controller.hpp"
 
 namespace capi {
 
@@ -72,7 +73,14 @@ std::vector<RankResult> run_session(const SessionConfig& config, const RankMain&
   // with an explicit programmatic plan (Injector::load) are unaffected
   // because an unset/empty env keeps the current state.
   static std::once_flag env_once;
-  std::call_once(env_once, [] { (void)faultsim::Injector::instance().load_env(); });
+  std::call_once(env_once, [] {
+    (void)faultsim::Injector::instance().load_env();
+    std::string sched_error;
+    if (!schedsim::Controller::instance().load_env(&sched_error)) {
+      std::fprintf(stderr, "cusan: %s\n", sched_error.c_str());
+    }
+  });
+  schedsim::Controller::instance().begin_session();
   const obs::ExportConfig& obs_cfg = obs_config();
   if (obs_cfg.trace_enabled) {
     // Each session records a fresh timeline; with multiple sessions per
@@ -97,6 +105,7 @@ std::vector<RankResult> run_session(const SessionConfig& config, const RankMain&
     // not needed since each rank only writes its own slot.
     results[static_cast<std::size_t>(comm.rank())] = ctx.finalize();
   });
+  schedsim::Controller::instance().end_session();
   export_observability(obs_cfg);
   return results;
 }

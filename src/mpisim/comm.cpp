@@ -16,6 +16,7 @@
 #include "mpisim/request.hpp"
 #include "mpisim/wakeup.hpp"
 #include "obs/ring.hpp"
+#include "schedsim/controller.hpp"
 
 namespace mpisim {
 
@@ -40,6 +41,11 @@ constexpr int kSoftBlockThreshold = 64;
 /// within one timeslice, so yielding first avoids the two futex transitions
 /// of a condvar park on the hot path.
 constexpr int kParkSpinYields = 4;
+/// Largest yield count the schedule controller may pick for the pre-park
+/// phase (candidates 0..kMaxParkSpinYields; the default stays
+/// kParkSpinYields). Routing the phase through the controller makes it part
+/// of the recorded schedule instead of an uncontrolled busy-wait.
+constexpr int kMaxParkSpinYields = 8;
 
 /// The outermost public MPI call executing on this thread. Collectives and
 /// blocking receives are built from inner send/recv/wait calls: the label
@@ -190,16 +196,48 @@ class CommImpl {
       }
     } else {
       // ANY_SOURCE slow path: scan every source channel's head tag-acceptor
-      // and take the globally oldest (lowest channel epoch).
+      // and take the globally oldest (lowest channel epoch). Per-channel
+      // FIFO is MPI law (non-overtaking), but the epoch order *across*
+      // senders is a timing artifact — exactly the nondeterminism a
+      // wildcard receive observes — so when the schedule controller is
+      // armed it picks among the channel heads instead.
       detail::bump(detail::contention_counters().any_source_scans);
-      for (auto& src_q : box.by_src) {
-        const auto it =
-            std::find_if(src_q.unexpected.begin(), src_q.unexpected.end(),
-                         [&](const Message& m) { return tag_accepts(tag, m.tag); });
-        if (it != src_q.unexpected.end() &&
-            (match_queue == nullptr || it->epoch < match->epoch)) {
-          match_queue = &src_q.unexpected;
-          match = it;
+      if (schedsim::Controller::armed()) {
+        struct Candidate {
+          std::deque<Message>* queue;
+          std::deque<Message>::iterator it;
+        };
+        std::vector<Candidate> candidates;
+        for (auto& src_q : box.by_src) {
+          const auto it =
+              std::find_if(src_q.unexpected.begin(), src_q.unexpected.end(),
+                           [&](const Message& m) { return tag_accepts(tag, m.tag); });
+          if (it != src_q.unexpected.end()) {
+            candidates.push_back({&src_q.unexpected, it});
+          }
+        }
+        if (!candidates.empty()) {
+          // Candidate 0 = oldest epoch (today's deterministic default).
+          std::sort(candidates.begin(), candidates.end(),
+                    [](const Candidate& a, const Candidate& b) {
+                      return a.it->epoch < b.it->epoch;
+                    });
+          const int pick = schedsim::Controller::instance().choose(
+              schedsim::Site::kMatchRecv, {dest, 'h', 0},
+              static_cast<int>(candidates.size()), 0);
+          match_queue = candidates[static_cast<std::size_t>(pick)].queue;
+          match = candidates[static_cast<std::size_t>(pick)].it;
+        }
+      } else {
+        for (auto& src_q : box.by_src) {
+          const auto it =
+              std::find_if(src_q.unexpected.begin(), src_q.unexpected.end(),
+                           [&](const Message& m) { return tag_accepts(tag, m.tag); });
+          if (it != src_q.unexpected.end() &&
+              (match_queue == nullptr || it->epoch < match->epoch)) {
+            match_queue = &src_q.unexpected;
+            match = it;
+          }
         }
       }
     }
@@ -288,7 +326,7 @@ class CommImpl {
             rl.soft_quiet_since = now;
           } else if (now - rl.soft_quiet_since >= timeout_as_ns(tracker_->timeout())) {
             if (tracker_->try_declare(rl.soft_snapshot)) {
-              hub_->broadcast();  // poisoning: every blocked rank must see it
+              hub_->broadcast(rank);  // poisoning: every blocked rank must see it
               return MpiError::kDeadlock;
             }
             rl.soft_quiet_since = now;
@@ -352,6 +390,23 @@ class CommImpl {
         status->error = blocked;
       }
       return blocked;
+    }
+    if (schedsim::Controller::armed()) {
+      // MPI_Waitany may return *any* completed request; the scan above pins
+      // the lowest index. Under exploration the controller picks among all
+      // currently-complete candidates (a re-scan only ever adds candidates,
+      // so the recorded choice stays valid on replay).
+      std::vector<int> complete;
+      for (std::size_t i = 0; i < requests.size(); ++i) {
+        if (requests[i] != nullptr && requests[i]->complete()) {
+          complete.push_back(static_cast<int>(i));
+        }
+      }
+      if (complete.size() > 1) {
+        const int pick = schedsim::Controller::instance().choose(
+            schedsim::Site::kWaitany, {rank, 'h', 0}, static_cast<int>(complete.size()), 0);
+        *index = complete[static_cast<std::size_t>(pick)];
+      }
     }
     return wait(rank, &requests[static_cast<std::size_t>(*index)], status);
   }
@@ -542,8 +597,17 @@ class CommImpl {
     }
     // Pre-park yield phase: on an oversubscribed host the peer usually
     // finishes within a timeslice, making the condvar round-trip (two futex
-    // syscalls plus a scheduler wakeup) the dominant cost of a wait.
-    for (int i = 0; i < kParkSpinYields; ++i) {
+    // syscalls plus a scheduler wakeup) the dominant cost of a wait. The
+    // yield count is one schedule-controller decision (the index *is* the
+    // count), so record/replay pins the whole phase instead of racing an
+    // uncontrolled busy-wait.
+    int yields = kParkSpinYields;
+    if (schedsim::Controller::armed()) {
+      yields = schedsim::Controller::instance().choose(schedsim::Site::kPreParkYield,
+                                                       {op.rank, 'h', 0},
+                                                       kMaxParkSpinYields + 1, kParkSpinYields);
+    }
+    for (int i = 0; i < yields; ++i) {
       std::this_thread::yield();
       if (pred()) {
         return MpiError::kSuccess;
@@ -599,7 +663,7 @@ class CommImpl {
       }
       if (now - quiet_since >= timeout_as_ns(tracker_->timeout())) {
         if (tracker_->try_declare(snapshot)) {
-          hub_->broadcast();  // wake peers so they observe the declaration
+          hub_->broadcast(op.rank);  // wake peers so they observe the declaration
           result = MpiError::kDeadlock;
           break;
         }

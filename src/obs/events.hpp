@@ -26,6 +26,7 @@ enum class EventKind : std::uint16_t {
   kRequest,      ///< nonblocking-request fiber lifetime
   kDiagnostic,   ///< race/report/deadlock/fault diagnostic marker
   kTrace,        ///< generic intercepted-call marker (cusan::Trace)
+  kSchedule,     ///< schedule-controller decision (site; arg packs seq/candidates/chosen)
 };
 
 [[nodiscard]] const char* to_string(EventKind kind);

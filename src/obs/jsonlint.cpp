@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "common/format.hpp"
+#include "obs/events.hpp"
 
 namespace obs::jsonlint {
 
@@ -285,6 +286,18 @@ bool check(bool condition, const std::string& message, std::string* error) {
   return condition;
 }
 
+/// Every category the exporter can write is an EventKind name (incl. the
+/// schedule-decision kind). An unknown cat means a producer bypassed the
+/// typed Event path — flag it so schema drift surfaces in CI.
+[[nodiscard]] bool known_category(const std::string& cat) {
+  for (std::uint16_t k = 0; k <= static_cast<std::uint16_t>(EventKind::kSchedule); ++k) {
+    if (cat == to_string(static_cast<EventKind>(k))) {
+      return true;
+    }
+  }
+  return false;
+}
+
 }  // namespace
 
 const Value* Value::get(const std::string& key) const {
@@ -348,6 +361,13 @@ bool validate_chrome_trace(std::string_view text, std::string* error, std::size_
     }
     if (ph->string == "X" || ph->string == "i") {
       ++count;
+      const Value* cat = event.get("cat");
+      if (!check(cat != nullptr && cat->is(Value::Kind::kString), at + " missing string 'cat'",
+                 error) ||
+          !check(known_category(cat->string),
+                 at + common::format(" unknown event category '{}'", cat->string), error)) {
+        return false;
+      }
       const Value* ts = event.get("ts");
       const Value* tid = event.get("tid");
       if (!check(ts != nullptr && ts->is(Value::Kind::kNumber), at + " missing numeric 'ts'",

@@ -215,6 +215,8 @@ const char* to_string(EventKind kind) {
       return "diagnostic";
     case EventKind::kTrace:
       return "trace";
+    case EventKind::kSchedule:
+      return "schedule";
   }
   return "unknown";
 }

@@ -1,0 +1,402 @@
+#include "schedsim/controller.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/format.hpp"
+#include "common/rng.hpp"
+#include "obs/diagnostics.hpp"
+#include "obs/metrics.hpp"
+#include "obs/perfetto.hpp"
+#include "obs/ring.hpp"
+
+namespace schedsim {
+
+namespace {
+
+[[nodiscard]] bool parse_error(std::string* error, const std::string& message) {
+  if (error != nullptr) {
+    *error = message;
+  }
+  return false;
+}
+
+[[nodiscard]] bool parse_u64(const std::string& text, std::uint64_t* out) {
+  if (text.empty()) {
+    return false;
+  }
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(text.c_str(), &end, 10);
+  if (*end != '\0') {
+    return false;
+  }
+  *out = parsed;
+  return true;
+}
+
+[[nodiscard]] bool read_file(const std::string& path, std::string* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return false;
+  }
+  char buf[1 << 14];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out->append(buf, n);
+  }
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+/// The exporter track a decision lands on: stream-worker actors map back to
+/// their stream's track so decisions line up with the ops they reorder.
+[[nodiscard]] std::uint32_t actor_track(const ActorId& actor) {
+  return actor.kind == 's' ? obs::stream_track(actor.local % 4096u) : obs::kHostTrack;
+}
+
+}  // namespace
+
+bool parse_schedule(const std::string& text, Config* out, std::string* error) {
+  Config config;
+  if (text.empty() || text == "0" || text == "off" || text == "none") {
+    *out = config;
+    return true;
+  }
+  bool have_mode = false;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t end = text.find_first_of(";,", pos);
+    if (end == std::string::npos) {
+      end = text.size();
+    }
+    const std::string clause = text.substr(pos, end - pos);
+    pos = end + 1;
+    if (clause.empty()) {
+      if (end == text.size()) {
+        break;
+      }
+      continue;
+    }
+    const std::size_t colon = clause.find(':');
+    const std::string head = clause.substr(0, colon);
+    const std::string arg = colon == std::string::npos ? "" : clause.substr(colon + 1);
+    if (head == "free") {
+      if (have_mode) {
+        return parse_error(error, "multiple strategy clauses");
+      }
+      have_mode = true;
+      config.mode = Mode::kFree;
+    } else if (head == "seed") {
+      if (have_mode) {
+        return parse_error(error, "multiple strategy clauses");
+      }
+      have_mode = true;
+      config.mode = Mode::kSeed;
+      if (!parse_u64(arg, &config.seed)) {
+        return parse_error(error, common::format("seed: not a number: '{}'", arg));
+      }
+    } else if (head == "replay") {
+      if (have_mode) {
+        return parse_error(error, "multiple strategy clauses");
+      }
+      if (arg.empty()) {
+        return parse_error(error, "replay: missing path");
+      }
+      have_mode = true;
+      config.mode = Mode::kReplay;
+      config.replay_path = arg;
+    } else if (head == "record") {
+      if (arg.empty()) {
+        return parse_error(error, "record: missing path");
+      }
+      config.record = true;
+      config.record_path = arg;
+    } else if (head == "pct") {
+      std::uint64_t k = 0;
+      if (!parse_u64(arg, &k) || k == 0) {
+        return parse_error(error, common::format("pct: not a positive number: '{}'", arg));
+      }
+      config.pct_k = static_cast<std::uint32_t>(k);
+    } else if (head == "horizon") {
+      std::uint64_t h = 0;
+      if (!parse_u64(arg, &h) || h == 0) {
+        return parse_error(error, common::format("horizon: not a positive number: '{}'", arg));
+      }
+      config.pct_horizon = static_cast<std::uint32_t>(h);
+    } else {
+      return parse_error(error, common::format("unknown clause '{}'", clause));
+    }
+    if (end == text.size()) {
+      break;
+    }
+  }
+  if (config.pct_k > config.pct_horizon) {
+    return parse_error(error, "pct must be <= horizon");
+  }
+  *out = config;
+  return true;
+}
+
+std::string Divergence::to_string() const {
+  return common::format("actor {} {} decision {}: trace recorded {} candidates, run asked for {}",
+                        actor.to_string(), schedsim::to_string(site), seq, expected_candidates,
+                        got_candidates);
+}
+
+Controller& Controller::instance() {
+  static Controller controller;
+  return controller;
+}
+
+std::atomic<bool>& Controller::armed_flag() {
+  static std::atomic<bool> flag{false};
+  return flag;
+}
+
+int Controller::choose(Site site, const ActorId& actor, int candidates, int default_index) {
+  if (candidates <= 1) {
+    return 0;
+  }
+  if (default_index < 0 || default_index >= candidates) {
+    default_index = 0;
+  }
+  if (!armed()) {
+    return default_index;
+  }
+  int chosen = default_index;
+  std::uint64_t seq = 0;
+  const std::uint64_t key = stream_key(actor, site);
+  {
+    std::lock_guard lock(mutex_);
+    StreamState& st = streams_[key];
+    seq = st.seq++;
+    ++stats_.decisions;
+    switch (config_.mode) {
+      case Mode::kFree:
+        break;
+      case Mode::kSeed: {
+        // Deterministic per (seed, actor, site, seq): the answer a stream
+        // gets does not depend on how OS timing interleaved other actors'
+        // queries, so a seed names one perturbation, not a lottery.
+        common::SplitMix64 rng(config_.seed ^ (key * 0x9e3779b97f4a7c15ULL) ^
+                               (seq * 0xd1b54a32d192ed03ULL));
+        if (rng.next_below(config_.pct_horizon) < config_.pct_k) {
+          const int other = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(
+              candidates - 1)));
+          chosen = other >= default_index ? other + 1 : other;
+          ++stats_.preemptions;
+        }
+        break;
+      }
+      case Mode::kReplay: {
+        if (st.diverged) {
+          break;
+        }
+        const auto it = replay_streams_.find(key);
+        const std::vector<std::size_t>* slice = it != replay_streams_.end() ? &it->second
+                                                                            : nullptr;
+        if (slice == nullptr || st.cursor >= slice->size()) {
+          // Ran past the recording: timing-dependent entry into a choice
+          // point (e.g. a wait whose predicate was already true at record
+          // time). Counted, not a divergence — the trace still pins every
+          // decision it covers.
+          ++stats_.underruns;
+          static obs::Counter& underrun_metric = obs::metric("sched.replay_underruns");
+          underrun_metric.add(1);
+          break;
+        }
+        const TraceEntry& entry = replay_.entries[(*slice)[st.cursor]];
+        if (entry.candidates != candidates) {
+          st.diverged = true;
+          ++stats_.divergences;
+          if (!divergence_.has_value()) {
+            divergence_ = Divergence{actor, entry.seq, site, entry.candidates, candidates};
+            static obs::Counter& divergence_metric = obs::metric("sched.divergences");
+            divergence_metric.add(1);
+            obs::emit_diagnostic({"sched.divergence", obs::Severity::kError, actor.rank,
+                                  divergence_->to_string(), 0});
+          }
+          break;
+        }
+        ++st.cursor;
+        ++stats_.replayed;
+        chosen = entry.chosen < candidates ? entry.chosen : default_index;
+        break;
+      }
+    }
+    if (config_.record) {
+      recorded_.push_back({actor, seq, site, candidates, chosen});
+    }
+  }
+  static obs::Counter& decision_metric = obs::metric("sched.decisions");
+  decision_metric.add(1);
+  if (obs::tracing_enabled()) {
+    obs::emit_instant(actor.rank, obs::EventKind::kSchedule, actor_track(actor), to_string(site),
+                      (seq << 16) | (static_cast<std::uint64_t>(candidates) << 8) |
+                          static_cast<std::uint64_t>(chosen));
+  }
+  return chosen;
+}
+
+void Controller::configure(const Config& config) {
+  std::lock_guard lock(mutex_);
+  config_ = config;
+  replay_ = {};
+  replay_streams_.clear();
+  reset_run_state_locked();
+  armed_flag().store(config_.mode != Mode::kFree || config_.record, std::memory_order_relaxed);
+}
+
+bool Controller::configure_replay_text(const std::string& trace_text, std::string* error,
+                                       bool record) {
+  ScheduleTrace parsed;
+  if (!parse_trace(trace_text, &parsed, error)) {
+    return false;
+  }
+  std::lock_guard lock(mutex_);
+  config_ = {};
+  config_.mode = Mode::kReplay;
+  config_.record = record;
+  replay_ = std::move(parsed);
+  replay_streams_.clear();
+  for (std::size_t i = 0; i < replay_.entries.size(); ++i) {
+    replay_streams_[stream_key(replay_.entries[i].actor, replay_.entries[i].site)].push_back(i);
+  }
+  reset_run_state_locked();
+  armed_flag().store(true, std::memory_order_relaxed);
+  return true;
+}
+
+bool Controller::load_env(std::string* error) {
+  const char* env = std::getenv("CUSAN_SCHEDULE");
+  if (env == nullptr || *env == '\0') {
+    return true;
+  }
+  Config config;
+  if (!parse_schedule(env, &config, error)) {
+    return false;
+  }
+  if (config.mode == Mode::kReplay) {
+    std::string text;
+    if (!read_file(config.replay_path, &text)) {
+      return parse_error(error, common::format("replay: cannot read '{}'", config.replay_path));
+    }
+    const std::string record_path = config.record_path;
+    const bool record = config.record;
+    if (!configure_replay_text(text, error, record)) {
+      return false;
+    }
+    if (record) {
+      std::lock_guard lock(mutex_);
+      config_.record_path = record_path;
+    }
+    return true;
+  }
+  configure(config);
+  return true;
+}
+
+void Controller::clear() {
+  std::lock_guard lock(mutex_);
+  config_ = {};
+  replay_ = {};
+  replay_streams_.clear();
+  reset_run_state_locked();
+  armed_flag().store(false, std::memory_order_relaxed);
+}
+
+void Controller::begin_session() {
+  if (!armed()) {
+    return;
+  }
+  std::lock_guard lock(mutex_);
+  reset_run_state_locked();
+}
+
+void Controller::end_session() {
+  if (!armed()) {
+    return;
+  }
+  std::lock_guard lock(mutex_);
+  flush_record_locked();
+}
+
+void Controller::reset_run_state_locked() {
+  streams_.clear();
+  recorded_.clear();
+  divergence_.reset();
+  stats_ = {};
+}
+
+void Controller::flush_record_locked() {
+  if (!config_.record || config_.record_path.empty()) {
+    return;
+  }
+  ScheduleTrace trace;
+  trace.strategy = strategy_string_locked();
+  trace.entries = recorded_;
+  std::string error;
+  if (!obs::write_file(config_.record_path, serialize_trace(trace), &error)) {
+    std::fprintf(stderr, "cusan: schedule trace export failed: %s\n", error.c_str());
+  }
+}
+
+Config Controller::config() const {
+  std::lock_guard lock(mutex_);
+  return config_;
+}
+
+std::string Controller::strategy_string() const {
+  std::lock_guard lock(mutex_);
+  return strategy_string_locked();
+}
+
+std::string Controller::strategy_string_locked() const {
+  std::string out;
+  switch (config_.mode) {
+    case Mode::kFree:
+      out = "free";
+      break;
+    case Mode::kSeed:
+      out = common::format("seed:{};pct:{};horizon:{}", config_.seed, config_.pct_k,
+                           config_.pct_horizon);
+      break;
+    case Mode::kReplay:
+      out = config_.replay_path.empty() ? "replay" : "replay:" + config_.replay_path;
+      break;
+  }
+  if (config_.record) {
+    out += config_.record_path.empty() ? ";record" : ";record:" + config_.record_path;
+  }
+  return out;
+}
+
+std::string Controller::trace_text() const {
+  std::lock_guard lock(mutex_);
+  ScheduleTrace trace;
+  trace.strategy = strategy_string_locked();
+  trace.entries = recorded_;
+  return serialize_trace(trace);
+}
+
+std::string Controller::take_trace() {
+  std::lock_guard lock(mutex_);
+  ScheduleTrace trace;
+  trace.strategy = strategy_string_locked();
+  trace.entries = std::move(recorded_);
+  recorded_.clear();
+  return serialize_trace(trace);
+}
+
+std::optional<Divergence> Controller::divergence() const {
+  std::lock_guard lock(mutex_);
+  return divergence_;
+}
+
+Stats Controller::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+}  // namespace schedsim

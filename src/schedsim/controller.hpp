@@ -1,0 +1,161 @@
+// The central schedule-exploration controller: every nondeterministic choice
+// point in the stack — cusim stream-worker op selection, mpisim wildcard
+// matching / wakeup order / pre-park yields, and the MPI wait family's
+// request-fiber completion order — routes its decision through choose() as a
+// numbered (site, candidates) query and obeys the answer. Strategies
+// (CUSAN_SCHEDULE):
+//
+//   free             today's behavior; the controller stays disarmed and
+//                    each choice point costs one relaxed atomic load
+//   seed:<n>         PCT-style randomized exploration: actors get hashed
+//                    priorities from the seed and an expected `pct` choices
+//                    per `horizon` decisions are preempted away from the
+//                    default (clauses `pct:<k>` / `horizon:<h>` tune it);
+//                    deterministic per (seed, actor, seq), so the choice an
+//                    actor sees does not depend on OS thread timing
+//   replay:<path>    answer every query from its (actor, site) stream of a
+//                    recorded trace; the first stream decision whose live
+//                    candidate count disagrees with the recording is
+//                    latched and reported as a divergence
+//   record:<path>    compose with any of the above to write the decision
+//                    trace after each session — any race a sweep finds
+//                    becomes a one-command deterministic reproducer
+//
+// Cost model (the bench guard asserts it): disarmed, armed() is a single
+// relaxed atomic load and choose() is never reached. Armed, decisions take a
+// mutex — exploration trades speed for control, like faultsim's faulted runs.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "schedsim/trace.hpp"
+
+namespace schedsim {
+
+enum class Mode : std::uint8_t {
+  kFree,    ///< default choices (armed only if recording)
+  kSeed,    ///< PCT-style randomized preemption
+  kReplay,  ///< answer from a recorded trace
+};
+
+struct Config {
+  Mode mode{Mode::kFree};
+  std::uint64_t seed{0};
+  /// Expected preemptions per `horizon` decisions (PCT's k).
+  std::uint32_t pct_k{16};
+  std::uint32_t pct_horizon{128};
+  bool record{false};
+  std::string record_path;  ///< empty: in-memory only (take_trace)
+  std::string replay_path;  ///< kReplay via env: file to load
+};
+
+/// Parse the CUSAN_SCHEDULE grammar (clauses separated by ';' or ','):
+/// `free` | `seed:<n>` | `replay:<path>` | `record:<path>` | `pct:<k>` |
+/// `horizon:<h>`. Empty / `0` / `off` / `none` yields a disarmed free config.
+[[nodiscard]] bool parse_schedule(const std::string& text, Config* out,
+                                  std::string* error = nullptr);
+
+/// First mismatch between a replayed trace and the live run: the live query
+/// at (actor, site, seq) asked for a different candidate count than the
+/// recording. (Sites cannot mismatch: each (actor, site) pair replays its
+/// own stream, so a timing-dependent skip of one site — a wait whose
+/// predicate was already true at replay time — shows up as a tolerated
+/// underrun of that stream, never as a false divergence of another.)
+struct Divergence {
+  ActorId actor;
+  std::uint64_t seq{0};
+  Site site{Site::kStreamOp};
+  int expected_candidates{1};
+  int got_candidates{1};
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct Stats {
+  std::uint64_t decisions{0};    ///< choose() calls answered while armed
+  std::uint64_t preemptions{0};  ///< seed mode: non-default answers
+  std::uint64_t replayed{0};     ///< replay mode: answers taken from the trace
+  std::uint64_t underruns{0};    ///< replay mode: queries past the trace end
+  std::uint64_t divergences{0};  ///< replay mode: mismatched queries
+};
+
+class Controller {
+ public:
+  [[nodiscard]] static Controller& instance();
+
+  /// The zero-overhead fast path: false unless a non-free strategy or
+  /// recording is active. Choice points gate on this before calling choose().
+  [[nodiscard]] static bool armed() { return armed_flag().load(std::memory_order_relaxed); }
+
+  /// Answer one numbered decision: an index in [0, candidates). Call sites
+  /// pass today's deterministic behavior as `default_index`; the free
+  /// strategy (and every non-preempted seed decision) returns it unchanged,
+  /// which is what makes exploration semantics-preserving by construction.
+  [[nodiscard]] int choose(Site site, const ActorId& actor, int candidates,
+                           int default_index = 0);
+
+  /// Install a strategy programmatically (sweep harnesses, tests). Resets
+  /// per-actor cursors, the recorded trace and any latched divergence.
+  void configure(const Config& config);
+  /// configure() for replay with the trace supplied as text instead of a
+  /// file (differential tests). Returns false on a malformed trace.
+  [[nodiscard]] bool configure_replay_text(const std::string& trace_text,
+                                           std::string* error = nullptr, bool record = false);
+  /// Load CUSAN_SCHEDULE (unset/empty: keeps current state). False on a
+  /// parse error or an unreadable replay file.
+  [[nodiscard]] bool load_env(std::string* error = nullptr);
+  /// Disarm and drop all state.
+  void clear();
+
+  /// Session boundaries (capi::run_session): begin resets per-actor cursors,
+  /// the recorded trace and the latched divergence so every session replays
+  /// the trace from its start; end writes the recorded trace to the
+  /// configured record path (the exported file is the last session's, like
+  /// the Perfetto trace).
+  void begin_session();
+  void end_session();
+
+  [[nodiscard]] Config config() const;
+  [[nodiscard]] std::string strategy_string() const;
+  /// Serialized trace of the decisions recorded since the last session
+  /// begin/configure (empty when not recording).
+  [[nodiscard]] std::string trace_text() const;
+  /// trace_text(), then drop the recorded entries.
+  [[nodiscard]] std::string take_trace();
+  [[nodiscard]] std::optional<Divergence> divergence() const;
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  Controller() = default;
+  [[nodiscard]] static std::atomic<bool>& armed_flag();
+  void reset_run_state_locked();
+  void flush_record_locked();
+  [[nodiscard]] std::string strategy_string_locked() const;
+
+  /// Mutable per-(actor, site)-stream run state: the stream-local decision
+  /// counter and, in replay mode, the cursor into the stream's slice of the
+  /// trace.
+  struct StreamState {
+    std::uint64_t seq{0};
+    std::size_t cursor{0};
+    bool diverged{false};  ///< this stream fell back to free after a mismatch
+  };
+
+  mutable std::mutex mutex_;
+  Config config_;
+  ScheduleTrace replay_;
+  /// Replay entries grouped per stream_key (indices into replay_.entries).
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> replay_streams_;
+  std::unordered_map<std::uint64_t, StreamState> streams_;
+  std::vector<TraceEntry> recorded_;
+  std::optional<Divergence> divergence_;
+  Stats stats_;
+};
+
+}  // namespace schedsim

@@ -5,6 +5,7 @@
 #include "common/format.hpp"
 #include "common/rng.hpp"
 #include "faultsim/injector.hpp"
+#include "schedsim/controller.hpp"
 #include "testsuite/scenarios.hpp"
 
 namespace testsuite {
@@ -133,41 +134,65 @@ SweepStats run_fault_sweep(const SweepOptions& options) {
     if (options.verbose) {
       std::printf("[sweep] plan %d: %s\n", p, plan.to_string().c_str());
     }
+    // With schedules requested, every (plan, scenario) run repeats under N
+    // seed-deterministic PCT schedules: round 0 is the free schedule, rounds
+    // 1..N perturb it. The invariants must hold under every combination.
+    const int rounds = options.schedules > 0 ? options.schedules + 1 : 1;
     for (std::size_t i = 0; i < scenarios.size(); ++i) {
-      injector.load(plan);  // resets match counters: every run sees the same schedule
-      const std::size_t races = run_scenario_outcome(scenarios[i], fast, options.watchdog).races;
-      const std::vector<faultsim::FiredFault> fired = injector.take_fired();
-      ++stats.runs;
-      if (fired.empty()) {
-        // Invariant 2: fault hooks that never fire must be invisible.
-        if (races != baseline[i]) {
-          ++stats.verdict_mismatches;
-          stats.failures.push_back(common::format(
-              "plan {} scenario {}: no fault fired but verdict changed ({} races vs baseline {})",
-              p, scenarios[i].name, races, baseline[i]));
+      for (int round = 0; round < rounds; ++round) {
+        if (options.schedules > 0) {
+          if (round == 0) {
+            schedsim::Controller::instance().clear();
+          } else {
+            schedsim::Config sched;
+            sched.mode = schedsim::Mode::kSeed;
+            sched.seed = options.seed ^ (static_cast<std::uint64_t>(p) << 32) ^
+                         static_cast<std::uint64_t>(round);
+            schedsim::Controller::instance().configure(sched);
+          }
         }
-        continue;
-      }
-      ++stats.faulted_runs;
-      stats.faults_fired += fired.size();
-      for (const faultsim::FiredFault& f : fired) {
-        // Invariant 3: every fired fault is accounted through some channel.
-        if (f.surfaced == faultsim::Channel::kNone) {
-          ++stats.faults_unsurfaced;
-          stats.failures.push_back(
-              common::format("plan {} scenario {}: fault #{} ({} at {}) fired but was never "
-                             "surfaced through any channel",
-                             p, scenarios[i].name, f.id, to_string(f.action), to_string(f.site)));
+        injector.load(plan);  // resets match counters: every run sees the same schedule
+        const std::size_t races =
+            run_scenario_outcome(scenarios[i], fast, options.watchdog).races;
+        const std::vector<faultsim::FiredFault> fired = injector.take_fired();
+        ++stats.runs;
+        if (fired.empty()) {
+          // Invariant 2: fault hooks that never fire must be invisible — and
+          // with schedules, verdicts must not depend on the interleaving.
+          if (races != baseline[i]) {
+            ++stats.verdict_mismatches;
+            stats.failures.push_back(common::format(
+                "plan {} scenario {} round {}: no fault fired but verdict changed ({} races vs "
+                "baseline {})",
+                p, scenarios[i].name, round, races, baseline[i]));
+          }
+          continue;
         }
-      }
-      if (options.verbose) {
-        std::printf("[sweep] plan %d %-70s races=%zu fired=%zu\n", p, scenarios[i].name.c_str(),
-                    races, fired.size());
+        ++stats.faulted_runs;
+        stats.faults_fired += fired.size();
+        for (const faultsim::FiredFault& f : fired) {
+          // Invariant 3: every fired fault is accounted through some channel.
+          if (f.surfaced == faultsim::Channel::kNone) {
+            ++stats.faults_unsurfaced;
+            stats.failures.push_back(
+                common::format("plan {} scenario {} round {}: fault #{} ({} at {}) fired but was "
+                               "never surfaced through any channel",
+                               p, scenarios[i].name, round, f.id, to_string(f.action),
+                               to_string(f.site)));
+          }
+        }
+        if (options.verbose) {
+          std::printf("[sweep] plan %d round %d %-70s races=%zu fired=%zu\n", p, round,
+                      scenarios[i].name.c_str(), races, fired.size());
+        }
       }
     }
   }
 
   injector.clear();
+  if (options.schedules > 0) {
+    schedsim::Controller::instance().clear();
+  }
   return stats;
 }
 

@@ -32,6 +32,12 @@ struct SweepOptions {
   std::chrono::milliseconds watchdog{150};
   /// Print one line per (plan, scenario) run to stdout.
   bool verbose{false};
+  /// Randomized schedules per (plan, scenario) run: 0 keeps the free
+  /// schedule; N > 0 repeats every faulted run under N seed-deterministic
+  /// PCT schedules, so fault plans and schedule perturbations compose. The
+  /// unfaulted baseline always runs on the free schedule — invariant 2
+  /// therefore also proves verdicts are schedule-independent.
+  int schedules{0};
 };
 
 struct SweepStats {

@@ -239,9 +239,17 @@ TEST_F(ObsExportTest, LinterRejectsMalformedDocuments) {
       R"({"traceEvents": [{"ph": "X", "pid": 1, "name": "n"}]})", &error))
       << "X without ts/dur/tid must fail";
   EXPECT_TRUE(obs::jsonlint::validate_chrome_trace(
-      R"({"traceEvents": [{"ph": "i", "s": "t", "ts": 1.5, "pid": 1, "tid": 0, "name": "n"}]})",
+      R"({"traceEvents": [{"ph": "i", "s": "t", "cat": "schedule", "ts": 1.5, "pid": 1, "tid": 0, "name": "n"}]})",
       &error))
       << error;
+  EXPECT_FALSE(obs::jsonlint::validate_chrome_trace(
+      R"({"traceEvents": [{"ph": "i", "s": "t", "ts": 1.5, "pid": 1, "tid": 0, "name": "n"}]})",
+      &error))
+      << "events must carry a known category";
+  EXPECT_FALSE(obs::jsonlint::validate_chrome_trace(
+      R"({"traceEvents": [{"ph": "i", "s": "t", "cat": "bogus", "ts": 1, "pid": 1, "tid": 0, "name": "n"}]})",
+      &error))
+      << "unknown categories must be flagged";
 }
 
 // -- Perfetto exporter ---------------------------------------------------------------

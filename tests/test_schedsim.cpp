@@ -1,0 +1,486 @@
+// Schedule-exploration engine tests: the CUSAN_SCHEDULE grammar, the trace
+// interchange format, the controller's strategy semantics (free / seed /
+// replay with per-(actor, site) decision streams), and the three end-to-end
+// properties the engine promises:
+//
+//   1. Differential replay oracle — record a randomized run over the
+//      scenario corpus, replay its trace, and get bit-identical verdicts and
+//      diagnostics with zero divergences; a tampered trace is detected and
+//      reported, never silently skipped.
+//   2. Seed-sweep soundness — known-racy scenarios report their race under
+//      every explored schedule; race-free scenarios stay clean across the
+//      whole sweep (verdicts are schedule-independent).
+//   3. The pre-park yield phase is a controlled decision: a wakeup-heavy
+//      waitall workload records pre_park_yield / waitall_order decisions and
+//      replays them verdict-identically.
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "capi/mpi.hpp"
+#include "capi/session.hpp"
+#include "mpisim/request.hpp"
+#include "obs/diagnostics.hpp"
+#include "schedsim/controller.hpp"
+#include "schedsim/trace.hpp"
+#include "testsuite/scenarios.hpp"
+
+namespace {
+
+using schedsim::ActorId;
+using schedsim::Config;
+using schedsim::Controller;
+using schedsim::Mode;
+using schedsim::ScheduleTrace;
+using schedsim::Site;
+using schedsim::TraceEntry;
+
+/// Every test leaves the process-global controller disarmed.
+class SchedsimTest : public ::testing::Test {
+ protected:
+  void TearDown() override { Controller::instance().clear(); }
+};
+
+// ---------------------------------------------------------------- grammar --
+
+TEST_F(SchedsimTest, ParseScheduleGrammar) {
+  Config config;
+  std::string error;
+
+  EXPECT_TRUE(schedsim::parse_schedule("", &config, &error));
+  EXPECT_EQ(config.mode, Mode::kFree);
+  EXPECT_FALSE(config.record);
+  EXPECT_TRUE(schedsim::parse_schedule("off", &config, &error));
+  EXPECT_EQ(config.mode, Mode::kFree);
+  EXPECT_TRUE(schedsim::parse_schedule("free", &config, &error));
+  EXPECT_EQ(config.mode, Mode::kFree);
+
+  EXPECT_TRUE(schedsim::parse_schedule("seed:7", &config, &error));
+  EXPECT_EQ(config.mode, Mode::kSeed);
+  EXPECT_EQ(config.seed, 7u);
+  EXPECT_EQ(config.pct_k, 16u);
+  EXPECT_EQ(config.pct_horizon, 128u);
+
+  EXPECT_TRUE(schedsim::parse_schedule("seed:3;pct:4;horizon:64", &config, &error));
+  EXPECT_EQ(config.pct_k, 4u);
+  EXPECT_EQ(config.pct_horizon, 64u);
+
+  EXPECT_TRUE(schedsim::parse_schedule("seed:3,record:/tmp/t.trace", &config, &error));
+  EXPECT_TRUE(config.record);
+  EXPECT_EQ(config.record_path, "/tmp/t.trace");
+
+  EXPECT_TRUE(schedsim::parse_schedule("replay:/tmp/t.trace", &config, &error));
+  EXPECT_EQ(config.mode, Mode::kReplay);
+  EXPECT_EQ(config.replay_path, "/tmp/t.trace");
+
+  EXPECT_FALSE(schedsim::parse_schedule("bogus:1", &config, &error));
+  EXPECT_FALSE(schedsim::parse_schedule("seed:x", &config, &error));
+  EXPECT_FALSE(schedsim::parse_schedule("seed:1;free", &config, &error));
+  EXPECT_FALSE(schedsim::parse_schedule("replay:", &config, &error));
+  EXPECT_FALSE(schedsim::parse_schedule("record:", &config, &error));
+  EXPECT_FALSE(schedsim::parse_schedule("seed:1;pct:9;horizon:4", &config, &error));
+}
+
+// ----------------------------------------------------------- trace format --
+
+[[nodiscard]] ScheduleTrace sample_trace() {
+  ScheduleTrace trace;
+  trace.strategy = "seed:7";
+  trace.entries = {
+      {{0, 'h', 0}, 0, Site::kPreParkYield, 9, 4},
+      {{1, 's', 4097}, 0, Site::kStreamOp, 2, 1},
+      {{0, 'h', 0}, 0, Site::kWaitallOrder, 3, 2},
+      {{0, 'h', 0}, 1, Site::kPreParkYield, 9, 0},
+      {{1, 's', 4097}, 1, Site::kStreamOp, 2, 0},
+  };
+  return trace;
+}
+
+TEST_F(SchedsimTest, TraceSerializeParseRoundTrip) {
+  const ScheduleTrace trace = sample_trace();
+  const std::string text = schedsim::serialize_trace(trace);
+  ScheduleTrace parsed;
+  std::string error;
+  ASSERT_TRUE(schedsim::parse_trace(text, &parsed, &error)) << error;
+  EXPECT_EQ(parsed.strategy, "seed:7");
+  ASSERT_EQ(parsed.entries.size(), trace.entries.size());
+  for (std::size_t i = 0; i < trace.entries.size(); ++i) {
+    EXPECT_EQ(parsed.entries[i].actor.key(), trace.entries[i].actor.key()) << i;
+    EXPECT_EQ(parsed.entries[i].seq, trace.entries[i].seq) << i;
+    EXPECT_EQ(parsed.entries[i].site, trace.entries[i].site) << i;
+    EXPECT_EQ(parsed.entries[i].candidates, trace.entries[i].candidates) << i;
+    EXPECT_EQ(parsed.entries[i].chosen, trace.entries[i].chosen) << i;
+  }
+}
+
+TEST_F(SchedsimTest, TraceParseRejectsMalformedDocuments) {
+  ScheduleTrace parsed;
+  std::string error;
+  EXPECT_FALSE(schedsim::parse_trace("", &parsed, &error));
+  EXPECT_FALSE(schedsim::parse_trace("not a trace\n", &parsed, &error));
+
+  const std::string header = "# cusan-schedule-trace v1\n";
+  EXPECT_TRUE(schedsim::parse_trace(header, &parsed, &error)) << error;
+
+  EXPECT_FALSE(schedsim::parse_trace(header + "d 0:h 0 nonsense 2 0\n", &parsed, &error));
+  EXPECT_TRUE(error.find("unknown site") != std::string::npos) << error;
+  EXPECT_FALSE(schedsim::parse_trace(header + "d 0:h 0 waitany 2 2\n", &parsed, &error));
+  EXPECT_TRUE(error.find("outside") != std::string::npos) << error;
+  EXPECT_FALSE(schedsim::parse_trace(header + "d 0:h 0 waitany 0 0\n", &parsed, &error));
+  EXPECT_FALSE(schedsim::parse_trace(header + "d 0:h 1 waitany 2 0\n", &parsed, &error));
+  EXPECT_TRUE(error.find("out of order") != std::string::npos) << error;
+  EXPECT_FALSE(schedsim::parse_trace(
+      header + "d 0:h 0 waitany 2 0\nd 0:h 0 waitany 2 0\n", &parsed, &error));
+  EXPECT_FALSE(schedsim::parse_trace(header + "d 0:h 0 waitany 2 0 junk\n", &parsed, &error));
+  EXPECT_FALSE(schedsim::parse_trace(header + "d badactor 0 waitany 2 0\n", &parsed, &error));
+
+  // Distinct sites of one actor are distinct streams: both start at seq 0.
+  EXPECT_TRUE(schedsim::parse_trace(
+      header + "d 0:h 0 waitany 2 0\nd 0:h 0 stream_op 2 1\nd 0:h 1 waitany 2 1\n", &parsed,
+      &error))
+      << error;
+}
+
+// ------------------------------------------------------ controller basics --
+
+/// A fixed synthetic query workload spanning several actors and sites.
+struct Query {
+  Site site;
+  ActorId actor;
+  int candidates;
+  int default_index;
+};
+
+[[nodiscard]] std::vector<Query> synthetic_queries() {
+  std::vector<Query> queries;
+  for (int round = 0; round < 50; ++round) {
+    queries.push_back({Site::kPreParkYield, {0, 'h', 0}, 9, 4});
+    queries.push_back({Site::kStreamOp, {0, 's', 1}, 2, 0});
+    queries.push_back({Site::kWaitallOrder, {1, 'h', 0}, 4, 0});
+    queries.push_back({Site::kWakeOrder, {1, 'h', 0}, 3, 0});
+    queries.push_back({Site::kWaitany, {0, 'h', 0}, 5, 0});
+  }
+  return queries;
+}
+
+[[nodiscard]] std::vector<int> run_queries(const std::vector<Query>& queries) {
+  auto& controller = Controller::instance();
+  std::vector<int> answers;
+  answers.reserve(queries.size());
+  for (const Query& q : queries) {
+    answers.push_back(controller.choose(q.site, q.actor, q.candidates, q.default_index));
+  }
+  return answers;
+}
+
+TEST_F(SchedsimTest, DisarmedControllerReturnsDefaults) {
+  Controller::instance().clear();
+  EXPECT_FALSE(Controller::armed());
+  for (const Query& q : synthetic_queries()) {
+    EXPECT_EQ(Controller::instance().choose(q.site, q.actor, q.candidates, q.default_index),
+              q.default_index);
+  }
+  EXPECT_EQ(Controller::instance().stats().decisions, 0u);  // never counted while disarmed
+}
+
+TEST_F(SchedsimTest, FreeWithRecordingKeepsDefaultsButRecords) {
+  Config config;
+  config.record = true;
+  Controller::instance().configure(config);
+  EXPECT_TRUE(Controller::armed());
+  const auto queries = synthetic_queries();
+  const auto answers = run_queries(queries);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(answers[i], queries[i].default_index) << i;
+  }
+  ScheduleTrace parsed;
+  std::string error;
+  ASSERT_TRUE(schedsim::parse_trace(Controller::instance().take_trace(), &parsed, &error))
+      << error;
+  EXPECT_EQ(parsed.entries.size(), queries.size());
+}
+
+TEST_F(SchedsimTest, SeedStrategyIsDeterministicAndPreempts) {
+  Config config;
+  config.mode = Mode::kSeed;
+  config.seed = 42;
+  const auto queries = synthetic_queries();
+
+  Controller::instance().configure(config);
+  const auto first = run_queries(queries);
+  EXPECT_GT(Controller::instance().stats().preemptions, 0u);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_GE(first[i], 0);
+    EXPECT_LT(first[i], queries[i].candidates);
+  }
+
+  Controller::instance().configure(config);
+  EXPECT_EQ(run_queries(queries), first);  // same seed, same answers
+
+  config.seed = 43;
+  Controller::instance().configure(config);
+  EXPECT_NE(run_queries(queries), first);  // 250 decisions: collision is ~impossible
+}
+
+TEST_F(SchedsimTest, SeedAnswersIndependentOfArrivalInterleaving) {
+  Config config;
+  config.mode = Mode::kSeed;
+  config.seed = 9;
+  const auto queries = synthetic_queries();
+
+  Controller::instance().configure(config);
+  const auto forward = run_queries(queries);
+
+  // Re-issue with the global arrival order permuted (stream-by-stream):
+  // per-stream answers must be unchanged, because each stream's decisions
+  // are numbered by its own counter, not by global arrival.
+  Controller::instance().configure(config);
+  std::vector<int> reordered(queries.size());
+  for (std::size_t start = 0; start < 5; ++start) {
+    for (std::size_t i = start; i < queries.size(); i += 5) {
+      reordered[i] = Controller::instance().choose(queries[i].site, queries[i].actor,
+                                                   queries[i].candidates,
+                                                   queries[i].default_index);
+    }
+  }
+  EXPECT_EQ(reordered, forward);
+}
+
+TEST_F(SchedsimTest, RecordThenReplayRoundTrips) {
+  Config config;
+  config.mode = Mode::kSeed;
+  config.seed = 1234;
+  config.record = true;
+  Controller::instance().configure(config);
+  const auto queries = synthetic_queries();
+  const auto recorded_answers = run_queries(queries);
+  const std::string trace = Controller::instance().take_trace();
+
+  std::string error;
+  ASSERT_TRUE(Controller::instance().configure_replay_text(trace, &error)) << error;
+  EXPECT_EQ(run_queries(queries), recorded_answers);
+  EXPECT_FALSE(Controller::instance().divergence().has_value());
+  EXPECT_EQ(Controller::instance().stats().replayed, queries.size());
+  EXPECT_EQ(Controller::instance().stats().underruns, 0u);
+}
+
+TEST_F(SchedsimTest, ReplayToleratesUnderrunPastTraceEnd) {
+  Config config;
+  config.record = true;
+  Controller::instance().configure(config);
+  const auto queries = synthetic_queries();
+  (void)run_queries(queries);
+  const std::string trace = Controller::instance().take_trace();
+
+  std::string error;
+  ASSERT_TRUE(Controller::instance().configure_replay_text(trace, &error)) << error;
+  (void)run_queries(queries);
+  // Extra queries past every stream's recording fall back to the default.
+  for (const Query& q : synthetic_queries()) {
+    EXPECT_EQ(Controller::instance().choose(q.site, q.actor, q.candidates, q.default_index),
+              q.default_index);
+  }
+  EXPECT_FALSE(Controller::instance().divergence().has_value());
+  EXPECT_GT(Controller::instance().stats().underruns, 0u);
+}
+
+TEST_F(SchedsimTest, TamperedTraceIsReportedAsDivergence) {
+  Config config;
+  config.record = true;
+  Controller::instance().configure(config);
+  const auto queries = synthetic_queries();
+  (void)run_queries(queries);
+  std::string trace = Controller::instance().take_trace();
+
+  // Tamper: the waitall_order stream recorded 4-candidate decisions; claim 3
+  // (still a well-formed document — only replay can catch the mismatch).
+  const std::size_t pos = trace.find("waitall_order 4");
+  ASSERT_NE(pos, std::string::npos);
+  trace.replace(pos, std::strlen("waitall_order 4"), "waitall_order 3");
+
+  obs::clear_diagnostics();
+  std::string error;
+  ASSERT_TRUE(Controller::instance().configure_replay_text(trace, &error)) << error;
+  (void)run_queries(queries);
+
+  const auto divergence = Controller::instance().divergence();
+  ASSERT_TRUE(divergence.has_value());
+  EXPECT_EQ(divergence->site, Site::kWaitallOrder);
+  EXPECT_EQ(divergence->expected_candidates, 3);
+  EXPECT_EQ(divergence->got_candidates, 4);
+  EXPECT_GT(Controller::instance().stats().divergences, 0u);
+
+  bool reported = false;
+  for (const obs::Diagnostic& d : obs::diagnostics()) {
+    if (d.id == "sched.divergence") {
+      reported = true;
+      EXPECT_EQ(d.severity, obs::Severity::kError);
+      EXPECT_TRUE(d.message.find("waitall_order") != std::string::npos) << d.message;
+    }
+  }
+  EXPECT_TRUE(reported);
+}
+
+// --------------------------------------- satellite 1: differential replay --
+
+/// Sorted diagnostic ids of everything emitted since the last clear — the
+/// "same reports, stable ids" half of verdict identity. Order is dropped
+/// because ranks emit concurrently; identity of the multiset is the promise.
+[[nodiscard]] std::vector<std::string> diagnostic_ids() {
+  std::vector<std::string> ids;
+  for (const obs::Diagnostic& d : obs::diagnostics()) {
+    ids.push_back(d.id);
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+TEST_F(SchedsimTest, DifferentialReplayOracleOverScenarioCorpus) {
+  const auto scenarios = testsuite::build_scenarios();
+  auto& controller = Controller::instance();
+
+  std::size_t tested = 0;
+  for (std::size_t i = 0; i < scenarios.size() && tested < 20; i += 3, ++tested) {
+    const testsuite::Scenario& scenario = scenarios[i];
+
+    Config config;
+    config.mode = Mode::kSeed;
+    config.seed = 1000 + i;
+    config.record = true;
+    controller.configure(config);
+    obs::clear_diagnostics();
+    const testsuite::ScenarioOutcome recorded =
+        testsuite::run_scenario_outcome(scenario, /*use_shadow_fast_path=*/true);
+    const std::vector<std::string> recorded_ids = diagnostic_ids();
+    const std::string trace = controller.take_trace();
+
+    std::string error;
+    ASSERT_TRUE(controller.configure_replay_text(trace, &error)) << scenario.name << ": " << error;
+    obs::clear_diagnostics();
+    const testsuite::ScenarioOutcome replayed =
+        testsuite::run_scenario_outcome(scenario, /*use_shadow_fast_path=*/true);
+
+    EXPECT_FALSE(controller.divergence().has_value())
+        << scenario.name << ": " << controller.divergence()->to_string();
+    EXPECT_EQ(replayed.races, recorded.races) << scenario.name;
+    EXPECT_EQ(replayed.tracked_bytes, recorded.tracked_bytes) << scenario.name;
+    EXPECT_EQ(replayed.elided_launches, recorded.elided_launches) << scenario.name;
+    EXPECT_EQ(replayed.elided_bytes, recorded.elided_bytes) << scenario.name;
+    EXPECT_EQ(diagnostic_ids(), recorded_ids) << scenario.name;
+  }
+  EXPECT_EQ(tested, 20u);
+}
+
+// --------------------------------------------- satellite 2: seed sweep ----
+
+[[nodiscard]] const testsuite::Scenario* find_scenario(
+    const std::vector<testsuite::Scenario>& scenarios, bool racy) {
+  for (const auto& scenario : scenarios) {
+    if (scenario.expect_race == racy) {
+      return &scenario;
+    }
+  }
+  return nullptr;
+}
+
+TEST_F(SchedsimTest, SeedSweepKeepsVerdictsScheduleIndependent) {
+  const auto scenarios = testsuite::build_scenarios();
+  const testsuite::Scenario* racy = find_scenario(scenarios, true);
+  const testsuite::Scenario* clean = find_scenario(scenarios, false);
+  ASSERT_NE(racy, nullptr);
+  ASSERT_NE(clean, nullptr);
+  auto& controller = Controller::instance();
+
+  std::size_t racy_detected = 0;
+  for (std::uint64_t seed = 1; seed <= 32; ++seed) {
+    Config config;
+    config.mode = Mode::kSeed;
+    config.seed = seed;
+    controller.configure(config);
+    if (testsuite::run_scenario_outcome(*racy, true).races > 0) {
+      ++racy_detected;
+    }
+    controller.configure(config);
+    EXPECT_EQ(testsuite::run_scenario_outcome(*clean, true).races, 0u)
+        << clean->name << " seed " << seed;
+  }
+  // The detector is schedule-independent by construction, so the race should
+  // be found under *every* seed; >= 1 is the engine's hard promise.
+  EXPECT_GE(racy_detected, 1u) << racy->name;
+  EXPECT_EQ(racy_detected, 32u) << racy->name;
+}
+
+// ------------------------------- satellite 3: pre-park yield replay ------
+
+TEST_F(SchedsimTest, WakeupHeavyWaitallRecordsAndReplaysPreParkDecisions) {
+  auto& controller = Controller::instance();
+  // Force every blocked wait through a perturbed pre-park phase: pct = the
+  // horizon makes the controller preempt at every decision point.
+  Config config;
+  config.mode = Mode::kSeed;
+  config.seed = 77;
+  config.pct_k = 64;
+  config.pct_horizon = 64;
+  config.record = true;
+  controller.configure(config);
+
+  // Wakeup-heavy all-to-all: every rank irecvs from and isends to every
+  // peer, then waitalls the whole batch — rank 0 staggers behind a blocking
+  // barrier-ish recv chain so peers park on their slots and wakeups fan out.
+  const auto all_to_all = [](capi::RankEnv& env) {
+    const int ranks = env.comm.size();
+    const int rank = env.rank();
+    std::vector<std::array<double, 8>> recv_bufs(static_cast<std::size_t>(ranks));
+    std::array<double, 8> send_buf{};
+    std::vector<mpisim::Request*> reqs;
+    for (int peer = 0; peer < ranks; ++peer) {
+      if (peer == rank) {
+        continue;
+      }
+      mpisim::Request* req = nullptr;
+      ASSERT_EQ(capi::mpi::irecv(env.comm, recv_bufs[static_cast<std::size_t>(peer)].data(), 8,
+                                 mpisim::Datatype::float64(), peer, 5, &req),
+                mpisim::MpiError::kSuccess);
+      reqs.push_back(req);
+    }
+    for (int peer = 0; peer < ranks; ++peer) {
+      if (peer == rank) {
+        continue;
+      }
+      mpisim::Request* req = nullptr;
+      ASSERT_EQ(capi::mpi::isend(env.comm, send_buf.data(), 8, mpisim::Datatype::float64(), peer,
+                                 5, &req),
+                mpisim::MpiError::kSuccess);
+      reqs.push_back(req);
+    }
+    ASSERT_EQ(capi::mpi::waitall(env.comm, reqs), mpisim::MpiError::kSuccess);
+  };
+
+  const auto recorded = capi::run_flavored(capi::Flavor::kMust, 4, all_to_all);
+  EXPECT_EQ(capi::total_races(recorded), 0u);
+  const std::string trace = controller.take_trace();
+
+  // The regression this guards: the pre-park yield phase must route through
+  // the controller (and waitall's processing order must too), so the trace
+  // of a wakeup-heavy run contains both decision streams.
+  EXPECT_TRUE(trace.find("pre_park_yield") != std::string::npos) << trace;
+  EXPECT_TRUE(trace.find("waitall_order") != std::string::npos) << trace;
+
+  std::string error;
+  ASSERT_TRUE(controller.configure_replay_text(trace, &error)) << error;
+  const auto replayed = capi::run_flavored(capi::Flavor::kMust, 4, all_to_all);
+  EXPECT_EQ(capi::total_races(replayed), 0u);
+  EXPECT_FALSE(controller.divergence().has_value())
+      << controller.divergence()->to_string();
+  EXPECT_GT(controller.stats().replayed, 0u);
+  for (const auto& result : replayed) {
+    EXPECT_TRUE(result.must_reports.empty());
+  }
+}
+
+}  // namespace

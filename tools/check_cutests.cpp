@@ -18,13 +18,32 @@
 // fault must still be surfaced through some channel, and no run may crash or
 // hang (pair with CUSAN_MPI_WATCHDOG_MS). This is the CI resilience leg.
 //
+// Schedule-exploration aware: with --schedules N each scenario is re-run N
+// more times under randomized PCT schedules (seed 1..N through the schedsim
+// controller) and every seed run's verdict is classified against the
+// free-schedule baseline:
+//
+//   identical      same race/no-race verdict — the expected outcome, since
+//                  verdicts must not depend on the explored interleaving
+//   new-true-race  a known-racy scenario whose race the default schedule
+//                  missed but this seed exposed (a detection win, not a bug)
+//   divergence-bug a false positive in a race-free scenario or a lost race —
+//                  schedule-dependent verdicts; counted as failures
+//
+// Non-identical seed runs can save their decision trace as a deterministic
+// reproducer (--schedule-dir=DIR; replay with CUSAN_SCHEDULE=replay:FILE).
+// Fault plans compose: a seed run with a fired fault is tagged `fault` and
+// exempt from classification, exactly like the baseline.
+//
 // With --json[=PATH] the same run is reported as one machine-readable JSON
 // document (per-scenario verdicts plus a summary block with the obs metrics
 // registry delta for the whole run), written to PATH or stdout.
 //
-// Usage: check_cutests [--json[=PATH]] [filter-substring]
+// Usage: check_cutests [--json[=PATH]] [--schedules=N] [--schedule-dir=DIR]
+//                      [filter-substring]
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -32,9 +51,19 @@
 #include "faultsim/injector.hpp"
 #include "obs/metrics.hpp"
 #include "obs/perfetto.hpp"
+#include "schedsim/controller.hpp"
 #include "testsuite/scenarios.hpp"
 
 namespace {
+
+/// One randomized-schedule re-run of a scenario.
+struct SeedRun {
+  std::uint64_t seed{0};
+  std::size_t races{0};
+  std::uint64_t decisions{0};    ///< choice points answered by the controller
+  std::uint64_t preemptions{0};  ///< decisions steered away from the default
+  const char* cls{"identical"};  ///< identical | new-true-race | divergence-bug | fault
+};
 
 struct ScenarioRecord {
   const testsuite::Scenario* scenario{nullptr};
@@ -43,7 +72,35 @@ struct ScenarioRecord {
   std::size_t faults_fired{0};
   bool diverged{false};
   bool ok{true};
+  std::vector<SeedRun> seed_runs;
+  std::size_t schedule_bugs{0};
+  std::size_t schedule_new_races{0};
 };
+
+/// Classify one seed run's verdict against the free-schedule baseline.
+[[nodiscard]] const char* classify_seed_run(const testsuite::Scenario& scenario,
+                                            std::size_t baseline_races, std::size_t seed_races) {
+  const bool baseline_racy = baseline_races > 0;
+  const bool seed_racy = seed_races > 0;
+  if (baseline_racy == seed_racy) {
+    return "identical";
+  }
+  if (seed_racy && scenario.expect_race) {
+    return "new-true-race";
+  }
+  return "divergence-bug";
+}
+
+/// File-system safe scenario name for reproducer trace paths.
+[[nodiscard]] std::string sanitize_name(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    if (c == '/' || c == ' ' || c == ':') {
+      c = '_';
+    }
+  }
+  return out;
+}
 
 [[nodiscard]] const char* verdict(const ScenarioRecord& r) {
   if (r.faults_fired > 0) {
@@ -70,8 +127,11 @@ void append_json_escaped(std::string& out, const std::string& text) {
 [[nodiscard]] std::string to_json(const std::vector<ScenarioRecord>& records,
                                   const obs::MetricsSnapshot& metrics_delta, int world_ranks,
                                   std::size_t failures, std::size_t divergences,
-                                  std::size_t faulted, std::size_t unsurfaced) {
+                                  std::size_t faulted, std::size_t unsurfaced,
+                                  std::size_t schedules, std::size_t schedule_bugs,
+                                  std::size_t schedule_new_races) {
   std::string out = "{\n  \"world_ranks\": " + std::to_string(world_ranks) +
+                    ",\n  \"schedules\": " + std::to_string(schedules) +
                     ",\n  \"scenarios\": [\n";
   for (std::size_t i = 0; i < records.size(); ++i) {
     const ScenarioRecord& r = records[i];
@@ -89,6 +149,21 @@ void append_json_escaped(std::string& out, const std::string& text) {
     out += ", \"elided_launches\": " + std::to_string(r.fast.elided_launches);
     out += ", \"elided_bytes\": " + std::to_string(r.fast.elided_bytes);
     out += ", \"faults_fired\": " + std::to_string(r.faults_fired);
+    if (!r.seed_runs.empty()) {
+      out += ", \"schedule_seeds\": [";
+      for (std::size_t s = 0; s < r.seed_runs.size(); ++s) {
+        const SeedRun& run = r.seed_runs[s];
+        out += "{\"seed\": " + std::to_string(run.seed);
+        out += ", \"races\": " + std::to_string(run.races);
+        out += ", \"decisions\": " + std::to_string(run.decisions);
+        out += ", \"preemptions\": " + std::to_string(run.preemptions);
+        out += ", \"class\": \"";
+        out += run.cls;
+        out += "\"}";
+        out += s + 1 < r.seed_runs.size() ? ", " : "";
+      }
+      out += "]";
+    }
     out += "}";
     out += i + 1 < records.size() ? ",\n" : "\n";
   }
@@ -97,6 +172,16 @@ void append_json_escaped(std::string& out, const std::string& text) {
   out += ", \"diverged\": " + std::to_string(divergences);
   out += ", \"faulted\": " + std::to_string(faulted);
   out += ", \"faults_unsurfaced\": " + std::to_string(unsurfaced);
+  out += ", \"schedule_runs\": " +
+         std::to_string(schedules == 0 ? 0 : [&] {
+           std::size_t total = 0;
+           for (const auto& r : records) {
+             total += r.seed_runs.size();
+           }
+           return total;
+         }());
+  out += ", \"schedule_bugs\": " + std::to_string(schedule_bugs);
+  out += ", \"schedule_new_races\": " + std::to_string(schedule_new_races);
   out += "},\n  \"metrics\": ";
   out += obs::MetricsRegistry::to_json(metrics_delta);
   out += "\n}\n";
@@ -108,6 +193,8 @@ void append_json_escaped(std::string& out, const std::string& text) {
 int main(int argc, char** argv) {
   bool json = false;
   std::string json_path;
+  std::size_t schedules = 0;
+  std::string schedule_dir;
   const char* filter = nullptr;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -116,6 +203,12 @@ int main(int argc, char** argv) {
     } else if (std::strncmp(arg, "--json=", 7) == 0) {
       json = true;
       json_path = arg + 7;
+    } else if (std::strncmp(arg, "--schedules=", 12) == 0) {
+      schedules = static_cast<std::size_t>(std::atoi(arg + 12));
+    } else if (std::strcmp(arg, "--schedules") == 0 && i + 1 < argc) {
+      schedules = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (std::strncmp(arg, "--schedule-dir=", 15) == 0) {
+      schedule_dir = arg + 15;
     } else {
       filter = arg;
     }
@@ -135,6 +228,15 @@ int main(int argc, char** argv) {
   const int world_ranks = capi::default_ranks();
   if (!json) {
     std::printf("-- world: %d ranks\n", world_ranks);
+    if (schedules > 0) {
+      std::printf("-- schedules: %zu randomized seed(s) per scenario\n", schedules);
+    }
+  }
+  auto& controller = schedsim::Controller::instance();
+  if (schedules > 0) {
+    // The sweep owns the controller for the whole run: baselines run with it
+    // disarmed, seed runs configure it per (scenario, seed).
+    controller.clear();
   }
 
   const auto scenarios = testsuite::build_scenarios();
@@ -155,6 +257,8 @@ int main(int argc, char** argv) {
   std::size_t failures = 0;
   std::size_t divergences = 0;
   std::size_t faulted = 0;
+  std::size_t schedule_bugs = 0;
+  std::size_t schedule_new_races = 0;
   std::size_t index = 0;
   std::uint64_t total_tracked = 0;
   std::uint64_t total_hits = 0;
@@ -187,6 +291,55 @@ int main(int argc, char** argv) {
     }
     record.diverged = record.fast.races != record.slow.races;
     record.ok = !record.diverged && testsuite::classified_correctly(*scenario, record.fast.races);
+    // Randomized-schedule sweep: re-run the scenario under PCT schedules and
+    // classify every seed's verdict against the baseline just computed.
+    for (std::size_t s = 1; s <= schedules; ++s) {
+      schedsim::Config sched_config;
+      sched_config.mode = schedsim::Mode::kSeed;
+      sched_config.seed = s;
+      sched_config.record = true;  // in-memory: take_trace() below
+      controller.configure(sched_config);
+      const std::size_t sched_fired_before = injector.fired_count();
+      const testsuite::ScenarioOutcome outcome =
+          testsuite::run_scenario_outcome(*scenario, /*use_shadow_fast_path=*/true);
+      const schedsim::Stats sched_stats = controller.stats();
+      SeedRun run;
+      run.seed = s;
+      run.races = outcome.races;
+      run.decisions = sched_stats.decisions;
+      run.preemptions = sched_stats.preemptions;
+      if (injector.fired_count() != sched_fired_before) {
+        run.cls = "fault";  // injected failures legitimately change verdicts
+      } else {
+        run.cls = classify_seed_run(*scenario, record.fast.races, outcome.races);
+      }
+      if (std::strcmp(run.cls, "divergence-bug") == 0) {
+        ++record.schedule_bugs;
+      } else if (std::strcmp(run.cls, "new-true-race") == 0) {
+        ++record.schedule_new_races;
+      }
+      if (std::strcmp(run.cls, "identical") != 0 && std::strcmp(run.cls, "fault") != 0 &&
+          !schedule_dir.empty()) {
+        // Save the decision trace: CUSAN_SCHEDULE=replay:FILE reproduces it.
+        const std::string path = schedule_dir + "/" + sanitize_name(scenario->name) + ".seed" +
+                                 std::to_string(s) + ".trace";
+        std::string error;
+        if (!obs::write_file(path, controller.take_trace(), &error)) {
+          std::fprintf(stderr, "--schedule-dir: %s\n", error.c_str());
+        } else if (!json) {
+          std::printf("  reproducer: %s\n", path.c_str());
+        }
+      }
+      record.seed_runs.push_back(run);
+    }
+    if (schedules > 0) {
+      controller.clear();
+      schedule_bugs += record.schedule_bugs;
+      schedule_new_races += record.schedule_new_races;
+      if (record.schedule_bugs > 0) {
+        record.ok = false;
+      }
+    }
     if (!record.ok) {
       ++failures;
     }
@@ -197,19 +350,32 @@ int main(int argc, char** argv) {
       const char* detail = "";
       if (record.diverged) {
         detail = "  [fast/slow shadow divergence]";
+      } else if (record.schedule_bugs > 0) {
+        detail = "  [schedule-dependent verdict]";
       } else if (!record.ok) {
         detail = scenario->expect_race ? "  [expected a race, none reported]"
                                        : "  [false positive report]";
       }
+      std::string sched_note;
+      if (!record.seed_runs.empty()) {
+        sched_note = " [schedules " + std::to_string(record.seed_runs.size()) + ": ";
+        if (record.schedule_bugs == 0 && record.schedule_new_races == 0) {
+          sched_note += "identical";
+        } else {
+          sched_note += std::to_string(record.schedule_bugs) + " bug(s), " +
+                        std::to_string(record.schedule_new_races) + " new race(s)";
+        }
+        sched_note += "]";
+      }
       std::printf(
           "%s: CuSanTest :: %s (%zu of %zu) [tracked %.1f KiB] [fastpath %llu hits / %llu "
-          "granules] [elided %llu launches / %.1f KiB]%s\n",
+          "granules] [elided %llu launches / %.1f KiB]%s%s\n",
           record.ok ? "PASS" : "FAIL", scenario->name.c_str(), index, selected.size(),
           static_cast<double>(record.fast.tracked_bytes) / 1024.0,
           static_cast<unsigned long long>(record.fast.fastpath_hits),
           static_cast<unsigned long long>(record.fast.fastpath_granules_elided),
           static_cast<unsigned long long>(record.fast.elided_launches),
-          static_cast<double>(record.fast.elided_bytes) / 1024.0, detail);
+          static_cast<double>(record.fast.elided_bytes) / 1024.0, sched_note.c_str(), detail);
       if (record.diverged) {
         std::printf("  fast path: %zu race(s); reference path: %zu race(s)\n", record.fast.races,
                     record.slow.races);
@@ -222,7 +388,8 @@ int main(int argc, char** argv) {
     const obs::MetricsSnapshot metrics_after = obs::MetricsRegistry::instance().snapshot();
     const std::string doc =
         to_json(records, obs::MetricsRegistry::diff(metrics_after, metrics_before), world_ranks,
-                failures, divergences, faulted, unsurfaced);
+                failures, divergences, faulted, unsurfaced, schedules, schedule_bugs,
+                schedule_new_races);
     if (json_path.empty()) {
       std::fputs(doc.c_str(), stdout);
     } else {
@@ -240,6 +407,10 @@ int main(int argc, char** argv) {
         static_cast<double>(total_tracked) / 1024.0, static_cast<unsigned long long>(total_hits),
         static_cast<unsigned long long>(total_elided_launches),
         static_cast<double>(total_elided_bytes) / 1024.0);
+    if (schedules > 0) {
+      std::printf("  Schedule runs: %zu\n  Schedule bugs: %zu\n  New races found: %zu\n",
+                  (selected.size() - faulted) * schedules, schedule_bugs, schedule_new_races);
+    }
     if (faulted_run) {
       std::printf("  Faulted: %zu\n  Faults fired: %zu\n  Faults unsurfaced: %zu\n", faulted,
                   injector.fired_count(), unsurfaced);

@@ -3,8 +3,14 @@
 // invariants (no crash/hang, unfired plans are verdict-invisible, every fired
 // fault is surfaced through some channel). See src/testsuite/fault_sweep.hpp.
 //
+// With --schedules N every (plan, scenario) run additionally repeats under N
+// seed-deterministic randomized schedules (via the schedsim controller), so
+// fault plans and schedule perturbations compose; the unfaulted baseline
+// stays on the free schedule, making invariant 2 also a schedule-independence
+// check.
+//
 // Usage: fault_sweep [--plans N] [--faults N] [--seed N] [--filter SUBSTR]
-//                    [--watchdog MS] [--metrics PATH] [--verbose]
+//                    [--watchdog MS] [--metrics PATH] [--schedules N] [--verbose]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -19,7 +25,7 @@ namespace {
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--plans N] [--faults N] [--seed N] [--filter SUBSTR] "
-               "[--watchdog MS] [--metrics PATH] [--verbose]\n",
+               "[--watchdog MS] [--metrics PATH] [--schedules N] [--verbose]\n",
                argv0);
   std::exit(2);
 }
@@ -70,6 +76,9 @@ int main(int argc, char** argv) {
       }
       metrics_path = value;
       ++i;
+    } else if (std::strcmp(arg, "--schedules") == 0) {
+      options.schedules = static_cast<int>(parse_long(argv[0], arg, value));
+      ++i;
     } else if (std::strcmp(arg, "--verbose") == 0) {
       options.verbose = true;
     } else {
@@ -77,15 +86,18 @@ int main(int argc, char** argv) {
       usage(argv[0]);
     }
   }
-  if (options.plans < 1 || options.faults_per_plan < 1 || options.watchdog.count() <= 0) {
-    std::fprintf(stderr, "--plans/--faults must be >= 1 and --watchdog must be > 0\n");
+  if (options.plans < 1 || options.faults_per_plan < 1 || options.watchdog.count() <= 0 ||
+      options.schedules < 0) {
+    std::fprintf(stderr,
+                 "--plans/--faults must be >= 1, --watchdog must be > 0, --schedules >= 0\n");
     return 2;
   }
 
-  std::printf("fault sweep: %d plan(s) x %d fault(s), seed %llu, watchdog %lld ms\n",
+  std::printf("fault sweep: %d plan(s) x %d fault(s), seed %llu, watchdog %lld ms, "
+              "%d schedule(s)\n",
               options.plans, options.faults_per_plan,
               static_cast<unsigned long long>(options.seed),
-              static_cast<long long>(options.watchdog.count()));
+              static_cast<long long>(options.watchdog.count()), options.schedules);
   const obs::MetricsSnapshot metrics_before = obs::MetricsRegistry::instance().snapshot();
   const testsuite::SweepStats stats = testsuite::run_fault_sweep(options);
   if (!metrics_path.empty()) {

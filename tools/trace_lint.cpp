@@ -1,16 +1,18 @@
 // Schema checker for the observability export artifacts: validates Chrome
-// trace_event JSON written via CUSAN_TRACE=perfetto:<path> and flat metrics
-// JSON written via CUSAN_METRICS=<path>. CI runs this over the testsuite
+// trace_event JSON written via CUSAN_TRACE=perfetto:<path>, flat metrics
+// JSON written via CUSAN_METRICS=<path>, and schedule decision traces
+// written via CUSAN_SCHEDULE=record:<path>. CI runs this over the testsuite
 // artifacts so a malformed export fails the build, not the person opening
-// ui.perfetto.dev.
+// ui.perfetto.dev (or replaying a trace).
 //
-// Usage: trace_lint [--trace FILE]... [--metrics FILE]...
+// Usage: trace_lint [--trace FILE]... [--metrics FILE]... [--schedule FILE]...
 // Exit 0 iff every file parses and matches its schema.
 #include <cstdio>
 #include <cstring>
 #include <string>
 
 #include "obs/jsonlint.hpp"
+#include "schedsim/trace.hpp"
 
 namespace {
 
@@ -33,7 +35,8 @@ bool read_file(const char* path, std::string* out) {
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::fprintf(stderr, "usage: %s [--trace FILE]... [--metrics FILE]...\n", argv[0]);
+    std::fprintf(stderr, "usage: %s [--trace FILE]... [--metrics FILE]... [--schedule FILE]...\n",
+                 argv[0]);
     return 2;
   }
   int failures = 0;
@@ -41,7 +44,8 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const bool is_trace = std::strcmp(argv[i], "--trace") == 0;
     const bool is_metrics = std::strcmp(argv[i], "--metrics") == 0;
-    if (!is_trace && !is_metrics) {
+    const bool is_schedule = std::strcmp(argv[i], "--schedule") == 0;
+    if (!is_trace && !is_metrics && !is_schedule) {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       return 2;
     }
@@ -58,11 +62,22 @@ int main(int argc, char** argv) {
     }
     std::string error;
     std::size_t count = 0;
-    const bool ok = is_trace ? obs::jsonlint::validate_chrome_trace(text, &error, &count)
-                             : obs::jsonlint::validate_metrics_json(text, &error, &count);
+    bool ok = false;
+    const char* unit = "event(s)";
+    if (is_trace) {
+      ok = obs::jsonlint::validate_chrome_trace(text, &error, &count);
+    } else if (is_metrics) {
+      ok = obs::jsonlint::validate_metrics_json(text, &error, &count);
+      unit = "metric(s)";
+    } else {
+      schedsim::ScheduleTrace trace;
+      ok = schedsim::parse_trace(text, &trace, &error);
+      count = trace.entries.size();
+      unit = "decision(s)";
+    }
     ++checked;
     if (ok) {
-      std::printf("OK: %s: %zu %s\n", path, count, is_trace ? "event(s)" : "metric(s)");
+      std::printf("OK: %s: %zu %s\n", path, count, unit);
     } else {
       std::printf("FAIL: %s: %s\n", path, error.c_str());
       ++failures;
