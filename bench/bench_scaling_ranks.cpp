@@ -9,11 +9,14 @@
 // results.
 //
 // Usage: bench_scaling_ranks [--smoke] [--max-ranks N] [--guard-only]
-//                            [--metrics PATH]
+//                            [--backend thread|proc|both] [--metrics PATH]
 //   --smoke      CI mode: ~20x fewer iterations, same code paths.
-//   --max-ranks  Cap the rank sweep (default 16).
+//   --max-ranks  Cap the rank sweep (default 16; 32/64 reach the wide
+//                shared-memory grids of the proc backend).
 //   --guard-only Run only the disabled-obs-hook and disarmed-schedule
 //                overhead guards (CI gate).
+//   --backend    Transport sweep: in-process threads (default), forked
+//                processes over shm rings, or both side by side.
 //   --metrics    Dump the sweep's metrics-registry delta as JSON to PATH.
 #include <cstdio>
 #include <cstring>
@@ -26,6 +29,7 @@
 #include "common/rng.hpp"
 #include "mpisim/counters.hpp"
 #include "mpisim/request.hpp"
+#include "mpisim/world.hpp"
 #include "obs_guard.hpp"
 #include "obs/metrics.hpp"
 #include "obs/perfetto.hpp"
@@ -140,12 +144,13 @@ BenchResult run_allreduce(capi::Flavor flavor, int ranks, const Workload& w) {
   return r;
 }
 
-void print_row(const char* pattern, const char* flavor, int ranks, const BenchResult& r) {
+void print_row(const char* backend, const char* pattern, const char* flavor, int ranks,
+               const BenchResult& r) {
   const auto& c = r.contention;
   std::printf(
-      "%-10s %-10s %5d | %10.0f ops/s | locks %10llu | wake %9llu (spur %8llu, bcast %6llu) | "
-      "anysrc %8llu\n",
-      pattern, flavor, ranks, r.ops / (r.seconds > 0 ? r.seconds : 1e-9),
+      "%-7s %-10s %-10s %5d | %10.0f ops/s | locks %10llu | wake %9llu (spur %8llu, bcast "
+      "%6llu) | anysrc %8llu\n",
+      backend, pattern, flavor, ranks, r.ops / (r.seconds > 0 ? r.seconds : 1e-9),
       static_cast<unsigned long long>(c.mailbox_locks),
       static_cast<unsigned long long>(c.wakeups_delivered),
       static_cast<unsigned long long>(c.wakeups_spurious),
@@ -160,6 +165,7 @@ int main(int argc, char** argv) {
   int max_ranks = 16;
   bool guard_only = false;
   std::string metrics_path;
+  std::string backend_arg = "thread";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       w.pingpong_roundtrips = 200;
@@ -171,7 +177,20 @@ int main(int argc, char** argv) {
       guard_only = true;
     } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
       metrics_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--backend") == 0 && i + 1 < argc) {
+      backend_arg = argv[++i];
     }
+  }
+  std::vector<mpisim::Backend> backends;
+  if (backend_arg == "thread") {
+    backends = {mpisim::Backend::kThread};
+  } else if (backend_arg == "proc") {
+    backends = {mpisim::Backend::kProc};
+  } else if (backend_arg == "both") {
+    backends = {mpisim::Backend::kThread, mpisim::Backend::kProc};
+  } else {
+    std::fprintf(stderr, "--backend must be thread, proc or both\n");
+    return 2;
   }
 
   {
@@ -201,18 +220,22 @@ int main(int argc, char** argv) {
 
   bench::print_header("bench_scaling_ranks — substrate rank scaling",
                       "engine scalability behind the paper's Fig. 12 sweeps");
-  std::printf("%-10s %-10s %5s |\n", "pattern", "flavor", "ranks");
+  std::printf("%-7s %-10s %-10s %5s |\n", "backend", "pattern", "flavor", "ranks");
 
   const capi::Flavor flavors[] = {capi::Flavor::kVanilla, capi::Flavor::kMustCusan};
-  for (const int ranks : {2, 4, 8, 16}) {
-    if (ranks > max_ranks) {
-      continue;
-    }
-    for (const capi::Flavor flavor : flavors) {
-      const char* fname = flavor == capi::Flavor::kVanilla ? "vanilla" : "must+cusan";
-      print_row("pingpong", fname, ranks, run_pingpong(flavor, ranks, w));
-      print_row("exchange", fname, ranks, run_exchange(flavor, ranks, w));
-      print_row("allreduce", fname, ranks, run_allreduce(flavor, ranks, w));
+  for (const mpisim::Backend backend : backends) {
+    const mpisim::ScopedBackend scoped(backend);
+    const char* bname = mpisim::to_string(backend);
+    for (const int ranks : {2, 4, 8, 16, 32, 64}) {
+      if (ranks > max_ranks) {
+        continue;
+      }
+      for (const capi::Flavor flavor : flavors) {
+        const char* fname = flavor == capi::Flavor::kVanilla ? "vanilla" : "must+cusan";
+        print_row(bname, "pingpong", fname, ranks, run_pingpong(flavor, ranks, w));
+        print_row(bname, "exchange", fname, ranks, run_exchange(flavor, ranks, w));
+        print_row(bname, "allreduce", fname, ranks, run_allreduce(flavor, ranks, w));
+      }
     }
   }
   if (!metrics_path.empty()) {

@@ -13,12 +13,18 @@ namespace {
   return ctx != nullptr ? ctx->must_rt() : nullptr;
 }
 
-/// Deliver the watchdog's deadlock verdict to MUST (one structured report
-/// per rank runtime). Returns `err` so callers can tail-call through it.
+/// Deliver a world-level verdict to MUST (one structured report per rank
+/// runtime): the watchdog's deadlock declaration, or — proc backend — the
+/// supervisor's rank-failure poisoning. Returns `err` so callers can
+/// tail-call through it.
 mpisim::MpiError note_deadlock(mpisim::Comm& comm, mpisim::MpiError err) {
   if (err == mpisim::MpiError::kDeadlock) {
     if (auto* m = must_rt()) {
       m->on_deadlock(comm.rank(), comm.deadlock_report());
+    }
+  } else if (err == mpisim::MpiError::kRankFailed) {
+    if (auto* m = must_rt()) {
+      m->on_rank_failure(comm.rank(), comm.failure_summary());
     }
   }
   return err;

@@ -1,0 +1,44 @@
+// Serialization of a rank's session output for the proc backend: the child
+// process packs its RankResult plus everything else that would otherwise be
+// lost with its address space — obs metric deltas accumulated since fork,
+// diagnostics it emitted, and its slice of the schedule-controller state —
+// into one blob published through mpisim::publish_result; the parent decodes
+// and merges after World::run. Parent and child are the same forked binary,
+// so fixed-layout counter structs travel as raw bytes (size-checked);
+// variable parts are length-prefixed.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "capi/context.hpp"
+#include "obs/diagnostics.hpp"
+#include "obs/metrics.hpp"
+#include "schedsim/controller.hpp"
+
+namespace capi::serde {
+
+/// Everything a proc-backend rank ships back to the supervisor's process.
+struct RankPayload {
+  RankResult result;
+  /// Per-metric increase in the child since fork (counters only move up
+  /// within a rank; gauge-style entries ship their child-side value).
+  obs::MetricsSnapshot metric_deltas;
+  /// Diagnostics emitted in the child (re-emitted parent-side without
+  /// re-bumping `diag.<id>` — the deltas above already carry those).
+  std::vector<obs::Diagnostic> diagnostics;
+  /// Schedule-controller slice: decisions this rank recorded, its stats,
+  /// and its latched divergence, if any.
+  std::string sched_trace;
+  schedsim::Stats sched_stats{};
+  std::optional<schedsim::Divergence> sched_divergence;
+};
+
+[[nodiscard]] std::vector<std::byte> encode(const RankPayload& payload);
+
+/// False on a truncated/mismatched blob (`out` may be partially filled).
+[[nodiscard]] bool decode(std::span<const std::byte> bytes, RankPayload* out);
+
+}  // namespace capi::serde

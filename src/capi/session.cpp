@@ -1,10 +1,13 @@
 #include "capi/session.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <mutex>
 
+#include "capi/result_serde.hpp"
 #include "faultsim/injector.hpp"
+#include "obs/diagnostics.hpp"
 #include "obs/metrics.hpp"
 #include "obs/perfetto.hpp"
 #include "obs/ring.hpp"
@@ -94,17 +97,70 @@ std::vector<RankResult> run_session(const SessionConfig& config, const RankMain&
   } else if (config.watchdog_timeout.count() < 0) {
     world.set_watchdog_timeout(std::chrono::milliseconds(0));
   }
+  const bool proc = world.backend() == mpisim::Backend::kProc;
   std::vector<RankResult> results(static_cast<std::size_t>(config.ranks));
   world.run([&](mpisim::Comm comm) {
+    // Proc backend: the rank is a forked process, so anything its tool stack
+    // produces must be shipped back explicitly. Baseline the fork-inherited
+    // obs state first; the deltas travel in the result blob.
+    obs::MetricsSnapshot metrics_base;
+    std::size_t diag_base = 0;
+    if (proc) {
+      metrics_base = obs::MetricsRegistry::instance().snapshot();
+      diag_base = obs::diagnostics().size();
+    }
     ToolContext ctx(comm.rank(), config.tools, config.device_profile, config.typedb,
                     config.devices_per_rank);
     ToolContext::Binder binder(ctx);
     RankEnv env{comm, ctx};
     rank_main(env);
-    // Collect results while the context is still alive; the barrier below is
-    // not needed since each rank only writes its own slot.
-    results[static_cast<std::size_t>(comm.rank())] = ctx.finalize();
+    if (!proc) {
+      // Collect results while the context is still alive; no barrier needed
+      // since each rank only writes its own slot.
+      results[static_cast<std::size_t>(comm.rank())] = ctx.finalize();
+      return;
+    }
+    serde::RankPayload payload;
+    payload.result = ctx.finalize();
+    payload.metric_deltas = obs::MetricsRegistry::diff(
+        obs::MetricsRegistry::instance().snapshot(), metrics_base);
+    const auto all_diags = obs::diagnostics();
+    payload.diagnostics.assign(
+        all_diags.begin() + static_cast<std::ptrdiff_t>(
+                                std::min(diag_base, all_diags.size())),
+        all_diags.end());
+    auto& controller = schedsim::Controller::instance();
+    if (schedsim::Controller::armed()) {
+      payload.sched_trace = controller.take_trace();
+      payload.sched_stats = controller.stats();
+      payload.sched_divergence = controller.divergence();
+    }
+    mpisim::publish_result(comm, serde::encode(payload));
   });
+  if (proc) {
+    for (int r = 0; r < config.ranks; ++r) {
+      serde::RankPayload payload;
+      const std::vector<std::byte>& blob = world.rank_result(r);
+      if (blob.empty() || !serde::decode(blob, &payload)) {
+        // The rank died (or was poisoned out) before finalize: its tool
+        // results are gone; the supervisor's failure report and the
+        // survivors' MUST reports carry the verdict.
+        results[static_cast<std::size_t>(r)].rank = r;
+        continue;
+      }
+      for (const auto& [name, delta] : payload.metric_deltas) {
+        obs::metric(name).add(delta);
+      }
+      for (obs::Diagnostic& diagnostic : payload.diagnostics) {
+        obs::reemit_imported_diagnostic(std::move(diagnostic));
+      }
+      if (schedsim::Controller::armed()) {
+        (void)schedsim::Controller::instance().absorb_child(
+            payload.sched_trace, payload.sched_stats, payload.sched_divergence);
+      }
+      results[static_cast<std::size_t>(r)] = std::move(payload.result);
+    }
+  }
   schedsim::Controller::instance().end_session();
   export_observability(obs_cfg);
   return results;

@@ -52,6 +52,8 @@ const char* to_string(Channel channel) {
       return "deadlock report";
     case Channel::kPerturbation:
       return "timing perturbation";
+    case Channel::kFailureReport:
+      return "rank-failure report";
   }
   return "?";
 }
@@ -209,6 +211,14 @@ std::vector<FiredFault> Injector::take_fired() {
   std::vector<FiredFault> out = std::move(fired_);
   fired_.clear();
   return out;
+}
+
+void Injector::import_fired(const std::vector<FiredFault>& entries) {
+  std::lock_guard lock(mutex_);
+  for (FiredFault entry : entries) {
+    entry.id = next_id_++;
+    fired_.push_back(entry);
+  }
 }
 
 }  // namespace faultsim

@@ -38,6 +38,7 @@ enum class Channel : std::uint8_t {
   kMustReport,      ///< surfaced as a MUST report
   kDeadlockReport,  ///< converted into a watchdog DeadlockReport
   kPerturbation,    ///< delay: timing-only, surfaced by construction
+  kFailureReport,   ///< rank_kill surfaced as a RankFailureReport (proc backend)
 };
 
 [[nodiscard]] const char* to_string(Channel channel);
@@ -93,6 +94,13 @@ class Injector {
   [[nodiscard]] std::size_t unsurfaced_count() const;
   /// Drain the ledger (sweep harness: per-run accounting).
   std::vector<FiredFault> take_fired();
+
+  /// Append fired faults probed in another process (proc-backend children
+  /// ship their ledgers at finalize; a killed rank's rank_kill record comes
+  /// through its shm slot). Ids are remapped into this process's sequence;
+  /// surfacing state is preserved. Emits no metrics or diagnostics — the
+  /// child's own were shipped alongside.
+  void import_fired(const std::vector<FiredFault>& entries);
 
  private:
   Injector() = default;

@@ -16,7 +16,7 @@ constexpr SiteName kSites[] = {
     {"memset", Site::kMemset},   {"kernel", Site::kKernel},
     {"send", Site::kSend},       {"recv", Site::kRecv},
     {"wait", Site::kWait},       {"barrier", Site::kBarrier},
-    {"collective", Site::kCollective},
+    {"collective", Site::kCollective}, {"rank_kill", Site::kRankKill},
 };
 
 [[nodiscard]] bool is_mpi_site(Site site) {
@@ -26,10 +26,15 @@ constexpr SiteName kSites[] = {
     case Site::kWait:
     case Site::kBarrier:
     case Site::kCollective:
+    case Site::kRankKill:
       return true;
     default:
       return false;
   }
+}
+
+[[nodiscard]] bool is_kill_action(Action action) {
+  return action == Action::kSigkill || action == Action::kSigabrt || action == Action::kHang;
 }
 
 [[nodiscard]] bool is_async_capable_site(Site site) {
@@ -92,6 +97,12 @@ const char* to_string(Action action) {
       return "delay";
     case Action::kStall:
       return "stall";
+    case Action::kSigkill:
+      return "sigkill";
+    case Action::kSigabrt:
+      return "sigabrt";
+    case Action::kHang:
+      return "hang";
   }
   return "?";
 }
@@ -224,6 +235,12 @@ FaultPlan::ParseResult FaultPlan::parse(std::string_view text, FaultPlan& out) {
       spec.action = Action::kAbort;
     } else if (rhs == "stall") {
       spec.action = Action::kStall;
+    } else if (rhs == "sigkill") {
+      spec.action = Action::kSigkill;
+    } else if (rhs == "sigabrt") {
+      spec.action = Action::kSigabrt;
+    } else if (rhs == "hang") {
+      spec.action = Action::kHang;
     } else if (rhs.substr(0, 6) == "delay:") {
       spec.action = Action::kDelay;
       std::string_view dur = rhs.substr(6);
@@ -256,6 +273,11 @@ FaultPlan::ParseResult FaultPlan::parse(std::string_view text, FaultPlan& out) {
     }
     if (spec.action == Action::kStall && !is_mpi_site(spec.site)) {
       return fail(spec_text, "'stall' applies to MPI sites only");
+    }
+    if (is_kill_action(spec.action) != (spec.site == Site::kRankKill)) {
+      return fail(spec_text, spec.site == Site::kRankKill
+                                 ? "rank_kill takes sigkill, sigabrt or hang"
+                                 : "sigkill/sigabrt/hang apply to rank_kill sites only");
     }
     if (spec.scope_kind == ScopeKind::kRank && !is_mpi_site(spec.site)) {
       return fail(spec_text, "rank scopes apply to MPI sites only");

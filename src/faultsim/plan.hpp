@@ -4,7 +4,7 @@
 //     site[@scope][#n[%k]]=action
 //
 //   site    malloc | memcpy | memset | kernel | send | recv | wait |
-//           barrier | collective
+//           barrier | collective | rank_kill
 //   scope   *            any instance (default)
 //           dev<N>       CUDA sites on device ordinal N
 //           stream<N>    CUDA sites on stream id N
@@ -19,6 +19,11 @@
 //           delay:<T>    sleep T (e.g. 5ms, 250us) before proceeding normally
 //           stall        the call never completes; the MPI watchdog converts
 //                        it into a DeadlockReport (MPI sites only)
+//           sigkill      the rank process dies instantly (rank_kill only;
+//           sigabrt      needs the proc backend — a thread-backend rank
+//           hang         cannot die without taking the world with it).
+//                        `hang` wedges the process: heartbeats stop and the
+//                        supervisor's timeout detection reaps it.
 //
 // Specs are separated by ';'. Example:
 //     malloc@dev0#3=oom;send@rank1#2=delay:5ms;kernel@stream2#1=abort
@@ -46,6 +51,7 @@ enum class Site : std::uint8_t {
   kWait,        ///< MPI_Wait / MPI_Waitall / MPI_Waitany
   kBarrier,     ///< MPI_Barrier
   kCollective,  ///< bcast/reduce/allreduce/(all)gather/scatter
+  kRankKill,    ///< n-th posted MPI operation of a rank process (proc backend)
 };
 
 enum class Action : std::uint8_t {
@@ -54,6 +60,9 @@ enum class Action : std::uint8_t {
   kAbort,  ///< asynchronous failure latching a sticky device error
   kDelay,  ///< timing perturbation, call otherwise succeeds
   kStall,  ///< call never completes (watchdog territory)
+  kSigkill,  ///< rank process killed with SIGKILL (rank_kill, proc backend)
+  kSigabrt,  ///< rank process raises SIGABRT (rank_kill, proc backend)
+  kHang,     ///< rank process wedges: heartbeats stop, supervisor reaps it
 };
 
 enum class ScopeKind : std::uint8_t { kAny, kDevice, kRank, kStream };

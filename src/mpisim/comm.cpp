@@ -12,7 +12,9 @@
 #include "common/assert.hpp"
 #include "common/clock.hpp"
 #include "faultsim/injector.hpp"
+#include "mpisim/comm_impl.hpp"
 #include "mpisim/counters.hpp"
+#include "mpisim/op_scope.hpp"
 #include "mpisim/request.hpp"
 #include "mpisim/wakeup.hpp"
 #include "obs/ring.hpp"
@@ -47,35 +49,8 @@ constexpr int kParkSpinYields = 4;
 /// of the recorded schedule instead of an uncontrolled busy-wait.
 constexpr int kMaxParkSpinYields = 8;
 
-/// The outermost public MPI call executing on this thread. Collectives and
-/// blocking receives are built from inner send/recv/wait calls: the label
-/// keeps DeadlockReports naming the user-visible operation, and suppresses
-/// fault-plan probes on the internal calls (one probe per user call).
-thread_local const char* t_op_label = nullptr;
-
-struct OpScope {
-  const char* prev;
-  bool outermost;
-  /// Outermost calls become spans on the rank's host track; inner calls
-  /// (collective building blocks) stay invisible, matching the label rule.
-  std::optional<obs::Span> span;
-  explicit OpScope(const char* label, int rank = -1)
-      : prev(t_op_label), outermost(t_op_label == nullptr) {
-    if (outermost) {
-      t_op_label = label;
-      if (obs::tracing_enabled()) {
-        span.emplace(rank, obs::EventKind::kMpi, obs::kHostTrack, label);
-      }
-    }
-  }
-  ~OpScope() { t_op_label = prev; }
-  OpScope(const OpScope&) = delete;
-  OpScope& operator=(const OpScope&) = delete;
-};
-
-[[nodiscard]] const char* current_op_label(const char* fallback) {
-  return t_op_label != nullptr ? t_op_label : fallback;
-}
+// OpScope / current_op_label moved to mpisim/op_scope.hpp (shared with the
+// proc backend).
 
 /// Watchdog timeout in the shared monotonic-clock unit (common::now_ns).
 [[nodiscard]] std::uint64_t timeout_as_ns(std::chrono::milliseconds timeout) {
@@ -85,16 +60,17 @@ struct OpScope {
 
 }  // namespace
 
-// The sharded communication engine. One Mailbox per destination rank, each
-// with its own lock, per-source FIFO sub-queues, and a channel epoch counter
-// that totally orders entries across the sub-queues (so wildcard matching
-// still picks the oldest, as a single merged queue would). A completion
-// signals only the involved rank's WaiterSlot; the sole broadcast is deadlock
-// declaration/poisoning, which every blocked rank must observe.
-class CommImpl {
+// The sharded in-process communication engine (thread backend). One Mailbox
+// per destination rank, each with its own lock, per-source FIFO sub-queues,
+// and a channel epoch counter that totally orders entries across the
+// sub-queues (so wildcard matching still picks the oldest, as a single
+// merged queue would). A completion signals only the involved rank's
+// WaiterSlot; the sole broadcast is deadlock declaration/poisoning, which
+// every blocked rank must observe.
+class ThreadCommImpl final : public CommImpl {
  public:
-  CommImpl(int size, std::shared_ptr<ProgressTracker> tracker, int comm_id,
-           std::shared_ptr<WaiterHub> hub)
+  ThreadCommImpl(int size, std::shared_ptr<ProgressTracker> tracker, int comm_id,
+                 std::shared_ptr<WaiterHub> hub)
       : size_(size),
         tracker_(std::move(tracker)),
         comm_id_(comm_id),
@@ -107,15 +83,15 @@ class CommImpl {
     }
   }
 
-  [[nodiscard]] int size() const { return size_; }
-  [[nodiscard]] int comm_id() const { return comm_id_; }
+  [[nodiscard]] int size() const override { return size_; }
+  [[nodiscard]] int comm_id() const override { return comm_id_; }
   [[nodiscard]] ProgressTracker* tracker() const { return tracker_.get(); }
 
-  [[nodiscard]] bool deadlocked() const {
+  [[nodiscard]] bool deadlocked() const override {
     return tracker_ != nullptr && tracker_->deadlocked();
   }
 
-  [[nodiscard]] DeadlockReport deadlock_report() const {
+  [[nodiscard]] DeadlockReport deadlock_report() const override {
     return tracker_ != nullptr ? tracker_->report() : DeadlockReport{};
   }
 
@@ -123,7 +99,7 @@ class CommImpl {
   void wake_all() { hub_->broadcast(); }
 
   MpiError post_send(int src, int dest, int tag, const void* buf, std::size_t count,
-                     const Datatype& type) {
+                     const Datatype& type) override {
     Message msg;
     msg.src = src;
     msg.tag = tag;
@@ -172,7 +148,7 @@ class CommImpl {
   }
 
   MpiError post_recv(int dest, int source, int tag, void* buf, std::size_t count,
-                     const Datatype& type, Request* request) {
+                     const Datatype& type, Request* request) override {
     PostedRecv posted;
     posted.source = source;
     posted.tag = tag;
@@ -256,7 +232,7 @@ class CommImpl {
     return MpiError::kSuccess;
   }
 
-  MpiError wait(int rank, Request** request, Status* status) {
+  MpiError wait(int rank, Request** request, Status* status) override {
     if (request == nullptr || *request == nullptr) {
       return MpiError::kRequestNull;
     }
@@ -264,10 +240,10 @@ class CommImpl {
     BlockedOp op;
     op.rank = rank;
     op.op = current_op_label("MPI_Wait");
-    op.peer = req->peer_;
-    op.tag = req->tag_;
+    op.peer = request_peer(req);
+    op.tag = request_tag(req);
     op.comm_id = comm_id_;
-    const MpiError blocked = blocked_wait(op, [req] { return req->complete(); });
+    const MpiError blocked = blocked_wait(op, [req] { return request_complete(req); });
     if (blocked != MpiError::kSuccess) {
       // Deadlock: the request stays pending (it can never complete); MUST's
       // finalize-time leak check will see and report it.
@@ -277,7 +253,7 @@ class CommImpl {
       }
       return blocked;
     }
-    const Status st = req->status_;
+    const Status st = request_status(req);
     if (status != nullptr) {
       *status = st;
     }
@@ -286,12 +262,12 @@ class CommImpl {
     return st.error;
   }
 
-  MpiError test(int rank, Request** request, bool* completed, Status* status) {
+  MpiError test(int rank, Request** request, bool* completed, Status* status) override {
     if (request == nullptr || *request == nullptr) {
       return MpiError::kRequestNull;
     }
     Request* req = *request;
-    if (!req->complete()) {
+    if (!request_complete(req)) {
       if (completed != nullptr) {
         *completed = false;
       }
@@ -308,8 +284,8 @@ class CommImpl {
           BlockedOp op;
           op.rank = rank;
           op.op = current_op_label("MPI_Test");
-          op.peer = req->peer_;
-          op.tag = req->tag_;
+          op.peer = request_peer(req);
+          op.tag = request_tag(req);
           op.comm_id = comm_id_;
           tracker_->soft_block(op);
           rl.soft_blocked = true;
@@ -336,7 +312,7 @@ class CommImpl {
       return MpiError::kSuccess;
     }
     clear_soft(rank);
-    const Status st = req->status_;
+    const Status st = request_status(req);
     if (completed != nullptr) {
       *completed = true;
     }
@@ -348,12 +324,7 @@ class CommImpl {
     return st.error;
   }
 
-  [[nodiscard]] Request* make_request(Request::Kind kind, const void* buf, std::size_t count,
-                                      const Datatype& type, int peer, int tag) {
-    return new Request(kind, buf, count, type, peer, tag);
-  }
-
-  MpiError waitany(int rank, std::span<Request*> requests, int* index, Status* status) {
+  MpiError waitany(int rank, std::span<Request*> requests, int* index, Status* status) override {
     if (index == nullptr) {
       return MpiError::kInvalidArg;
     }
@@ -372,12 +343,12 @@ class CommImpl {
     BlockedOp op;
     op.rank = rank;
     op.op = current_op_label("MPI_Waitany");
-    op.peer = first_pending->peer_;
-    op.tag = first_pending->tag_;
+    op.peer = request_peer(first_pending);
+    op.tag = request_tag(first_pending);
     op.comm_id = comm_id_;
     const MpiError blocked = blocked_wait(op, [&] {
       for (std::size_t i = 0; i < requests.size(); ++i) {
-        if (requests[i] != nullptr && requests[i]->complete()) {
+        if (requests[i] != nullptr && request_complete(requests[i])) {
           *index = static_cast<int>(i);
           return true;
         }
@@ -398,7 +369,7 @@ class CommImpl {
       // so the recorded choice stays valid on replay).
       std::vector<int> complete;
       for (std::size_t i = 0; i < requests.size(); ++i) {
-        if (requests[i] != nullptr && requests[i]->complete()) {
+        if (requests[i] != nullptr && request_complete(requests[i])) {
           complete.push_back(static_cast<int>(i));
         }
       }
@@ -411,7 +382,8 @@ class CommImpl {
     return wait(rank, &requests[static_cast<std::size_t>(*index)], status);
   }
 
-  MpiError probe(int rank, int source, int tag, bool blocking, bool* flag, Status* status) {
+  MpiError probe(int rank, int source, int tag, bool blocking, bool* flag,
+                 Status* status) override {
     Mailbox& box = *mailboxes_[static_cast<std::size_t>(rank)];
     // Envelope snapshot: the matched message cannot be referenced outside
     // the mailbox lock (the owning rank could consume it), so copy what
@@ -474,16 +446,16 @@ class CommImpl {
 
   /// Eager sends complete on the posting thread itself: the owner cannot be
   /// waiting on the request yet, so no wakeup is needed.
-  void complete_send_request(Request* req, std::size_t bytes) {
-    req->status_ = Status{-1, -1, bytes, MpiError::kSuccess};
-    req->complete_.store(true, std::memory_order_release);
+  void complete_send_request(Request* req, std::size_t bytes) override {
+    publish_status(req, Status{-1, -1, bytes, MpiError::kSuccess});
     note_progress();
   }
 
   /// An injected `stall` fault: park the calling rank as if the operation
   /// never completed, until the watchdog declares a deadlock. With no
   /// tracker the stall degrades to a synchronous failure (no hang).
-  MpiError stall(int rank, const char* op_name, int peer, int tag, std::uint64_t fault_id) {
+  MpiError stall(int rank, const char* op_name, int peer, int tag,
+                 std::uint64_t fault_id) override {
     auto& injector = faultsim::Injector::instance();
     if (tracker_ != nullptr && tracker_->timeout().count() > 0) {
       BlockedOp op;
@@ -713,10 +685,9 @@ class CommImpl {
     }
 
     CUSAN_ASSERT(posted.request != nullptr);
-    posted.request->status_ =
-        Status{msg.src, msg.tag, deliver_elems * elem_packed,
-               truncated ? MpiError::kTruncate : MpiError::kSuccess, mismatch};
-    posted.request->complete_.store(true, std::memory_order_release);
+    publish_status(posted.request,
+                   Status{msg.src, msg.tag, deliver_elems * elem_packed,
+                          truncated ? MpiError::kTruncate : MpiError::kSuccess, mismatch});
     note_progress();
   }
 
@@ -733,11 +704,11 @@ class CommImpl {
   /// Children share the parent's progress tracker AND waiter hub: a
   /// deadlock spanning communicators is still a deadlock of the one world,
   /// and a rank blocked on one communicator must be wakeable from another.
-  std::shared_ptr<CommImpl> dup_for_rank(int rank) {
+  std::shared_ptr<CommImpl> dup_for_rank(int rank) override {
     std::lock_guard lock(dup_mutex_);
     const std::size_t k = dup_counts_[static_cast<std::size_t>(rank)]++;
     if (k >= children_.size()) {
-      children_.push_back(std::make_shared<CommImpl>(
+      children_.push_back(std::make_shared<ThreadCommImpl>(
           size_, tracker_, comm_id_ + static_cast<int>(k) + 1, hub_));
     }
     return children_[k];
@@ -746,7 +717,7 @@ class CommImpl {
  private:
   std::mutex dup_mutex_;
   std::vector<std::size_t> dup_counts_;
-  std::vector<std::shared_ptr<CommImpl>> children_;
+  std::vector<std::shared_ptr<ThreadCommImpl>> children_;
 };
 
 std::shared_ptr<CommImpl> make_comm_impl(int size) {
@@ -755,8 +726,8 @@ std::shared_ptr<CommImpl> make_comm_impl(int size) {
 
 std::shared_ptr<CommImpl> make_comm_impl(int size, std::shared_ptr<ProgressTracker> tracker) {
   CUSAN_ASSERT(size > 0);
-  return std::make_shared<CommImpl>(size, std::move(tracker), /*comm_id=*/0,
-                                    std::make_shared<WaiterHub>(size));
+  return std::make_shared<ThreadCommImpl>(size, std::move(tracker), /*comm_id=*/0,
+                                          std::make_shared<WaiterHub>(size));
 }
 
 // -- Comm: fault-plan consultation -------------------------------------------------
@@ -819,6 +790,10 @@ bool Comm::deadlock_detected() const { return impl_ != nullptr && impl_->deadloc
 
 DeadlockReport Comm::deadlock_report() const {
   return impl_ != nullptr ? impl_->deadlock_report() : DeadlockReport{};
+}
+
+std::string Comm::failure_summary() const {
+  return impl_ != nullptr ? impl_->failure_summary() : std::string{};
 }
 
 MpiError Comm::dup(Comm* out) {

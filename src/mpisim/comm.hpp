@@ -36,6 +36,7 @@ enum class MpiError : int {
   kInvalidRank,
   kRequestNull,
   kDeadlock,     ///< watchdog declared a deadlock; the blocking call was abandoned
+  kRankFailed,   ///< a peer rank died (proc backend); comms are poisoned ULFM-style
   kOther,        ///< injected fault (MPI_ERR_OTHER)
 };
 
@@ -53,6 +54,8 @@ enum class MpiError : int {
       return "MPI_ERR_REQUEST";
     case MpiError::kDeadlock:
       return "MPI_ERR_DEADLOCK";
+    case MpiError::kRankFailed:
+      return "MPI_ERR_PROC_FAILED";
     case MpiError::kOther:
       return "MPI_ERR_OTHER";
   }
@@ -156,6 +159,9 @@ class Comm {
   /// The per-rank blocked-op table captured at declaration time (empty if
   /// no deadlock was declared).
   [[nodiscard]] DeadlockReport deadlock_report() const;
+  /// One-line summary of the rank failure that poisoned this world ("" when
+  /// none; only the proc backend can observe one).
+  [[nodiscard]] std::string failure_summary() const;
 
  private:
   [[nodiscard]] bool rank_valid(int r) const { return r >= 0 && r < size(); }

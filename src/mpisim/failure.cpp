@@ -1,0 +1,86 @@
+#include "mpisim/failure.hpp"
+
+#include <csignal>
+
+namespace mpisim {
+
+const char* to_string(FailureKind kind) {
+  switch (kind) {
+    case FailureKind::kSignal:
+      return "signal";
+    case FailureKind::kHeartbeatTimeout:
+      return "heartbeat-timeout";
+    case FailureKind::kExitCode:
+      return "exit-code";
+  }
+  return "?";
+}
+
+std::string signal_name(int sig) {
+  switch (sig) {
+    case SIGKILL:
+      return "SIGKILL";
+    case SIGABRT:
+      return "SIGABRT";
+    case SIGSEGV:
+      return "SIGSEGV";
+    case SIGBUS:
+      return "SIGBUS";
+    case SIGILL:
+      return "SIGILL";
+    case SIGFPE:
+      return "SIGFPE";
+    case SIGTERM:
+      return "SIGTERM";
+    case SIGINT:
+      return "SIGINT";
+    case SIGHUP:
+      return "SIGHUP";
+    case SIGPIPE:
+      return "SIGPIPE";
+    case SIGQUIT:
+      return "SIGQUIT";
+    case SIGTRAP:
+      return "SIGTRAP";
+    default:
+      return "SIG" + std::to_string(sig);
+  }
+}
+
+std::string RankFailureReport::to_string() const {
+  std::string out = "rank " + std::to_string(rank) + " ";
+  switch (kind) {
+    case FailureKind::kSignal:
+      out += "killed by " + signal_name(signal);
+      break;
+    case FailureKind::kHeartbeatTimeout:
+      out += "stopped heartbeating (hang; killed with " + signal_name(signal) + ")";
+      break;
+    case FailureKind::kExitCode:
+      out += "exited with code " + std::to_string(exit_code);
+      break;
+  }
+  if (!site.empty()) {
+    out += " in " + site;
+  }
+  if (inflight_total > 0) {
+    out += " (" + std::to_string(inflight_total) + " in-flight:";
+    for (const InflightOp& op : inflight) {
+      out += op.is_send ? " send->" : " recv<-";
+      out += op.peer >= 0 ? std::to_string(op.peer) : "*";
+      out += "#";
+      out += op.tag >= 0 ? std::to_string(op.tag) : "*";
+      out += ",";
+    }
+    if (out.back() == ',') {
+      out.pop_back();
+    }
+    if (inflight.size() < inflight_total) {
+      out += ", …";
+    }
+    out += ")";
+  }
+  return out;
+}
+
+}  // namespace mpisim

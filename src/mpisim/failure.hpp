@@ -1,0 +1,48 @@
+// Structured rank-failure reporting for the proc backend: when a forked
+// rank dies (signal, abnormal exit) or stops heartbeating, the supervisor
+// classifies the death, poisons the world ULFM-style, and surfaces one
+// RankFailureReport — failed rank, cause, signal name, the last MPI site
+// the rank entered, and its in-flight requests at the time of death.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mpisim {
+
+enum class FailureKind : std::int32_t {
+  kSignal = 0,            ///< reaped with WIFSIGNALED
+  kHeartbeatTimeout = 1,  ///< stopped stamping heartbeats (hang); supervisor killed it
+  kExitCode = 2,          ///< exited with a nonzero status that is not an app error
+};
+
+[[nodiscard]] const char* to_string(FailureKind kind);
+
+/// Human name for a terminating signal ("SIGKILL", …; "SIG<n>" fallback).
+[[nodiscard]] std::string signal_name(int sig);
+
+/// One in-flight request of the failed rank (kind + envelope).
+struct InflightOp {
+  bool is_send{false};
+  int peer{-1};
+  int tag{-1};
+};
+
+struct RankFailureReport {
+  int rank{-1};
+  FailureKind kind{FailureKind::kSignal};
+  int signal{0};     ///< terminating signal (kind kSignal / kHeartbeatTimeout's SIGKILL)
+  int exit_code{0};  ///< exit status (kind kExitCode)
+  std::uint64_t last_heartbeat_ns{0};
+  std::uint64_t detected_ns{0};
+  std::string site;  ///< last MPI operation the rank entered ("" = never entered MPI)
+  std::vector<InflightOp> inflight;
+  std::size_t inflight_total{0};  ///< may exceed inflight.size() (bounded table)
+
+  /// One-line summary, e.g.
+  /// "rank 3 killed by SIGKILL in MPI_Allreduce (2 in-flight: send->0#7, recv<-1#*)".
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace mpisim

@@ -1,0 +1,45 @@
+// Outermost-MPI-call tracking shared by every communicator backend.
+//
+// Collectives and blocking receives are built from inner send/recv/wait
+// calls: the label keeps DeadlockReports (and the proc backend's per-rank
+// blocked-site stamps) naming the user-visible operation, and suppresses
+// fault-plan probes on the internal calls (one probe per user call).
+#pragma once
+
+#include <optional>
+
+#include "obs/ring.hpp"
+
+namespace mpisim {
+
+namespace detail {
+/// The outermost public MPI call executing on this thread (null between
+/// calls). One slot per thread is enough: ranks never nest worlds.
+inline thread_local const char* t_op_label = nullptr;
+}  // namespace detail
+
+struct OpScope {
+  const char* prev;
+  bool outermost;
+  /// Outermost calls become spans on the rank's host track; inner calls
+  /// (collective building blocks) stay invisible, matching the label rule.
+  std::optional<obs::Span> span;
+  explicit OpScope(const char* label, int rank = -1)
+      : prev(detail::t_op_label), outermost(detail::t_op_label == nullptr) {
+    if (outermost) {
+      detail::t_op_label = label;
+      if (obs::tracing_enabled()) {
+        span.emplace(rank, obs::EventKind::kMpi, obs::kHostTrack, label);
+      }
+    }
+  }
+  ~OpScope() { detail::t_op_label = prev; }
+  OpScope(const OpScope&) = delete;
+  OpScope& operator=(const OpScope&) = delete;
+};
+
+[[nodiscard]] inline const char* current_op_label(const char* fallback) {
+  return detail::t_op_label != nullptr ? detail::t_op_label : fallback;
+}
+
+}  // namespace mpisim

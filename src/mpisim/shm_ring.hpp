@@ -1,0 +1,152 @@
+// SPSC byte ring over raw shared memory: one producer rank, one consumer
+// rank, variable-length records. Records are always contiguous (a producer
+// that would wrap publishes a pad record to the end of the buffer first),
+// so payloads can be packed into and unpacked straight out of the mapped
+// segment — the "map once" eager path.
+//
+// Publishing protocol: the producer memcpys the whole record (header
+// included) into the ring, then advances `head` with one release store;
+// the consumer sees either the old head (no record) or the new head (whole
+// record), so a producer killed mid-publish leaves the ring fully intact —
+// the half-written bytes are behind `head` and invisible. That is the
+// orphan-ring recovery invariant: no lock is ever held in shared memory,
+// and a dead peer can only ever starve its own channels, which the
+// supervisor's failure poisoning then unblocks.
+//
+// Capacity and every record size are multiples of 64, so the tail-end
+// remainder of the buffer always has room for a pad record header.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+
+namespace mpisim::shmring {
+
+inline constexpr std::uint32_t kAlign = 64;
+
+struct alignas(64) RingHdr {
+  std::atomic<std::uint64_t> head;  ///< bytes ever published (producer-owned)
+  char pad0[56];
+  std::atomic<std::uint64_t> tail;  ///< bytes ever consumed (consumer-owned)
+  char pad1[56];
+  std::uint32_t capacity;           ///< data bytes, multiple of 64
+  char pad2[60];
+};
+static_assert(sizeof(RingHdr) == 192);
+
+enum class RecordKind : std::uint16_t {
+  kPad = 0,      ///< skip to the start of the buffer
+  kMessage = 1,  ///< eager payload inline
+  kRendezvous = 2,  ///< body is the NUL-terminated rendezvous segment name
+};
+
+struct RecordHdr {
+  std::uint32_t size;           ///< total record bytes incl. header, 64-aligned
+  RecordKind kind;
+  std::uint16_t reserved;
+  std::int32_t tag;
+  std::int32_t comm_id;
+  std::uint64_t payload_bytes;  ///< packed payload size (rendezvous: in its segment)
+  std::uint32_t sig_count;      ///< scalar signature entries following the header
+  std::uint32_t body_offset;    ///< record-relative offset of the body
+};
+static_assert(sizeof(RecordHdr) == 32);
+
+/// A producer's or consumer's view: header plus the data area that follows.
+struct Ring {
+  RingHdr* hdr{nullptr};
+  std::byte* data{nullptr};
+
+  [[nodiscard]] bool valid() const { return hdr != nullptr; }
+};
+
+[[nodiscard]] inline std::size_t ring_footprint(std::uint32_t capacity) {
+  return sizeof(RingHdr) + capacity;
+}
+
+inline void init(Ring ring, std::uint32_t capacity) {
+  ring.hdr->head.store(0, std::memory_order_relaxed);
+  ring.hdr->tail.store(0, std::memory_order_relaxed);
+  ring.hdr->capacity = capacity;
+}
+
+[[nodiscard]] inline Ring ring_at(std::byte* base) {
+  return Ring{reinterpret_cast<RingHdr*>(base), base + sizeof(RingHdr)};
+}
+
+[[nodiscard]] constexpr std::uint32_t align_up(std::uint64_t n, std::uint64_t a) {
+  return static_cast<std::uint32_t>((n + a - 1) / a * a);
+}
+
+/// Total record size for a signature + body of the given lengths.
+[[nodiscard]] constexpr std::uint32_t record_size(std::size_t sig_count, std::size_t body_bytes) {
+  const std::uint64_t body_off = align_up(sizeof(RecordHdr) + sig_count, 8);
+  return align_up(body_off + body_bytes, kAlign);
+}
+
+/// Try to publish one record; false when the ring lacks space (caller backs
+/// off, drains its own rings and re-checks poison). `hdr.size`,
+/// `hdr.body_offset` are filled in here.
+inline bool try_publish(Ring ring, RecordHdr hdr, std::span<const std::byte> sig,
+                        std::span<const std::byte> body) {
+  const std::uint64_t cap = ring.hdr->capacity;
+  hdr.sig_count = static_cast<std::uint32_t>(sig.size());
+  hdr.body_offset = align_up(sizeof(RecordHdr) + sig.size(), 8);
+  hdr.size = align_up(hdr.body_offset + body.size(), kAlign);
+  std::uint64_t head = ring.hdr->head.load(std::memory_order_relaxed);
+  const std::uint64_t tail = ring.hdr->tail.load(std::memory_order_acquire);
+  std::uint64_t off = head % cap;
+  const std::uint64_t contig = cap - off;
+  const std::uint64_t pad = hdr.size > contig ? contig : 0;
+  if (head + pad + hdr.size - tail > cap) {
+    return false;
+  }
+  if (pad != 0) {
+    auto* pad_hdr = reinterpret_cast<RecordHdr*>(ring.data + off);
+    std::memset(pad_hdr, 0, sizeof(RecordHdr));
+    pad_hdr->size = static_cast<std::uint32_t>(pad);
+    pad_hdr->kind = RecordKind::kPad;
+    head += pad;
+    off = 0;
+  }
+  std::byte* dst = ring.data + off;
+  std::memcpy(dst, &hdr, sizeof(RecordHdr));
+  if (!sig.empty()) {
+    std::memcpy(dst + sizeof(RecordHdr), sig.data(), sig.size());
+  }
+  if (!body.empty()) {
+    std::memcpy(dst + hdr.body_offset, body.data(), body.size());
+  }
+  ring.hdr->head.store(head + hdr.size, std::memory_order_release);
+  return true;
+}
+
+/// Drain every complete record, invoking
+/// `fn(const RecordHdr&, const std::byte* sig, const std::byte* body)` with
+/// pointers into the mapped ring (valid only during the call — the tail
+/// advances right after, releasing the space to the producer). Returns the
+/// number of message records consumed.
+template <typename Fn>
+inline int drain(Ring ring, Fn&& fn) {
+  const std::uint64_t cap = ring.hdr->capacity;
+  std::uint64_t tail = ring.hdr->tail.load(std::memory_order_relaxed);
+  const std::uint64_t head = ring.hdr->head.load(std::memory_order_acquire);
+  int consumed = 0;
+  while (tail < head) {
+    const auto* hdr = reinterpret_cast<const RecordHdr*>(ring.data + tail % cap);
+    const std::uint32_t size = hdr->size;
+    if (hdr->kind != RecordKind::kPad) {
+      const auto* rec = ring.data + tail % cap;
+      fn(*hdr, rec + sizeof(RecordHdr), rec + hdr->body_offset);
+      ++consumed;
+    }
+    tail += size;
+    ring.hdr->tail.store(tail, std::memory_order_release);
+  }
+  return consumed;
+}
+
+}  // namespace mpisim::shmring

@@ -1,21 +1,91 @@
 #include "mpisim/world.hpp"
 
+#include <cstdlib>
+#include <cstring>
 #include <exception>
+#include <mutex>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
 #include "common/assert.hpp"
+#include "mpisim/proc_comm.hpp"
+#include "mpisim/supervisor.hpp"
 
 namespace mpisim {
 
-World::World(int size)
-    : size_(size),
-      tracker_(std::make_shared<ProgressTracker>(size)),
-      impl_(make_comm_impl(size, tracker_)) {
-  CUSAN_ASSERT_MSG(size > 0, "world size must be positive");
+namespace {
+
+std::optional<Backend> g_backend_override;
+
+// publish_result in thread mode: ranks are threads of this process, so the
+// blob goes straight into the owning World (one world runs at a time per
+// process in practice, but a registry keyed by tracker keeps this honest).
+std::mutex g_thread_results_mutex;
+World* g_running_thread_world = nullptr;
+
+}  // namespace
+
+Backend default_backend() {
+  if (g_backend_override.has_value()) {
+    return *g_backend_override;
+  }
+  const char* env = std::getenv("CUSAN_MPI_BACKEND");
+  if (env != nullptr && std::strcmp(env, "proc") == 0) {
+    return Backend::kProc;
+  }
+  return Backend::kThread;
 }
 
+ScopedBackend::ScopedBackend(Backend backend) : prev_(g_backend_override) {
+  g_backend_override = backend;
+}
+
+ScopedBackend::~ScopedBackend() { g_backend_override = prev_; }
+
+void publish_result(const Comm& comm, std::span<const std::byte> bytes) {
+  if (ProcTransport* t = proc::current_transport()) {
+    proc::publish_result(*t, bytes);
+    return;
+  }
+  std::lock_guard<std::mutex> lock(g_thread_results_mutex);
+  World* world = g_running_thread_world;
+  CUSAN_ASSERT_MSG(world != nullptr, "publish_result outside World::run");
+  world->thread_results_[static_cast<std::size_t>(comm.rank())].assign(bytes.begin(),
+                                                                       bytes.end());
+}
+
+World::World(int size) : World(size, default_backend()) {}
+
+World::World(int size, Backend backend)
+    : size_(size),
+      backend_(backend),
+      heartbeat_(proc::default_heartbeat_interval()),
+      tracker_(std::make_shared<ProgressTracker>(size)) {
+  CUSAN_ASSERT_MSG(size > 0, "world size must be positive");
+  if (backend_ == Backend::kThread) {
+    impl_ = make_comm_impl(size, tracker_);
+  }
+  // Proc backend: no in-process comm state; everything lives in the world
+  // segment the Supervisor creates per run().
+  thread_results_.resize(static_cast<std::size_t>(size));
+}
+
+World::~World() = default;
+
 void World::run(const std::function<void(Comm)>& rank_main) {
+  if (backend_ == Backend::kProc) {
+    run_procs(rank_main);
+  } else {
+    run_threads(rank_main);
+  }
+}
+
+void World::run_threads(const std::function<void(Comm)>& rank_main) {
+  {
+    std::lock_guard<std::mutex> lock(g_thread_results_mutex);
+    g_running_thread_world = this;
+  }
   std::vector<std::thread> threads;
   std::vector<std::exception_ptr> failures(static_cast<std::size_t>(size_));
   threads.reserve(static_cast<std::size_t>(size_));
@@ -33,11 +103,45 @@ void World::run(const std::function<void(Comm)>& rank_main) {
   for (auto& t : threads) {
     t.join();
   }
+  {
+    std::lock_guard<std::mutex> lock(g_thread_results_mutex);
+    g_running_thread_world = nullptr;
+  }
   for (const auto& failure : failures) {
     if (failure) {
       std::rethrow_exception(failure);
     }
   }
+}
+
+void World::run_procs(const std::function<void(Comm)>& rank_main) {
+  Supervisor::Options options;
+  options.world_size = size_;
+  options.watchdog = tracker_->timeout();
+  options.heartbeat = heartbeat_;
+  supervisor_ = std::make_unique<Supervisor>(options);
+  supervisor_->run(rank_main);
+  failure_ = supervisor_->failure_report();
+  if (!supervisor_->first_app_error().empty()) {
+    // Mirror the thread backend: a throwing rank_main surfaces here. The
+    // original exception type died with the child; the message survives.
+    throw std::runtime_error(supervisor_->first_app_error());
+  }
+}
+
+DeadlockReport World::deadlock_report() const {
+  if (backend_ == Backend::kProc) {
+    return supervisor_ ? supervisor_->deadlock_report() : DeadlockReport{};
+  }
+  return tracker_->report();
+}
+
+const std::vector<std::byte>& World::rank_result(int rank) const {
+  CUSAN_ASSERT_MSG(rank >= 0 && rank < size_, "rank out of range");
+  if (backend_ == Backend::kProc && supervisor_) {
+    return supervisor_->rank_result(rank);
+  }
+  return thread_results_[static_cast<std::size_t>(rank)];
 }
 
 }  // namespace mpisim

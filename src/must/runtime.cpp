@@ -27,6 +27,8 @@ namespace {
       return "must.signature_mismatch";
     case ReportKind::kDeadlock:
       return "must.deadlock";
+    case ReportKind::kRankFailure:
+      return "must.rank_failure";
   }
   return "must.report";
 }
@@ -262,6 +264,18 @@ void Runtime::on_deadlock(int rank, const mpisim::DeadlockReport& report) {
   reports_.push_back(MustReport{ReportKind::kDeadlock,
                                 own != nullptr ? own->op : std::string("MPI (blocked)"),
                                 report.to_string()});
+  emit_report_diagnostic(reports_.back());
+}
+
+void Runtime::on_rank_failure(int rank, const std::string& detail) {
+  (void)rank;
+  if (rank_failure_reported_) {
+    return;
+  }
+  rank_failure_reported_ = true;
+  ++counters_.rank_failures_reported;
+  reports_.push_back(MustReport{ReportKind::kRankFailure, "MPI (poisoned)",
+                                detail.empty() ? "a peer rank process died" : detail});
   emit_report_diagnostic(reports_.back());
 }
 

@@ -43,6 +43,7 @@ enum class ReportKind : std::uint8_t {
   kRequestLeak,         ///< non-blocking request never completed (missing Wait/Test)
   kSignatureMismatch,   ///< sender/receiver type signatures disagree
   kDeadlock,            ///< the progress watchdog declared a deadlock
+  kRankFailure,         ///< a peer rank process died (proc backend, ULFM-style)
 };
 
 [[nodiscard]] constexpr const char* to_string(ReportKind kind) {
@@ -59,6 +60,8 @@ enum class ReportKind : std::uint8_t {
       return "send/recv type signature mismatch";
     case ReportKind::kDeadlock:
       return "deadlock (no rank can make progress)";
+    case ReportKind::kRankFailure:
+      return "rank failure (peer process died)";
   }
   return "?";
 }
@@ -78,6 +81,7 @@ struct MustCounters {
   std::uint64_t request_leaks{};
   std::uint64_t signature_mismatches{};
   std::uint64_t deadlocks_reported{};
+  std::uint64_t rank_failures_reported{};
 };
 
 /// Visit every counter as (name, value) — the one enumeration the obs
@@ -92,6 +96,7 @@ void for_each_counter(const MustCounters& c, Fn&& fn) {
   fn("request_leaks", c.request_leaks);
   fn("signature_mismatches", c.signature_mismatches);
   fn("deadlocks_reported", c.deadlocks_reported);
+  fn("rank_failures_reported", c.rank_failures_reported);
 }
 
 class Runtime {
@@ -126,6 +131,9 @@ class Runtime {
   /// rank runtime (later calls on the same poisoned communicator are
   /// deduplicated).
   void on_deadlock(int rank, const mpisim::DeadlockReport& report);
+  /// A blocking call returned MPI_ERR_PROC_FAILED: a peer rank died and the
+  /// supervisor poisoned the world. One structured report per rank runtime.
+  void on_rank_failure(int rank, const std::string& detail);
 
   /// Inspect a completed receive's status for the piggybacked signature
   /// verdict (MUST's send/recv type matching).
@@ -178,6 +186,7 @@ class Runtime {
   std::vector<rsan::CtxId> fiber_pool_;
   std::uint64_t next_request_ordinal_{0};  ///< obs request-track assignment
   bool deadlock_reported_{false};
+  bool rank_failure_reported_{false};
 };
 
 }  // namespace must

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <deque>
 #include <mutex>
+#include <utility>
 
 #include "obs/metrics.hpp"
 #include "obs/ring.hpp"
@@ -39,11 +40,15 @@ const char* to_string(Severity severity) {
   return "unknown";
 }
 
-void emit_diagnostic(Diagnostic diagnostic) {
+namespace {
+
+void emit_impl(Diagnostic diagnostic, bool bump_metric) {
   if (diagnostic.ts_ns == 0) {
     diagnostic.ts_ns = trace_now_ns();
   }
-  metric("diag." + diagnostic.id).increment();
+  if (bump_metric) {
+    metric("diag." + diagnostic.id).increment();
+  }
   if (tracing_enabled()) {
     Event marker;
     marker.ts_ns = diagnostic.ts_ns;
@@ -67,6 +72,14 @@ void emit_diagnostic(Diagnostic diagnostic) {
   for (DiagnosticSink* sink : sinks) {
     sink->on_diagnostic(diagnostic);
   }
+}
+
+}  // namespace
+
+void emit_diagnostic(Diagnostic diagnostic) { emit_impl(std::move(diagnostic), true); }
+
+void reemit_imported_diagnostic(Diagnostic diagnostic) {
+  emit_impl(std::move(diagnostic), false);
 }
 
 void add_diagnostic_sink(DiagnosticSink* sink) {

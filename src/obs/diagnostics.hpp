@@ -41,6 +41,12 @@ class DiagnosticSink {
 /// `ts_ns == 0` is stamped with the trace clock.
 void emit_diagnostic(Diagnostic diagnostic);
 
+/// Re-emit a diagnostic imported from a rank process (proc backend): fans
+/// out to sinks, the store and the event ring like emit_diagnostic, but does
+/// NOT bump `diag.<id>` — the child's metric deltas are merged separately,
+/// so bumping here would double-count.
+void reemit_imported_diagnostic(Diagnostic diagnostic);
+
 void add_diagnostic_sink(DiagnosticSink* sink);
 void remove_diagnostic_sink(DiagnosticSink* sink);
 

@@ -342,6 +342,26 @@ void Controller::flush_record_locked() {
   }
 }
 
+bool Controller::absorb_child(const std::string& trace_text, const Stats& child_stats,
+                              const std::optional<Divergence>& child_divergence,
+                              std::string* error) {
+  ScheduleTrace trace;
+  if (!trace_text.empty() && !parse_trace(trace_text, &trace, error)) {
+    return false;
+  }
+  std::lock_guard lock(mutex_);
+  recorded_.insert(recorded_.end(), trace.entries.begin(), trace.entries.end());
+  stats_.decisions += child_stats.decisions;
+  stats_.preemptions += child_stats.preemptions;
+  stats_.replayed += child_stats.replayed;
+  stats_.underruns += child_stats.underruns;
+  stats_.divergences += child_stats.divergences;
+  if (!divergence_.has_value() && child_divergence.has_value()) {
+    divergence_ = child_divergence;
+  }
+  return true;
+}
+
 Config Controller::config() const {
   std::lock_guard lock(mutex_);
   return config_;

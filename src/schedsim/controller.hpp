@@ -131,6 +131,16 @@ class Controller {
   [[nodiscard]] std::optional<Divergence> divergence() const;
   [[nodiscard]] Stats stats() const;
 
+  /// Proc backend: merge a forked child rank's recorded decisions, stats and
+  /// latched divergence into this (parent) controller, so cross-process runs
+  /// export the same record trace / divergence verdicts as thread-backend
+  /// runs. Entries append in child order (streams are per-(actor, site), so
+  /// cross-child interleaving is irrelevant to replay). Returns false on a
+  /// malformed trace text.
+  bool absorb_child(const std::string& trace_text, const Stats& child_stats,
+                    const std::optional<Divergence>& child_divergence,
+                    std::string* error = nullptr);
+
  private:
   Controller() = default;
   [[nodiscard]] static std::atomic<bool>& armed_flag();

@@ -1,10 +1,13 @@
 #include "testsuite/fault_sweep.hpp"
 
+#include <csignal>
 #include <cstdio>
 
 #include "common/format.hpp"
 #include "common/rng.hpp"
 #include "faultsim/injector.hpp"
+#include "mpisim/failure.hpp"
+#include "obs/metrics.hpp"
 #include "schedsim/controller.hpp"
 #include "testsuite/scenarios.hpp"
 
@@ -94,13 +97,64 @@ using faultsim::Site;
   return spec;
 }
 
+/// One rank_kill spec: a concrete rank (0/1 always exist), one of the three
+/// death modes, aimed at an early MPI operation so the kill lands while the
+/// victim's peers are still mid-conversation. No period: a killed process
+/// cannot die twice, and the supervisor declares first-failure only.
+[[nodiscard]] faultsim::FaultSpec random_kill_spec(common::SplitMix64& rng) {
+  faultsim::FaultSpec spec;
+  spec.site = Site::kRankKill;
+  spec.scope_kind = ScopeKind::kRank;
+  spec.scope_id = static_cast<int>(rng.next_below(2));
+  switch (rng.next_below(3)) {
+    case 0:
+      spec.action = Action::kSigkill;
+      break;
+    case 1:
+      spec.action = Action::kSigabrt;
+      break;
+    default:
+      spec.action = Action::kHang;
+      break;
+  }
+  spec.nth = 1 + rng.next_below(4);
+  return spec;
+}
+
 }  // namespace
 
-faultsim::FaultPlan make_random_plan(std::uint64_t seed, int faults) {
+std::string classify_run(const std::vector<faultsim::FiredFault>& fired) {
+  if (fired.empty()) {
+    return "clean";
+  }
+  for (const faultsim::FiredFault& f : fired) {
+    if (f.site != Site::kRankKill) {
+      continue;
+    }
+    const std::string rank = "rank " + std::to_string(f.where.rank);
+    switch (f.action) {
+      case Action::kSigkill:
+        return "rank-killed (" + rank + ", " + mpisim::signal_name(SIGKILL) + ")";
+      case Action::kSigabrt:
+        return "rank-killed (" + rank + ", " + mpisim::signal_name(SIGABRT) + ")";
+      case Action::kHang:
+        return "rank-hang (" + rank + ", heartbeat timeout, " + mpisim::signal_name(SIGKILL) +
+               ")";
+      default:
+        break;
+    }
+  }
+  return "perturbed";
+}
+
+faultsim::FaultPlan make_random_plan(std::uint64_t seed, int faults, int rank_kills) {
   common::SplitMix64 rng(seed);
   faultsim::FaultPlan plan;
   for (int i = 0; i < faults; ++i) {
     plan.add(random_spec(rng));
+  }
+  for (int i = 0; i < rank_kills; ++i) {
+    plan.add(random_kill_spec(rng));
   }
   return plan;
 }
@@ -128,9 +182,11 @@ SweepStats run_fault_sweep(const SweepOptions& options) {
     baseline.push_back(run_scenario_outcome(sc, fast, options.watchdog).races);
   }
 
+  obs::Counter& rank_failure_metric = obs::metric("mpisim.proc.rank_failures");
+
   for (int p = 0; p < options.plans; ++p) {
     const faultsim::FaultPlan plan = make_random_plan(options.seed + static_cast<std::uint64_t>(p),
-                                                      options.faults_per_plan);
+                                                      options.faults_per_plan, options.rank_kills);
     if (options.verbose) {
       std::printf("[sweep] plan %d: %s\n", p, plan.to_string().c_str());
     }
@@ -152,10 +208,13 @@ SweepStats run_fault_sweep(const SweepOptions& options) {
           }
         }
         injector.load(plan);  // resets match counters: every run sees the same schedule
+        const std::uint64_t failures_before = rank_failure_metric.value();
         const std::size_t races =
             run_scenario_outcome(scenarios[i], fast, options.watchdog).races;
+        const std::uint64_t failures_reported = rank_failure_metric.value() - failures_before;
         const std::vector<faultsim::FiredFault> fired = injector.take_fired();
         ++stats.runs;
+        stats.rank_failure_reports += failures_reported;
         if (fired.empty()) {
           // Invariant 2: fault hooks that never fire must be invisible — and
           // with schedules, verdicts must not depend on the interleaving.
@@ -170,6 +229,7 @@ SweepStats run_fault_sweep(const SweepOptions& options) {
         }
         ++stats.faulted_runs;
         stats.faults_fired += fired.size();
+        std::size_t kills_fired = 0;
         for (const faultsim::FiredFault& f : fired) {
           // Invariant 3: every fired fault is accounted through some channel.
           if (f.surfaced == faultsim::Channel::kNone) {
@@ -180,10 +240,35 @@ SweepStats run_fault_sweep(const SweepOptions& options) {
                                p, scenarios[i].name, round, f.id, to_string(f.action),
                                to_string(f.site)));
           }
+          if (f.site == Site::kRankKill) {
+            ++kills_fired;
+            // A fired kill may only ever surface as the supervisor's
+            // structured failure report — any other channel means the death
+            // leaked out through a side door.
+            if (f.surfaced != faultsim::Channel::kFailureReport) {
+              stats.failures.push_back(common::format(
+                  "plan {} scenario {} round {}: rank_kill #{} surfaced via '{}' instead of a "
+                  "RankFailureReport",
+                  p, scenarios[i].name, round, f.id, to_string(f.surfaced)));
+            }
+          }
+        }
+        if (kills_fired > 0) {
+          ++stats.rank_kill_runs;
+          // Invariant 4: a run that killed ranks produces exactly one
+          // RankFailureReport — the supervisor declares first-failure only,
+          // and zero reports would mean an unnoticed death.
+          if (failures_reported != 1) {
+            stats.failures.push_back(common::format(
+                "plan {} scenario {} round {}: {} rank_kill(s) fired but {} RankFailureReports "
+                "were declared (expected exactly 1)",
+                p, scenarios[i].name, round, kills_fired, failures_reported));
+          }
         }
         if (options.verbose) {
-          std::printf("[sweep] plan %d round %d %-70s races=%zu fired=%zu\n", p, round,
-                      scenarios[i].name.c_str(), races, fired.size());
+          std::printf("[sweep] plan %d round %d %-70s races=%zu fired=%zu outcome=%s\n", p, round,
+                      scenarios[i].name.c_str(), races, fired.size(),
+                      classify_run(fired).c_str());
         }
       }
     }

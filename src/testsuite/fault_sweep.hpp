@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "faultsim/injector.hpp"
 #include "faultsim/plan.hpp"
 
 namespace testsuite {
@@ -38,6 +39,13 @@ struct SweepOptions {
   /// unfaulted baseline always runs on the free schedule — invariant 2
   /// therefore also proves verdicts are schedule-independent.
   int schedules{0};
+  /// rank_kill specs appended to every generated plan (sigkill / sigabrt /
+  /// hang at a random rank's n-th MPI operation). Only the proc backend
+  /// probes rank_kill sites: under the thread backend the specs stay
+  /// dormant, which invariant 2 then proves invisible. Under the proc
+  /// backend every fired kill must surface as exactly one RankFailureReport
+  /// (invariant 4 below).
+  int rank_kills{0};
 };
 
 struct SweepStats {
@@ -47,6 +55,8 @@ struct SweepStats {
   std::uint64_t faults_fired{0};
   std::uint64_t faults_unsurfaced{0};   ///< fired but never accounted — invariant 3 violation
   std::size_t verdict_mismatches{0};    ///< unfaulted run diverged from baseline — invariant 2
+  std::size_t rank_kill_runs{0};        ///< runs in which a rank_kill fired (proc backend)
+  std::size_t rank_failure_reports{0};  ///< supervisor RankFailureReports observed across runs
   std::vector<std::string> failures;    ///< human-readable invariant violations
 
   [[nodiscard]] bool ok() const {
@@ -54,9 +64,17 @@ struct SweepStats {
   }
 };
 
+/// Classify a finished run from its fired-fault ledger: "clean" (nothing
+/// fired), "perturbed" (faults fired, no rank died), or the containment
+/// outcome with the signal spelled out — "rank-killed (SIGKILL)",
+/// "rank-killed (SIGABRT)", "rank-hang (heartbeat timeout, SIGKILL)".
+[[nodiscard]] std::string classify_run(const std::vector<faultsim::FiredFault>& fired);
+
 /// Seed-deterministic random plan: `faults` specs with concrete scopes and
-/// site-valid actions (the same seed always yields the same plan).
-[[nodiscard]] faultsim::FaultPlan make_random_plan(std::uint64_t seed, int faults);
+/// site-valid actions, plus `rank_kills` rank_kill specs (the same seed
+/// always yields the same plan).
+[[nodiscard]] faultsim::FaultPlan make_random_plan(std::uint64_t seed, int faults,
+                                                   int rank_kills = 0);
 
 /// Run the sweep. Loads plans into the global faultsim::Injector (clearing it
 /// on exit), so it must not race with other injector users.

@@ -7,12 +7,18 @@
 // and at 8 ranks, and identical across all pairs of one world. The payload of
 // every message encodes its send index, so per-(src,dst,tag) FIFO order is
 // asserted directly on the received data.
+// The same program sweeps both backends: thread ranks record their Status
+// sequences in-process; proc ranks (forked) ship theirs back through
+// publish_result together with a child-side gtest failure flag, and the
+// decoded sequences must be byte-identical to the thread backend's at every
+// world size — the two transports are observationally equivalent.
 #include <gtest/gtest.h>
 
 #include <array>
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -22,6 +28,7 @@
 
 namespace {
 
+using mpisim::Backend;
 using mpisim::Comm;
 using mpisim::Datatype;
 using mpisim::kAnySource;
@@ -226,11 +233,16 @@ void run_pair_traffic(Comm& comm, std::uint64_t seed, std::vector<Rec>& recs) {
 }
 
 /// Runs the full stress program at `world_size` ranks and returns each rank's
-/// recorded Status sequence.
-std::vector<std::vector<Rec>> run_world(int world_size, std::uint64_t seed) {
+/// recorded Status sequence. With the proc backend each rank is a forked
+/// process: it publishes its Rec sequence (prefixed by a child-side gtest
+/// failure flag) as a result blob, and this function decodes the blobs and
+/// fails if any child recorded an assertion failure the parent cannot see.
+std::vector<std::vector<Rec>> run_world(int world_size, std::uint64_t seed,
+                                        Backend backend = Backend::kThread) {
   std::vector<std::vector<Rec>> recs(static_cast<std::size_t>(world_size));
-  World world(world_size);
-  world.set_watchdog_timeout(std::chrono::milliseconds(3000));
+  const bool proc = backend == Backend::kProc;
+  World world(world_size, backend);
+  world.set_watchdog_timeout(std::chrono::milliseconds(proc ? 10000 : 3000));
   world.run([&](Comm comm) {
     run_pair_traffic(comm, seed, recs[static_cast<std::size_t>(comm.rank())]);
 
@@ -248,7 +260,37 @@ std::vector<std::vector<Rec>> run_world(int world_size, std::uint64_t seed) {
     const int left = (comm.rank() + size - 1) % size;
     EXPECT_EQ(st.source, left);
     EXPECT_EQ(got, static_cast<double>(left));
+
+    if (proc) {
+      // Ship [failed-flag][Rec...] back to the parent; Rec is a trivially
+      // copyable POD and parent/child are the same binary.
+      const std::vector<Rec>& mine = recs[static_cast<std::size_t>(comm.rank())];
+      std::vector<std::byte> blob(sizeof(std::uint32_t) + mine.size() * sizeof(Rec));
+      const std::uint32_t failed = ::testing::Test::HasFailure() ? 1 : 0;
+      std::memcpy(blob.data(), &failed, sizeof failed);
+      std::memcpy(blob.data() + sizeof failed, mine.data(), mine.size() * sizeof(Rec));
+      mpisim::publish_result(comm, blob);
+    }
   });
+  if (proc) {
+    for (int r = 0; r < world_size; ++r) {
+      const std::vector<std::byte>& blob = world.rank_result(r);
+      if (blob.size() < sizeof(std::uint32_t)) {
+        ADD_FAILURE() << "rank " << r << " published no result";
+        continue;
+      }
+      std::uint32_t failed = 0;
+      std::memcpy(&failed, blob.data(), sizeof failed);
+      EXPECT_EQ(failed, 0u) << "rank " << r << " recorded a child-side assertion failure";
+      const std::size_t payload = blob.size() - sizeof failed;
+      if (payload % sizeof(Rec) != 0) {
+        ADD_FAILURE() << "rank " << r << " published a malformed blob";
+        continue;
+      }
+      recs[static_cast<std::size_t>(r)].resize(payload / sizeof(Rec));
+      std::memcpy(recs[static_cast<std::size_t>(r)].data(), blob.data() + sizeof failed, payload);
+    }
+  }
   return recs;
 }
 
@@ -273,6 +315,25 @@ TEST(MpisimStressTest, RandomizedPairTrafficIsFifoWithStableStatuses) {
       EXPECT_EQ(at8[static_cast<std::size_t>(r)], expect) << "rank " << r << " seed " << seed;
     }
     EXPECT_FALSE(at2[0].empty());
+  }
+}
+
+// The proc backend must be observationally equivalent to the thread backend:
+// the same seeds at 2, 8 and 32 ranks yield identical per-rank Status
+// sequences (source, tag, byte count, error — including deliberate
+// truncation) and the same per-(src,dst,tag) FIFO order, which
+// run_pair_traffic asserts on the payload inside every rank.
+TEST(MpisimStressTest, ProcBackendStatusesMatchThreadBackend) {
+  constexpr std::uint64_t kSeed = 42;
+  for (const int ranks : {2, 8, 32}) {
+    const auto threaded = run_world(ranks, kSeed, Backend::kThread);
+    const auto forked = run_world(ranks, kSeed, Backend::kProc);
+    ASSERT_EQ(threaded.size(), forked.size());
+    for (int r = 0; r < ranks; ++r) {
+      EXPECT_EQ(threaded[static_cast<std::size_t>(r)], forked[static_cast<std::size_t>(r)])
+          << "backend Status divergence at " << ranks << " ranks, rank " << r;
+    }
+    EXPECT_FALSE(forked[0].empty());
   }
 }
 

@@ -41,6 +41,7 @@
 //
 // Usage: check_cutests [--json[=PATH]] [--schedules=N] [--schedule-dir=DIR]
 //                      [filter-substring]
+#include <cstddef>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -52,6 +53,7 @@
 #include "obs/metrics.hpp"
 #include "obs/perfetto.hpp"
 #include "schedsim/controller.hpp"
+#include "testsuite/fault_sweep.hpp"
 #include "testsuite/scenarios.hpp"
 
 namespace {
@@ -70,6 +72,10 @@ struct ScenarioRecord {
   testsuite::ScenarioOutcome fast{};
   testsuite::ScenarioOutcome slow{};
   std::size_t faults_fired{0};
+  /// Run classification when faults fired: "perturbed" for surviving
+  /// injections, or the containment outcome with the signal spelled out
+  /// ("rank-killed (rank 1, SIGKILL)", "rank-hang (...)").
+  std::string fault_outcome;
   bool diverged{false};
   bool ok{true};
   std::vector<SeedRun> seed_runs;
@@ -149,6 +155,11 @@ void append_json_escaped(std::string& out, const std::string& text) {
     out += ", \"elided_launches\": " + std::to_string(r.fast.elided_launches);
     out += ", \"elided_bytes\": " + std::to_string(r.fast.elided_bytes);
     out += ", \"faults_fired\": " + std::to_string(r.faults_fired);
+    if (!r.fault_outcome.empty()) {
+      out += ", \"fault_outcome\": \"";
+      append_json_escaped(out, r.fault_outcome);
+      out += "\"";
+    }
     if (!r.seed_runs.empty()) {
       out += ", \"schedule_seeds\": [";
       for (std::size_t s = 0; s < r.seed_runs.size(); ++s) {
@@ -281,10 +292,16 @@ int main(int argc, char** argv) {
     if (record.faults_fired > 0) {
       // Faults fired into this scenario: the verdict may legitimately differ
       // from the fault-free expectation. Surfacing is checked at the end.
+      // Classify how the run ended — "perturbed" (all ranks survived) vs a
+      // contained rank death, named by its signal.
       ++faulted;
+      const auto& fired_log = injector.fired_log();
+      record.fault_outcome = testsuite::classify_run(std::vector<faultsim::FiredFault>(
+          fired_log.begin() + static_cast<std::ptrdiff_t>(fired_before), fired_log.end()));
       if (!json) {
-        std::printf("FAULT: CuSanTest :: %s (%zu of %zu) [%zu fault(s) fired]\n",
-                    scenario->name.c_str(), index, selected.size(), record.faults_fired);
+        std::printf("FAULT: CuSanTest :: %s (%zu of %zu) [%zu fault(s) fired: %s]\n",
+                    scenario->name.c_str(), index, selected.size(), record.faults_fired,
+                    record.fault_outcome.c_str());
       }
       records.push_back(record);
       continue;

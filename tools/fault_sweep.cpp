@@ -9,8 +9,15 @@
 // stays on the free schedule, making invariant 2 also a schedule-independence
 // check.
 //
+// With --rank-kills N every plan additionally carries N rank_kill specs
+// (sigkill/sigabrt/hang at a random rank's n-th MPI operation). These only
+// fire under CUSAN_MPI_BACKEND=proc, where every fired kill must surface as
+// exactly one supervisor RankFailureReport; under the thread backend they
+// stay dormant and invariant 2 proves them invisible.
+//
 // Usage: fault_sweep [--plans N] [--faults N] [--seed N] [--filter SUBSTR]
-//                    [--watchdog MS] [--metrics PATH] [--schedules N] [--verbose]
+//                    [--watchdog MS] [--metrics PATH] [--schedules N]
+//                    [--rank-kills N] [--verbose]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -25,7 +32,7 @@ namespace {
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--plans N] [--faults N] [--seed N] [--filter SUBSTR] "
-               "[--watchdog MS] [--metrics PATH] [--schedules N] [--verbose]\n",
+               "[--watchdog MS] [--metrics PATH] [--schedules N] [--rank-kills N] [--verbose]\n",
                argv0);
   std::exit(2);
 }
@@ -79,6 +86,9 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(arg, "--schedules") == 0) {
       options.schedules = static_cast<int>(parse_long(argv[0], arg, value));
       ++i;
+    } else if (std::strcmp(arg, "--rank-kills") == 0) {
+      options.rank_kills = static_cast<int>(parse_long(argv[0], arg, value));
+      ++i;
     } else if (std::strcmp(arg, "--verbose") == 0) {
       options.verbose = true;
     } else {
@@ -87,15 +97,16 @@ int main(int argc, char** argv) {
     }
   }
   if (options.plans < 1 || options.faults_per_plan < 1 || options.watchdog.count() <= 0 ||
-      options.schedules < 0) {
+      options.schedules < 0 || options.rank_kills < 0) {
     std::fprintf(stderr,
-                 "--plans/--faults must be >= 1, --watchdog must be > 0, --schedules >= 0\n");
+                 "--plans/--faults must be >= 1, --watchdog must be > 0, "
+                 "--schedules/--rank-kills >= 0\n");
     return 2;
   }
 
-  std::printf("fault sweep: %d plan(s) x %d fault(s), seed %llu, watchdog %lld ms, "
-              "%d schedule(s)\n",
-              options.plans, options.faults_per_plan,
+  std::printf("fault sweep: %d plan(s) x %d fault(s) + %d rank-kill(s), seed %llu, "
+              "watchdog %lld ms, %d schedule(s)\n",
+              options.plans, options.faults_per_plan, options.rank_kills,
               static_cast<unsigned long long>(options.seed),
               static_cast<long long>(options.watchdog.count()), options.schedules);
   const obs::MetricsSnapshot metrics_before = obs::MetricsRegistry::instance().snapshot();
@@ -118,6 +129,10 @@ int main(int argc, char** argv) {
       stats.scenarios, stats.faulted_runs, stats.runs,
       static_cast<unsigned long long>(stats.faults_fired),
       static_cast<unsigned long long>(stats.faults_unsurfaced), stats.verdict_mismatches);
+  if (options.rank_kills > 0) {
+    std::printf("  Rank-kill runs: %zu\n  RankFailureReports: %zu\n", stats.rank_kill_runs,
+                stats.rank_failure_reports);
+  }
   for (const std::string& failure : stats.failures) {
     std::printf("  VIOLATION: %s\n", failure.c_str());
   }
