@@ -3,8 +3,12 @@
 // vanilla." Runs Jacobi vanilla, full CuSan, and CuSan with
 // track_memory_accesses=false (fibers + happens-before modelling intact).
 #include "bench_common.hpp"
+#include "bench_json.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path;
+  (void)bench::parse_json_flag(&argc, argv, &json_path);
+  bench::JsonReport report("ablation_annotations");
   bench::print_header(
       "CuSan ablation: memory-access annotations on/off (Jacobi, 2 ranks)",
       "paper §V-B observation (SC-W 2024, CuSan)");
@@ -29,7 +33,7 @@ int main() {
   const double full = run_with(capi::Flavor::kCusan, true);
   const double no_annotations = run_with(capi::Flavor::kCusan, false);
 
-  common::TextTable table({"configuration", "runtime [s]", "rel. to vanilla"});
+  bench::Table table(&report, "ablation", {"configuration", "runtime [s]", "rel. to vanilla"});
   table.add_row({"vanilla", common::fixed(vanilla, 3), "1.00"});
   table.add_row({"CuSan (full)", common::fixed(full, 3), common::fixed(full / vanilla, 2)});
   table.add_row({"CuSan (no memory annotations)", common::fixed(no_annotations, 3),
@@ -37,5 +41,5 @@ int main() {
   std::printf("%s\n", table.render().c_str());
   std::printf("expected: the no-annotation configuration is close to vanilla while full\n");
   std::printf("CuSan pays the per-byte shadow tracking cost (paper: 36x -> ~vanilla).\n");
-  return 0;
+  return bench::finish_json(report, json_path);
 }

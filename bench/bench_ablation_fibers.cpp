@@ -4,6 +4,8 @@
 // choice (DESIGN.md: fiber pooling).
 #include <benchmark/benchmark.h>
 
+#include "gbench_json.hpp"
+
 #include <vector>
 
 #include "rsan/runtime.hpp"
@@ -56,4 +58,6 @@ BENCHMARK(BM_PooledVsFreshFibers)->Arg(0)->Arg(1)->Iterations(20000);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return bench::run_gbench("ablation_fibers", argc, argv);
+}

@@ -10,6 +10,7 @@
 #include "apps/stencil2d.hpp"
 #include "apps/tealeaf.hpp"
 #include "bench_common.hpp"
+#include "bench_json.hpp"
 
 namespace {
 
@@ -58,10 +59,11 @@ Measurement measure(bool use_intervals, cusan::ProveElide prove_elide, int ranks
   return m;
 }
 
-void report(const char* app, const Measurement& whole, const Measurement& interval,
-            const Measurement& elide) {
-  common::TextTable table({"configuration", "runtime [s]", "rel.", "tracked [MB]",
-                           "interval/whole args", "elided launches", "elided [MB]"});
+void report(bench::JsonReport* json, const char* app, const Measurement& whole,
+            const Measurement& interval, const Measurement& elide) {
+  bench::Table table(json, app,
+                     {"configuration", "runtime [s]", "rel.", "tracked [MB]",
+                      "interval/whole args", "elided launches", "elided [MB]"});
   const auto row = [&](const char* name, const Measurement& m) {
     table.add_row({name, common::fixed(m.seconds, 3), common::fixed(m.seconds / whole.seconds, 2),
                    common::fixed(m.tracked_mb, 1),
@@ -76,7 +78,10 @@ void report(const char* app, const Measurement& whole, const Measurement& interv
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path;
+  (void)bench::parse_json_flag(&argc, argv, &json_path);
+  bench::JsonReport json("ablation_intervals");
   bench::print_header(
       "CuSan ablation: whole-range vs byte-interval vs prove-and-elide annotations",
       "refinement of the paper's whole-allocation tracking (SC-W 2024, CuSan, §VI)");
@@ -93,7 +98,7 @@ int main() {
     const capi::RankMain rank_main = [&](capi::RankEnv& env) {
       (void)apps::run_jacobi_rank(env, config);
     };
-    report("Jacobi (2 ranks)", measure(false, cusan::ProveElide::kOff, 2, rank_main),
+    report(&json, "Jacobi (2 ranks)", measure(false, cusan::ProveElide::kOff, 2, rank_main),
            measure(true, cusan::ProveElide::kOff, 2, rank_main),
            measure(true, cusan::ProveElide::kFull, 2, rank_main));
   }
@@ -107,7 +112,7 @@ int main() {
     const capi::RankMain rank_main = [&](capi::RankEnv& env) {
       (void)apps::run_stencil2d_rank(env, config);
     };
-    report("stencil2d (2 ranks)", measure(false, cusan::ProveElide::kOff, 2, rank_main),
+    report(&json, "stencil2d (2 ranks)", measure(false, cusan::ProveElide::kOff, 2, rank_main),
            measure(true, cusan::ProveElide::kOff, 2, rank_main),
            measure(true, cusan::ProveElide::kFull, 2, rank_main));
   }
@@ -120,7 +125,7 @@ int main() {
     const capi::RankMain rank_main = [&](capi::RankEnv& env) {
       (void)apps::run_tealeaf_rank(env, config);
     };
-    report("TeaLeaf CG (2 ranks)", measure(false, cusan::ProveElide::kOff, 2, rank_main),
+    report(&json, "TeaLeaf CG (2 ranks)", measure(false, cusan::ProveElide::kOff, 2, rank_main),
            measure(true, cusan::ProveElide::kOff, 2, rank_main),
            measure(true, cusan::ProveElide::kFull, 2, rank_main));
   }
@@ -131,5 +136,5 @@ int main() {
   std::printf("replaces the tracked stores of provably race-free arguments with a\n");
   std::printf("check-only scan plus an O(1) proven-region publish, shrinking tracked\n");
   std::printf("bytes again without changing any verdict.\n");
-  return 0;
+  return bench::finish_json(json, json_path);
 }

@@ -7,6 +7,7 @@
 // which must be identical in both modes.
 #include "apps/jacobi.hpp"
 #include "bench_common.hpp"
+#include "bench_json.hpp"
 
 namespace {
 
@@ -67,7 +68,10 @@ double per_launch_cost_us(const Measurement& m, const Measurement& baseline) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path;
+  (void)bench::parse_json_flag(&argc, argv, &json_path);
+  bench::JsonReport report("ablation_shadow");
   bench::print_header(
       "rsan ablation: reference per-granule scan vs shadow fast path",
       "design ablation of the range-annotation cost behind Fig. 10 (SC-W 2024, CuSan)");
@@ -89,8 +93,9 @@ int main() {
   const double ref_cost = per_launch_cost_us(reference, baseline);
   const double fast_cost = per_launch_cost_us(fast, baseline);
 
-  common::TextTable table({"configuration", "runtime [s]", "rel.", "annot cost [us/launch]",
-                           "fastpath hits (range/block)", "granules elided", "races"});
+  bench::Table table(&report, "shadow",
+                     {"configuration", "runtime [s]", "rel.", "annot cost [us/launch]",
+                      "fastpath hits (range/block)", "granules elided", "races"});
   table.add_row({"tracking off (baseline)", common::fixed(baseline.seconds, 3), "-", "-", "-", "-",
                  common::format("{}", baseline.races)});
   table.add_row({"reference scan", common::fixed(reference.seconds, 3), "1.00",
@@ -121,5 +126,5 @@ int main() {
     std::printf("ERROR: race verdicts diverged between the two modes\n");
     return 1;
   }
-  return 0;
+  return bench::finish_json(report, json_path);
 }

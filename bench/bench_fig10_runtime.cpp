@@ -8,6 +8,7 @@
 // dominated by memory tracking, Jacobi's overhead far above TeaLeaf's
 // because its tracked domain is orders of magnitude larger.
 #include "bench_common.hpp"
+#include "bench_json.hpp"
 
 namespace {
 
@@ -23,7 +24,10 @@ constexpr PaperRow kPaper[] = {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path;
+  (void)bench::parse_json_flag(&argc, argv, &json_path);
+  bench::JsonReport report("fig10_runtime");
   bench::print_header("Runtime overhead of the correctness tools (relative to vanilla)",
                       "paper Fig. 10 (SC-W 2024, CuSan)");
 
@@ -49,8 +53,8 @@ int main() {
               jacobi_config.rows, jacobi_config.cols, jacobi_config.iterations,
               tealeaf_config.rows, tealeaf_config.cols, tealeaf_config.timesteps);
 
-  common::TextTable table(
-      {"app", "flavor", "runtime [s]", "rel. to vanilla", "paper Fig.10"});
+  bench::Table table(&report, "overhead",
+                     {"app", "flavor", "runtime [s]", "rel. to vanilla", "paper Fig.10"});
 
   for (int app = 0; app < 2; ++app) {
     const std::function<double(capi::Flavor)> runner =
@@ -70,5 +74,5 @@ int main() {
   std::printf("%s\n", table.render().c_str());
   std::printf("expected shape: rel(vanilla) < rel(TSan) <= rel(MUST) < rel(CuSan flavors);\n");
   std::printf("Jacobi CuSan overhead >> TeaLeaf CuSan overhead (tracked bytes dominate).\n");
-  return 0;
+  return bench::finish_json(report, json_path);
 }

@@ -17,6 +17,7 @@
 #include <cstring>
 
 #include "bench_common.hpp"
+#include "bench_json.hpp"
 #include "common/memstats.hpp"
 
 namespace {
@@ -108,6 +109,9 @@ int main(int argc, char** argv) {
   if (argc == 4 && std::strcmp(argv[1], "--child") == 0) {
     return child_main(argv[2], std::atoi(argv[3]));
   }
+  std::string json_path;
+  (void)bench::parse_json_flag(&argc, argv, &json_path);
+  bench::JsonReport report("fig11_memory");
 
   bench::print_header("Memory overhead of the correctness tools (peak RSS, relative to vanilla)",
                       "paper Fig. 11 (SC-W 2024, CuSan)");
@@ -117,7 +121,8 @@ int main(int argc, char** argv) {
               "(app, flavor)\n\n",
               jc.rows, jc.cols, tc.rows, tc.cols);
 
-  common::TextTable table({"app", "flavor", "peak RSS", "rel. to vanilla", "paper Fig.11"});
+  bench::Table table(&report, "memory",
+                     {"app", "flavor", "peak RSS", "rel. to vanilla", "paper Fig.11"});
   const char* apps_list[] = {"jacobi", "tealeaf"};
   for (int app = 0; app < 2; ++app) {
     const std::size_t vanilla =
@@ -140,5 +145,5 @@ int main(int argc, char** argv) {
   std::printf("%s\n", table.render().c_str());
   std::printf("expected shape: CuSan flavors add the most memory (TSan shadow cells for the\n");
   std::printf("tracked device allocations); Jacobi's overhead exceeds TeaLeaf's; all < ~2x.\n");
-  return 0;
+  return bench::finish_json(report, json_path);
 }

@@ -11,6 +11,7 @@
 // Iteration counts shrink with the domain so the sweep stays tractable on a
 // CPU; relative values are unaffected since both flavors use the same count.
 #include "bench_common.hpp"
+#include "bench_json.hpp"
 
 namespace {
 
@@ -26,13 +27,17 @@ constexpr SizePoint kSweep[] = {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path;
+  (void)bench::parse_json_flag(&argc, argv, &json_path);
+  bench::JsonReport report("fig12_scaling");
   bench::print_header(
       "Jacobi CuSan overhead vs. global domain size (+ tracked TSan bytes, 2 ranks)",
       "paper Fig. 12 (SC-W 2024, CuSan)");
 
-  common::TextTable table({"domain", "iters", "vanilla [s]", "CuSan [s]", "rel. runtime",
-                           "TSan read", "TSan write", "CuSan-added s/GiB"});
+  bench::Table table(&report, "scaling",
+                     {"domain", "iters", "vanilla [s]", "CuSan [s]", "rel. runtime", "TSan read",
+                      "TSan write", "CuSan-added s/GiB"});
 
   for (const auto& point : kSweep) {
     apps::JacobiConfig config;
@@ -77,5 +82,5 @@ int main() {
   std::printf("8192x4096. On this CPU substrate the *proportionality* claim is the target:\n");
   std::printf("tracked bytes grow ~16x per domain quadrupling and the CuSan-added seconds\n");
   std::printf("per tracked GiB stay approximately constant.\n");
-  return 0;
+  return bench::finish_json(report, json_path);
 }

@@ -1,0 +1,210 @@
+// Machine-readable benchmark output, shared by every bench_* binary. Each
+// harness accepts `--json=PATH` and writes one BENCH_<name>.json document:
+//
+//   {
+//     "bench": "<name>",
+//     "sections": [
+//       {"name": "<section>", "header": ["col", ...],
+//        "rows": [[cell, ...], ...]},
+//       ...
+//     ]
+//   }
+//
+// Cells that parse as numbers are emitted as JSON numbers, everything else
+// as strings — the same cells the human-readable table prints, so the two
+// outputs can never drift apart. CI uploads these files as artifacts.
+#pragma once
+
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/table.hpp"
+
+namespace bench {
+
+/// True when the cell can be emitted as a bare JSON number.
+[[nodiscard]] inline bool looks_numeric(const std::string& cell) {
+  if (cell.empty()) {
+    return false;
+  }
+  std::size_t i = cell[0] == '-' ? 1 : 0;
+  if (i == cell.size()) {
+    return false;
+  }
+  bool seen_dot = false;
+  for (; i < cell.size(); ++i) {
+    if (cell[i] == '.') {
+      if (seen_dot) {
+        return false;
+      }
+      seen_dot = true;
+    } else if (std::isdigit(static_cast<unsigned char>(cell[i])) == 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+inline void append_json_string(std::string& out, const std::string& text) {
+  out += '"';
+  for (const char c : text) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+}
+
+/// One benchmark's report: named sections of header + rows.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string name) : name_(std::move(name)) {}
+
+  /// Add (or replace, by section name — render() may flush twice) a section.
+  void add_section(const std::string& section, std::vector<std::string> header,
+                   std::vector<std::vector<std::string>> rows) {
+    for (Section& existing : sections_) {
+      if (existing.name == section) {
+        existing.header = std::move(header);
+        existing.rows = std::move(rows);
+        return;
+      }
+    }
+    sections_.push_back({section, std::move(header), std::move(rows)});
+  }
+
+  [[nodiscard]] std::string to_string() const {
+    std::string out = "{\n  \"bench\": ";
+    append_json_string(out, name_);
+    out += ",\n  \"sections\": [\n";
+    for (std::size_t s = 0; s < sections_.size(); ++s) {
+      const Section& section = sections_[s];
+      out += "    {\"name\": ";
+      append_json_string(out, section.name);
+      out += ", \"header\": [";
+      for (std::size_t i = 0; i < section.header.size(); ++i) {
+        append_json_string(out, section.header[i]);
+        out += i + 1 < section.header.size() ? ", " : "";
+      }
+      out += "],\n     \"rows\": [\n";
+      for (std::size_t r = 0; r < section.rows.size(); ++r) {
+        out += "       [";
+        const auto& row = section.rows[r];
+        for (std::size_t i = 0; i < row.size(); ++i) {
+          if (looks_numeric(row[i])) {
+            out += row[i];
+          } else {
+            append_json_string(out, row[i]);
+          }
+          out += i + 1 < row.size() ? ", " : "";
+        }
+        out += "]";
+        out += r + 1 < section.rows.size() ? ",\n" : "\n";
+      }
+      out += "     ]}";
+      out += s + 1 < sections_.size() ? ",\n" : "\n";
+    }
+    out += "  ]\n}\n";
+    return out;
+  }
+
+  [[nodiscard]] bool write(const std::string& path, std::string* error) const {
+    std::FILE* file = std::fopen(path.c_str(), "w");
+    if (file == nullptr) {
+      *error = "cannot open " + path;
+      return false;
+    }
+    const std::string doc = to_string();
+    const bool ok = std::fwrite(doc.data(), 1, doc.size(), file) == doc.size();
+    std::fclose(file);
+    if (!ok) {
+      *error = "short write to " + path;
+    }
+    return ok;
+  }
+
+ private:
+  struct Section {
+    std::string name;
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+  };
+
+  std::string name_;
+  std::vector<Section> sections_;
+};
+
+/// Drop-in for common::TextTable that mirrors every row into a JsonReport
+/// section (flushed by render(), which every harness already calls).
+class Table {
+ public:
+  Table(JsonReport* report, std::string section, std::vector<std::string> header)
+      : report_(report), section_(std::move(section)), header_(header), table_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> row) {
+    rows_.push_back(row);
+    table_.add_row(std::move(row));
+  }
+
+  [[nodiscard]] std::string render(int indent = 0) const {
+    if (report_ != nullptr) {
+      report_->add_section(section_, header_, rows_);
+    }
+    return table_.render(indent);
+  }
+
+ private:
+  JsonReport* report_;
+  std::string section_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  common::TextTable table_;
+};
+
+/// Strip `--json=PATH` (or `--json PATH`) from argv; true when present.
+inline bool parse_json_flag(int* argc, char** argv, std::string* path) {
+  for (int i = 1; i < *argc; ++i) {
+    int consumed = 0;
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      *path = argv[i] + 7;
+      consumed = 1;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < *argc) {
+      *path = argv[i + 1];
+      consumed = 2;
+    }
+    if (consumed > 0) {
+      for (int j = i; j + consumed < *argc; ++j) {
+        argv[j] = argv[j + consumed];
+      }
+      *argc -= consumed;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Write the report if --json was given; returns the process exit code.
+[[nodiscard]] inline int finish_json(const JsonReport& report, const std::string& path) {
+  if (path.empty()) {
+    return 0;
+  }
+  std::string error;
+  if (!report.write(path, &error)) {
+    std::fprintf(stderr, "--json: %s\n", error.c_str());
+    return 2;
+  }
+  return 0;
+}
+
+}  // namespace bench

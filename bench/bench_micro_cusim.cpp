@@ -4,6 +4,8 @@
 // correctness tools add their tracking on top of.
 #include <benchmark/benchmark.h>
 
+#include "gbench_json.hpp"
+
 #include <cstddef>
 #include <vector>
 
@@ -134,11 +136,5 @@ int main(int argc, char** argv) {
       return rc;
     }
   }
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
-    return 1;
-  }
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return bench::run_gbench("micro_cusim", argc, argv);
 }

@@ -4,6 +4,8 @@
 // check.
 #include <benchmark/benchmark.h>
 
+#include "gbench_json.hpp"
+
 #include <vector>
 
 #include "fault_guard.hpp"
@@ -112,11 +114,5 @@ int main(int argc, char** argv) {
       return rc;
     }
   }
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
-    return 1;
-  }
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return bench::run_gbench("micro_must", argc, argv);
 }

@@ -3,6 +3,8 @@
 // Fig. 12), happens-before operations, fiber switches and plain accesses.
 #include <benchmark/benchmark.h>
 
+#include "gbench_json.hpp"
+
 #include <vector>
 
 #include "rsan/runtime.hpp"
@@ -166,4 +168,6 @@ BENCHMARK(BM_RaceDetectionInRange)->Range(4096, 1 << 20);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return bench::run_gbench("micro_rsan", argc, argv);
+}

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "bench_json.hpp"
 #include "capi/cuda.hpp"
 #include "capi/mpi.hpp"
 #include "common/rng.hpp"
@@ -144,9 +145,17 @@ BenchResult run_allreduce(capi::Flavor flavor, int ranks, const Workload& w) {
   return r;
 }
 
+// Rows accumulate here as they print; flushed into the --json report at exit.
+std::vector<std::vector<std::string>> g_json_rows;
+
 void print_row(const char* backend, const char* pattern, const char* flavor, int ranks,
                const BenchResult& r) {
   const auto& c = r.contention;
+  g_json_rows.push_back({backend, pattern, flavor, std::to_string(ranks),
+                         common::fixed(r.ops / (r.seconds > 0 ? r.seconds : 1e-9), 0),
+                         std::to_string(c.mailbox_locks), std::to_string(c.wakeups_delivered),
+                         std::to_string(c.wakeups_spurious), std::to_string(c.wakeups_broadcast),
+                         std::to_string(c.any_source_scans)});
   std::printf(
       "%-7s %-10s %-10s %5d | %10.0f ops/s | locks %10llu | wake %9llu (spur %8llu, bcast "
       "%6llu) | anysrc %8llu\n",
@@ -161,6 +170,9 @@ void print_row(const char* backend, const char* pattern, const char* flavor, int
 }  // namespace
 
 int main(int argc, char** argv) {
+  std::string json_path;
+  (void)bench::parse_json_flag(&argc, argv, &json_path);
+  bench::JsonReport report("scaling_ranks");
   Workload w;
   int max_ranks = 16;
   bool guard_only = false;
@@ -247,5 +259,10 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  return 0;
+  report.add_section("scaling",
+                     {"backend", "pattern", "flavor", "ranks", "ops_per_s", "mailbox_locks",
+                      "wakeups_delivered", "wakeups_spurious", "wakeups_broadcast",
+                      "any_source_scans"},
+                     g_json_rows);
+  return bench::finish_json(report, json_path);
 }

@@ -7,6 +7,7 @@
 // TeaLeaf uses only the default stream, non-blocking MPI, per-step memsets
 // and small tracked sizes.
 #include "bench_common.hpp"
+#include "bench_json.hpp"
 
 namespace {
 
@@ -27,7 +28,10 @@ std::string kb_avg(std::uint64_t bytes, std::uint64_t calls) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path;
+  (void)bench::parse_json_flag(&argc, argv, &json_path);
+  bench::JsonReport report("table1_counters");
   bench::print_header("CUDA and TSan runtime event counters for one MPI process",
                       "paper Table I (SC-W 2024, CuSan)");
 
@@ -76,8 +80,8 @@ int main() {
        kb_avg(tt.write_range_bytes, tt.write_range_calls), "16,421.35", "17.58"},
   };
 
-  common::TextTable table(
-      {"metric", "Jacobi", "TeaLeaf", "paper Jacobi", "paper TeaLeaf"});
+  bench::Table table(&report, "counters",
+                     {"metric", "Jacobi", "TeaLeaf", "paper Jacobi", "paper TeaLeaf"});
   for (const auto& row : rows) {
     table.add_row({row.metric, row.jacobi, row.tealeaf, row.paper_jacobi, row.paper_tealeaf});
   }
@@ -87,5 +91,5 @@ int main() {
   std::printf("and MUST request fibers (non-blocking MPI): %llu created, %llu reused.\n",
               static_cast<unsigned long long>(tealeaf.results[0].must_counters.request_fibers_created),
               static_cast<unsigned long long>(tealeaf.results[0].must_counters.request_fibers_reused));
-  return 0;
+  return bench::finish_json(report, json_path);
 }

@@ -1,0 +1,58 @@
+// --json=PATH support for the google-benchmark harnesses, producing the same
+// BENCH_<name>.json schema as the table-based harnesses (bench_json.hpp):
+// one "runs" section with a row per benchmark run. A reporter subclassing
+// ConsoleReporter keeps the normal console output while mirroring each run
+// into a JsonReport.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_json.hpp"
+
+namespace bench {
+
+class CaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit CaptureReporter(JsonReport* report) : report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      char real_time[32];
+      char cpu_time[32];
+      std::snprintf(real_time, sizeof(real_time), "%.3f", run.GetAdjustedRealTime());
+      std::snprintf(cpu_time, sizeof(cpu_time), "%.3f", run.GetAdjustedCPUTime());
+      rows_.push_back({run.benchmark_name(), std::to_string(run.iterations), real_time, cpu_time,
+                       benchmark::GetTimeUnitString(run.time_unit)});
+    }
+    report_->add_section("runs", {"name", "iterations", "real_time", "cpu_time", "time_unit"},
+                         rows_);
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  JsonReport* report_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Shared main body for google-benchmark harnesses: strip --json before
+/// benchmark::Initialize sees it (it rejects unknown flags), run everything
+/// through a capturing reporter, and write the report on exit.
+inline int run_gbench(const std::string& name, int argc, char** argv) {
+  std::string json_path;
+  (void)parse_json_flag(&argc, argv, &json_path);
+  JsonReport report(name);
+  CaptureReporter reporter(&report);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return finish_json(report, json_path);
+}
+
+}  // namespace bench

@@ -57,6 +57,10 @@ void export_observability(const obs::ExportConfig& config) {
 }  // namespace
 
 int default_ranks() {
+  // Parsed exactly once per process (thread-safe magic static): this is on
+  // the per-session hot path of sweeps and the svc executor, and re-reading
+  // the environment per call would also let a mid-run setenv change world
+  // sizes between scenarios. tests/test_capi.cpp pins the cached semantics.
   static const int ranks = [] {
     const char* env = std::getenv("CUSAN_RANKS");
     if (env == nullptr || *env == '\0') {
@@ -74,21 +78,31 @@ int default_ranks() {
 std::vector<RankResult> run_session(const SessionConfig& config, const RankMain& rank_main) {
   // Arm the fault injector from CUSAN_FAULT_PLAN once per process; sessions
   // with an explicit programmatic plan (Injector::load) are unaffected
-  // because an unset/empty env keeps the current state.
+  // because an unset/empty env keeps the current state. The env targets the
+  // *global* instances explicitly: a session-scoped run (svc executor) gets
+  // its plan/schedule from its svc::SessionSpec, not the process environment.
   static std::once_flag env_once;
   std::call_once(env_once, [] {
-    (void)faultsim::Injector::instance().load_env();
+    (void)faultsim::Injector::global().load_env();
     std::string sched_error;
-    if (!schedsim::Controller::instance().load_env(&sched_error)) {
+    if (!schedsim::Controller::global().load_env(&sched_error)) {
       std::fprintf(stderr, "cusan: %s\n", sched_error.c_str());
     }
   });
+  // Session-scoped runs skip the process-level observability plumbing: the
+  // event rings stay process-global (tracing under the executor is a
+  // process-level timeline) and svc::Session collects metrics/diagnostics
+  // itself instead of the file exports.
+  const bool scoped = obs::MetricsRegistry::is_scoped();
   schedsim::Controller::instance().begin_session();
-  const obs::ExportConfig& obs_cfg = obs_config();
-  if (obs_cfg.trace_enabled) {
-    // Each session records a fresh timeline; with multiple sessions per
-    // process (the testsuite) the exported trace is the last session's.
-    obs::reset_rings();
+  const obs::ExportConfig* obs_cfg = nullptr;
+  if (!scoped) {
+    obs_cfg = &obs_config();
+    if (obs_cfg->trace_enabled) {
+      // Each session records a fresh timeline; with multiple sessions per
+      // process (the testsuite) the exported trace is the last session's.
+      obs::reset_rings();
+    }
   }
 
   mpisim::World world(config.ranks);
@@ -162,7 +176,9 @@ std::vector<RankResult> run_session(const SessionConfig& config, const RankMain&
     }
   }
   schedsim::Controller::instance().end_session();
-  export_observability(obs_cfg);
+  if (!scoped) {
+    export_observability(*obs_cfg);
+  }
   return results;
 }
 

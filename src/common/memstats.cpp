@@ -1,26 +1,49 @@
 #include "common/memstats.hpp"
 
-#include <cstdio>
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdlib>
 #include <cstring>
 
 namespace common {
 
 MemStats read_memstats() {
   MemStats stats{};
-  std::FILE* file = std::fopen("/proc/self/status", "r");
-  if (file == nullptr) {
-    return stats;
-  }
-  char line[256];
-  while (std::fgets(line, sizeof line, file) != nullptr) {
-    unsigned long long kb = 0;
-    if (std::sscanf(line, "VmRSS: %llu kB", &kb) == 1) {
-      stats.rss_bytes = static_cast<std::size_t>(kb) * 1024;
-    } else if (std::sscanf(line, "VmHWM: %llu kB", &kb) == 1) {
-      stats.rss_peak_bytes = static_cast<std::size_t>(kb) * 1024;
+  // Cached fd + pread(0): /proc regenerates content on every read, so one
+  // open serves all later calls — metrics snapshots happen twice per checked
+  // session, and a fopen/fgets/sscanf walk of all ~50 status lines showed up
+  // in executor profiles. Thread-local so concurrent sessions don't race on
+  // the fd; the pid check reopens after fork ("/proc/self" binds to the pid
+  // at open time, so an inherited fd would report the parent's numbers).
+  thread_local int fd = -1;
+  thread_local pid_t fd_pid = -1;
+  const pid_t pid = ::getpid();
+  if (fd < 0 || fd_pid != pid) {
+    if (fd >= 0) {
+      ::close(fd);
+    }
+    fd = ::open("/proc/self/status", O_RDONLY | O_CLOEXEC);
+    fd_pid = pid;
+    if (fd < 0) {
+      return stats;
     }
   }
-  std::fclose(file);
+  char buf[8192];
+  const ssize_t n = ::pread(fd, buf, sizeof buf - 1, 0);
+  if (n <= 0) {
+    return stats;
+  }
+  buf[n] = '\0';
+  const auto field_kb = [&buf](const char* key) -> std::size_t {
+    const char* p = std::strstr(buf, key);
+    if (p == nullptr) {
+      return 0;
+    }
+    return static_cast<std::size_t>(std::strtoull(p + std::strlen(key), nullptr, 10)) * 1024;
+  };
+  stats.rss_bytes = field_kb("VmRSS:");
+  stats.rss_peak_bytes = field_kb("VmHWM:");
   return stats;
 }
 

@@ -1,0 +1,55 @@
+// Session-context propagation across thread boundaries. Subsystems that
+// route a formerly process-global singleton through a thread_local "current
+// instance" pointer (obs::MetricsRegistry, obs diagnostics hub, the faultsim
+// Injector, the schedsim Controller, the shm session id) register a slot
+// here; thread-spawn sites (cusim stream workers, mpisim rank threads, the
+// svc executor) capture the parent thread's slots with capture() and install
+// them in the spawned thread with a Scope. A thread with no installed
+// context sees every slot as null and each subsystem falls back to its
+// process-global instance — exactly today's behavior, so code outside the
+// service path is unaffected.
+//
+// Registration happens from namespace-scope initializers in each subsystem's
+// .cpp, i.e. during static initialization, strictly before main() spawns any
+// thread; capture()/Scope never take a lock.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+namespace common {
+
+class ThreadContext {
+ public:
+  /// Reads the calling thread's TLS value for the slot.
+  using CaptureFn = void* (*)();
+  /// Installs `value` into the calling thread's TLS for the slot.
+  using RestoreFn = void (*)(void* value);
+
+  static constexpr std::size_t kMaxSlots = 16;
+
+  /// Register a TLS slot; returns its index. Call only from static
+  /// initializers (namespace-scope), never after threads exist.
+  static std::size_t register_slot(CaptureFn capture, RestoreFn restore);
+
+  /// Snapshot every registered slot of the calling thread.
+  [[nodiscard]] static ThreadContext capture();
+
+  /// Install `context` in the current thread for the Scope's lifetime; the
+  /// previous values are restored on destruction.
+  class Scope {
+   public:
+    explicit Scope(const ThreadContext& context);
+    ~Scope();
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    std::array<void*, kMaxSlots> saved_{};
+  };
+
+ private:
+  std::array<void*, kMaxSlots> values_{};
+};
+
+}  // namespace common

@@ -3,6 +3,7 @@
 #include <cstdlib>
 
 #include "common/format.hpp"
+#include "common/thread_context.hpp"
 #include "obs/diagnostics.hpp"
 #include "obs/metrics.hpp"
 
@@ -58,26 +59,57 @@ const char* to_string(Channel channel) {
   return "?";
 }
 
-std::atomic<bool>& Injector::armed_flag() {
-  static std::atomic<bool> flag{false};
-  return flag;
-}
+namespace detail {
+
+constinit thread_local Injector* t_current_injector = nullptr;
+constinit std::atomic<bool> g_process_armed{false};
+
+namespace {
+const std::size_t kInjectorSlot = common::ThreadContext::register_slot(
+    [] { return static_cast<void*>(t_current_injector); },
+    [](void* value) { t_current_injector = static_cast<Injector*>(value); });
+}  // namespace
+
+}  // namespace detail
 
 Injector& Injector::instance() {
+  Injector* current = detail::t_current_injector;
+  return current != nullptr ? *current : global();
+}
+
+Injector& Injector::global() {
   static Injector injector;
-  // Ledger state rides along in every metrics snapshot (registered once;
-  // the provider recomputes from the ledger so take_fired drains are
-  // reflected, unlike the monotonic faultsim.faults_fired counter).
+  // Ledger state rides along in every global metrics snapshot (registered
+  // once; the provider recomputes from the ledger so take_fired drains are
+  // reflected, unlike the monotonic faultsim.faults_fired counter). Session
+  // injectors register theirs on the session registry via svc::Session.
   static const bool provider_registered = [] {
-    obs::MetricsRegistry::instance().register_provider(
-        "faultsim.ledger", [](obs::MetricsSnapshot& snapshot) {
-          snapshot["faultsim.ledger_fired"] = injector.fired_count();
-          snapshot["faultsim.ledger_unsurfaced"] = injector.unsurfaced_count();
-        });
+    injector.register_ledger_provider(obs::MetricsRegistry::global());
     return true;
   }();
   (void)provider_registered;
   return injector;
+}
+
+void Injector::register_ledger_provider(obs::MetricsRegistry& registry) {
+  registry.register_provider("faultsim.ledger", [this](obs::MetricsSnapshot& snapshot) {
+    snapshot["faultsim.ledger_fired"] = fired_count();
+    snapshot["faultsim.ledger_unsurfaced"] = unsurfaced_count();
+  });
+}
+
+Injector::Scope::Scope(Injector* injector) : previous_(detail::t_current_injector) {
+  detail::t_current_injector = injector;
+  (void)detail::kInjectorSlot;
+}
+
+Injector::Scope::~Scope() { detail::t_current_injector = previous_; }
+
+void Injector::set_armed(bool armed) {
+  armed_.store(armed, std::memory_order_relaxed);
+  if (this == &global()) {
+    detail::g_process_armed.store(armed, std::memory_order_relaxed);
+  }
 }
 
 void Injector::load(FaultPlan plan) {
@@ -88,7 +120,7 @@ void Injector::load(FaultPlan plan) {
   for (const FaultSpec& spec : plan.specs()) {
     specs_.push_back(SpecState{spec, {}});
   }
-  armed_flag().store(!specs_.empty(), std::memory_order_relaxed);
+  set_armed(!specs_.empty());
 }
 
 bool Injector::load_env(std::string* error) {
@@ -112,7 +144,7 @@ void Injector::clear() {
   std::lock_guard lock(mutex_);
   specs_.clear();
   fired_.clear();
-  armed_flag().store(false, std::memory_order_relaxed);
+  set_armed(false);
 }
 
 bool Injector::has_plan() const {

@@ -19,6 +19,10 @@
 
 #include "faultsim/plan.hpp"
 
+namespace obs {
+class MetricsRegistry;
+}
+
 namespace faultsim {
 
 /// Where a probing call site sits; fields not applicable stay -1. The rank
@@ -59,14 +63,57 @@ struct FiredFault {
   Channel surfaced{Channel::kNone};
 };
 
+class Injector;
+
+namespace detail {
+/// The calling thread's session-scoped injector (null: use the global one).
+extern constinit thread_local Injector* t_current_injector;
+/// Mirror of the *global* injector's armed state, so threads with no session
+/// binding keep the one-relaxed-load fast path without touching the
+/// function-local-static global instance from an inline header.
+extern constinit std::atomic<bool> g_process_armed;
+}  // namespace detail
+
 class Injector {
  public:
+  /// A fresh, disarmed injector (session-scoped use).
+  Injector() = default;
+  Injector(const Injector&) = delete;
+  Injector& operator=(const Injector&) = delete;
+
+  /// The calling thread's current injector: the session-scoped one installed
+  /// by a Scope (svc::Session), else the process-global injector.
   [[nodiscard]] static Injector& instance();
 
-  /// The zero-overhead fast path: false unless a non-empty plan is loaded.
+  /// The process-global injector, regardless of any thread binding.
+  [[nodiscard]] static Injector& global();
+
+  /// Bind `injector` as the calling thread's current injector (nullptr:
+  /// back to the global). Propagates via common::ThreadContext.
+  class Scope {
+   public:
+    explicit Scope(Injector* injector);
+    ~Scope();
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    Injector* previous_;
+  };
+
+  /// The zero-overhead fast path: false unless the current instance has a
+  /// non-empty plan loaded. One TLS load, a predicted branch and one relaxed
+  /// atomic load — the bench guard budget still holds.
   [[nodiscard]] static bool armed() {
-    return armed_flag().load(std::memory_order_relaxed);
+    const Injector* current = detail::t_current_injector;
+    return current != nullptr ? current->armed_.load(std::memory_order_relaxed)
+                              : detail::g_process_armed.load(std::memory_order_relaxed);
   }
+
+  /// Register this injector's ledger provider (faultsim.ledger_fired /
+  /// _unsurfaced) on `registry`. The global injector registers itself on the
+  /// global registry automatically; svc sessions call this for theirs.
+  void register_ledger_provider(obs::MetricsRegistry& registry);
 
   /// Install `plan`, resetting all match counters and the fired ledger.
   void load(FaultPlan plan);
@@ -103,8 +150,7 @@ class Injector {
   void import_fired(const std::vector<FiredFault>& entries);
 
  private:
-  Injector() = default;
-  [[nodiscard]] static std::atomic<bool>& armed_flag();
+  void set_armed(bool armed);
 
   struct SpecState {
     FaultSpec spec;
@@ -115,6 +161,7 @@ class Injector {
   };
 
   mutable std::mutex mutex_;
+  std::atomic<bool> armed_{false};
   std::vector<SpecState> specs_;
   std::vector<FiredFault> fired_;
   std::uint64_t next_id_{1};

@@ -177,7 +177,7 @@ class ThreadCommImpl final : public CommImpl {
       // senders is a timing artifact — exactly the nondeterminism a
       // wildcard receive observes — so when the schedule controller is
       // armed it picks among the channel heads instead.
-      detail::bump(detail::contention_counters().any_source_scans);
+      detail::bump(*detail::contention_counters().any_source_scans);
       if (schedsim::Controller::armed()) {
         struct Candidate {
           std::deque<Message>* queue;
@@ -399,7 +399,7 @@ class ThreadCommImpl final : public CommImpl {
           found = &*it;
         }
       } else {
-        detail::bump(detail::contention_counters().any_source_scans);
+        detail::bump(*detail::contention_counters().any_source_scans);
         for (const auto& src_q : box.by_src) {
           const auto it =
               std::find_if(src_q.unexpected.begin(), src_q.unexpected.end(),
@@ -512,7 +512,7 @@ class ThreadCommImpl final : public CommImpl {
   class MailboxLock {
    public:
     explicit MailboxLock(Mailbox& box) : lock_(box.mutex) {
-      detail::bump(detail::contention_counters().mailbox_locks);
+      detail::bump(*detail::contention_counters().mailbox_locks);
     }
 
    private:
@@ -620,7 +620,7 @@ class ThreadCommImpl final : public CommImpl {
         // different condition (e.g. an unexpected message this rank's recv
         // doesn't match). With the old notify_all engine this was the norm;
         // now it is the exception the counter makes visible.
-        detail::bump(detail::contention_counters().wakeups_spurious);
+        detail::bump(*detail::contention_counters().wakeups_spurious);
       }
       if (tracker_->deadlocked()) {
         result = MpiError::kDeadlock;
@@ -777,7 +777,7 @@ MpiError consult_fault(CommImpl* impl, int rank, faultsim::Site site, const char
 
 /// Count an internal collective-tree message (instrumentation only).
 void count_collective_message() {
-  detail::bump(detail::contention_counters().collective_messages);
+  detail::bump(*detail::contention_counters().collective_messages);
 }
 
 }  // namespace

@@ -7,10 +7,12 @@
 // rank's predicate was still false).
 //
 // The hot-path discipline is unchanged: each bump is one relaxed RMW on a
-// cached obs::Counter handle (stable address — resolved once per process,
-// never a map lookup per event), which is noise next to the mutex operation
-// it sits beside. Snapshot/reset are racy-by-design (monitoring, not
-// invariants).
+// cached obs::Counter handle (stable address — resolved once per registry
+// per thread, never a map lookup per event), which is noise next to the
+// mutex operation it sits beside. The cache re-resolves when the calling
+// thread's current registry changes (svc session scoping), so concurrent
+// sessions never bleed counts into each other. Snapshot/reset are
+// racy-by-design (monitoring, not invariants).
 #pragma once
 
 #include <cstdint>
@@ -30,22 +32,30 @@ struct ContentionSnapshot {
 
 namespace detail {
 
-/// Registry handles, resolved once (thread-safe local static) and cached.
+/// Registry handles, cached per thread and re-resolved whenever the calling
+/// thread's current registry changes (session scoping).
 struct ContentionCounters {
-  obs::Counter& mailbox_locks;
-  obs::Counter& wakeups_delivered;
-  obs::Counter& wakeups_broadcast;
-  obs::Counter& wakeups_spurious;
-  obs::Counter& any_source_scans;
-  obs::Counter& collective_messages;
+  obs::MetricsRegistry* owner{nullptr};
+  obs::Counter* mailbox_locks{nullptr};
+  obs::Counter* wakeups_delivered{nullptr};
+  obs::Counter* wakeups_broadcast{nullptr};
+  obs::Counter* wakeups_spurious{nullptr};
+  obs::Counter* any_source_scans{nullptr};
+  obs::Counter* collective_messages{nullptr};
 };
 
 [[nodiscard]] inline ContentionCounters& contention_counters() {
-  static ContentionCounters counters{
-      obs::metric("mpisim.mailbox_locks"),      obs::metric("mpisim.wakeups_delivered"),
-      obs::metric("mpisim.wakeups_broadcast"),  obs::metric("mpisim.wakeups_spurious"),
-      obs::metric("mpisim.any_source_scans"),   obs::metric("mpisim.collective_messages"),
-  };
+  thread_local ContentionCounters counters;
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::instance();
+  if (counters.owner != &registry) {
+    counters.owner = &registry;
+    counters.mailbox_locks = &registry.counter("mpisim.mailbox_locks");
+    counters.wakeups_delivered = &registry.counter("mpisim.wakeups_delivered");
+    counters.wakeups_broadcast = &registry.counter("mpisim.wakeups_broadcast");
+    counters.wakeups_spurious = &registry.counter("mpisim.wakeups_spurious");
+    counters.any_source_scans = &registry.counter("mpisim.any_source_scans");
+    counters.collective_messages = &registry.counter("mpisim.collective_messages");
+  }
   return counters;
 }
 
@@ -56,23 +66,23 @@ inline void bump(obs::Counter& counter, std::uint64_t n = 1) { counter.add(n); }
 [[nodiscard]] inline ContentionSnapshot contention_snapshot() {
   const auto& c = detail::contention_counters();
   ContentionSnapshot s;
-  s.mailbox_locks = c.mailbox_locks.value();
-  s.wakeups_delivered = c.wakeups_delivered.value();
-  s.wakeups_broadcast = c.wakeups_broadcast.value();
-  s.wakeups_spurious = c.wakeups_spurious.value();
-  s.any_source_scans = c.any_source_scans.value();
-  s.collective_messages = c.collective_messages.value();
+  s.mailbox_locks = c.mailbox_locks->value();
+  s.wakeups_delivered = c.wakeups_delivered->value();
+  s.wakeups_broadcast = c.wakeups_broadcast->value();
+  s.wakeups_spurious = c.wakeups_spurious->value();
+  s.any_source_scans = c.any_source_scans->value();
+  s.collective_messages = c.collective_messages->value();
   return s;
 }
 
 inline void reset_contention_counters() {
   const auto& c = detail::contention_counters();
-  c.mailbox_locks.set(0);
-  c.wakeups_delivered.set(0);
-  c.wakeups_broadcast.set(0);
-  c.wakeups_spurious.set(0);
-  c.any_source_scans.set(0);
-  c.collective_messages.set(0);
+  c.mailbox_locks->set(0);
+  c.wakeups_delivered->set(0);
+  c.wakeups_broadcast->set(0);
+  c.wakeups_spurious->set(0);
+  c.any_source_scans->set(0);
+  c.collective_messages->set(0);
 }
 
 /// Difference of two snapshots (end - begin), for bracketing one benchmark.

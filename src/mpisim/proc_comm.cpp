@@ -66,20 +66,26 @@ void poll_backoff(int& round) {
   return static_cast<std::uint64_t>(value);
 }
 
+// Cached per thread and re-resolved when the current registry changes
+// (session scoping), like detail::contention_counters().
 struct ProcCounters {
-  obs::Counter& eager_msgs;
-  obs::Counter& rendezvous_msgs;
-  obs::Counter& ring_full_backoffs;
-  obs::Counter& sends_dropped_dead;
+  obs::MetricsRegistry* owner{nullptr};
+  obs::Counter* eager_msgs{nullptr};
+  obs::Counter* rendezvous_msgs{nullptr};
+  obs::Counter* ring_full_backoffs{nullptr};
+  obs::Counter* sends_dropped_dead{nullptr};
 };
 
 [[nodiscard]] ProcCounters& proc_counters() {
-  static ProcCounters counters{
-      obs::metric("mpisim.proc.eager_msgs"),
-      obs::metric("mpisim.proc.rendezvous_msgs"),
-      obs::metric("mpisim.proc.ring_full_backoffs"),
-      obs::metric("mpisim.proc.sends_dropped_dead"),
-  };
+  thread_local ProcCounters counters;
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::instance();
+  if (counters.owner != &registry) {
+    counters.owner = &registry;
+    counters.eager_msgs = &registry.counter("mpisim.proc.eager_msgs");
+    counters.rendezvous_msgs = &registry.counter("mpisim.proc.rendezvous_msgs");
+    counters.ring_full_backoffs = &registry.counter("mpisim.proc.ring_full_backoffs");
+    counters.sends_dropped_dead = &registry.counter("mpisim.proc.sends_dropped_dead");
+  }
   return counters;
 }
 
@@ -191,7 +197,7 @@ class ProcTransport {
       hdr.kind = shmring::RecordKind::kMessage;
       send_scratch_.resize(payload_bytes);
       type.pack(buf, count, send_scratch_.data());
-      detail::bump(proc_counters().eager_msgs);
+      detail::bump(*proc_counters().eager_msgs);
       return publish_blocking(dest, tag, hdr, sig_bytes, send_scratch_);
     }
 
@@ -214,7 +220,7 @@ class ProcTransport {
     }
     std::vector<std::byte> name_body(rv_name.size() + 1);
     std::memcpy(name_body.data(), rv_name.c_str(), rv_name.size() + 1);
-    detail::bump(proc_counters().rendezvous_msgs);
+    detail::bump(*proc_counters().rendezvous_msgs);
     const MpiError err = publish_blocking(dest, tag, hdr, {}, name_body);
     if (err != MpiError::kSuccess) {
       seg.unlink();  // never published; reclaim the name now
@@ -252,7 +258,7 @@ class ProcTransport {
       // ANY_SOURCE: the oldest head tag-acceptor across all source channels,
       // or a schedule-controller pick among them (same site and actor id as
       // the thread backend, so recorded schedules stay comparable).
-      detail::bump(detail::contention_counters().any_source_scans);
+      detail::bump(*detail::contention_counters().any_source_scans);
       if (schedsim::Controller::armed()) {
         struct Candidate {
           std::deque<PMessage>* queue;
@@ -435,7 +441,7 @@ class ProcTransport {
           found = &*it;
         }
       } else {
-        detail::bump(detail::contention_counters().any_source_scans);
+        detail::bump(*detail::contention_counters().any_source_scans);
         for (const auto& src_q : box.by_src) {
           const auto it =
               std::find_if(src_q.unexpected.begin(), src_q.unexpected.end(),
@@ -738,7 +744,7 @@ class ProcTransport {
       note_progress();
       return MpiError::kSuccess;
     }
-    detail::bump(proc_counters().ring_full_backoffs);
+    detail::bump(*proc_counters().ring_full_backoffs);
     stamp_blocked(current_op_label("MPI_Send"), dest, tag, hdr.comm_id,
                   /*active=*/true, /*soft=*/false);
     MpiError result = MpiError::kSuccess;
@@ -756,7 +762,7 @@ class ProcTransport {
           layout_.slot(base_, dest)->state.load(std::memory_order_acquire);
       if (dest_state == shmlayout::RankState::kExited ||
           dest_state == shmlayout::RankState::kAppError) {
-        detail::bump(proc_counters().sends_dropped_dead);
+        detail::bump(*proc_counters().sends_dropped_dead);
         break;  // destination gone for good: the message can never be drained
       }
       poll_backoff(round);

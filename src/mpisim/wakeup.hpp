@@ -58,7 +58,7 @@ class WaiterSlot {
       wake = parked_;
     }
     if (wake) {
-      detail::bump(detail::contention_counters().wakeups_delivered);
+      detail::bump(*detail::contention_counters().wakeups_delivered);
       cv_.notify_one();  // at most one thread (the owning rank) ever parks here
     }
   }
@@ -134,7 +134,7 @@ class WaiterHub {
         wake_slot(*slot);
       }
     }
-    detail::bump(detail::contention_counters().wakeups_broadcast, slots_.size());
+    detail::bump(*detail::contention_counters().wakeups_broadcast, slots_.size());
   }
 
  private:

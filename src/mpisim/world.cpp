@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/assert.hpp"
+#include "common/thread_context.hpp"
 #include "mpisim/proc_comm.hpp"
 #include "mpisim/supervisor.hpp"
 
@@ -19,10 +20,10 @@ namespace {
 std::optional<Backend> g_backend_override;
 
 // publish_result in thread mode: ranks are threads of this process, so the
-// blob goes straight into the owning World (one world runs at a time per
-// process in practice, but a registry keyed by tracker keeps this honest).
-std::mutex g_thread_results_mutex;
-World* g_running_thread_world = nullptr;
+// blob goes straight into the owning World. The owner is tracked per rank
+// thread (set by run_threads before rank_main starts), not by one process
+// pointer — the svc executor runs many thread-backend worlds concurrently.
+constinit thread_local World* t_running_thread_world = nullptr;
 
 }  // namespace
 
@@ -48,9 +49,9 @@ void publish_result(const Comm& comm, std::span<const std::byte> bytes) {
     proc::publish_result(*t, bytes);
     return;
   }
-  std::lock_guard<std::mutex> lock(g_thread_results_mutex);
-  World* world = g_running_thread_world;
+  World* world = t_running_thread_world;
   CUSAN_ASSERT_MSG(world != nullptr, "publish_result outside World::run");
+  // Each rank writes only its own pre-sized slot: no lock needed.
   world->thread_results_[static_cast<std::size_t>(comm.rank())].assign(bytes.begin(),
                                                                        bytes.end());
 }
@@ -82,30 +83,29 @@ void World::run(const std::function<void(Comm)>& rank_main) {
 }
 
 void World::run_threads(const std::function<void(Comm)>& rank_main) {
-  {
-    std::lock_guard<std::mutex> lock(g_thread_results_mutex);
-    g_running_thread_world = this;
-  }
   std::vector<std::thread> threads;
   std::vector<std::exception_ptr> failures(static_cast<std::size_t>(size_));
   threads.reserve(static_cast<std::size_t>(size_));
+  // Rank threads inherit the spawning thread's session context (metrics
+  // registry, diagnostics hub, injector, controller bindings), so sessions
+  // stay isolated when many worlds run concurrently under the svc executor.
+  const common::ThreadContext context = common::ThreadContext::capture();
   for (int r = 0; r < size_; ++r) {
-    threads.emplace_back([this, r, &rank_main, &failures] {
+    threads.emplace_back([this, r, &rank_main, &failures, &context] {
+      const common::ThreadContext::Scope scope(context);
+      t_running_thread_world = this;
       try {
         rank_main(Comm(impl_, r));
       } catch (...) {
         failures[static_cast<std::size_t>(r)] = std::current_exception();
       }
+      t_running_thread_world = nullptr;
       // Exited ranks stop counting toward the all-blocked condition.
       tracker_->rank_exited(r);
     });
   }
   for (auto& t : threads) {
     t.join();
-  }
-  {
-    std::lock_guard<std::mutex> lock(g_thread_results_mutex);
-    g_running_thread_world = nullptr;
   }
   for (const auto& failure : failures) {
     if (failure) {

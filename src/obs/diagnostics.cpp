@@ -1,10 +1,9 @@
 #include "obs/diagnostics.hpp"
 
 #include <cstdio>
-#include <deque>
-#include <mutex>
 #include <utility>
 
+#include "common/thread_context.hpp"
 #include "obs/metrics.hpp"
 #include "obs/ring.hpp"
 
@@ -14,19 +13,74 @@ namespace {
 
 constexpr std::size_t kMaxRetained = 4096;
 
-struct Hub {
-  std::mutex mutex;
-  std::vector<DiagnosticSink*> sinks;
-  std::deque<Diagnostic> retained;
-  std::uint64_t dropped{0};
-};
+// The calling thread's session-scoped hub (null: use the global one);
+// propagated into spawned workers via the ThreadContext slot.
+constinit thread_local DiagnosticHub* t_current_hub = nullptr;
 
-Hub& hub() {
-  static Hub h;
-  return h;
-}
+const std::size_t kHubSlot = common::ThreadContext::register_slot(
+    [] { return static_cast<void*>(t_current_hub); },
+    [](void* value) { t_current_hub = static_cast<DiagnosticHub*>(value); });
 
 }  // namespace
+
+DiagnosticHub& DiagnosticHub::instance() {
+  DiagnosticHub* current = t_current_hub;
+  return current != nullptr ? *current : global();
+}
+
+DiagnosticHub& DiagnosticHub::global() {
+  static DiagnosticHub hub;
+  return hub;
+}
+
+DiagnosticHub::Scope::Scope(DiagnosticHub* hub) : previous_(t_current_hub) {
+  t_current_hub = hub;
+  (void)kHubSlot;
+}
+
+DiagnosticHub::Scope::~Scope() { t_current_hub = previous_; }
+
+void DiagnosticHub::add_sink(DiagnosticSink* sink) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sinks_.push_back(sink);
+}
+
+void DiagnosticHub::remove_sink(DiagnosticSink* sink) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::erase(sinks_, sink);
+}
+
+std::vector<Diagnostic> DiagnosticHub::retained() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {retained_.begin(), retained_.end()};
+}
+
+void DiagnosticHub::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  retained_.clear();
+  dropped_ = 0;
+}
+
+std::uint64_t DiagnosticHub::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+void DiagnosticHub::dispatch(const Diagnostic& diagnostic) {
+  std::vector<DiagnosticSink*> sinks;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (retained_.size() >= kMaxRetained) {
+      retained_.pop_front();
+      ++dropped_;
+    }
+    retained_.push_back(diagnostic);
+    sinks = sinks_;
+  }
+  for (DiagnosticSink* sink : sinks) {
+    sink->on_diagnostic(diagnostic);
+  }
+}
 
 const char* to_string(Severity severity) {
   switch (severity) {
@@ -58,20 +112,7 @@ void emit_impl(Diagnostic diagnostic, bool bump_metric) {
     std::snprintf(marker.name, sizeof(marker.name), "%s", diagnostic.id.c_str());
     ring_for_rank(diagnostic.rank).emit(marker);
   }
-  Hub& h = hub();
-  std::vector<DiagnosticSink*> sinks;
-  {
-    std::lock_guard<std::mutex> lock(h.mutex);
-    if (h.retained.size() >= kMaxRetained) {
-      h.retained.pop_front();
-      ++h.dropped;
-    }
-    h.retained.push_back(diagnostic);
-    sinks = h.sinks;
-  }
-  for (DiagnosticSink* sink : sinks) {
-    sink->on_diagnostic(diagnostic);
-  }
+  DiagnosticHub::instance().dispatch(diagnostic);
 }
 
 }  // namespace
@@ -82,35 +123,16 @@ void reemit_imported_diagnostic(Diagnostic diagnostic) {
   emit_impl(std::move(diagnostic), false);
 }
 
-void add_diagnostic_sink(DiagnosticSink* sink) {
-  Hub& h = hub();
-  std::lock_guard<std::mutex> lock(h.mutex);
-  h.sinks.push_back(sink);
-}
+void add_diagnostic_sink(DiagnosticSink* sink) { DiagnosticHub::instance().add_sink(sink); }
 
 void remove_diagnostic_sink(DiagnosticSink* sink) {
-  Hub& h = hub();
-  std::lock_guard<std::mutex> lock(h.mutex);
-  std::erase(h.sinks, sink);
+  DiagnosticHub::instance().remove_sink(sink);
 }
 
-std::vector<Diagnostic> diagnostics() {
-  Hub& h = hub();
-  std::lock_guard<std::mutex> lock(h.mutex);
-  return {h.retained.begin(), h.retained.end()};
-}
+std::vector<Diagnostic> diagnostics() { return DiagnosticHub::instance().retained(); }
 
-void clear_diagnostics() {
-  Hub& h = hub();
-  std::lock_guard<std::mutex> lock(h.mutex);
-  h.retained.clear();
-  h.dropped = 0;
-}
+void clear_diagnostics() { DiagnosticHub::instance().clear(); }
 
-std::uint64_t dropped_diagnostics() {
-  Hub& h = hub();
-  std::lock_guard<std::mutex> lock(h.mutex);
-  return h.dropped;
-}
+std::uint64_t dropped_diagnostics() { return DiagnosticHub::instance().dropped(); }
 
 }  // namespace obs

@@ -8,6 +8,8 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -36,7 +38,52 @@ class DiagnosticSink {
   virtual void on_diagnostic(const Diagnostic& diagnostic) = 0;
 };
 
-/// Fan a diagnostic out to all registered sinks, the bounded in-process
+/// One diagnostic stream: registered sinks plus a bounded retained store.
+/// The process has one global hub; svc sessions own private hubs so
+/// concurrent sessions' reports never interleave. The free functions below
+/// route to the calling thread's current hub (global unless a Scope is
+/// active), so emitting subsystems are hub-agnostic.
+class DiagnosticHub {
+ public:
+  DiagnosticHub() = default;
+  DiagnosticHub(const DiagnosticHub&) = delete;
+  DiagnosticHub& operator=(const DiagnosticHub&) = delete;
+
+  /// The calling thread's current hub (session-scoped if bound, else global).
+  static DiagnosticHub& instance();
+  /// The process-global hub, regardless of any thread binding.
+  static DiagnosticHub& global();
+
+  /// Bind `hub` as the calling thread's current hub (nullptr: the global).
+  class Scope {
+   public:
+    explicit Scope(DiagnosticHub* hub);
+    ~Scope();
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    DiagnosticHub* previous_;
+  };
+
+  void add_sink(DiagnosticSink* sink);
+  void remove_sink(DiagnosticSink* sink);
+  [[nodiscard]] std::vector<Diagnostic> retained() const;
+  void clear();
+  [[nodiscard]] std::uint64_t dropped() const;
+
+  /// Store + fan out one diagnostic (already stamped; metric/ring handling
+  /// is the caller's business — use emit_diagnostic for the full pipeline).
+  void dispatch(const Diagnostic& diagnostic);
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<DiagnosticSink*> sinks_;
+  std::deque<Diagnostic> retained_;
+  std::uint64_t dropped_{0};
+};
+
+/// Fan a diagnostic out to all sinks of the current hub, its bounded
 /// store, the `diag.<id>` metric and (if enabled) the event ring.
 /// `ts_ns == 0` is stamped with the trace clock.
 void emit_diagnostic(Diagnostic diagnostic);

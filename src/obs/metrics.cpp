@@ -4,13 +4,41 @@
 
 #include "common/format.hpp"
 #include "common/memstats.hpp"
+#include "common/thread_context.hpp"
 
 namespace obs {
 
+namespace {
+
+// The calling thread's session-scoped registry (null: use the global one).
+// constinit + trivial type keeps the TLS access to one load on hot-ish
+// paths; propagated into spawned workers via the ThreadContext slot below.
+constinit thread_local MetricsRegistry* t_current_registry = nullptr;
+
+const std::size_t kRegistrySlot = common::ThreadContext::register_slot(
+    [] { return static_cast<void*>(t_current_registry); },
+    [](void* value) { t_current_registry = static_cast<MetricsRegistry*>(value); });
+
+}  // namespace
+
 MetricsRegistry& MetricsRegistry::instance() {
+  MetricsRegistry* current = t_current_registry;
+  return current != nullptr ? *current : global();
+}
+
+MetricsRegistry& MetricsRegistry::global() {
   static MetricsRegistry registry;
   return registry;
 }
+
+bool MetricsRegistry::is_scoped() { return t_current_registry != nullptr; }
+
+MetricsRegistry::Scope::Scope(MetricsRegistry* registry) : previous_(t_current_registry) {
+  t_current_registry = registry;
+  (void)kRegistrySlot;
+}
+
+MetricsRegistry::Scope::~Scope() { t_current_registry = previous_; }
 
 MetricsRegistry::MetricsRegistry() {
   // Peak RSS rides along in every snapshot so memory tables (EXPERIMENTS.md)

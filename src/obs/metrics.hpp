@@ -32,7 +32,35 @@ using MetricsSnapshot = std::map<std::string, std::uint64_t>;
 
 class MetricsRegistry {
  public:
+  /// A fresh, empty registry (session-scoped use). The process.memstats
+  /// provider is pre-registered like on the global registry.
+  MetricsRegistry();
+
+  /// The calling thread's current registry: the session-scoped one installed
+  /// by a Scope (svc::Session), else the process-global registry. Threads
+  /// never bound to a session always see the global registry — exactly the
+  /// pre-service behavior.
   static MetricsRegistry& instance();
+
+  /// The process-global registry, regardless of any thread binding.
+  static MetricsRegistry& global();
+
+  /// True when the calling thread is bound to a session-scoped registry.
+  [[nodiscard]] static bool is_scoped();
+
+  /// Bind `registry` as the calling thread's current registry (nullptr: back
+  /// to the global). The binding is thread-local and propagates to spawned
+  /// workers via common::ThreadContext.
+  class Scope {
+   public:
+    explicit Scope(MetricsRegistry* registry);
+    ~Scope();
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    MetricsRegistry* previous_;
+  };
 
   /// Find-or-create a counter. The returned reference stays valid for the
   /// process lifetime — cache it; never call this on a hot path.
@@ -60,8 +88,6 @@ class MetricsRegistry {
   [[nodiscard]] static std::string to_json(const MetricsSnapshot& snapshot);
 
  private:
-  MetricsRegistry();
-
   mutable std::mutex mutex_;
   // std::map: node-based, so Counter addresses are stable across inserts.
   std::map<std::string, Counter, std::less<>> counters_;

@@ -1,8 +1,47 @@
 #include "rsan/shadow.hpp"
 
+#include <sys/mman.h>
+
 #include <algorithm>
+#include <type_traits>
 
 namespace rsan {
+
+namespace {
+
+constexpr std::size_t kL1Bytes = (std::size_t{1} << kShadowL1Bits) * sizeof(ShadowBlock**);
+constexpr std::size_t kL2Bytes = (std::size_t{1} << kShadowL2Bits) * sizeof(ShadowBlock*);
+
+/// Anonymous demand-zero pages, deliberately not malloc/calloc: glibc's
+/// sliding mmap threshold turns repeated large callocs into heap recycling +
+/// full memset after the first free, which is exactly the per-session fixed
+/// cost this table layout exists to avoid.
+[[nodiscard]] void* map_zero(std::size_t bytes) {
+  void* p = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE, MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  return p == MAP_FAILED ? nullptr : p;
+}
+
+}  // namespace
+
+ShadowBlock* ShadowMemory::allocate_block() {
+  static_assert(std::is_trivially_destructible_v<ShadowBlock>,
+                "slab teardown munmaps blocks without running destructors");
+  if (slab_used_ == kBlocksPerSlab) {
+    void* slab = map_zero(kBlocksPerSlab * sizeof(ShadowBlock));
+    if (slab == nullptr) {
+      return nullptr;
+    }
+    slabs_.push_back(static_cast<ShadowBlock*>(slab));
+    slab_used_ = 0;
+  }
+  ShadowBlock* blk = slabs_.back() + slab_used_;
+  ++slab_used_;
+  // Mapped-zero cells are exactly the value-initialized state, but a zero
+  // BlockSummary reads as lo=0,hi=0 ("covers granule 0"); the empty summary
+  // is lo>hi.
+  blk->summary.invalidate();
+  return blk;
+}
 
 ShadowBlock* ShadowMemory::lookup_or_create(std::uintptr_t key) {
   if (ShadowBlock* existing = find(key)) {
@@ -15,20 +54,32 @@ ShadowBlock* ShadowMemory::lookup_or_create(std::uintptr_t key) {
     return nullptr;
   }
   if (key < kDirectMappedBlockKeys) {
-    if (l1_.empty()) {
-      l1_.resize(std::size_t{1} << kShadowL1Bits);
+    if (l1_ == nullptr) {
+      l1_ = static_cast<ShadowBlock***>(map_zero(kL1Bytes));
+      if (l1_ == nullptr) {
+        ++denied_blocks_;
+        return nullptr;
+      }
     }
-    std::unique_ptr<L2Page>& page = l1_[key >> kShadowL2Bits];
-    if (!page) {
-      page = std::make_unique<L2Page>();
+    ShadowBlock**& page = l1_[key >> kShadowL2Bits];
+    if (page == nullptr) {
+      page = static_cast<ShadowBlock**>(map_zero(kL2Bytes));
+      if (page == nullptr) {
+        ++denied_blocks_;
+        return nullptr;
+      }
+      pages_.push_back(page);
     }
-    std::unique_ptr<ShadowBlock>& slot =
-        page->blocks[key & ((std::uintptr_t{1} << kShadowL2Bits) - 1)];
-    if (!slot) {
-      slot = std::make_unique<ShadowBlock>();
+    ShadowBlock*& slot = page[key & ((std::uintptr_t{1} << kShadowL2Bits) - 1)];
+    if (slot == nullptr) {
+      slot = allocate_block();
+      if (slot == nullptr) {
+        ++denied_blocks_;
+        return nullptr;
+      }
       ++block_count_;
     }
-    return slot.get();
+    return slot;
   }
   std::unique_ptr<ShadowBlock>& slot = overflow_[key];
   if (!slot) {
@@ -44,14 +95,14 @@ ShadowBlock* ShadowMemory::find(std::uintptr_t key) {
 
 const ShadowBlock* ShadowMemory::find(std::uintptr_t key) const {
   if (key < kDirectMappedBlockKeys) {
-    if (l1_.empty()) {
+    if (l1_ == nullptr) {
       return nullptr;
     }
-    const std::unique_ptr<L2Page>& page = l1_[key >> kShadowL2Bits];
-    if (!page) {
+    ShadowBlock** page = l1_[key >> kShadowL2Bits];
+    if (page == nullptr) {
       return nullptr;
     }
-    return page->blocks[key & ((std::uintptr_t{1} << kShadowL2Bits) - 1)].get();
+    return page[key & ((std::uintptr_t{1} << kShadowL2Bits) - 1)];
   }
   const auto it = overflow_.find(key);
   return it != overflow_.end() ? it->second.get() : nullptr;
@@ -89,7 +140,19 @@ void ShadowMemory::reset_range(std::uintptr_t base, std::size_t extent) {
 }
 
 void ShadowMemory::clear() {
-  l1_.clear();
+  for (ShadowBlock** page : pages_) {
+    ::munmap(page, kL2Bytes);
+  }
+  pages_.clear();
+  if (l1_ != nullptr) {
+    ::munmap(l1_, kL1Bytes);
+    l1_ = nullptr;
+  }
+  for (ShadowBlock* slab : slabs_) {
+    ::munmap(slab, kBlocksPerSlab * sizeof(ShadowBlock));
+  }
+  slabs_.clear();
+  slab_used_ = kBlocksPerSlab;
   overflow_.clear();
   block_count_ = 0;
   denied_blocks_ = 0;

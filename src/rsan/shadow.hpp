@@ -93,6 +93,11 @@ struct ShadowBlock {
 
 class ShadowMemory {
  public:
+  ShadowMemory() = default;
+  ~ShadowMemory() { clear(); }
+  ShadowMemory(const ShadowMemory&) = delete;
+  ShadowMemory& operator=(const ShadowMemory&) = delete;
+
   /// Shadow block covering `addr`; allocates on first touch. Returns nullptr
   /// when a block budget is set and exhausted (the caller degrades tracking
   /// for the address instead of aborting; see Runtime::access_range).
@@ -158,17 +163,32 @@ class ShadowMemory {
   void clear();
 
  private:
-  /// One L2 page: a direct-mapped array of lazily allocated blocks.
-  struct L2Page {
-    std::array<std::unique_ptr<ShadowBlock>, std::size_t{1} << kShadowL2Bits> blocks;
-  };
-
   [[nodiscard]] ShadowBlock* lookup_or_create(std::uintptr_t key);
   [[nodiscard]] ShadowBlock* find(std::uintptr_t key);
   [[nodiscard]] const ShadowBlock* find(std::uintptr_t key) const;
 
-  /// L1 directory (sized on first use so untracked runtimes stay tiny).
-  std::vector<std::unique_ptr<L2Page>> l1_;
+  /// Blocks are carved from mmap'd slabs of this many blocks (~1 MiB), so a
+  /// fresh block is demand-zero kernel pages, not a 16 KiB memset — and only
+  /// the cells actually written ever get faulted in.
+  static constexpr std::size_t kBlocksPerSlab = 64;
+
+  [[nodiscard]] ShadowBlock* allocate_block();
+
+  /// L1 directory (2^kShadowL1Bits L2-page pointers), L2 pages
+  /// (2^kShadowL2Bits block pointers) and block slabs come straight from
+  /// anonymous mmap, NOT malloc/calloc: a fresh 2 MiB table is zero pages the
+  /// kernel faults in on demand, with no eager memset, and teardown munmaps
+  /// `pages_`/`slabs_` instead of scanning every slot. (calloc is not enough:
+  /// glibc's mmap threshold slides up when a large chunk is freed, so from
+  /// the second runtime in a process onward calloc recycles heap memory and
+  /// memsets the full table.) Both construction and destruction therefore
+  /// cost O(resident blocks), not O(table size) — what lets a session
+  /// executor cycle thousands of short-lived runtimes per process without
+  /// paying megabytes of memset each.
+  ShadowBlock*** l1_{nullptr};
+  std::vector<ShadowBlock**> pages_;  ///< mmap'd L2 pages (teardown)
+  std::vector<ShadowBlock*> slabs_;   ///< mmap'd block slabs (teardown)
+  std::size_t slab_used_{kBlocksPerSlab};  ///< blocks carved from slabs_.back()
   /// Blocks whose key exceeds the direct-mapped range (exotic address
   /// layouts only; empty on mainstream 48-bit-VA platforms).
   std::unordered_map<std::uintptr_t, std::unique_ptr<ShadowBlock>> overflow_;

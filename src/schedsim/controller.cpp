@@ -5,6 +5,7 @@
 
 #include "common/format.hpp"
 #include "common/rng.hpp"
+#include "common/thread_context.hpp"
 #include "obs/diagnostics.hpp"
 #include "obs/metrics.hpp"
 #include "obs/perfetto.hpp"
@@ -53,6 +54,29 @@ namespace {
 /// their stream's track so decisions line up with the ops they reorder.
 [[nodiscard]] std::uint32_t actor_track(const ActorId& actor) {
   return actor.kind == 's' ? obs::stream_track(actor.local % 4096u) : obs::kHostTrack;
+}
+
+/// Cached counter handles, re-resolved when the calling thread's current
+/// registry changes (session-scoped runs): a plain function-local static
+/// would pin the handle to whichever registry was current first and bleed
+/// counts across sessions.
+struct SchedCounters {
+  obs::MetricsRegistry* owner{nullptr};
+  obs::Counter* decisions{nullptr};
+  obs::Counter* underruns{nullptr};
+  obs::Counter* divergences{nullptr};
+};
+
+[[nodiscard]] SchedCounters& sched_counters() {
+  thread_local SchedCounters cache;
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::instance();
+  if (cache.owner != &registry) {
+    cache.owner = &registry;
+    cache.decisions = &registry.counter("sched.decisions");
+    cache.underruns = &registry.counter("sched.replay_underruns");
+    cache.divergences = &registry.counter("sched.divergences");
+  }
+  return cache;
 }
 
 }  // namespace
@@ -144,14 +168,41 @@ std::string Divergence::to_string() const {
                         got_candidates);
 }
 
+namespace detail {
+
+constinit thread_local Controller* t_current_controller = nullptr;
+constinit std::atomic<bool> g_process_armed{false};
+
+namespace {
+const std::size_t kControllerSlot = common::ThreadContext::register_slot(
+    [] { return static_cast<void*>(t_current_controller); },
+    [](void* value) { t_current_controller = static_cast<Controller*>(value); });
+}  // namespace
+
+}  // namespace detail
+
 Controller& Controller::instance() {
+  Controller* current = detail::t_current_controller;
+  return current != nullptr ? *current : global();
+}
+
+Controller& Controller::global() {
   static Controller controller;
   return controller;
 }
 
-std::atomic<bool>& Controller::armed_flag() {
-  static std::atomic<bool> flag{false};
-  return flag;
+Controller::Scope::Scope(Controller* controller) : previous_(detail::t_current_controller) {
+  detail::t_current_controller = controller;
+  (void)detail::kControllerSlot;
+}
+
+Controller::Scope::~Scope() { detail::t_current_controller = previous_; }
+
+void Controller::set_armed(bool armed) {
+  armed_.store(armed, std::memory_order_relaxed);
+  if (this == &global()) {
+    detail::g_process_armed.store(armed, std::memory_order_relaxed);
+  }
 }
 
 int Controller::choose(Site site, const ActorId& actor, int candidates, int default_index) {
@@ -202,8 +253,7 @@ int Controller::choose(Site site, const ActorId& actor, int candidates, int defa
           // time). Counted, not a divergence — the trace still pins every
           // decision it covers.
           ++stats_.underruns;
-          static obs::Counter& underrun_metric = obs::metric("sched.replay_underruns");
-          underrun_metric.add(1);
+          sched_counters().underruns->add(1);
           break;
         }
         const TraceEntry& entry = replay_.entries[(*slice)[st.cursor]];
@@ -212,8 +262,7 @@ int Controller::choose(Site site, const ActorId& actor, int candidates, int defa
           ++stats_.divergences;
           if (!divergence_.has_value()) {
             divergence_ = Divergence{actor, entry.seq, site, entry.candidates, candidates};
-            static obs::Counter& divergence_metric = obs::metric("sched.divergences");
-            divergence_metric.add(1);
+            sched_counters().divergences->add(1);
             obs::emit_diagnostic({"sched.divergence", obs::Severity::kError, actor.rank,
                                   divergence_->to_string(), 0});
           }
@@ -229,8 +278,7 @@ int Controller::choose(Site site, const ActorId& actor, int candidates, int defa
       recorded_.push_back({actor, seq, site, candidates, chosen});
     }
   }
-  static obs::Counter& decision_metric = obs::metric("sched.decisions");
-  decision_metric.add(1);
+  sched_counters().decisions->add(1);
   if (obs::tracing_enabled()) {
     obs::emit_instant(actor.rank, obs::EventKind::kSchedule, actor_track(actor), to_string(site),
                       (seq << 16) | (static_cast<std::uint64_t>(candidates) << 8) |
@@ -245,7 +293,7 @@ void Controller::configure(const Config& config) {
   replay_ = {};
   replay_streams_.clear();
   reset_run_state_locked();
-  armed_flag().store(config_.mode != Mode::kFree || config_.record, std::memory_order_relaxed);
+  set_armed(config_.mode != Mode::kFree || config_.record);
 }
 
 bool Controller::configure_replay_text(const std::string& trace_text, std::string* error,
@@ -264,7 +312,7 @@ bool Controller::configure_replay_text(const std::string& trace_text, std::strin
     replay_streams_[stream_key(replay_.entries[i].actor, replay_.entries[i].site)].push_back(i);
   }
   reset_run_state_locked();
-  armed_flag().store(true, std::memory_order_relaxed);
+  set_armed(true);
   return true;
 }
 
@@ -303,7 +351,7 @@ void Controller::clear() {
   replay_ = {};
   replay_streams_.clear();
   reset_run_state_locked();
-  armed_flag().store(false, std::memory_order_relaxed);
+  set_armed(false);
 }
 
 void Controller::begin_session() {

@@ -85,13 +85,53 @@ struct Stats {
   std::uint64_t divergences{0};  ///< replay mode: mismatched queries
 };
 
+class Controller;
+
+namespace detail {
+/// The calling thread's session-scoped controller (null: use the global one).
+extern constinit thread_local Controller* t_current_controller;
+/// Mirror of the *global* controller's armed state for unbound threads.
+extern constinit std::atomic<bool> g_process_armed;
+[[nodiscard]] const std::atomic<bool>& armed_flag_of(const Controller& controller);
+}  // namespace detail
+
 class Controller {
  public:
+  /// A fresh, disarmed controller (session-scoped use).
+  Controller() = default;
+  Controller(const Controller&) = delete;
+  Controller& operator=(const Controller&) = delete;
+
+  /// The calling thread's current controller: the session-scoped one
+  /// installed by a Scope (svc::Session), else the process-global controller.
   [[nodiscard]] static Controller& instance();
 
-  /// The zero-overhead fast path: false unless a non-free strategy or
-  /// recording is active. Choice points gate on this before calling choose().
-  [[nodiscard]] static bool armed() { return armed_flag().load(std::memory_order_relaxed); }
+  /// The process-global controller, regardless of any thread binding.
+  [[nodiscard]] static Controller& global();
+
+  /// Bind `controller` as the calling thread's current controller (nullptr:
+  /// back to the global). Propagates via common::ThreadContext.
+  class Scope {
+   public:
+    explicit Scope(Controller* controller);
+    ~Scope();
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    Controller* previous_;
+  };
+
+  /// The zero-overhead fast path: false unless the current instance has a
+  /// non-free strategy or recording active. Choice points gate on this
+  /// before calling choose(). One TLS load, a predicted branch and one
+  /// relaxed atomic load — the bench guard budget still holds.
+  [[nodiscard]] static bool armed() {
+    const Controller* current = detail::t_current_controller;
+    return current != nullptr
+               ? detail::armed_flag_of(*current).load(std::memory_order_relaxed)
+               : detail::g_process_armed.load(std::memory_order_relaxed);
+  }
 
   /// Answer one numbered decision: an index in [0, candidates). Call sites
   /// pass today's deterministic behavior as `default_index`; the free
@@ -142,8 +182,8 @@ class Controller {
                     std::string* error = nullptr);
 
  private:
-  Controller() = default;
-  [[nodiscard]] static std::atomic<bool>& armed_flag();
+  friend const std::atomic<bool>& detail::armed_flag_of(const Controller& controller);
+  void set_armed(bool armed);
   void reset_run_state_locked();
   void flush_record_locked();
   [[nodiscard]] std::string strategy_string_locked() const;
@@ -158,6 +198,7 @@ class Controller {
   };
 
   mutable std::mutex mutex_;
+  std::atomic<bool> armed_{false};
   Config config_;
   ScheduleTrace replay_;
   /// Replay entries grouped per stream_key (indices into replay_.entries).
@@ -167,5 +208,11 @@ class Controller {
   std::optional<Divergence> divergence_;
   Stats stats_;
 };
+
+namespace detail {
+inline const std::atomic<bool>& armed_flag_of(const Controller& controller) {
+  return controller.armed_;
+}
+}  // namespace detail
 
 }  // namespace schedsim

@@ -1,0 +1,38 @@
+#include "svc/arena.hpp"
+
+#include <algorithm>
+
+namespace svc {
+
+void* Arena::allocate(std::size_t bytes, std::size_t align) {
+  if (bytes == 0) {
+    bytes = 1;
+  }
+  if (!blocks_.empty()) {
+    Block& top = blocks_.back();
+    const std::size_t aligned = (top.offset + align - 1) & ~(align - 1);
+    if (aligned + bytes <= top.size) {
+      top.offset = aligned + bytes;
+      used_ += bytes;
+      peak_ = std::max(peak_, used_);
+      return top.data.get() + aligned;
+    }
+  }
+  Block block;
+  block.size = std::max(block_bytes_, bytes + align);
+  block.data = std::make_unique<std::byte[]>(block.size);
+  const auto base = reinterpret_cast<std::uintptr_t>(block.data.get());
+  const std::size_t aligned = ((base + align - 1) & ~(align - 1)) - base;
+  block.offset = aligned + bytes;
+  used_ += bytes;
+  peak_ = std::max(peak_, used_);
+  blocks_.push_back(std::move(block));
+  return blocks_.back().data.get() + aligned;
+}
+
+void Arena::reset() {
+  blocks_.clear();
+  used_ = 0;
+}
+
+}  // namespace svc

@@ -1,0 +1,51 @@
+// Per-session bump allocator: session-lifetime scratch (result assembly,
+// wire frame staging) comes out of chained blocks freed wholesale when the
+// session object dies, and the executor's admission control reads used()/
+// peak_bytes() to keep the sum of resident sessions under CUSAN_SVC_MAX_MB.
+// Not thread-safe: one session's arena is touched only by the worker thread
+// running that session.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace svc {
+
+class Arena {
+ public:
+  static constexpr std::size_t kDefaultBlockBytes = 64 * 1024;
+
+  explicit Arena(std::size_t block_bytes = kDefaultBlockBytes) : block_bytes_(block_bytes) {}
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// `bytes` of `align`-aligned storage, valid until reset()/destruction.
+  [[nodiscard]] void* allocate(std::size_t bytes, std::size_t align = alignof(std::max_align_t));
+
+  template <typename T>
+  [[nodiscard]] T* allocate_array(std::size_t count) {
+    return static_cast<T*>(allocate(sizeof(T) * count, alignof(T)));
+  }
+
+  /// Drop every block (allocations become dangling); peak accounting sticks.
+  void reset();
+
+  [[nodiscard]] std::size_t used_bytes() const { return used_; }
+  [[nodiscard]] std::size_t peak_bytes() const { return peak_; }
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size{0};
+    std::size_t offset{0};
+  };
+
+  std::size_t block_bytes_;
+  std::size_t used_{0};
+  std::size_t peak_{0};
+  std::vector<Block> blocks_;
+};
+
+}  // namespace svc

@@ -1,0 +1,186 @@
+#include "svc/client.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace svc {
+
+namespace {
+
+[[nodiscard]] bool is_async(wire::FrameType type) {
+  return type == wire::FrameType::kDiagnostic || type == wire::FrameType::kMetrics ||
+         type == wire::FrameType::kResult;
+}
+
+}  // namespace
+
+Client::~Client() { close(); }
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  pending_.clear();
+}
+
+bool Client::connect(const std::string& socket_path, std::string* error) {
+  close();
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) {
+    *error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    *error = "socket path too long: " + socket_path;
+    close();
+    return false;
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    *error = "connect " + socket_path + ": " + std::strerror(errno);
+    close();
+    return false;
+  }
+  return true;
+}
+
+bool Client::request(const wire::Frame& out, wire::FrameType expect, wire::Frame* reply,
+                     std::string* error) {
+  if (fd_ < 0) {
+    *error = "not connected";
+    return false;
+  }
+  if (!wire::write_frame(fd_, out, error)) {
+    return false;
+  }
+  for (;;) {
+    wire::Frame frame;
+    if (!wire::read_frame(fd_, &frame, error)) {
+      if (error->empty()) {
+        *error = "connection closed";
+      }
+      return false;
+    }
+    if (frame.type == expect) {
+      *reply = std::move(frame);
+      return true;
+    }
+    if (frame.type == wire::FrameType::kError) {
+      *error = wire::field_or(wire::parse_fields(frame.body), "error", "server error");
+      return false;
+    }
+    if (is_async(frame.type)) {
+      pending_.push_back(std::move(frame));
+      continue;
+    }
+    *error = std::string("unexpected reply: ") + wire::to_string(frame.type);
+    return false;
+  }
+}
+
+bool Client::hello(wire::Fields* info, std::string* error) {
+  wire::Frame reply;
+  if (!request(wire::Frame{wire::FrameType::kHello, ""}, wire::FrameType::kHello, &reply, error)) {
+    return false;
+  }
+  *info = wire::parse_fields(reply.body);
+  return true;
+}
+
+bool Client::ping(std::string* error) {
+  wire::Frame reply;
+  return request(wire::Frame{wire::FrameType::kPing, "hi"}, wire::FrameType::kPong, &reply, error);
+}
+
+bool Client::start(const wire::Fields& request_fields, std::uint64_t* id, std::string* error) {
+  wire::Frame reply;
+  if (!request(wire::Frame{wire::FrameType::kStart, wire::encode_fields(request_fields)},
+               wire::FrameType::kStartAck, &reply, error)) {
+    return false;
+  }
+  *id = wire::field_u64(wire::parse_fields(reply.body), "id", 0);
+  if (*id == 0) {
+    *error = "start ack without a session id";
+    return false;
+  }
+  return true;
+}
+
+bool Client::wait_result(const std::function<void(const wire::Fields&)>& on_diagnostic,
+                         const std::function<void(const std::string&)>& on_metrics_json,
+                         wire::Fields* result, std::string* error) {
+  for (;;) {
+    wire::Frame frame;
+    if (!pending_.empty()) {
+      frame = std::move(pending_.front());
+      pending_.pop_front();
+    } else if (!wire::read_frame(fd_, &frame, error)) {
+      if (error->empty()) {
+        *error = "connection closed before result";
+      }
+      return false;
+    }
+    switch (frame.type) {
+      case wire::FrameType::kDiagnostic:
+        if (on_diagnostic) {
+          on_diagnostic(wire::parse_fields(frame.body));
+        }
+        break;
+      case wire::FrameType::kMetrics:
+        if (on_metrics_json) {
+          // Body is `id=N\n` + registry JSON.
+          const std::size_t newline = frame.body.find('\n');
+          on_metrics_json(newline == std::string::npos ? frame.body
+                                                       : frame.body.substr(newline + 1));
+        }
+        break;
+      case wire::FrameType::kResult:
+        *result = wire::parse_fields(frame.body);
+        return true;
+      case wire::FrameType::kError:
+        *error = wire::field_or(wire::parse_fields(frame.body), "error", "server error");
+        return false;
+      default:
+        break;  // late replies to earlier commands: ignore
+    }
+  }
+}
+
+bool Client::status(std::uint64_t id, wire::Fields* reply, std::string* error) {
+  wire::Frame frame;
+  if (!request(wire::Frame{wire::FrameType::kStatus,
+                           wire::encode_fields({{"id", std::to_string(id)}})},
+               wire::FrameType::kStatusReply, &frame, error)) {
+    return false;
+  }
+  *reply = wire::parse_fields(frame.body);
+  return true;
+}
+
+bool Client::cancel(std::uint64_t id, bool* cancelled, std::string* error) {
+  wire::Frame frame;
+  if (!request(wire::Frame{wire::FrameType::kCancel,
+                           wire::encode_fields({{"id", std::to_string(id)}})},
+               wire::FrameType::kCancelReply, &frame, error)) {
+    return false;
+  }
+  *cancelled = wire::field_u64(wire::parse_fields(frame.body), "cancelled", 0) != 0;
+  return true;
+}
+
+bool Client::shutdown_server(std::string* error) {
+  if (fd_ < 0) {
+    *error = "not connected";
+    return false;
+  }
+  return wire::write_frame(fd_, wire::Frame{wire::FrameType::kShutdown, ""}, error);
+}
+
+}  // namespace svc

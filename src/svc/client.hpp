@@ -1,0 +1,60 @@
+// Blocking client for the cusand wire protocol. One Client is one
+// connection; request() style calls skip-and-buffer async frames
+// (kDiagnostic / kMetrics / kResult) that interleave with replies, and
+// wait_result() drains that buffer before reading the socket, so nothing
+// streamed between kStart and kStartAck is lost.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "svc/wire.hpp"
+
+namespace svc {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  [[nodiscard]] bool connect(const std::string& socket_path, std::string* error);
+  void close();
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+
+  [[nodiscard]] bool hello(wire::Fields* info, std::string* error);
+  [[nodiscard]] bool ping(std::string* error);
+
+  /// Send kStart; returns the session id from the kStartAck.
+  [[nodiscard]] bool start(const wire::Fields& request, std::uint64_t* id, std::string* error);
+
+  /// Read frames until the session's kResult arrives. `on_diagnostic` gets
+  /// each streamed kDiagnostic's fields; `on_metrics_json` gets the final
+  /// registry JSON (the kMetrics body minus its leading id line). Either
+  /// callback may be null.
+  [[nodiscard]] bool wait_result(
+      const std::function<void(const wire::Fields&)>& on_diagnostic,
+      const std::function<void(const std::string&)>& on_metrics_json, wire::Fields* result,
+      std::string* error);
+
+  [[nodiscard]] bool status(std::uint64_t id, wire::Fields* reply, std::string* error);
+  [[nodiscard]] bool cancel(std::uint64_t id, bool* cancelled, std::string* error);
+
+  /// Ask the daemon to stop (fire-and-forget; the server closes the socket).
+  [[nodiscard]] bool shutdown_server(std::string* error);
+
+ private:
+  /// Write `out`, then read until a frame of type `expect` (returned in
+  /// `reply`). Async frames read along the way are buffered for
+  /// wait_result(); a kError reply fails with its message.
+  [[nodiscard]] bool request(const wire::Frame& out, wire::FrameType expect, wire::Frame* reply,
+                             std::string* error);
+
+  int fd_{-1};
+  std::deque<wire::Frame> pending_;
+};
+
+}  // namespace svc

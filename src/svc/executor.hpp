@@ -1,0 +1,155 @@
+// The work-stealing session executor: N worker threads multiplex many
+// svc::Sessions per process, amortizing all per-process fixed costs
+// (binary startup, static init, TypeDB/profile construction) across
+// thousands of checked sessions. Admission control keeps the sum of
+// estimated resident session bytes under a budget — a saturated executor
+// degrades by queueing sessions, never by OOM.
+//
+//   svc::Executor executor;                      // CUSAN_SVC_WORKERS, _MAX_MB
+//   auto handle = executor.submit(spec);
+//   handle->wait();
+//   const svc::SessionResult& r = handle->result();
+//
+// Scheduling: each worker owns a deque (LIFO pop for cache warmth, FIFO
+// steal), submissions distribute round-robin, idle workers steal before
+// sleeping. Session bodies may block for long stretches (watchdog waits,
+// schedule exploration), so workers oversubscribing cores is by design —
+// blocked sessions cost a thread, not a core.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "svc/session.hpp"
+
+namespace svc {
+
+enum class SessionState : std::uint8_t {
+  kQueued,    ///< submitted, waiting for admission or a worker
+  kRunning,   ///< a worker is executing the body
+  kDone,      ///< result() is valid
+  kCancelled, ///< dequeued before running (cancel() on a queued session)
+};
+
+[[nodiscard]] const char* to_string(SessionState state);
+
+/// Shared handle to one submitted session. Thread-safe.
+class SessionHandle {
+ public:
+  [[nodiscard]] SessionState state() const {
+    return state_.load(std::memory_order_acquire);
+  }
+  /// Block until the session is done or cancelled.
+  void wait();
+  /// Valid once state() == kDone.
+  [[nodiscard]] const SessionResult& result() const { return result_; }
+  [[nodiscard]] std::uint64_t id() const { return id_; }
+  [[nodiscard]] const std::string& label() const { return label_; }
+  /// The underlying session — alive for the handle's lifetime. Live-metrics
+  /// snapshots off it are safe mid-run (the registry locks internally).
+  [[nodiscard]] Session& session() { return *session_; }
+
+ private:
+  friend class Executor;
+
+  std::uint64_t id_{0};
+  std::string label_;
+  std::uint64_t memory_estimate{0};
+  std::unique_ptr<Session> session_;
+  SessionResult result_;
+  /// Runs on the worker thread right after the result is stored (wire
+  /// streaming); keep it cheap.
+  std::function<void(const SessionHandle&)> on_done_;
+
+  std::atomic<SessionState> state_{SessionState::kQueued};
+  std::mutex mutex_;
+  std::condition_variable cv_;
+};
+
+using SessionHandlePtr = std::shared_ptr<SessionHandle>;
+
+struct ExecutorOptions {
+  /// Worker thread count; 0 reads CUSAN_SVC_WORKERS, falling back to
+  /// hardware_concurrency.
+  int workers{0};
+  /// Admission budget in MiB for the sum of concurrent sessions' estimated
+  /// resident bytes; 0 reads CUSAN_SVC_MAX_MB, falling back to unbounded.
+  std::uint64_t max_mb{0};
+};
+
+struct ExecutorStats {
+  std::uint64_t submitted{0};
+  std::uint64_t completed{0};
+  std::uint64_t cancelled{0};
+  std::uint64_t steals{0};       ///< sessions run by a worker that stole them
+  std::uint64_t parked{0};       ///< admissions deferred by the memory budget
+  std::uint64_t ema_peak_bytes{0};  ///< current per-session footprint estimate
+};
+
+class Executor {
+ public:
+  explicit Executor(const ExecutorOptions& options = {});
+  ~Executor();
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  /// Enqueue a session; returns immediately.
+  SessionHandlePtr submit(SessionSpec spec);
+  /// submit() with a completion callback run on the worker thread, and an
+  /// optional pre-allocated id (0: assign one). The wire server reserves the
+  /// id first so streaming sinks baked into spec.sinks know it before the
+  /// session can start.
+  SessionHandlePtr submit(SessionSpec spec,
+                          std::function<void(const SessionHandle&)> on_done,
+                          std::uint64_t reserved_id = 0);
+  /// Pre-allocate a unique session id for a later submit().
+  [[nodiscard]] std::uint64_t reserve_id();
+
+  /// Dequeue a still-queued session (true). Running sessions are not
+  /// interrupted (false) — session bodies hold worlds and devices mid-flight.
+  bool cancel(const SessionHandlePtr& handle);
+
+  /// Block until every submitted session is done or cancelled.
+  void wait_idle();
+
+  [[nodiscard]] int workers() const { return static_cast<int>(workers_.size()); }
+  [[nodiscard]] ExecutorStats stats() const;
+
+ private:
+  struct WorkerQueue {
+    std::mutex mutex;
+    std::deque<SessionHandlePtr> deque;
+  };
+
+  void worker_main(std::size_t index);
+  [[nodiscard]] SessionHandlePtr next_session(std::size_t index, bool* stolen);
+  void finish(const SessionHandlePtr& handle);
+  /// Admit as many parked sessions as the freed budget allows (locked).
+  void drain_parked_locked();
+  [[nodiscard]] std::uint64_t estimate_locked(const SessionHandlePtr& handle) const;
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> workers_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;   ///< workers: new work or shutdown
+  std::condition_variable idle_cv_;   ///< wait_idle
+  std::deque<SessionHandlePtr> parked_;  ///< over-budget FIFO
+  bool stopping_{false};
+  std::uint64_t next_id_{1};
+  std::uint64_t budget_bytes_{0};     ///< 0: unbounded
+  std::uint64_t reserved_bytes_{0};
+  std::uint64_t ema_peak_bytes_{0};
+  std::uint64_t inflight_{0};         ///< admitted (queued-on-worker or running)
+  std::size_t submit_cursor_{0};
+  ExecutorStats stats_{};
+};
+
+}  // namespace svc

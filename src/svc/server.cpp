@@ -1,0 +1,329 @@
+#include "svc/server.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "obs/diagnostics.hpp"
+#include "obs/metrics.hpp"
+
+namespace svc {
+
+namespace {
+
+[[nodiscard]] std::string u64s(std::uint64_t value) { return std::to_string(value); }
+
+}  // namespace
+
+/// One accepted client. The fd is closed by the *last* owner — handler
+/// thread, streaming sink, or completion callback — never while any of them
+/// might still write.
+struct Server::Connection {
+  explicit Connection(int fd_in) : fd(fd_in) {}
+  ~Connection() {
+    if (fd >= 0) {
+      ::close(fd);
+    }
+  }
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  /// Serialized frame write; after the first failure (or client disconnect)
+  /// the connection goes quiet instead of erroring every sink call.
+  bool send(const wire::Frame& frame) {
+    if (!open.load(std::memory_order_acquire)) {
+      return false;
+    }
+    std::lock_guard<std::mutex> lock(write_mutex);
+    if (!open.load(std::memory_order_relaxed)) {
+      return false;
+    }
+    std::string error;
+    if (!wire::write_frame(fd, frame, &error)) {
+      open.store(false, std::memory_order_release);
+      return false;
+    }
+    return true;
+  }
+
+  bool send_fields(wire::FrameType type, const wire::Fields& fields) {
+    return send(wire::Frame{type, wire::encode_fields(fields)});
+  }
+
+  bool send_error(const std::string& message) {
+    return send_fields(wire::FrameType::kError, {{"error", message}});
+  }
+
+  int fd;
+  std::mutex write_mutex;
+  std::atomic<bool> open{true};
+};
+
+namespace {
+
+/// Streams each diagnostic to the submitting client as a kDiagnostic frame,
+/// as it is emitted. Runs on session worker threads (and rank threads) —
+/// Connection::send serializes against every other frame on the wire.
+class WireDiagnosticSink final : public obs::DiagnosticSink {
+ public:
+  WireDiagnosticSink(std::shared_ptr<Server::Connection> connection, std::uint64_t session_id)
+      : connection_(std::move(connection)), session_id_(session_id) {}
+
+  void on_diagnostic(const obs::Diagnostic& diagnostic) override {
+    connection_->send_fields(wire::FrameType::kDiagnostic,
+                             {{"id", u64s(session_id_)},
+                              {"diag", diagnostic.id},
+                              {"severity", obs::to_string(diagnostic.severity)},
+                              {"rank", std::to_string(diagnostic.rank)},
+                              {"message", diagnostic.message},
+                              {"ts_ns", u64s(diagnostic.ts_ns)}});
+  }
+
+ private:
+  std::shared_ptr<Server::Connection> connection_;
+  std::uint64_t session_id_;
+};
+
+}  // namespace
+
+Server::Server(ServerOptions options, SessionFactory factory)
+    : options_(std::move(options)), factory_(std::move(factory)), executor_(options_.executor) {}
+
+Server::~Server() { stop(); }
+
+bool Server::start(std::string* error) {
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    *error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (options_.socket_path.size() >= sizeof(addr.sun_path)) {
+    *error = "socket path too long: " + options_.socket_path;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  std::memcpy(addr.sun_path, options_.socket_path.c_str(), options_.socket_path.size() + 1);
+  ::unlink(options_.socket_path.c_str());  // stale socket from a dead daemon
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    *error = "bind " + options_.socket_path + ": " + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    *error = std::string("listen: ") + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  return true;
+}
+
+void Server::serve() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  stop_cv_.wait(lock, [this] { return stop_requested_; });
+  lock.unlock();
+  stop();
+}
+
+void Server::request_stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_requested_ = true;
+  }
+  stop_cv_.notify_all();
+}
+
+void Server::stop() {
+  std::vector<std::thread> handlers;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopped_) {
+      return;
+    }
+    stopped_ = true;
+    stop_requested_ = true;
+    handlers.swap(handlers_);
+    // Unblock handler threads parked in read_frame; the Connection dtor
+    // still owns the close (a running session may hold the last reference).
+    for (const auto& weak : connections_) {
+      if (const auto connection = weak.lock()) {
+        connection->open.store(false, std::memory_order_release);
+        ::shutdown(connection->fd, SHUT_RDWR);
+      }
+    }
+  }
+  stop_cv_.notify_all();
+  if (accept_thread_.joinable()) {
+    accept_thread_.join();
+  }
+  for (auto& handler : handlers) {
+    handler.join();
+  }
+  executor_.wait_idle();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  ::unlink(options_.socket_path.c_str());
+}
+
+void Server::accept_loop() {
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stop_requested_) {
+        return;
+      }
+    }
+    // Poll with a timeout instead of blocking in accept(): closing a
+    // listening fd under a blocked accept() is not a reliable wakeup.
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 100);
+    if (ready <= 0) {
+      continue;
+    }
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd < 0) {
+      continue;
+    }
+    auto connection = std::make_shared<Connection>(fd);
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_requested_) {
+      return;  // Connection dtor closes fd
+    }
+    connections_.push_back(connection);
+    handlers_.emplace_back([this, connection] { handle_connection(connection); });
+  }
+}
+
+void Server::handle_connection(const std::shared_ptr<Connection>& connection) {
+  for (;;) {
+    wire::Frame frame;
+    std::string error;
+    if (!wire::read_frame(connection->fd, &frame, &error)) {
+      break;  // EOF or a broken frame either way ends the conversation
+    }
+    switch (frame.type) {
+      case wire::FrameType::kHello:
+        connection->send_fields(wire::FrameType::kHello,
+                                {{"server", "cusand"},
+                                 {"protocol", "1"},
+                                 {"pid", u64s(static_cast<std::uint64_t>(::getpid()))},
+                                 {"workers", std::to_string(executor_.workers())}});
+        break;
+      case wire::FrameType::kPing:
+        connection->send(wire::Frame{wire::FrameType::kPong, frame.body});
+        break;
+      case wire::FrameType::kStart:
+        handle_start(connection, wire::parse_fields(frame.body));
+        break;
+      case wire::FrameType::kStatus:
+        handle_status(connection, wire::parse_fields(frame.body));
+        break;
+      case wire::FrameType::kCancel:
+        handle_cancel(connection, wire::parse_fields(frame.body));
+        break;
+      case wire::FrameType::kShutdown:
+        request_stop();
+        return;
+      default:
+        connection->send_error(std::string("unexpected frame: ") + wire::to_string(frame.type));
+        break;
+    }
+  }
+  connection->open.store(false, std::memory_order_release);
+}
+
+void Server::handle_start(const std::shared_ptr<Connection>& connection,
+                          const wire::Fields& fields) {
+  SessionSpec spec;
+  std::string error;
+  if (!factory_(fields, &spec, &error)) {
+    connection->send_error(error.empty() ? "rejected" : error);
+    return;
+  }
+  // Reserve the id up front: the streaming sink has to be in spec.sinks
+  // before submit() (Session::run attaches them), and it tags every
+  // kDiagnostic frame with the session id.
+  const std::uint64_t id = executor_.reserve_id();
+  if (wire::field_u64(fields, "stream", 1) != 0) {
+    spec.sinks.push_back(std::make_shared<WireDiagnosticSink>(connection, id));
+  }
+  SessionHandlePtr handle = executor_.submit(
+      std::move(spec),
+      [connection](const SessionHandle& done) {
+        const std::string json =
+            obs::MetricsRegistry::to_json(done.result().metric_deltas);
+        connection->send(wire::Frame{wire::FrameType::kMetrics,
+                                     "id=" + u64s(done.id()) + "\n" + json});
+        const SessionResult& result = done.result();
+        connection->send_fields(wire::FrameType::kResult,
+                                {{"id", u64s(done.id())},
+                                 {"label", result.label},
+                                 {"ok", result.ok ? "1" : "0"},
+                                 {"error", result.error},
+                                 {"duration_ns", u64s(result.duration_ns)},
+                                 {"diagnostics", u64s(result.diagnostics.size())},
+                                 {"fired_faults", u64s(result.fired_faults.size())},
+                                 {"peak_bytes", u64s(result.peak_session_bytes)}});
+      },
+      id);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    sessions_[handle->id()] = handle;
+  }
+  connection->send_fields(wire::FrameType::kStartAck,
+                          {{"id", u64s(handle->id())}, {"label", handle->label()}});
+}
+
+void Server::handle_status(const std::shared_ptr<Connection>& connection,
+                           const wire::Fields& fields) {
+  const std::uint64_t id = wire::field_u64(fields, "id", 0);
+  const SessionHandlePtr handle = find_session(id);
+  if (handle == nullptr) {
+    connection->send_error("unknown session id: " + u64s(id));
+    return;
+  }
+  // A live snapshot is safe mid-run: the registry locks internally and the
+  // session object outlives the handle map entry.
+  const std::string metrics_json =
+      obs::MetricsRegistry::to_json(handle->session().metrics().snapshot());
+  connection->send_fields(wire::FrameType::kStatusReply,
+                          {{"id", u64s(id)},
+                           {"label", handle->label()},
+                           {"state", to_string(handle->state())},
+                           {"metrics", metrics_json}});
+}
+
+void Server::handle_cancel(const std::shared_ptr<Connection>& connection,
+                           const wire::Fields& fields) {
+  const std::uint64_t id = wire::field_u64(fields, "id", 0);
+  const SessionHandlePtr handle = find_session(id);
+  if (handle == nullptr) {
+    connection->send_error("unknown session id: " + u64s(id));
+    return;
+  }
+  const bool cancelled = executor_.cancel(handle);
+  connection->send_fields(
+      wire::FrameType::kCancelReply,
+      {{"id", u64s(id)}, {"cancelled", cancelled ? "1" : "0"},
+       {"state", to_string(handle->state())}});
+}
+
+SessionHandlePtr Server::find_session(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = sessions_.find(id);
+  return it != sessions_.end() ? it->second : nullptr;
+}
+
+}  // namespace svc

@@ -1,0 +1,93 @@
+// The cusand daemon core: a unix-socket front end over svc::Executor.
+// One accept loop, one handler thread per connection, sessions multiplexed
+// onto the executor's workers. What a kStart body means (scenario names,
+// rank counts, backends) is the embedder's business: the SessionFactory
+// callback translates wire fields into a SessionSpec, so svc stays free of
+// any dependency on the test suite that defines the scenarios.
+//
+// Lifetime rules the implementation leans on:
+//   - Connection owns its fd; streaming sinks and completion callbacks hold
+//     the Connection shared_ptr, so a client disconnect can never retire an
+//     fd while a running session still streams to it (writes just start
+//     failing and the sink goes quiet).
+//   - Handles live in the server's id map until shutdown: kStatus works on
+//     finished sessions and from any connection, not just the submitter's.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "svc/executor.hpp"
+#include "svc/wire.hpp"
+
+namespace svc {
+
+/// Translate a kStart body into a runnable SessionSpec. Return false with
+/// `error` set to reject the request (unknown scenario, bad rank count, ...).
+using SessionFactory =
+    std::function<bool(const wire::Fields& request, SessionSpec* spec, std::string* error)>;
+
+struct ServerOptions {
+  std::string socket_path;
+  ExecutorOptions executor;
+};
+
+class Server {
+ public:
+  Server(ServerOptions options, SessionFactory factory);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind + listen + start the accept loop. False (with `error`) if the
+  /// socket can't be bound.
+  [[nodiscard]] bool start(std::string* error);
+
+  /// Block until a client sends kShutdown or request_stop() is called.
+  void serve();
+
+  /// Unblock serve() from another thread (or a signal-safe forwarder).
+  void request_stop();
+
+  /// Stop accepting, unblock every connection, join all threads. Idempotent;
+  /// the destructor calls it.
+  void stop();
+
+  [[nodiscard]] const std::string& socket_path() const { return options_.socket_path; }
+  [[nodiscard]] Executor& executor() { return executor_; }
+
+  /// Opaque outside server.cpp; public so streaming sinks can share it.
+  struct Connection;
+
+ private:
+  void accept_loop();
+  void handle_connection(const std::shared_ptr<Connection>& connection);
+  void handle_start(const std::shared_ptr<Connection>& connection, const wire::Fields& fields);
+  void handle_status(const std::shared_ptr<Connection>& connection, const wire::Fields& fields);
+  void handle_cancel(const std::shared_ptr<Connection>& connection, const wire::Fields& fields);
+  [[nodiscard]] SessionHandlePtr find_session(std::uint64_t id);
+
+  ServerOptions options_;
+  SessionFactory factory_;
+  Executor executor_;
+
+  int listen_fd_{-1};
+  std::thread accept_thread_;
+
+  std::mutex mutex_;
+  std::condition_variable stop_cv_;
+  bool stop_requested_{false};
+  bool stopped_{false};
+  std::vector<std::thread> handlers_;
+  std::vector<std::weak_ptr<Connection>> connections_;
+  std::map<std::uint64_t, SessionHandlePtr> sessions_;
+};
+
+}  // namespace svc

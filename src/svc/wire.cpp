@@ -1,0 +1,228 @@
+#include "svc/wire.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include <unistd.h>
+
+namespace svc::wire {
+
+const char* to_string(FrameType type) {
+  switch (type) {
+    case FrameType::kHello:
+      return "hello";
+    case FrameType::kStart:
+      return "start";
+    case FrameType::kStartAck:
+      return "start_ack";
+    case FrameType::kStatus:
+      return "status";
+    case FrameType::kStatusReply:
+      return "status_reply";
+    case FrameType::kCancel:
+      return "cancel";
+    case FrameType::kCancelReply:
+      return "cancel_reply";
+    case FrameType::kDiagnostic:
+      return "diagnostic";
+    case FrameType::kMetrics:
+      return "metrics";
+    case FrameType::kResult:
+      return "result";
+    case FrameType::kError:
+      return "error";
+    case FrameType::kPing:
+      return "ping";
+    case FrameType::kPong:
+      return "pong";
+    case FrameType::kShutdown:
+      return "shutdown";
+  }
+  return "?";
+}
+
+std::string encode_frame(const Frame& frame) {
+  const auto length = static_cast<std::uint32_t>(frame.body.size());
+  std::string out;
+  out.reserve(5 + frame.body.size());
+  out.push_back(static_cast<char>(length & 0xff));
+  out.push_back(static_cast<char>((length >> 8) & 0xff));
+  out.push_back(static_cast<char>((length >> 16) & 0xff));
+  out.push_back(static_cast<char>((length >> 24) & 0xff));
+  out.push_back(static_cast<char>(frame.type));
+  out += frame.body;
+  return out;
+}
+
+namespace {
+
+[[nodiscard]] bool read_exact(int fd, void* buf, std::size_t bytes, bool* eof) {
+  auto* out = static_cast<char*>(buf);
+  std::size_t done = 0;
+  while (done < bytes) {
+    const ssize_t n = ::read(fd, out + done, bytes - done);
+    if (n == 0) {
+      *eof = done == 0;  // clean EOF only on a frame boundary
+      return false;
+    }
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      *eof = false;
+      return false;
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+[[nodiscard]] bool write_all(int fd, const char* data, std::size_t bytes) {
+  std::size_t done = 0;
+  while (done < bytes) {
+    const ssize_t n = ::write(fd, data + done, bytes - done);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool read_frame(int fd, Frame* frame, std::string* error) {
+  error->clear();
+  unsigned char header[5];
+  bool eof = false;
+  if (!read_exact(fd, header, sizeof(header), &eof)) {
+    if (!eof) {
+      *error = "short read in frame header";
+    }
+    return false;
+  }
+  const std::uint32_t length = static_cast<std::uint32_t>(header[0]) |
+                               (static_cast<std::uint32_t>(header[1]) << 8) |
+                               (static_cast<std::uint32_t>(header[2]) << 16) |
+                               (static_cast<std::uint32_t>(header[3]) << 24);
+  if (length > kMaxFrameBytes) {
+    *error = "frame too large";
+    return false;
+  }
+  frame->type = static_cast<FrameType>(header[4]);
+  frame->body.resize(length);
+  if (length > 0 && !read_exact(fd, frame->body.data(), length, &eof)) {
+    *error = "short read in frame body";
+    return false;
+  }
+  return true;
+}
+
+bool write_frame(int fd, const Frame& frame, std::string* error) {
+  const std::string bytes = encode_frame(frame);
+  if (!write_all(fd, bytes.data(), bytes.size())) {
+    *error = std::string("write: ") + std::strerror(errno);
+    return false;
+  }
+  return true;
+}
+
+namespace {
+
+void append_escaped(std::string* out, const std::string& value) {
+  for (const char c : value) {
+    switch (c) {
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      default:
+        out->push_back(c);
+    }
+  }
+}
+
+[[nodiscard]] std::string unescape(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (std::size_t i = 0; i < value.size(); ++i) {
+    if (value[i] != '\\' || i + 1 >= value.size()) {
+      out.push_back(value[i]);
+      continue;
+    }
+    ++i;
+    switch (value[i]) {
+      case 'n':
+        out.push_back('\n');
+        break;
+      case 'r':
+        out.push_back('\r');
+        break;
+      default:
+        out.push_back(value[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string encode_fields(const Fields& fields) {
+  std::string out;
+  for (const auto& [key, value] : fields) {
+    out += key;
+    out.push_back('=');
+    append_escaped(&out, value);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Fields parse_fields(const std::string& body) {
+  Fields out;
+  std::size_t pos = 0;
+  while (pos < body.size()) {
+    std::size_t end = body.find('\n', pos);
+    if (end == std::string::npos) {
+      end = body.size();
+    }
+    const std::string line = body.substr(pos, end - pos);
+    pos = end + 1;
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      continue;  // tolerate junk lines: forward compatibility
+    }
+    out[line.substr(0, eq)] = unescape(line.substr(eq + 1));
+  }
+  return out;
+}
+
+std::string field_or(const Fields& fields, const std::string& key,
+                     const std::string& fallback) {
+  const auto it = fields.find(key);
+  return it != fields.end() ? it->second : fallback;
+}
+
+std::uint64_t field_u64(const Fields& fields, const std::string& key, std::uint64_t fallback) {
+  const auto it = fields.find(key);
+  if (it == fields.end()) {
+    return fallback;
+  }
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(it->second.c_str(), &end, 10);
+  if (end == it->second.c_str() || *end != '\0') {
+    return fallback;
+  }
+  return static_cast<std::uint64_t>(value);
+}
+
+}  // namespace svc::wire

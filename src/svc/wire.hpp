@@ -1,0 +1,78 @@
+// The cusand wire protocol: length-prefixed frames over a unix stream
+// socket. Every frame is `u32 little-endian body length | u8 type | body`;
+// bodies are `key=value` lines (values backslash-escaped) except where noted
+// (kMetrics carries the registry's JSON verbatim). The protocol is
+// deliberately dumb — no versioned schema registry, no partial reads leaking
+// into frame boundaries — so a client in any language is an afternoon.
+//
+//   client                          server
+//   ------ kHello ----------------->
+//   <----- kHello ------------------        (server info)
+//   ------ kStart ----------------->        (scenario, ranks, seed, plan)
+//   <----- kStartAck ---------------        (session id)
+//   <----- kDiagnostic ------------- ...    (streamed as emitted)
+//   ------ kStatus ---------------->
+//   <----- kStatusReply ------------        (state + live metrics)
+//   <----- kMetrics ----------------        (final snapshot, JSON)
+//   <----- kResult -----------------        (verdict summary)
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace svc::wire {
+
+enum class FrameType : std::uint8_t {
+  kHello = 1,
+  kStart = 2,
+  kStartAck = 3,
+  kStatus = 4,
+  kStatusReply = 5,
+  kCancel = 6,
+  kCancelReply = 7,
+  kDiagnostic = 8,   ///< streamed DiagnosticSink report (async, server->client)
+  kMetrics = 9,      ///< metrics snapshot, body is registry JSON + id line
+  kResult = 10,      ///< session finished (async, server->client)
+  kError = 11,
+  kPing = 12,
+  kPong = 13,
+  kShutdown = 14,
+};
+
+[[nodiscard]] const char* to_string(FrameType type);
+
+struct Frame {
+  FrameType type{FrameType::kError};
+  std::string body;
+};
+
+/// Bodies too large to be anything but a bug are rejected on read.
+constexpr std::uint32_t kMaxFrameBytes = 64u * 1024 * 1024;
+
+/// `u32 LE length | u8 type | body` as raw bytes.
+[[nodiscard]] std::string encode_frame(const Frame& frame);
+
+/// Blocking full-frame read; false on EOF, short read, or an oversized /
+/// malformed header (error gets the reason; plain EOF sets it empty).
+[[nodiscard]] bool read_frame(int fd, Frame* frame, std::string* error);
+
+/// Blocking full-frame write; false on a write error.
+[[nodiscard]] bool write_frame(int fd, const Frame& frame, std::string* error);
+
+// -- key=value body codec -----------------------------------------------------
+
+using Fields = std::map<std::string, std::string>;
+
+/// One `key=value` line per entry; '\\', '\n', '\r' in values are escaped so
+/// multi-line diagnostics survive the line-oriented body.
+[[nodiscard]] std::string encode_fields(const Fields& fields);
+[[nodiscard]] Fields parse_fields(const std::string& body);
+
+/// fields[key], or `fallback` when absent.
+[[nodiscard]] std::string field_or(const Fields& fields, const std::string& key,
+                                   const std::string& fallback);
+[[nodiscard]] std::uint64_t field_u64(const Fields& fields, const std::string& key,
+                                      std::uint64_t fallback);
+
+}  // namespace svc::wire

@@ -9,6 +9,7 @@
 #include "mpisim/failure.hpp"
 #include "obs/metrics.hpp"
 #include "schedsim/controller.hpp"
+#include "svc/executor.hpp"
 #include "testsuite/scenarios.hpp"
 
 namespace testsuite {
@@ -121,6 +122,123 @@ using faultsim::Site;
   return spec;
 }
 
+/// Everything one (plan, scenario) pair contributes to the sweep stats.
+/// Computed against the calling thread's injector/controller (global when
+/// sequential, session-private under --jobs) and merged in deterministic
+/// (plan, scenario) order by the caller.
+struct RunPartial {
+  std::size_t runs{0};
+  std::size_t faulted_runs{0};
+  std::uint64_t faults_fired{0};
+  std::uint64_t faults_unsurfaced{0};
+  std::size_t verdict_mismatches{0};
+  std::size_t rank_kill_runs{0};
+  std::size_t rank_failure_reports{0};
+  std::vector<std::string> failures;
+};
+
+/// All rounds (free schedule + optional PCT seeds) of one plan against one
+/// scenario, checking invariants 2-4 against the unfaulted baseline.
+[[nodiscard]] RunPartial run_plan_rounds(const faultsim::FaultPlan& plan,
+                                         const Scenario& scenario, std::size_t baseline_races,
+                                         const SweepOptions& options, int p, bool fast) {
+  auto& injector = faultsim::Injector::instance();
+  obs::Counter& rank_failure_metric = obs::metric("mpisim.proc.rank_failures");
+  RunPartial partial;
+  // With schedules requested, every (plan, scenario) run repeats under N
+  // seed-deterministic PCT schedules: round 0 is the free schedule, rounds
+  // 1..N perturb it. The invariants must hold under every combination.
+  const int rounds = options.schedules > 0 ? options.schedules + 1 : 1;
+  for (int round = 0; round < rounds; ++round) {
+    if (options.schedules > 0) {
+      if (round == 0) {
+        schedsim::Controller::instance().clear();
+      } else {
+        schedsim::Config sched;
+        sched.mode = schedsim::Mode::kSeed;
+        sched.seed = options.seed ^ (static_cast<std::uint64_t>(p) << 32) ^
+                     static_cast<std::uint64_t>(round);
+        schedsim::Controller::instance().configure(sched);
+      }
+    }
+    injector.load(plan);  // resets match counters: every run sees the same schedule
+    const std::uint64_t failures_before = rank_failure_metric.value();
+    const std::size_t races = run_scenario_outcome(scenario, fast, options.watchdog).races;
+    const std::uint64_t failures_reported = rank_failure_metric.value() - failures_before;
+    const std::vector<faultsim::FiredFault> fired = injector.take_fired();
+    ++partial.runs;
+    partial.rank_failure_reports += failures_reported;
+    if (fired.empty()) {
+      // Invariant 2: fault hooks that never fire must be invisible — and
+      // with schedules, verdicts must not depend on the interleaving.
+      if (races != baseline_races) {
+        ++partial.verdict_mismatches;
+        partial.failures.push_back(common::format(
+            "plan {} scenario {} round {}: no fault fired but verdict changed ({} races vs "
+            "baseline {})",
+            p, scenario.name, round, races, baseline_races));
+      }
+      continue;
+    }
+    ++partial.faulted_runs;
+    partial.faults_fired += fired.size();
+    std::size_t kills_fired = 0;
+    for (const faultsim::FiredFault& f : fired) {
+      // Invariant 3: every fired fault is accounted through some channel.
+      if (f.surfaced == faultsim::Channel::kNone) {
+        ++partial.faults_unsurfaced;
+        partial.failures.push_back(
+            common::format("plan {} scenario {} round {}: fault #{} ({} at {}) fired but was "
+                           "never surfaced through any channel",
+                           p, scenario.name, round, f.id, to_string(f.action),
+                           to_string(f.site)));
+      }
+      if (f.site == Site::kRankKill) {
+        ++kills_fired;
+        // A fired kill may only ever surface as the supervisor's
+        // structured failure report — any other channel means the death
+        // leaked out through a side door.
+        if (f.surfaced != faultsim::Channel::kFailureReport) {
+          partial.failures.push_back(common::format(
+              "plan {} scenario {} round {}: rank_kill #{} surfaced via '{}' instead of a "
+              "RankFailureReport",
+              p, scenario.name, round, f.id, to_string(f.surfaced)));
+        }
+      }
+    }
+    if (kills_fired > 0) {
+      ++partial.rank_kill_runs;
+      // Invariant 4: a run that killed ranks produces exactly one
+      // RankFailureReport — the supervisor declares first-failure only,
+      // and zero reports would mean an unnoticed death.
+      if (failures_reported != 1) {
+        partial.failures.push_back(common::format(
+            "plan {} scenario {} round {}: {} rank_kill(s) fired but {} RankFailureReports "
+            "were declared (expected exactly 1)",
+            p, scenario.name, round, kills_fired, failures_reported));
+      }
+    }
+    if (options.verbose) {
+      std::printf("[sweep] plan %d round %d %-70s races=%zu fired=%zu outcome=%s\n", p, round,
+                  scenario.name.c_str(), races, fired.size(), classify_run(fired).c_str());
+    }
+  }
+  return partial;
+}
+
+void merge_partial(SweepStats& stats, RunPartial& partial) {
+  stats.runs += partial.runs;
+  stats.faulted_runs += partial.faulted_runs;
+  stats.faults_fired += partial.faults_fired;
+  stats.faults_unsurfaced += partial.faults_unsurfaced;
+  stats.verdict_mismatches += partial.verdict_mismatches;
+  stats.rank_kill_runs += partial.rank_kill_runs;
+  stats.rank_failure_reports += partial.rank_failure_reports;
+  for (std::string& failure : partial.failures) {
+    stats.failures.push_back(std::move(failure));
+  }
+}
+
 }  // namespace
 
 std::string classify_run(const std::vector<faultsim::FiredFault>& fired) {
@@ -173,6 +291,56 @@ SweepStats run_fault_sweep(const SweepOptions& options) {
 
   const bool fast = rsan::RuntimeConfig{}.use_shadow_fast_path;
 
+  std::vector<faultsim::FaultPlan> plans;
+  plans.reserve(static_cast<std::size_t>(options.plans));
+  for (int p = 0; p < options.plans; ++p) {
+    plans.push_back(make_random_plan(options.seed + static_cast<std::uint64_t>(p),
+                                     options.faults_per_plan, options.rank_kills));
+    if (options.verbose) {
+      std::printf("[sweep] plan %d: %s\n", p, plans.back().to_string().c_str());
+    }
+  }
+
+  if (options.jobs > 1) {
+    // Concurrent sweep: every scenario baseline and every (plan, scenario)
+    // pair runs as its own svc::Session. Each body's Injector/Controller
+    // instance() resolves to the session's private pair, so concurrent runs
+    // cannot cross-contaminate ledgers; partials land in pre-sized slots and
+    // merge in the same order the sequential loop would have produced.
+    svc::ExecutorOptions exec_options;
+    exec_options.workers = options.jobs;
+    svc::Executor executor(exec_options);
+
+    std::vector<std::size_t> baseline(scenarios.size(), 0);
+    for (std::size_t i = 0; i < scenarios.size(); ++i) {
+      svc::SessionSpec spec;
+      spec.label = scenarios[i].name + "/baseline";
+      spec.body = [&scenarios, &baseline, &options, fast, i] {
+        baseline[i] = run_scenario_outcome(scenarios[i], fast, options.watchdog).races;
+      };
+      (void)executor.submit(std::move(spec));
+    }
+    executor.wait_idle();
+
+    std::vector<RunPartial> partials(plans.size() * scenarios.size());
+    for (std::size_t p = 0; p < plans.size(); ++p) {
+      for (std::size_t i = 0; i < scenarios.size(); ++i) {
+        svc::SessionSpec spec;
+        spec.label = scenarios[i].name + "/plan" + std::to_string(p);
+        spec.body = [&plans, &scenarios, &baseline, &partials, &options, fast, p, i] {
+          partials[p * scenarios.size() + i] = run_plan_rounds(
+              plans[p], scenarios[i], baseline[i], options, static_cast<int>(p), fast);
+        };
+        (void)executor.submit(std::move(spec));
+      }
+    }
+    executor.wait_idle();
+    for (RunPartial& partial : partials) {
+      merge_partial(stats, partial);
+    }
+    return stats;
+  }
+
   // Unfaulted baseline (also exercises the watchdog's no-false-positive
   // promise: a short timeout must not misfire on clean runs).
   injector.clear();
@@ -182,95 +350,11 @@ SweepStats run_fault_sweep(const SweepOptions& options) {
     baseline.push_back(run_scenario_outcome(sc, fast, options.watchdog).races);
   }
 
-  obs::Counter& rank_failure_metric = obs::metric("mpisim.proc.rank_failures");
-
-  for (int p = 0; p < options.plans; ++p) {
-    const faultsim::FaultPlan plan = make_random_plan(options.seed + static_cast<std::uint64_t>(p),
-                                                      options.faults_per_plan, options.rank_kills);
-    if (options.verbose) {
-      std::printf("[sweep] plan %d: %s\n", p, plan.to_string().c_str());
-    }
-    // With schedules requested, every (plan, scenario) run repeats under N
-    // seed-deterministic PCT schedules: round 0 is the free schedule, rounds
-    // 1..N perturb it. The invariants must hold under every combination.
-    const int rounds = options.schedules > 0 ? options.schedules + 1 : 1;
+  for (std::size_t p = 0; p < plans.size(); ++p) {
     for (std::size_t i = 0; i < scenarios.size(); ++i) {
-      for (int round = 0; round < rounds; ++round) {
-        if (options.schedules > 0) {
-          if (round == 0) {
-            schedsim::Controller::instance().clear();
-          } else {
-            schedsim::Config sched;
-            sched.mode = schedsim::Mode::kSeed;
-            sched.seed = options.seed ^ (static_cast<std::uint64_t>(p) << 32) ^
-                         static_cast<std::uint64_t>(round);
-            schedsim::Controller::instance().configure(sched);
-          }
-        }
-        injector.load(plan);  // resets match counters: every run sees the same schedule
-        const std::uint64_t failures_before = rank_failure_metric.value();
-        const std::size_t races =
-            run_scenario_outcome(scenarios[i], fast, options.watchdog).races;
-        const std::uint64_t failures_reported = rank_failure_metric.value() - failures_before;
-        const std::vector<faultsim::FiredFault> fired = injector.take_fired();
-        ++stats.runs;
-        stats.rank_failure_reports += failures_reported;
-        if (fired.empty()) {
-          // Invariant 2: fault hooks that never fire must be invisible — and
-          // with schedules, verdicts must not depend on the interleaving.
-          if (races != baseline[i]) {
-            ++stats.verdict_mismatches;
-            stats.failures.push_back(common::format(
-                "plan {} scenario {} round {}: no fault fired but verdict changed ({} races vs "
-                "baseline {})",
-                p, scenarios[i].name, round, races, baseline[i]));
-          }
-          continue;
-        }
-        ++stats.faulted_runs;
-        stats.faults_fired += fired.size();
-        std::size_t kills_fired = 0;
-        for (const faultsim::FiredFault& f : fired) {
-          // Invariant 3: every fired fault is accounted through some channel.
-          if (f.surfaced == faultsim::Channel::kNone) {
-            ++stats.faults_unsurfaced;
-            stats.failures.push_back(
-                common::format("plan {} scenario {} round {}: fault #{} ({} at {}) fired but was "
-                               "never surfaced through any channel",
-                               p, scenarios[i].name, round, f.id, to_string(f.action),
-                               to_string(f.site)));
-          }
-          if (f.site == Site::kRankKill) {
-            ++kills_fired;
-            // A fired kill may only ever surface as the supervisor's
-            // structured failure report — any other channel means the death
-            // leaked out through a side door.
-            if (f.surfaced != faultsim::Channel::kFailureReport) {
-              stats.failures.push_back(common::format(
-                  "plan {} scenario {} round {}: rank_kill #{} surfaced via '{}' instead of a "
-                  "RankFailureReport",
-                  p, scenarios[i].name, round, f.id, to_string(f.surfaced)));
-            }
-          }
-        }
-        if (kills_fired > 0) {
-          ++stats.rank_kill_runs;
-          // Invariant 4: a run that killed ranks produces exactly one
-          // RankFailureReport — the supervisor declares first-failure only,
-          // and zero reports would mean an unnoticed death.
-          if (failures_reported != 1) {
-            stats.failures.push_back(common::format(
-                "plan {} scenario {} round {}: {} rank_kill(s) fired but {} RankFailureReports "
-                "were declared (expected exactly 1)",
-                p, scenarios[i].name, round, kills_fired, failures_reported));
-          }
-        }
-        if (options.verbose) {
-          std::printf("[sweep] plan %d round %d %-70s races=%zu fired=%zu outcome=%s\n", p, round,
-                      scenarios[i].name.c_str(), races, fired.size(),
-                      classify_run(fired).c_str());
-        }
-      }
+      RunPartial partial =
+          run_plan_rounds(plans[p], scenarios[i], baseline[i], options, static_cast<int>(p), fast);
+      merge_partial(stats, partial);
     }
   }
 

@@ -46,6 +46,12 @@ struct SweepOptions {
   /// backend every fired kill must surface as exactly one RankFailureReport
   /// (invariant 4 below).
   int rank_kills{0};
+  /// Concurrent (plan, scenario) runs: > 1 executes each pair as one
+  /// svc::Session on a work-stealing executor with a private injector,
+  /// controller and metrics registry per session. Stats and failure lines
+  /// merge in deterministic (plan, scenario) order, so the sweep outcome is
+  /// independent of the interleaving.
+  int jobs{1};
 };
 
 struct SweepStats {

@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <cstdlib>
+#include <string>
 
 #include "capi/cuda.hpp"
 #include "capi/memaccess.hpp"
@@ -459,6 +461,25 @@ TEST(CapiCudaTest, EventChainAcrossStreamsIsClean) {
     (void)capi::cuda::free(d);
   }));
   EXPECT_EQ(races, 0u);
+}
+
+TEST(CapiSessionTest, DefaultRanksIsCachedAcrossEnvChanges) {
+  // default_ranks() parses CUSAN_RANKS exactly once per process: it sits on
+  // the per-session hot path of sweeps and the svc executor, and a mid-run
+  // setenv must not change world sizes between scenarios.
+  const int first = capi::default_ranks();
+  EXPECT_GE(first, 2);
+  EXPECT_LE(first, 64);
+  const char* saved = std::getenv("CUSAN_RANKS");
+  const std::string saved_value = saved != nullptr ? saved : "";
+  ASSERT_EQ(::setenv("CUSAN_RANKS", std::to_string(first + 1).c_str(), 1), 0);
+  EXPECT_EQ(capi::default_ranks(), first) << "env re-read after first call";
+  if (saved != nullptr) {
+    ASSERT_EQ(::setenv("CUSAN_RANKS", saved_value.c_str(), 1), 0);
+  } else {
+    ASSERT_EQ(::unsetenv("CUSAN_RANKS"), 0);
+  }
+  EXPECT_EQ(capi::default_ranks(), first);
 }
 
 }  // namespace

@@ -1,0 +1,385 @@
+// svc: the checker-as-a-service layer. Covers the wire codec, the
+// work-stealing executor (lifecycle, cancel, admission parking, exception
+// capture), cross-session isolation (concurrent racy/clean scenarios with
+// distinct fault plans must match their solo runs verdict-for-verdict), and
+// a server+client loopback over a real unix socket.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "obs/diagnostics.hpp"
+#include "obs/metrics.hpp"
+#include "svc/client.hpp"
+#include "svc/executor.hpp"
+#include "svc/server.hpp"
+#include "svc/wire.hpp"
+#include "testsuite/scenarios.hpp"
+
+namespace {
+
+// -- wire codec ---------------------------------------------------------------
+
+TEST(SvcWire, FieldsRoundTripEscapes) {
+  const svc::wire::Fields fields{
+      {"label", "plain"},
+      {"multiline", "line one\nline two\rline three"},
+      {"backslash", "a\\b"},
+      {"empty", ""},
+  };
+  const svc::wire::Fields parsed = svc::wire::parse_fields(svc::wire::encode_fields(fields));
+  EXPECT_EQ(parsed, fields);
+}
+
+TEST(SvcWire, FieldHelpers) {
+  const svc::wire::Fields fields{{"id", "42"}, {"label", "x"}};
+  EXPECT_EQ(svc::wire::field_or(fields, "label", "fallback"), "x");
+  EXPECT_EQ(svc::wire::field_or(fields, "missing", "fallback"), "fallback");
+  EXPECT_EQ(svc::wire::field_u64(fields, "id", 0), 42u);
+  EXPECT_EQ(svc::wire::field_u64(fields, "missing", 7), 7u);
+}
+
+TEST(SvcWire, FrameRoundTripOverSocketpair) {
+  int fds[2] = {-1, -1};
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  const svc::wire::Frame sent{svc::wire::FrameType::kStart,
+                              "scenario=cuda_to_mpi__device\nbody=\\n-escaped\n"};
+  std::string error;
+  ASSERT_TRUE(svc::wire::write_frame(fds[0], sent, &error)) << error;
+  svc::wire::Frame received;
+  ASSERT_TRUE(svc::wire::read_frame(fds[1], &received, &error)) << error;
+  EXPECT_EQ(received.type, sent.type);
+  EXPECT_EQ(received.body, sent.body);
+  ::close(fds[0]);
+  // Closed peer reads as plain EOF: false with an empty error.
+  EXPECT_FALSE(svc::wire::read_frame(fds[1], &received, &error));
+  EXPECT_TRUE(error.empty());
+  ::close(fds[1]);
+}
+
+TEST(SvcWire, OversizedFrameRejected) {
+  int fds[2] = {-1, -1};
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  // Hand-roll a header claiming a body far over kMaxFrameBytes.
+  const std::uint32_t huge = svc::wire::kMaxFrameBytes + 1;
+  unsigned char header[5] = {static_cast<unsigned char>(huge & 0xff),
+                             static_cast<unsigned char>((huge >> 8) & 0xff),
+                             static_cast<unsigned char>((huge >> 16) & 0xff),
+                             static_cast<unsigned char>((huge >> 24) & 0xff), 1};
+  ASSERT_EQ(::write(fds[0], header, sizeof header), static_cast<ssize_t>(sizeof header));
+  svc::wire::Frame frame;
+  std::string error;
+  EXPECT_FALSE(svc::wire::read_frame(fds[1], &frame, &error));
+  EXPECT_FALSE(error.empty());
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+// -- executor -----------------------------------------------------------------
+
+TEST(SvcExecutor, RunsSubmittedSessionsAndCollectsResults) {
+  svc::ExecutorOptions options;
+  options.workers = 4;
+  svc::Executor executor(options);
+  std::atomic<int> ran{0};
+  std::vector<svc::SessionHandlePtr> handles;
+  for (int i = 0; i < 32; ++i) {
+    svc::SessionSpec spec;
+    spec.label = "s" + std::to_string(i);
+    spec.body = [&ran] { ran.fetch_add(1, std::memory_order_relaxed); };
+    handles.push_back(executor.submit(std::move(spec)));
+  }
+  executor.wait_idle();
+  EXPECT_EQ(ran.load(), 32);
+  std::set<std::uint64_t> ids;
+  for (const auto& handle : handles) {
+    EXPECT_EQ(handle->state(), svc::SessionState::kDone);
+    EXPECT_TRUE(handle->result().ok) << handle->result().error;
+    EXPECT_EQ(handle->result().label, handle->label());
+    ids.insert(handle->id());
+  }
+  EXPECT_EQ(ids.size(), handles.size()) << "session ids must be unique";
+  const svc::ExecutorStats stats = executor.stats();
+  EXPECT_EQ(stats.submitted, 32u);
+  EXPECT_EQ(stats.completed, 32u);
+}
+
+TEST(SvcExecutor, BodyExceptionIsCapturedNotFatal) {
+  svc::Executor executor(svc::ExecutorOptions{.workers = 1});
+  svc::SessionSpec spec;
+  spec.label = "throws";
+  spec.body = [] { throw std::runtime_error("session body exploded"); };
+  auto handle = executor.submit(std::move(spec));
+  handle->wait();
+  EXPECT_EQ(handle->state(), svc::SessionState::kDone);
+  EXPECT_FALSE(handle->result().ok);
+  EXPECT_EQ(handle->result().error, "session body exploded");
+}
+
+TEST(SvcExecutor, CancelQueuedButNotRunning) {
+  svc::Executor executor(svc::ExecutorOptions{.workers = 1});
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool started = false;
+  bool release = false;
+  // Session A occupies the only worker until released.
+  svc::SessionSpec blocker;
+  blocker.label = "blocker";
+  blocker.body = [&] {
+    std::unique_lock<std::mutex> lock(mutex);
+    started = true;
+    cv.notify_all();
+    cv.wait(lock, [&] { return release; });
+  };
+  auto running = executor.submit(std::move(blocker));
+  {
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [&] { return started; });
+  }
+  // Session B is still queued: cancellable.
+  svc::SessionSpec queued;
+  queued.label = "queued";
+  queued.body = [] { FAIL() << "cancelled session must not run"; };
+  auto parked = executor.submit(std::move(queued));
+  EXPECT_TRUE(executor.cancel(parked));
+  EXPECT_EQ(parked->state(), svc::SessionState::kCancelled);
+  // A running session is not interruptible.
+  EXPECT_FALSE(executor.cancel(running));
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    release = true;
+  }
+  cv.notify_all();
+  executor.wait_idle();
+  EXPECT_EQ(running->state(), svc::SessionState::kDone);
+  EXPECT_EQ(executor.stats().cancelled, 1u);
+}
+
+TEST(SvcExecutor, AdmissionBudgetParksInsteadOfOvercommitting) {
+  svc::ExecutorOptions options;
+  options.workers = 4;
+  options.max_mb = 8;
+  svc::Executor executor(options);
+  std::atomic<int> concurrent{0};
+  std::atomic<int> peak{0};
+  std::vector<svc::SessionHandlePtr> handles;
+  for (int i = 0; i < 12; ++i) {
+    svc::SessionSpec spec;
+    spec.label = "fat" + std::to_string(i);
+    spec.memory_estimate = 6ull * 1024 * 1024;  // two at a time would bust 8 MiB
+    spec.body = [&] {
+      const int now = concurrent.fetch_add(1, std::memory_order_acq_rel) + 1;
+      int seen = peak.load(std::memory_order_relaxed);
+      while (now > seen && !peak.compare_exchange_weak(seen, now)) {
+      }
+      concurrent.fetch_sub(1, std::memory_order_acq_rel);
+    };
+    handles.push_back(executor.submit(std::move(spec)));
+  }
+  executor.wait_idle();
+  for (const auto& handle : handles) {
+    EXPECT_TRUE(handle->result().ok);
+  }
+  EXPECT_EQ(peak.load(), 1) << "6 MiB estimates under an 8 MiB budget must serialize";
+  EXPECT_GT(executor.stats().parked, 0u);
+  EXPECT_EQ(executor.stats().completed, 12u);
+}
+
+// -- cross-session isolation --------------------------------------------------
+
+struct ScenarioRun {
+  std::size_t races{0};
+  std::uint64_t tracked_bytes{0};
+  std::vector<std::string> diagnostic_ids;
+  std::size_t fired_faults{0};
+  bool ok{false};
+};
+
+/// One scenario as an svc session; collects the verdict-relevant outputs
+/// (counters like fastpath hits are timing-dependent and deliberately
+/// excluded — the suite's own sequential runs wobble on them).
+ScenarioRun run_in_executor(svc::Executor& executor, const testsuite::Scenario& scenario,
+                            const std::string& fault_plan) {
+  ScenarioRun run;
+  svc::SessionSpec spec;
+  spec.label = scenario.name;
+  spec.fault_plan = fault_plan;
+  auto* out = &run;
+  spec.body = [out, &scenario] {
+    const auto outcome =
+        testsuite::run_scenario_outcome(scenario, /*use_shadow_fast_path=*/true);
+    out->races = outcome.races;
+    out->tracked_bytes = outcome.tracked_bytes;
+  };
+  auto handle = executor.submit(std::move(spec));
+  handle->wait();
+  run.ok = handle->result().ok;
+  run.fired_faults = handle->result().fired_faults.size();
+  for (const auto& diagnostic : handle->result().diagnostics) {
+    run.diagnostic_ids.push_back(diagnostic.id);
+  }
+  return run;
+}
+
+TEST(SvcIsolation, ConcurrentSessionsMatchTheirSoloRuns) {
+  const auto scenarios = testsuite::build_scenarios();
+  // A racy and a clean scenario, interleaved concurrently with distinct
+  // fault plans; each must reproduce its solo verdict, diagnostics and
+  // fault ledger exactly (no bleed through any formerly-global sink).
+  std::vector<std::pair<const testsuite::Scenario*, std::string>> mix;
+  const testsuite::Scenario* racy = nullptr;
+  const testsuite::Scenario* clean = nullptr;
+  for (const auto& scenario : scenarios) {
+    if (racy == nullptr && scenario.expect_race) {
+      racy = &scenario;
+    }
+    if (clean == nullptr && !scenario.expect_race) {
+      clean = &scenario;
+    }
+  }
+  ASSERT_NE(racy, nullptr);
+  ASSERT_NE(clean, nullptr);
+  // Exact-once delay faults: deterministic ledger, verdict-neutral action.
+  const std::string racy_plan = "send@rank0#1=delay:1ms";
+  const std::string clean_plan = "recv@rank1#1=delay:1ms";
+
+  svc::Executor solo(svc::ExecutorOptions{.workers = 1});
+  const ScenarioRun racy_solo = run_in_executor(solo, *racy, racy_plan);
+  const ScenarioRun clean_solo = run_in_executor(solo, *clean, clean_plan);
+  ASSERT_TRUE(racy_solo.ok);
+  ASSERT_TRUE(clean_solo.ok);
+  EXPECT_GT(racy_solo.races, 0u);
+  EXPECT_EQ(clean_solo.races, 0u);
+
+  svc::ExecutorOptions options;
+  options.workers = 4;
+  svc::Executor executor(options);
+  constexpr int kRounds = 4;
+  std::vector<ScenarioRun> racy_runs(kRounds);
+  std::vector<ScenarioRun> clean_runs(kRounds);
+  std::vector<std::thread> submitters;
+  submitters.reserve(2 * kRounds);
+  for (int i = 0; i < kRounds; ++i) {
+    submitters.emplace_back([&, i] { racy_runs[i] = run_in_executor(executor, *racy, racy_plan); });
+    submitters.emplace_back(
+        [&, i] { clean_runs[i] = run_in_executor(executor, *clean, clean_plan); });
+  }
+  for (auto& thread : submitters) {
+    thread.join();
+  }
+  for (int i = 0; i < kRounds; ++i) {
+    EXPECT_TRUE(racy_runs[i].ok);
+    EXPECT_EQ(racy_runs[i].races, racy_solo.races) << "round " << i;
+    EXPECT_EQ(racy_runs[i].tracked_bytes, racy_solo.tracked_bytes) << "round " << i;
+    EXPECT_EQ(racy_runs[i].diagnostic_ids, racy_solo.diagnostic_ids) << "round " << i;
+    EXPECT_EQ(racy_runs[i].fired_faults, racy_solo.fired_faults) << "round " << i;
+    EXPECT_TRUE(clean_runs[i].ok);
+    EXPECT_EQ(clean_runs[i].races, 0u) << "round " << i << ": clean scenario saw a bleed race";
+    EXPECT_EQ(clean_runs[i].tracked_bytes, clean_solo.tracked_bytes) << "round " << i;
+    EXPECT_EQ(clean_runs[i].diagnostic_ids, clean_solo.diagnostic_ids) << "round " << i;
+    EXPECT_EQ(clean_runs[i].fired_faults, clean_solo.fired_faults) << "round " << i;
+  }
+}
+
+TEST(SvcIsolation, SessionMetricDeltasStayPrivate) {
+  // Two concurrent sessions bump differently-named counters; each session's
+  // delta must contain exactly its own.
+  svc::ExecutorOptions options;
+  options.workers = 2;
+  svc::Executor executor(options);
+  svc::SessionSpec a;
+  a.label = "a";
+  a.body = [] { obs::metric("test.svc.a").add(3); };
+  svc::SessionSpec b;
+  b.label = "b";
+  b.body = [] { obs::metric("test.svc.b").add(5); };
+  auto ha = executor.submit(std::move(a));
+  auto hb = executor.submit(std::move(b));
+  executor.wait_idle();
+  const auto& da = ha->result().metric_deltas;
+  const auto& db = hb->result().metric_deltas;
+  ASSERT_TRUE(da.count("test.svc.a"));
+  EXPECT_EQ(da.at("test.svc.a"), 3u);
+  EXPECT_FALSE(da.count("test.svc.b")) << "counter bled between sessions";
+  ASSERT_TRUE(db.count("test.svc.b"));
+  EXPECT_EQ(db.at("test.svc.b"), 5u);
+  EXPECT_FALSE(db.count("test.svc.a")) << "counter bled between sessions";
+}
+
+// -- server + client loopback -------------------------------------------------
+
+TEST(SvcServer, StartStreamStatusResultOverUnixSocket) {
+  const std::string socket_path =
+      "/tmp/cusan_test_svc_" + std::to_string(::getpid()) + ".sock";
+  svc::ServerOptions options;
+  options.socket_path = socket_path;
+  options.executor.workers = 2;
+  svc::Server server(options, [](const svc::wire::Fields& request, svc::SessionSpec* spec,
+                                 std::string* error) {
+    const std::string kind = svc::wire::field_or(request, "kind", "");
+    if (kind == "emit") {
+      spec->label = svc::wire::field_or(request, "label", "emit");
+      spec->body = [] {
+        obs::emit_diagnostic({.id = "test.svc.loopback",
+                              .severity = obs::Severity::kWarning,
+                              .rank = 0,
+                              .message = "hello over the wire"});
+        obs::metric("test.svc.wire").add(9);
+      };
+      return true;
+    }
+    *error = "unknown kind: " + kind;
+    return false;
+  });
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  svc::Client client;
+  ASSERT_TRUE(client.connect(socket_path, &error)) << error;
+  svc::wire::Fields info;
+  ASSERT_TRUE(client.hello(&info, &error)) << error;
+  EXPECT_TRUE(client.ping(&error)) << error;
+
+  std::uint64_t id = 0;
+  ASSERT_TRUE(client.start({{"kind", "emit"}, {"label", "loop"}}, &id, &error)) << error;
+  EXPECT_GT(id, 0u);
+
+  std::vector<std::string> streamed_ids;
+  std::string metrics_json;
+  svc::wire::Fields result;
+  ASSERT_TRUE(client.wait_result(
+      [&](const svc::wire::Fields& fields) {
+        streamed_ids.push_back(svc::wire::field_or(fields, "diag", ""));
+      },
+      [&](const std::string& json) { metrics_json = json; }, &result, &error))
+      << error;
+  EXPECT_EQ(svc::wire::field_or(result, "ok", ""), "1");
+  EXPECT_EQ(svc::wire::field_or(result, "label", ""), "loop");
+  EXPECT_EQ(svc::wire::field_u64(result, "diagnostics", 0), 1u);
+  ASSERT_EQ(streamed_ids.size(), 1u);
+  EXPECT_EQ(streamed_ids[0], "test.svc.loopback");
+  EXPECT_NE(metrics_json.find("test.svc.wire"), std::string::npos);
+
+  // kStatus works on finished sessions, from the same connection.
+  svc::wire::Fields status;
+  ASSERT_TRUE(client.status(id, &status, &error)) << error;
+  EXPECT_EQ(svc::wire::field_or(status, "state", ""), "done");
+
+  // Unknown kinds are rejected with the factory's error.
+  std::uint64_t rejected_id = 0;
+  EXPECT_FALSE(client.start({{"kind", "nope"}}, &rejected_id, &error));
+  EXPECT_NE(error.find("unknown kind"), std::string::npos);
+
+  client.close();
+  server.stop();
+  ::unlink(socket_path.c_str());
+}
+
+}  // namespace

@@ -39,8 +39,16 @@
 // document (per-scenario verdicts plus a summary block with the obs metrics
 // registry delta for the whole run), written to PATH or stdout.
 //
+// With --jobs=N scenarios run concurrently as svc::Sessions on a
+// work-stealing executor: each scenario gets a private metrics registry,
+// diagnostics hub, fault injector and schedule controller, so verdicts and
+// per-scenario counters are identical to the sequential run while the wall
+// clock divides by the worker count. Output order stays deterministic
+// (scenario matrix order), and per-scenario fault accounting is per-session
+// (the summary sums the sessions).
+//
 // Usage: check_cutests [--json[=PATH]] [--schedules=N] [--schedule-dir=DIR]
-//                      [filter-substring]
+//                      [--jobs=N] [filter-substring]
 #include <cstddef>
 #include <cstdint>
 #include <cstdio>
@@ -53,6 +61,7 @@
 #include "obs/metrics.hpp"
 #include "obs/perfetto.hpp"
 #include "schedsim/controller.hpp"
+#include "svc/executor.hpp"
 #include "testsuite/fault_sweep.hpp"
 #include "testsuite/scenarios.hpp"
 
@@ -65,6 +74,7 @@ struct SeedRun {
   std::uint64_t decisions{0};    ///< choice points answered by the controller
   std::uint64_t preemptions{0};  ///< decisions steered away from the default
   const char* cls{"identical"};  ///< identical | new-true-race | divergence-bug | fault
+  std::string trace_path;        ///< saved reproducer (--schedule-dir), if any
 };
 
 struct ScenarioRecord {
@@ -81,6 +91,17 @@ struct ScenarioRecord {
   std::vector<SeedRun> seed_runs;
   std::size_t schedule_bugs{0};
   std::size_t schedule_new_races{0};
+  /// Per-run fault accounting (meaningful in --jobs mode, where each
+  /// scenario's session owns a private injector ledger).
+  std::uint64_t session_fired{0};
+  std::size_t session_unsurfaced{0};
+  std::vector<std::string> unsurfaced_lines;
+};
+
+/// What one scenario run needs to know beyond the scenario itself.
+struct RunConfig {
+  std::size_t schedules{0};
+  std::string schedule_dir;
 };
 
 /// Classify one seed run's verdict against the free-schedule baseline.
@@ -106,6 +127,148 @@ struct ScenarioRecord {
     }
   }
   return out;
+}
+
+/// Run one scenario — fast/slow passes, fault accounting, optional schedule
+/// seed runs — against whatever injector/controller the calling thread
+/// resolves to. Sequentially that is the process-global pair (cumulative
+/// ledger, exactly the pre---jobs behavior); inside an svc::Session it is
+/// the session-private pair, so concurrent scenarios cannot bleed fired
+/// faults or schedule state into each other. No printing here: callers
+/// print in deterministic order from the returned record.
+[[nodiscard]] ScenarioRecord run_scenario_record(const testsuite::Scenario& scenario,
+                                                 const RunConfig& config) {
+  auto& injector = faultsim::Injector::instance();
+  auto& controller = schedsim::Controller::instance();
+  ScenarioRecord record;
+  record.scenario = &scenario;
+  const std::size_t fired_before = injector.fired_count();
+  record.fast = testsuite::run_scenario_outcome(scenario, /*use_shadow_fast_path=*/true);
+  record.slow = testsuite::run_scenario_outcome(scenario, /*use_shadow_fast_path=*/false);
+  record.faults_fired = injector.fired_count() - fired_before;
+  if (record.faults_fired > 0) {
+    // Faults fired into this scenario: the verdict may legitimately differ
+    // from the fault-free expectation. Surfacing is checked at the end.
+    // Classify how the run ended — "perturbed" (all ranks survived) vs a
+    // contained rank death, named by its signal.
+    const auto& fired_log = injector.fired_log();
+    record.fault_outcome = testsuite::classify_run(std::vector<faultsim::FiredFault>(
+        fired_log.begin() + static_cast<std::ptrdiff_t>(fired_before), fired_log.end()));
+    return record;
+  }
+  record.diverged = record.fast.races != record.slow.races;
+  record.ok = !record.diverged && testsuite::classified_correctly(scenario, record.fast.races);
+  // Randomized-schedule sweep: re-run the scenario under PCT schedules and
+  // classify every seed's verdict against the baseline just computed.
+  for (std::size_t s = 1; s <= config.schedules; ++s) {
+    schedsim::Config sched_config;
+    sched_config.mode = schedsim::Mode::kSeed;
+    sched_config.seed = s;
+    sched_config.record = true;  // in-memory: take_trace() below
+    controller.configure(sched_config);
+    const std::size_t sched_fired_before = injector.fired_count();
+    const testsuite::ScenarioOutcome outcome =
+        testsuite::run_scenario_outcome(scenario, /*use_shadow_fast_path=*/true);
+    const schedsim::Stats sched_stats = controller.stats();
+    SeedRun run;
+    run.seed = s;
+    run.races = outcome.races;
+    run.decisions = sched_stats.decisions;
+    run.preemptions = sched_stats.preemptions;
+    if (injector.fired_count() != sched_fired_before) {
+      run.cls = "fault";  // injected failures legitimately change verdicts
+    } else {
+      run.cls = classify_seed_run(scenario, record.fast.races, outcome.races);
+    }
+    if (std::strcmp(run.cls, "divergence-bug") == 0) {
+      ++record.schedule_bugs;
+    } else if (std::strcmp(run.cls, "new-true-race") == 0) {
+      ++record.schedule_new_races;
+    }
+    if (std::strcmp(run.cls, "identical") != 0 && std::strcmp(run.cls, "fault") != 0 &&
+        !config.schedule_dir.empty()) {
+      // Save the decision trace: CUSAN_SCHEDULE=replay:FILE reproduces it.
+      const std::string path = config.schedule_dir + "/" + sanitize_name(scenario.name) +
+                               ".seed" + std::to_string(s) + ".trace";
+      std::string error;
+      if (!obs::write_file(path, controller.take_trace(), &error)) {
+        std::fprintf(stderr, "--schedule-dir: %s\n", error.c_str());
+      } else {
+        run.trace_path = path;
+      }
+    }
+    record.seed_runs.push_back(run);
+  }
+  if (config.schedules > 0) {
+    controller.clear();
+    if (record.schedule_bugs > 0) {
+      record.ok = false;
+    }
+  }
+  return record;
+}
+
+/// Per-session fault accounting, read off the calling thread's (session)
+/// injector after the scenario ran.
+void collect_session_ledger(ScenarioRecord& record) {
+  const auto& injector = faultsim::Injector::instance();
+  record.session_fired = injector.fired_count();
+  record.session_unsurfaced = injector.unsurfaced_count();
+  for (const auto& f : injector.fired_log()) {
+    if (f.surfaced == faultsim::Channel::kNone) {
+      record.unsurfaced_lines.push_back("  UNSURFACED: fault #" + std::to_string(f.id) + " " +
+                                        to_string(f.action) + " at " + to_string(f.site));
+    }
+  }
+}
+
+/// The llvm-lit style per-scenario lines (non-JSON mode).
+void print_record(const ScenarioRecord& record, std::size_t index, std::size_t total) {
+  const testsuite::Scenario& scenario = *record.scenario;
+  if (record.faults_fired > 0) {
+    std::printf("FAULT: CuSanTest :: %s (%zu of %zu) [%zu fault(s) fired: %s]\n",
+                scenario.name.c_str(), index, total, record.faults_fired,
+                record.fault_outcome.c_str());
+    return;
+  }
+  const char* detail = "";
+  if (record.diverged) {
+    detail = "  [fast/slow shadow divergence]";
+  } else if (record.schedule_bugs > 0) {
+    detail = "  [schedule-dependent verdict]";
+  } else if (!record.ok) {
+    detail = scenario.expect_race ? "  [expected a race, none reported]"
+                                  : "  [false positive report]";
+  }
+  std::string sched_note;
+  if (!record.seed_runs.empty()) {
+    sched_note = " [schedules " + std::to_string(record.seed_runs.size()) + ": ";
+    if (record.schedule_bugs == 0 && record.schedule_new_races == 0) {
+      sched_note += "identical";
+    } else {
+      sched_note += std::to_string(record.schedule_bugs) + " bug(s), " +
+                    std::to_string(record.schedule_new_races) + " new race(s)";
+    }
+    sched_note += "]";
+  }
+  std::printf(
+      "%s: CuSanTest :: %s (%zu of %zu) [tracked %.1f KiB] [fastpath %llu hits / %llu "
+      "granules] [elided %llu launches / %.1f KiB]%s%s\n",
+      record.ok ? "PASS" : "FAIL", scenario.name.c_str(), index, total,
+      static_cast<double>(record.fast.tracked_bytes) / 1024.0,
+      static_cast<unsigned long long>(record.fast.fastpath_hits),
+      static_cast<unsigned long long>(record.fast.fastpath_granules_elided),
+      static_cast<unsigned long long>(record.fast.elided_launches),
+      static_cast<double>(record.fast.elided_bytes) / 1024.0, sched_note.c_str(), detail);
+  for (const SeedRun& run : record.seed_runs) {
+    if (!run.trace_path.empty()) {
+      std::printf("  reproducer: %s\n", run.trace_path.c_str());
+    }
+  }
+  if (record.diverged) {
+    std::printf("  fast path: %zu race(s); reference path: %zu race(s)\n", record.fast.races,
+                record.slow.races);
+  }
 }
 
 [[nodiscard]] const char* verdict(const ScenarioRecord& r) {
@@ -204,8 +367,8 @@ void append_json_escaped(std::string& out, const std::string& text) {
 int main(int argc, char** argv) {
   bool json = false;
   std::string json_path;
-  std::size_t schedules = 0;
-  std::string schedule_dir;
+  RunConfig config;
+  int jobs = 0;
   const char* filter = nullptr;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -215,11 +378,15 @@ int main(int argc, char** argv) {
       json = true;
       json_path = arg + 7;
     } else if (std::strncmp(arg, "--schedules=", 12) == 0) {
-      schedules = static_cast<std::size_t>(std::atoi(arg + 12));
+      config.schedules = static_cast<std::size_t>(std::atoi(arg + 12));
     } else if (std::strcmp(arg, "--schedules") == 0 && i + 1 < argc) {
-      schedules = static_cast<std::size_t>(std::atoi(argv[++i]));
+      config.schedules = static_cast<std::size_t>(std::atoi(argv[++i]));
     } else if (std::strncmp(arg, "--schedule-dir=", 15) == 0) {
-      schedule_dir = arg + 15;
+      config.schedule_dir = arg + 15;
+    } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
+      jobs = std::atoi(arg + 7);
+    } else if (std::strcmp(arg, "--jobs") == 0 && i + 1 < argc) {
+      jobs = std::atoi(argv[++i]);
     } else {
       filter = arg;
     }
@@ -239,12 +406,15 @@ int main(int argc, char** argv) {
   const int world_ranks = capi::default_ranks();
   if (!json) {
     std::printf("-- world: %d ranks\n", world_ranks);
-    if (schedules > 0) {
-      std::printf("-- schedules: %zu randomized seed(s) per scenario\n", schedules);
+    if (config.schedules > 0) {
+      std::printf("-- schedules: %zu randomized seed(s) per scenario\n", config.schedules);
+    }
+    if (jobs > 1) {
+      std::printf("-- jobs: %d concurrent session(s)\n", jobs);
     }
   }
   auto& controller = schedsim::Controller::instance();
-  if (schedules > 0) {
+  if (config.schedules > 0) {
     // The sweep owns the controller for the whole run: baselines run with it
     // disarmed, seed runs configure it per (scenario, seed).
     controller.clear();
@@ -265,148 +435,100 @@ int main(int argc, char** argv) {
 
   const obs::MetricsSnapshot metrics_before = obs::MetricsRegistry::instance().snapshot();
 
+  std::vector<ScenarioRecord> records(selected.size());
+  obs::MetricsSnapshot session_metrics;  // summed per-session deltas (--jobs)
+  if (jobs > 1) {
+    // One svc::Session per scenario: private injector/controller/metrics per
+    // session, results written into pre-sized slots so the output order (and
+    // every verdict) matches the sequential run exactly.
+    const char* env_plan = std::getenv("CUSAN_FAULT_PLAN");
+    svc::ExecutorOptions exec_options;
+    exec_options.workers = jobs;
+    svc::Executor executor(exec_options);
+    std::vector<svc::SessionHandlePtr> handles;
+    handles.reserve(selected.size());
+    for (std::size_t i = 0; i < selected.size(); ++i) {
+      svc::SessionSpec spec;
+      spec.label = selected[i]->name;
+      if (env_plan != nullptr) {
+        spec.fault_plan = env_plan;
+      }
+      spec.body = [&records, &selected, &config, i] {
+        records[i] = run_scenario_record(*selected[i], config);
+        collect_session_ledger(records[i]);
+      };
+      handles.push_back(executor.submit(std::move(spec)));
+    }
+    executor.wait_idle();
+    for (const auto& handle : handles) {
+      if (!handle->result().ok) {
+        std::fprintf(stderr, "session %s failed: %s\n", handle->label().c_str(),
+                     handle->result().error.c_str());
+        return 2;
+      }
+      for (const auto& [key, value] : handle->result().metric_deltas) {
+        session_metrics[key] += value;
+      }
+    }
+  } else {
+    for (std::size_t i = 0; i < selected.size(); ++i) {
+      records[i] = run_scenario_record(*selected[i], config);
+      if (!json) {
+        print_record(records[i], i + 1, selected.size());
+      }
+    }
+  }
+
   std::size_t failures = 0;
   std::size_t divergences = 0;
   std::size_t faulted = 0;
   std::size_t schedule_bugs = 0;
   std::size_t schedule_new_races = 0;
-  std::size_t index = 0;
   std::uint64_t total_tracked = 0;
   std::uint64_t total_hits = 0;
   std::uint64_t total_elided_launches = 0;
   std::uint64_t total_elided_bytes = 0;
-  std::vector<ScenarioRecord> records;
-  records.reserve(selected.size());
-  for (const auto* scenario : selected) {
-    ++index;
-    ScenarioRecord record;
-    record.scenario = scenario;
-    const std::size_t fired_before = injector.fired_count();
-    record.fast = testsuite::run_scenario_outcome(*scenario, /*use_shadow_fast_path=*/true);
-    record.slow = testsuite::run_scenario_outcome(*scenario, /*use_shadow_fast_path=*/false);
-    record.faults_fired = injector.fired_count() - fired_before;
+  std::uint64_t jobs_fired = 0;
+  std::size_t jobs_unsurfaced = 0;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const ScenarioRecord& record = records[i];
+    if (jobs > 1 && !json) {
+      print_record(record, i + 1, records.size());
+    }
     total_tracked += record.fast.tracked_bytes;
     total_hits += record.fast.fastpath_hits;
     total_elided_launches += record.fast.elided_launches;
     total_elided_bytes += record.fast.elided_bytes;
     if (record.faults_fired > 0) {
-      // Faults fired into this scenario: the verdict may legitimately differ
-      // from the fault-free expectation. Surfacing is checked at the end.
-      // Classify how the run ended — "perturbed" (all ranks survived) vs a
-      // contained rank death, named by its signal.
       ++faulted;
-      const auto& fired_log = injector.fired_log();
-      record.fault_outcome = testsuite::classify_run(std::vector<faultsim::FiredFault>(
-          fired_log.begin() + static_cast<std::ptrdiff_t>(fired_before), fired_log.end()));
-      if (!json) {
-        std::printf("FAULT: CuSanTest :: %s (%zu of %zu) [%zu fault(s) fired: %s]\n",
-                    scenario->name.c_str(), index, selected.size(), record.faults_fired,
-                    record.fault_outcome.c_str());
-      }
-      records.push_back(record);
-      continue;
-    }
-    record.diverged = record.fast.races != record.slow.races;
-    record.ok = !record.diverged && testsuite::classified_correctly(*scenario, record.fast.races);
-    // Randomized-schedule sweep: re-run the scenario under PCT schedules and
-    // classify every seed's verdict against the baseline just computed.
-    for (std::size_t s = 1; s <= schedules; ++s) {
-      schedsim::Config sched_config;
-      sched_config.mode = schedsim::Mode::kSeed;
-      sched_config.seed = s;
-      sched_config.record = true;  // in-memory: take_trace() below
-      controller.configure(sched_config);
-      const std::size_t sched_fired_before = injector.fired_count();
-      const testsuite::ScenarioOutcome outcome =
-          testsuite::run_scenario_outcome(*scenario, /*use_shadow_fast_path=*/true);
-      const schedsim::Stats sched_stats = controller.stats();
-      SeedRun run;
-      run.seed = s;
-      run.races = outcome.races;
-      run.decisions = sched_stats.decisions;
-      run.preemptions = sched_stats.preemptions;
-      if (injector.fired_count() != sched_fired_before) {
-        run.cls = "fault";  // injected failures legitimately change verdicts
-      } else {
-        run.cls = classify_seed_run(*scenario, record.fast.races, outcome.races);
-      }
-      if (std::strcmp(run.cls, "divergence-bug") == 0) {
-        ++record.schedule_bugs;
-      } else if (std::strcmp(run.cls, "new-true-race") == 0) {
-        ++record.schedule_new_races;
-      }
-      if (std::strcmp(run.cls, "identical") != 0 && std::strcmp(run.cls, "fault") != 0 &&
-          !schedule_dir.empty()) {
-        // Save the decision trace: CUSAN_SCHEDULE=replay:FILE reproduces it.
-        const std::string path = schedule_dir + "/" + sanitize_name(scenario->name) + ".seed" +
-                                 std::to_string(s) + ".trace";
-        std::string error;
-        if (!obs::write_file(path, controller.take_trace(), &error)) {
-          std::fprintf(stderr, "--schedule-dir: %s\n", error.c_str());
-        } else if (!json) {
-          std::printf("  reproducer: %s\n", path.c_str());
-        }
-      }
-      record.seed_runs.push_back(run);
-    }
-    if (schedules > 0) {
-      controller.clear();
-      schedule_bugs += record.schedule_bugs;
-      schedule_new_races += record.schedule_new_races;
-      if (record.schedule_bugs > 0) {
-        record.ok = false;
-      }
-    }
-    if (!record.ok) {
+    } else if (!record.ok) {
       ++failures;
     }
     if (record.diverged) {
       ++divergences;
     }
-    if (!json) {
-      const char* detail = "";
-      if (record.diverged) {
-        detail = "  [fast/slow shadow divergence]";
-      } else if (record.schedule_bugs > 0) {
-        detail = "  [schedule-dependent verdict]";
-      } else if (!record.ok) {
-        detail = scenario->expect_race ? "  [expected a race, none reported]"
-                                       : "  [false positive report]";
-      }
-      std::string sched_note;
-      if (!record.seed_runs.empty()) {
-        sched_note = " [schedules " + std::to_string(record.seed_runs.size()) + ": ";
-        if (record.schedule_bugs == 0 && record.schedule_new_races == 0) {
-          sched_note += "identical";
-        } else {
-          sched_note += std::to_string(record.schedule_bugs) + " bug(s), " +
-                        std::to_string(record.schedule_new_races) + " new race(s)";
-        }
-        sched_note += "]";
-      }
-      std::printf(
-          "%s: CuSanTest :: %s (%zu of %zu) [tracked %.1f KiB] [fastpath %llu hits / %llu "
-          "granules] [elided %llu launches / %.1f KiB]%s%s\n",
-          record.ok ? "PASS" : "FAIL", scenario->name.c_str(), index, selected.size(),
-          static_cast<double>(record.fast.tracked_bytes) / 1024.0,
-          static_cast<unsigned long long>(record.fast.fastpath_hits),
-          static_cast<unsigned long long>(record.fast.fastpath_granules_elided),
-          static_cast<unsigned long long>(record.fast.elided_launches),
-          static_cast<double>(record.fast.elided_bytes) / 1024.0, sched_note.c_str(), detail);
-      if (record.diverged) {
-        std::printf("  fast path: %zu race(s); reference path: %zu race(s)\n", record.fast.races,
-                    record.slow.races);
-      }
-    }
-    records.push_back(record);
+    schedule_bugs += record.schedule_bugs;
+    schedule_new_races += record.schedule_new_races;
+    jobs_fired += record.session_fired;
+    jobs_unsurfaced += record.session_unsurfaced;
   }
-  const std::size_t unsurfaced = faulted_run ? injector.unsurfaced_count() : 0;
+
+  // Fault accounting: sequentially the global injector holds the cumulative
+  // ledger; with --jobs each session held its own, summed above.
+  const std::uint64_t fired_total = jobs > 1 ? jobs_fired : injector.fired_count();
+  const std::size_t unsurfaced =
+      !faulted_run ? 0 : (jobs > 1 ? jobs_unsurfaced : injector.unsurfaced_count());
   if (json) {
-    const obs::MetricsSnapshot metrics_after = obs::MetricsRegistry::instance().snapshot();
+    obs::MetricsSnapshot metrics_delta;
+    if (jobs > 1) {
+      metrics_delta = session_metrics;
+    } else {
+      metrics_delta =
+          obs::MetricsRegistry::diff(obs::MetricsRegistry::instance().snapshot(), metrics_before);
+    }
     const std::string doc =
-        to_json(records, obs::MetricsRegistry::diff(metrics_after, metrics_before), world_ranks,
-                failures, divergences, faulted, unsurfaced, schedules, schedule_bugs,
-                schedule_new_races);
+        to_json(records, metrics_delta, world_ranks, failures, divergences, faulted, unsurfaced,
+                config.schedules, schedule_bugs, schedule_new_races);
     if (json_path.empty()) {
       std::fputs(doc.c_str(), stdout);
     } else {
@@ -424,14 +546,21 @@ int main(int argc, char** argv) {
         static_cast<double>(total_tracked) / 1024.0, static_cast<unsigned long long>(total_hits),
         static_cast<unsigned long long>(total_elided_launches),
         static_cast<double>(total_elided_bytes) / 1024.0);
-    if (schedules > 0) {
+    if (config.schedules > 0) {
       std::printf("  Schedule runs: %zu\n  Schedule bugs: %zu\n  New races found: %zu\n",
-                  (selected.size() - faulted) * schedules, schedule_bugs, schedule_new_races);
+                  (selected.size() - faulted) * config.schedules, schedule_bugs,
+                  schedule_new_races);
     }
     if (faulted_run) {
-      std::printf("  Faulted: %zu\n  Faults fired: %zu\n  Faults unsurfaced: %zu\n", faulted,
-                  injector.fired_count(), unsurfaced);
-      if (unsurfaced > 0) {
+      std::printf("  Faulted: %zu\n  Faults fired: %llu\n  Faults unsurfaced: %zu\n", faulted,
+                  static_cast<unsigned long long>(fired_total), unsurfaced);
+      if (unsurfaced > 0 && jobs > 1) {
+        for (const ScenarioRecord& record : records) {
+          for (const std::string& line : record.unsurfaced_lines) {
+            std::printf("%s\n", line.c_str());
+          }
+        }
+      } else if (unsurfaced > 0) {
         for (const auto& f : injector.fired_log()) {
           if (f.surfaced == faultsim::Channel::kNone) {
             std::printf("  UNSURFACED: fault #%llu %s at %s\n",

@@ -15,9 +15,13 @@
 // exactly one supervisor RankFailureReport; under the thread backend they
 // stay dormant and invariant 2 proves them invisible.
 //
+// With --jobs N the (plan, scenario) grid runs concurrently as svc::Sessions
+// on a work-stealing executor (per-session injector/controller/metrics), with
+// stats merged in deterministic order; verdicts are identical to --jobs 1.
+//
 // Usage: fault_sweep [--plans N] [--faults N] [--seed N] [--filter SUBSTR]
 //                    [--watchdog MS] [--metrics PATH] [--schedules N]
-//                    [--rank-kills N] [--verbose]
+//                    [--rank-kills N] [--jobs N] [--verbose]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -32,7 +36,8 @@ namespace {
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--plans N] [--faults N] [--seed N] [--filter SUBSTR] "
-               "[--watchdog MS] [--metrics PATH] [--schedules N] [--rank-kills N] [--verbose]\n",
+               "[--watchdog MS] [--metrics PATH] [--schedules N] [--rank-kills N] [--jobs N] "
+               "[--verbose]\n",
                argv0);
   std::exit(2);
 }
@@ -89,6 +94,9 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(arg, "--rank-kills") == 0) {
       options.rank_kills = static_cast<int>(parse_long(argv[0], arg, value));
       ++i;
+    } else if (std::strcmp(arg, "--jobs") == 0) {
+      options.jobs = static_cast<int>(parse_long(argv[0], arg, value));
+      ++i;
     } else if (std::strcmp(arg, "--verbose") == 0) {
       options.verbose = true;
     } else {
@@ -97,9 +105,9 @@ int main(int argc, char** argv) {
     }
   }
   if (options.plans < 1 || options.faults_per_plan < 1 || options.watchdog.count() <= 0 ||
-      options.schedules < 0 || options.rank_kills < 0) {
+      options.schedules < 0 || options.rank_kills < 0 || options.jobs < 1) {
     std::fprintf(stderr,
-                 "--plans/--faults must be >= 1, --watchdog must be > 0, "
+                 "--plans/--faults/--jobs must be >= 1, --watchdog must be > 0, "
                  "--schedules/--rank-kills >= 0\n");
     return 2;
   }
