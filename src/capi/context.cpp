@@ -41,7 +41,9 @@ ToolContext::ToolContext(int rank, const ToolConfig& config, const cusim::Device
     devices_.back()->set_obs_rank(rank);
   }
   if (config.tsan) {
-    tsan_ = std::make_unique<rsan::Runtime>(config.rsan_config);
+    rsan::RuntimeConfig rsan_config = config.rsan_config;
+    rsan_config.rank = rank;  // execution-graph sync events land on this lane
+    tsan_ = std::make_unique<rsan::Runtime>(rsan_config);
   }
   if (config.typeart) {
     types_ = std::make_unique<typeart::Runtime>(typedb);

@@ -12,6 +12,7 @@
 #include "obs/perfetto.hpp"
 #include "obs/ring.hpp"
 #include "schedsim/controller.hpp"
+#include "schedsim/execution_graph.hpp"
 
 namespace capi {
 
@@ -95,6 +96,18 @@ std::vector<RankResult> run_session(const SessionConfig& config, const RankMain&
   // itself instead of the file exports.
   const bool scoped = obs::MetricsRegistry::is_scoped();
   schedsim::Controller::instance().begin_session();
+  // A `graph[:<path>]` schedule clause records the execution graph for this
+  // session (thread backend: proc-backend children are separate processes,
+  // so only parent-side decisions would land in it). Explorer-driven runs
+  // arm the recorder themselves and leave config().graph unset here.
+  const schedsim::Config sched_config = schedsim::Controller::instance().config();
+  const bool session_graph = sched_config.graph && !schedsim::GraphRecorder::enabled();
+  if (session_graph) {
+    schedsim::GraphRecorder& recorder = schedsim::GraphRecorder::instance();
+    recorder.begin_run();
+    recorder.set_strategy(schedsim::Controller::instance().strategy_string());
+    recorder.arm(true);
+  }
   const obs::ExportConfig* obs_cfg = nullptr;
   if (!scoped) {
     obs_cfg = &obs_config();
@@ -176,6 +189,19 @@ std::vector<RankResult> run_session(const SessionConfig& config, const RankMain&
     }
   }
   schedsim::Controller::instance().end_session();
+  if (session_graph) {
+    schedsim::GraphRecorder& recorder = schedsim::GraphRecorder::instance();
+    recorder.arm(false);
+    if (!sched_config.graph_path.empty()) {
+      // Like the Perfetto trace and the record path: the exported file is
+      // the last session's.
+      std::string error;
+      if (!obs::write_file(sched_config.graph_path,
+                           schedsim::serialize_graph(recorder.snapshot()), &error)) {
+        std::fprintf(stderr, "cusan: execution graph export failed: %s\n", error.c_str());
+      }
+    }
+  }
   if (!scoped) {
     export_observability(*obs_cfg);
   }

@@ -8,6 +8,7 @@
 #include "common/log.hpp"
 #include "obs/diagnostics.hpp"
 #include "obs/ring.hpp"
+#include "schedsim/execution_graph.hpp"
 
 namespace rsan {
 
@@ -111,6 +112,9 @@ void Runtime::happens_before(const void* key) {
   clock.join(cur.clock);
   cur.clock.tick(current_);
   ++cur.sync_gen;  // fast-path invalidation rule: any release invalidates
+  if (schedsim::GraphRecorder::enabled()) {
+    schedsim::GraphRecorder::instance().record_release(config_.rank, current_, key);
+  }
 }
 
 void Runtime::happens_after(const void* key) {
@@ -122,6 +126,9 @@ void Runtime::happens_after(const void* key) {
   Context& cur = *contexts_[current_];
   cur.clock.join(it->second);
   ++cur.sync_gen;  // fast-path invalidation rule: any acquire invalidates
+  if (schedsim::GraphRecorder::enabled()) {
+    schedsim::GraphRecorder::instance().record_acquire(config_.rank, current_, key);
+  }
 }
 
 bool Runtime::has_sync_object(const void* key) const {
@@ -130,6 +137,11 @@ bool Runtime::has_sync_object(const void* key) const {
 
 void Runtime::release_sync_object(const void* key) {
   sync_objects_.erase(reinterpret_cast<std::uintptr_t>(key));
+  if (schedsim::GraphRecorder::enabled()) {
+    // The key's address may be recycled for an unrelated sync object; retire
+    // its pending release nodes so no false cross-object edge appears.
+    schedsim::GraphRecorder::instance().record_key_retire(key);
+  }
 }
 
 void Runtime::read_range(const void* addr, std::size_t size, const char* label) {

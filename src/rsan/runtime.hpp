@@ -57,6 +57,10 @@ struct RuntimeConfig {
   /// Counters::degraded_blocks/degraded_accesses — instead of aborting the
   /// run (robustness under substrate memory pressure).
   std::size_t shadow_max_bytes = default_shadow_max_bytes();
+  /// Owning rank, for the execution-graph recorder (schedsim): sync events
+  /// this runtime records land on the rank's host lane. -1 = unattributed
+  /// (raw rsan unit tests outside a capi session).
+  int rank = -1;
 };
 
 struct ContextInfo {

@@ -1,5 +1,7 @@
 #include "schedsim/controller.hpp"
 
+#include "schedsim/execution_graph.hpp"
+
 #include <cstdio>
 #include <cstdlib>
 
@@ -130,6 +132,21 @@ bool parse_schedule(const std::string& text, Config* out, std::string* error) {
       have_mode = true;
       config.mode = Mode::kReplay;
       config.replay_path = arg;
+    } else if (head == "dpor") {
+      if (have_mode) {
+        return parse_error(error, "multiple strategy clauses");
+      }
+      have_mode = true;
+      config.mode = Mode::kDpor;
+    } else if (head == "bound") {
+      std::uint64_t k = 0;
+      if (!parse_u64(arg, &k) || k == 0) {
+        return parse_error(error, common::format("bound: not a positive number: '{}'", arg));
+      }
+      config.bound = static_cast<std::uint32_t>(k);
+    } else if (head == "graph") {
+      config.graph = true;
+      config.graph_path = arg;  // empty: in-memory only
     } else if (head == "record") {
       if (arg.empty()) {
         return parse_error(error, "record: missing path");
@@ -225,6 +242,8 @@ int Controller::choose(Site site, const ActorId& actor, int candidates, int defa
     ++stats_.decisions;
     switch (config_.mode) {
       case Mode::kFree:
+      case Mode::kDpor:  // a single dpor run is free + record; the explorer
+                         // owns the multi-run loop and installs prefixes
         break;
       case Mode::kSeed: {
         // Deterministic per (seed, actor, site, seq): the answer a stream
@@ -240,6 +259,8 @@ int Controller::choose(Site site, const ActorId& actor, int candidates, int defa
         }
         break;
       }
+      case Mode::kPrefix:  // prefix pinning replays its pinned slice and
+                           // records the suffix as tolerated underruns
       case Mode::kReplay: {
         if (st.diverged) {
           break;
@@ -278,6 +299,9 @@ int Controller::choose(Site site, const ActorId& actor, int candidates, int defa
       recorded_.push_back({actor, seq, site, candidates, chosen});
     }
   }
+  if (GraphRecorder::enabled()) {
+    GraphRecorder::instance().record_decision(actor, site, seq, candidates, chosen);
+  }
   sched_counters().decisions->add(1);
   if (obs::tracing_enabled()) {
     obs::emit_instant(actor.rank, obs::EventKind::kSchedule, actor_track(actor), to_string(site),
@@ -290,10 +314,32 @@ int Controller::choose(Site site, const ActorId& actor, int candidates, int defa
 void Controller::configure(const Config& config) {
   std::lock_guard lock(mutex_);
   config_ = config;
+  if (config_.mode == Mode::kDpor) {
+    config_.record = true;  // every explored run must yield its trace
+  }
   replay_ = {};
   replay_streams_.clear();
   reset_run_state_locked();
-  set_armed(config_.mode != Mode::kFree || config_.record);
+  set_armed(config_.mode != Mode::kFree || config_.record || config_.graph);
+}
+
+void Controller::configure_prefix(std::vector<TraceEntry> prefix) {
+  std::lock_guard lock(mutex_);
+  const bool graph = config_.graph;
+  const std::string graph_path = config_.graph_path;
+  config_ = {};
+  config_.mode = Mode::kPrefix;
+  config_.record = true;
+  config_.graph = graph;
+  config_.graph_path = graph_path;
+  replay_ = {};
+  replay_.entries = std::move(prefix);
+  replay_streams_.clear();
+  for (std::size_t i = 0; i < replay_.entries.size(); ++i) {
+    replay_streams_[stream_key(replay_.entries[i].actor, replay_.entries[i].site)].push_back(i);
+  }
+  reset_run_state_locked();
+  set_armed(true);
 }
 
 bool Controller::configure_replay_text(const std::string& trace_text, std::string* error,
@@ -433,9 +479,18 @@ std::string Controller::strategy_string_locked() const {
     case Mode::kReplay:
       out = config_.replay_path.empty() ? "replay" : "replay:" + config_.replay_path;
       break;
+    case Mode::kPrefix:
+      out = common::format("prefix:{}", replay_.entries.size());
+      break;
+    case Mode::kDpor:
+      out = config_.bound != 0 ? common::format("dpor;bound:{}", config_.bound) : "dpor";
+      break;
   }
   if (config_.record) {
     out += config_.record_path.empty() ? ";record" : ";record:" + config_.record_path;
+  }
+  if (config_.graph) {
+    out += config_.graph_path.empty() ? ";graph" : ";graph:" + config_.graph_path;
   }
   return out;
 }
@@ -455,6 +510,13 @@ std::string Controller::take_trace() {
   trace.entries = std::move(recorded_);
   recorded_.clear();
   return serialize_trace(trace);
+}
+
+std::vector<TraceEntry> Controller::take_recorded() {
+  std::lock_guard lock(mutex_);
+  std::vector<TraceEntry> out = std::move(recorded_);
+  recorded_.clear();
+  return out;
 }
 
 std::optional<Divergence> Controller::divergence() const {

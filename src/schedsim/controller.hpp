@@ -20,6 +20,14 @@
 //   record:<path>    compose with any of the above to write the decision
 //                    trace after each session — any race a sweep finds
 //                    becomes a one-command deterministic reproducer
+//   dpor             systematic exploration (explorer.hpp): harnesses drive
+//                    a source-DPOR frontier of pinned prefixes over repeated
+//                    runs; a single session under this mode runs free with
+//                    recording on (the explorer owns the multi-run loop).
+//                    `bound:<k>` caps executed schedules per scenario
+//   graph[:<path>]   compose: record the execution graph (execution_graph
+//                    .hpp) during the run; with a path, serialize it after
+//                    each session next to the decision trace
 //
 // Cost model (the bench guard asserts it): disarmed, armed() is a single
 // relaxed atomic load and choose() is never reached. Armed, decisions take a
@@ -42,6 +50,8 @@ enum class Mode : std::uint8_t {
   kFree,    ///< default choices (armed only if recording)
   kSeed,    ///< PCT-style randomized preemption
   kReplay,  ///< answer from a recorded trace
+  kPrefix,  ///< replay a pinned prefix, record the free suffix (explorer)
+  kDpor,    ///< explorer-driven systematic exploration (free + record per run)
 };
 
 struct Config {
@@ -53,11 +63,16 @@ struct Config {
   bool record{false};
   std::string record_path;  ///< empty: in-memory only (take_trace)
   std::string replay_path;  ///< kReplay via env: file to load
+  /// kDpor: cap on executed schedules per exploration (0 = explorer default).
+  std::uint32_t bound{0};
+  bool graph{false};        ///< record the execution graph during the run
+  std::string graph_path;   ///< empty: in-memory only (GraphRecorder)
 };
 
 /// Parse the CUSAN_SCHEDULE grammar (clauses separated by ';' or ','):
-/// `free` | `seed:<n>` | `replay:<path>` | `record:<path>` | `pct:<k>` |
-/// `horizon:<h>`. Empty / `0` / `off` / `none` yields a disarmed free config.
+/// `free` | `seed:<n>` | `replay:<path>` | `dpor` | `record:<path>` |
+/// `pct:<k>` | `horizon:<h>` | `bound:<k>` | `graph[:<path>]`.
+/// Empty / `0` / `off` / `none` yields a disarmed free config.
 [[nodiscard]] bool parse_schedule(const std::string& text, Config* out,
                                   std::string* error = nullptr);
 
@@ -147,6 +162,13 @@ class Controller {
   /// file (differential tests). Returns false on a malformed trace.
   [[nodiscard]] bool configure_replay_text(const std::string& trace_text,
                                            std::string* error = nullptr, bool record = false);
+  /// The explorer's strategy seam: pin the given decisions (each (actor,
+  /// site) stream replays its slice of `prefix`), record everything, and
+  /// let each stream fall back to free choices past its pinned slice — the
+  /// recorded run is prefix + free suffix. An empty prefix is a plain
+  /// free-recorded run. Entries must be per-stream seq-monotonic (any
+  /// per-stream-prefix-closed subsequence of a recorded trace is).
+  void configure_prefix(std::vector<TraceEntry> prefix);
   /// Load CUSAN_SCHEDULE (unset/empty: keeps current state). False on a
   /// parse error or an unreadable replay file.
   [[nodiscard]] bool load_env(std::string* error = nullptr);
@@ -168,6 +190,9 @@ class Controller {
   [[nodiscard]] std::string trace_text() const;
   /// trace_text(), then drop the recorded entries.
   [[nodiscard]] std::string take_trace();
+  /// The recorded decisions in structured form (explorer input), dropped
+  /// from the controller like take_trace().
+  [[nodiscard]] std::vector<TraceEntry> take_recorded();
   [[nodiscard]] std::optional<Divergence> divergence() const;
   [[nodiscard]] Stats stats() const;
 

@@ -1,0 +1,206 @@
+// The execution graph: a serializable happens-before skeleton of one checked
+// run, recorded while the schedule controller is exploring. Nodes are the
+// events the explorer reasons about — every Controller decision plus the
+// sync operations rsan's vector clocks are built from (stream sync, p2p
+// match, collective join, all funnelled through rsan's happens_before /
+// happens_after annotations). Edges are program order within a lane (one
+// lane per decision actor; rsan sync events land on their rank's host lane,
+// because the analysis runtime runs at API-interception time on the host
+// thread) and release->acquire order on a sync key. Together they induce the
+// same partial order rsan's clocks compute, in a form the DPOR explorer
+// (explorer.hpp) can walk run-over-run: two decisions unordered in the graph
+// are a racing pair worth backtracking on; ordered ones provably commute.
+//
+// The graph serializes alongside the decision trace (trace.hpp) so a CI
+// failure ships both artifacts of the failing execution:
+//
+//   # cusan-execution-graph v1
+//   # strategy <controller strategy string>
+//   n <id> d <actor> <site> <seq> <candidates> <chosen>   decision node
+//   n <id> r <actor> <ctx> <key>                          release (happens_before)
+//   n <id> a <actor> <ctx> <key>                          acquire (happens_after)
+//   e <from> <to> po|sync
+//
+// Recording is gated exactly like the controller: disarmed, every rsan sync
+// annotation costs one relaxed atomic load (the bench guard budget), armed
+// it takes the recorder mutex.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "schedsim/trace.hpp"
+
+namespace schedsim {
+
+enum class NodeKind : std::uint8_t {
+  kDecision,  ///< one Controller::choose() answer
+  kRelease,   ///< rsan happens_before(key)
+  kAcquire,   ///< rsan happens_after(key)
+};
+
+struct GraphNode {
+  std::uint32_t id{0};
+  NodeKind kind{NodeKind::kDecision};
+  /// Lane the node executes on. Decisions keep their controller ActorId;
+  /// sync events use the rank's host lane ({rank, 'h', 0}).
+  ActorId actor;
+  // Decision payload (kDecision).
+  Site site{Site::kStreamOp};
+  std::uint64_t seq{0};  ///< (actor, site) decision-stream index
+  int candidates{1};
+  int chosen{0};
+  // Sync payload (kRelease / kAcquire).
+  std::uint32_t ctx{0};   ///< rsan context (fiber) id performing the sync
+  std::uint64_t key{0};   ///< sync-object key (address at record time)
+};
+
+struct GraphEdge {
+  enum class Kind : std::uint8_t {
+    kProgram,  ///< same-lane successor
+    kSync,     ///< release -> acquire on the same key
+  };
+  std::uint32_t from{0};
+  std::uint32_t to{0};
+  Kind kind{Kind::kProgram};
+};
+
+struct ExecutionGraph {
+  std::string strategy;  ///< controller strategy string, informational
+  std::vector<GraphNode> nodes;
+  std::vector<GraphEdge> edges;
+
+  [[nodiscard]] bool empty() const { return nodes.empty(); }
+};
+
+/// Serialize to the v1 text format.
+[[nodiscard]] std::string serialize_graph(const ExecutionGraph& graph);
+
+/// Parse the v1 text format. False (with *error set, if given) on bad magic,
+/// unknown node/edge kind, duplicate node id, or malformed fields.
+[[nodiscard]] bool parse_graph(const std::string& text, ExecutionGraph* out,
+                               std::string* error = nullptr);
+
+/// Schema validation beyond parsing (trace_lint --graph): every edge
+/// endpoint names an existing node (dangling check), no sync edge targets a
+/// non-acquire node, and the edge relation is acyclic (Kahn toposort — the
+/// recorder only ever emits forward edges, so a cycle means tampering).
+[[nodiscard]] bool validate_graph(const ExecutionGraph& graph, std::string* error = nullptr);
+
+/// Ancestor-reachability analysis over a parsed/recorded graph, used by the
+/// explorer to prune backtrack points: a decision ordered (in either
+/// direction) with every other lane's decisions cannot be part of a racing
+/// pair, so flipping it reaches no new happens-before class.
+class GraphAnalysis {
+ public:
+  /// Builds per-node ancestor bitsets in topological order. Graphs past
+  /// `max_nodes` disable the analysis (everything reports racing — the
+  /// conservative direction: the explorer just prunes less).
+  explicit GraphAnalysis(const ExecutionGraph& graph, std::size_t max_nodes = 1 << 15);
+
+  [[nodiscard]] bool usable() const { return usable_; }
+  /// Whether the graph recorded the decision at ((actor, site), seq).
+  [[nodiscard]] bool has_decision(std::uint64_t stream, std::uint64_t seq) const;
+  /// True when some other-lane decision with >1 candidates is concurrent
+  /// with this one (or the analysis is unusable / the decision unknown).
+  [[nodiscard]] bool decision_races(std::uint64_t stream, std::uint64_t seq) const;
+
+ private:
+  [[nodiscard]] bool reaches(std::uint32_t from, std::uint32_t to) const;
+
+  bool usable_{false};
+  std::size_t words_{0};
+  std::vector<std::uint64_t> ancestors_;        ///< nodes * words_ bitset matrix
+  std::vector<std::uint32_t> decision_nodes_;   ///< indices of branchable decisions
+  std::unordered_map<std::uint64_t, std::uint32_t> decision_index_;  ///< (stream,seq) hash -> node
+  const ExecutionGraph* graph_{nullptr};
+};
+
+class GraphRecorder;
+
+namespace detail {
+/// The calling thread's session-scoped recorder (null: the global one).
+extern constinit thread_local GraphRecorder* t_current_recorder;
+/// Mirror of the *global* recorder's armed state for unbound threads.
+extern constinit std::atomic<bool> g_graph_armed;
+[[nodiscard]] const std::atomic<bool>& graph_armed_flag_of(const GraphRecorder& recorder);
+}  // namespace detail
+
+/// Incremental execution-graph builder, session-scoped exactly like the
+/// Controller (Scope + common::ThreadContext propagation). The controller
+/// feeds it decisions from choose(); rsan feeds it sync events from its
+/// annotation entry points. Both gate on enabled() first, so the disarmed
+/// cost is one relaxed load.
+class GraphRecorder {
+ public:
+  GraphRecorder() = default;
+  GraphRecorder(const GraphRecorder&) = delete;
+  GraphRecorder& operator=(const GraphRecorder&) = delete;
+
+  /// The calling thread's current recorder: session-scoped if installed by
+  /// a Scope, else the process-global recorder.
+  [[nodiscard]] static GraphRecorder& instance();
+  [[nodiscard]] static GraphRecorder& global();
+
+  class Scope {
+   public:
+    explicit Scope(GraphRecorder* recorder);
+    ~Scope();
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    GraphRecorder* previous_;
+  };
+
+  /// The zero-overhead gate rsan and the controller check before recording.
+  [[nodiscard]] static bool enabled() {
+    const GraphRecorder* current = detail::t_current_recorder;
+    return current != nullptr
+               ? detail::graph_armed_flag_of(*current).load(std::memory_order_relaxed)
+               : detail::g_graph_armed.load(std::memory_order_relaxed);
+  }
+
+  void arm(bool on);
+  /// Drop the previous run's graph and lane state (explorer: per execution;
+  /// capi: at session begin).
+  void begin_run();
+
+  void record_decision(const ActorId& actor, Site site, std::uint64_t seq, int candidates,
+                       int chosen);
+  void record_release(int rank, std::uint32_t ctx, const void* key);
+  void record_acquire(int rank, std::uint32_t ctx, const void* key);
+  /// rsan::release_sync_object: the key's address may be reused by a future
+  /// unrelated sync object, so retire its pending release nodes.
+  void record_key_retire(const void* key);
+
+  void set_strategy(std::string strategy);
+  [[nodiscard]] ExecutionGraph snapshot() const;
+  /// snapshot(), then drop the graph.
+  [[nodiscard]] ExecutionGraph take_graph();
+  [[nodiscard]] std::size_t node_count() const;
+
+ private:
+  friend const std::atomic<bool>& detail::graph_armed_flag_of(const GraphRecorder& recorder);
+  /// Appends the node, adding the program-order edge from its lane's
+  /// previous node. Returns the new node's id.
+  std::uint32_t append_node_locked(GraphNode node);
+
+  mutable std::mutex mutex_;
+  std::atomic<bool> armed_{false};
+  ExecutionGraph graph_;
+  std::unordered_map<std::uint64_t, std::uint32_t> lane_last_;      ///< actor key -> node id + 1
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> releases_;  ///< sync key -> nodes
+};
+
+namespace detail {
+inline const std::atomic<bool>& graph_armed_flag_of(const GraphRecorder& recorder) {
+  return recorder.armed_;
+}
+}  // namespace detail
+
+}  // namespace schedsim

@@ -1,0 +1,176 @@
+#include "schedsim/explorer.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+#include <unordered_set>
+#include <utility>
+
+#include "common/clock.hpp"
+#include "common/format.hpp"
+#include "obs/metrics.hpp"
+#include "schedsim/controller.hpp"
+
+namespace schedsim {
+
+namespace {
+
+/// Sites whose decision picks a *value* (which source matched, which request
+/// returned, which completion order) rather than a commutation of otherwise
+/// independent steps. Flipping one changes downstream semantics even when
+/// the decision is happens-before-ordered with every other lane, so the HB
+/// prune never applies to them.
+[[nodiscard]] bool is_value_site(Site site) {
+  return site == Site::kMatchRecv || site == Site::kWaitany || site == Site::kWaitallOrder;
+}
+
+}  // namespace
+
+Explorer::Explorer(ExplorerOptions options) : options_(options) {
+  if (options_.bound == 0) {
+    options_.bound = ExplorerOptions::kDefaultBound;
+  }
+}
+
+std::string Explorer::signature(const std::vector<TraceEntry>& entries) {
+  std::vector<const TraceEntry*> sorted;
+  sorted.reserve(entries.size());
+  for (const TraceEntry& e : entries) {
+    sorted.push_back(&e);
+  }
+  std::stable_sort(sorted.begin(), sorted.end(), [](const TraceEntry* a, const TraceEntry* b) {
+    const std::uint64_t ka = stream_key(a->actor, a->site);
+    const std::uint64_t kb = stream_key(b->actor, b->site);
+    return ka != kb ? ka < kb : a->seq < b->seq;
+  });
+  std::string out;
+  out.reserve(sorted.size() * 12);
+  for (const TraceEntry* e : sorted) {
+    out += common::format("{}.{}={};", stream_key(e->actor, e->site), e->seq, e->chosen);
+  }
+  return out;
+}
+
+std::vector<Execution> Explorer::explore(Controller& controller, const RunFn& run) {
+  stats_ = {};
+  std::vector<Execution> executions;
+  // Two-tier FIFO frontier: structural flips (stream ops, matching, wait
+  // orders) explore breadth-first before any timing-only pre-park flip, so
+  // a tight bound spends its budget where verdicts can change.
+  std::deque<std::vector<TraceEntry>> frontier;
+  std::deque<std::vector<TraceEntry>> deferred;
+  std::unordered_set<std::string> sleep;     ///< prefixes already scheduled
+  std::unordered_set<std::string> seen;      ///< full-run signatures executed
+  frontier.push_back({});
+  sleep.insert(signature({}));
+
+  GraphRecorder& recorder = GraphRecorder::instance();
+  while (!frontier.empty() || !deferred.empty()) {
+    if (executions.size() >= options_.bound) {
+      stats_.bound_hit = true;
+      break;
+    }
+    std::vector<TraceEntry> prefix;
+    if (!frontier.empty()) {
+      prefix = std::move(frontier.front());
+      frontier.pop_front();
+    } else {
+      prefix = std::move(deferred.front());
+      deferred.pop_front();
+    }
+
+    controller.configure_prefix(prefix);
+    if (options_.use_graph) {
+      recorder.begin_run();
+      recorder.arm(true);
+    }
+    const std::uint64_t t0 = common::now_ns();
+    const std::size_t races = run();
+    const std::uint64_t t1 = common::now_ns();
+    if (options_.use_graph) {
+      recorder.arm(false);
+    }
+
+    Execution exec;
+    exec.index = executions.size();
+    exec.pinned = prefix.size();
+    exec.trace = controller.take_recorded();
+    exec.races = races;
+    exec.diverged = controller.divergence().has_value();
+    exec.wall_ms = static_cast<double>(t1 - t0) / 1e6;
+
+    ExecutionGraph graph;
+    if (options_.use_graph) {
+      graph = recorder.take_graph();
+      graph.strategy = common::format("dpor execution {}", exec.index);
+      stats_.graph_nodes += graph.nodes.size();
+      stats_.graph_edges += graph.edges.size();
+      if (options_.collect_graphs) {
+        exec.graph_text = serialize_graph(graph);
+      }
+    }
+
+    ++stats_.executions;
+    if (!seen.insert(signature(exec.trace)).second) {
+      ++stats_.redundant;
+    }
+
+    // Backtrack points: every alternative of every branchable, un-pinned,
+    // not-provably-ordered decision extends the frontier.
+    std::set<std::pair<std::uint64_t, std::uint64_t>> pinned;
+    for (const TraceEntry& e : prefix) {
+      pinned.emplace(stream_key(e.actor, e.site), e.seq);
+    }
+    GraphAnalysis analysis(graph);
+    for (std::size_t i = 0; i < exec.trace.size(); ++i) {
+      const TraceEntry& e = exec.trace[i];
+      if (e.candidates <= 1) {
+        continue;
+      }
+      const std::uint64_t stream = stream_key(e.actor, e.site);
+      if (pinned.contains({stream, e.seq})) {
+        continue;
+      }
+      if (!is_value_site(e.site) && options_.use_graph && analysis.usable() &&
+          analysis.has_decision(stream, e.seq) && !analysis.decision_races(stream, e.seq)) {
+        ++stats_.hb_prunes;
+        continue;
+      }
+      for (int alt = 0; alt < e.candidates; ++alt) {
+        if (alt == e.chosen) {
+          continue;
+        }
+        std::vector<TraceEntry> next(exec.trace.begin(),
+                                     exec.trace.begin() + static_cast<std::ptrdiff_t>(i) + 1);
+        next.back().chosen = alt;
+        if (!sleep.insert(signature(next)).second) {
+          ++stats_.sleep_prunes;
+          continue;
+        }
+        ++stats_.backtrack_points;
+        if (e.site == Site::kPreParkYield) {
+          deferred.push_back(std::move(next));
+        } else {
+          frontier.push_back(std::move(next));
+        }
+      }
+    }
+    stats_.frontier_peak =
+        std::max<std::uint64_t>(stats_.frontier_peak, frontier.size() + deferred.size());
+    executions.push_back(std::move(exec));
+  }
+  controller.clear();
+  return executions;
+}
+
+void Explorer::publish_metrics() const {
+  obs::metric("sched.dpor_executions").add(stats_.executions);
+  obs::metric("sched.dpor_backtracks").add(stats_.backtrack_points);
+  obs::metric("sched.dpor_sleep_prunes").add(stats_.sleep_prunes);
+  obs::metric("sched.dpor_hb_prunes").add(stats_.hb_prunes);
+  obs::metric("sched.dpor_redundant").add(stats_.redundant);
+  obs::metric("sched.dpor_graph_nodes").add(stats_.graph_nodes);
+  obs::metric("sched.dpor_graph_edges").add(stats_.graph_edges);
+}
+
+}  // namespace schedsim

@@ -1,0 +1,103 @@
+// The multi-run DPOR driver: turns the single-run ScheduleController into a
+// systematic explorer. Each iteration installs a pinned prefix on the
+// controller (configure_prefix — replay:<path> generalized), executes one
+// run via a harness-supplied callback, takes the recorded decision trace and
+// the execution graph, and computes source-DPOR-style backtrack points: for
+// every branchable decision in the run that is not part of the pinned
+// prefix, every alternative candidate spawns a new prefix — unless the
+// happens-before analysis proves the decision cannot race (it is ordered
+// with every other lane's branchable decisions, so flipping it reaches no
+// new happens-before class) or the prefix is already in the sleep set.
+//
+// Equivalence is tracked per-stream, matching the trace format's semantics:
+// two runs whose (actor, site) streams recorded identical decisions are the
+// same execution regardless of how OS timing interleaved the lines, so the
+// sleep set keys on a canonical (stream-sorted) signature. The frontier is
+// FIFO, which makes exploration breadth-first in flip depth — single-flip
+// perturbations (the ones PCT finds with luck) are all tried before any
+// two-flip prefix, so verdict-revealing schedules surface early even under
+// a tight `bound:<k>`.
+//
+// The explorer is harness-agnostic: check_cutests, fault_sweep and tests
+// supply the run callback (typically a closure over run_scenario_outcome);
+// the explorer owns only the controller/recorder choreography and the
+// frontier. Per-exploration counters land in obs as sched.dpor_*.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "schedsim/execution_graph.hpp"
+#include "schedsim/trace.hpp"
+
+namespace schedsim {
+
+class Controller;
+
+struct ExplorerOptions {
+  /// Maximum executed schedules, baseline included (0 = kDefaultBound).
+  std::uint32_t bound{0};
+  /// Use the recorded ExecutionGraph to prune non-racing backtrack points.
+  /// Off, every branchable decision backtracks (pure DFS over the choice
+  /// tree — what the 2-site toy property test exercises).
+  bool use_graph{true};
+  /// Keep each execution's serialized graph text (CI artifact upload).
+  bool collect_graphs{false};
+
+  static constexpr std::uint32_t kDefaultBound = 24;
+};
+
+/// One executed schedule.
+struct Execution {
+  std::size_t index{0};
+  std::size_t pinned{0};            ///< decisions pinned by the prefix
+  std::vector<TraceEntry> trace;    ///< full recorded decision sequence
+  std::size_t races{0};             ///< harness-reported race count
+  bool diverged{false};             ///< pinned prefix stopped matching
+  double wall_ms{0.0};
+  std::string graph_text;           ///< when ExplorerOptions::collect_graphs
+};
+
+struct ExplorerStats {
+  std::uint64_t executions{0};
+  std::uint64_t backtrack_points{0};  ///< prefixes pushed onto the frontier
+  std::uint64_t sleep_prunes{0};      ///< prefixes already in the sleep set
+  std::uint64_t hb_prunes{0};         ///< decisions proven non-racing
+  std::uint64_t redundant{0};         ///< executions equal to a previous one
+  std::uint64_t graph_nodes{0};
+  std::uint64_t graph_edges{0};
+  std::uint64_t frontier_peak{0};
+  bool bound_hit{false};
+};
+
+class Explorer {
+ public:
+  /// Runs one schedule end-to-end and returns the number of races the
+  /// harness observed (any other verdict data stays in the closure).
+  using RunFn = std::function<std::size_t()>;
+
+  explicit Explorer(ExplorerOptions options = {});
+
+  /// Drive the exploration: repeatedly configure `controller`, invoke
+  /// `run`, and grow the frontier until it is empty or the bound is hit.
+  /// Leaves the controller disarmed. Each call resets stats.
+  std::vector<Execution> explore(Controller& controller, const RunFn& run);
+
+  [[nodiscard]] const ExplorerStats& stats() const { return stats_; }
+
+  /// Publish stats() into the current obs registry as sched.dpor_*.
+  void publish_metrics() const;
+
+  /// Canonical per-stream signature of a decision sequence: sorted by
+  /// (stream, seq), so physically different interleavings of the same
+  /// per-stream decisions compare equal.
+  [[nodiscard]] static std::string signature(const std::vector<TraceEntry>& entries);
+
+ private:
+  ExplorerOptions options_;
+  ExplorerStats stats_;
+};
+
+}  // namespace schedsim

@@ -27,6 +27,7 @@ SessionResult Session::run() {
   const obs::DiagnosticHub::Scope hub_scope(&hub_);
   const faultsim::Injector::Scope injector_scope(&injector_);
   const schedsim::Controller::Scope controller_scope(&controller_);
+  const schedsim::GraphRecorder::Scope recorder_scope(&recorder_);
   const mpisim::shm::ScopedSessionId shm_scope(id_);
 
   for (const auto& sink : spec_.sinks) {

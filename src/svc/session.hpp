@@ -22,6 +22,7 @@
 #include "obs/diagnostics.hpp"
 #include "obs/metrics.hpp"
 #include "schedsim/controller.hpp"
+#include "schedsim/execution_graph.hpp"
 #include "svc/arena.hpp"
 
 namespace svc {
@@ -87,6 +88,7 @@ class Session {
   obs::DiagnosticHub hub_;
   faultsim::Injector injector_;
   schedsim::Controller controller_;
+  schedsim::GraphRecorder recorder_;
   Arena arena_;
 };
 

@@ -9,6 +9,7 @@
 #include "mpisim/failure.hpp"
 #include "obs/metrics.hpp"
 #include "schedsim/controller.hpp"
+#include "schedsim/explorer.hpp"
 #include "svc/executor.hpp"
 #include "testsuite/scenarios.hpp"
 
@@ -134,6 +135,8 @@ struct RunPartial {
   std::size_t verdict_mismatches{0};
   std::size_t rank_kill_runs{0};
   std::size_t rank_failure_reports{0};
+  std::uint64_t dpor_executions{0};
+  std::uint64_t dpor_hb_prunes{0};
   std::vector<std::string> failures;
 };
 
@@ -145,22 +148,12 @@ struct RunPartial {
   auto& injector = faultsim::Injector::instance();
   obs::Counter& rank_failure_metric = obs::metric("mpisim.proc.rank_failures");
   RunPartial partial;
-  // With schedules requested, every (plan, scenario) run repeats under N
-  // seed-deterministic PCT schedules: round 0 is the free schedule, rounds
-  // 1..N perturb it. The invariants must hold under every combination.
-  const int rounds = options.schedules > 0 ? options.schedules + 1 : 1;
-  for (int round = 0; round < rounds; ++round) {
-    if (options.schedules > 0) {
-      if (round == 0) {
-        schedsim::Controller::instance().clear();
-      } else {
-        schedsim::Config sched;
-        sched.mode = schedsim::Mode::kSeed;
-        sched.seed = options.seed ^ (static_cast<std::uint64_t>(p) << 32) ^
-                     static_cast<std::uint64_t>(round);
-        schedsim::Controller::instance().configure(sched);
-      }
-    }
+
+  // One faulted run under whatever schedule the caller configured, plus the
+  // invariant checks against its fired-fault ledger. Shared between the PCT
+  // rounds loop and the DPOR exploration (where the explorer decides how
+  // many times this executes).
+  const auto one_run = [&](int round) -> std::size_t {
     injector.load(plan);  // resets match counters: every run sees the same schedule
     const std::uint64_t failures_before = rank_failure_metric.value();
     const std::size_t races = run_scenario_outcome(scenario, fast, options.watchdog).races;
@@ -178,7 +171,7 @@ struct RunPartial {
             "baseline {})",
             p, scenario.name, round, races, baseline_races));
       }
-      continue;
+      return races;
     }
     ++partial.faulted_runs;
     partial.faults_fired += fired.size();
@@ -222,6 +215,42 @@ struct RunPartial {
       std::printf("[sweep] plan %d round %d %-70s races=%zu fired=%zu outcome=%s\n", p, round,
                   scenario.name.c_str(), races, fired.size(), classify_run(fired).c_str());
     }
+    return races;
+  };
+
+  if (options.dpor) {
+    // Round 0 runs the faulted plan on the free schedule, then the explorer
+    // systematically covers the run's happens-before classes; every executed
+    // schedule passes through the same invariant checks above.
+    schedsim::Controller::instance().clear();
+    (void)one_run(0);
+    schedsim::ExplorerOptions explorer_options;
+    explorer_options.bound = options.dpor_bound;
+    schedsim::Explorer explorer(explorer_options);
+    int round = 0;
+    (void)explorer.explore(schedsim::Controller::instance(), [&] { return one_run(++round); });
+    partial.dpor_executions += explorer.stats().executions;
+    partial.dpor_hb_prunes += explorer.stats().hb_prunes;
+    return partial;
+  }
+
+  // With schedules requested, every (plan, scenario) run repeats under N
+  // seed-deterministic PCT schedules: round 0 is the free schedule, rounds
+  // 1..N perturb it. The invariants must hold under every combination.
+  const int rounds = options.schedules > 0 ? options.schedules + 1 : 1;
+  for (int round = 0; round < rounds; ++round) {
+    if (options.schedules > 0) {
+      if (round == 0) {
+        schedsim::Controller::instance().clear();
+      } else {
+        schedsim::Config sched;
+        sched.mode = schedsim::Mode::kSeed;
+        sched.seed = options.seed ^ (static_cast<std::uint64_t>(p) << 32) ^
+                     static_cast<std::uint64_t>(round);
+        schedsim::Controller::instance().configure(sched);
+      }
+    }
+    (void)one_run(round);
   }
   return partial;
 }
@@ -234,6 +263,8 @@ void merge_partial(SweepStats& stats, RunPartial& partial) {
   stats.verdict_mismatches += partial.verdict_mismatches;
   stats.rank_kill_runs += partial.rank_kill_runs;
   stats.rank_failure_reports += partial.rank_failure_reports;
+  stats.dpor_executions += partial.dpor_executions;
+  stats.dpor_hb_prunes += partial.dpor_hb_prunes;
   for (std::string& failure : partial.failures) {
     stats.failures.push_back(std::move(failure));
   }
@@ -359,7 +390,7 @@ SweepStats run_fault_sweep(const SweepOptions& options) {
   }
 
   injector.clear();
-  if (options.schedules > 0) {
+  if (options.schedules > 0 || options.dpor) {
     schedsim::Controller::instance().clear();
   }
   return stats;

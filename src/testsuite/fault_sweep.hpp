@@ -39,6 +39,13 @@ struct SweepOptions {
   /// unfaulted baseline always runs on the free schedule — invariant 2
   /// therefore also proves verdicts are schedule-independent.
   int schedules{0};
+  /// Systematic exploration instead of random schedules: every (plan,
+  /// scenario) pair first runs one free round, then a DPOR exploration
+  /// (schedsim::Explorer) whose every executed schedule must satisfy the
+  /// same invariants. Mutually exclusive with `schedules`.
+  bool dpor{false};
+  /// Execution bound per DPOR exploration (0 = explorer default).
+  std::uint32_t dpor_bound{0};
   /// rank_kill specs appended to every generated plan (sigkill / sigabrt /
   /// hang at a random rank's n-th MPI operation). Only the proc backend
   /// probes rank_kill sites: under the thread backend the specs stay
@@ -63,6 +70,8 @@ struct SweepStats {
   std::size_t verdict_mismatches{0};    ///< unfaulted run diverged from baseline — invariant 2
   std::size_t rank_kill_runs{0};        ///< runs in which a rank_kill fired (proc backend)
   std::size_t rank_failure_reports{0};  ///< supervisor RankFailureReports observed across runs
+  std::uint64_t dpor_executions{0};     ///< schedules executed by DPOR explorations
+  std::uint64_t dpor_hb_prunes{0};      ///< decisions proven non-racing across explorations
   std::vector<std::string> failures;    ///< human-readable invariant violations
 
   [[nodiscard]] bool ok() const {

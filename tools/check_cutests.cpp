@@ -35,6 +35,13 @@
 // Fault plans compose: a seed run with a fired fault is tagged `fault` and
 // exempt from classification, exactly like the baseline.
 //
+// With --schedules dpor[;bound:<k>] the randomized sweep is replaced by
+// systematic exploration: a schedsim::Explorer drives source-DPOR prefix
+// pinning over the controller, executing only schedules that differ under
+// the recorded happens-before graph, with the same classification and
+// reproducer saving per executed schedule (every saved trace replays with
+// CUSAN_SCHEDULE=replay:FILE, zero divergence).
+//
 // With --json[=PATH] the same run is reported as one machine-readable JSON
 // document (per-scenario verdicts plus a summary block with the obs metrics
 // registry delta for the whole run), written to PATH or stdout.
@@ -47,8 +54,8 @@
 // (scenario matrix order), and per-scenario fault accounting is per-session
 // (the summary sums the sessions).
 //
-// Usage: check_cutests [--json[=PATH]] [--schedules=N] [--schedule-dir=DIR]
-//                      [--jobs=N] [filter-substring]
+// Usage: check_cutests [--json[=PATH]] [--schedules=N|dpor[;bound:K]]
+//                      [--schedule-dir=DIR] [--jobs=N] [filter-substring]
 #include <cstddef>
 #include <cstdint>
 #include <cstdio>
@@ -57,22 +64,27 @@
 #include <string>
 #include <vector>
 
+#include "common/clock.hpp"
 #include "faultsim/injector.hpp"
 #include "obs/metrics.hpp"
 #include "obs/perfetto.hpp"
 #include "schedsim/controller.hpp"
+#include "schedsim/explorer.hpp"
 #include "svc/executor.hpp"
 #include "testsuite/fault_sweep.hpp"
 #include "testsuite/scenarios.hpp"
 
 namespace {
 
-/// One randomized-schedule re-run of a scenario.
+/// One schedule re-run of a scenario: a PCT seed run, or one DPOR-explored
+/// execution (then `seed` is the execution index and `pinned` the prefix).
 struct SeedRun {
   std::uint64_t seed{0};
   std::size_t races{0};
   std::uint64_t decisions{0};    ///< choice points answered by the controller
   std::uint64_t preemptions{0};  ///< decisions steered away from the default
+  std::uint64_t pinned{0};       ///< dpor: decisions pinned by the prefix
+  double wall_ms{0.0};           ///< wall time of this schedule's run
   const char* cls{"identical"};  ///< identical | new-true-race | divergence-bug | fault
   std::string trace_path;        ///< saved reproducer (--schedule-dir), if any
 };
@@ -91,6 +103,8 @@ struct ScenarioRecord {
   std::vector<SeedRun> seed_runs;
   std::size_t schedule_bugs{0};
   std::size_t schedule_new_races{0};
+  /// DPOR exploration stats for this scenario (--schedules dpor).
+  schedsim::ExplorerStats explorer_stats{};
   /// Per-run fault accounting (meaningful in --jobs mode, where each
   /// scenario's session owns a private injector ledger).
   std::uint64_t session_fired{0};
@@ -101,8 +115,37 @@ struct ScenarioRecord {
 /// What one scenario run needs to know beyond the scenario itself.
 struct RunConfig {
   std::size_t schedules{0};
+  bool dpor{false};
+  std::uint32_t dpor_bound{0};  ///< 0 = explorer default
   std::string schedule_dir;
+
+  [[nodiscard]] bool schedule_sweep() const { return schedules > 0 || dpor; }
 };
+
+/// Parse the --schedules value: a plain seed count, or `dpor[;bound:<k>]`
+/// (the CUSAN_SCHEDULE grammar restricted to the dpor mode).
+[[nodiscard]] bool parse_schedules_arg(const char* value, RunConfig* config) {
+  if (std::strncmp(value, "dpor", 4) == 0) {
+    schedsim::Config sched;
+    std::string error;
+    if (!schedsim::parse_schedule(value, &sched, &error) ||
+        sched.mode != schedsim::Mode::kDpor) {
+      std::fprintf(stderr, "--schedules: %s\n",
+                   error.empty() ? "expected dpor[;bound:<k>]" : error.c_str());
+      return false;
+    }
+    config->dpor = true;
+    config->dpor_bound = sched.bound;
+    return true;
+  }
+  const int parsed = std::atoi(value);
+  if (parsed <= 0) {
+    std::fprintf(stderr, "--schedules: expected a positive count or dpor[;bound:<k>]\n");
+    return false;
+  }
+  config->schedules = static_cast<std::size_t>(parsed);
+  return true;
+}
 
 /// Classify one seed run's verdict against the free-schedule baseline.
 [[nodiscard]] const char* classify_seed_run(const testsuite::Scenario& scenario,
@@ -158,6 +201,66 @@ struct RunConfig {
   }
   record.diverged = record.fast.races != record.slow.races;
   record.ok = !record.diverged && testsuite::classified_correctly(scenario, record.fast.races);
+  // Classify one explored/seeded run against the baseline and tally it.
+  const auto classify_and_tally = [&](SeedRun& run, bool fault_fired, std::size_t races) {
+    if (fault_fired) {
+      run.cls = "fault";  // injected failures legitimately change verdicts
+    } else {
+      run.cls = classify_seed_run(scenario, record.fast.races, races);
+    }
+    if (std::strcmp(run.cls, "divergence-bug") == 0) {
+      ++record.schedule_bugs;
+    } else if (std::strcmp(run.cls, "new-true-race") == 0) {
+      ++record.schedule_new_races;
+    }
+  };
+  const auto save_reproducer = [&](SeedRun& run, const std::string& suffix,
+                                   const std::string& trace_text) {
+    if (std::strcmp(run.cls, "identical") == 0 || std::strcmp(run.cls, "fault") == 0 ||
+        config.schedule_dir.empty()) {
+      return;
+    }
+    // Save the decision trace: CUSAN_SCHEDULE=replay:FILE reproduces it.
+    const std::string path =
+        config.schedule_dir + "/" + sanitize_name(scenario.name) + "." + suffix + ".trace";
+    std::string error;
+    if (!obs::write_file(path, trace_text, &error)) {
+      std::fprintf(stderr, "--schedule-dir: %s\n", error.c_str());
+    } else {
+      run.trace_path = path;
+    }
+  };
+  if (config.dpor) {
+    // Systematic exploration: the explorer owns the controller for the
+    // scenario, installing one pinned prefix per executed schedule.
+    schedsim::ExplorerOptions options;
+    options.bound = config.dpor_bound;
+    schedsim::Explorer explorer(options);
+    std::vector<std::uint64_t> fired_per_execution;
+    const auto executions = explorer.explore(controller, [&]() -> std::size_t {
+      const std::uint64_t before = injector.fired_count();
+      const testsuite::ScenarioOutcome outcome =
+          testsuite::run_scenario_outcome(scenario, /*use_shadow_fast_path=*/true);
+      fired_per_execution.push_back(injector.fired_count() - before);
+      return outcome.races;
+    });
+    explorer.publish_metrics();
+    record.explorer_stats = explorer.stats();
+    for (const schedsim::Execution& execution : executions) {
+      SeedRun run;
+      run.seed = execution.index;
+      run.races = execution.races;
+      run.decisions = execution.trace.size();
+      run.pinned = execution.pinned;
+      run.wall_ms = execution.wall_ms;
+      classify_and_tally(run, fired_per_execution[execution.index] != 0, execution.races);
+      schedsim::ScheduleTrace trace;
+      trace.strategy = "dpor execution " + std::to_string(execution.index);
+      trace.entries = execution.trace;
+      save_reproducer(run, "dpor" + std::to_string(execution.index), serialize_trace(trace));
+      record.seed_runs.push_back(run);
+    }
+  }
   // Randomized-schedule sweep: re-run the scenario under PCT schedules and
   // classify every seed's verdict against the baseline just computed.
   for (std::size_t s = 1; s <= config.schedules; ++s) {
@@ -167,39 +270,22 @@ struct RunConfig {
     sched_config.record = true;  // in-memory: take_trace() below
     controller.configure(sched_config);
     const std::size_t sched_fired_before = injector.fired_count();
+    const std::uint64_t t0 = common::now_ns();
     const testsuite::ScenarioOutcome outcome =
         testsuite::run_scenario_outcome(scenario, /*use_shadow_fast_path=*/true);
+    const std::uint64_t t1 = common::now_ns();
     const schedsim::Stats sched_stats = controller.stats();
     SeedRun run;
     run.seed = s;
     run.races = outcome.races;
     run.decisions = sched_stats.decisions;
     run.preemptions = sched_stats.preemptions;
-    if (injector.fired_count() != sched_fired_before) {
-      run.cls = "fault";  // injected failures legitimately change verdicts
-    } else {
-      run.cls = classify_seed_run(scenario, record.fast.races, outcome.races);
-    }
-    if (std::strcmp(run.cls, "divergence-bug") == 0) {
-      ++record.schedule_bugs;
-    } else if (std::strcmp(run.cls, "new-true-race") == 0) {
-      ++record.schedule_new_races;
-    }
-    if (std::strcmp(run.cls, "identical") != 0 && std::strcmp(run.cls, "fault") != 0 &&
-        !config.schedule_dir.empty()) {
-      // Save the decision trace: CUSAN_SCHEDULE=replay:FILE reproduces it.
-      const std::string path = config.schedule_dir + "/" + sanitize_name(scenario.name) +
-                               ".seed" + std::to_string(s) + ".trace";
-      std::string error;
-      if (!obs::write_file(path, controller.take_trace(), &error)) {
-        std::fprintf(stderr, "--schedule-dir: %s\n", error.c_str());
-      } else {
-        run.trace_path = path;
-      }
-    }
+    run.wall_ms = static_cast<double>(t1 - t0) / 1e6;
+    classify_and_tally(run, injector.fired_count() != sched_fired_before, outcome.races);
+    save_reproducer(run, "seed" + std::to_string(s), controller.take_trace());
     record.seed_runs.push_back(run);
   }
-  if (config.schedules > 0) {
+  if (config.schedule_sweep()) {
     controller.clear();
     if (record.schedule_bugs > 0) {
       record.ok = false;
@@ -242,12 +328,19 @@ void print_record(const ScenarioRecord& record, std::size_t index, std::size_t t
   }
   std::string sched_note;
   if (!record.seed_runs.empty()) {
-    sched_note = " [schedules " + std::to_string(record.seed_runs.size()) + ": ";
+    const bool dpor = record.explorer_stats.executions > 0;
+    sched_note = dpor ? " [dpor " + std::to_string(record.seed_runs.size()) + " execution(s)"
+                      : " [schedules " + std::to_string(record.seed_runs.size());
+    sched_note += ": ";
     if (record.schedule_bugs == 0 && record.schedule_new_races == 0) {
       sched_note += "identical";
     } else {
       sched_note += std::to_string(record.schedule_bugs) + " bug(s), " +
                     std::to_string(record.schedule_new_races) + " new race(s)";
+    }
+    if (dpor) {
+      sched_note += record.explorer_stats.bound_hit ? "; bound hit" : "; frontier drained";
+      sched_note += ", " + std::to_string(record.explorer_stats.hb_prunes) + " hb-pruned";
     }
     sched_note += "]";
   }
@@ -293,14 +386,22 @@ void append_json_escaped(std::string& out, const std::string& text) {
   }
 }
 
+[[nodiscard]] std::string append_fixed(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", value);
+  return buf;
+}
+
 [[nodiscard]] std::string to_json(const std::vector<ScenarioRecord>& records,
                                   const obs::MetricsSnapshot& metrics_delta, int world_ranks,
                                   std::size_t failures, std::size_t divergences,
                                   std::size_t faulted, std::size_t unsurfaced,
-                                  std::size_t schedules, std::size_t schedule_bugs,
+                                  const RunConfig& config, std::size_t schedule_bugs,
                                   std::size_t schedule_new_races) {
   std::string out = "{\n  \"world_ranks\": " + std::to_string(world_ranks) +
-                    ",\n  \"schedules\": " + std::to_string(schedules) +
+                    ",\n  \"schedules\": " + std::to_string(config.schedules) +
+                    ",\n  \"schedule_mode\": \"" +
+                    (config.dpor ? "dpor" : (config.schedules > 0 ? "pct" : "off")) + "\"" +
                     ",\n  \"scenarios\": [\n";
   for (std::size_t i = 0; i < records.size(); ++i) {
     const ScenarioRecord& r = records[i];
@@ -324,6 +425,7 @@ void append_json_escaped(std::string& out, const std::string& text) {
       out += "\"";
     }
     if (!r.seed_runs.empty()) {
+      out += ", \"schedule_executions\": " + std::to_string(r.seed_runs.size());
       out += ", \"schedule_seeds\": [";
       for (std::size_t s = 0; s < r.seed_runs.size(); ++s) {
         const SeedRun& run = r.seed_runs[s];
@@ -331,12 +433,28 @@ void append_json_escaped(std::string& out, const std::string& text) {
         out += ", \"races\": " + std::to_string(run.races);
         out += ", \"decisions\": " + std::to_string(run.decisions);
         out += ", \"preemptions\": " + std::to_string(run.preemptions);
+        if (config.dpor) {
+          out += ", \"pinned\": " + std::to_string(run.pinned);
+        }
+        out += ", \"wall_ms\": " + append_fixed(run.wall_ms);
         out += ", \"class\": \"";
         out += run.cls;
         out += "\"}";
         out += s + 1 < r.seed_runs.size() ? ", " : "";
       }
       out += "]";
+    }
+    if (config.dpor && r.explorer_stats.executions > 0) {
+      out += ", \"dpor\": {\"executions\": " + std::to_string(r.explorer_stats.executions);
+      out += ", \"backtracks\": " + std::to_string(r.explorer_stats.backtrack_points);
+      out += ", \"sleep_prunes\": " + std::to_string(r.explorer_stats.sleep_prunes);
+      out += ", \"hb_prunes\": " + std::to_string(r.explorer_stats.hb_prunes);
+      out += ", \"redundant\": " + std::to_string(r.explorer_stats.redundant);
+      out += ", \"graph_nodes\": " + std::to_string(r.explorer_stats.graph_nodes);
+      out += ", \"graph_edges\": " + std::to_string(r.explorer_stats.graph_edges);
+      out += ", \"bound_hit\": ";
+      out += r.explorer_stats.bound_hit ? "true" : "false";
+      out += "}";
     }
     out += "}";
     out += i + 1 < records.size() ? ",\n" : "\n";
@@ -347,7 +465,7 @@ void append_json_escaped(std::string& out, const std::string& text) {
   out += ", \"faulted\": " + std::to_string(faulted);
   out += ", \"faults_unsurfaced\": " + std::to_string(unsurfaced);
   out += ", \"schedule_runs\": " +
-         std::to_string(schedules == 0 ? 0 : [&] {
+         std::to_string(!config.schedule_sweep() ? 0 : [&] {
            std::size_t total = 0;
            for (const auto& r : records) {
              total += r.seed_runs.size();
@@ -356,6 +474,25 @@ void append_json_escaped(std::string& out, const std::string& text) {
          }());
   out += ", \"schedule_bugs\": " + std::to_string(schedule_bugs);
   out += ", \"schedule_new_races\": " + std::to_string(schedule_new_races);
+  if (config.dpor) {
+    schedsim::ExplorerStats totals;
+    for (const auto& r : records) {
+      totals.executions += r.explorer_stats.executions;
+      totals.backtrack_points += r.explorer_stats.backtrack_points;
+      totals.sleep_prunes += r.explorer_stats.sleep_prunes;
+      totals.hb_prunes += r.explorer_stats.hb_prunes;
+      totals.redundant += r.explorer_stats.redundant;
+      totals.graph_nodes += r.explorer_stats.graph_nodes;
+      totals.graph_edges += r.explorer_stats.graph_edges;
+    }
+    out += ", \"dpor_executions\": " + std::to_string(totals.executions);
+    out += ", \"dpor_backtracks\": " + std::to_string(totals.backtrack_points);
+    out += ", \"dpor_sleep_prunes\": " + std::to_string(totals.sleep_prunes);
+    out += ", \"dpor_hb_prunes\": " + std::to_string(totals.hb_prunes);
+    out += ", \"dpor_redundant\": " + std::to_string(totals.redundant);
+    out += ", \"dpor_graph_nodes\": " + std::to_string(totals.graph_nodes);
+    out += ", \"dpor_graph_edges\": " + std::to_string(totals.graph_edges);
+  }
   out += "},\n  \"metrics\": ";
   out += obs::MetricsRegistry::to_json(metrics_delta);
   out += "\n}\n";
@@ -378,9 +515,13 @@ int main(int argc, char** argv) {
       json = true;
       json_path = arg + 7;
     } else if (std::strncmp(arg, "--schedules=", 12) == 0) {
-      config.schedules = static_cast<std::size_t>(std::atoi(arg + 12));
+      if (!parse_schedules_arg(arg + 12, &config)) {
+        return 2;
+      }
     } else if (std::strcmp(arg, "--schedules") == 0 && i + 1 < argc) {
-      config.schedules = static_cast<std::size_t>(std::atoi(argv[++i]));
+      if (!parse_schedules_arg(argv[++i], &config)) {
+        return 2;
+      }
     } else if (std::strncmp(arg, "--schedule-dir=", 15) == 0) {
       config.schedule_dir = arg + 15;
     } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
@@ -406,7 +547,11 @@ int main(int argc, char** argv) {
   const int world_ranks = capi::default_ranks();
   if (!json) {
     std::printf("-- world: %d ranks\n", world_ranks);
-    if (config.schedules > 0) {
+    if (config.dpor) {
+      std::printf("-- schedules: dpor exploration (bound %u per scenario)\n",
+                  config.dpor_bound != 0 ? config.dpor_bound
+                                         : schedsim::ExplorerOptions::kDefaultBound);
+    } else if (config.schedules > 0) {
       std::printf("-- schedules: %zu randomized seed(s) per scenario\n", config.schedules);
     }
     if (jobs > 1) {
@@ -414,7 +559,7 @@ int main(int argc, char** argv) {
     }
   }
   auto& controller = schedsim::Controller::instance();
-  if (config.schedules > 0) {
+  if (config.schedule_sweep()) {
     // The sweep owns the controller for the whole run: baselines run with it
     // disarmed, seed runs configure it per (scenario, seed).
     controller.clear();
@@ -528,7 +673,7 @@ int main(int argc, char** argv) {
     }
     const std::string doc =
         to_json(records, metrics_delta, world_ranks, failures, divergences, faulted, unsurfaced,
-                config.schedules, schedule_bugs, schedule_new_races);
+                config, schedule_bugs, schedule_new_races);
     if (json_path.empty()) {
       std::fputs(doc.c_str(), stdout);
     } else {
@@ -546,10 +691,32 @@ int main(int argc, char** argv) {
         static_cast<double>(total_tracked) / 1024.0, static_cast<unsigned long long>(total_hits),
         static_cast<unsigned long long>(total_elided_launches),
         static_cast<double>(total_elided_bytes) / 1024.0);
-    if (config.schedules > 0) {
+    if (config.schedule_sweep()) {
+      std::size_t executed = 0;
+      for (const ScenarioRecord& record : records) {
+        executed += record.seed_runs.size();
+      }
       std::printf("  Schedule runs: %zu\n  Schedule bugs: %zu\n  New races found: %zu\n",
-                  (selected.size() - faulted) * config.schedules, schedule_bugs,
-                  schedule_new_races);
+                  executed, schedule_bugs, schedule_new_races);
+      if (config.dpor) {
+        schedsim::ExplorerStats totals;
+        std::size_t bounded = 0;
+        for (const ScenarioRecord& record : records) {
+          totals.backtrack_points += record.explorer_stats.backtrack_points;
+          totals.sleep_prunes += record.explorer_stats.sleep_prunes;
+          totals.hb_prunes += record.explorer_stats.hb_prunes;
+          totals.graph_nodes += record.explorer_stats.graph_nodes;
+          totals.graph_edges += record.explorer_stats.graph_edges;
+          bounded += record.explorer_stats.bound_hit ? 1 : 0;
+        }
+        std::printf("  DPOR: %llu backtrack(s), %llu sleep-prune(s), %llu hb-prune(s), "
+                    "graph %llu nodes / %llu edges, %zu scenario(s) hit the bound\n",
+                    static_cast<unsigned long long>(totals.backtrack_points),
+                    static_cast<unsigned long long>(totals.sleep_prunes),
+                    static_cast<unsigned long long>(totals.hb_prunes),
+                    static_cast<unsigned long long>(totals.graph_nodes),
+                    static_cast<unsigned long long>(totals.graph_edges), bounded);
+      }
     }
     if (faulted_run) {
       std::printf("  Faulted: %zu\n  Faults fired: %llu\n  Faults unsurfaced: %zu\n", faulted,

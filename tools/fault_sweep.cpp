@@ -7,7 +7,10 @@
 // seed-deterministic randomized schedules (via the schedsim controller), so
 // fault plans and schedule perturbations compose; the unfaulted baseline
 // stays on the free schedule, making invariant 2 also a schedule-independence
-// check.
+// check. With --schedules dpor (optionally dpor;bound:<k>) the random rounds
+// are replaced by a systematic DPOR exploration per (plan, scenario) pair:
+// every distinct happens-before class the explorer reaches must satisfy the
+// same invariants.
 //
 // With --rank-kills N every plan additionally carries N rank_kill specs
 // (sigkill/sigabrt/hang at a random rank's n-th MPI operation). These only
@@ -20,8 +23,9 @@
 // stats merged in deterministic order; verdicts are identical to --jobs 1.
 //
 // Usage: fault_sweep [--plans N] [--faults N] [--seed N] [--filter SUBSTR]
-//                    [--watchdog MS] [--metrics PATH] [--schedules N]
-//                    [--rank-kills N] [--jobs N] [--verbose]
+//                    [--watchdog MS] [--metrics PATH]
+//                    [--schedules N|dpor[;bound:K]] [--rank-kills N]
+//                    [--jobs N] [--verbose]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -29,6 +33,8 @@
 
 #include "obs/metrics.hpp"
 #include "obs/perfetto.hpp"
+#include "schedsim/controller.hpp"
+#include "schedsim/explorer.hpp"
 #include "testsuite/fault_sweep.hpp"
 
 namespace {
@@ -36,8 +42,8 @@ namespace {
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--plans N] [--faults N] [--seed N] [--filter SUBSTR] "
-               "[--watchdog MS] [--metrics PATH] [--schedules N] [--rank-kills N] [--jobs N] "
-               "[--verbose]\n",
+               "[--watchdog MS] [--metrics PATH] [--schedules N|dpor[;bound:K]] "
+               "[--rank-kills N] [--jobs N] [--verbose]\n",
                argv0);
   std::exit(2);
 }
@@ -89,7 +95,23 @@ int main(int argc, char** argv) {
       metrics_path = value;
       ++i;
     } else if (std::strcmp(arg, "--schedules") == 0) {
-      options.schedules = static_cast<int>(parse_long(argv[0], arg, value));
+      if (value == nullptr) {
+        usage(argv[0]);
+      }
+      if (std::strncmp(value, "dpor", 4) == 0) {
+        schedsim::Config sched;
+        std::string error;
+        if (!schedsim::parse_schedule(value, &sched, &error) ||
+            sched.mode != schedsim::Mode::kDpor) {
+          std::fprintf(stderr, "--schedules: %s\n",
+                       error.empty() ? "expected dpor[;bound:<k>]" : error.c_str());
+          return 2;
+        }
+        options.dpor = true;
+        options.dpor_bound = sched.bound;
+      } else {
+        options.schedules = static_cast<int>(parse_long(argv[0], arg, value));
+      }
       ++i;
     } else if (std::strcmp(arg, "--rank-kills") == 0) {
       options.rank_kills = static_cast<int>(parse_long(argv[0], arg, value));
@@ -112,11 +134,21 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  std::printf("fault sweep: %d plan(s) x %d fault(s) + %d rank-kill(s), seed %llu, "
-              "watchdog %lld ms, %d schedule(s)\n",
-              options.plans, options.faults_per_plan, options.rank_kills,
-              static_cast<unsigned long long>(options.seed),
-              static_cast<long long>(options.watchdog.count()), options.schedules);
+  if (options.dpor) {
+    std::printf("fault sweep: %d plan(s) x %d fault(s) + %d rank-kill(s), seed %llu, "
+                "watchdog %lld ms, dpor exploration (bound %u)\n",
+                options.plans, options.faults_per_plan, options.rank_kills,
+                static_cast<unsigned long long>(options.seed),
+                static_cast<long long>(options.watchdog.count()),
+                options.dpor_bound != 0 ? options.dpor_bound
+                                        : schedsim::ExplorerOptions::kDefaultBound);
+  } else {
+    std::printf("fault sweep: %d plan(s) x %d fault(s) + %d rank-kill(s), seed %llu, "
+                "watchdog %lld ms, %d schedule(s)\n",
+                options.plans, options.faults_per_plan, options.rank_kills,
+                static_cast<unsigned long long>(options.seed),
+                static_cast<long long>(options.watchdog.count()), options.schedules);
+  }
   const obs::MetricsSnapshot metrics_before = obs::MetricsRegistry::instance().snapshot();
   const testsuite::SweepStats stats = testsuite::run_fault_sweep(options);
   if (!metrics_path.empty()) {
@@ -140,6 +172,11 @@ int main(int argc, char** argv) {
   if (options.rank_kills > 0) {
     std::printf("  Rank-kill runs: %zu\n  RankFailureReports: %zu\n", stats.rank_kill_runs,
                 stats.rank_failure_reports);
+  }
+  if (options.dpor) {
+    std::printf("  DPOR executions: %llu\n  DPOR hb-prunes: %llu\n",
+                static_cast<unsigned long long>(stats.dpor_executions),
+                static_cast<unsigned long long>(stats.dpor_hb_prunes));
   }
   for (const std::string& failure : stats.failures) {
     std::printf("  VIOLATION: %s\n", failure.c_str());

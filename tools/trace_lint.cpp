@@ -1,17 +1,25 @@
 // Schema checker for the observability export artifacts: validates Chrome
 // trace_event JSON written via CUSAN_TRACE=perfetto:<path>, flat metrics
-// JSON written via CUSAN_METRICS=<path>, and schedule decision traces
-// written via CUSAN_SCHEDULE=record:<path>. CI runs this over the testsuite
+// JSON written via CUSAN_METRICS=<path>, schedule decision traces written
+// via CUSAN_SCHEDULE=record:<path>, and execution graphs written via
+// CUSAN_SCHEDULE=...;graph:<path>. CI runs this over the testsuite
 // artifacts so a malformed export fails the build, not the person opening
 // ui.perfetto.dev (or replaying a trace).
 //
+// --graph checks go beyond parsing: the versioned header must match, every
+// edge endpoint must name an existing node (dangling check), and the edge
+// relation must be acyclic — the recorder only emits forward edges, so a
+// cycle means the artifact was corrupted or hand-edited.
+//
 // Usage: trace_lint [--trace FILE]... [--metrics FILE]... [--schedule FILE]...
+//                   [--graph FILE]...
 // Exit 0 iff every file parses and matches its schema.
 #include <cstdio>
 #include <cstring>
 #include <string>
 
 #include "obs/jsonlint.hpp"
+#include "schedsim/execution_graph.hpp"
 #include "schedsim/trace.hpp"
 
 namespace {
@@ -35,7 +43,9 @@ bool read_file(const char* path, std::string* out) {
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::fprintf(stderr, "usage: %s [--trace FILE]... [--metrics FILE]... [--schedule FILE]...\n",
+    std::fprintf(stderr,
+                 "usage: %s [--trace FILE]... [--metrics FILE]... [--schedule FILE]... "
+                 "[--graph FILE]...\n",
                  argv[0]);
     return 2;
   }
@@ -45,7 +55,8 @@ int main(int argc, char** argv) {
     const bool is_trace = std::strcmp(argv[i], "--trace") == 0;
     const bool is_metrics = std::strcmp(argv[i], "--metrics") == 0;
     const bool is_schedule = std::strcmp(argv[i], "--schedule") == 0;
-    if (!is_trace && !is_metrics && !is_schedule) {
+    const bool is_graph = std::strcmp(argv[i], "--graph") == 0;
+    if (!is_trace && !is_metrics && !is_schedule && !is_graph) {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       return 2;
     }
@@ -64,11 +75,18 @@ int main(int argc, char** argv) {
     std::size_t count = 0;
     bool ok = false;
     const char* unit = "event(s)";
+    std::size_t edges = 0;
     if (is_trace) {
       ok = obs::jsonlint::validate_chrome_trace(text, &error, &count);
     } else if (is_metrics) {
       ok = obs::jsonlint::validate_metrics_json(text, &error, &count);
       unit = "metric(s)";
+    } else if (is_graph) {
+      schedsim::ExecutionGraph graph;
+      ok = schedsim::parse_graph(text, &graph, &error) && schedsim::validate_graph(graph, &error);
+      count = graph.nodes.size();
+      edges = graph.edges.size();
+      unit = "node(s)";
     } else {
       schedsim::ScheduleTrace trace;
       ok = schedsim::parse_trace(text, &trace, &error);
@@ -76,7 +94,9 @@ int main(int argc, char** argv) {
       unit = "decision(s)";
     }
     ++checked;
-    if (ok) {
+    if (ok && is_graph) {
+      std::printf("OK: %s: %zu node(s) / %zu edge(s)\n", path, count, edges);
+    } else if (ok) {
       std::printf("OK: %s: %zu %s\n", path, count, unit);
     } else {
       std::printf("FAIL: %s: %s\n", path, error.c_str());
